@@ -1,0 +1,1 @@
+bench/ablations.ml: Attr Bench_common Bytes Client Daemon Kfs Khazana Ksim List Printf Region Result Stats System

@@ -1,0 +1,1 @@
+bench/bench_common.ml: Kconsistency Kfs Khazana Kobj Ksim Kutil Printf

@@ -1,0 +1,1 @@
+bench/central_fs.ml: Bytes Hashtbl Knet Krpc Ksim List String

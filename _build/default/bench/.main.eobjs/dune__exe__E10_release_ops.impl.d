@@ -1,0 +1,1 @@
+bench/e10_release_ops.ml: Bench_common Bytes Client Ctypes Daemon Format Ksim Printf Region Stats System

@@ -1,0 +1,1 @@
+bench/e1_lock_fetch.ml: Bench_common Bytes Client List Region Stats System

@@ -1,0 +1,1 @@
+bench/e2_caching.ml: Bench_common Bytes Char Client Daemon List Printf Region Stats System

@@ -1,0 +1,1 @@
+bench/e3_scalability.ml: Bench_common Bytes Char Client Ctypes Fun Ksim List Region Stats System

@@ -1,0 +1,1 @@
+bench/e4_availability.ml: Attr Bench_common Bytes Client Daemon Fun Khazana Ksim List Printf Region Stats String System

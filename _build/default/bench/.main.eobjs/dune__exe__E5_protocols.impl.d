@@ -1,0 +1,1 @@
+bench/e5_protocols.ml: Attr Bench_common Bytes Client Khazana Ksim List Printf Region Stats System

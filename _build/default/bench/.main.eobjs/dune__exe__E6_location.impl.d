@@ -1,0 +1,1 @@
+bench/e6_location.ml: Array Bench_common Bytes Client Daemon Khazana Ksim Kutil List Printf Region Stats System

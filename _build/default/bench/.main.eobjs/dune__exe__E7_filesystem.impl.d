@@ -1,0 +1,1 @@
+bench/e7_filesystem.ml: Bench_common Bytes Central_fs Kfs Knet Ksim List Printf Stats System

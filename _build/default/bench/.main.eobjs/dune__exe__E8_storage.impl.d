@@ -1,0 +1,1 @@
+bench/e8_storage.ml: Bench_common Bytes Client Daemon Gaddr Ksim Kstorage Kutil List Printf Region Stats System

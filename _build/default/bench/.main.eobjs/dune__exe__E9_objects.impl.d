@@ -1,0 +1,1 @@
+bench/e9_objects.ml: Bench_common Bytes Khazana Kobj Ksim Printf Stats System

@@ -1,0 +1,1 @@
+bench/main.ml: Ablations Array E10_release_ops E1_lock_fetch E2_caching E3_scalability E4_availability E5_protocols E6_location E7_filesystem E8_storage E9_objects List Micro Printf Sys

@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Bechamel Benchmark Bytes Hashtbl Instance Kconsistency Khazana Ksim Kstorage Kutil List Measure Printf Staged Test Time Toolkit

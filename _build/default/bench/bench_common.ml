@@ -1,0 +1,44 @@
+(* Shared plumbing for the experiment harness. *)
+
+module System = Khazana.System
+module Client = Khazana.Client
+module Daemon = Khazana.Daemon
+module Region = Khazana.Region
+module Attr = Khazana.Attr
+module Gaddr = Kutil.Gaddr
+module Stats = Kutil.Stats
+module Ctypes = Kconsistency.Types
+
+let ok = function
+  | Ok v -> v
+  | Error e -> failwith ("bench: " ^ Daemon.error_to_string e)
+
+let fs_ok = function
+  | Ok v -> v
+  | Error e -> failwith ("bench: " ^ Kfs.Fs.error_to_string e)
+
+let obj_ok = function
+  | Ok v -> v
+  | Error e -> failwith ("bench: " ^ Kobj.Runtime.error_to_string e)
+
+(* Time a fiber-blocking thunk in simulated time (ms). *)
+let timed sys f =
+  let t0 = System.now sys in
+  let r = f () in
+  (r, Ksim.Time.to_ms_f (System.now sys - t0))
+
+let header title claim =
+  Printf.printf "\n=== %s ===\n%s\n\n" title claim
+
+let print_table t = print_endline (Stats.render t)
+
+let f2 v = Printf.sprintf "%.2f" v
+let f1 v = Printf.sprintf "%.1f" v
+let f3 v = Printf.sprintf "%.3f" v
+
+(* Message count delta around a thunk. *)
+let messages sys f =
+  let before = (Khazana.Wire.Transport.Net.stats (System.net sys)).sent in
+  let r = f () in
+  let after = (Khazana.Wire.Transport.Net.stats (System.net sys)).sent in
+  (r, after - before)

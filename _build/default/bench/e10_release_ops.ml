@@ -1,0 +1,72 @@
+(* E10 — Release-class operations never fail toward the client (§3.5).
+
+   "All errors encountered while acquiring resources ... are reflected back
+   to the original client, while errors encountered while releasing
+   resources ... are not. Instead, the Khazana system keeps trying the
+   operation in the background until it succeeds." Measure the
+   client-visible latency of free/unreserve across a partition, and how
+   long the background retry takes to land once the partition heals. *)
+
+open Bench_common
+
+let run () =
+  header "E10: acquire-class vs release-class error handling"
+    "A node partitioned from a region's home frees it anyway; retries land after heal.";
+  let sys = System.create ~nodes_per_cluster:3 ~clusters:2 () in
+  let c1 = System.client sys 1 () in
+  let region =
+    System.run_fiber sys (fun () ->
+        let r = ok (Client.create_region c1 ~len:4096 ()) in
+        ok (Client.write_bytes c1 ~addr:r.Region.base (Bytes.make 8 'x'));
+        r)
+  in
+  let c4 = System.client sys 4 () in
+  (* Warm node 4's directory so the partition hits the op, not the lookup. *)
+  System.run_fiber sys (fun () ->
+      ignore (ok (Client.read_bytes c4 ~addr:region.Region.base ~len:8)));
+  System.partition sys [ 0; 1; 2 ] [ 3; 4; 5 ];
+
+  let table =
+    Stats.table
+      ~columns:[ "operation (partitioned)"; "class"; "client-visible latency (ms)"; "outcome" ]
+  in
+  (* Acquire-class: a write lock must reflect the failure. *)
+  let result, acquire_ms =
+    timed sys (fun () ->
+        System.run_fiber sys (fun () ->
+            Client.lock c4 ~addr:region.Region.base ~len:8 Ctypes.Write))
+  in
+  Stats.row table
+    [ "lock(write)"; "acquire";
+      f1 acquire_ms;
+      (match result with
+       | Error e -> "error reflected: " ^ Daemon.error_to_string e
+       | Ok _ -> "unexpectedly succeeded") ];
+  (* Release-class: free returns instantly and retries behind the scenes. *)
+  let (), free_ms =
+    timed sys (fun () ->
+        System.run_fiber sys (fun () -> Client.free c4 region.Region.base))
+  in
+  Stats.row table [ "free"; "release"; f1 free_ms; "returned immediately" ];
+  print_table table;
+
+  Printf.printf "\nhome still holds storage during the partition: %b\n"
+    (Daemon.holds_page (System.daemon sys 1) region.Region.base);
+  (* Heal after 5 simulated seconds; measure when the free lands. *)
+  let heal_at = System.now sys in
+  System.heal sys;
+  let landed_after = ref None in
+  let rec poll () =
+    if not (Daemon.holds_page (System.daemon sys 1) region.Region.base) then
+      landed_after := Some (System.now sys - heal_at)
+    else if System.now sys - heal_at < Ksim.Time.sec 30 then begin
+      Ksim.Fiber.sleep (Ksim.Time.ms 50);
+      poll ()
+    end
+  in
+  System.run_fiber sys poll;
+  (match !landed_after with
+   | Some d ->
+     Printf.printf "background retry completed %s after the partition healed\n"
+       (Format.asprintf "%a" Ksim.Time.pp d)
+   | None -> print_endline "background retry DID NOT land (bug)")

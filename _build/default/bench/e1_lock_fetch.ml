@@ -1,0 +1,91 @@
+(* E1 — Lock+fetch cost along the Figure 2 path (§3.2, §3.6).
+
+   Claim under test: a cold lock+fetch pays for region location plus a CM
+   round through home and owner; caching the descriptor (region directory)
+   and the data (local replica) removes those legs one by one, down to a
+   purely local operation. *)
+
+open Bench_common
+
+let trials = 30
+
+let scenario sys ~reader ~writer ~cold_directory =
+  (* A fresh region per trial keeps "cold" genuinely cold. *)
+  let latencies = Stats.summary () in
+  let msgs = Stats.summary () in
+  for _ = 1 to trials do
+    let cw = System.client sys writer () in
+    let region =
+      System.run_fiber sys (fun () ->
+          let r = ok (Client.create_region cw ~len:4096 ()) in
+          ok (Client.write_bytes cw ~addr:r.Region.base (Bytes.make 64 'd'));
+          r)
+    in
+    let cr = System.client sys reader () in
+    if not cold_directory then
+      (* Warm the reader's directory (but not its data cache): locate once
+         via get_attr. *)
+      System.run_fiber sys (fun () ->
+          ignore (ok (Client.get_attr cr region.Region.base)));
+    let (), n =
+      messages sys (fun () ->
+          let (), ms =
+            timed sys (fun () ->
+                System.run_fiber sys (fun () ->
+                    ignore
+                      (ok (Client.read_bytes cr ~addr:region.Region.base ~len:64))))
+          in
+          Stats.add latencies ms)
+    in
+    Stats.add msgs (float_of_int n)
+  done;
+  (latencies, msgs)
+
+let warm_local sys ~node =
+  let latencies = Stats.summary () in
+  let msgs = Stats.summary () in
+  let c = System.client sys node () in
+  let region =
+    System.run_fiber sys (fun () ->
+        let r = ok (Client.create_region c ~len:4096 ()) in
+        ok (Client.write_bytes c ~addr:r.Region.base (Bytes.make 64 'd'));
+        r)
+  in
+  for _ = 1 to trials do
+    let (), n =
+      messages sys (fun () ->
+          let (), ms =
+            timed sys (fun () ->
+                System.run_fiber sys (fun () ->
+                    ignore (ok (Client.read_bytes c ~addr:region.Region.base ~len:64))))
+          in
+          Stats.add latencies ms)
+    in
+    Stats.add msgs (float_of_int n)
+  done;
+  (latencies, msgs)
+
+let run () =
+  header "E1: lock+fetch latency along the Figure 2 path"
+    "Each cached layer (descriptor, then data) removes a leg of the cold path.";
+  let sys = System.create ~nodes_per_cluster:3 ~clusters:2 () in
+  let rows =
+    [
+      ("local, owner-warm (steps 11-13 only)", warm_local sys ~node:1);
+      ("LAN peer, cold directory", scenario sys ~reader:2 ~writer:1 ~cold_directory:true);
+      ("LAN peer, warm directory", scenario sys ~reader:2 ~writer:1 ~cold_directory:false);
+      ("WAN peer, cold directory", scenario sys ~reader:4 ~writer:1 ~cold_directory:true);
+      ("WAN peer, warm directory", scenario sys ~reader:4 ~writer:1 ~cold_directory:false);
+    ]
+  in
+  let table =
+    Stats.table
+      ~columns:[ "scenario"; "mean (ms)"; "p99 (ms)"; "msgs/op" ]
+  in
+  List.iter
+    (fun (name, (lat, msgs)) ->
+      Stats.row table
+        [ name; f2 (Stats.mean lat); f2 (Stats.percentile lat 99.0);
+          f1 (Stats.mean msgs) ])
+    rows;
+  print_table table

@@ -1,0 +1,86 @@
+(* E2 — "Data should be cached near where it is used" (§2, §3.1).
+
+   A WAN reader's first access fetches the page; subsequent accesses are
+   served from the local replica until a remote write invalidates it, at
+   which point exactly one re-fetch is paid. *)
+
+open Bench_common
+
+let run () =
+  header "E2: caching and invalidation at a WAN reader"
+    "Access #1 fetches over the WAN; #2-#5 are local; a remote write forces one re-fetch.";
+  let sys = System.create ~nodes_per_cluster:3 ~clusters:2 () in
+  let writer = System.client sys 1 () in
+  let reader_node = 4 in
+  let reader = System.client sys reader_node () in
+  let region =
+    System.run_fiber sys (fun () ->
+        let r = ok (Client.create_region writer ~len:4096 ()) in
+        ok (Client.write_bytes writer ~addr:r.Region.base (Bytes.make 32 'a'));
+        r)
+  in
+  let table =
+    Stats.table ~columns:[ "event"; "latency (ms)"; "reader holds copy after" ]
+  in
+  let read_once label =
+    let (), ms =
+      timed sys (fun () ->
+          System.run_fiber sys (fun () ->
+              ignore (ok (Client.read_bytes reader ~addr:region.Region.base ~len:32))))
+    in
+    Stats.row table
+      [ label; f2 ms;
+        string_of_bool
+          (Daemon.holds_page (System.daemon sys reader_node) region.Region.base) ]
+  in
+  for i = 1 to 5 do
+    read_once (Printf.sprintf "reader access #%d" i)
+  done;
+  (* Remote write invalidates the cached replica. *)
+  let (), ms =
+    timed sys (fun () ->
+        System.run_fiber sys (fun () ->
+            ok (Client.write_bytes writer ~addr:region.Region.base (Bytes.make 32 'b'))))
+  in
+  Stats.row table
+    [ "writer updates (invalidation)"; f2 ms;
+      string_of_bool
+        (Daemon.holds_page (System.daemon sys reader_node) region.Region.base) ];
+  read_once "reader access #6 (re-fetch)";
+  read_once "reader access #7 (local again)";
+  print_table table;
+
+  (* Second half: ping-pong migration. Two alternating writers make the
+     page bounce; co-located writers do not. *)
+  Printf.printf "\nwrite ping-pong (20 alternating writes each):\n";
+  let bounce nodes =
+    let region =
+      System.run_fiber sys (fun () ->
+          let c = System.client sys (List.hd nodes) () in
+          let r = ok (Client.create_region c ~len:4096 ()) in
+          ok (Client.write_bytes c ~addr:r.Region.base (Bytes.make 8 'x'));
+          r)
+    in
+    let (), ms =
+      timed sys (fun () ->
+          System.run_fiber sys (fun () ->
+              for i = 1 to 20 do
+                List.iter
+                  (fun n ->
+                    let c = System.client sys n () in
+                    ok
+                      (Client.write_bytes c ~addr:region.Region.base
+                         (Bytes.make 8 (Char.chr (65 + (i mod 26))))))
+                  nodes
+              done))
+    in
+    ms /. (20.0 *. float_of_int (List.length nodes))
+  in
+  let same = bounce [ 1 ] in
+  let lan = bounce [ 1; 2 ] in
+  let wan = bounce [ 1; 4 ] in
+  let t2 = Stats.table ~columns:[ "writers"; "mean write (ms)" ] in
+  Stats.row t2 [ "single node"; f3 same ];
+  Stats.row t2 [ "two nodes, same cluster"; f3 lan ];
+  Stats.row t2 [ "two nodes, across WAN"; f3 wan ];
+  print_table t2

@@ -1,0 +1,85 @@
+(* E3 — Scalability (§2 design goals).
+
+   "Performance should scale as nodes are added if the new nodes do not
+   contend for access to the same regions as existing nodes." Aggregate
+   throughput with disjoint per-node regions should grow with node count;
+   with one contended region it should not. *)
+
+open Bench_common
+
+let ops_per_node = 40
+
+let run_workload ~nodes ~disjoint =
+  let sys = System.create ~nodes_per_cluster:nodes ~clusters:1 () in
+  let node_ids = List.init nodes Fun.id in
+  (* Regions: one per node, or a single shared one homed at node 0. *)
+  let region_for =
+    if disjoint then begin
+      let regions =
+        System.run_fiber sys (fun () ->
+            List.map
+              (fun n ->
+                let c = System.client sys n () in
+                let r = ok (Client.create_region c ~len:4096 ()) in
+                ok (Client.write_bytes c ~addr:r.Region.base (Bytes.make 8 'i'));
+                (n, r))
+              node_ids)
+      in
+      fun n -> List.assoc n regions
+    end
+    else begin
+      let shared =
+        System.run_fiber sys (fun () ->
+            let c = System.client sys 0 () in
+            let r = ok (Client.create_region c ~len:4096 ()) in
+            ok (Client.write_bytes c ~addr:r.Region.base (Bytes.make 8 'i'));
+            r)
+      in
+      fun _ -> shared
+    end
+  in
+  let t0 = System.now sys in
+  System.run_fiber sys (fun () ->
+      let eng = System.engine sys in
+      let fibers =
+        List.map
+          (fun n ->
+            Ksim.Fiber.async eng (fun () ->
+                let c = System.client sys n () in
+                let region = region_for n in
+                for i = 1 to ops_per_node do
+                  let ctx =
+                    ok (Client.lock c ~addr:region.Region.base ~len:8 Ctypes.Write)
+                  in
+                  ok
+                    (Client.write c ctx ~addr:region.Region.base
+                       (Bytes.make 8 (Char.chr (65 + (i mod 26)))));
+                  Client.unlock c ctx
+                done))
+          node_ids
+      in
+      Ksim.Fiber.join_all fibers);
+  let elapsed = Ksim.Time.to_sec_f (System.now sys - t0) in
+  float_of_int (nodes * ops_per_node) /. elapsed
+
+let run () =
+  header "E3: throughput scaling with node count"
+    "Disjoint working sets scale with nodes; a single contended region does not.";
+  let table =
+    Stats.table
+      ~columns:
+        [ "nodes"; "disjoint ops/s"; "speedup"; "contended ops/s"; "speedup" ]
+  in
+  let base_d = ref 0.0 and base_c = ref 0.0 in
+  List.iter
+    (fun nodes ->
+      let d = run_workload ~nodes ~disjoint:true in
+      let c = run_workload ~nodes ~disjoint:false in
+      if nodes = 1 then begin
+        base_d := d;
+        base_c := c
+      end;
+      Stats.row table
+        [ string_of_int nodes; f1 d; f2 (d /. !base_d); f1 c; f2 (c /. !base_c) ])
+    [ 1; 2; 4; 8; 16 ];
+  print_table table

@@ -1,0 +1,136 @@
+(* E6 — The region-location path (§3.2, §3.5).
+
+   "The local region directory is searched first and then the cluster
+   manager is queried, before an address map tree search is started."
+   Force each resolution level and measure what it costs; then sweep the
+   region-directory capacity to show the hit-rate/latency tradeoff. *)
+
+open Bench_common
+
+let locate sys node addr =
+  let d = System.daemon sys node in
+  Daemon.reset_lookup_stats d;
+  let (), ms =
+    timed sys (fun () ->
+        System.run_fiber sys (fun () ->
+            match Daemon.locate_region d addr with
+            | Ok _ -> ()
+            | Error e -> failwith (Daemon.error_to_string e)))
+  in
+  let s = Daemon.lookup_stats d in
+  let path =
+    if s.Daemon.homed_hits > 0 then "homed table"
+    else if s.Daemon.rdir_hits > 0 then "region directory"
+    else if s.Daemon.cluster_hits > 0 then "cluster manager"
+    else if s.Daemon.map_walks > 0 then
+      Printf.sprintf "map walk (depth %d)" s.Daemon.map_walk_depth_total
+    else "?"
+  in
+  (path, ms)
+
+let run () =
+  header "E6: cost by location-resolution level"
+    "Directory hit, then cluster walk, then tree search — each level costs more.";
+  let sys = System.create ~nodes_per_cluster:3 ~clusters:2 () in
+  let c1 = System.client sys 1 () in
+  let region =
+    System.run_fiber sys (fun () ->
+        let r = ok (Client.create_region c1 ~len:4096 ()) in
+        ok (Client.write_bytes c1 ~addr:r.Region.base (Bytes.make 8 'x'));
+        r)
+  in
+  let addr = region.Region.base in
+  let table = Stats.table ~columns:[ "scenario"; "resolved via"; "latency (ms)" ] in
+  (* (a) at the home itself *)
+  let path, ms = locate sys 1 addr in
+  Stats.row table [ "home node"; path; f2 ms ];
+  (* (b) cluster-mate after hint refresh: node 2's CM (node 0) learns about
+     the region from node 1's periodic report. *)
+  System.run_until_quiet ~limit:(Ksim.Time.sec 2) sys;
+  let path, ms = locate sys 2 addr in
+  Stats.row table [ "cluster-mate, cold directory"; path; f2 ms ];
+  (* (c) same node again: now cached in its region directory. *)
+  let path, ms = locate sys 2 addr in
+  Stats.row table [ "cluster-mate, warm directory"; path; f2 ms ];
+  (* (d) WAN node: no cluster hint, full address-map walk. *)
+  let path, ms = locate sys 4 addr in
+  Stats.row table [ "remote cluster, cold"; path; f2 ms ];
+  let path, ms = locate sys 4 addr in
+  Stats.row table [ "remote cluster, warm"; path; f2 ms ];
+  print_table table;
+
+  (* The §3.1 fallback: with the address map unreachable (its home is
+     down), a cold node can still resolve via the cluster-walk. *)
+  Printf.printf "\ncluster walk (map home crashed):\n";
+  let sys2 = System.create ~nodes_per_cluster:3 ~clusters:3 () in
+  let c1 = System.client sys2 1 () in
+  let region2 =
+    System.run_fiber sys2 (fun () ->
+        let r = ok (Client.create_region c1 ~len:4096 ()) in
+        ok (Client.write_bytes c1 ~addr:r.Region.base (Bytes.make 8 'x'));
+        ignore (ok (Client.read_bytes (System.client sys2 4 ()) ~addr:r.Region.base ~len:8));
+        r)
+  in
+  System.run_until_quiet ~limit:(Ksim.Time.sec 2) sys2;
+  System.crash sys2 0;
+  let d7 = System.daemon sys2 7 in
+  Daemon.reset_lookup_stats d7;
+  let (), ms =
+    timed sys2 (fun () ->
+        System.run_fiber sys2 (fun () ->
+            match Daemon.locate_region d7 region2.Region.base with
+            | Ok _ -> ()
+            | Error e -> failwith (Daemon.error_to_string e)))
+  in
+  let s = Daemon.lookup_stats d7 in
+  Printf.printf
+    "  resolved via %d cluster-walk hop(s) in %.2f ms with the map offline\n"
+    s.Daemon.cluster_walks ms;
+
+  (* Directory capacity sweep: a working set of R regions through an LRU
+     directory of capacity C. *)
+  Printf.printf "\nregion-directory capacity sweep (60 regions, zipf-ish access):\n";
+  let sweep capacity =
+    let config = { Daemon.default_config with Daemon.rdir_capacity = capacity } in
+    let sys = System.create ~config ~nodes_per_cluster:3 ~clusters:2 () in
+    let c1 = System.client sys 1 () in
+    let regions =
+      System.run_fiber sys (fun () ->
+          Array.init 60 (fun _ ->
+              let r = ok (Client.create_region c1 ~len:4096 ()) in
+              ok (Client.write_bytes c1 ~addr:r.Region.base (Bytes.make 8 'x'));
+              r))
+    in
+    System.run_until_quiet ~limit:(Ksim.Time.sec 2) sys;
+    let reader = System.daemon sys 2 in
+    let rng = Kutil.Rng.create ~seed:5 in
+    Daemon.reset_lookup_stats reader;
+    Khazana.Region_directory.reset_stats (Daemon.region_directory reader);
+    let (), ms =
+      timed sys (fun () ->
+          System.run_fiber sys (fun () ->
+              for _ = 1 to 400 do
+                (* Favour low indices: a skewed working set. *)
+                let i =
+                  min (Kutil.Rng.int rng 60) (Kutil.Rng.int rng 60)
+                in
+                match Daemon.locate_region reader regions.(i).Region.base with
+                | Ok _ -> ()
+                | Error e -> failwith (Daemon.error_to_string e)
+              done))
+    in
+    let rd = Daemon.region_directory reader in
+    let hits = Khazana.Region_directory.hits rd in
+    let misses = Khazana.Region_directory.misses rd in
+    ( 100.0 *. float_of_int hits /. float_of_int (hits + misses),
+      ms /. 400.0 )
+  in
+  let t2 =
+    Stats.table ~columns:[ "directory capacity"; "hit rate %"; "mean lookup (ms)" ]
+  in
+  List.iter
+    (fun cap ->
+      let rate, ms = sweep cap in
+      Stats.row t2 [ string_of_int cap; f1 rate; f3 ms ])
+    [ 4; 16; 64; 128 ];
+  print_table t2

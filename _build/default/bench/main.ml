@@ -1,0 +1,36 @@
+(* Experiment harness: `dune exec bench/main.exe` runs everything (the
+   per-claim experiment tables E1-E10 plus the Bechamel microbenchmarks);
+   pass experiment ids to run a subset, e.g. `bench/main.exe e3 e5`. See
+   EXPERIMENTS.md for the experiment-to-claim index. *)
+
+let experiments =
+  [
+    ("e1", "lock+fetch latency (Figure 2 path)", E1_lock_fetch.run);
+    ("e2", "caching near the consumer", E2_caching.run);
+    ("e3", "throughput scaling", E3_scalability.run);
+    ("e4", "availability vs min_replicas", E4_availability.run);
+    ("e5", "consistency protocol spectrum", E5_protocols.run);
+    ("e6", "region-location path costs", E6_location.run);
+    ("e7", "filesystem vs central server", E7_filesystem.run);
+    ("e8", "local storage hierarchy", E8_storage.run);
+    ("e9", "object placement & false sharing", E9_objects.run);
+    ("e10", "release-class background retry", E10_release_ops.run);
+    ("ablations", "design-knob ablations (hints, timeouts, fs instances)", Ablations.run);
+    ("micro", "wall-clock microbenchmarks", Micro.run);
+  ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as ids) -> ids
+    | _ -> List.map (fun (id, _, _) -> id) experiments
+  in
+  let unknown =
+    List.filter
+      (fun id -> not (List.exists (fun (i, _, _) -> i = id) experiments))
+      requested
+  in
+  List.iter (Printf.eprintf "unknown experiment %S (known: e1..e10, micro)\n") unknown;
+  List.iter
+    (fun (id, _, run) -> if List.mem id requested then run ())
+    experiments

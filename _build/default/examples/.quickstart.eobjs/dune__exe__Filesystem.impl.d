@@ -1,0 +1,1 @@
+examples/filesystem.ml: Bytes Format Kfs Khazana Ksim Kutil List Printf String

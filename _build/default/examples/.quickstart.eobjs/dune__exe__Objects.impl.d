@@ -1,0 +1,1 @@
+examples/objects.ml: Bytes Format Khazana Kobj Ksim Kutil List Printf

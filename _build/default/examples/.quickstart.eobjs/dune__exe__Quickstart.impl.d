@@ -1,0 +1,1 @@
+examples/quickstart.ml: Bytes Format Fun Khazana Ksim Kutil List Printf

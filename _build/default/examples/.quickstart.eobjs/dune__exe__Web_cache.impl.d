@@ -1,0 +1,1 @@
+examples/web_cache.ml: Bytes Khazana Ksim Kutil List Printf

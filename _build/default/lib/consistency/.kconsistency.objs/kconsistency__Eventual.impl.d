@@ -1,0 +1,1 @@
+lib/consistency/eventual.ml: Int List Local_locks Queue Set Types

@@ -1,0 +1,1 @@
+lib/consistency/local_locks.ml: Types

@@ -1,0 +1,1 @@
+lib/consistency/machine_intf.ml: Types

@@ -1,0 +1,1 @@
+lib/consistency/registry.ml: Crew Eventual Hashtbl List Machine_intf Printf Release Write_shared

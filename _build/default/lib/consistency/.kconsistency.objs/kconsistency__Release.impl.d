@@ -1,0 +1,1 @@
+lib/consistency/release.ml: Bytes Int List Local_locks Option Queue Set Types

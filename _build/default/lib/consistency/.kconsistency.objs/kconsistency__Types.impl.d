@@ -1,0 +1,1 @@
+lib/consistency/types.ml: Bytes Format Ksim List String

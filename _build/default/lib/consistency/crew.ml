@@ -1,0 +1,704 @@
+(** CREW — Concurrent Read, Exclusive Write.
+
+    The prototype Khazana's only protocol: a directory-based write-invalidate
+    scheme in the style of Li & Hudak's fixed distributed manager. Each page
+    has a *home* (manager) that serialises transactions, tracks the current
+    *owner* (unique node allowed to write) and the *copyset* (nodes holding
+    read copies). Reads fetch a copy from any holder; writes invalidate the
+    copyset and move ownership.
+
+    One machine instance plays both roles: the cache role on every node, the
+    manager role only where [cfg.self = cfg.home]. Manager-to-self traffic
+    goes over the ordinary message path (the network delivers to self), so
+    the code never special-cases co-location.
+
+    Unreliable channels. Unlike Ivy, the substrate may lose, duplicate (via
+    manager re-sends) and reorder messages, which demands three defences,
+    each of which plugs a hole found by the randomized property tests:
+
+    - {b retries before suspicion}: a silent peer is re-asked up to
+      [max_attempts] times — it may merely be holding a lock across a slow
+      remote operation, and premature fail-over would break coherence;
+    - {b pessimistic bookkeeping}: the manager records a requester in the
+      copyset (or as owner) when it *initiates* the grant, not when the ack
+      arrives — a lost ack must never hide a granted copy from future
+      invalidations;
+    - {b transaction fences}: every manager transaction carries a sequence
+      number stamped into its fetches, grants and invalidations; caches
+      remember the highest fence that revoked their copy and refuse older
+      grants, so a ghost grant from a finished transaction cannot resurrect
+      a revoked copy.
+
+    Availability extensions (paper §3.5): the manager fails over to
+    alternate copy holders, keeps a backup of the last data that passed
+    through it, and after each write pushes read copies to
+    [cfg.replica_targets] until [min_replicas] primary copies exist. *)
+
+open Types
+module NSet = Set.Make (Int)
+
+type cache_state = Invalid | Shared | Owned_shared | Owned_excl
+
+let cache_state_name = function
+  | Invalid -> "invalid"
+  | Shared -> "shared"
+  | Owned_shared -> "owned_shared"
+  | Owned_excl -> "owned_excl"
+
+(* Manager-side transaction in flight. [tried] records data sources that
+   already failed so fail-over never loops; [attempts] counts timeouts
+   against the current peer. *)
+type txn =
+  | Idle
+  | Read_flight of { dest : node_id; source : node_id; timer : timer_id;
+                     tried : NSet.t; attempts : int; fence : fence }
+  | Inval_phase of { dest : node_id; waiting : NSet.t; timer : timer_id;
+                     attempts : int; fence : fence }
+  | Own_flight of { dest : node_id; source : node_id; timer : timer_id;
+                    tried : NSet.t; attempts : int; fence : fence }
+  | Await_done of { dest : node_id; mode : mode; timer : timer_id;
+                    attempts : int; regrant : msg option; fence : fence }
+
+(* High on purpose: with fail-fast crash signals from the transport (the
+   daemon synthesises an Evict_notify when a peer is known-down), timeouts
+   here almost always mean "slow", not "dead" — and false suspicion is a
+   safety hazard. *)
+let max_attempts = 60
+
+type t = {
+  cfg : config;
+  (* ---- cache role ---- *)
+  mutable cstate : cache_state;
+  mutable data : bytes option;
+  mutable ver : version;
+  mutable floor : fence;  (* refuse grants fenced below this *)
+  locks : Local_locks.t;
+  waiters : (req_id * mode) Queue.t;
+  mutable cache_req : mode option;  (* request to home currently in flight *)
+  mutable pending_inval : (node_id * fence) option; (* deferred ack *)
+  mutable pending_fetches : (node_id * msg) list;   (* deferred while locked *)
+  (* ---- manager role (meaningful only at home) ---- *)
+  mutable owner : node_id;
+  mutable copyset : NSet.t;  (* nodes with read copies; excludes owner *)
+  hqueue : (node_id * mode) Queue.t;
+  mutable txn : txn;
+  mutable fence : fence;  (* transaction sequence *)
+  mutable backup : (bytes * version) option; (* last data seen by manager *)
+  mutable next_timer : int;
+}
+
+let name = "crew"
+
+let create cfg init =
+  let cstate, data, ver =
+    match init with
+    | Start_unknown -> (Invalid, None, 0)
+    | Start_owner bytes -> (Owned_excl, Some bytes, 1)
+  in
+  {
+    cfg;
+    cstate;
+    data;
+    ver;
+    floor = 0;
+    locks = Local_locks.create ();
+    waiters = Queue.create ();
+    cache_req = None;
+    pending_inval = None;
+    pending_fetches = [];
+    owner = cfg.home;
+    copyset = NSet.empty;
+    hqueue = Queue.create ();
+    txn = Idle;
+    fence = 0;
+    backup = (match init with Start_owner b -> Some (b, 1) | Start_unknown -> None);
+    next_timer = 0;
+  }
+
+let state_name t = cache_state_name t.cstate
+let has_valid_copy t = t.cstate <> Invalid
+
+let is_owner t =
+  match t.cstate with
+  | Owned_shared | Owned_excl -> true
+  | Invalid | Shared -> false
+
+let locks_held t = Local_locks.held t.locks
+let version t = t.ver
+let is_home t = t.cfg.self = t.cfg.home
+
+let fresh_timer t =
+  t.next_timer <- t.next_timer + 1;
+  t.next_timer
+
+let fresh_fence t =
+  t.fence <- t.fence + 1;
+  t.fence
+
+(* ------------------------------------------------------------------ *)
+(* Cache role                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let state_allows t = function
+  | Read -> t.cstate <> Invalid
+  | Write -> t.cstate = Owned_excl
+
+(* Grant leading waiters that are compatible with both the local lock table
+   and the protocol state; send one upgrade request to the manager on behalf
+   of the first waiter that is not. While an invalidation is pending, grant
+   nothing: new readers must not starve a remote writer. *)
+let pump_local t acc =
+  let acc = ref acc in
+  let continue = ref (t.pending_inval = None) in
+  while !continue && not (Queue.is_empty t.waiters) do
+    let req, mode = Queue.peek t.waiters in
+    if state_allows t mode && Local_locks.can t.locks mode then begin
+      ignore (Queue.pop t.waiters);
+      Local_locks.take t.locks mode;
+      acc := Grant req :: !acc
+    end
+    else begin
+      if (not (state_allows t mode)) && t.cache_req = None then begin
+        t.cache_req <- Some mode;
+        acc :=
+          Send
+            (t.cfg.home, match mode with Read -> Read_req | Write -> Write_req)
+          :: !acc
+      end;
+      continue := false
+    end
+  done;
+  !acc
+
+let raise_floor t fence = if fence >= t.floor then t.floor <- fence + 1
+
+let do_invalidate t (target, fence) acc =
+  t.cstate <- Invalid;
+  t.data <- None;
+  t.pending_inval <- None;
+  raise_floor t fence;
+  Send (target, Invalidate_ack) :: Discard :: acc
+
+(* Serve a (possibly deferred) Fetch / Fetch_own, echoing the manager's
+   transaction fence into the grant. *)
+let serve_fetch t (src, msg) acc =
+  match (msg, t.data) with
+  | Fetch { dest; fence }, Some data ->
+    if t.cstate = Owned_excl then t.cstate <- Owned_shared;
+    (* Serving a read copy (and the downgrade it implies) belongs to
+       transaction [fence]: any write grant from an older transaction must
+       not re-promote us afterwards. *)
+    raise_floor t fence;
+    Send (dest, Read_grant { data; version = t.ver; fence }) :: acc
+  | Fetch_own { dest; fence }, Some data ->
+    t.cstate <- Invalid;
+    t.data <- None;
+    (* Relinquishing ownership: anything granted to us by older
+       transactions is dead from here on. The version bumps on every
+       hand-off so freshness ordering tracks the ownership chain. *)
+    raise_floor t fence;
+    Send (dest, Own_grant { data; version = t.ver + 1; fence })
+    :: Discard :: acc
+  | (Fetch _ | Fetch_own _), None ->
+    (* Our copy is gone (evicted under the manager's feet). *)
+    Send (src, Evict_notify) :: acc
+  | _ -> assert false
+
+let flush_deferred t acc =
+  if Local_locks.idle t.locks then begin
+    let acc =
+      match t.pending_inval with
+      | Some pending -> do_invalidate t pending acc
+      | None -> acc
+    in
+    let fetches = List.rev t.pending_fetches in
+    t.pending_fetches <- [];
+    List.fold_left (fun acc f -> serve_fetch t f acc) acc fetches
+  end
+  else acc
+
+(* ------------------------------------------------------------------ *)
+(* Manager role                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let sharers_hint t = Sharers_hint (NSet.elements (NSet.add t.owner t.copyset))
+
+let alternate_sources t ~tried =
+  let cands = NSet.elements (NSet.diff t.copyset tried) in
+  if t.data <> None && (not (NSet.mem t.cfg.self tried))
+     && not (List.mem t.cfg.self cands)
+  then cands @ [ t.cfg.self ]
+  else cands
+
+(* Pessimistic copyset bookkeeping (Li-Hudak style): record the reader when
+   the fetch is initiated, not when its Done ack arrives — a lost ack must
+   not hide a granted reader from future invalidations. A spurious member
+   merely costs one extra Invalidate later. *)
+let start_read_txn ?(attempts = 0) ?fence t dest ~source ~tried acc =
+  if dest <> t.owner then t.copyset <- NSet.add dest t.copyset;
+  let fence = match fence with Some f -> f | None -> fresh_fence t in
+  let timer = fresh_timer t in
+  t.txn <- Read_flight { dest; source; timer; tried; attempts; fence };
+  Start_timer { id = timer; after = t.cfg.request_timeout }
+  :: Send (source, Fetch { dest; fence })
+  :: acc
+
+(* Pessimistic ownership bookkeeping: the grant may land even if its ack
+   does not. Believing a dead transfer costs a fail-over round later; not
+   believing a live one would mint two owners. *)
+let start_own_transfer ?(attempts = 0) ?fence t dest ~source ~tried acc =
+  t.owner <- dest;
+  t.copyset <- NSet.remove dest t.copyset;
+  let fence = match fence with Some f -> f | None -> fresh_fence t in
+  let timer = fresh_timer t in
+  t.txn <- Own_flight { dest; source; timer; tried; attempts; fence };
+  Start_timer { id = timer; after = t.cfg.request_timeout }
+  :: Send (source, Fetch_own { dest; fence })
+  :: acc
+
+let grant_from_backup ?fence t dest ~mode ~data ~version acc =
+  (match mode with
+   | Read -> if dest <> t.owner then t.copyset <- NSet.add dest t.copyset
+   | Write ->
+     t.owner <- dest;
+     t.copyset <- NSet.remove dest t.copyset);
+  (* Write grants climb the version ladder on every attempt so a recipient
+     that once held something newer eventually accepts the recovery. *)
+  let version = match mode with Read -> version | Write -> version + 1 in
+  if mode = Write then t.backup <- Some (data, version);
+  let fence = match fence with Some f -> f | None -> fresh_fence t in
+  let timer = fresh_timer t in
+  let grant =
+    match mode with
+    | Read -> Read_grant { data; version; fence }
+    | Write -> Own_grant { data; version; fence }
+  in
+  t.txn <-
+    Await_done { dest; mode; timer; attempts = 0; regrant = Some grant; fence };
+  Start_timer { id = timer; after = t.cfg.request_timeout }
+  :: Send (dest, grant)
+  :: acc
+
+(* Once the copyset is clean, move ownership (or upgrade in place). *)
+let ownership_phase ?fence t dest acc =
+  let fence = match fence with Some f -> f | None -> fresh_fence t in
+  if t.owner = dest then begin
+    let timer = fresh_timer t in
+    let grant = Upgrade_grant { fence } in
+    t.txn <-
+      Await_done
+        { dest; mode = Write; timer; attempts = 0; regrant = Some grant; fence };
+    Start_timer { id = timer; after = t.cfg.request_timeout }
+    :: Send (dest, grant)
+    :: acc
+  end
+  else start_own_transfer ~fence t dest ~source:t.owner ~tried:NSet.empty acc
+
+let start_write_txn t dest acc =
+  let fence = fresh_fence t in
+  let to_invalidate = NSet.remove dest (NSet.remove t.owner t.copyset) in
+  if NSet.is_empty to_invalidate then ownership_phase ~fence t dest acc
+  else begin
+    let timer = fresh_timer t in
+    t.txn <-
+      Inval_phase { dest; waiting = to_invalidate; timer; attempts = 0; fence };
+    NSet.fold
+      (fun n acc -> Send (n, Invalidate { fence }) :: acc)
+      to_invalidate
+      (Start_timer { id = timer; after = t.cfg.request_timeout } :: acc)
+  end
+
+(* Maintain min_replicas primary copies (paper §3.5) by queueing internal
+   reads on behalf of replica targets; they receive unsolicited read
+   grants. Queued pushes count as prospective holders, or each completed
+   push would re-queue more and the page would over-replicate. *)
+let enqueue_replication t =
+  if t.cfg.min_replicas > 1 then begin
+    let holders = NSet.add t.owner t.copyset in
+    let queued = Queue.fold (fun acc (n, _) -> NSet.add n acc) NSet.empty t.hqueue in
+    let prospective = NSet.cardinal (NSet.union holders queued) in
+    let missing = t.cfg.min_replicas - prospective in
+    if missing > 0 then begin
+      let fresh =
+        List.filter
+          (fun n -> (not (NSet.mem n holders)) && not (NSet.mem n queued))
+          t.cfg.replica_targets
+      in
+      List.iteri
+        (fun i n -> if i < missing then Queue.push (n, Read) t.hqueue)
+        fresh
+    end
+  end
+
+let rec pump_home t acc =
+  match t.txn with
+  | Idle when not (Queue.is_empty t.hqueue) -> (
+    let dest, mode = Queue.pop t.hqueue in
+    match mode with
+    | Read ->
+      if dest = t.owner || NSet.mem dest t.copyset then
+        (* Requester already holds a copy per our books: stale request, or
+           its grant/ack was lost. Serve from backup so it unblocks;
+           otherwise drop and let it retry. *)
+        (match t.backup with
+         | Some (data, version) ->
+           grant_from_backup t dest ~mode:Read ~data ~version acc
+         | None -> pump_home t acc)
+      else start_read_txn t dest ~source:t.owner ~tried:NSet.empty acc
+    | Write -> start_write_txn t dest acc)
+  | Idle | Read_flight _ | Inval_phase _ | Own_flight _ | Await_done _ -> acc
+
+let finish_txn t acc =
+  t.txn <- Idle;
+  enqueue_replication t;
+  pump_home t (sharers_hint t :: acc)
+
+(* The data source for the current transaction failed: move to the next
+   candidate, falling back on the manager's own copy, then its backup. *)
+let fail_over t ~dest ~mode ~tried acc =
+  match alternate_sources t ~tried with
+  | source :: _ when source = t.cfg.self -> (
+    match t.data with
+    | Some data -> (
+      match mode with
+      | Read -> grant_from_backup t dest ~mode:Read ~data ~version:t.ver acc
+      | Write ->
+        (* Surrender the manager's own copy: availability over freshness
+           when the real owner is unreachable. *)
+        t.cstate <- Invalid;
+        let version = t.ver in
+        t.data <- None;
+        grant_from_backup t dest ~mode:Write ~data ~version (Discard :: acc))
+    | None -> (
+      match t.backup with
+      | Some (data, version) -> grant_from_backup t dest ~mode ~data ~version acc
+      | None ->
+        let acc = Send (dest, Nack) :: acc in
+        t.txn <- Idle;
+        pump_home t acc))
+  | source :: _ -> (
+    match mode with
+    | Read -> start_read_txn t dest ~source ~tried acc
+    | Write -> start_own_transfer t dest ~source ~tried acc)
+  | [] -> (
+    match t.backup with
+    | Some (data, version) ->
+      if mode = Write then t.copyset <- NSet.empty;
+      grant_from_backup t dest ~mode ~data ~version acc
+    | None ->
+      let acc = Send (dest, Nack) :: acc in
+      t.txn <- Idle;
+      pump_home t acc)
+
+(* ------------------------------------------------------------------ *)
+(* Message handling                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* A grant fenced below our floor is a ghost of a finished transaction:
+   accepting it would resurrect a revoked copy. Refuse, and tell the
+   manager we hold nothing so it can retry cleanly. *)
+let refuse_stale_grant t acc =
+  t.cache_req <- None;
+  pump_local t (Send (t.cfg.home, Evict_notify) :: acc)
+
+let handle_cache_msg t src msg acc =
+  match msg with
+  | Read_grant { data; version; fence } ->
+    if t.cstate = Invalid && fence < t.floor then refuse_stale_grant t acc
+    else begin
+      if t.cache_req = Some Read then t.cache_req <- None;
+      let acc =
+        if t.cstate = Invalid then begin
+          t.cstate <- Shared;
+          t.data <- Some data;
+          t.ver <- version;
+          Install { data; dirty = false } :: acc
+        end
+        else acc (* duplicate/unsolicited while we hold a copy: keep ours *)
+      in
+      pump_local t (Send (t.cfg.home, Done { mode = Read }) :: acc)
+    end
+  | Own_grant { data; version; fence } ->
+    if t.cstate = Owned_excl then begin
+      (* Duplicate grant (the manager re-sent after a lost ack): keep our
+         possibly-newer data, just re-ack. *)
+      if t.cache_req = Some Write then t.cache_req <- None;
+      pump_local t (Send (t.cfg.home, Done { mode = Write }) :: acc)
+    end
+    else if fence < t.floor then
+      (* A ghost of a finished transaction. If we are a bare cache it may
+         be retried for us, so tell the manager we hold nothing; if we
+         still hold a legitimate (shared/downgraded) copy, just drop it —
+         we are not the grant's audience any more. *)
+      (if t.cstate = Invalid then refuse_stale_grant t acc else acc)
+    else begin
+      if t.cache_req = Some Write then t.cache_req <- None;
+      t.cstate <- Owned_excl;
+      t.data <- Some data;
+      t.ver <- max version t.ver;
+      pump_local t
+        (Send (t.cfg.home, Done { mode = Write })
+         :: Install { data; dirty = false }
+         :: acc)
+    end
+  | Upgrade_grant { fence } ->
+    if t.cstate = Invalid && fence < t.floor then refuse_stale_grant t acc
+    else if t.data <> None then begin
+      if t.cache_req = Some Write then t.cache_req <- None;
+      t.cstate <- Owned_excl;
+      pump_local t (Send (t.cfg.home, Done { mode = Write }) :: acc)
+    end
+    else
+      (* Copy evicted between request and grant: decline the upgrade. *)
+      Send (t.cfg.home, Evict_notify) :: acc
+  | Invalidate { fence } ->
+    if Local_locks.idle t.locks then
+      pump_local t (do_invalidate t (src, fence) acc)
+    else begin
+      (* The CM "delays granting ... until the conflict is resolved": ack
+         only after the local locks drain. *)
+      t.pending_inval <- Some (src, fence);
+      acc
+    end
+  | Fetch _ | Fetch_own _ ->
+    (* A read copy may be served while local readers are active, but
+       ownership must not move until every local lock is gone — the new
+       writer would otherwise run concurrently with our readers. *)
+    let must_defer =
+      match msg with
+      | Fetch _ -> t.locks.Local_locks.writer
+      | _ -> not (Local_locks.idle t.locks)
+    in
+    if must_defer then begin
+      t.pending_fetches <- (src, msg) :: t.pending_fetches;
+      acc
+    end
+    else serve_fetch t (src, msg) acc
+  | Nack -> (
+    t.cache_req <- None;
+    match Queue.take_opt t.waiters with
+    | Some (req, _) ->
+      pump_local t (Reject (req, Unavailable "no reachable copy") :: acc)
+    | None -> acc)
+  | Read_req | Write_req | Invalidate_ack | Done _ | Evict_notify
+  | Own_return _ | Update _ | Update_ack | Pull_req | Diff _ ->
+    acc (* manager-side traffic *)
+
+let absorb_returned_ownership t data version =
+  t.owner <- t.cfg.home;
+  t.copyset <- NSet.remove t.cfg.home t.copyset;
+  t.backup <- Some (data, version);
+  t.cstate <- (if NSet.is_empty t.copyset then Owned_excl else Owned_shared);
+  t.data <- Some data;
+  t.ver <- max version t.ver
+
+let handle_home_msg t src msg acc =
+  match msg with
+  | Read_req ->
+    Queue.push (src, Read) t.hqueue;
+    pump_home t acc
+  | Write_req ->
+    Queue.push (src, Write) t.hqueue;
+    pump_home t acc
+  | Invalidate_ack -> (
+    t.copyset <- NSet.remove src t.copyset;
+    match t.txn with
+    | Inval_phase { dest; waiting; timer; attempts; fence } ->
+      let waiting = NSet.remove src waiting in
+      if NSet.is_empty waiting then ownership_phase ~fence t dest acc
+      else begin
+        t.txn <- Inval_phase { dest; waiting; timer; attempts; fence };
+        acc
+      end
+    | Idle | Read_flight _ | Own_flight _ | Await_done _ -> acc)
+  | Done { mode = done_mode } -> (
+    match t.txn with
+    | (Read_flight { dest; _ } | Await_done { dest; mode = Read; _ })
+      when dest = src && done_mode = Read ->
+      if src <> t.owner then t.copyset <- NSet.add src t.copyset;
+      finish_txn t acc
+    | (Own_flight { dest; _ } | Await_done { dest; mode = Write; _ })
+      when dest = src && done_mode = Write ->
+      t.owner <- src;
+      t.copyset <- NSet.remove src t.copyset;
+      finish_txn t acc
+    | Idle | Read_flight _ | Inval_phase _ | Own_flight _ | Await_done _ -> acc)
+  | Evict_notify -> (
+    t.copyset <- NSet.remove src t.copyset;
+    match t.txn with
+    | Inval_phase { dest; waiting; timer; attempts; fence } when NSet.mem src waiting ->
+      let waiting = NSet.remove src waiting in
+      if NSet.is_empty waiting then ownership_phase ~fence t dest acc
+      else begin
+        t.txn <- Inval_phase { dest; waiting; timer; attempts; fence };
+        acc
+      end
+    | Read_flight { dest; source; tried; _ } when source = src ->
+      fail_over t ~dest ~mode:Read ~tried:(NSet.add src tried) acc
+    | Own_flight { dest; source; tried; _ } when source = src ->
+      fail_over t ~dest ~mode:Write ~tried:(NSet.add src tried) acc
+    | Await_done { dest; mode; _ } when dest = src ->
+      (* The grantee refused a stale grant or lost its copy: retry its
+         transaction from an alternate source. *)
+      if mode = Write then t.owner <- t.cfg.home;
+      fail_over t ~dest ~mode ~tried:NSet.empty acc
+    | Idle | Read_flight _ | Inval_phase _ | Own_flight _ | Await_done _ -> acc)
+  | Own_return { data; version } ->
+    if src = t.owner then begin
+      absorb_returned_ownership t data version;
+      let acc = Install { data; dirty = true } :: acc in
+      match t.txn with
+      | Read_flight { dest; source; tried; _ } when source = src ->
+        fail_over t ~dest ~mode:Read ~tried:(NSet.add src tried) acc
+      | Own_flight { dest; source; tried; _ } when source = src ->
+        fail_over t ~dest ~mode:Write ~tried:(NSet.add src tried) acc
+      | Idle | Read_flight _ | Inval_phase _ | Own_flight _ | Await_done _ ->
+        acc
+    end
+    else acc
+  | Update { data; version } ->
+    (* Foreign to CREW; keep the freshest data as backup rather than drop
+       it. *)
+    if version >= (match t.backup with Some (_, v) -> v | None -> 0) then
+      t.backup <- Some (data, version);
+    acc
+  | Read_grant _ | Own_grant _ | Upgrade_grant _ | Invalidate _ | Fetch _
+  | Fetch_own _ | Nack | Update_ack | Pull_req | Diff _ ->
+    acc
+
+let on_timeout t id acc =
+  let current_timer =
+    match t.txn with
+    | Idle -> None
+    | Read_flight { timer; _ } | Inval_phase { timer; _ }
+    | Own_flight { timer; _ } | Await_done { timer; _ } ->
+      Some timer
+  in
+  if current_timer <> Some id then acc (* stale timer *)
+  else
+    match t.txn with
+    | Idle -> acc
+    | Read_flight { dest; source; tried; attempts; fence; _ } ->
+      if attempts < max_attempts then
+        start_read_txn ~attempts:(attempts + 1) ~fence t dest ~source ~tried acc
+      else fail_over t ~dest ~mode:Read ~tried:(NSet.add source tried) acc
+    | Own_flight { dest; source; tried; attempts; fence; _ } ->
+      if attempts < max_attempts then
+        start_own_transfer ~attempts:(attempts + 1) ~fence t dest ~source ~tried
+          acc
+      else fail_over t ~dest ~mode:Write ~tried:(NSet.add source tried) acc
+    | Inval_phase { dest; waiting; attempts; fence; _ } ->
+      if attempts < max_attempts then begin
+        (* Re-send: the sharer is probably deferring its ack behind a held
+           read lock, not dead. Premature suspicion here is a safety
+           hazard — a live stale reader would survive the round. *)
+        let timer = fresh_timer t in
+        t.txn <-
+          Inval_phase { dest; waiting; timer; attempts = attempts + 1; fence };
+        NSet.fold
+          (fun n acc -> Send (n, Invalidate { fence }) :: acc)
+          waiting
+          (Start_timer { id = timer; after = t.cfg.request_timeout } :: acc)
+      end
+      else begin
+        (* Unresponsive sharers are presumed crashed; their cached copies
+           died with them (recovering nodes revalidate from scratch). *)
+        t.copyset <- NSet.diff t.copyset waiting;
+        ownership_phase ~fence t dest acc
+      end
+    | Await_done { dest; mode; attempts; regrant; fence; _ } ->
+      if attempts < max_attempts then begin
+        (* The grant or its Done ack may have been lost: re-send rather
+           than presume a crash. *)
+        let timer = fresh_timer t in
+        t.txn <-
+          Await_done
+            { dest; mode; timer; attempts = attempts + 1; regrant; fence };
+        let acc =
+          Start_timer { id = timer; after = t.cfg.request_timeout } :: acc
+        in
+        match regrant with
+        | Some grant -> Send (dest, grant) :: acc
+        | None -> acc
+      end
+      else begin
+        (* Give up waiting for the ack. Ownership/copyset were recorded at
+           grant time, so bookkeeping is already conservative; if the
+           grantee really died, the next transaction's fail-over recovers
+           from an alternate source or the backup. *)
+        t.txn <- Idle;
+        pump_home t (sharers_hint t :: acc)
+      end
+
+(* ------------------------------------------------------------------ *)
+(* Entry point                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let handle t event =
+  let acc =
+    match event with
+    | Acquire { req; mode } ->
+      Queue.push (req, mode) t.waiters;
+      pump_local t []
+    | Release { mode; data } ->
+      Local_locks.drop t.locks mode;
+      let acc =
+        match (mode, data) with
+        | Write, Some bytes ->
+          t.data <- Some bytes;
+          t.ver <- t.ver + 1;
+          if is_home t then t.backup <- Some (bytes, t.ver);
+          [ Install { data = bytes; dirty = true } ]
+        | (Read | Write), _ -> []
+      in
+      (* A home-local write never passes through a manager transaction, so
+         trigger min-replica maintenance here too. *)
+      let acc =
+        if is_home t && mode = Write && data <> None then begin
+          enqueue_replication t;
+          pump_home t acc
+        end
+        else acc
+      in
+      pump_local t (flush_deferred t acc)
+    | Peer { src; msg } ->
+      let acc = handle_cache_msg t src msg [] in
+      if is_home t then handle_home_msg t src msg acc else acc
+    | Evicted { data; dirty = _ } ->
+      let was = t.cstate in
+      t.cstate <- Invalid;
+      t.data <- None;
+      t.pending_inval <- None;
+      if is_home t then begin
+        (* Only the manager's cached copy died; remember it as backup. *)
+        t.backup <- Some (data, t.ver);
+        []
+      end
+      else begin
+        match was with
+        | Owned_shared | Owned_excl ->
+          [ Send (t.cfg.home, Own_return { data; version = t.ver }) ]
+        | Shared -> [ Send (t.cfg.home, Evict_notify) ]
+        | Invalid -> []
+      end
+    | Abort { req } ->
+      let remaining = Queue.create () in
+      let was_head = ref true in
+      let aborted_head = ref false in
+      Queue.iter
+        (fun (r, m) ->
+          if r = req then begin
+            if !was_head then aborted_head := true
+          end
+          else Queue.push (r, m) remaining;
+          was_head := false)
+        t.waiters;
+      Queue.clear t.waiters;
+      Queue.transfer remaining t.waiters;
+      (* If the aborted intent was the one we requested an upgrade for,
+         clear the in-flight marker so later intents re-request. *)
+      if !aborted_head then t.cache_req <- None;
+      pump_local t []
+    | Timeout id -> if is_home t then on_timeout t id [] else []
+  in
+  List.rev acc

@@ -1,0 +1,31 @@
+(** Node-local reader/writer lock accounting.
+
+    Lock operations "indicate the caller's intention to access a portion of
+    a region"; the machine combines this compatibility check with its
+    protocol state to decide when to grant. *)
+
+type t = { mutable readers : int; mutable writer : bool }
+
+let create () = { readers = 0; writer = false }
+
+let can t = function
+  | Types.Read -> not t.writer
+  | Types.Write -> (not t.writer) && t.readers = 0
+
+let take t mode =
+  assert (can t mode);
+  match mode with
+  | Types.Read -> t.readers <- t.readers + 1
+  | Types.Write -> t.writer <- true
+
+let drop t mode =
+  match mode with
+  | Types.Read ->
+    if t.readers <= 0 then invalid_arg "Local_locks.drop: no readers";
+    t.readers <- t.readers - 1
+  | Types.Write ->
+    if not t.writer then invalid_arg "Local_locks.drop: no writer";
+    t.writer <- false
+
+let held t = (t.readers, t.writer)
+let idle t = t.readers = 0 && not t.writer

@@ -1,0 +1,43 @@
+(** Signature every consistency protocol implements.
+
+    "Plugging in new protocols or consistency managers is only a matter of
+    registering them with Khazana, provided they export the required
+    functionality" — this is that required functionality. Register
+    implementations with {!Registry.register}. *)
+
+module type MACHINE = sig
+  type t
+
+  val name : string
+  (** Protocol identifier stored in region attributes. *)
+
+  val create : Types.config -> Types.init -> t
+
+  val handle : t -> Types.event -> Types.action list
+  (** Feed one event, collect the machine's reactions. Deterministic. *)
+
+  (** {1 Introspection (tests, diagnostics, daemon fast paths)} *)
+
+  val state_name : t -> string
+
+  val has_valid_copy : t -> bool
+  (** Would a local read observe protocol-valid data? *)
+
+  val is_owner : t -> bool
+
+  val locks_held : t -> int * bool
+  (** (readers, writer) currently granted locally. *)
+
+  val version : t -> Types.version
+  (** Version of the local copy (0 when none). *)
+end
+
+type packed = Packed : (module MACHINE with type t = 'a) * 'a -> packed
+
+let handle_packed (Packed ((module M), m)) event = M.handle m event
+let packed_state_name (Packed ((module M), m)) = M.state_name m
+let packed_has_valid_copy (Packed ((module M), m)) = M.has_valid_copy m
+let packed_is_owner (Packed ((module M), m)) = M.is_owner m
+let packed_locks_held (Packed ((module M), m)) = M.locks_held m
+let packed_version (Packed ((module M), m)) = M.version m
+let packed_name (Packed ((module M), _)) = M.name

@@ -1,0 +1,31 @@
+(** Protocol registry.
+
+    "Plugging in new protocols or consistency managers is only a matter of
+    registering them with Khazana": region attributes carry a protocol name;
+    the daemon instantiates machines through this table. The three built-in
+    protocols are pre-registered. *)
+
+type entry = (module Machine_intf.MACHINE)
+
+let table : (string, entry) Hashtbl.t = Hashtbl.create 8
+
+let register (module M : Machine_intf.MACHINE) =
+  if Hashtbl.mem table M.name then
+    invalid_arg (Printf.sprintf "Registry.register: %S already registered" M.name);
+  Hashtbl.replace table M.name (module M : Machine_intf.MACHINE)
+
+let find name : entry option = Hashtbl.find_opt table name
+
+let names () = List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) table [])
+
+let instantiate name cfg init =
+  match find name with
+  | None -> None
+  | Some (module M) ->
+    Some (Machine_intf.Packed ((module M), M.create cfg init))
+
+let () =
+  register (module Crew : Machine_intf.MACHINE);
+  register (module Release : Machine_intf.MACHINE);
+  register (module Eventual : Machine_intf.MACHINE);
+  register (module Write_shared : Machine_intf.MACHINE)

@@ -1,0 +1,155 @@
+(** Vocabulary shared by all consistency-manager (CM) machines.
+
+    A machine is the per-page, per-node protocol endpoint. It is pure with
+    respect to I/O: the daemon feeds it {!event}s and interprets the
+    {!action}s it emits (sending messages, granting client lock requests,
+    installing page data, arming timers). This mirrors the paper's
+    Brun-Cottan-style factoring: generic consistency management in the
+    machine, application conflict detection above, transport below. *)
+
+type node_id = int
+type req_id = int
+type version = int
+type timer_id = int
+
+type mode = Read | Write
+
+let mode_to_string = function Read -> "read" | Write -> "write"
+let pp_mode ppf m = Format.pp_print_string ppf (mode_to_string m)
+
+(** Wire messages exchanged between CM peers for one page. The same message
+    alphabet serves all protocols; each protocol uses a subset. *)
+type fence = int
+(** A manager-side transaction sequence number. Grants and invalidations
+    carry the fence of the transaction that produced them; caches track the
+    highest fence that has invalidated or dispossessed them and refuse any
+    grant below it. This is what keeps duplicated/reordered grants from
+    resurrecting copies that a later transaction already revoked — without
+    it, CREW is only safe on reliable FIFO channels. Protocols that do not
+    revoke copies (release, eventual, write-shared) pass 0. *)
+
+type msg =
+  | Read_req                                   (* requester -> home *)
+  | Write_req                                  (* requester -> home *)
+  | Fetch of { dest : node_id; fence : fence } (* home -> copy holder *)
+  | Fetch_own of { dest : node_id; fence : fence } (* home -> owner *)
+  | Read_grant of { data : bytes; version : version; fence : fence }
+      (* holder -> requester *)
+  | Own_grant of { data : bytes; version : version; fence : fence }
+      (* owner -> requester *)
+  | Upgrade_grant of { fence : fence }         (* home -> owner-requester *)
+  | Invalidate of { fence : fence }            (* home -> sharer *)
+  | Invalidate_ack                             (* sharer -> home *)
+  | Done of { mode : mode }                    (* requester -> home *)
+  | Nack                                       (* home -> requester *)
+  | Evict_notify                               (* sharer -> home *)
+  | Own_return of { data : bytes; version : version } (* owner -> home *)
+  | Update of { data : bytes; version : version }     (* writer/home -> replicas *)
+  | Update_ack                                 (* replica -> home *)
+  | Pull_req                                   (* replica -> home (anti-entropy) *)
+  | Diff of { patches : (int * bytes) list; version : version }
+      (* write-shared: byte ranges changed during one lock interval,
+         merged at the home and fanned out (Brun-Cottan-style
+         application-specific conflict granularity) *)
+
+let msg_kind = function
+  | Read_req -> "cm.read_req"
+  | Write_req -> "cm.write_req"
+  | Fetch _ -> "cm.fetch"
+  | Fetch_own _ -> "cm.fetch_own"
+  | Read_grant _ -> "cm.read_grant"
+  | Own_grant _ -> "cm.own_grant"
+  | Upgrade_grant _ -> "cm.upgrade_grant"
+  | Invalidate _ -> "cm.invalidate"
+  | Invalidate_ack -> "cm.invalidate_ack"
+  | Done _ -> "cm.done"
+  | Nack -> "cm.nack"
+  | Evict_notify -> "cm.evict_notify"
+  | Own_return _ -> "cm.own_return"
+  | Update _ -> "cm.update"
+  | Update_ack -> "cm.update_ack"
+  | Pull_req -> "cm.pull_req"
+  | Diff _ -> "cm.diff"
+
+let msg_size = function
+  | Read_grant { data; _ } | Own_grant { data; _ }
+  | Own_return { data; _ } | Update { data; _ } ->
+    32 + Bytes.length data
+  | Diff { patches; _ } ->
+    List.fold_left (fun acc (_, b) -> acc + 12 + Bytes.length b) 32 patches
+  | Read_req | Write_req | Fetch _ | Fetch_own _ | Upgrade_grant _
+  | Invalidate _ | Invalidate_ack | Done _ | Nack | Evict_notify | Update_ack
+  | Pull_req ->
+    32
+
+type event =
+  | Acquire of { req : req_id; mode : mode }
+      (** A client lock intent arrived at this node. *)
+  | Release of { mode : mode; data : bytes option }
+      (** The client dropped its lock; [data] carries the page content when
+          the release may need to propagate writes. *)
+  | Peer of { src : node_id; msg : msg }
+      (** A CM message from node [src]. Machines cache the bytes of pages
+          they hold, so no local-store snapshot travels with the event. *)
+  | Evicted of { data : bytes; dirty : bool }
+      (** Local storage victimised our copy. *)
+  | Abort of { req : req_id }
+      (** The daemon gave up on a queued lock intent (client timeout); the
+          machine must forget it and allow later intents to re-request. *)
+  | Timeout of timer_id
+
+type reject_reason = Unavailable of string
+
+type action =
+  | Send of node_id * msg
+  | Grant of req_id
+      (** The client's lock intent is granted; data (if it travelled) was
+          installed by a preceding [Install]. *)
+  | Reject of req_id * reject_reason
+  | Install of { data : bytes; dirty : bool }
+      (** Store this page content locally. *)
+  | Discard  (** Drop the local copy (invalidation). *)
+  | Start_timer of { id : timer_id; after : Ksim.Time.t }
+  | Sharers_hint of node_id list
+      (** Home's current view of nodes holding copies; the daemon mirrors it
+          into its page directory. *)
+
+let pp_action ppf = function
+  | Send (n, m) -> Format.fprintf ppf "send(%d,%s)" n (msg_kind m)
+  | Grant r -> Format.fprintf ppf "grant(%d)" r
+  | Reject (r, Unavailable why) -> Format.fprintf ppf "reject(%d,%s)" r why
+  | Install _ -> Format.fprintf ppf "install"
+  | Discard -> Format.fprintf ppf "discard"
+  | Start_timer { id; after } ->
+    Format.fprintf ppf "timer(%d,%a)" id Ksim.Time.pp after
+  | Sharers_hint ns ->
+    Format.fprintf ppf "sharers[%s]"
+      (String.concat "," (List.map string_of_int ns))
+
+(** How a machine comes to life on a node. *)
+type init =
+  | Start_unknown          (** ordinary node: no copy, no role *)
+  | Start_owner of bytes   (** the home at allocation time: sole owner *)
+
+(** Static per-page configuration derived from region attributes. *)
+type config = {
+  self : node_id;
+  home : node_id;
+  min_replicas : int;
+  replica_targets : node_id list;
+      (** preferred nodes for extra primary replicas, excluding home *)
+  request_timeout : Ksim.Time.t;
+      (** home-side per-hop timeout before it retries/fails over *)
+  propagate_every : Ksim.Time.t;
+      (** eventual consistency: anti-entropy period *)
+}
+
+let default_config ~self ~home =
+  {
+    self;
+    home;
+    min_replicas = 1;
+    replica_targets = [];
+    request_timeout = Ksim.Time.ms 200;
+    propagate_every = Ksim.Time.ms 100;
+  }

@@ -1,0 +1,1 @@
+lib/core/address_map.ml: Array Bytes Knet Kutil Layout List Printf

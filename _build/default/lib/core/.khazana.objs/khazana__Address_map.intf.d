@@ -1,0 +1,1 @@
+lib/core/address_map.mli: Knet Kutil

@@ -1,0 +1,1 @@
+lib/core/attr.ml: Format Kconsistency Kutil Option Printf

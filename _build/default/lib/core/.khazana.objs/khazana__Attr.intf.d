@@ -1,0 +1,1 @@
+lib/core/attr.mli: Format Kconsistency Kutil

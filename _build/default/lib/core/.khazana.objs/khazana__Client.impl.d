@@ -1,0 +1,1 @@
+lib/core/client.ml: Bytes Daemon Fun Kconsistency Region

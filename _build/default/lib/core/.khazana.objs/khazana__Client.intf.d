@@ -1,0 +1,1 @@
+lib/core/client.mli: Attr Daemon Kconsistency Kutil Region

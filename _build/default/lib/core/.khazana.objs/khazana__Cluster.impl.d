@@ -1,0 +1,1 @@
+lib/core/cluster.ml: Hashtbl Knet Kutil Layout List Region

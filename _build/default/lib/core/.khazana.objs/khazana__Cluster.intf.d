@@ -1,0 +1,1 @@
+lib/core/cluster.mli: Knet Kutil Region

@@ -1,0 +1,1 @@
+lib/core/daemon.ml: Address_map Attr Bytes Cluster Fun Hashtbl Kconsistency Knet Ksim Kstorage Kutil Layout List Option Page_directory Region Region_directory Wire

@@ -1,0 +1,1 @@
+lib/core/daemon.mli: Attr Cluster Kconsistency Knet Ksim Kstorage Kutil Page_directory Region Region_directory Wire

@@ -1,0 +1,1 @@
+lib/core/page_directory.ml: Knet Kutil List

@@ -1,0 +1,1 @@
+lib/core/region.ml: Attr Format Knet Kutil Printf

@@ -1,0 +1,1 @@
+lib/core/region.mli: Attr Format Knet Kutil

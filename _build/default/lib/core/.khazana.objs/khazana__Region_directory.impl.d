@@ -1,0 +1,1 @@
+lib/core/region_directory.ml: Kutil Region

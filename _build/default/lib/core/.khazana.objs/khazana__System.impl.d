@@ -1,0 +1,1 @@
+lib/core/system.ml: Array Client Daemon Knet Ksim List Option Wire

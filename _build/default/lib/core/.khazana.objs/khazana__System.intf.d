@@ -1,0 +1,1 @@
+lib/core/system.mli: Client Daemon Knet Ksim Wire

@@ -1,0 +1,1 @@
+lib/core/wire.ml: Attr Kconsistency Knet Krpc Kutil List Region String

@@ -1,0 +1,313 @@
+module Gaddr = Kutil.Gaddr
+module U128 = Kutil.U128
+module Codec = Kutil.Codec
+
+type reserved = {
+  base : Gaddr.t;
+  len : int;
+  page_size : int;
+  homes : Knet.Topology.node_id list;
+}
+
+type entry =
+  | Reserved of reserved
+  | Subtree of { base : Gaddr.t; span_log2 : int; page : int }
+
+let entry_base = function Reserved r -> r.base | Subtree s -> s.base
+
+let entry_end = function
+  | Reserved r -> Gaddr.add_int r.base r.len
+  | Subtree s -> U128.add s.base (U128.shift_left U128.one s.span_log2)
+
+let entry_contains e addr =
+  Gaddr.compare (entry_base e) addr <= 0 && Gaddr.compare addr (entry_end e) < 0
+
+let ranges_overlap b1 e1 b2 e2 =
+  Gaddr.compare b1 e2 < 0 && Gaddr.compare b2 e1 < 0
+
+module Node = struct
+  type t = {
+    base : Gaddr.t;
+    span_log2 : int;
+    mutable next_free : int;
+    mutable entries : entry list;
+  }
+
+  let max_entries = 48
+  let magic = 0x4B41 (* "KA" *)
+
+  let empty_root () =
+    { base = Gaddr.zero; span_log2 = Layout.tree_span_log2; next_free = 1; entries = [] }
+
+  let encode t =
+    let e = Codec.encoder () in
+    Codec.u16 e magic;
+    Codec.u8 e t.span_log2;
+    Codec.u128 e t.base;
+    Codec.u32 e t.next_free;
+    Codec.u16 e (List.length t.entries);
+    List.iter
+      (function
+        | Reserved r ->
+          Codec.u8 e 0;
+          Codec.u128 e r.base;
+          Codec.int e r.len;
+          Codec.u32 e r.page_size;
+          Codec.list e (Codec.u16 e) r.homes
+        | Subtree s ->
+          Codec.u8 e 1;
+          Codec.u128 e s.base;
+          Codec.u8 e s.span_log2;
+          Codec.u32 e s.page)
+      t.entries;
+    let body = Codec.to_bytes e in
+    if Bytes.length body > Layout.map_page_size then
+      invalid_arg "Address_map.Node.encode: node overflows page";
+    let page = Bytes.make Layout.map_page_size '\000' in
+    Bytes.blit body 0 page 0 (Bytes.length body);
+    page
+
+  let decode bytes =
+    let d = Codec.decoder bytes in
+    let m = Codec.read_u16 d in
+    if m <> magic then
+      raise (Codec.Decode_error (Printf.sprintf "bad tree-node magic %#x" m));
+    let span_log2 = Codec.read_u8 d in
+    let base = Codec.read_u128 d in
+    let next_free = Codec.read_u32 d in
+    let n = Codec.read_u16 d in
+    let read_entry () =
+      match Codec.read_u8 d with
+      | 0 ->
+        let base = Codec.read_u128 d in
+        let len = Codec.read_int d in
+        let page_size = Codec.read_u32 d in
+        let homes = Codec.read_list d (fun () -> Codec.read_u16 d) in
+        Reserved { base; len; page_size; homes }
+      | 1 ->
+        let base = Codec.read_u128 d in
+        let span_log2 = Codec.read_u8 d in
+        let page = Codec.read_u32 d in
+        Subtree { base; span_log2; page }
+      | n -> raise (Codec.Decode_error (Printf.sprintf "bad entry tag %d" n))
+    in
+    let entries = List.init n (fun _ -> read_entry ()) in
+    { base; span_log2; next_free; entries }
+end
+
+type io = {
+  read_page : int -> Node.t;
+  mutate :
+    (root:Node.t -> read:(int -> Node.t) -> write:(int -> Node.t -> unit) -> unit) ->
+    unit;
+}
+
+type lookup_result = { entry : reserved option; depth : int }
+
+let lookup io addr =
+  let rec go page depth =
+    let node = io.read_page page in
+    match List.find_opt (fun e -> entry_contains e addr) node.Node.entries with
+    | Some (Reserved r) -> { entry = Some r; depth }
+    | Some (Subtree s) -> go s.page (depth + 1)
+    | None -> { entry = None; depth }
+  in
+  go 0 1
+
+let sorted_insert entry entries =
+  List.sort (fun a b -> Gaddr.compare (entry_base a) (entry_base b)) (entry :: entries)
+
+(* Fan a full node out into children covering 1/16th each; entries wholly
+   inside a child move down, entries crossing child boundaries stay. *)
+let fanout_log2 = 4
+
+let split_node ~root ~read ~write page (node : Node.t) =
+  if node.Node.span_log2 - fanout_log2 < 12 then
+    Error "address map node cannot be split further"
+  else begin
+    let child_span = node.Node.span_log2 - fanout_log2 in
+    let child_base i =
+      U128.add node.Node.base (U128.shift_left (U128.of_int i) child_span)
+    in
+    let child_index addr =
+      U128.to_int
+        (U128.shift_right (U128.sub addr node.Node.base) child_span)
+    in
+    let wholly_inside e =
+      let b = entry_base e and en = entry_end e in
+      let i = child_index b in
+      let cb = child_base i in
+      let ce = U128.add cb (U128.shift_left U128.one child_span) in
+      if Gaddr.compare b cb >= 0 && Gaddr.compare en ce <= 0 then Some i else None
+    in
+    let buckets = Array.make (1 lsl fanout_log2) [] in
+    let keep = ref [] in
+    List.iter
+      (fun e ->
+        match e with
+        | Subtree _ -> keep := e :: !keep
+        | Reserved _ -> (
+          match wholly_inside e with
+          | Some i -> buckets.(i) <- e :: buckets.(i)
+          | None -> keep := e :: !keep))
+      node.Node.entries;
+    let new_entries = ref !keep in
+    let ok = ref true in
+    Array.iteri
+      (fun i bucket ->
+        if bucket <> [] && !ok then begin
+          if root.Node.next_free >= Layout.map_pages then ok := false
+          else begin
+            let child_page = root.Node.next_free in
+            root.Node.next_free <- root.Node.next_free + 1;
+            let child =
+              {
+                Node.base = child_base i;
+                span_log2 = child_span;
+                next_free = 0;
+                entries =
+                  List.sort
+                    (fun a b -> Gaddr.compare (entry_base a) (entry_base b))
+                    bucket;
+              }
+            in
+            write child_page child;
+            new_entries :=
+              Subtree { base = child_base i; span_log2 = child_span; page = child_page }
+              :: !new_entries
+          end
+        end)
+      buckets;
+    if not !ok then Error "address map out of tree pages"
+    else begin
+      node.Node.entries <-
+        List.sort
+          (fun a b -> Gaddr.compare (entry_base a) (entry_base b))
+          !new_entries;
+      write page node;
+      ignore read;
+      Ok ()
+    end
+  end
+
+let insert io (r : reserved) =
+  let result = ref (Ok ()) in
+  let rend = Gaddr.add_int r.base r.len in
+  io.mutate (fun ~root ~read ~write ->
+      let rec descend page (node : Node.t) depth =
+        if depth > 40 then result := Error "address map too deep"
+        else begin
+          (* Overlap with an existing reservation is an error; descent into
+             a subtree that fully contains the range continues. *)
+          let overlapping =
+            List.find_opt
+              (fun e ->
+                match e with
+                | Reserved x ->
+                  ranges_overlap r.base rend x.base (Gaddr.add_int x.base x.len)
+                | Subtree _ -> false)
+              node.Node.entries
+          in
+          match overlapping with
+          | Some _ -> result := Error "range overlaps an existing reservation"
+          | None -> (
+            let child =
+              List.find_opt
+                (fun e ->
+                  match e with
+                  | Subtree s ->
+                    let sb = s.base
+                    and se = U128.add s.base (U128.shift_left U128.one s.span_log2) in
+                    Gaddr.compare sb r.base <= 0 && Gaddr.compare rend se <= 0
+                  | Reserved _ -> false)
+                node.Node.entries
+            in
+            match child with
+            | Some (Subtree s) -> descend s.page (read s.page) (depth + 1)
+            | Some (Reserved _) -> assert false
+            | None ->
+              if List.length node.Node.entries < Node.max_entries then begin
+                node.Node.entries <- sorted_insert (Reserved r) node.Node.entries;
+                write page node
+              end
+              else begin
+                match split_node ~root ~read ~write page node with
+                | Error _ as e -> result := e
+                | Ok () -> descend page node (depth + 1)
+              end)
+        end
+      in
+      descend 0 root 1);
+  !result
+
+let remove io base =
+  let removed = ref false in
+  io.mutate (fun ~root ~read ~write ->
+      let rec descend page (node : Node.t) =
+        let here =
+          List.exists
+            (function Reserved x -> Gaddr.equal x.base base | Subtree _ -> false)
+            node.Node.entries
+        in
+        if here then begin
+          node.Node.entries <-
+            List.filter
+              (function
+                | Reserved x -> not (Gaddr.equal x.base base)
+                | Subtree _ -> true)
+              node.Node.entries;
+          write page node;
+          removed := true
+        end
+        else
+          match
+            List.find_opt
+              (fun e -> match e with Subtree _ -> entry_contains e base | Reserved _ -> false)
+              node.Node.entries
+          with
+          | Some (Subtree s) -> descend s.page (read s.page)
+          | Some (Reserved _) | None -> ()
+      in
+      descend 0 root);
+  !removed
+
+let update_homes io base homes =
+  let updated = ref false in
+  io.mutate (fun ~root ~read ~write ->
+      let rec descend page (node : Node.t) =
+        let found =
+          List.exists
+            (function Reserved x -> Gaddr.equal x.base base | Subtree _ -> false)
+            node.Node.entries
+        in
+        if found then begin
+          node.Node.entries <-
+            List.map
+              (function
+                | Reserved x when Gaddr.equal x.base base -> Reserved { x with homes }
+                | e -> e)
+              node.Node.entries;
+          write page node;
+          updated := true
+        end
+        else
+          match
+            List.find_opt
+              (fun e -> match e with Subtree _ -> entry_contains e base | Reserved _ -> false)
+              node.Node.entries
+          with
+          | Some (Subtree s) -> descend s.page (read s.page)
+          | Some (Reserved _) | None -> ()
+      in
+      descend 0 root);
+  !updated
+
+let fold_reserved io f init =
+  let rec walk page acc =
+    let node = io.read_page page in
+    List.fold_left
+      (fun acc e ->
+        match e with Reserved r -> f acc r | Subtree s -> walk s.page acc)
+      acc node.Node.entries
+  in
+  walk 0 init

@@ -1,0 +1,76 @@
+(** The distributed address map.
+
+    "Khazana maintains a globally distributed data structure called the
+    address map ... implemented as a distributed tree where each subtree
+    describes a range of global address space in finer detail. Each tree
+    node is of fixed size and contains a set of entries describing disjoint
+    global memory regions, each of which contains either a non-exhaustive
+    list of home nodes for a reserved region or points to the root node of a
+    subtree describing the region in finer detail. The address map itself
+    resides in Khazana" — tree nodes are ordinary pages of the well-known
+    region at address 0 and are replicated under release consistency, so
+    lookups tolerate staleness.
+
+    This module is pure tree logic over an abstract page-IO so it can be
+    unit-tested without a daemon; {!Daemon} supplies the IO backed by its
+    own lock/read/write operations. *)
+
+module Gaddr = Kutil.Gaddr
+
+type reserved = {
+  base : Gaddr.t;
+  len : int;
+  page_size : int;
+  homes : Knet.Topology.node_id list;  (** non-exhaustive home-node hint *)
+}
+
+type entry =
+  | Reserved of reserved
+  | Subtree of { base : Gaddr.t; span_log2 : int; page : int }
+
+(** One fixed-size tree node, stored in map page [page]. *)
+module Node : sig
+  type t = {
+    base : Gaddr.t;
+    span_log2 : int;
+    mutable next_free : int;  (** tree-page allocator; root only *)
+    mutable entries : entry list;  (** sorted by base *)
+  }
+
+  val max_entries : int
+  val empty_root : unit -> t
+  val encode : t -> bytes
+  (** Fixed 4 KiB image. *)
+
+  val decode : bytes -> t
+  (** Raises {!Kutil.Codec.Decode_error} on garbage. *)
+end
+
+(** Page-level IO the daemon provides. Reads take read locks page by page;
+    [mutate] holds the root page's write lock for the whole mutation (the
+    map's global mutation token), writes other pages under their own write
+    locks, and rewrites the root afterwards. *)
+type io = {
+  read_page : int -> Node.t;
+  mutate : (root:Node.t -> read:(int -> Node.t) -> write:(int -> Node.t -> unit) -> unit) -> unit;
+}
+
+type lookup_result = { entry : reserved option; depth : int }
+(** [depth] counts tree nodes visited (1 = answered from the root). *)
+
+val lookup : io -> Gaddr.t -> lookup_result
+(** Find the reserved region containing the address, if any. *)
+
+val insert : io -> reserved -> (unit, string) result
+(** Record a reservation. Fails when the range overlaps an existing entry
+    or the covering tree node cannot be split further. *)
+
+val remove : io -> Gaddr.t -> bool
+(** Remove the reservation whose base is exactly the address; [false] when
+    absent. *)
+
+val update_homes : io -> Gaddr.t -> Knet.Topology.node_id list -> bool
+(** Refresh the home-node hint of an existing reservation. *)
+
+val fold_reserved : io -> ('a -> reserved -> 'a) -> 'a -> 'a
+(** Walk the whole tree (diagnostics and experiments). *)

@@ -1,0 +1,82 @@
+type consistency_level = Strict | Release | Eventual
+
+let level_to_string = function
+  | Strict -> "strict"
+  | Release -> "release"
+  | Eventual -> "eventual"
+
+let level_of_string = function
+  | "strict" -> Some Strict
+  | "release" -> Some Release
+  | "eventual" -> Some Eventual
+  | _ -> None
+
+let default_protocol_for = function
+  | Strict -> "crew"
+  | Release -> "release"
+  | Eventual -> "eventual"
+
+type access = No_access | Read_only | Read_write
+
+type t = {
+  level : consistency_level;
+  protocol : string;
+  owner : int;
+  world : access;
+  min_replicas : int;
+  page_size : int;
+}
+
+let make ?(level = Strict) ?protocol ?(world = Read_write) ?(min_replicas = 1)
+    ?(page_size = Kutil.Gaddr.default_page_size) ~owner () =
+  let protocol = Option.value protocol ~default:(default_protocol_for level) in
+  if not (Kutil.Gaddr.valid_page_size page_size) then
+    invalid_arg "Attr.make: invalid page size";
+  if min_replicas < 1 then invalid_arg "Attr.make: min_replicas must be >= 1";
+  if Kconsistency.Registry.find protocol = None then
+    invalid_arg (Printf.sprintf "Attr.make: unknown protocol %S" protocol);
+  { level; protocol; owner; world; min_replicas; page_size }
+
+let allows t ~principal mode =
+  principal = t.owner
+  ||
+  match (t.world, mode) with
+  | Read_write, _ -> true
+  | Read_only, Kconsistency.Types.Read -> true
+  | Read_only, Kconsistency.Types.Write -> false
+  | No_access, _ -> false
+
+let access_to_int = function No_access -> 0 | Read_only -> 1 | Read_write -> 2
+
+let access_of_int = function
+  | 0 -> No_access
+  | 1 -> Read_only
+  | 2 -> Read_write
+  | n -> raise (Kutil.Codec.Decode_error (Printf.sprintf "bad access %d" n))
+
+let encode e t =
+  Kutil.Codec.string e (level_to_string t.level);
+  Kutil.Codec.string e t.protocol;
+  Kutil.Codec.u32 e t.owner;
+  Kutil.Codec.u8 e (access_to_int t.world);
+  Kutil.Codec.u8 e t.min_replicas;
+  Kutil.Codec.u32 e t.page_size
+
+let decode d =
+  let level_str = Kutil.Codec.read_string d in
+  let level =
+    match level_of_string level_str with
+    | Some l -> l
+    | None ->
+      raise (Kutil.Codec.Decode_error (Printf.sprintf "bad level %S" level_str))
+  in
+  let protocol = Kutil.Codec.read_string d in
+  let owner = Kutil.Codec.read_u32 d in
+  let world = access_of_int (Kutil.Codec.read_u8 d) in
+  let min_replicas = Kutil.Codec.read_u8 d in
+  let page_size = Kutil.Codec.read_u32 d in
+  { level; protocol; owner; world; min_replicas; page_size }
+
+let pp ppf t =
+  Format.fprintf ppf "{%s/%s owner=%d replicas=%d page=%d}"
+    (level_to_string t.level) t.protocol t.owner t.min_replicas t.page_size

@@ -1,0 +1,47 @@
+(** Region attributes.
+
+    Each region carries the client-specified management policy the paper
+    lists: desired consistency level, consistency protocol, access control
+    information, and minimum number of replicas. *)
+
+(** How strong the guarantees must be; the protocol name picks the
+    implementation, the level documents intent and lets the daemon check
+    that the protocol is strong enough. *)
+type consistency_level = Strict | Release | Eventual
+
+val level_to_string : consistency_level -> string
+val level_of_string : string -> consistency_level option
+
+val default_protocol_for : consistency_level -> string
+(** crew / release / eventual. *)
+
+(** Simple principal-based access control: the creator may always access;
+    everyone else gets [world]. *)
+type access = No_access | Read_only | Read_write
+
+type t = {
+  level : consistency_level;
+  protocol : string;       (** a {!Kconsistency.Registry} name *)
+  owner : int;             (** creating principal (client/node id) *)
+  world : access;          (** rights for every other principal *)
+  min_replicas : int;      (** primary copies maintained for availability *)
+  page_size : int;
+}
+
+val make :
+  ?level:consistency_level ->
+  ?protocol:string ->
+  ?world:access ->
+  ?min_replicas:int ->
+  ?page_size:int ->
+  owner:int ->
+  unit ->
+  t
+(** Defaults: [Strict]/crew, world [Read_write], 1 replica, 4 KiB pages.
+    Raises [Invalid_argument] for a bad page size, unknown protocol, or
+    non-positive replica count. *)
+
+val allows : t -> principal:int -> Kconsistency.Types.mode -> bool
+val encode : Kutil.Codec.encoder -> t -> unit
+val decode : Kutil.Codec.decoder -> t
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,42 @@
+type t = { daemon : Daemon.t; principal : int }
+
+let connect daemon ~principal = { daemon; principal }
+let daemon t = t.daemon
+let principal t = t.principal
+
+let reserve t ?attr ~len () =
+  Daemon.reserve t.daemon ?attr ~principal:t.principal ~len ()
+
+let unreserve t base = Daemon.unreserve t.daemon base
+let allocate t base = Daemon.allocate t.daemon base
+let free t base = Daemon.free t.daemon base
+
+let lock t ~addr ~len mode =
+  Daemon.lock t.daemon ~principal:t.principal ~addr ~len mode
+
+let unlock t ctx = Daemon.unlock t.daemon ctx
+let read t ctx ~addr ~len = Daemon.read t.daemon ctx ~addr ~len
+let write t ctx ~addr data = Daemon.write t.daemon ctx ~addr data
+let get_attr t addr = Daemon.get_attr t.daemon addr
+let set_attr t base attr = Daemon.set_attr t.daemon ~principal:t.principal base attr
+
+let create_region t ?attr ~len () =
+  match reserve t ?attr ~len () with
+  | Error _ as e -> e
+  | Ok region -> (
+    match allocate t region.Region.base with
+    | Ok () -> Ok (Region.allocated region)
+    | Error e -> Error e)
+
+let with_lock t ~addr ~len mode f =
+  match lock t ~addr ~len mode with
+  | Error e -> Error e
+  | Ok ctx -> Fun.protect ~finally:(fun () -> unlock t ctx) (fun () -> f ctx)
+
+let read_bytes t ~addr ~len =
+  with_lock t ~addr ~len Kconsistency.Types.Read (fun ctx ->
+      read t ctx ~addr ~len)
+
+let write_bytes t ~addr data =
+  with_lock t ~addr ~len:(Bytes.length data) Kconsistency.Types.Write (fun ctx ->
+      write t ctx ~addr data)

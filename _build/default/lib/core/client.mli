@@ -1,0 +1,56 @@
+(** Client library.
+
+    "Typically an application process (client) interacts with Khazana
+    through library routines" — this module is those routines: a thin,
+    principal-carrying veneer over the local daemon, plus convenience
+    helpers for whole-region access. All operations are fiber-blocking. *)
+
+type t
+
+val connect : Daemon.t -> principal:int -> t
+val daemon : t -> Daemon.t
+val principal : t -> int
+
+(** {1 The paper's operations} *)
+
+val reserve : t -> ?attr:Attr.t -> len:int -> unit -> (Region.t, Daemon.error) result
+val unreserve : t -> Kutil.Gaddr.t -> unit
+val allocate : t -> Kutil.Gaddr.t -> (unit, Daemon.error) result
+val free : t -> Kutil.Gaddr.t -> unit
+
+val lock :
+  t -> addr:Kutil.Gaddr.t -> len:int -> Kconsistency.Types.mode ->
+  (Daemon.lock_ctx, Daemon.error) result
+
+val unlock : t -> Daemon.lock_ctx -> unit
+
+val read :
+  t -> Daemon.lock_ctx -> addr:Kutil.Gaddr.t -> len:int ->
+  (bytes, Daemon.error) result
+
+val write :
+  t -> Daemon.lock_ctx -> addr:Kutil.Gaddr.t -> bytes ->
+  (unit, Daemon.error) result
+
+val get_attr : t -> Kutil.Gaddr.t -> (Attr.t, Daemon.error) result
+val set_attr : t -> Kutil.Gaddr.t -> Attr.t -> (unit, Daemon.error) result
+
+(** {1 Convenience} *)
+
+val create_region :
+  t -> ?attr:Attr.t -> len:int -> unit -> (Region.t, Daemon.error) result
+(** reserve + allocate. *)
+
+val with_lock :
+  t -> addr:Kutil.Gaddr.t -> len:int -> Kconsistency.Types.mode ->
+  (Daemon.lock_ctx -> ('a, Daemon.error) result) ->
+  ('a, Daemon.error) result
+(** Lock, run, always unlock. *)
+
+val read_bytes :
+  t -> addr:Kutil.Gaddr.t -> len:int -> (bytes, Daemon.error) result
+(** lock(read) + read + unlock. *)
+
+val write_bytes :
+  t -> addr:Kutil.Gaddr.t -> bytes -> (unit, Daemon.error) result
+(** lock(write) + write + unlock. *)

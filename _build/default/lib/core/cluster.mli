@@ -1,0 +1,35 @@
+(** Cluster-manager role state.
+
+    "Each cluster has one or more designated cluster managers, nodes
+    responsible for being aware of other cluster locations, caching hint
+    information about regions stored in the local cluster, and representing
+    the local cluster during inter-cluster communication." The manager also
+    parcels unreserved address space into 1 GiB chunks for member nodes and
+    tracks hints about their free pools. *)
+
+type t
+
+val create : cluster_id:int -> t
+
+val next_chunk : t -> Kutil.Gaddr.t * int
+(** Hand out the next unreserved chunk of this cluster's address slice. *)
+
+val record_report :
+  t ->
+  node:Knet.Topology.node_id ->
+  regions:(Kutil.Gaddr.t * Region.t) list ->
+  free_bytes:int ->
+  unit
+(** Refresh hints from a member's periodic report: which regions it caches
+    or homes, and how much unreserved pool it still holds. *)
+
+val lookup :
+  t -> Kutil.Gaddr.t -> (Region.t option * Knet.Topology.node_id list)
+(** Hint answer for "is the region containing this address cached in this
+    cluster, and by whom?". *)
+
+val forget_node : t -> Knet.Topology.node_id -> unit
+(** Drop all hints about a (crashed) member. *)
+
+val free_bytes_hint : t -> (Knet.Topology.node_id * int) list
+val chunks_granted : t -> int

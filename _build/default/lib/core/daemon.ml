@@ -1,0 +1,1013 @@
+module Gaddr = Kutil.Gaddr
+module U128 = Kutil.U128
+module Ctypes = Kconsistency.Types
+module Machine = Kconsistency.Machine_intf
+module Topology = Knet.Topology
+module Store = Kstorage.Page_store
+
+type config = {
+  rdir_capacity : int;
+  ram_pages : int;
+  disk_pages : int;
+  lock_timeout : Ksim.Time.t;
+  lock_retries : int;
+  rpc_timeout : Ksim.Time.t;
+  request_timeout : Ksim.Time.t;
+  report_every : Ksim.Time.t;
+  background_retry_every : Ksim.Time.t;
+}
+
+let default_config =
+  {
+    rdir_capacity = 128;
+    ram_pages = 256;
+    disk_pages = 65_536;
+    lock_timeout = Ksim.Time.sec 2;
+    lock_retries = 3;
+    rpc_timeout = Ksim.Time.ms 500;
+    request_timeout = Ksim.Time.ms 200;
+    report_every = Ksim.Time.ms 500;
+    background_retry_every = Ksim.Time.ms 250;
+  }
+
+type error =
+  [ `Timeout
+  | `Unavailable of string
+  | `Access_denied
+  | `Not_allocated
+  | `Bad_range
+  | `Conflict of string ]
+
+let error_to_string : error -> string = function
+  | `Timeout -> "timeout"
+  | `Unavailable s -> "unavailable: " ^ s
+  | `Access_denied -> "access denied"
+  | `Not_allocated -> "region not allocated"
+  | `Bad_range -> "bad range"
+  | `Conflict s -> "conflict: " ^ s
+
+type lookup_stats = {
+  homed_hits : int;
+  rdir_hits : int;
+  cluster_hits : int;
+  map_walks : int;
+  map_walk_depth_total : int;
+  cluster_walks : int;  (* resolved by walking peer cluster managers *)
+  failures : int;
+}
+
+type slot = { region : Region.t; packed : Machine.packed }
+
+type lock_ctx = {
+  ctx_id : int;
+  ctx_region : Region.t;
+  ctx_addr : Gaddr.t;
+  ctx_len : int;
+  ctx_mode : Ctypes.mode;
+  ctx_pages : Gaddr.t list;
+  ctx_written : unit Gaddr.Table.t;
+  mutable ctx_live : bool;
+}
+
+type t = {
+  id : Topology.node_id;
+  cfg : config;
+  transport : Wire.Transport.t;
+  engine : Ksim.Engine.t;
+  topology : Topology.t;
+  bootstrap : Topology.node_id;
+  cluster_manager : Topology.node_id;
+  peer_managers : Topology.node_id list;  (* other clusters' managers *)
+  store : Store.t;
+  rdir : Region_directory.t;
+  pdir : Page_directory.t;
+  homed : Region.t Gaddr.Table.t;
+  machines : slot Gaddr.Table.t;
+  pending : (int, (unit, error) result Ksim.Promise.t) Hashtbl.t;
+  mutable next_req : int;
+  mutable next_ctx : int;
+  mutable pool : (Gaddr.t * int) list;
+  mutable up : bool;
+  mutable epoch : int;  (* bumped on crash: fences stale timers/fibers *)
+  cm_state : Cluster.t option;
+  mutable stats : lookup_stats;
+}
+
+let id t = t.id
+let engine t = t.engine
+let is_up t = t.up
+let region_directory t = t.rdir
+let page_directory t = t.pdir
+let store t = t.store
+let cluster_state t = t.cm_state
+let lookup_stats t = t.stats
+
+let reset_lookup_stats t =
+  t.stats <-
+    { homed_hits = 0; rdir_hits = 0; cluster_hits = 0; map_walks = 0;
+      map_walk_depth_total = 0; cluster_walks = 0; failures = 0 }
+
+let homed_regions t = Gaddr.Table.fold (fun _ r acc -> r :: acc) t.homed []
+let pool_bytes t = List.fold_left (fun acc (_, len) -> acc + len) 0 t.pool
+
+let machine_state t page =
+  Option.map (fun s -> Machine.packed_state_name s.packed) (Gaddr.Table.find_opt t.machines page)
+
+let holds_page t page =
+  match Gaddr.Table.find_opt t.machines page with
+  | Some s -> Machine.packed_has_valid_copy s.packed
+  | None -> false
+
+(* ------------------------------------------------------------------ *)
+(* Machines and CM action interpretation                               *)
+(* ------------------------------------------------------------------ *)
+
+let zero_page region =
+  Bytes.make region.Region.attr.Attr.page_size '\000'
+
+let replica_targets t (region : Region.t) =
+  let home_cluster = Topology.cluster_of t.topology region.home in
+  let members =
+    List.filter (fun n -> n <> region.home)
+      (Topology.cluster_members t.topology home_cluster)
+  in
+  (* Rotate by region identity so replicas spread over the cluster instead
+     of piling onto the lowest-numbered nodes. *)
+  match members with
+  | [] -> []
+  | _ :: _ ->
+    let k = Gaddr.hash region.base mod List.length members in
+    let rec rotate i = function
+      | [] -> []
+      | x :: rest as l -> if i = 0 then l else rotate (i - 1) (rest @ [ x ])
+    in
+    rotate k members
+
+let machine_config t (region : Region.t) =
+  {
+    Ctypes.self = t.id;
+    home = region.home;
+    min_replicas = region.attr.Attr.min_replicas;
+    replica_targets = replica_targets t region;
+    request_timeout = t.cfg.request_timeout;
+    propagate_every = Ksim.Time.ms 100;
+  }
+
+let machine_for t (region : Region.t) page =
+  match Gaddr.Table.find_opt t.machines page with
+  | Some slot -> slot
+  | None ->
+    let init =
+      if region.home = t.id && region.state = Region.Allocated then begin
+        (* The home materialises pages lazily: disk content if it survives,
+           zeroes for never-written pages. *)
+        let data =
+          match Store.read_immediate t.store page with
+          | Some bytes -> bytes
+          | None ->
+            let z = zero_page region in
+            Store.write_immediate t.store page z ~dirty:false;
+            z
+        in
+        Ctypes.Start_owner data
+      end
+      else Ctypes.Start_unknown
+    in
+    let packed =
+      match
+        Kconsistency.Registry.instantiate region.attr.Attr.protocol
+          (machine_config t region) init
+      with
+      | Some p -> p
+      | None ->
+        (* Attr.make validated the protocol name; reaching here means the
+           registry changed underneath us. *)
+        failwith ("unknown consistency protocol " ^ region.attr.Attr.protocol)
+    in
+    let slot = { region; packed } in
+    Gaddr.Table.replace t.machines page slot;
+    ignore
+      (Page_directory.ensure t.pdir ~page ~region_base:region.base
+         ~homed_here:(region.home = t.id));
+    slot
+
+let rec apply_actions t slot page actions =
+  List.iter
+    (fun action ->
+      match action with
+      | Ctypes.Send (dst, body) ->
+        Wire.Transport.notify t.transport ~src:t.id ~dst
+          (Wire.Cm_msg { page; region_base = slot.region.Region.base; body });
+        (* Fail fast on known-dead peers (the moral equivalent of a
+           connection refused): pretend the peer reported that it holds
+           nothing, so managers fail over immediately instead of burning
+           their whole retry budget. Partitions still look like silence. *)
+        if
+          dst <> t.id
+          && not (Wire.Transport.Net.is_up (Wire.Transport.net t.transport) dst)
+        then begin
+          let epoch = t.epoch in
+          ignore
+            (Ksim.Engine.schedule t.engine ~after:(Ksim.Time.us 50) (fun () ->
+                 if t.up && t.epoch = epoch then
+                   match Gaddr.Table.find_opt t.machines page with
+                   | Some slot ->
+                     feed t slot page
+                       (Ctypes.Peer { src = dst; msg = Ctypes.Evict_notify })
+                   | None -> ()))
+        end
+      | Ctypes.Grant req -> (
+        match Hashtbl.find_opt t.pending req with
+        | Some promise ->
+          Hashtbl.remove t.pending req;
+          ignore (Ksim.Promise.try_resolve promise (Ok ()))
+        | None -> ())
+      | Ctypes.Reject (req, Ctypes.Unavailable why) -> (
+        match Hashtbl.find_opt t.pending req with
+        | Some promise ->
+          Hashtbl.remove t.pending req;
+          ignore (Ksim.Promise.try_resolve promise (Error (`Unavailable why)))
+        | None -> ())
+      | Ctypes.Install { data; dirty } ->
+        Store.write_immediate t.store page data ~dirty
+      | Ctypes.Discard -> Store.drop t.store page
+      | Ctypes.Start_timer { id; after } ->
+        let epoch = t.epoch in
+        ignore
+          (Ksim.Engine.schedule t.engine ~after (fun () ->
+               if t.up && t.epoch = epoch then
+                 match Gaddr.Table.find_opt t.machines page with
+                 | Some slot -> feed t slot page (Ctypes.Timeout id)
+                 | None -> ()))
+      | Ctypes.Sharers_hint sharers ->
+        ignore
+          (Page_directory.ensure t.pdir ~page ~region_base:slot.region.Region.base
+             ~homed_here:(slot.region.Region.home = t.id));
+        Page_directory.set_sharers t.pdir page sharers)
+    actions
+
+and feed t slot page event =
+  apply_actions t slot page (Machine.handle_packed slot.packed event)
+
+(* Local storage victimised a page: tell its machine. *)
+let on_evict t page data ~dirty =
+  match Gaddr.Table.find_opt t.machines page with
+  | Some slot -> feed t slot page (Ctypes.Evicted { data; dirty })
+  | None -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Region location (§3.2)                                              *)
+(* ------------------------------------------------------------------ *)
+
+let homed_containing t addr =
+  Gaddr.Table.fold
+    (fun _ r acc ->
+      match acc with Some _ -> acc | None -> if Region.contains r addr then Some r else None)
+    t.homed None
+
+let rpc t ~dst req =
+  Wire.Transport.call t.transport ~src:t.id ~dst ~timeout:t.cfg.rpc_timeout req
+
+(* The map region descriptor is well-known bootstrap state. *)
+let map_region t = Layout.map_region ~bootstrap_node:t.bootstrap
+
+(* -- low-level single-page lock used by both clients and the map IO -- *)
+
+let acquire_page t (region : Region.t) page mode ~timeout =
+  let slot = machine_for t region page in
+  let req = t.next_req in
+  t.next_req <- t.next_req + 1;
+  let promise = Ksim.Promise.create () in
+  Hashtbl.replace t.pending req promise;
+  feed t slot page (Ctypes.Acquire { req; mode });
+  match Ksim.Fiber.await_timeout t.engine promise ~timeout with
+  | Some result ->
+    Hashtbl.remove t.pending req;
+    result
+  | None ->
+    Hashtbl.remove t.pending req;
+    (match Gaddr.Table.find_opt t.machines page with
+     | Some slot -> feed t slot page (Ctypes.Abort { req })
+     | None -> ());
+    Error `Timeout
+
+let release_page t (region : Region.t) page mode ~data =
+  match Gaddr.Table.find_opt t.machines page with
+  | Some slot -> feed t slot page (Ctypes.Release { mode; data })
+  | None ->
+    ignore region;
+    () (* crash wiped the machine; nothing to release *)
+
+(* -- address map IO over our own lock/read/write primitives -- *)
+
+(* Raised when map pages cannot be locked or fetched (home unreachable);
+   caught at the operation boundary and reflected as [`Unavailable]. *)
+exception Map_unavailable of string
+
+let map_page_read t i =
+  let region = map_region t in
+  let page = Layout.map_page_addr i in
+  match acquire_page t region page Ctypes.Read ~timeout:t.cfg.lock_timeout with
+  | Error e ->
+    raise (Map_unavailable ("map read: " ^ error_to_string e))
+  | Ok () ->
+    let bytes = Store.read_immediate t.store page in
+    release_page t region page Ctypes.Read ~data:None;
+    (match bytes with
+     | Some b -> Address_map.Node.decode b
+     | None -> raise (Map_unavailable "map page vanished under read lock"))
+
+let map_page_write_locked t i node =
+  (* Caller holds the write lock on page i. *)
+  let page = Layout.map_page_addr i in
+  Store.write_immediate t.store page (Address_map.Node.encode node) ~dirty:true
+
+let map_io t : Address_map.io =
+  let read_page i = map_page_read t i in
+  let mutate f =
+    let region = map_region t in
+    let root_page = Layout.map_page_addr 0 in
+    match acquire_page t region root_page Ctypes.Write ~timeout:t.cfg.lock_timeout with
+    | Error e -> raise (Map_unavailable ("map mutation: " ^ error_to_string e))
+    | Ok () ->
+      let root =
+        match Store.read_immediate t.store root_page with
+        | Some b -> Address_map.Node.decode b
+        | None -> raise (Map_unavailable "map root missing")
+      in
+      let write i node =
+        if i = 0 then map_page_write_locked t 0 node
+        else begin
+          let page = Layout.map_page_addr i in
+          match acquire_page t region page Ctypes.Write ~timeout:t.cfg.lock_timeout with
+          | Error e -> raise (Map_unavailable ("map write: " ^ error_to_string e))
+          | Ok () ->
+            map_page_write_locked t i node;
+            let data = Store.read_immediate t.store page in
+            release_page t region page Ctypes.Write ~data
+        end
+      in
+      let read i = if i = 0 then root else read_page i in
+      Fun.protect
+        ~finally:(fun () ->
+          (* Always rewrite + release the root so its write propagates. *)
+          let data = Store.read_immediate t.store root_page in
+          release_page t region root_page Ctypes.Write ~data)
+        (fun () ->
+          f ~root ~read ~write;
+          map_page_write_locked t 0 root)
+  in
+  { Address_map.read_page; mutate }
+
+let bootstrap_map t =
+  if t.id <> t.bootstrap then invalid_arg "Daemon.bootstrap_map: wrong node";
+  let region = map_region t in
+  Gaddr.Table.replace t.homed region.Region.base region;
+  let root = Address_map.Node.empty_root () in
+  Store.write_immediate t.store (Layout.map_page_addr 0)
+    (Address_map.Node.encode root) ~dirty:false;
+  (* Record the map region itself in the map, so tree walks can resolve
+     metadata addresses uniformly. *)
+  let io = map_io t in
+  match
+    Address_map.insert io
+      {
+        Address_map.base = region.Region.base;
+        len = region.Region.len;
+        page_size = Layout.map_page_size;
+        homes = [ t.bootstrap ];
+      }
+  with
+  | Ok () -> ()
+  | Error e -> failwith ("bootstrap_map: " ^ e)
+
+(* Fetch a descriptor from one of the candidate holder nodes. *)
+let fetch_descriptor t ~addr candidates =
+  let rec try_nodes = function
+    | [] -> None
+    | node :: rest ->
+      if node = t.id then try_nodes rest
+      else begin
+        match rpc t ~dst:node (Wire.Get_descriptor { addr }) with
+        | Ok (Wire.R_descriptor (Some desc)) -> Some desc
+        | Ok (Wire.R_descriptor None) | Ok _ | Error `Timeout -> try_nodes rest
+      end
+  in
+  try_nodes candidates
+
+let rec locate_region_once ?(walk = false) t addr =
+  if Region.contains (map_region t) addr then Ok (map_region t)
+  else
+    match homed_containing t addr with
+    | Some r ->
+      t.stats <- { t.stats with homed_hits = t.stats.homed_hits + 1 };
+      Ok r
+    | None -> (
+      match Region_directory.find t.rdir addr with
+      | Some r ->
+        t.stats <- { t.stats with rdir_hits = t.stats.rdir_hits + 1 };
+        Ok r
+      | None -> (
+        (* Ask the cluster manager before touching the tree (§3.5). *)
+        let from_cluster =
+          if t.cluster_manager = t.id then
+            match t.cm_state with
+            | Some cm -> (
+              match Cluster.lookup cm addr with
+              | Some desc, _ -> Some desc
+              | None, _ -> None)
+            | None -> None
+          else
+            match rpc t ~dst:t.cluster_manager (Wire.Cluster_lookup { addr }) with
+            | Ok (Wire.R_lookup { desc = Some desc; _ }) -> Some desc
+            | Ok (Wire.R_lookup { desc = None; holders = _ }) -> None
+            | Ok _ | Error `Timeout -> None
+        in
+        match from_cluster with
+        | Some desc ->
+          t.stats <- { t.stats with cluster_hits = t.stats.cluster_hits + 1 };
+          Region_directory.put t.rdir desc;
+          Ok desc
+        | None -> (
+          (* Full address-map tree walk. *)
+          match Address_map.lookup (map_io t) addr with
+          | exception Map_unavailable why -> cluster_walk t addr why
+          | result ->
+          t.stats <-
+            { t.stats with
+              map_walks = t.stats.map_walks + 1;
+              map_walk_depth_total = t.stats.map_walk_depth_total + result.Address_map.depth;
+            };
+          match result.Address_map.entry with
+          | Some entry -> (
+            match fetch_descriptor t ~addr entry.Address_map.homes with
+            | Some desc ->
+              Region_directory.put t.rdir desc;
+              Ok desc
+            | None -> cluster_walk t addr "region home unreachable")
+          | None ->
+            (* An absent entry usually means a release-consistent map
+               update is still in flight; the caller's retry loop handles
+               that. Walk the clusters only on the final attempt. *)
+            if walk then cluster_walk t addr "address not reserved"
+            else begin
+              t.stats <- { t.stats with failures = t.stats.failures + 1 };
+              Error (`Unavailable "address not reserved")
+            end)))
+
+(* "If the set of nodes specified in a given region's address map entry is
+   stale, the region can still be located using a cluster-walk algorithm"
+   (§3.1): when the tree fails us — stale homes, or the map itself
+   unavailable — ask the other clusters' managers whether anyone nearby
+   caches the region. *)
+and cluster_walk t addr fallback_error =
+  let rec walk = function
+    | [] ->
+      t.stats <- { t.stats with failures = t.stats.failures + 1 };
+      Error (`Unavailable fallback_error)
+    | manager :: rest -> (
+      match rpc t ~dst:manager (Wire.Cluster_walk { addr }) with
+      | Ok (Wire.R_lookup { desc = Some desc; _ }) ->
+        t.stats <- { t.stats with cluster_walks = t.stats.cluster_walks + 1 };
+        Region_directory.put t.rdir desc;
+        Ok desc
+      | Ok (Wire.R_lookup { desc = None; holders }) -> (
+        (* No descriptor hint, but maybe holder nodes we can query. *)
+        match fetch_descriptor t ~addr holders with
+        | Some desc ->
+          t.stats <- { t.stats with cluster_walks = t.stats.cluster_walks + 1 };
+          Region_directory.put t.rdir desc;
+          Ok desc
+        | None -> walk rest)
+      | Ok _ | Error `Timeout -> walk rest)
+  in
+  walk t.peer_managers
+
+(* "Khazana operations are repeatedly tried ... until they succeed or
+   timeout" (§3.5). A miss may just mean a release-consistent map update is
+   still in flight, so back off briefly and retry before reflecting the
+   error. *)
+let locate_region t addr =
+  let rec go attempt =
+    match locate_region_once ~walk:(attempt >= 3) t addr with
+    | Ok _ as ok -> ok
+    | Error _ as e when attempt >= 4 -> e
+    | Error _ ->
+      Ksim.Fiber.sleep (Ksim.Time.ms (25 * (1 lsl attempt)));
+      go (attempt + 1)
+  in
+  go 0
+
+(* ------------------------------------------------------------------ *)
+(* Client operations                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let round_up len page_size = (len + page_size - 1) / page_size * page_size
+
+let take_from_pool t len =
+  let rec go acc = function
+    | [] -> None
+    | (base, span) :: rest ->
+      if span >= len then begin
+        let remainder =
+          if span > len then [ (Gaddr.add_int base len, span - len) ] else []
+        in
+        t.pool <- List.rev_append acc (remainder @ rest);
+        Some base
+      end
+      else go ((base, span) :: acc) rest
+  in
+  go [] t.pool
+
+(* Fold a freshly granted chunk into the pool, coalescing with an adjacent
+   span so that reservations larger than one chunk can be satisfied from
+   consecutive grants. *)
+let add_chunk_to_pool t base len =
+  let rec merge acc = function
+    | [] -> List.rev ((base, len) :: acc)
+    | (b, l) :: rest when Gaddr.equal (Gaddr.add_int b l) base ->
+      List.rev_append acc ((b, l + len) :: rest)
+    | span :: rest -> merge (span :: acc) rest
+  in
+  t.pool <- merge [] t.pool
+
+let request_chunk t =
+  if t.cluster_manager = t.id then
+    match t.cm_state with
+    | Some cm ->
+      let base, len = Cluster.next_chunk cm in
+      add_chunk_to_pool t base len;
+      true
+    | None -> false
+  else
+    match rpc t ~dst:t.cluster_manager Wire.Chunk_request with
+    | Ok (Wire.R_chunk { base; len }) ->
+      add_chunk_to_pool t base len;
+      true
+    | Ok _ | Error `Timeout -> false
+
+let reserve t ?attr ~principal ~len () =
+  let attr =
+    match attr with Some a -> a | None -> Attr.make ~owner:principal ()
+  in
+  let page_size = attr.Attr.page_size in
+  let len = round_up (max len 1) page_size in
+  let rec obtain attempts =
+    match take_from_pool t len with
+    | Some base -> Some base
+    | None ->
+      if attempts > 0 && request_chunk t then obtain (attempts - 1) else None
+  in
+  (* A reservation larger than the chunk size needs several chunks; chunks
+     are contiguous per cluster so consecutive grants coalesce. *)
+  let needed_chunks = (len / Layout.chunk_size) + 2 in
+  match obtain needed_chunks with
+  | None -> Error (`Unavailable "no address space available")
+  | Some base -> (
+    let region = Region.make ~base ~len ~attr ~home:t.id in
+    match
+      Address_map.insert (map_io t)
+        { Address_map.base; len; page_size; homes = [ t.id ] }
+    with
+    | Error e -> Error (`Conflict e)
+    | Ok () ->
+      Gaddr.Table.replace t.homed base region;
+      Region_directory.put t.rdir region;
+      Ok region)
+
+(* Release-class operations retry in the background until they succeed
+   (paper §3.5): errors while releasing resources are never reflected. *)
+let background_retry t ~name f =
+  let epoch = t.epoch in
+  let rec attempt () =
+    if t.up && t.epoch = epoch then
+      if not (f ()) then
+        Ksim.Fiber.spawn_after t.engine ~after:t.cfg.background_retry_every
+          ~name (fun () -> attempt ())
+  in
+  Ksim.Fiber.spawn t.engine ~name (fun () -> attempt ())
+
+let allocate_local t (region : Region.t) =
+  let allocated = Region.allocated region in
+  Gaddr.Table.replace t.homed region.Region.base allocated;
+  Region_directory.put t.rdir allocated
+
+let allocate t base =
+  match locate_region t base with
+  | Error e -> Error e
+  | Ok region ->
+    if not (Gaddr.equal region.Region.base base) then Error `Bad_range
+    else if region.Region.state = Region.Allocated then Ok ()
+    else if region.Region.home = t.id then begin
+      allocate_local t region;
+      Ok ()
+    end
+    else begin
+      match rpc t ~dst:region.Region.home (Wire.Alloc_region { desc = region }) with
+      | Ok Wire.R_unit ->
+        let allocated = Region.allocated region in
+        Region_directory.put t.rdir allocated;
+        Ok ()
+      | Ok (Wire.R_error e) -> Error (`Unavailable e)
+      | Ok _ -> Error (`Unavailable "bad response")
+      | Error `Timeout -> Error `Timeout
+    end
+
+let free_local t base =
+  match Gaddr.Table.find_opt t.homed base with
+  | None -> true
+  | Some region ->
+    List.iter
+      (fun page ->
+        Gaddr.Table.remove t.machines page;
+        Store.drop t.store page;
+        Page_directory.remove t.pdir page)
+      (Region.pages region);
+    Gaddr.Table.replace t.homed base
+      { region with Region.state = Region.Reserved };
+    Region_directory.put t.rdir { region with Region.state = Region.Reserved };
+    true
+
+let free t base =
+  match locate_region t base with
+  | Error _ -> ()
+  | Ok region ->
+    Region_directory.remove t.rdir region.Region.base;
+    if region.Region.home = t.id then ignore (free_local t base)
+    else
+      background_retry t ~name:"free" (fun () ->
+          match rpc t ~dst:region.Region.home (Wire.Free_region { base }) with
+          | Ok Wire.R_unit -> true
+          | Ok _ | Error `Timeout -> false)
+
+let unreserve_local t base =
+  ignore (free_local t base);
+  Gaddr.Table.remove t.homed base;
+  Region_directory.remove t.rdir base;
+  match Address_map.remove (map_io t) base with
+  | true | false -> true
+
+let unreserve t base =
+  match locate_region t base with
+  | Error _ -> ()
+  | Ok region ->
+    Region_directory.remove t.rdir base;
+    if region.Region.home = t.id then
+      background_retry t ~name:"unreserve" (fun () -> unreserve_local t base)
+    else
+      background_retry t ~name:"unreserve" (fun () ->
+          match rpc t ~dst:region.Region.home (Wire.Unreserve_region { base }) with
+          | Ok Wire.R_unit -> true
+          | Ok _ | Error `Timeout -> false)
+
+(* Region directories may serve stale attributes; before acting on a
+   denial (or an unallocated state), refetch the descriptor from its home
+   so recent set_attr/allocate calls are honoured. *)
+let refresh_descriptor t (region : Region.t) =
+  if region.Region.home = t.id then
+    Gaddr.Table.find_opt t.homed region.Region.base
+  else
+    match
+      rpc t ~dst:region.Region.home (Wire.Get_descriptor { addr = region.Region.base })
+    with
+    | Ok (Wire.R_descriptor (Some fresh)) ->
+      Region_directory.put t.rdir fresh;
+      Some fresh
+    | Ok _ | Error `Timeout -> None
+
+let lock t ~principal ~addr ~len mode =
+  match locate_region t addr with
+  | Error e -> Error e
+  | Ok region ->
+    let region =
+      if
+        region.Region.state <> Region.Allocated
+        || not (Attr.allows region.Region.attr ~principal mode)
+      then Option.value (refresh_descriptor t region) ~default:region
+      else region
+    in
+    if not (Region.contains_range region addr ~len) then Error `Bad_range
+    else if region.Region.state <> Region.Allocated then Error `Not_allocated
+    else if not (Attr.allows region.Region.attr ~principal mode) then
+      Error `Access_denied
+    else begin
+      let pages =
+        Gaddr.pages_in addr ~len ~page_size:region.Region.attr.Attr.page_size
+      in
+      let rec acquire_all acquired = function
+        | [] -> Ok (List.rev acquired)
+        | page :: rest -> (
+          let rec attempt n =
+            match acquire_page t region page mode ~timeout:t.cfg.lock_timeout with
+            | Ok () -> Ok ()
+            | Error _ when n > 1 -> attempt (n - 1)
+            | Error e -> Error e
+          in
+          match attempt t.cfg.lock_retries with
+          | Ok () -> acquire_all (page :: acquired) rest
+          | Error e ->
+            (* Roll back already-acquired pages. *)
+            List.iter
+              (fun p -> release_page t region p mode ~data:None)
+              acquired;
+            Error e)
+      in
+      match acquire_all [] pages with
+      | Error e -> Error e
+      | Ok pages ->
+        List.iter
+          (fun p -> try Store.pin t.store p with Invalid_argument _ -> ())
+          pages;
+        let ctx =
+          {
+            ctx_id = t.next_ctx;
+            ctx_region = region;
+            ctx_addr = addr;
+            ctx_len = len;
+            ctx_mode = mode;
+            ctx_pages = pages;
+            ctx_written = Gaddr.Table.create 8;
+            ctx_live = true;
+          }
+        in
+        t.next_ctx <- t.next_ctx + 1;
+        Ok ctx
+    end
+
+let unlock t ctx =
+  if ctx.ctx_live then begin
+    ctx.ctx_live <- false;
+    List.iter
+      (fun page ->
+        Store.unpin t.store page;
+        let data =
+          if ctx.ctx_mode = Ctypes.Write && Gaddr.Table.mem ctx.ctx_written page
+          then Store.read_immediate t.store page
+          else None
+        in
+        release_page t ctx.ctx_region page ctx.ctx_mode ~data)
+      ctx.ctx_pages
+  end
+
+let ctx_covers ctx addr ~len =
+  ctx.ctx_live && len >= 0
+  && Gaddr.compare ctx.ctx_addr addr <= 0
+  && Gaddr.compare (Gaddr.add_int addr len) (Gaddr.add_int ctx.ctx_addr ctx.ctx_len) <= 0
+
+let read t ctx ~addr ~len =
+  if not (ctx_covers ctx addr ~len) then Error `Bad_range
+  else begin
+    let page_size = ctx.ctx_region.Region.attr.Attr.page_size in
+    let out = Bytes.create len in
+    let rec copy addr remaining written =
+      if remaining = 0 then Ok ()
+      else begin
+        let page = Gaddr.page_floor addr ~page_size in
+        let off = Gaddr.page_offset addr ~page_size in
+        let n = min remaining (page_size - off) in
+        match Store.read t.store page with
+        | Some bytes ->
+          Bytes.blit bytes off out written n;
+          copy (Gaddr.add_int addr n) (remaining - n) (written + n)
+        | None -> Error (`Unavailable "page missing from local store")
+      end
+    in
+    match copy addr len 0 with Ok () -> Ok out | Error e -> Error e
+  end
+
+let write t ctx ~addr data =
+  let len = Bytes.length data in
+  if ctx.ctx_mode <> Ctypes.Write then Error `Access_denied
+  else if not (ctx_covers ctx addr ~len) then Error `Bad_range
+  else begin
+    let page_size = ctx.ctx_region.Region.attr.Attr.page_size in
+    let rec copy addr remaining consumed =
+      if remaining = 0 then Ok ()
+      else begin
+        let page = Gaddr.page_floor addr ~page_size in
+        let off = Gaddr.page_offset addr ~page_size in
+        let n = min remaining (page_size - off) in
+        match Store.read t.store page with
+        | Some bytes ->
+          Bytes.blit data consumed bytes off n;
+          Store.write t.store page bytes ~dirty:true;
+          Gaddr.Table.replace ctx.ctx_written page ();
+          copy (Gaddr.add_int addr n) (remaining - n) (consumed + n)
+        | None -> Error (`Unavailable "page missing from local store")
+      end
+    in
+    copy addr len 0
+  end
+
+let get_attr t addr =
+  match locate_region t addr with
+  | Ok region -> Ok region.Region.attr
+  | Error e -> Error e
+
+let set_attr t ~principal base (attr : Attr.t) =
+  match locate_region t base with
+  | Error e -> Error e
+  | Ok region ->
+    if not (Gaddr.equal region.Region.base base) then Error `Bad_range
+    else if principal <> region.Region.attr.Attr.owner then Error `Access_denied
+    else begin
+      (* Only policy fields may change after creation. *)
+      let updated =
+        { region.Region.attr with
+          Attr.world = attr.Attr.world;
+          min_replicas = attr.Attr.min_replicas;
+        }
+      in
+      if region.Region.home = t.id then begin
+        let region' = { region with Region.attr = updated } in
+        Gaddr.Table.replace t.homed base region';
+        Region_directory.put t.rdir region';
+        Ok ()
+      end
+      else
+        match rpc t ~dst:region.Region.home (Wire.Set_attr { base; attr = updated }) with
+        | Ok Wire.R_unit ->
+          Region_directory.put t.rdir { region with Region.attr = updated };
+          Ok ()
+        | Ok (Wire.R_error e) -> Error (`Unavailable e)
+        | Ok _ -> Error (`Unavailable "bad response")
+        | Error `Timeout -> Error `Timeout
+    end
+
+(* ------------------------------------------------------------------ *)
+(* Server side                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let serve_cm_msg t ~src ~page ~region_base body =
+  match Gaddr.Table.find_opt t.machines page with
+  | Some slot -> feed t slot page (Ctypes.Peer { src; msg = body })
+  | None ->
+    (* First contact for this page: resolve its region (usually a region
+       directory hit) in a fiber, then feed. *)
+    Ksim.Fiber.spawn t.engine ~name:"cm-resolve" (fun () ->
+        let region =
+          if Region.contains (map_region t) page then Some (map_region t)
+          else
+            match homed_containing t page with
+            | Some r -> Some r
+            | None -> (
+              match locate_region t region_base with
+              | Ok r when Region.contains r page -> Some r
+              | Ok _ | Error _ -> None)
+        in
+        match region with
+        | Some region when t.up ->
+          let slot = machine_for t region page in
+          feed t slot page (Ctypes.Peer { src; msg = body })
+        | Some _ | None -> ())
+
+let serve t ~src request ~reply =
+  if t.up then
+    match request with
+    | Wire.Cm_msg { page; region_base; body } ->
+      serve_cm_msg t ~src ~page ~region_base body
+    | Wire.Get_descriptor { addr } ->
+      let answer =
+        match homed_containing t addr with
+        | Some r -> Some r
+        | None -> Region_directory.find t.rdir addr
+      in
+      reply (Wire.R_descriptor answer)
+    | Wire.Alloc_region { desc } ->
+      if desc.Region.home <> t.id then reply (Wire.R_error "not my region")
+      else begin
+        (match Gaddr.Table.find_opt t.homed desc.Region.base with
+         | Some r -> allocate_local t r
+         | None ->
+           (* Home lost the descriptor (recovered from crash): adopt it. *)
+           allocate_local t desc);
+        reply Wire.R_unit
+      end
+    | Wire.Free_region { base } ->
+      if free_local t base then reply Wire.R_unit
+      else reply (Wire.R_error "free failed")
+    | Wire.Unreserve_region { base } ->
+      Ksim.Fiber.spawn t.engine ~name:"unreserve-serve" (fun () ->
+          ignore (unreserve_local t base);
+          reply Wire.R_unit)
+    | Wire.Set_attr { base; attr } -> (
+      match Gaddr.Table.find_opt t.homed base with
+      | Some region ->
+        let region' = { region with Region.attr = attr } in
+        Gaddr.Table.replace t.homed base region';
+        Region_directory.put t.rdir region';
+        reply Wire.R_unit
+      | None -> reply (Wire.R_error "unknown region"))
+    | Wire.Chunk_request -> (
+      match t.cm_state with
+      | Some cm ->
+        let base, len = Cluster.next_chunk cm in
+        reply (Wire.R_chunk { base; len })
+      | None -> reply (Wire.R_error "not a cluster manager"))
+    | Wire.Cluster_lookup { addr } | Wire.Cluster_walk { addr } -> (
+      match t.cm_state with
+      | Some cm ->
+        let desc, holders = Cluster.lookup cm addr in
+        reply (Wire.R_lookup { desc; holders })
+      | None -> reply (Wire.R_error "not a cluster manager"))
+    | Wire.Cluster_report { node_regions; free_bytes } -> (
+      match t.cm_state with
+      | Some cm ->
+        Cluster.record_report cm ~node:src ~regions:node_regions ~free_bytes
+      | None -> ())
+    | Wire.Ping -> reply Wire.R_unit
+
+(* Periodic hint refresh to the cluster manager (§3.1). *)
+let start_reporting t =
+  let epoch = t.epoch in
+  let rec loop () =
+    if t.up && t.epoch = epoch then begin
+      if t.cluster_manager <> t.id then begin
+        let node_regions =
+          Gaddr.Table.fold (fun base r acc -> (base, r) :: acc) t.homed []
+        in
+        let node_regions =
+          List.fold_left
+            (fun acc r -> (r.Region.base, r) :: acc)
+            node_regions
+            (Region_directory.entries t.rdir)
+        in
+        Wire.Transport.notify t.transport ~src:t.id ~dst:t.cluster_manager
+          (Wire.Cluster_report { node_regions; free_bytes = pool_bytes t })
+      end;
+      Ksim.Fiber.sleep t.cfg.report_every;
+      loop ()
+    end
+  in
+  Ksim.Fiber.spawn t.engine ~name:"cluster-report" loop
+
+(* ------------------------------------------------------------------ *)
+(* Lifecycle                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let crash t =
+  t.up <- false;
+  t.epoch <- t.epoch + 1;
+  Wire.Transport.Net.crash (Wire.Transport.net t.transport) t.id;
+  Store.crash t.store;
+  Gaddr.Table.reset t.machines;
+  Page_directory.crash t.pdir;
+  (* In-flight client operations die with the node. *)
+  Hashtbl.iter
+    (fun _ p -> ignore (Ksim.Promise.try_resolve p (Error (`Unavailable "node crashed"))))
+    t.pending;
+  Hashtbl.reset t.pending
+
+let recover t =
+  t.up <- true;
+  t.epoch <- t.epoch + 1;
+  Wire.Transport.Net.recover (Wire.Transport.net t.transport) t.id;
+  (* Home-role machines are rebuilt lazily from the surviving disk tier on
+     first touch (see [machine_for]); cached remote copies were dropped. *)
+  start_reporting t
+
+let create ?(config = default_config) ?(peer_managers = []) ~id ~bootstrap
+    ~cluster_manager transport =
+  let engine = Wire.Transport.engine transport in
+  let topology = Wire.Transport.Net.topology (Wire.Transport.net transport) in
+  let store =
+    Store.create engine
+      (Store.config ~ram_pages:config.ram_pages ~disk_pages:config.disk_pages ())
+  in
+  let cm_state =
+    if cluster_manager = id then
+      Some (Cluster.create ~cluster_id:(Topology.cluster_of topology id))
+    else None
+  in
+  let t =
+    {
+      id;
+      cfg = config;
+      transport;
+      engine;
+      topology;
+      bootstrap;
+      cluster_manager;
+      peer_managers = List.filter (fun n -> n <> cluster_manager) peer_managers;
+      store;
+      rdir = Region_directory.create ~capacity:config.rdir_capacity;
+      pdir = Page_directory.create ();
+      homed = Gaddr.Table.create 32;
+      machines = Gaddr.Table.create 256;
+      pending = Hashtbl.create 32;
+      next_req = 0;
+      next_ctx = 0;
+      pool = [];
+      up = true;
+      epoch = 0;
+      cm_state;
+      stats =
+        { homed_hits = 0; rdir_hits = 0; cluster_hits = 0; map_walks = 0;
+          map_walk_depth_total = 0; cluster_walks = 0; failures = 0 };
+    }
+  in
+  Store.set_evict_hook store (fun page data ~dirty -> on_evict t page data ~dirty);
+  Wire.Transport.set_server transport id (fun ~src req ~reply ->
+      serve t ~src req ~reply);
+  start_reporting t;
+  t

@@ -1,0 +1,153 @@
+(** A Khazana daemon: the per-node peer process.
+
+    "The Khazana service is implemented by a dynamically changing set of
+    cooperating daemon processes ... there is no notion of a server in a
+    Khazana system — all Khazana nodes are peers." A daemon owns this node's
+    local storage, region directory, page directory and consistency-manager
+    machines, serves remote peers over the wire protocol, and exports the
+    client operations (reserve / allocate / lock / read / write / attributes
+    and their release counterparts).
+
+    All client-facing operations are fiber-blocking: call them from
+    {!Ksim.Fiber.spawn}ed code. *)
+
+type t
+
+type config = {
+  rdir_capacity : int;          (** region directory entries (default 128) *)
+  ram_pages : int;              (** RAM frames (default 256) *)
+  disk_pages : int;             (** disk frames (default 65536) *)
+  lock_timeout : Ksim.Time.t;   (** per lock attempt (default 2 s) *)
+  lock_retries : int;           (** attempts before reflecting failure (3) *)
+  rpc_timeout : Ksim.Time.t;    (** control-plane calls (default 500 ms) *)
+  request_timeout : Ksim.Time.t;(** CM-internal per-hop timeout (200 ms) *)
+  report_every : Ksim.Time.t;   (** cluster-hint refresh period (500 ms) *)
+  background_retry_every : Ksim.Time.t; (** release-op retry period (250 ms) *)
+}
+
+val default_config : config
+
+type error =
+  [ `Timeout
+  | `Unavailable of string
+  | `Access_denied
+  | `Not_allocated
+  | `Bad_range
+  | `Conflict of string ]
+
+val error_to_string : error -> string
+
+(** {1 Lifecycle} *)
+
+val create :
+  ?config:config ->
+  ?peer_managers:Knet.Topology.node_id list ->
+  id:Knet.Topology.node_id ->
+  bootstrap:Knet.Topology.node_id ->
+  cluster_manager:Knet.Topology.node_id ->
+  Wire.Transport.t ->
+  t
+(** Wire the daemon into the transport (installs its server handler) and
+    start its periodic reporting fiber. [bootstrap] is the well-known home
+    of the address map; [cluster_manager] is this node's manager (possibly
+    itself, in which case the manager role is activated). Call
+    {!bootstrap_map} once on the bootstrap node before any operation. *)
+
+val bootstrap_map : t -> unit
+(** Initialise the address map root page. Must run on the bootstrap node. *)
+
+val id : t -> Knet.Topology.node_id
+val engine : t -> Ksim.Engine.t
+val is_up : t -> bool
+
+val crash : t -> unit
+(** Lose RAM state, CM machines and in-flight operations; keep the disk
+    tier and authoritative homed-region table (the paper's persistent page
+    directory). The node also leaves the network. *)
+
+val recover : t -> unit
+(** Rejoin the network; rebuild home-role machines lazily from disk. *)
+
+(** {1 Client operations (the paper's API, §2)} *)
+
+type lock_ctx
+(** Returned by {!lock}; required by {!read} and {!write}. *)
+
+val reserve :
+  t -> ?attr:Attr.t -> principal:int -> len:int -> unit ->
+  (Region.t, error) result
+(** Reserve a contiguous range of global address space as a new region
+    homed at this node. [len] is rounded up to a page multiple. *)
+
+val unreserve : t -> Kutil.Gaddr.t -> unit
+(** Release-class: returns immediately; remote legs retry in the
+    background until they succeed (paper §3.5). *)
+
+val allocate : t -> Kutil.Gaddr.t -> (unit, error) result
+(** Allocate backing storage for a reserved region (by base address). *)
+
+val free : t -> Kutil.Gaddr.t -> unit
+(** Release-class counterpart of {!allocate}. *)
+
+val lock :
+  t -> principal:int -> addr:Kutil.Gaddr.t -> len:int ->
+  Kconsistency.Types.mode -> (lock_ctx, error) result
+(** Lock [addr, addr+len) in the given mode. The consistency protocol of
+    the enclosing region decides what the intent costs. *)
+
+val unlock : t -> lock_ctx -> unit
+(** Release-class: never fails toward the client. Dirty pages written under
+    this context propagate according to the region's protocol. *)
+
+val read :
+  t -> lock_ctx -> addr:Kutil.Gaddr.t -> len:int -> (bytes, error) result
+(** Copy out part of the locked range (charges local-storage latency). *)
+
+val write :
+  t -> lock_ctx -> addr:Kutil.Gaddr.t -> bytes -> (unit, error) result
+(** Update part of the locked range; requires a write-mode context. *)
+
+val get_attr : t -> Kutil.Gaddr.t -> (Attr.t, error) result
+
+val set_attr :
+  t -> principal:int -> Kutil.Gaddr.t -> Attr.t -> (unit, error) result
+(** Update [world] access and [min_replicas] at the region's home. Other
+    fields (protocol, page size) are immutable after creation. *)
+
+(** {1 Introspection} *)
+
+val locate_region : t -> Kutil.Gaddr.t -> (Region.t, error) result
+(** The §3.2 location path: homed table, region directory, cluster manager,
+    address-map tree walk. Exposed for experiments. *)
+
+val region_directory : t -> Region_directory.t
+val page_directory : t -> Page_directory.t
+val store : t -> Kstorage.Page_store.t
+val homed_regions : t -> Region.t list
+
+val machine_state : t -> Kutil.Gaddr.t -> string option
+(** Protocol state name of the machine for a page, if instantiated. *)
+
+val holds_page : t -> Kutil.Gaddr.t -> bool
+(** Does this node currently hold a protocol-valid copy of the page? *)
+
+type lookup_stats = {
+  homed_hits : int;
+  rdir_hits : int;
+  cluster_hits : int;
+  map_walks : int;
+  map_walk_depth_total : int;
+  cluster_walks : int;
+      (** resolved by walking peer cluster managers (§3.1's fallback for
+          stale or unavailable address-map data) *)
+  failures : int;
+}
+
+val lookup_stats : t -> lookup_stats
+val reset_lookup_stats : t -> unit
+
+val pool_bytes : t -> int
+(** Locally reserved-but-unused address space. *)
+
+val cluster_state : t -> Cluster.t option
+(** The manager-role state when this node is a cluster manager. *)

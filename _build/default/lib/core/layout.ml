@@ -1,0 +1,52 @@
+(** Well-known constants of the global address space.
+
+    Bootstrap knowledge every daemon shares: where the self-hosted address
+    map lives and how raw address space is parcelled out to clusters and
+    nodes. "A well-known region beginning at address 0 stores the root node
+    of the address map tree." *)
+
+module Gaddr = Kutil.Gaddr
+module U128 = Kutil.U128
+
+let map_page_size = Gaddr.default_page_size
+
+(* 4096 tree pages = 16 MiB of metadata, enough for ~hundreds of thousands
+   of regions at our entry sizes. *)
+let map_pages = 4096
+let map_base = Gaddr.zero
+let map_len = map_pages * map_page_size
+
+(** The address of map tree page [i]. *)
+let map_page_addr i =
+  if i < 0 || i >= map_pages then invalid_arg "Layout.map_page_addr";
+  Gaddr.add_int map_base (i * map_page_size)
+
+(* Client data lives far above the map; each cluster owns a 2^50-byte slice
+   carved into 1 GiB chunks that its cluster manager hands to member nodes
+   ("a large (e.g., one gigabyte) region of unreserved space that it will
+   then locally manage"). *)
+let data_base = U128.shift_left U128.one 40
+let cluster_slice_log2 = 50
+let chunk_size = 1 lsl 30
+
+let cluster_slice_base cluster =
+  U128.add data_base (U128.shift_left (U128.of_int cluster) cluster_slice_log2)
+
+let chunk_addr ~cluster ~index =
+  U128.add (cluster_slice_base cluster) (U128.mul_int (U128.of_int index) chunk_size)
+
+(* The whole space the address-map tree indexes: everything from zero up to
+   2^controlled_span_log2. *)
+let tree_span_log2 = 64
+
+let map_region_attr ~bootstrap_node =
+  Attr.make ~level:Attr.Release ~protocol:"release" ~world:Attr.Read_write
+    ~min_replicas:1 ~page_size:map_page_size ~owner:bootstrap_node ()
+
+(** The well-known descriptor of the map region, constructible by any node
+    without communication. *)
+let map_region ~bootstrap_node =
+  Region.allocated
+    (Region.make ~base:map_base ~len:map_len
+       ~attr:(map_region_attr ~bootstrap_node)
+       ~home:bootstrap_node)

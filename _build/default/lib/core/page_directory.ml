@@ -1,0 +1,39 @@
+module Gaddr = Kutil.Gaddr
+
+type entry = {
+  region_base : Gaddr.t;
+  homed_here : bool;
+  mutable sharers : Knet.Topology.node_id list;
+}
+
+type t = entry Gaddr.Table.t
+
+let create () = Gaddr.Table.create 256
+
+let ensure t ~page ~region_base ~homed_here =
+  match Gaddr.Table.find_opt t page with
+  | Some e -> e
+  | None ->
+    let e = { region_base; homed_here; sharers = [] } in
+    Gaddr.Table.replace t page e;
+    e
+
+let find t page = Gaddr.Table.find_opt t page
+
+let set_sharers t page sharers =
+  match Gaddr.Table.find_opt t page with
+  | Some e -> e.sharers <- sharers
+  | None -> ()
+
+let remove t page = Gaddr.Table.remove t page
+
+let crash t =
+  let hints =
+    Gaddr.Table.fold
+      (fun page e acc -> if e.homed_here then acc else page :: acc)
+      t []
+  in
+  List.iter (Gaddr.Table.remove t) hints
+
+let length t = Gaddr.Table.length t
+let fold f t acc = Gaddr.Table.fold f t acc

@@ -1,0 +1,27 @@
+(** Per-node page directory.
+
+    "The local storage subsystem on each node maintains a page directory,
+    indexed by global addresses, that contains information about individual
+    pages of global regions including the list of nodes sharing this page."
+    Entries for locally-homed pages are authoritative (they mirror the
+    consistency manager's sharer knowledge and survive crashes, like the
+    disk tier); entries for remote pages are hints. *)
+
+type entry = {
+  region_base : Kutil.Gaddr.t;
+  homed_here : bool;
+  mutable sharers : Knet.Topology.node_id list;  (** possibly-stale hint *)
+}
+
+type t
+
+val create : unit -> t
+val ensure : t -> page:Kutil.Gaddr.t -> region_base:Kutil.Gaddr.t -> homed_here:bool -> entry
+val find : t -> Kutil.Gaddr.t -> entry option
+val set_sharers : t -> Kutil.Gaddr.t -> Knet.Topology.node_id list -> unit
+val remove : t -> Kutil.Gaddr.t -> unit
+val crash : t -> unit
+(** Drop hint entries (remote pages); keep authoritative local ones. *)
+
+val length : t -> int
+val fold : (Kutil.Gaddr.t -> entry -> 'a -> 'a) -> t -> 'a -> 'a

@@ -1,0 +1,37 @@
+(** Region descriptors.
+
+    "Khazana maintains a global region descriptor associated with each
+    region that stores various region attributes such as its security
+    attributes, page size, and desired consistency protocol. In addition,
+    each region has a home node that maintains a copy of the region's
+    descriptor and keeps track of all the nodes maintaining copies of the
+    region's data." *)
+
+type state = Reserved | Allocated
+(** Reserved address space cannot be accessed until storage is allocated. *)
+
+type t = {
+  base : Kutil.Gaddr.t;       (** first address; page-aligned *)
+  len : int;                  (** bytes; multiple of [attr.page_size] *)
+  attr : Attr.t;
+  home : Knet.Topology.node_id;
+  state : state;
+}
+
+val make :
+  base:Kutil.Gaddr.t -> len:int -> attr:Attr.t -> home:Knet.Topology.node_id -> t
+(** A fresh descriptor in [Reserved] state. Raises [Invalid_argument] on
+    misaligned base or length. *)
+
+val allocated : t -> t
+val page_count : t -> int
+val pages : t -> Kutil.Gaddr.t list
+val contains : t -> Kutil.Gaddr.t -> bool
+val contains_range : t -> Kutil.Gaddr.t -> len:int -> bool
+val page_of : t -> Kutil.Gaddr.t -> Kutil.Gaddr.t
+(** Enclosing page base for an address inside the region. *)
+
+val end_ : t -> Kutil.Gaddr.t
+val encode : Kutil.Codec.encoder -> t -> unit
+val decode : Kutil.Codec.decoder -> t
+val pp : Format.formatter -> t -> unit

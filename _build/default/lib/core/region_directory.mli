@@ -1,0 +1,28 @@
+(** Per-node cache of recently used region descriptors.
+
+    "To avoid expensive remote lookups, Khazana maintains a cache of
+    recently used region descriptors called the region directory. The
+    region directory is not kept globally consistent, and thus may contain
+    stale data, but this is not a problem." Capacity-bounded with LRU
+    eviction; lookups are by containing address. *)
+
+type t
+
+val create : capacity:int -> t
+val put : t -> Region.t -> unit
+val find : t -> Kutil.Gaddr.t -> Region.t option
+(** Descriptor of the cached region containing the address, if any;
+    refreshes recency. *)
+
+val remove : t -> Kutil.Gaddr.t -> unit
+(** Drop the entry whose base is exactly this address. *)
+
+val invalidate_containing : t -> Kutil.Gaddr.t -> unit
+(** Drop whichever cached region contains the address (stale-hint
+    recovery). *)
+
+val length : t -> int
+val entries : t -> Region.t list
+val hits : t -> int
+val misses : t -> int
+val reset_stats : t -> unit

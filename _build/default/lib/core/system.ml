@@ -1,0 +1,70 @@
+module Topology = Knet.Topology
+
+type t = {
+  engine : Ksim.Engine.t;
+  topology : Topology.t;
+  transport : Wire.Transport.t;
+  daemons : Daemon.t array;
+}
+
+let engine t = t.engine
+let topology t = t.topology
+let transport t = t.transport
+let net t = Wire.Transport.net t.transport
+
+let daemon t node =
+  if node < 0 || node >= Array.length t.daemons then
+    invalid_arg "System.daemon: bad node";
+  t.daemons.(node)
+
+let daemons t = Array.to_list t.daemons
+let node_count t = Array.length t.daemons
+let now t = Ksim.Engine.now t.engine
+
+let client t node ?principal () =
+  Client.connect (daemon t node) ~principal:(Option.value principal ~default:node)
+
+(* Drive the engine until a fiber completes; a quiescent queue with the
+   fiber still pending is a deadlock in the system under test. *)
+let run_fiber t f =
+  let p = Ksim.Fiber.async t.engine f in
+  while (not (Ksim.Promise.is_resolved p)) && Ksim.Engine.step t.engine do
+    ()
+  done;
+  match Ksim.Promise.peek p with
+  | Some v -> v
+  | None -> failwith "System.run_fiber: simulation went quiescent (deadlock)"
+
+let run_until_quiet ?(limit = Ksim.Time.sec 60) t =
+  Ksim.Engine.run ~until:(Ksim.Engine.now t.engine + limit) t.engine
+
+let crash t node = Daemon.crash (daemon t node)
+let recover t node = Daemon.recover (daemon t node)
+
+let partition t a b =
+  Wire.Transport.Net.partition (net t) a b
+
+let heal t = Wire.Transport.Net.heal (net t)
+
+let create ?(seed = 42) ?config ?lan ?wan ~nodes_per_cluster ~clusters () =
+  let engine = Ksim.Engine.create ~seed () in
+  let topology = Topology.symmetric ~nodes_per_cluster ~clusters in
+  (match lan with Some p -> Topology.set_lan topology p | None -> ());
+  (match wan with Some p -> Topology.set_wan topology p | None -> ());
+  let transport = Wire.Transport.create engine topology in
+  let bootstrap = 0 in
+  let manager_of node =
+    (* The first node of each cluster manages it. *)
+    Topology.cluster_of topology node * nodes_per_cluster
+  in
+  let all_managers =
+    List.init clusters (fun c -> c * nodes_per_cluster)
+  in
+  let daemons =
+    Array.init (Topology.node_count topology) (fun id ->
+        Daemon.create ?config ~peer_managers:all_managers ~id ~bootstrap
+          ~cluster_manager:(manager_of id) transport)
+  in
+  let t = { engine; topology; transport; daemons } in
+  run_fiber t (fun () -> Daemon.bootstrap_map daemons.(bootstrap));
+  t

@@ -1,0 +1,50 @@
+(** Whole-system builder: engine + topology + transport + daemons.
+
+    Reproduces Figure 1's shape: a set of peer Khazana nodes, possibly
+    spread over several clusters with WAN links between them, with node 0 as
+    the bootstrap (home of the address map) and the first node of each
+    cluster as that cluster's manager. *)
+
+type t
+
+val create :
+  ?seed:int ->
+  ?config:Daemon.config ->
+  ?lan:Knet.Topology.link_profile ->
+  ?wan:Knet.Topology.link_profile ->
+  nodes_per_cluster:int ->
+  clusters:int ->
+  unit ->
+  t
+(** Build and bootstrap a system; returns once the address map root exists
+    and the simulation is quiescent. *)
+
+val engine : t -> Ksim.Engine.t
+val topology : t -> Knet.Topology.t
+val transport : t -> Wire.Transport.t
+val net : t -> Wire.Transport.Net.t
+val daemon : t -> Knet.Topology.node_id -> Daemon.t
+val daemons : t -> Daemon.t list
+val node_count : t -> int
+
+val client : t -> Knet.Topology.node_id -> ?principal:int -> unit -> Client.t
+(** Connect a client application process to the daemon on a node. The
+    principal defaults to the node id. *)
+
+val run_fiber : t -> (unit -> 'a) -> 'a
+(** Run a fiber to completion, driving the simulation as needed. Raises
+    [Failure] if the simulation goes quiescent with the fiber still blocked
+    (deadlock). This is the main entry point for tests and examples. *)
+
+val run_until_quiet : ?limit:Ksim.Time.t -> t -> unit
+(** Drain all pending simulation work (bounded by [limit] of additional
+    virtual time, default 60 s). *)
+
+val now : t -> Ksim.Time.t
+
+(** {1 Failure injection} *)
+
+val crash : t -> Knet.Topology.node_id -> unit
+val recover : t -> Knet.Topology.node_id -> unit
+val partition : t -> Knet.Topology.node_id list -> Knet.Topology.node_id list -> unit
+val heal : t -> unit

@@ -1,0 +1,91 @@
+(** Inter-daemon wire protocol.
+
+    Everything Khazana nodes say to each other travels as one of these
+    requests over {!Krpc.Rpc}. Consistency-manager traffic ([Cm_msg]) is
+    one-way; the rest follow request/response. *)
+
+module Gaddr = Kutil.Gaddr
+module Ctypes = Kconsistency.Types
+
+type request =
+  | Cm_msg of { page : Gaddr.t; region_base : Gaddr.t; body : Ctypes.msg }
+      (** Consistency protocol traffic for one page. [region_base] lets the
+          receiver resolve the region (and thus protocol/home) lazily. *)
+  | Get_descriptor of { addr : Gaddr.t }
+      (** Ask a node for the descriptor of the region containing [addr];
+          answered from its homed table or its region directory. *)
+  | Alloc_region of { desc : Region.t }
+      (** Sent to the region's home: allocate backing storage. *)
+  | Free_region of { base : Gaddr.t }
+      (** Sent to the region's home: release backing storage. *)
+  | Unreserve_region of { base : Gaddr.t }
+      (** Sent to the region's home: forget the descriptor. *)
+  | Set_attr of { base : Gaddr.t; attr : Attr.t }
+  | Chunk_request
+      (** Node -> cluster manager: grant me a fresh 1 GiB chunk of
+          unreserved address space to manage locally. *)
+  | Cluster_lookup of { addr : Gaddr.t }
+      (** Node -> cluster manager: is this region cached nearby? *)
+  | Cluster_walk of { addr : Gaddr.t }
+      (** Cluster manager -> peer cluster managers: the paper's fallback
+          when the address map is stale or unreachable — "the region can
+          still be located using a cluster-walk algorithm". Answered from
+          local hints only; never forwarded further. *)
+  | Cluster_report of { node_regions : (Gaddr.t * Region.t) list; free_bytes : int }
+      (** One-way hint refresh: regions this node caches/homes, free pool. *)
+  | Ping
+
+type response =
+  | R_unit
+  | R_descriptor of Region.t option
+  | R_chunk of { base : Gaddr.t; len : int }
+  | R_lookup of { desc : Region.t option; holders : Knet.Topology.node_id list }
+  | R_error of string
+
+let addr_size = 16
+let desc_size = 64 (* serialized descriptor estimate *)
+
+let request_size = function
+  | Cm_msg { body; _ } -> (2 * addr_size) + Ctypes.msg_size body
+  | Get_descriptor _ -> addr_size + 8
+  | Alloc_region _ -> desc_size
+  | Free_region _ | Unreserve_region _ -> addr_size + 8
+  | Set_attr _ -> addr_size + 32
+  | Chunk_request -> 8
+  | Cluster_lookup _ -> addr_size + 8
+  | Cluster_walk _ -> addr_size + 8
+  | Cluster_report { node_regions; _ } ->
+    16 + (List.length node_regions * (addr_size + desc_size))
+  | Ping -> 8
+
+let response_size = function
+  | R_unit -> 8
+  | R_descriptor None -> 9
+  | R_descriptor (Some _) -> 8 + desc_size
+  | R_chunk _ -> 8 + addr_size + 8
+  | R_lookup { desc; holders } ->
+    8 + (match desc with Some _ -> desc_size | None -> 1)
+    + (4 * List.length holders)
+  | R_error s -> 8 + String.length s
+
+let request_kind = function
+  | Cm_msg { body; _ } -> Ctypes.msg_kind body
+  | Get_descriptor _ -> "get_descriptor"
+  | Alloc_region _ -> "alloc_region"
+  | Free_region _ -> "free_region"
+  | Unreserve_region _ -> "unreserve_region"
+  | Set_attr _ -> "set_attr"
+  | Chunk_request -> "chunk_request"
+  | Cluster_lookup _ -> "cluster_lookup"
+  | Cluster_walk _ -> "cluster_walk"
+  | Cluster_report _ -> "cluster_report"
+  | Ping -> "ping"
+
+module Transport = Krpc.Rpc.Make (struct
+  type nonrec request = request
+  type nonrec response = response
+
+  let request_size = request_size
+  let response_size = response_size
+  let request_kind = request_kind
+end)

@@ -1,0 +1,1 @@
+lib/kfs/fs.ml: Bytes Fun Kconsistency Khazana Kutil List Option Printf Result String

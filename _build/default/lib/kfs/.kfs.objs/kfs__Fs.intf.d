@@ -1,0 +1,1 @@
+lib/kfs/fs.mli: Khazana Kutil

@@ -1,0 +1,90 @@
+(** A wide-area distributed filesystem on Khazana (paper §4.1).
+
+    "The filesystem treats the entire Khazana space as a single disk ...
+    Mounting this filesystem only requires the Khazana address of the
+    superblock. Creating a file involves the creation of an inode and
+    directory entry for the file. Each inode is allocated as a region of its
+    own. ... In the current implementation, each block of the filesystem is
+    allocated into a separate 4-kilobyte region. An alternative would be for
+    the filesystem to allocate each file into a single contiguous region."
+
+    Both block policies are implemented ({!block_policy}); per-file
+    attributes (replica count, consistency level, access rights) are passed
+    at creation time, exactly as the paper prescribes. The same code runs
+    single-node or distributed: instances on different nodes {!mount} the
+    same superblock address and share state purely through Khazana. *)
+
+type block_policy =
+  | Per_block_regions  (** each 4 KiB block is its own region (paper default) *)
+  | Contiguous of int  (** one region per file of this maximum byte size *)
+
+type error =
+  [ Khazana.Daemon.error
+  | `Not_found
+  | `Exists
+  | `Not_a_directory
+  | `Is_a_directory
+  | `Not_empty
+  | `File_too_big
+  | `Corrupt of string ]
+
+val error_to_string : error -> string
+
+type t
+(** A mounted filesystem instance (one per client process). *)
+
+val format :
+  Khazana.Client.t ->
+  ?policy:block_policy ->
+  ?attr:Khazana.Attr.t ->
+  unit ->
+  (Kutil.Gaddr.t, error) result
+(** Create a fresh filesystem; returns the superblock address, the only
+    thing other nodes need in order to {!mount}. [attr] is the default
+    template for metadata and data regions. *)
+
+val mount : Khazana.Client.t -> Kutil.Gaddr.t -> (t, error) result
+val client : t -> Khazana.Client.t
+val superblock_addr : t -> Kutil.Gaddr.t
+
+(** {1 Files} *)
+
+val create :
+  t -> ?attr:Khazana.Attr.t -> string -> (unit, error) result
+(** Create an empty file. Per-file [attr] overrides the filesystem default
+    (e.g. more replicas for precious files, weaker consistency for
+    scratch). *)
+
+val write : t -> string -> off:int -> bytes -> (unit, error) result
+
+(** [append t path data] is an atomic append: concurrent appenders (on any
+    node) serialise on the file's inode lock, so no entry is lost. *)
+val append : t -> string -> bytes -> (unit, error) result
+val read : t -> string -> off:int -> len:int -> (bytes, error) result
+val size : t -> string -> (int, error) result
+val truncate : t -> string -> len:int -> (unit, error) result
+val unlink : t -> string -> (unit, error) result
+
+(** [rename t src dst] moves a file or directory to a new name/parent.
+    Fails with [`Exists] if [dst] already exists. Distinct parent
+    directories are locked in global-address order, so concurrent renames
+    cannot deadlock. *)
+val rename : t -> string -> string -> (unit, error) result
+
+(** {1 Directories} *)
+
+val mkdir : t -> string -> (unit, error) result
+val rmdir : t -> string -> (unit, error) result
+val readdir : t -> string -> (string list, error) result
+
+type kind = File | Directory
+
+type stat = {
+  kind : kind;
+  bytes : int;
+  blocks : int;
+  inode_addr : Kutil.Gaddr.t;
+}
+
+val stat : t -> string -> (stat, error) result
+val exists : t -> string -> bool

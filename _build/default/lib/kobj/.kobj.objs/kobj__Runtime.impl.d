@@ -1,0 +1,1 @@
+lib/kobj/runtime.ml: Bytes Fun Hashtbl Kconsistency Khazana Knet Krpc Ksim Kutil List Option Result String

@@ -1,0 +1,1 @@
+lib/kobj/runtime.mli: Khazana Knet Ksim Kutil

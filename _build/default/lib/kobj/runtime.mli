@@ -1,0 +1,97 @@
+(** A distributed object runtime on Khazana (paper §4.2).
+
+    Object state lives in Khazana regions; "Khazana provides location
+    transparency for the object by associating with each object a unique
+    identifying Khazana address". Methods are registered per class and
+    execute against the serialised state under a Khazana lock; the runtime
+    "use[s] location information exported from Khazana to decide if it is
+    more efficient to load a local copy of the object or perform a remote
+    invocation of the object on a node where it is already physically
+    instantiated".
+
+    Remote invocation travels over a thin application-level overlay
+    ({!Overlay}) on the same simulated network topology; everything else —
+    replication, consistency, caching, fault handling — is Khazana's job.
+
+    Two placements support the paper's false-sharing discussion: objects in
+    a region of their own, or many small objects pooled into shared pages
+    (where unrelated objects contend for the same page lock). *)
+
+type error =
+  [ Khazana.Daemon.error
+  | `Unknown_class of string
+  | `Unknown_method of string
+  | `Unknown_object
+  | `Remote_failure of string
+  | `Corrupt of string ]
+
+val error_to_string : error -> string
+
+(** {1 Classes} *)
+
+type method_impl = state:bytes -> arg:bytes -> bytes * bytes option
+(** [f ~state ~arg] returns (result, updated state or [None] if
+    read-only). *)
+
+type class_def = { class_name : string; methods : (string * method_impl) list }
+
+(** {1 Overlay: app-level RPC between runtimes} *)
+
+module Overlay : sig
+  type t
+
+  val create : Ksim.Engine.t -> Knet.Topology.t -> t
+end
+
+(** {1 Runtime} *)
+
+type t
+
+val create : Overlay.t -> Khazana.Client.t -> t
+(** One runtime per application process; registers itself on the overlay at
+    its client's node. *)
+
+val register_class : t -> class_def -> unit
+
+type obj = { addr : Kutil.Gaddr.t }
+
+type placement =
+  | Own_region          (** the object gets a region of its own *)
+  | Pooled              (** packed with other small objects into shared pages *)
+
+val new_object :
+  t ->
+  class_name:string ->
+  ?placement:placement ->
+  ?attr:Khazana.Attr.t ->
+  init:bytes ->
+  unit ->
+  (obj, error) result
+
+val invoke :
+  t -> obj -> meth:string -> arg:bytes -> (bytes, error) result
+(** Location-aware invocation: runs locally when this node holds a copy of
+    the object's page (or nothing better is known), otherwise ships the call
+    to a node that does. *)
+
+val invoke_local : t -> obj -> meth:string -> arg:bytes -> (bytes, error) result
+(** Force local execution (faults the object in if needed). *)
+
+val invoke_at :
+  t -> Knet.Topology.node_id -> obj -> meth:string -> arg:bytes ->
+  (bytes, error) result
+(** Force remote execution on a given node. *)
+
+(** {1 Reference counting (an "object veneer" semantic, §4.2)} *)
+
+val incref : t -> obj -> (int, error) result
+val decref : t -> obj -> (int, error) result
+(** At zero the object's storage is released (own-region objects free their
+    region; pooled objects free their slot). *)
+
+val get_state : t -> obj -> (bytes, error) result
+(** Read the object's current state (diagnostics/tests). *)
+
+type stats = { local_invocations : int; remote_invocations : int }
+
+val stats : t -> stats

@@ -1,0 +1,1 @@
+lib/kutil/codec.ml: Buffer Bytes Char Int32 Int64 List Printf String U128

@@ -1,0 +1,1 @@
+lib/kutil/codec.mli: U128

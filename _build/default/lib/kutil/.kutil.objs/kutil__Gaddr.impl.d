@@ -1,0 +1,1 @@
+lib/kutil/gaddr.ml: Hashtbl List Map U128

@@ -1,0 +1,1 @@
+lib/kutil/gaddr.mli: Format Hashtbl Map U128

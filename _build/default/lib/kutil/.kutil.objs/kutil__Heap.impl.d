@@ -1,0 +1,1 @@
+lib/kutil/heap.ml: Array

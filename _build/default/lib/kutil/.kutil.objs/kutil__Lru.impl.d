@@ -1,0 +1,1 @@
+lib/kutil/lru.ml: Hashtbl List Option

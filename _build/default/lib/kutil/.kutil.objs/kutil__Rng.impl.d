@@ -1,0 +1,1 @@
+lib/kutil/rng.ml: Array Int64

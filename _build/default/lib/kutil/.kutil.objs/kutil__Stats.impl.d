@@ -1,0 +1,1 @@
+lib/kutil/stats.ml: Array Float Format List Stdlib String

@@ -1,0 +1,1 @@
+lib/kutil/u128.ml: Array Char Format Int64 Printf String

@@ -1,0 +1,1 @@
+lib/kutil/u128.mli: Format

@@ -1,0 +1,18 @@
+(** Imperative binary min-heap.
+
+    Backs the discrete-event queue; elements with equal priority pop in
+    insertion order (the comparator should fold in a sequence number, as
+    {!Ksim.Engine} does), which keeps simulations deterministic. *)
+
+type 'a t
+
+val create : cmp:('a -> 'a -> int) -> 'a t
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+val push : 'a t -> 'a -> unit
+
+val pop : 'a t -> 'a option
+(** Remove and return the minimum element. *)
+
+val peek : 'a t -> 'a option
+val clear : 'a t -> unit

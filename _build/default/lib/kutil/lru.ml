@@ -1,0 +1,128 @@
+(* Intrusive doubly-linked list threaded through a hashtable: O(1) find,
+   put, remove and eviction. [head] is most recently used. *)
+
+type ('k, 'v) node = {
+  key : 'k;
+  mutable value : 'v;
+  mutable prev : ('k, 'v) node option;
+  mutable next : ('k, 'v) node option;
+}
+
+type ('k, 'v) t = {
+  hash : 'k -> int;
+  equal : 'k -> 'k -> bool;
+  capacity : int;
+  table : (int, ('k, 'v) node list) Hashtbl.t;
+  mutable head : ('k, 'v) node option;
+  mutable tail : ('k, 'v) node option;
+  mutable length : int;
+}
+
+let create ?(hash = Hashtbl.hash) ?(equal = ( = )) ~capacity () =
+  if capacity <= 0 then invalid_arg "Lru.create: capacity must be positive";
+  { hash; equal; capacity; table = Hashtbl.create 64; head = None; tail = None;
+    length = 0 }
+
+let length t = t.length
+let capacity t = t.capacity
+
+let bucket_find t k =
+  let h = t.hash k in
+  match Hashtbl.find_opt t.table h with
+  | None -> None
+  | Some nodes -> List.find_opt (fun n -> t.equal n.key k) nodes
+
+let bucket_remove t k =
+  let h = t.hash k in
+  match Hashtbl.find_opt t.table h with
+  | None -> ()
+  | Some nodes ->
+    let nodes' = List.filter (fun n -> not (t.equal n.key k)) nodes in
+    if nodes' = [] then Hashtbl.remove t.table h
+    else Hashtbl.replace t.table h nodes'
+
+let bucket_add t node =
+  let h = t.hash node.key in
+  let nodes = Option.value (Hashtbl.find_opt t.table h) ~default:[] in
+  Hashtbl.replace t.table h (node :: nodes)
+
+let unlink t node =
+  (match node.prev with
+   | Some p -> p.next <- node.next
+   | None -> t.head <- node.next);
+  (match node.next with
+   | Some n -> n.prev <- node.prev
+   | None -> t.tail <- node.prev);
+  node.prev <- None;
+  node.next <- None
+
+let push_front t node =
+  node.next <- t.head;
+  node.prev <- None;
+  (match t.head with Some h -> h.prev <- Some node | None -> t.tail <- Some node);
+  t.head <- Some node
+
+let find t k =
+  match bucket_find t k with
+  | None -> None
+  | Some node ->
+    unlink t node;
+    push_front t node;
+    Some node.value
+
+let peek t k = Option.map (fun n -> n.value) (bucket_find t k)
+let mem t k = bucket_find t k <> None
+
+let remove t k =
+  match bucket_find t k with
+  | None -> ()
+  | Some node ->
+    unlink t node;
+    bucket_remove t k;
+    t.length <- t.length - 1
+
+let put t k v =
+  match bucket_find t k with
+  | Some node ->
+    node.value <- v;
+    unlink t node;
+    push_front t node;
+    None
+  | None ->
+    let node = { key = k; value = v; prev = None; next = None } in
+    bucket_add t node;
+    push_front t node;
+    t.length <- t.length + 1;
+    if t.length > t.capacity then begin
+      match t.tail with
+      | None -> None
+      | Some victim ->
+        unlink t victim;
+        bucket_remove t victim.key;
+        t.length <- t.length - 1;
+        Some (victim.key, victim.value)
+    end
+    else None
+
+let lru t = Option.map (fun n -> (n.key, n.value)) t.tail
+
+let iter f t =
+  let rec loop = function
+    | None -> ()
+    | Some node ->
+      let next = node.next in
+      f node.key node.value;
+      loop next
+  in
+  loop t.head
+
+let fold f t acc =
+  let acc = ref acc in
+  iter (fun k v -> acc := f k v !acc) t;
+  !acc
+
+let clear t =
+  Hashtbl.reset t.table;
+  t.head <- None;
+  t.tail <- None;
+  t.length <- 0

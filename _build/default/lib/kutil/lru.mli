@@ -1,0 +1,39 @@
+(** Bounded LRU map.
+
+    Used for the region directory (per-node cache of region descriptors) and
+    for RAM-tier victim selection. Keys are hashed with the polymorphic hash
+    unless a custom [hash]/[equal] pair is supplied. *)
+
+type ('k, 'v) t
+
+val create :
+  ?hash:('k -> int) -> ?equal:('k -> 'k -> bool) -> capacity:int -> unit ->
+  ('k, 'v) t
+(** [create ~capacity ()] makes an empty cache evicting least-recently-used
+    entries beyond [capacity] (which must be positive). *)
+
+val length : ('k, 'v) t -> int
+val capacity : ('k, 'v) t -> int
+
+val find : ('k, 'v) t -> 'k -> 'v option
+(** [find t k] returns the binding and marks it most recently used. *)
+
+val peek : ('k, 'v) t -> 'k -> 'v option
+(** Like {!find} but without touching recency. *)
+
+val mem : ('k, 'v) t -> 'k -> bool
+
+val put : ('k, 'v) t -> 'k -> 'v -> ('k * 'v) option
+(** [put t k v] inserts or replaces the binding and returns the evicted
+    entry, if insertion pushed the cache over capacity. *)
+
+val remove : ('k, 'v) t -> 'k -> unit
+
+val lru : ('k, 'v) t -> ('k * 'v) option
+(** Least-recently-used binding, if any. *)
+
+val iter : ('k -> 'v -> unit) -> ('k, 'v) t -> unit
+(** Iterate from most to least recently used. *)
+
+val fold : ('k -> 'v -> 'acc -> 'acc) -> ('k, 'v) t -> 'acc -> 'acc
+val clear : ('k, 'v) t -> unit

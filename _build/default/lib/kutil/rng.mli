@@ -1,0 +1,35 @@
+(** Deterministic pseudo-random numbers (SplitMix64).
+
+    Every source of randomness in the simulator flows from one of these
+    generators so that a run is fully reproducible from its seed. *)
+
+type t
+
+val create : seed:int -> t
+
+val split : t -> t
+(** [split t] derives an independent generator; the parent and child streams
+    do not interfere, so subsystems can be reseeded without perturbing each
+    other's draws. *)
+
+val int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t n] is uniform in [\[0, n)]. Raises [Invalid_argument] if
+    [n <= 0]. *)
+
+val float : t -> float -> float
+(** [float t x] is uniform in [\[0, x)]. *)
+
+val bool : t -> bool
+
+val exponential : t -> mean:float -> float
+(** Exponentially distributed value with the given mean; used for
+    inter-arrival times in workload generators. *)
+
+val pick : t -> 'a array -> 'a
+(** Uniform choice from a non-empty array. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)

@@ -1,0 +1,96 @@
+type counter = { mutable n : int }
+
+let counter () = { n = 0 }
+let incr ?(by = 1) c = c.n <- c.n + by
+let count c = c.n
+let reset_counter c = c.n <- 0
+
+type summary = {
+  mutable values : float array;
+  mutable len : int;
+  mutable sorted : bool;
+}
+
+let summary () = { values = [||]; len = 0; sorted = true }
+
+let add s v =
+  let cap = Array.length s.values in
+  if s.len = cap then begin
+    let ncap = if cap = 0 then 64 else cap * 2 in
+    let nvalues = Array.make ncap 0.0 in
+    Array.blit s.values 0 nvalues 0 s.len;
+    s.values <- nvalues
+  end;
+  s.values.(s.len) <- v;
+  s.len <- s.len + 1;
+  s.sorted <- false
+
+let samples s = s.len
+
+let fold f acc s =
+  let acc = ref acc in
+  for i = 0 to s.len - 1 do
+    acc := f !acc s.values.(i)
+  done;
+  !acc
+
+let total s = fold ( +. ) 0.0 s
+let mean s = if s.len = 0 then 0.0 else total s /. float_of_int s.len
+let minimum s = if s.len = 0 then 0.0 else fold Float.min infinity s
+let maximum s = if s.len = 0 then 0.0 else fold Float.max neg_infinity s
+
+let ensure_sorted s =
+  if not s.sorted then begin
+    let arr = Array.sub s.values 0 s.len in
+    Array.sort Float.compare arr;
+    Array.blit arr 0 s.values 0 s.len;
+    s.sorted <- true
+  end
+
+let percentile s p =
+  if s.len = 0 then 0.0
+  else begin
+    ensure_sorted s;
+    let p = Float.max 0.0 (Float.min 100.0 p) in
+    let rank = int_of_float (ceil (p /. 100.0 *. float_of_int s.len)) in
+    let idx = Stdlib.max 0 (Stdlib.min (s.len - 1) (rank - 1)) in
+    s.values.(idx)
+  end
+
+let stddev s =
+  if s.len < 2 then 0.0
+  else begin
+    let m = mean s in
+    let ss = fold (fun acc v -> acc +. ((v -. m) ** 2.0)) 0.0 s in
+    sqrt (ss /. float_of_int (s.len - 1))
+  end
+
+let pp_summary ~unit ppf s =
+  Format.fprintf ppf "n=%d mean=%.2f%s p50=%.2f%s p99=%.2f%s max=%.2f%s"
+    (samples s) (mean s) unit (percentile s 50.0) unit (percentile s 99.0)
+    unit (maximum s) unit
+
+type table = { columns : string list; mutable rows : string list list }
+
+let table ~columns = { columns; rows = [] }
+let row t cells = t.rows <- cells :: t.rows
+
+let render t =
+  let rows = List.rev t.rows in
+  let all = t.columns :: rows in
+  let ncols = List.length t.columns in
+  let width i =
+    List.fold_left
+      (fun acc r ->
+        match List.nth_opt r i with
+        | Some cell -> Stdlib.max acc (String.length cell)
+        | None -> acc)
+      0 all
+  in
+  let widths = List.init ncols width in
+  let pad w s = s ^ String.make (Stdlib.max 0 (w - String.length s)) ' ' in
+  let line cells =
+    String.concat "  " (List.mapi (fun i c -> pad (List.nth widths i) c) cells)
+  in
+  let sep = String.concat "  " (List.map (fun w -> String.make w '-') widths) in
+  String.concat "\n" (line t.columns :: sep :: List.map line rows)

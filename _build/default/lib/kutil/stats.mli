@@ -1,0 +1,37 @@
+(** Metric collection: counters and latency summaries.
+
+    Benchmarks report simulated-time latencies; a {!summary} accumulates raw
+    samples and answers mean/percentile queries. *)
+
+type counter
+
+val counter : unit -> counter
+val incr : ?by:int -> counter -> unit
+val count : counter -> int
+val reset_counter : counter -> unit
+
+type summary
+
+val summary : unit -> summary
+val add : summary -> float -> unit
+val samples : summary -> int
+val mean : summary -> float
+val minimum : summary -> float
+val maximum : summary -> float
+val total : summary -> float
+
+val percentile : summary -> float -> float
+(** [percentile s p] with [p] in [\[0,100\]] by nearest-rank on the sorted
+    samples; 0.0 when empty. *)
+
+val stddev : summary -> float
+
+val pp_summary : unit:string -> Format.formatter -> summary -> unit
+(** One-line [n/mean/p50/p99/max] rendering. *)
+
+type table
+(** Aligned console tables for experiment output. *)
+
+val table : columns:string list -> table
+val row : table -> string list -> unit
+val render : table -> string

@@ -1,0 +1,1 @@
+lib/net/network.ml: Array Hashtbl Ksim Kutil List Option Topology

@@ -1,0 +1,171 @@
+module type MESSAGE = sig
+  type t
+
+  val size_bytes : t -> int
+  val kind : t -> string
+end
+
+module Make (M : MESSAGE) = struct
+  type handler = src:Topology.node_id -> M.t -> unit
+
+  type t = {
+    engine : Ksim.Engine.t;
+    topology : Topology.t;
+    rng : Kutil.Rng.t;
+    handlers : handler option array;
+    up : bool array;
+    mutable partitions : (int array * int array) list;
+    mutable sent : int;
+    mutable delivered : int;
+    mutable dropped : int;
+    mutable bytes_sent : int;
+    by_kind : (string, int) Hashtbl.t;
+    mutable trace :
+      (Ksim.Time.t -> src:Topology.node_id -> dst:Topology.node_id -> M.t -> unit)
+      option;
+  }
+
+  let create engine topology =
+    let n = Topology.node_count topology in
+    {
+      engine;
+      topology;
+      rng = Kutil.Rng.split (Ksim.Engine.rng engine);
+      handlers = Array.make n None;
+      up = Array.make n true;
+      partitions = [];
+      sent = 0;
+      delivered = 0;
+      dropped = 0;
+      bytes_sent = 0;
+      by_kind = Hashtbl.create 32;
+      trace = None;
+    }
+
+  let engine t = t.engine
+  let topology t = t.topology
+
+  let check_node t n =
+    if n < 0 || n >= Array.length t.up then invalid_arg "Network: bad node id"
+
+  let set_handler t node h =
+    check_node t node;
+    t.handlers.(node) <- Some h
+
+  let crash t node =
+    check_node t node;
+    t.up.(node) <- false
+
+  let recover t node =
+    check_node t node;
+    t.up.(node) <- true
+
+  let is_up t node =
+    check_node t node;
+    t.up.(node)
+
+  let partition t a b =
+    t.partitions <- (Array.of_list a, Array.of_list b) :: t.partitions
+
+  let heal t = t.partitions <- []
+
+  let blocked t a b =
+    let mem x arr = Array.exists (fun y -> y = x) arr in
+    List.exists
+      (fun (ga, gb) -> (mem a ga && mem b gb) || (mem a gb && mem b ga))
+      t.partitions
+
+  let reachable t a b =
+    check_node t a;
+    check_node t b;
+    t.up.(a) && t.up.(b) && not (blocked t a b)
+
+  let account_kind t msg =
+    let k = M.kind msg in
+    Hashtbl.replace t.by_kind k
+      (1 + Option.value (Hashtbl.find_opt t.by_kind k) ~default:0)
+
+  let deliver t ~src ~dst msg =
+    if t.up.(dst) && not (blocked t src dst) then begin
+      match t.handlers.(dst) with
+      | Some h ->
+        t.delivered <- t.delivered + 1;
+        h ~src msg
+      | None -> t.dropped <- t.dropped + 1
+    end
+    else t.dropped <- t.dropped + 1
+
+  (* A local send still goes through the scheduler (at a nominal IPC cost)
+     so that handler re-entrancy never depends on whether a peer happens to
+     be co-located. *)
+  let local_delay = Ksim.Time.us 5
+
+  let send t ~src ~dst msg =
+    check_node t src;
+    check_node t dst;
+    if not t.up.(src) then ()
+    else begin
+      t.sent <- t.sent + 1;
+      t.bytes_sent <- t.bytes_sent + M.size_bytes msg;
+      account_kind t msg;
+      (match t.trace with
+       | Some f -> f (Ksim.Engine.now t.engine) ~src ~dst msg
+       | None -> ());
+      if src = dst then
+        ignore
+          (Ksim.Engine.schedule t.engine ~after:local_delay (fun () ->
+               deliver t ~src ~dst msg))
+      else if blocked t src dst || not t.up.(dst) then
+        (* Unreachable at send time: the packet leaves but can never land. *)
+        t.dropped <- t.dropped + 1
+      else begin
+        let profile = Topology.profile t.topology src dst in
+        if profile.loss > 0.0 && Kutil.Rng.float t.rng 1.0 < profile.loss then
+          t.dropped <- t.dropped + 1
+        else begin
+          let jitter =
+            if profile.jitter > 0 then Kutil.Rng.int t.rng profile.jitter else 0
+          in
+          let serialisation =
+            Ksim.Time.of_sec_f
+              (float_of_int (M.size_bytes msg) /. profile.bandwidth_bps)
+          in
+          let delay = profile.base_latency + jitter + serialisation in
+          ignore
+            (Ksim.Engine.schedule t.engine ~after:delay (fun () ->
+                 deliver t ~src ~dst msg))
+        end
+      end
+    end
+
+  type stats = {
+    sent : int;
+    delivered : int;
+    dropped : int;
+    bytes_sent : int;
+    by_kind : (string * int) list;
+  }
+
+  let stats (t : t) =
+    let by_kind =
+      Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.by_kind []
+      |> List.sort compare
+    in
+    {
+      sent = t.sent;
+      delivered = t.delivered;
+      dropped = t.dropped;
+      bytes_sent = t.bytes_sent;
+      by_kind;
+    }
+
+  let reset_stats (t : t) =
+    t.sent <- 0;
+    t.delivered <- 0;
+    t.dropped <- 0;
+    t.bytes_sent <- 0;
+    Hashtbl.reset t.by_kind
+
+  let set_trace t f = t.trace <- Some f
+  let clear_trace t = t.trace <- None
+end

@@ -1,0 +1,71 @@
+(** Simulated message network.
+
+    Delivers typed messages between nodes of a {!Topology.t} with per-link
+    latency, serialisation delay, probabilistic loss, node crashes and
+    network partitions. Delivery is at-most-once and unordered across links
+    (ordered per src/dst pair at equal delay only by scheduling order) —
+    the unreliable substrate the paper's retry logic assumes. *)
+
+module type MESSAGE = sig
+  type t
+
+  val size_bytes : t -> int
+  (** Approximate wire size, used for serialisation delay and traffic
+      accounting. *)
+
+  val kind : t -> string
+  (** Short label for per-message-kind counters and traces. *)
+end
+
+module Make (M : MESSAGE) : sig
+  type t
+
+  val create : Ksim.Engine.t -> Topology.t -> t
+  val engine : t -> Ksim.Engine.t
+  val topology : t -> Topology.t
+
+  val set_handler : t -> Topology.node_id -> (src:Topology.node_id -> M.t -> unit) -> unit
+  (** Install the message handler for a node; replaces any previous one. *)
+
+  val send : t -> src:Topology.node_id -> dst:Topology.node_id -> M.t -> unit
+  (** Fire-and-forget. Dropped silently when the source is down, the
+      destination is down at delivery time, the pair is partitioned at send
+      or delivery time, or the link's loss model says so. Local sends
+      ([src = dst]) bypass the wire and cost a small constant. *)
+
+  (** {1 Failure injection} *)
+
+  val crash : t -> Topology.node_id -> unit
+  (** Take the node off the network; in-flight messages to it are lost. *)
+
+  val recover : t -> Topology.node_id -> unit
+  val is_up : t -> Topology.node_id -> bool
+
+  val partition : t -> Topology.node_id list -> Topology.node_id list -> unit
+  (** [partition t a b] blocks all traffic between the two groups (in both
+      directions) until {!heal}. *)
+
+  val heal : t -> unit
+  (** Remove all partitions. *)
+
+  val reachable : t -> Topology.node_id -> Topology.node_id -> bool
+
+  (** {1 Accounting} *)
+
+  type stats = {
+    sent : int;
+    delivered : int;
+    dropped : int;
+    bytes_sent : int;
+    by_kind : (string * int) list;  (** messages sent, per kind, sorted *)
+  }
+
+  val stats : t -> stats
+  val reset_stats : t -> unit
+
+  val set_trace : t -> (Ksim.Time.t -> src:Topology.node_id -> dst:Topology.node_id -> M.t -> unit) -> unit
+  (** Called once per message at send time (after drop decisions for
+      partitions/crashes at send, before loss/delivery). *)
+
+  val clear_trace : t -> unit
+end

@@ -1,0 +1,1 @@
+lib/rpc/rpc.ml: Array Hashtbl Knet Ksim List

@@ -1,0 +1,1 @@
+lib/rpc/rpc.mli: Knet Ksim

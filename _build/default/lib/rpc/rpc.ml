@@ -1,0 +1,110 @@
+module type PROTOCOL = sig
+  type request
+  type response
+
+  val request_size : request -> int
+  val response_size : response -> int
+  val request_kind : request -> string
+end
+
+module Make (P : PROTOCOL) = struct
+  module Msg = struct
+    type t =
+      | Request of { id : int; body : P.request }
+      | Response of { id : int; body : P.response }
+      | Oneway of P.request
+
+    let header_size = 16
+
+    let size_bytes = function
+      | Request { body; _ } -> header_size + P.request_size body
+      | Response { body; _ } -> header_size + P.response_size body
+      | Oneway body -> header_size + P.request_size body
+
+    let kind = function
+      | Request { body; _ } -> P.request_kind body
+      | Response _ -> "response"
+      | Oneway body -> P.request_kind body
+  end
+
+  module Net = Knet.Network.Make (Msg)
+
+  type t = {
+    net : Net.t;
+    engine : Ksim.Engine.t;
+    mutable next_id : int;
+    pending : (int, P.response Ksim.Promise.t) Hashtbl.t;
+    servers :
+      (src:Knet.Topology.node_id ->
+       P.request ->
+       reply:(P.response -> unit) ->
+       unit)
+        option
+        array;
+  }
+
+  let create engine topology =
+    let net = Net.create engine topology in
+    let t =
+      {
+        net;
+        engine;
+        next_id = 0;
+        pending = Hashtbl.create 64;
+        servers = Array.make (Knet.Topology.node_count topology) None;
+      }
+    in
+    List.iter
+      (fun node ->
+        Net.set_handler net node (fun ~src msg ->
+            match msg with
+            | Msg.Request { id; body } -> (
+              match t.servers.(node) with
+              | None -> ()
+              | Some server ->
+                let reply resp =
+                  Net.send net ~src:node ~dst:src (Msg.Response { id; body = resp })
+                in
+                server ~src body ~reply)
+            | Msg.Response { id; body } -> (
+              match Hashtbl.find_opt t.pending id with
+              | None -> () (* late reply after timeout: drop *)
+              | Some promise ->
+                Hashtbl.remove t.pending id;
+                ignore (Ksim.Promise.try_resolve promise body))
+            | Msg.Oneway body -> (
+              match t.servers.(node) with
+              | None -> ()
+              | Some server -> server ~src body ~reply:(fun _ -> ()))))
+      (Knet.Topology.nodes topology);
+    t
+
+  let net t = t.net
+  let engine t = t.engine
+
+  let set_server t node handler = t.servers.(node) <- Some handler
+
+  let default_timeout = Ksim.Time.sec 1
+
+  let call t ~src ~dst ?(timeout = default_timeout) ?(attempts = 1) request =
+    let rec attempt n =
+      if n <= 0 then Error `Timeout
+      else begin
+        let id = t.next_id in
+        t.next_id <- t.next_id + 1;
+        let promise = Ksim.Promise.create () in
+        Hashtbl.replace t.pending id promise;
+        Net.send t.net ~src ~dst (Msg.Request { id; body = request });
+        match Ksim.Fiber.await_timeout t.engine promise ~timeout with
+        | Some resp -> Ok resp
+        | None ->
+          Hashtbl.remove t.pending id;
+          attempt (n - 1)
+      end
+    in
+    if attempts <= 0 then invalid_arg "Rpc.call: attempts must be positive";
+    attempt attempts
+
+  let notify t ~src ~dst request = Net.send t.net ~src ~dst (Msg.Oneway request)
+  let pending_calls t = Hashtbl.length t.pending
+end

@@ -1,0 +1,63 @@
+(** Request/response messaging over the simulated network.
+
+    Wraps {!Knet.Network} with correlation ids, timeouts and retries.
+    Khazana daemons use this for all inter-node protocol traffic. Retried
+    requests give at-least-once execution: handlers must be idempotent or
+    deduplicate, as the paper's own retry-until-success error handling
+    requires. *)
+
+module type PROTOCOL = sig
+  type request
+  type response
+
+  val request_size : request -> int
+  val response_size : response -> int
+  val request_kind : request -> string
+end
+
+module Make (P : PROTOCOL) : sig
+  type t
+
+  module Msg : sig
+    type t =
+      | Request of { id : int; body : P.request }
+      | Response of { id : int; body : P.response }
+      | Oneway of P.request
+
+    val size_bytes : t -> int
+    val kind : t -> string
+  end
+
+  module Net : module type of Knet.Network.Make (Msg)
+
+  val create : Ksim.Engine.t -> Knet.Topology.t -> t
+  val net : t -> Net.t
+  val engine : t -> Ksim.Engine.t
+
+  val set_server :
+    t ->
+    Knet.Topology.node_id ->
+    (src:Knet.Topology.node_id -> P.request -> reply:(P.response -> unit) -> unit) ->
+    unit
+  (** Install a node's request handler. The handler may reply immediately,
+      or capture [reply] and call it later from a fiber; replying is
+      optional (the caller then times out). *)
+
+  val call :
+    t ->
+    src:Knet.Topology.node_id ->
+    dst:Knet.Topology.node_id ->
+    ?timeout:Ksim.Time.t ->
+    ?attempts:int ->
+    P.request ->
+    (P.response, [ `Timeout ]) result
+  (** Fiber-blocking remote call; resends up to [attempts] times (default 1
+      attempt, timeout 1s of virtual time per attempt). *)
+
+  val notify :
+    t -> src:Knet.Topology.node_id -> dst:Knet.Topology.node_id -> P.request -> unit
+  (** One-way message: no response, no retry. *)
+
+  val pending_calls : t -> int
+  (** Outstanding requests (diagnostics). *)
+end

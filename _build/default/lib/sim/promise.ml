@@ -1,0 +1,26 @@
+type 'a state = Pending of ('a -> unit) list | Resolved of 'a
+type 'a t = { mutable state : 'a state }
+
+let create () = { state = Pending [] }
+let resolved v = { state = Resolved v }
+
+let try_resolve t v =
+  match t.state with
+  | Resolved _ -> false
+  | Pending waiters ->
+    t.state <- Resolved v;
+    List.iter (fun k -> k v) (List.rev waiters);
+    true
+
+let resolve t v =
+  if not (try_resolve t v) then invalid_arg "Promise.resolve: already resolved"
+
+let is_resolved t = match t.state with Resolved _ -> true | Pending _ -> false
+let peek t = match t.state with Resolved v -> Some v | Pending _ -> None
+
+let on_resolve t k =
+  match t.state with
+  | Resolved v -> k v
+  | Pending waiters -> t.state <- Pending (k :: waiters)
+
+let map_into src dst f = on_resolve src (fun v -> ignore (try_resolve dst (f v)))

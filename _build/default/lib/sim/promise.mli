@@ -1,0 +1,27 @@
+(** Write-once cells with completion callbacks.
+
+    Promises bridge the event-driven world (message handlers, timers) and
+    fibers: a handler resolves, a fiber awaits (see {!Fiber.await}). *)
+
+type 'a t
+
+val create : unit -> 'a t
+val resolved : 'a -> 'a t
+
+val resolve : 'a t -> 'a -> unit
+(** Raises [Invalid_argument] if already resolved. *)
+
+val try_resolve : 'a t -> 'a -> bool
+(** [false] if the promise was already resolved; used to race a result
+    against a timeout. *)
+
+val is_resolved : 'a t -> bool
+val peek : 'a t -> 'a option
+
+val on_resolve : 'a t -> ('a -> unit) -> unit
+(** Run the callback when the value arrives (immediately if it already
+    has). Callbacks run in resolution order. *)
+
+val map_into : 'a t -> 'b t -> ('a -> 'b) -> unit
+(** [map_into src dst f] forwards [src]'s result through [f] into [dst]
+    (best-effort: ignored if [dst] is already resolved). *)

@@ -1,0 +1,16 @@
+type t = int
+
+let ns t = t
+let us t = t * 1_000
+let ms t = t * 1_000_000
+let sec t = t * 1_000_000_000
+let of_sec_f f = int_of_float (f *. 1e9)
+let to_us_f t = float_of_int t /. 1e3
+let to_ms_f t = float_of_int t /. 1e6
+let to_sec_f t = float_of_int t /. 1e9
+
+let pp ppf t =
+  if t < 1_000 then Format.fprintf ppf "%dns" t
+  else if t < 1_000_000 then Format.fprintf ppf "%.1fus" (to_us_f t)
+  else if t < 1_000_000_000 then Format.fprintf ppf "%.2fms" (to_ms_f t)
+  else Format.fprintf ppf "%.3fs" (to_sec_f t)

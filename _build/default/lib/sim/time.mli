@@ -1,0 +1,18 @@
+(** Simulated time.
+
+    All latencies in the simulator are integers in nanoseconds of virtual
+    time; a 63-bit int covers ~292 years, far beyond any run. *)
+
+type t = int
+
+val ns : int -> t
+val us : int -> t
+val ms : int -> t
+val sec : int -> t
+val of_sec_f : float -> t
+val to_us_f : t -> float
+val to_ms_f : t -> float
+val to_sec_f : t -> float
+
+val pp : Format.formatter -> t -> unit
+(** Human-readable rendering with an adaptive unit. *)

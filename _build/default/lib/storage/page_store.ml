@@ -1,0 +1,247 @@
+module Gaddr = Kutil.Gaddr
+
+type config = {
+  ram_pages : int;
+  disk_pages : int;
+  ram_latency : Ksim.Time.t;
+  disk_read_latency : Ksim.Time.t;
+  disk_write_latency : Ksim.Time.t;
+}
+
+let default_config =
+  {
+    ram_pages = 256;
+    disk_pages = 65_536;
+    ram_latency = Ksim.Time.us 2;
+    disk_read_latency = Ksim.Time.ms 6;
+    disk_write_latency = Ksim.Time.ms 8;
+  }
+
+let config ?(ram_pages = default_config.ram_pages)
+    ?(disk_pages = default_config.disk_pages) () =
+  { default_config with ram_pages; disk_pages }
+
+type frame = {
+  mutable data : bytes;
+  mutable dirty : bool;
+  mutable pins : int;
+  mutable last_use : int;
+}
+
+type evict_hook = Gaddr.t -> bytes -> dirty:bool -> unit
+
+type stats = {
+  ram_hits : int;
+  disk_hits : int;
+  misses : int;
+  ram_evictions : int;
+  disk_evictions : int;
+  writebacks : int;
+}
+
+type t = {
+  engine : Ksim.Engine.t;
+  cfg : config;
+  ram : frame Gaddr.Table.t;
+  disk : frame Gaddr.Table.t;
+  mutable hook : evict_hook;
+  mutable tick : int;
+  mutable ram_hits : int;
+  mutable disk_hits : int;
+  mutable misses : int;
+  mutable ram_evictions : int;
+  mutable disk_evictions : int;
+  mutable writebacks : int;
+}
+
+let create engine cfg =
+  if cfg.ram_pages <= 0 || cfg.disk_pages <= 0 then
+    invalid_arg "Page_store.create: capacities must be positive";
+  {
+    engine;
+    cfg;
+    ram = Gaddr.Table.create 64;
+    disk = Gaddr.Table.create 256;
+    hook = (fun _ _ ~dirty:_ -> ());
+    tick = 0;
+    ram_hits = 0;
+    disk_hits = 0;
+    misses = 0;
+    ram_evictions = 0;
+    disk_evictions = 0;
+    writebacks = 0;
+  }
+
+let set_evict_hook t hook = t.hook <- hook
+
+type tier = Ram | Disk
+
+let where t addr =
+  if Gaddr.Table.mem t.ram addr then Some Ram
+  else if Gaddr.Table.mem t.disk addr then Some Disk
+  else None
+
+let touch t frame =
+  t.tick <- t.tick + 1;
+  frame.last_use <- t.tick
+
+(* Least-recently-used unpinned entry of a table; O(size), which is fine at
+   simulated-cache scale. *)
+let victim table =
+  Gaddr.Table.fold
+    (fun addr frame best ->
+      if frame.pins > 0 then best
+      else
+        match best with
+        | Some (_, f) when f.last_use <= frame.last_use -> best
+        | _ -> Some (addr, frame))
+    table None
+
+let rec make_disk_room t =
+  if Gaddr.Table.length t.disk >= t.cfg.disk_pages then begin
+    match victim t.disk with
+    | None -> () (* everything pinned: overcommit rather than deadlock *)
+    | Some (addr, frame) ->
+      Gaddr.Table.remove t.disk addr;
+      t.disk_evictions <- t.disk_evictions + 1;
+      if frame.dirty then begin
+        t.writebacks <- t.writebacks + 1;
+        t.hook addr frame.data ~dirty:true
+      end
+      else t.hook addr frame.data ~dirty:false;
+      make_disk_room t
+  end
+
+(* Demote a RAM victim to disk. Writing disk costs simulated time on the
+   data plane; control-plane installs skip the sleep. *)
+let rec make_ram_room t ~charge =
+  if Gaddr.Table.length t.ram >= t.cfg.ram_pages then begin
+    match victim t.ram with
+    | None -> ()
+    | Some (addr, frame) ->
+      Gaddr.Table.remove t.ram addr;
+      t.ram_evictions <- t.ram_evictions + 1;
+      make_disk_room t;
+      if charge then Ksim.Fiber.sleep t.cfg.disk_write_latency;
+      Gaddr.Table.replace t.disk addr frame;
+      make_ram_room t ~charge
+  end
+
+let install_ram ?(charge = true) t addr frame =
+  make_ram_room t ~charge;
+  Gaddr.Table.replace t.ram addr frame
+
+let read t addr =
+  match Gaddr.Table.find_opt t.ram addr with
+  | Some frame ->
+    t.ram_hits <- t.ram_hits + 1;
+    touch t frame;
+    Ksim.Fiber.sleep t.cfg.ram_latency;
+    Some (Bytes.copy frame.data)
+  | None -> (
+    match Gaddr.Table.find_opt t.disk addr with
+    | Some frame ->
+      t.disk_hits <- t.disk_hits + 1;
+      touch t frame;
+      Ksim.Fiber.sleep t.cfg.disk_read_latency;
+      Gaddr.Table.remove t.disk addr;
+      install_ram t addr frame;
+      Some (Bytes.copy frame.data)
+    | None ->
+      t.misses <- t.misses + 1;
+      None)
+
+let write t addr data ~dirty =
+  let data = Bytes.copy data in
+  match Gaddr.Table.find_opt t.ram addr with
+  | Some frame ->
+    frame.data <- data;
+    frame.dirty <- frame.dirty || dirty;
+    touch t frame;
+    Ksim.Fiber.sleep t.cfg.ram_latency
+  | None ->
+    let pins, was_dirty =
+      match Gaddr.Table.find_opt t.disk addr with
+      | Some old ->
+        Gaddr.Table.remove t.disk addr;
+        (old.pins, old.dirty)
+      | None -> (0, false)
+    in
+    let frame = { data; dirty = dirty || was_dirty; pins; last_use = 0 } in
+    touch t frame;
+    install_ram t addr frame;
+    Ksim.Fiber.sleep t.cfg.ram_latency
+
+let find_frame t addr =
+  match Gaddr.Table.find_opt t.ram addr with
+  | Some f -> Some f
+  | None -> Gaddr.Table.find_opt t.disk addr
+
+let read_immediate t addr =
+  match find_frame t addr with
+  | Some frame -> Some (Bytes.copy frame.data)
+  | None -> None
+
+let write_immediate t addr data ~dirty =
+  let data = Bytes.copy data in
+  match find_frame t addr with
+  | Some frame ->
+    frame.data <- data;
+    frame.dirty <- frame.dirty || dirty;
+    touch t frame;
+    (* Promote disk frames so the data plane sees a RAM hit next. *)
+    if (not (Gaddr.Table.mem t.ram addr)) && Gaddr.Table.mem t.disk addr then begin
+      Gaddr.Table.remove t.disk addr;
+      install_ram ~charge:false t addr frame
+    end
+  | None ->
+    let frame = { data; dirty; pins = 0; last_use = 0 } in
+    touch t frame;
+    install_ram ~charge:false t addr frame
+
+let mark_clean t addr =
+  match find_frame t addr with Some f -> f.dirty <- false | None -> ()
+
+let is_dirty t addr =
+  match find_frame t addr with Some f -> f.dirty | None -> false
+
+let pin t addr =
+  match find_frame t addr with
+  | Some f -> f.pins <- f.pins + 1
+  | None -> invalid_arg "Page_store.pin: page not resident"
+
+let unpin t addr =
+  match find_frame t addr with
+  | Some f -> if f.pins > 0 then f.pins <- f.pins - 1
+  | None -> ()
+
+let drop t addr =
+  Gaddr.Table.remove t.ram addr;
+  Gaddr.Table.remove t.disk addr
+
+let crash t = Gaddr.Table.reset t.ram
+
+let pages t =
+  let acc = Gaddr.Table.fold (fun a _ acc -> a :: acc) t.ram [] in
+  Gaddr.Table.fold (fun a _ acc -> a :: acc) t.disk acc
+
+let ram_used t = Gaddr.Table.length t.ram
+let disk_used t = Gaddr.Table.length t.disk
+
+let stats t =
+  {
+    ram_hits = t.ram_hits;
+    disk_hits = t.disk_hits;
+    misses = t.misses;
+    ram_evictions = t.ram_evictions;
+    disk_evictions = t.disk_evictions;
+    writebacks = t.writebacks;
+  }
+
+let reset_stats t =
+  t.ram_hits <- 0;
+  t.disk_hits <- 0;
+  t.misses <- 0;
+  t.ram_evictions <- 0;
+  t.disk_evictions <- 0;
+  t.writebacks <- 0

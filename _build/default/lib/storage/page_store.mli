@@ -1,0 +1,84 @@
+(** Per-node local storage: a two-tier cache of global pages.
+
+    The paper treats node-local storage as "a cache of global data indexed
+    by global addresses" with a RAM tier over a disk tier. Reads and writes
+    charge simulated latency (call them from a fiber). When RAM fills,
+    unpinned pages are victimised to disk; when disk fills, the victim is
+    handed to the eviction hook so the consistency protocol can push dirty
+    data and update sharer lists before the copy disappears. A crash wipes
+    RAM; disk contents survive into recovery. *)
+
+type config = {
+  ram_pages : int;                  (** RAM frames *)
+  disk_pages : int;                 (** disk frames *)
+  ram_latency : Ksim.Time.t;        (** per access, default 2us *)
+  disk_read_latency : Ksim.Time.t;  (** default 6ms *)
+  disk_write_latency : Ksim.Time.t; (** default 8ms *)
+}
+
+val default_config : config
+(** 256 RAM frames, 65536 disk frames, 2us/6ms/8ms. *)
+
+val config : ?ram_pages:int -> ?disk_pages:int -> unit -> config
+
+type t
+
+type evict_hook = Kutil.Gaddr.t -> bytes -> dirty:bool -> unit
+(** Called (from a fiber) when a page is about to leave the disk tier. *)
+
+val create : Ksim.Engine.t -> config -> t
+val set_evict_hook : t -> evict_hook -> unit
+
+type tier = Ram | Disk
+
+val where : t -> Kutil.Gaddr.t -> tier option
+(** Instantaneous lookup (no simulated latency). *)
+
+val read : t -> Kutil.Gaddr.t -> bytes option
+(** Fetch a copy of the page, promoting disk hits into RAM. Returns a fresh
+    buffer; mutating it does not affect the store. *)
+
+val write : t -> Kutil.Gaddr.t -> bytes -> dirty:bool -> unit
+(** Install or overwrite the page in RAM. [dirty] marks it as needing
+    writeback before the local copy may be discarded. *)
+
+val read_immediate : t -> Kutil.Gaddr.t -> bytes option
+(** Control-plane read: no simulated latency, no tier promotion. Safe to
+    call outside a fiber. *)
+
+val write_immediate : t -> Kutil.Gaddr.t -> bytes -> dirty:bool -> unit
+(** Control-plane install: no simulated latency. Evictions it forces still
+    invoke the eviction hook synchronously. *)
+
+val mark_clean : t -> Kutil.Gaddr.t -> unit
+val is_dirty : t -> Kutil.Gaddr.t -> bool
+
+val pin : t -> Kutil.Gaddr.t -> unit
+(** Pinned pages (under an active lock context) are never victimised.
+    Pins nest. *)
+
+val unpin : t -> Kutil.Gaddr.t -> unit
+
+val drop : t -> Kutil.Gaddr.t -> unit
+(** Remove the local copy without writeback (after invalidation). *)
+
+val crash : t -> unit
+(** Lose the RAM tier (including dirty pages!); keep disk. *)
+
+val pages : t -> Kutil.Gaddr.t list
+(** All locally cached page addresses. *)
+
+val ram_used : t -> int
+val disk_used : t -> int
+
+type stats = {
+  ram_hits : int;
+  disk_hits : int;
+  misses : int;
+  ram_evictions : int;
+  disk_evictions : int;
+  writebacks : int;  (** dirty pages handed to the evict hook *)
+}
+
+val stats : t -> stats
+val reset_stats : t -> unit

@@ -1,0 +1,1 @@
+test/cm_harness.ml: Hashtbl Kconsistency Kutil List Printf

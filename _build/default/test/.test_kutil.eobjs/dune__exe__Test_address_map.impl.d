@@ -1,0 +1,1 @@
+test/test_address_map.ml: Alcotest Bytes Hashtbl Khazana Kutil List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_address_map.mli:

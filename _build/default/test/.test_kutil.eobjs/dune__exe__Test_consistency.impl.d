@@ -1,0 +1,1 @@
+test/test_consistency.ml: Alcotest Bytes Cm_harness Format Kconsistency List Option Printf

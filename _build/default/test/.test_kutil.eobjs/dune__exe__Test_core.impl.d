@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Bytes Kconsistency Khazana Kutil List

@@ -1,0 +1,1 @@
+test/test_crew_properties.ml: Alcotest Bytes Char Cm_harness Hashtbl Kconsistency Kutil List Option Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_crew_properties.mli:

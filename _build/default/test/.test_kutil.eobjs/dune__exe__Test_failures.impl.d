@@ -1,0 +1,1 @@
+test/test_failures.ml: Alcotest Bytes Fun Kconsistency Khazana Knet Ksim Kstorage Kutil List Printf

@@ -1,0 +1,1 @@
+test/test_figure2.mli:

@@ -1,0 +1,1 @@
+test/test_kfs.ml: Alcotest Bytes Char Kfs Khazana Ksim Kutil

@@ -1,0 +1,1 @@
+test/test_kobj.ml: Alcotest Bytes Khazana Kobj Kutil

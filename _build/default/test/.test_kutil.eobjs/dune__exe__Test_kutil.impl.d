@@ -1,0 +1,1 @@
+test/test_kutil.ml: Alcotest Array Bytes Fun Kutil List QCheck QCheck_alcotest String

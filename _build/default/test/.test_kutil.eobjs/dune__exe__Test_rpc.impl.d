@@ -1,0 +1,1 @@
+test/test_rpc.ml: Alcotest Knet Krpc Ksim List String

@@ -1,0 +1,1 @@
+test/test_storage.ml: Alcotest Bytes Ksim Kstorage Kutil List Option

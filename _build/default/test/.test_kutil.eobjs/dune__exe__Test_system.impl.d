@@ -1,0 +1,1 @@
+test/test_system.ml: Alcotest Bytes Char Fun Kconsistency Khazana Ksim Kutil List Printf String

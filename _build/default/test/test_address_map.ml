@@ -1,0 +1,222 @@
+(* Tests for the address-map tree over a fake in-memory page store. Every
+   read/write round-trips through the page codec, exercising serialisation
+   exactly as the self-hosted tree does. *)
+
+module AM = Khazana.Address_map
+module Gaddr = Kutil.Gaddr
+module U128 = Kutil.U128
+
+let mk_io () =
+  let pages : (int, bytes) Hashtbl.t = Hashtbl.create 64 in
+  Hashtbl.replace pages 0 (AM.Node.encode (AM.Node.empty_root ()));
+  let read_page i =
+    match Hashtbl.find_opt pages i with
+    | Some bytes -> AM.Node.decode bytes
+    | None -> failwith (Printf.sprintf "read of unwritten tree page %d" i)
+  in
+  let mutate f =
+    let root = read_page 0 in
+    let write i node = Hashtbl.replace pages i (AM.Node.encode node) in
+    f ~root ~read:read_page ~write;
+    Hashtbl.replace pages 0 (AM.Node.encode root)
+  in
+  ({ AM.read_page; mutate }, pages)
+
+let addr n = Gaddr.of_int n
+let high n = U128.add (U128.shift_left U128.one 40) (U128.of_int n)
+
+let reserved ?(page_size = 4096) ?(homes = [ 1 ]) base len =
+  { AM.base; len; page_size; homes }
+
+let insert_ok io r =
+  match AM.insert io r with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "insert failed: %s" e
+
+let test_node_codec_roundtrip () =
+  let node =
+    {
+      AM.Node.base = high 0;
+      span_log2 = 40;
+      next_free = 17;
+      entries =
+        [
+          AM.Reserved (reserved (high 4096) 8192 ~homes:[ 1; 2; 3 ]);
+          AM.Subtree { base = high 65536; span_log2 = 16; page = 9 };
+        ];
+    }
+  in
+  let node' = AM.Node.decode (AM.Node.encode node) in
+  Alcotest.(check int) "span" 40 node'.AM.Node.span_log2;
+  Alcotest.(check int) "next_free" 17 node'.AM.Node.next_free;
+  Alcotest.(check int) "entries" 2 (List.length node'.AM.Node.entries);
+  (match node'.AM.Node.entries with
+   | [ AM.Reserved r; AM.Subtree s ] ->
+     Alcotest.(check bool) "base" true (Gaddr.equal r.AM.base (high 4096));
+     Alcotest.(check (list int)) "homes" [ 1; 2; 3 ] r.AM.homes;
+     Alcotest.(check int) "subtree page" 9 s.page
+   | _ -> Alcotest.fail "bad entries");
+  Alcotest.(check int) "page-sized image" 4096
+    (Bytes.length (AM.Node.encode node))
+
+let test_decode_garbage_fails () =
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (AM.Node.decode (Bytes.make 4096 '\000'));
+       false
+     with Kutil.Codec.Decode_error _ -> true)
+
+let test_insert_lookup () =
+  let io, _ = mk_io () in
+  insert_ok io (reserved (high 0) 8192);
+  let r = AM.lookup io (high 0) in
+  Alcotest.(check bool) "found at base" true (r.AM.entry <> None);
+  let r = AM.lookup io (high 8191) in
+  Alcotest.(check bool) "found at last byte" true (r.AM.entry <> None);
+  let r = AM.lookup io (high 8192) in
+  Alcotest.(check bool) "one past end is free" true (r.AM.entry = None);
+  Alcotest.(check int) "root-only depth" 1 (AM.lookup io (high 0)).AM.depth
+
+let test_lookup_returns_homes () =
+  let io, _ = mk_io () in
+  insert_ok io (reserved (high 0) 4096 ~homes:[ 7; 8 ]);
+  match (AM.lookup io (high 100)).AM.entry with
+  | Some r -> Alcotest.(check (list int)) "homes" [ 7; 8 ] r.AM.homes
+  | None -> Alcotest.fail "missing"
+
+let test_overlap_rejected () =
+  let io, _ = mk_io () in
+  insert_ok io (reserved (high 4096) 8192);
+  (match AM.insert io (reserved (high 8192) 4096) with
+   | Error _ -> ()
+   | Ok () -> Alcotest.fail "overlap accepted");
+  (* Adjacent is fine. *)
+  insert_ok io (reserved (high 12288) 4096);
+  insert_ok io (reserved (high 0) 4096)
+
+let test_remove () =
+  let io, _ = mk_io () in
+  insert_ok io (reserved (high 0) 4096);
+  Alcotest.(check bool) "removed" true (AM.remove io (high 0));
+  Alcotest.(check bool) "now free" true ((AM.lookup io (high 0)).AM.entry = None);
+  Alcotest.(check bool) "absent returns false" false (AM.remove io (high 0));
+  (* Space is reusable after removal. *)
+  insert_ok io (reserved (high 0) 8192)
+
+let test_update_homes () =
+  let io, _ = mk_io () in
+  insert_ok io (reserved (high 0) 4096 ~homes:[ 1 ]);
+  Alcotest.(check bool) "updated" true (AM.update_homes io (high 0) [ 4; 5 ]);
+  (match (AM.lookup io (high 0)).AM.entry with
+   | Some r -> Alcotest.(check (list int)) "new homes" [ 4; 5 ] r.AM.homes
+   | None -> Alcotest.fail "missing");
+  Alcotest.(check bool) "absent false" false (AM.update_homes io (addr 99999) [])
+
+let test_split_on_overflow () =
+  let io, pages = mk_io () in
+  (* Insert far more regions than one node holds; they are small and
+     aligned, so they redistribute into subtrees. *)
+  let n = (3 * AM.Node.max_entries) + 5 in
+  for i = 0 to n - 1 do
+    insert_ok io (reserved (high (i * 4096)) 4096 ~homes:[ i mod 4 ])
+  done;
+  Alcotest.(check bool) "tree grew beyond the root" true (Hashtbl.length pages > 1);
+  (* Every region still findable, and depths exceed 1 somewhere. *)
+  let max_depth = ref 0 in
+  for i = 0 to n - 1 do
+    let r = AM.lookup io (high ((i * 4096) + 123)) in
+    max_depth := max !max_depth r.AM.depth;
+    match r.AM.entry with
+    | Some e ->
+      Alcotest.(check (list int))
+        (Printf.sprintf "homes of %d" i)
+        [ i mod 4 ] e.AM.homes
+    | None -> Alcotest.failf "region %d lost after split" i
+  done;
+  Alcotest.(check bool) "descends subtrees" true (!max_depth > 1);
+  (* Free space between regions is still free. *)
+  Alcotest.(check bool) "beyond end free" true
+    ((AM.lookup io (high (n * 4096))).AM.entry = None)
+
+let test_fold_reserved () =
+  let io, _ = mk_io () in
+  for i = 0 to 9 do
+    insert_ok io (reserved (high (i * 65536)) 4096)
+  done;
+  let count = AM.fold_reserved io (fun acc _ -> acc + 1) 0 in
+  Alcotest.(check int) "all visited" 10 count;
+  let total = AM.fold_reserved io (fun acc r -> acc + r.AM.len) 0 in
+  Alcotest.(check int) "lengths" 40960 total
+
+let test_remove_after_split () =
+  let io, _ = mk_io () in
+  let n = AM.Node.max_entries + 10 in
+  for i = 0 to n - 1 do
+    insert_ok io (reserved (high (i * 4096)) 4096)
+  done;
+  (* Remove a region that migrated into a subtree. *)
+  Alcotest.(check bool) "removed deep entry" true (AM.remove io (high 0));
+  Alcotest.(check bool) "gone" true ((AM.lookup io (high 0)).AM.entry = None);
+  Alcotest.(check int) "rest survive" (n - 1)
+    (AM.fold_reserved io (fun acc _ -> acc + 1) 0)
+
+let test_large_region_stays_high () =
+  let io, _ = mk_io () in
+  (* A large region crossing child boundaries stays in an upper node even
+     after splits around it. *)
+  let big = reserved (high 0) (1 lsl 20) in
+  insert_ok io big;
+  for i = 0 to AM.Node.max_entries + 5 do
+    insert_ok io (reserved (high ((1 lsl 20) + (i * 4096))) 4096)
+  done;
+  match (AM.lookup io (high 12345)).AM.entry with
+  | Some r -> Alcotest.(check int) "big region intact" (1 lsl 20) r.AM.len
+  | None -> Alcotest.fail "big region lost"
+
+let prop_insert_lookup_random =
+  QCheck.Test.make ~name:"random disjoint inserts all findable" ~count:30
+    QCheck.(int_range 1 200)
+    (fun n ->
+      let io, _ = mk_io () in
+      let ok = ref true in
+      for i = 0 to n - 1 do
+        match AM.insert io (reserved (high (i * 16384)) 8192 ~homes:[ i ]) with
+        | Ok () -> ()
+        | Error _ -> ok := false
+      done;
+      for i = 0 to n - 1 do
+        match (AM.lookup io (high ((i * 16384) + 8000))).AM.entry with
+        | Some r -> if r.AM.homes <> [ i ] then ok := false
+        | None -> ok := false
+      done;
+      (* Gaps must be free. *)
+      for i = 0 to n - 1 do
+        if (AM.lookup io (high ((i * 16384) + 8192))).AM.entry <> None then
+          ok := false
+      done;
+      !ok)
+
+let () =
+  Alcotest.run "address_map"
+    [
+      ( "codec",
+        [
+          Alcotest.test_case "node roundtrip" `Quick test_node_codec_roundtrip;
+          Alcotest.test_case "garbage rejected" `Quick test_decode_garbage_fails;
+        ] );
+      ( "tree",
+        [
+          Alcotest.test_case "insert/lookup" `Quick test_insert_lookup;
+          Alcotest.test_case "homes hint" `Quick test_lookup_returns_homes;
+          Alcotest.test_case "overlap rejected" `Quick test_overlap_rejected;
+          Alcotest.test_case "remove" `Quick test_remove;
+          Alcotest.test_case "update homes" `Quick test_update_homes;
+          Alcotest.test_case "split on overflow" `Quick test_split_on_overflow;
+          Alcotest.test_case "fold" `Quick test_fold_reserved;
+          Alcotest.test_case "remove after split" `Quick test_remove_after_split;
+          Alcotest.test_case "boundary-crossing region" `Quick
+            test_large_region_stays_high;
+        ] );
+      ( "properties",
+        [ QCheck_alcotest.to_alcotest prop_insert_lookup_random ] );
+    ]

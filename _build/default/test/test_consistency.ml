@@ -1,0 +1,451 @@
+(* Unit tests for the three consistency-manager machines, driven through
+   the network-free harness. *)
+
+module H = Cm_harness
+module Ctypes = Kconsistency.Types
+
+let nodes = [ 0; 1; 2; 3 ]
+let initial = Bytes.of_string "v0"
+
+let mk ?(protocol = "crew") ?(min_replicas = 1) ?(home = 0) () =
+  H.create ~protocol ~home ~min_replicas ~nodes ~initial ()
+
+(* ------------------------------- CREW ------------------------------ *)
+
+let test_crew_home_local_ops () =
+  let h = mk () in
+  let r = H.acquire_sync h 0 Ctypes.Read in
+  Alcotest.(check bool) "granted" true (H.is_granted h r);
+  Alcotest.(check string) "still owner" "owned_excl" (H.state h 0);
+  H.release h 0 Ctypes.Read ~data:None;
+  let w = H.acquire_sync h 0 Ctypes.Write in
+  Alcotest.(check bool) "write granted" true (H.is_granted h w);
+  H.release h 0 Ctypes.Write ~data:(Some (Bytes.of_string "v1"));
+  Alcotest.(check int) "version bumped" 2 (H.version h 0)
+
+let test_crew_remote_read () =
+  let h = mk () in
+  ignore (H.acquire_sync h 1 Ctypes.Read);
+  Alcotest.(check string) "n1 shared" "shared" (H.state h 1);
+  Alcotest.(check string) "home downgraded" "owned_shared" (H.state h 0);
+  Alcotest.(check (option string)) "data travelled" (Some "v0")
+    (Option.map Bytes.to_string (H.installed_data h 1))
+
+let test_crew_concurrent_readers () =
+  let h = mk () in
+  ignore (H.acquire_sync h 1 Ctypes.Read);
+  ignore (H.acquire_sync h 2 Ctypes.Read);
+  ignore (H.acquire_sync h 3 Ctypes.Read);
+  Alcotest.(check bool) "all hold copies" true
+    (H.has_copy h 1 && H.has_copy h 2 && H.has_copy h 3);
+  Alcotest.(check (option string)) "no violation" None
+    (H.crew_invariant_violation h)
+
+let test_crew_write_invalidates_readers () =
+  let h = mk () in
+  let r1 = H.acquire_sync h 1 Ctypes.Read in
+  ignore (H.acquire_sync h 2 Ctypes.Read);
+  H.release h 1 Ctypes.Read ~data:None;
+  H.release h 2 Ctypes.Read ~data:None;
+  ignore r1;
+  ignore (H.acquire_sync h 3 Ctypes.Write);
+  Alcotest.(check string) "writer exclusive" "owned_excl" (H.state h 3);
+  Alcotest.(check bool) "readers invalidated" true
+    ((not (H.has_copy h 1)) && not (H.has_copy h 2));
+  Alcotest.(check bool) "home copy gone too" true (not (H.has_copy h 0))
+
+let test_crew_write_waits_for_active_readers () =
+  let h = mk () in
+  ignore (H.acquire_sync h 1 Ctypes.Read);
+  (* Writer asks while n1 still holds its read lock. *)
+  let w = H.acquire h 2 Ctypes.Write in
+  H.drain h;
+  Alcotest.(check bool) "write delayed" false (H.is_granted h w);
+  Alcotest.(check (option string)) "no violation while waiting" None
+    (H.crew_invariant_violation h);
+  (* Release the reader: the deferred invalidation acks and the write
+     proceeds. *)
+  H.release h 1 Ctypes.Read ~data:None;
+  H.drain h;
+  Alcotest.(check bool) "write now granted" true (H.is_granted h w)
+
+let test_crew_reader_waits_for_writer () =
+  let h = mk () in
+  ignore (H.acquire_sync h 1 Ctypes.Write);
+  let r = H.acquire h 2 Ctypes.Read in
+  H.drain h;
+  Alcotest.(check bool) "read delayed" false (H.is_granted h r);
+  H.release h 1 Ctypes.Write ~data:(Some (Bytes.of_string "w1"));
+  H.drain h;
+  Alcotest.(check bool) "read granted after release" true (H.is_granted h r);
+  Alcotest.(check (option string)) "sees the write" (Some "w1")
+    (Option.map Bytes.to_string (H.installed_data h 2))
+
+let test_crew_ownership_migrates () =
+  let h = mk () in
+  ignore (H.acquire_sync h 1 Ctypes.Write);
+  H.release h 1 Ctypes.Write ~data:(Some (Bytes.of_string "n1"));
+  ignore (H.acquire_sync h 2 Ctypes.Write);
+  H.release h 2 Ctypes.Write ~data:(Some (Bytes.of_string "n2"));
+  Alcotest.(check string) "n2 owns" "owned_excl" (H.state h 2);
+  Alcotest.(check string) "n1 lost it" "invalid" (H.state h 1);
+  let r = H.acquire_sync h 3 Ctypes.Read in
+  ignore r;
+  Alcotest.(check (option string)) "reads newest" (Some "n2")
+    (Option.map Bytes.to_string (H.installed_data h 3))
+
+let test_crew_local_write_read_cycle () =
+  let h = mk () in
+  ignore (H.acquire_sync h 1 Ctypes.Write);
+  H.release h 1 Ctypes.Write ~data:(Some (Bytes.of_string "x"));
+  (* n1 is now owner: subsequent ops stay local (no new wire traffic). *)
+  let before = List.length h.H.wire in
+  let w = H.acquire h 1 Ctypes.Write in
+  Alcotest.(check bool) "local regrant" true (H.is_granted h w);
+  Alcotest.(check int) "no messages" before (List.length h.H.wire)
+
+let test_crew_eviction_returns_ownership () =
+  let h = mk () in
+  ignore (H.acquire_sync h 1 Ctypes.Write);
+  H.release h 1 Ctypes.Write ~data:(Some (Bytes.of_string "dirty"));
+  (* Local storage victimises n1's page. *)
+  H.feed h 1 (Ctypes.Evicted { data = Bytes.of_string "dirty"; dirty = true });
+  H.drain h;
+  Alcotest.(check string) "n1 invalid" "invalid" (H.state h 1);
+  Alcotest.(check bool) "home owns again" true (H.has_copy h 0);
+  (* The data must survive the round trip. *)
+  ignore (H.acquire_sync h 2 Ctypes.Read);
+  Alcotest.(check (option string)) "data preserved" (Some "dirty")
+    (Option.map Bytes.to_string (H.installed_data h 2))
+
+let test_crew_shared_eviction_notifies () =
+  let h = mk () in
+  ignore (H.acquire_sync h 1 Ctypes.Read);
+  H.release h 1 Ctypes.Read ~data:None;
+  H.feed h 1 (Ctypes.Evicted { data = Bytes.of_string "v0"; dirty = false });
+  H.drain h;
+  (* A later write needs no invalidation round to n1. *)
+  ignore (H.acquire_sync h 2 Ctypes.Write);
+  Alcotest.(check string) "write fine" "owned_excl" (H.state h 2)
+
+let test_crew_abort_unblocks () =
+  let h = mk () in
+  ignore (H.acquire_sync h 1 Ctypes.Write);
+  (* n2 asks for a read but we abort before serving it. *)
+  let r = H.acquire h 2 Ctypes.Read in
+  H.feed h 2 (Ctypes.Abort { req = r });
+  H.drain h;
+  H.release h 1 Ctypes.Write ~data:None;
+  H.drain h;
+  Alcotest.(check bool) "aborted not granted" false (H.is_granted h r);
+  (* A fresh request still works (the abort cleared in-flight state). *)
+  let r2 = H.acquire_sync h 2 Ctypes.Read in
+  Alcotest.(check bool) "fresh req ok" true (H.is_granted h r2)
+
+let test_crew_min_replicas () =
+  let h = mk ~min_replicas:3 () in
+  ignore (H.acquire_sync h 1 Ctypes.Write);
+  H.release h 1 Ctypes.Write ~data:(Some (Bytes.of_string "r"));
+  H.drain h;
+  let holders = List.filter (fun n -> H.has_copy h n) nodes in
+  Alcotest.(check bool)
+    (Printf.sprintf "at least 3 holders (got %d)" (List.length holders))
+    true
+    (List.length holders >= 3)
+
+let test_crew_owner_crash_failover () =
+  let h = mk ~min_replicas:2 () in
+  (* Give n1 ownership, with a replica maintained somewhere. *)
+  ignore (H.acquire_sync h 1 Ctypes.Write);
+  H.release h 1 Ctypes.Write ~data:(Some (Bytes.of_string "precious"));
+  H.drain h;
+  (* n1 dies: its messages vanish; the next read must still succeed via
+     fail-over (timeout fires, home retries elsewhere). *)
+  let r = H.acquire h 2 Ctypes.Read in
+  H.drop_node h 1;
+  H.drain h;
+  if not (H.is_granted h r) then begin
+    H.fire_all_timers h;
+    H.drop_node h 1;
+    H.drain h
+  end;
+  Alcotest.(check bool) "read survived owner crash" true (H.is_granted h r);
+  Alcotest.(check (option string)) "data recovered" (Some "precious")
+    (Option.map Bytes.to_string (H.installed_data h 2))
+
+(* ----------------------------- Release ----------------------------- *)
+
+let test_release_stale_reads_allowed () =
+  let h = mk ~protocol:"release" () in
+  ignore (H.acquire_sync h 1 Ctypes.Read);
+  H.release h 1 Ctypes.Read ~data:None;
+  (* A writer updates; before the update propagates, n1 can still read its
+     stale copy locally. *)
+  ignore (H.acquire_sync h 2 Ctypes.Write);
+  H.release h 2 Ctypes.Write ~data:(Some (Bytes.of_string "new"));
+  (* Do NOT drain: update in flight. *)
+  let r = H.acquire h 1 Ctypes.Read in
+  Alcotest.(check bool) "stale read grants immediately" true (H.is_granted h r);
+  H.release h 1 Ctypes.Read ~data:None;
+  H.drain h;
+  (* After propagation the new value is visible. *)
+  Alcotest.(check (option string)) "update arrived" (Some "new")
+    (Option.map Bytes.to_string (H.installed_data h 1))
+
+let test_release_write_token_serialises () =
+  let h = mk ~protocol:"release" () in
+  let w1 = H.acquire h 1 Ctypes.Write in
+  let w2 = H.acquire h 2 Ctypes.Write in
+  H.drain h;
+  (* Exactly one writer holds the token. *)
+  let g1 = H.is_granted h w1 and g2 = H.is_granted h w2 in
+  Alcotest.(check bool) "one granted" true (g1 <> g2 || (g1 && not g2));
+  Alcotest.(check bool) "not both" false (g1 && g2);
+  let winner, laggard, wl = if g1 then (1, 2, w2) else (2, 1, w1) in
+  H.release h winner Ctypes.Write ~data:(Some (Bytes.of_string "first"));
+  H.drain h;
+  Alcotest.(check bool) "second writer proceeds" true (H.is_granted h wl);
+  H.release h laggard Ctypes.Write ~data:(Some (Bytes.of_string "second"));
+  H.drain h;
+  Alcotest.(check (option string)) "last write wins at home" (Some "second")
+    (Option.map Bytes.to_string (H.installed_data h 0))
+
+let test_release_update_fanout () =
+  let h = mk ~protocol:"release" () in
+  ignore (H.acquire_sync h 1 Ctypes.Read);
+  H.release h 1 Ctypes.Read ~data:None;
+  ignore (H.acquire_sync h 2 Ctypes.Read);
+  H.release h 2 Ctypes.Read ~data:None;
+  ignore (H.acquire_sync h 3 Ctypes.Write);
+  H.release h 3 Ctypes.Write ~data:(Some (Bytes.of_string "fan"));
+  H.drain h;
+  List.iter
+    (fun n ->
+      Alcotest.(check (option string))
+        (Printf.sprintf "replica n%d updated" n)
+        (Some "fan")
+        (Option.map Bytes.to_string (H.installed_data h n)))
+    [ 0; 1; 2 ]
+
+let test_release_no_copy_fetches () =
+  let h = mk ~protocol:"release" () in
+  ignore (H.acquire_sync h 3 Ctypes.Read);
+  Alcotest.(check (option string)) "fetched from home" (Some "v0")
+    (Option.map Bytes.to_string (H.installed_data h 3))
+
+let test_release_writer_crash_reclaims_token () =
+  let h = mk ~protocol:"release" () in
+  let w1 = H.acquire h 1 Ctypes.Write in
+  H.drain h;
+  Alcotest.(check bool) "granted" true (H.is_granted h w1);
+  (* n1 dies holding the token. *)
+  H.drop_node h 1;
+  let w2 = H.acquire h 2 Ctypes.Write in
+  H.drain h;
+  Alcotest.(check bool) "blocked" false (H.is_granted h w2);
+  H.fire_all_timers h;
+  H.drain h;
+  Alcotest.(check bool) "token reclaimed" true (H.is_granted h w2)
+
+(* ----------------------------- Eventual ---------------------------- *)
+
+let test_eventual_immediate_grants () =
+  let h = mk ~protocol:"eventual" () in
+  ignore (H.acquire_sync h 1 Ctypes.Read);
+  H.release h 1 Ctypes.Read ~data:None;
+  (* Both nodes may hold write locks simultaneously: optimistic. *)
+  let w1 = H.acquire h 1 Ctypes.Write in
+  let w2 = H.acquire_sync h 2 Ctypes.Write in
+  H.drain h;
+  Alcotest.(check bool) "both granted" true (H.is_granted h w1 && H.is_granted h w2)
+
+let test_eventual_convergence_lww () =
+  let h = mk ~protocol:"eventual" () in
+  (* Everyone gets a copy. *)
+  List.iter
+    (fun n ->
+      ignore (H.acquire_sync h n Ctypes.Read);
+      H.release h n Ctypes.Read ~data:None)
+    [ 1; 2; 3 ];
+  (* Concurrent conflicting writes. *)
+  ignore (H.acquire_sync h 1 Ctypes.Write);
+  H.release h 1 Ctypes.Write ~data:(Some (Bytes.of_string "from1"));
+  ignore (H.acquire_sync h 2 Ctypes.Write);
+  H.release h 2 Ctypes.Write ~data:(Some (Bytes.of_string "from2"));
+  H.drain h;
+  (* Anti-entropy rounds: fire the fan-out timers until quiet. *)
+  for _ = 1 to 4 do
+    H.fire_all_timers h;
+    H.drain h
+  done;
+  let versions = List.map (fun n -> H.version h n) nodes in
+  let first = List.hd versions in
+  Alcotest.(check bool)
+    (Format.asprintf "all versions equal (%a)"
+       (Format.pp_print_list Format.pp_print_int)
+       versions)
+    true
+    (List.for_all (( = ) first) versions);
+  let data =
+    List.filter_map (fun n -> Option.map Bytes.to_string (H.installed_data h n)) nodes
+  in
+  let d0 = List.hd data in
+  Alcotest.(check bool) "all data equal" true (List.for_all (( = ) d0) data)
+
+(* --------------------------- write-shared -------------------------- *)
+
+let sync_rounds h =
+  for _ = 1 to 6 do
+    H.fire_all_timers h;
+    H.drain h
+  done
+
+let test_wshared_concurrent_disjoint_writers () =
+  (* A two-byte page, one byte per writer. *)
+  let h =
+    H.create ~protocol:"wshared" ~home:0 ~min_replicas:1 ~nodes
+      ~initial:(Bytes.of_string "AB") ()
+  in
+  ignore (H.acquire_sync h 1 Ctypes.Read);
+  H.release h 1 Ctypes.Read ~data:None;
+  ignore (H.acquire_sync h 2 Ctypes.Read);
+  H.release h 2 Ctypes.Read ~data:None;
+  (* Concurrent write locks on the SAME page: both grant immediately. *)
+  let w1 = H.acquire h 1 Ctypes.Write in
+  let w2 = H.acquire h 2 Ctypes.Write in
+  Alcotest.(check bool) "both writers granted" true
+    (H.is_granted h w1 && H.is_granted h w2);
+  (* n1 changes byte 0, n2 changes byte 1. *)
+  H.release h 1 Ctypes.Write ~data:(Some (Bytes.of_string "xB"));
+  H.release h 2 Ctypes.Write ~data:(Some (Bytes.of_string "Ay"));
+  H.drain h;
+  sync_rounds h;
+  (* Disjoint updates merge: nobody's write is lost. *)
+  List.iter
+    (fun n ->
+      Alcotest.(check (option string))
+        (Printf.sprintf "n%d merged" n)
+        (Some "xy")
+        (Option.map Bytes.to_string (H.installed_data h n)))
+    [ 0; 1; 2 ]
+
+let test_wshared_diff_only_changed_bytes () =
+  let h =
+    H.create ~protocol:"wshared" ~home:0 ~min_replicas:1 ~nodes
+      ~initial:(Bytes.make 4096 'a') ()
+  in
+  ignore (H.acquire_sync h 1 Ctypes.Write);
+  let page = Bytes.make 4096 'a' in
+  Bytes.blit_string "tiny" 0 page 100 4;
+  H.release h 1 Ctypes.Write ~data:(Some page);
+  (* The wire carries a Diff whose payload is ~the 4 changed bytes, not
+     the whole page. *)
+  let diff_size =
+    List.fold_left
+      (fun acc (_, _, msg) ->
+        match msg with Ctypes.Diff _ -> acc + Ctypes.msg_size msg | _ -> acc)
+      0 h.H.wire
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "diff is small (%d bytes)" diff_size)
+    true
+    (diff_size > 0 && diff_size < 256);
+  H.drain h;
+  Alcotest.(check (option string)) "home merged the tiny change" (Some "tiny")
+    (Option.map
+       (fun b -> Bytes.sub_string b 100 4)
+       (H.installed_data h 0))
+
+let test_wshared_no_invalidation () =
+  let h = mk ~protocol:"wshared" () in
+  ignore (H.acquire_sync h 1 Ctypes.Read);
+  H.release h 1 Ctypes.Read ~data:None;
+  ignore (H.acquire_sync h 2 Ctypes.Write);
+  H.release h 2 Ctypes.Write ~data:(Some (Bytes.of_string "zz"));
+  H.drain h;
+  (* n1's replica stays valid (updated in place, never invalidated). *)
+  Alcotest.(check bool) "replica still valid" true (H.has_copy h 1);
+  Alcotest.(check (option string)) "and fresh" (Some "zz")
+    (Option.map Bytes.to_string (H.installed_data h 1))
+
+let test_wshared_full_sync_heals_lost_patch () =
+  let h = mk ~protocol:"wshared" () in
+  ignore (H.acquire_sync h 1 Ctypes.Read);
+  H.release h 1 Ctypes.Read ~data:None;
+  ignore (H.acquire_sync h 2 Ctypes.Write);
+  H.release h 2 Ctypes.Write ~data:(Some (Bytes.of_string "v1"));
+  (* A lossy link to n1: every message toward it vanishes while the rest
+     of the system makes progress. *)
+  while h.H.wire <> [] do
+    h.H.wire <- List.filter (fun (_, dst, _) -> dst <> 1) h.H.wire;
+    if h.H.wire <> [] then ignore (H.deliver_one h)
+  done;
+  Alcotest.(check bool) "n1 behind" true
+    (Option.map Bytes.to_string (H.installed_data h 1) <> Some "v1");
+  (* The home's periodic full sync heals it. *)
+  sync_rounds h;
+  Alcotest.(check (option string)) "healed by full sync" (Some "v1")
+    (Option.map Bytes.to_string (H.installed_data h 1))
+
+let test_eventual_staleness_observable () =
+  let h = mk ~protocol:"eventual" () in
+  ignore (H.acquire_sync h 1 Ctypes.Read);
+  H.release h 1 Ctypes.Read ~data:None;
+  ignore (H.acquire_sync h 2 Ctypes.Write);
+  H.release h 2 Ctypes.Write ~data:(Some (Bytes.of_string "new"));
+  (* Before anti-entropy, n1 is behind. *)
+  Alcotest.(check bool) "n1 stale" true (H.version h 1 < H.version h 2)
+
+let () =
+  Alcotest.run "kconsistency"
+    [
+      ( "crew",
+        [
+          Alcotest.test_case "home local ops" `Quick test_crew_home_local_ops;
+          Alcotest.test_case "remote read" `Quick test_crew_remote_read;
+          Alcotest.test_case "concurrent readers" `Quick test_crew_concurrent_readers;
+          Alcotest.test_case "write invalidates" `Quick
+            test_crew_write_invalidates_readers;
+          Alcotest.test_case "write waits for readers" `Quick
+            test_crew_write_waits_for_active_readers;
+          Alcotest.test_case "reader waits for writer" `Quick
+            test_crew_reader_waits_for_writer;
+          Alcotest.test_case "ownership migrates" `Quick test_crew_ownership_migrates;
+          Alcotest.test_case "local re-grant" `Quick test_crew_local_write_read_cycle;
+          Alcotest.test_case "eviction returns ownership" `Quick
+            test_crew_eviction_returns_ownership;
+          Alcotest.test_case "shared eviction" `Quick test_crew_shared_eviction_notifies;
+          Alcotest.test_case "abort" `Quick test_crew_abort_unblocks;
+          Alcotest.test_case "min replicas" `Quick test_crew_min_replicas;
+          Alcotest.test_case "owner crash fail-over" `Quick
+            test_crew_owner_crash_failover;
+        ] );
+      ( "release",
+        [
+          Alcotest.test_case "stale reads allowed" `Quick
+            test_release_stale_reads_allowed;
+          Alcotest.test_case "write token serialises" `Quick
+            test_release_write_token_serialises;
+          Alcotest.test_case "update fan-out" `Quick test_release_update_fanout;
+          Alcotest.test_case "fetch on miss" `Quick test_release_no_copy_fetches;
+          Alcotest.test_case "writer crash reclaim" `Quick
+            test_release_writer_crash_reclaims_token;
+        ] );
+      ( "eventual",
+        [
+          Alcotest.test_case "immediate grants" `Quick test_eventual_immediate_grants;
+          Alcotest.test_case "LWW convergence" `Quick test_eventual_convergence_lww;
+          Alcotest.test_case "staleness observable" `Quick
+            test_eventual_staleness_observable;
+        ] );
+      ( "write-shared",
+        [
+          Alcotest.test_case "disjoint writers merge" `Quick
+            test_wshared_concurrent_disjoint_writers;
+          Alcotest.test_case "diffs carry only changes" `Quick
+            test_wshared_diff_only_changed_bytes;
+          Alcotest.test_case "no invalidation" `Quick test_wshared_no_invalidation;
+          Alcotest.test_case "full sync heals loss" `Quick
+            test_wshared_full_sync_heals_lost_patch;
+        ] );
+    ]

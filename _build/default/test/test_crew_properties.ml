@@ -1,0 +1,299 @@
+(* Property-based tests: random operation interleavings against the CREW
+   machine must never violate concurrent-read-exclusive-write safety, and
+   must stay live (every request eventually granted once conflicting locks
+   drain); random interleavings of the eventual protocol must converge. *)
+
+module H = Cm_harness
+module Ctypes = Kconsistency.Types
+
+let nodes = [ 0; 1; 2; 3 ]
+
+(* One scripted step: a client action on a node, or delivering a random
+   in-flight message. *)
+type step = Deliver | Client of int * Ctypes.mode
+
+let gen_step =
+  QCheck.Gen.(
+    frequency
+      [
+        (3, return Deliver);
+        ( 2,
+          map2
+            (fun n m -> Client (n, if m then Ctypes.Write else Ctypes.Read))
+            (oneofl nodes) bool );
+      ])
+
+let print_step = function
+  | Deliver -> "D"
+  | Client (n, m) -> Printf.sprintf "C(%d,%s)" n (Ctypes.mode_to_string m)
+
+let arb_script =
+  QCheck.make
+    ~print:(fun (seed, steps) ->
+      Printf.sprintf "seed=%d [%s]" seed
+        (String.concat ";" (List.map print_step steps)))
+    QCheck.Gen.(pair (int_range 0 10_000) (list_size (int_range 10 80) gen_step))
+
+(* Execute a script. Each node holds at most one lock at a time; a Client
+   step on a node releases a held lock (with data when it was a write) or
+   issues a fresh request when idle. Returns the first safety violation. *)
+let run_script ~protocol (seed, steps) =
+  let h =
+    H.create ~seed ~protocol ~home:0 ~min_replicas:1 ~nodes
+      ~initial:(Bytes.of_string "init") ()
+  in
+  (* node -> Held (req, mode) | Waiting (req, mode) | Idle *)
+  let status = Hashtbl.create 8 in
+  let violation = ref None in
+  let note v = if !violation = None then violation := v in
+  let refresh_status () =
+    Hashtbl.iter
+      (fun node s ->
+        match s with
+        | `Waiting (req, mode) when H.is_granted h req ->
+          Hashtbl.replace status node (`Held (req, mode))
+        | `Waiting (req, _) when H.is_rejected h req ->
+          Hashtbl.replace status node `Idle
+        | _ -> ())
+      (Hashtbl.copy status)
+  in
+  let step counter = function
+    | Deliver ->
+      if h.H.wire <> [] then ignore (H.deliver_random h)
+    | Client (node, mode) -> (
+      match Option.value (Hashtbl.find_opt status node) ~default:`Idle with
+      | `Held (_, held_mode) ->
+        let data =
+          if held_mode = Ctypes.Write then
+            Some (Bytes.of_string (Printf.sprintf "w%d.%d" node counter))
+          else None
+        in
+        H.release h node held_mode ~data;
+        Hashtbl.replace status node `Idle
+      | `Waiting _ -> () (* still queued; leave it *)
+      | `Idle ->
+        let req = H.acquire h node mode in
+        Hashtbl.replace status node (`Waiting (req, mode)))
+  in
+  List.iteri
+    (fun i s ->
+      step i s;
+      refresh_status ();
+      note (H.crew_invariant_violation h))
+    steps;
+  (* Liveness epilogue: release everything held, drain, and check that all
+     waiting requests resolve. *)
+  let rec settle rounds =
+    refresh_status ();
+    Hashtbl.iter
+      (fun node s ->
+        match s with
+        | `Held (_, mode) ->
+          H.release h node mode ~data:None;
+          Hashtbl.replace status node `Idle
+        | `Waiting _ | `Idle -> ())
+      (Hashtbl.copy status);
+    H.drain ~random:true h;
+    refresh_status ();
+    note (H.crew_invariant_violation h);
+    let still_waiting =
+      Hashtbl.fold
+        (fun _ s acc -> match s with `Waiting _ -> acc + 1 | _ -> acc)
+        status 0
+    in
+    if still_waiting > 0 && rounds > 0 then settle (rounds - 1)
+    else if still_waiting > 0 then
+      note (Some (Printf.sprintf "%d requests never resolved" still_waiting))
+  in
+  settle 8;
+  !violation
+
+let prop_crew_safety =
+  QCheck.Test.make ~name:"crew: random interleavings stay safe and live"
+    ~count:150 arb_script (fun script ->
+      match run_script ~protocol:"crew" script with
+      | None -> true
+      | Some v -> QCheck.Test.fail_report v)
+
+let prop_release_liveness =
+  QCheck.Test.make ~name:"release: random interleavings stay live" ~count:100
+    arb_script (fun script ->
+      (* Release consistency permits concurrent reader+writer, so only the
+         liveness half of the oracle applies. *)
+      match run_script ~protocol:"release" script with
+      | None -> true
+      | Some v ->
+        if
+          String.length v >= 6
+          && String.sub v (String.length v - 14) 14 = "never resolved"
+        then QCheck.Test.fail_report v
+        else true)
+
+(* Eventual consistency: after any interleaving plus anti-entropy, all
+   replicas converge to identical (version, data). *)
+let prop_eventual_convergence =
+  QCheck.Test.make ~name:"eventual: replicas converge" ~count:100 arb_script
+    (fun (seed, steps) ->
+      let h =
+        H.create ~seed ~protocol:"eventual" ~home:0 ~min_replicas:1 ~nodes
+          ~initial:(Bytes.of_string "init") ()
+      in
+      let held = Hashtbl.create 8 in
+      List.iteri
+        (fun i s ->
+          match s with
+          | Deliver -> if h.H.wire <> [] then ignore (H.deliver_random h)
+          | Client (node, mode) -> (
+            match Hashtbl.find_opt held node with
+            | Some held_mode ->
+              let data =
+                if held_mode = Ctypes.Write then
+                  Some (Bytes.of_string (Printf.sprintf "e%d.%d" node i))
+                else None
+              in
+              H.release h node held_mode ~data;
+              Hashtbl.remove held node
+            | None ->
+              let req = H.acquire h node mode in
+              H.drain ~random:true h;
+              if H.is_granted h req then Hashtbl.replace held node mode))
+        steps;
+      Hashtbl.iter (fun node mode -> H.release h node mode ~data:None) held;
+      H.drain ~random:true h;
+      for _ = 1 to 6 do
+        H.fire_all_timers h;
+        H.drain ~random:true h
+      done;
+      (* Convergence over nodes that hold a copy. *)
+      let holders = List.filter (fun n -> H.has_copy h n) nodes in
+      match holders with
+      | [] -> true
+      | first :: rest ->
+        let v = H.version h first in
+        List.for_all (fun n -> H.version h n = v) rest)
+
+(* CREW safety must also survive an adversarial network: random message
+   LOSS plus timers firing (the manager's retry/fail-over machinery kicks
+   in). Liveness is excluded — lost grants legitimately strand requests
+   until daemon-level retries, which are outside the machine. *)
+let prop_crew_safety_under_loss =
+  QCheck.Test.make ~name:"crew: safety holds under message loss + timeouts"
+    ~count:100 arb_script (fun (seed, steps) ->
+      let h =
+        H.create ~seed ~protocol:"crew" ~home:0 ~min_replicas:1 ~nodes
+          ~initial:(Bytes.of_string "init") ()
+      in
+      let rng = Kutil.Rng.create ~seed:(seed + 77) in
+      let status = Hashtbl.create 8 in
+      let violation = ref None in
+      let note v = if !violation = None then violation := v in
+      let refresh () =
+        Hashtbl.iter
+          (fun node s ->
+            match s with
+            | `Waiting (req, mode) when H.is_granted h req ->
+              Hashtbl.replace status node (`Held (req, mode))
+            | `Waiting (req, _) when H.is_rejected h req ->
+              Hashtbl.replace status node `Idle
+            | _ -> ())
+          (Hashtbl.copy status)
+      in
+      List.iteri
+        (fun i s ->
+          (match s with
+           | Deliver ->
+             if h.H.wire <> [] then begin
+               (* 25% of deliveries are losses; occasionally a timer fires. *)
+               if Kutil.Rng.int rng 4 = 0 then
+                 h.H.wire <- List.tl h.H.wire
+               else ignore (H.deliver_random h)
+             end
+             else H.fire_all_timers h
+           | Client (node, mode) -> (
+             match Option.value (Hashtbl.find_opt status node) ~default:`Idle with
+             | `Held (_, held_mode) ->
+               let data =
+                 if held_mode = Ctypes.Write then
+                   Some (Bytes.of_string (Printf.sprintf "l%d.%d" node i))
+                 else None
+               in
+               H.release h node held_mode ~data;
+               Hashtbl.replace status node `Idle
+             | `Waiting _ -> ()
+             | `Idle ->
+               let req = H.acquire h node mode in
+               Hashtbl.replace status node (`Waiting (req, mode))));
+          if Kutil.Rng.int rng 10 = 0 then H.fire_all_timers h;
+          refresh ();
+          note (H.crew_invariant_violation h))
+        steps;
+      match !violation with
+      | None -> true
+      | Some v -> QCheck.Test.fail_report v)
+
+(* Write-shared: any interleaving of disjoint-range writers converges, and
+   nobody's byte is lost. Each node owns byte [node] of a 4-byte page and
+   only ever writes there, so the final page must reflect every node's
+   last committed write. *)
+let prop_wshared_disjoint_no_lost_updates =
+  QCheck.Test.make ~name:"wshared: disjoint writers lose nothing" ~count:100
+    arb_script (fun (seed, steps) ->
+      let h =
+        H.create ~seed ~protocol:"wshared" ~home:0 ~min_replicas:1 ~nodes
+          ~initial:(Bytes.make 4 '.') ()
+      in
+      let held = Hashtbl.create 8 in
+      let committed = Hashtbl.create 8 in
+      List.iteri
+        (fun i s ->
+          match s with
+          | Deliver -> if h.H.wire <> [] then ignore (H.deliver_random h)
+          | Client (node, mode) -> (
+            match Hashtbl.find_opt held node with
+            | Some Ctypes.Write ->
+              (* Commit a fresh byte into our slot, reading the current
+                 local replica first (as a real client under a lock
+                 would). *)
+              let c = Char.chr (Char.code 'a' + ((node + i) mod 26)) in
+              let base =
+                Option.value (H.installed_data h node)
+                  ~default:(Bytes.make 4 '.')
+              in
+              let page = Bytes.copy base in
+              Bytes.set page node c;
+              H.release h node Ctypes.Write ~data:(Some page);
+              Hashtbl.replace committed node c;
+              Hashtbl.remove held node
+            | Some Ctypes.Read ->
+              H.release h node Ctypes.Read ~data:None;
+              Hashtbl.remove held node
+            | None ->
+              let req = H.acquire h node mode in
+              H.drain ~random:true h;
+              if H.is_granted h req then Hashtbl.replace held node mode))
+        steps;
+      (* Release stragglers without writing, then converge. *)
+      Hashtbl.iter (fun node mode -> H.release h node mode ~data:None) held;
+      H.drain ~random:true h;
+      for _ = 1 to 8 do
+        H.fire_all_timers h;
+        H.drain ~random:true h
+      done;
+      (* The home's copy must contain every node's last committed byte. *)
+      match H.installed_data h 0 with
+      | None -> Hashtbl.length committed = 0
+      | Some page ->
+        Hashtbl.fold
+          (fun node c acc -> acc && Bytes.get page node = c)
+          committed true)
+
+let () =
+  Alcotest.run "crew-properties"
+    [
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_crew_safety; prop_release_liveness; prop_eventual_convergence;
+            prop_crew_safety_under_loss; prop_wshared_disjoint_no_lost_updates;
+          ] );
+    ]

@@ -1,0 +1,186 @@
+(* Tests for the distributed object runtime (paper §4.2). *)
+
+module System = Khazana.System
+module Rt = Kobj.Runtime
+
+let ok = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "kobj error: %s" (Rt.error_to_string e)
+
+let bytes_s = Bytes.of_string
+
+let counter_class =
+  {
+    Rt.class_name = "counter";
+    methods =
+      [
+        ( "incr",
+          fun ~state ~arg:_ ->
+            let v = int_of_string (Bytes.to_string state) + 1 in
+            let s = bytes_s (string_of_int v) in
+            (s, Some s) );
+        ("get", fun ~state ~arg:_ -> (state, None));
+        ( "add",
+          fun ~state ~arg ->
+            let v =
+              int_of_string (Bytes.to_string state)
+              + int_of_string (Bytes.to_string arg)
+            in
+            let s = bytes_s (string_of_int v) in
+            (s, Some s) );
+      ];
+  }
+
+let with_runtimes f =
+  let sys = System.create ~nodes_per_cluster:3 ~clusters:2 () in
+  let overlay = Rt.Overlay.create (System.engine sys) (System.topology sys) in
+  let rt_of node =
+    let rt = Rt.create overlay (System.client sys node ()) in
+    Rt.register_class rt counter_class;
+    rt
+  in
+  let rt1 = rt_of 1 and rt4 = rt_of 4 in
+  System.run_fiber sys (fun () -> f sys rt1 rt4)
+
+let test_new_invoke_local () =
+  with_runtimes (fun _sys rt1 _rt4 ->
+      let obj = ok (Rt.new_object rt1 ~class_name:"counter" ~init:(bytes_s "0") ()) in
+      let v = ok (Rt.invoke rt1 obj ~meth:"incr" ~arg:Bytes.empty) in
+      Alcotest.(check string) "incr" "1" (Bytes.to_string v);
+      let v = ok (Rt.invoke rt1 obj ~meth:"add" ~arg:(bytes_s "10")) in
+      Alcotest.(check string) "add" "11" (Bytes.to_string v);
+      let v = ok (Rt.invoke rt1 obj ~meth:"get" ~arg:Bytes.empty) in
+      Alcotest.(check string) "get" "11" (Bytes.to_string v);
+      Alcotest.(check string) "state readable" "11"
+        (Bytes.to_string (ok (Rt.get_state rt1 obj))))
+
+let test_cross_node_state_shared () =
+  with_runtimes (fun _sys rt1 rt4 ->
+      let obj = ok (Rt.new_object rt1 ~class_name:"counter" ~init:(bytes_s "0") ()) in
+      ignore (ok (Rt.invoke rt1 obj ~meth:"incr" ~arg:Bytes.empty));
+      (* Node 4 operates on the same object; Khazana keeps the state
+         consistent whichever path the call takes. *)
+      let v = ok (Rt.invoke rt4 obj ~meth:"incr" ~arg:Bytes.empty) in
+      Alcotest.(check string) "sees n1's increment" "2" (Bytes.to_string v);
+      let v = ok (Rt.invoke rt1 obj ~meth:"get" ~arg:Bytes.empty) in
+      Alcotest.(check string) "n1 sees n4's" "2" (Bytes.to_string v))
+
+let test_explicit_remote_invocation () =
+  with_runtimes (fun _sys rt1 rt4 ->
+      let obj = ok (Rt.new_object rt1 ~class_name:"counter" ~init:(bytes_s "5") ()) in
+      (* Force the RPC path: run the method on node 1 from node 4. *)
+      let v = ok (Rt.invoke_at rt4 1 obj ~meth:"incr" ~arg:Bytes.empty) in
+      Alcotest.(check string) "remote result" "6" (Bytes.to_string v);
+      let s4 = Rt.stats rt4 in
+      Alcotest.(check int) "remote counted" 1 s4.Rt.remote_invocations;
+      (* invoke_at to self is just local. *)
+      let v = ok (Rt.invoke_at rt1 1 obj ~meth:"get" ~arg:Bytes.empty) in
+      Alcotest.(check string) "self-at" "6" (Bytes.to_string v))
+
+let test_location_aware_invoke () =
+  with_runtimes (fun sys rt1 _rt4 ->
+      let obj = ok (Rt.new_object rt1 ~class_name:"counter" ~init:(bytes_s "0") ()) in
+      ignore (ok (Rt.invoke rt1 obj ~meth:"incr" ~arg:Bytes.empty));
+      (* n1 holds the object: its own invokes must stay local. *)
+      let s1 = Rt.stats rt1 in
+      Alcotest.(check int) "n1 all local" 0 s1.Rt.remote_invocations;
+      Alcotest.(check bool) "n1 holds page" true
+        (Khazana.Daemon.holds_page (System.daemon sys 1)
+           (Rt.invoke rt1 obj ~meth:"get" ~arg:Bytes.empty |> fun _ -> obj.Rt.addr)))
+
+let test_unknown_class_and_method () =
+  with_runtimes (fun _sys rt1 _rt4 ->
+      (match Rt.new_object rt1 ~class_name:"nope" ~init:Bytes.empty () with
+       | Error (`Unknown_class "nope") -> ()
+       | Error e -> Alcotest.failf "wrong error: %s" (Rt.error_to_string e)
+       | Ok _ -> Alcotest.fail "unknown class accepted");
+      let obj = ok (Rt.new_object rt1 ~class_name:"counter" ~init:(bytes_s "0") ()) in
+      match Rt.invoke rt1 obj ~meth:"destroy_world" ~arg:Bytes.empty with
+      | Error (`Unknown_method _) -> ()
+      | Error e -> Alcotest.failf "wrong error: %s" (Rt.error_to_string e)
+      | Ok _ -> Alcotest.fail "unknown method ran")
+
+let test_pooled_objects () =
+  with_runtimes (fun _sys rt1 rt4 ->
+      let o1 =
+        ok (Rt.new_object rt1 ~class_name:"counter" ~placement:Rt.Pooled
+              ~init:(bytes_s "100") ())
+      in
+      let o2 =
+        ok (Rt.new_object rt1 ~class_name:"counter" ~placement:Rt.Pooled
+              ~init:(bytes_s "200") ())
+      in
+      (* Both live in the same page: 256-byte slots. *)
+      Alcotest.(check int) "slot spacing" 256
+        (Kutil.Gaddr.diff o2.Rt.addr o1.Rt.addr);
+      ignore (ok (Rt.invoke rt1 o1 ~meth:"incr" ~arg:Bytes.empty));
+      let v = ok (Rt.invoke rt4 o2 ~meth:"get" ~arg:Bytes.empty) in
+      Alcotest.(check string) "o2 unaffected" "200" (Bytes.to_string v);
+      let v = ok (Rt.invoke rt4 o1 ~meth:"get" ~arg:Bytes.empty) in
+      Alcotest.(check string) "o1 incremented" "101" (Bytes.to_string v))
+
+let test_refcounting () =
+  with_runtimes (fun _sys rt1 _rt4 ->
+      let obj = ok (Rt.new_object rt1 ~class_name:"counter" ~init:(bytes_s "0") ()) in
+      Alcotest.(check int) "incref" 2 (ok (Rt.incref rt1 obj));
+      Alcotest.(check int) "decref" 1 (ok (Rt.decref rt1 obj));
+      Alcotest.(check int) "last ref" 0 (ok (Rt.decref rt1 obj)))
+
+let test_pooled_slot_recycled () =
+  with_runtimes (fun _sys rt1 _rt4 ->
+      let o1 =
+        ok (Rt.new_object rt1 ~class_name:"counter" ~placement:Rt.Pooled
+              ~init:(bytes_s "1") ())
+      in
+      ignore (ok (Rt.decref rt1 o1));
+      let o2 =
+        ok (Rt.new_object rt1 ~class_name:"counter" ~placement:Rt.Pooled
+              ~init:(bytes_s "2") ())
+      in
+      Alcotest.(check bool) "slot reused" true (Kutil.Gaddr.equal o1.Rt.addr o2.Rt.addr))
+
+let test_adaptive_ship_then_migrate () =
+  with_runtimes (fun sys rt1 rt4 ->
+      let obj = ok (Rt.new_object rt1 ~class_name:"counter" ~init:(bytes_s "0") ()) in
+      ignore (ok (Rt.invoke rt1 obj ~meth:"incr" ~arg:Bytes.empty));
+      (* The WAN caller's first invocations ship to a node that holds the
+         object; past the migration threshold it faults a replica in and
+         goes local. *)
+      for _ = 1 to 4 do
+        ignore (ok (Rt.invoke rt4 obj ~meth:"incr" ~arg:Bytes.empty))
+      done;
+      let s4 = Rt.stats rt4 in
+      Alcotest.(check int) "shipped below the threshold" 1 s4.Rt.remote_invocations;
+      Alcotest.(check int) "then migrated local" 3 s4.Rt.local_invocations;
+      Alcotest.(check bool) "replica now resident" true
+        (Khazana.Daemon.holds_page (System.daemon sys 4) obj.Rt.addr);
+      (* And the final count reflects every increment exactly once. *)
+      let v = ok (Rt.invoke rt1 obj ~meth:"get" ~arg:Bytes.empty) in
+      Alcotest.(check string) "no lost increments" "5" (Bytes.to_string v))
+
+let test_state_growth_guard () =
+  with_runtimes (fun _sys rt1 _rt4 ->
+      let big = Bytes.make 5000 'x' in
+      match Rt.new_object rt1 ~class_name:"counter" ~init:big () with
+      | Error (`Corrupt _) -> ()
+      | Error e -> Alcotest.failf "wrong error: %s" (Rt.error_to_string e)
+      | Ok _ -> Alcotest.fail "oversized object accepted")
+
+let () =
+  Alcotest.run "kobj"
+    [
+      ( "runtime",
+        [
+          Alcotest.test_case "new/invoke local" `Quick test_new_invoke_local;
+          Alcotest.test_case "cross-node state" `Quick test_cross_node_state_shared;
+          Alcotest.test_case "remote invocation" `Quick test_explicit_remote_invocation;
+          Alcotest.test_case "location-aware invoke" `Quick test_location_aware_invoke;
+          Alcotest.test_case "unknown class/method" `Quick test_unknown_class_and_method;
+          Alcotest.test_case "pooled placement" `Quick test_pooled_objects;
+          Alcotest.test_case "refcounting" `Quick test_refcounting;
+          Alcotest.test_case "slot recycling" `Quick test_pooled_slot_recycled;
+          Alcotest.test_case "adaptive ship-then-migrate" `Quick
+            test_adaptive_ship_then_migrate;
+          Alcotest.test_case "size guard" `Quick test_state_growth_guard;
+        ] );
+    ]

@@ -1,0 +1,156 @@
+(* Tests for the request/response layer: correlation, timeout, retry,
+   one-way messages. *)
+
+module Time = Ksim.Time
+module Topology = Knet.Topology
+
+module Proto = struct
+  type request = Echo of string | Slow of Time.t | Silent
+  type response = Echoed of string
+
+  let request_size = function
+    | Echo s -> 16 + String.length s
+    | Slow _ -> 24
+    | Silent -> 8
+
+  let response_size (Echoed s) = 16 + String.length s
+  let request_kind = function Echo _ -> "echo" | Slow _ -> "slow" | Silent -> "silent"
+end
+
+module R = Krpc.Rpc.Make (Proto)
+
+let mk ?(seed = 1) () =
+  let eng = Ksim.Engine.create ~seed () in
+  let topo = Topology.symmetric ~nodes_per_cluster:3 ~clusters:2 in
+  let rpc = R.create eng topo in
+  (eng, rpc)
+
+let echo_server rpc node =
+  R.set_server rpc node (fun ~src:_ req ~reply ->
+      match req with
+      | Proto.Echo s -> reply (Proto.Echoed s)
+      | Proto.Slow d ->
+        Ksim.Fiber.spawn (R.engine rpc) (fun () ->
+            Ksim.Fiber.sleep d;
+            reply (Proto.Echoed "slow"))
+      | Proto.Silent -> ())
+
+let in_fiber eng f =
+  let result = ref None in
+  Ksim.Fiber.spawn eng (fun () -> result := Some (f ()));
+  Ksim.Engine.run eng;
+  match !result with Some v -> v | None -> Alcotest.fail "fiber did not finish"
+
+let test_call_response () =
+  let eng, rpc = mk () in
+  echo_server rpc 1;
+  let result = in_fiber eng (fun () -> R.call rpc ~src:0 ~dst:1 (Proto.Echo "hi")) in
+  match result with
+  | Ok (Proto.Echoed s) -> Alcotest.(check string) "echo" "hi" s
+  | Error `Timeout -> Alcotest.fail "unexpected timeout"
+
+let test_concurrent_calls_correlate () =
+  let eng, rpc = mk () in
+  echo_server rpc 1;
+  echo_server rpc 3;
+  let results = ref [] in
+  for i = 0 to 4 do
+    Ksim.Fiber.spawn eng (fun () ->
+        let dst = if i mod 2 = 0 then 1 else 3 in
+        match R.call rpc ~src:0 ~dst (Proto.Echo (string_of_int i)) with
+        | Ok (Proto.Echoed s) -> results := (i, s) :: !results
+        | Error `Timeout -> ())
+  done;
+  Ksim.Engine.run eng;
+  let sorted = List.sort compare !results in
+  Alcotest.(check (list (pair int string)))
+    "each call got its own answer"
+    [ (0, "0"); (1, "1"); (2, "2"); (3, "3"); (4, "4") ]
+    sorted
+
+let test_timeout () =
+  let eng, rpc = mk () in
+  echo_server rpc 1;
+  let result =
+    in_fiber eng (fun () ->
+        R.call rpc ~src:0 ~dst:1 ~timeout:(Time.ms 50) (Proto.Slow (Time.ms 500)))
+  in
+  Alcotest.(check bool) "timed out" true (result = Error `Timeout);
+  (* The late reply must not confuse later calls. *)
+  let r2 = in_fiber eng (fun () -> R.call rpc ~src:0 ~dst:1 (Proto.Echo "after")) in
+  match r2 with
+  | Ok (Proto.Echoed s) -> Alcotest.(check string) "later call fine" "after" s
+  | Error `Timeout -> Alcotest.fail "later call timed out"
+
+let test_no_response_times_out () =
+  let eng, rpc = mk () in
+  echo_server rpc 1;
+  let t0 = Ksim.Engine.now eng in
+  let result =
+    in_fiber eng (fun () -> R.call rpc ~src:0 ~dst:1 ~timeout:(Time.ms 100) Proto.Silent)
+  in
+  Alcotest.(check bool) "timeout" true (result = Error `Timeout);
+  Alcotest.(check bool) "waited" true (Ksim.Engine.now eng - t0 >= Time.ms 100)
+
+let test_retry_succeeds_after_partition_heals () =
+  let eng, rpc = mk () in
+  echo_server rpc 3;
+  let net = R.net rpc in
+  R.Net.partition net [ 0 ] [ 3 ];
+  (* Heal while the second attempt is pending. *)
+  ignore (Ksim.Engine.schedule eng ~after:(Time.ms 150) (fun () -> R.Net.heal net));
+  let result =
+    in_fiber eng (fun () ->
+        R.call rpc ~src:0 ~dst:3 ~timeout:(Time.ms 100) ~attempts:5 (Proto.Echo "retry"))
+  in
+  match result with
+  | Ok (Proto.Echoed s) -> Alcotest.(check string) "retried ok" "retry" s
+  | Error `Timeout -> Alcotest.fail "should succeed after heal"
+
+let test_retries_exhausted () =
+  let eng, rpc = mk () in
+  let net = R.net rpc in
+  R.Net.crash net 1;
+  let result =
+    in_fiber eng (fun () ->
+        R.call rpc ~src:0 ~dst:1 ~timeout:(Time.ms 20) ~attempts:3 (Proto.Echo "x"))
+  in
+  Alcotest.(check bool) "exhausted" true (result = Error `Timeout);
+  Alcotest.(check int) "no leaked pending calls" 0 (R.pending_calls rpc)
+
+let test_notify () =
+  let eng, rpc = mk () in
+  let got = ref [] in
+  R.set_server rpc 1 (fun ~src req ~reply:_ ->
+      match req with
+      | Proto.Echo s -> got := (src, s) :: !got
+      | Proto.Slow _ | Proto.Silent -> ());
+  R.notify rpc ~src:2 ~dst:1 (Proto.Echo "oneway");
+  Ksim.Engine.run eng;
+  Alcotest.(check (list (pair int string))) "oneway delivered" [ (2, "oneway") ] !got
+
+let test_server_replacement () =
+  let eng, rpc = mk () in
+  R.set_server rpc 1 (fun ~src:_ _ ~reply -> reply (Proto.Echoed "v1"));
+  R.set_server rpc 1 (fun ~src:_ _ ~reply -> reply (Proto.Echoed "v2"));
+  let result = in_fiber eng (fun () -> R.call rpc ~src:0 ~dst:1 (Proto.Echo "?")) in
+  match result with
+  | Ok (Proto.Echoed s) -> Alcotest.(check string) "latest handler" "v2" s
+  | Error `Timeout -> Alcotest.fail "timeout"
+
+let () =
+  Alcotest.run "krpc"
+    [
+      ( "rpc",
+        [
+          Alcotest.test_case "call/response" `Quick test_call_response;
+          Alcotest.test_case "correlation" `Quick test_concurrent_calls_correlate;
+          Alcotest.test_case "timeout" `Quick test_timeout;
+          Alcotest.test_case "silent server" `Quick test_no_response_times_out;
+          Alcotest.test_case "retry across partition" `Quick
+            test_retry_succeeds_after_partition_heals;
+          Alcotest.test_case "retries exhausted" `Quick test_retries_exhausted;
+          Alcotest.test_case "notify" `Quick test_notify;
+          Alcotest.test_case "server replacement" `Quick test_server_replacement;
+        ] );
+    ]

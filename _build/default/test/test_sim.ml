@@ -1,0 +1,256 @@
+(* Tests for the discrete-event engine, promises and fibers. *)
+
+module Engine = Ksim.Engine
+module Promise = Ksim.Promise
+module Fiber = Ksim.Fiber
+module Time = Ksim.Time
+
+(* ------------------------------ Engine ----------------------------- *)
+
+let test_clock_advances () =
+  let eng = Engine.create () in
+  let seen = ref [] in
+  ignore (Engine.schedule eng ~after:(Time.ms 5) (fun () -> seen := 5 :: !seen));
+  ignore (Engine.schedule eng ~after:(Time.ms 1) (fun () -> seen := 1 :: !seen));
+  ignore (Engine.schedule eng ~after:(Time.ms 3) (fun () -> seen := 3 :: !seen));
+  Engine.run eng;
+  Alcotest.(check (list int)) "time order" [ 1; 3; 5 ] (List.rev !seen);
+  Alcotest.(check int) "clock at last event" (Time.ms 5) (Engine.now eng)
+
+let test_same_time_fifo () =
+  let eng = Engine.create () in
+  let seen = ref [] in
+  for i = 1 to 5 do
+    ignore (Engine.schedule eng ~after:(Time.ms 1) (fun () -> seen := i :: !seen))
+  done;
+  Engine.run eng;
+  Alcotest.(check (list int)) "scheduling order" [ 1; 2; 3; 4; 5 ] (List.rev !seen)
+
+let test_cancel () =
+  let eng = Engine.create () in
+  let fired = ref false in
+  let timer = Engine.schedule eng ~after:(Time.ms 1) (fun () -> fired := true) in
+  Engine.cancel timer;
+  Engine.run eng;
+  Alcotest.(check bool) "cancelled timer silent" false !fired
+
+let test_run_until () =
+  let eng = Engine.create () in
+  let count = ref 0 in
+  for i = 1 to 10 do
+    ignore (Engine.schedule eng ~after:(Time.ms i) (fun () -> incr count))
+  done;
+  Engine.run ~until:(Time.ms 5) eng;
+  Alcotest.(check int) "first five" 5 !count;
+  Alcotest.(check int) "clock clamped" (Time.ms 5) (Engine.now eng);
+  Engine.run eng;
+  Alcotest.(check int) "rest fire later" 10 !count
+
+let test_nested_schedule () =
+  let eng = Engine.create () in
+  let log = ref [] in
+  ignore
+    (Engine.schedule eng ~after:(Time.ms 1) (fun () ->
+         log := "outer" :: !log;
+         ignore
+           (Engine.schedule eng ~after:(Time.ms 1) (fun () ->
+                log := "inner" :: !log))));
+  Engine.run eng;
+  Alcotest.(check (list string)) "nesting" [ "outer"; "inner" ] (List.rev !log);
+  Alcotest.(check int) "clock" (Time.ms 2) (Engine.now eng)
+
+let test_events_fired () =
+  let eng = Engine.create () in
+  for _ = 1 to 7 do
+    ignore (Engine.schedule eng ~after:0 ignore)
+  done;
+  Engine.run eng;
+  Alcotest.(check int) "count" 7 (Engine.events_fired eng)
+
+let test_determinism_across_runs () =
+  let trace seed =
+    let eng = Engine.create ~seed () in
+    let rng = Engine.rng eng in
+    let log = Buffer.create 64 in
+    for _ = 1 to 20 do
+      let d = Kutil.Rng.int rng 1000 in
+      ignore
+        (Engine.schedule eng ~after:d (fun () ->
+             Buffer.add_string log (string_of_int (Engine.now eng) ^ ";")))
+    done;
+    Engine.run eng;
+    Buffer.contents log
+  in
+  Alcotest.(check string) "same seed same trace" (trace 9) (trace 9);
+  Alcotest.(check bool) "different seed differs" true (trace 9 <> trace 10)
+
+(* ----------------------------- Promise ----------------------------- *)
+
+let test_promise_resolve () =
+  let p = Promise.create () in
+  Alcotest.(check bool) "pending" false (Promise.is_resolved p);
+  let got = ref None in
+  Promise.on_resolve p (fun v -> got := Some v);
+  Promise.resolve p 42;
+  Alcotest.(check (option int)) "callback" (Some 42) !got;
+  Alcotest.(check (option int)) "peek" (Some 42) (Promise.peek p)
+
+let test_promise_double_resolve () =
+  let p = Promise.create () in
+  Promise.resolve p 1;
+  Alcotest.(check bool) "try_resolve refused" false (Promise.try_resolve p 2);
+  Alcotest.check_raises "resolve raises"
+    (Invalid_argument "Promise.resolve: already resolved") (fun () ->
+      Promise.resolve p 3)
+
+let test_promise_late_callback () =
+  let p = Promise.resolved 7 in
+  let got = ref 0 in
+  Promise.on_resolve p (fun v -> got := v);
+  Alcotest.(check int) "immediate" 7 !got
+
+let test_promise_callback_order () =
+  let p = Promise.create () in
+  let log = ref [] in
+  Promise.on_resolve p (fun _ -> log := 1 :: !log);
+  Promise.on_resolve p (fun _ -> log := 2 :: !log);
+  Promise.resolve p ();
+  Alcotest.(check (list int)) "registration order" [ 1; 2 ] (List.rev !log)
+
+let test_map_into () =
+  let src = Promise.create () and dst = Promise.create () in
+  Promise.map_into src dst string_of_int;
+  Promise.resolve src 5;
+  Alcotest.(check (option string)) "mapped" (Some "5") (Promise.peek dst)
+
+(* ------------------------------ Fiber ------------------------------ *)
+
+let test_fiber_sleep () =
+  let eng = Engine.create () in
+  let woke = ref (-1) in
+  Fiber.spawn eng (fun () ->
+      Fiber.sleep (Time.ms 10);
+      woke := Engine.now eng);
+  Engine.run eng;
+  Alcotest.(check int) "woke at 10ms" (Time.ms 10) !woke
+
+let test_fiber_await () =
+  let eng = Engine.create () in
+  let p = Promise.create () in
+  let got = ref 0 in
+  Fiber.spawn eng (fun () -> got := Fiber.await p);
+  Fiber.spawn eng (fun () ->
+      Fiber.sleep (Time.ms 3);
+      Promise.resolve p 99);
+  Engine.run eng;
+  Alcotest.(check int) "value" 99 !got
+
+let test_fiber_await_resolved () =
+  let eng = Engine.create () in
+  let got = ref 0 in
+  Fiber.spawn eng (fun () -> got := Fiber.await (Promise.resolved 5));
+  Engine.run eng;
+  Alcotest.(check int) "no suspension needed" 5 !got
+
+let test_fiber_timeout () =
+  let eng = Engine.create () in
+  let result = ref (Some ()) in
+  Fiber.spawn eng (fun () ->
+      result := Fiber.await_timeout eng (Promise.create ()) ~timeout:(Time.ms 5));
+  Engine.run eng;
+  Alcotest.(check (option unit)) "timed out" None !result;
+  Alcotest.(check int) "clock at timeout" (Time.ms 5) (Engine.now eng)
+
+let test_fiber_timeout_wins_race () =
+  let eng = Engine.create () in
+  let p = Promise.create () in
+  let result = ref None in
+  Fiber.spawn eng (fun () ->
+      result := Fiber.await_timeout eng p ~timeout:(Time.ms 10));
+  Fiber.spawn eng (fun () ->
+      Fiber.sleep (Time.ms 2);
+      Promise.resolve p 1);
+  Engine.run eng;
+  Alcotest.(check (option int)) "resolution wins" (Some 1) !result
+
+let test_fiber_exception_propagates () =
+  let eng = Engine.create () in
+  Fiber.spawn eng ~name:"dying" (fun () -> failwith "boom");
+  Alcotest.(check bool) "raises Fiber_failure" true
+    (try
+       Engine.run eng;
+       false
+     with Fiber.Fiber_failure (name, Failure msg) -> name = "dying" && msg = "boom")
+
+let test_fiber_async_join () =
+  let eng = Engine.create () in
+  let sum = ref 0 in
+  Fiber.spawn eng (fun () ->
+      let children =
+        List.map
+          (fun d ->
+            Fiber.async eng (fun () ->
+                Fiber.sleep (Time.ms d);
+                sum := !sum + d))
+          [ 3; 1; 2 ]
+      in
+      Fiber.join_all children);
+  Engine.run eng;
+  Alcotest.(check int) "all ran" 6 !sum
+
+let test_fiber_many_interleaved () =
+  let eng = Engine.create () in
+  let log = ref [] in
+  for i = 1 to 3 do
+    Fiber.spawn eng (fun () ->
+        for step = 1 to 3 do
+          Fiber.sleep (Time.ms i);
+          log := (i, step) :: !log
+        done)
+  done;
+  Engine.run eng;
+  Alcotest.(check int) "all steps" 9 (List.length !log);
+  (* Fiber 1 wakes at 1,2,3ms; fiber 3 at 3,6,9ms: last event is (3,3). *)
+  Alcotest.(check (pair int int)) "last" (3, 3) (List.hd !log)
+
+let test_blocking_outside_fiber_fails () =
+  Alcotest.(check bool) "sleep outside fiber fails" true
+    (try
+       Fiber.sleep 1;
+       false
+     with Failure _ -> true)
+
+let () =
+  Alcotest.run "ksim"
+    [
+      ( "engine",
+        [
+          Alcotest.test_case "clock advances in order" `Quick test_clock_advances;
+          Alcotest.test_case "same-time fifo" `Quick test_same_time_fifo;
+          Alcotest.test_case "cancel" `Quick test_cancel;
+          Alcotest.test_case "run ~until" `Quick test_run_until;
+          Alcotest.test_case "nested schedule" `Quick test_nested_schedule;
+          Alcotest.test_case "events_fired" `Quick test_events_fired;
+          Alcotest.test_case "deterministic" `Quick test_determinism_across_runs;
+        ] );
+      ( "promise",
+        [
+          Alcotest.test_case "resolve" `Quick test_promise_resolve;
+          Alcotest.test_case "double resolve" `Quick test_promise_double_resolve;
+          Alcotest.test_case "late callback" `Quick test_promise_late_callback;
+          Alcotest.test_case "callback order" `Quick test_promise_callback_order;
+          Alcotest.test_case "map_into" `Quick test_map_into;
+        ] );
+      ( "fiber",
+        [
+          Alcotest.test_case "sleep" `Quick test_fiber_sleep;
+          Alcotest.test_case "await" `Quick test_fiber_await;
+          Alcotest.test_case "await resolved" `Quick test_fiber_await_resolved;
+          Alcotest.test_case "timeout" `Quick test_fiber_timeout;
+          Alcotest.test_case "timeout race" `Quick test_fiber_timeout_wins_race;
+          Alcotest.test_case "exceptions" `Quick test_fiber_exception_propagates;
+          Alcotest.test_case "async/join" `Quick test_fiber_async_join;
+          Alcotest.test_case "interleaving" `Quick test_fiber_many_interleaved;
+          Alcotest.test_case "outside fiber" `Quick test_blocking_outside_fiber_fails;
+        ] );
+    ]

@@ -1,0 +1,178 @@
+(* Tests for the two-tier local page store. *)
+
+module Store = Kstorage.Page_store
+module Gaddr = Kutil.Gaddr
+module Time = Ksim.Time
+
+let page n = Gaddr.of_int (n * 4096)
+let data s = Bytes.of_string s
+
+let in_fiber eng f =
+  let result = ref None in
+  Ksim.Fiber.spawn eng (fun () -> result := Some (f ()));
+  Ksim.Engine.run eng;
+  match !result with Some v -> v | None -> Alcotest.fail "fiber did not finish"
+
+let mk ?(ram = 4) ?(disk = 16) () =
+  let eng = Ksim.Engine.create () in
+  (eng, Store.create eng (Store.config ~ram_pages:ram ~disk_pages:disk ()))
+
+let test_write_read () =
+  let eng, s = mk () in
+  in_fiber eng (fun () ->
+      Store.write s (page 1) (data "hello") ~dirty:false;
+      match Store.read s (page 1) with
+      | Some b -> Alcotest.(check string) "content" "hello" (Bytes.to_string b)
+      | None -> Alcotest.fail "missing");
+  Alcotest.(check int) "one ram page" 1 (Store.ram_used s)
+
+let test_read_returns_copy () =
+  let eng, s = mk () in
+  in_fiber eng (fun () ->
+      Store.write s (page 1) (data "abc") ~dirty:false;
+      (match Store.read s (page 1) with
+       | Some b -> Bytes.set b 0 'X'
+       | None -> Alcotest.fail "missing");
+      match Store.read s (page 1) with
+      | Some b -> Alcotest.(check string) "unchanged" "abc" (Bytes.to_string b)
+      | None -> Alcotest.fail "missing")
+
+let test_miss () =
+  let eng, s = mk () in
+  in_fiber eng (fun () ->
+      Alcotest.(check (option unit)) "miss" None
+        (Option.map ignore (Store.read s (page 9))));
+  Alcotest.(check int) "counted" 1 (Store.stats s).misses
+
+let test_ram_latency_vs_disk () =
+  let eng, s = mk ~ram:1 () in
+  in_fiber eng (fun () ->
+      Store.write s (page 1) (data "a") ~dirty:false;
+      (* Push page 1 to disk by filling RAM. *)
+      Store.write s (page 2) (data "b") ~dirty:false;
+      let t0 = Ksim.Engine.now eng in
+      ignore (Store.read s (page 2));
+      let ram_cost = Ksim.Engine.now eng - t0 in
+      let t1 = Ksim.Engine.now eng in
+      ignore (Store.read s (page 1));
+      let disk_cost = Ksim.Engine.now eng - t1 in
+      Alcotest.(check bool) "disk much slower" true (disk_cost > 100 * ram_cost))
+
+let test_eviction_to_disk () =
+  let eng, s = mk ~ram:2 () in
+  in_fiber eng (fun () ->
+      Store.write s (page 1) (data "one") ~dirty:false;
+      Store.write s (page 2) (data "two") ~dirty:false;
+      Store.write s (page 3) (data "three") ~dirty:false;
+      Alcotest.(check int) "ram capped" 2 (Store.ram_used s);
+      Alcotest.(check int) "victim on disk" 1 (Store.disk_used s);
+      Alcotest.(check bool) "lru victim" true (Store.where s (page 1) = Some Store.Disk);
+      (* Disk hit promotes back into RAM. *)
+      match Store.read s (page 1) with
+      | Some b ->
+        Alcotest.(check string) "survived" "one" (Bytes.to_string b);
+        Alcotest.(check bool) "promoted" true (Store.where s (page 1) = Some Store.Ram)
+      | None -> Alcotest.fail "lost");
+  let st = Store.stats s in
+  Alcotest.(check bool) "evictions counted" true (st.ram_evictions >= 1);
+  Alcotest.(check int) "disk hit" 1 st.disk_hits
+
+let test_pinned_not_victimised () =
+  let eng, s = mk ~ram:2 () in
+  in_fiber eng (fun () ->
+      Store.write s (page 1) (data "pinned") ~dirty:false;
+      Store.pin s (page 1);
+      Store.write s (page 2) (data "b") ~dirty:false;
+      Store.write s (page 3) (data "c") ~dirty:false;
+      Store.write s (page 4) (data "d") ~dirty:false;
+      Alcotest.(check bool) "pinned stays in ram" true
+        (Store.where s (page 1) = Some Store.Ram);
+      Store.unpin s (page 1);
+      Store.write s (page 5) (data "e") ~dirty:false;
+      Store.write s (page 6) (data "f") ~dirty:false;
+      Alcotest.(check bool) "unpinned can move" true
+        (Store.where s (page 1) <> Some Store.Ram))
+
+let test_evict_hook_on_disk_overflow () =
+  let eng, s = mk ~ram:1 ~disk:2 () in
+  let evicted = ref [] in
+  Store.set_evict_hook s (fun addr _bytes ~dirty -> evicted := (addr, dirty) :: !evicted);
+  in_fiber eng (fun () ->
+      Store.write s (page 1) (data "1") ~dirty:true;
+      Store.write s (page 2) (data "2") ~dirty:false;
+      Store.write s (page 3) (data "3") ~dirty:false;
+      Store.write s (page 4) (data "4") ~dirty:false);
+  (* ram=1, disk=2: the fourth write must push one page off the disk. *)
+  Alcotest.(check bool) "hook called" true (List.length !evicted >= 1);
+  let st = Store.stats s in
+  Alcotest.(check bool) "writeback counted for dirty" true
+    (st.writebacks >= if List.exists snd !evicted then 1 else 0)
+
+let test_dirty_tracking () =
+  let eng, s = mk () in
+  in_fiber eng (fun () ->
+      Store.write s (page 1) (data "x") ~dirty:true;
+      Alcotest.(check bool) "dirty" true (Store.is_dirty s (page 1));
+      Store.mark_clean s (page 1);
+      Alcotest.(check bool) "clean" false (Store.is_dirty s (page 1));
+      (* Dirty bit is sticky across clean writes. *)
+      Store.write s (page 1) (data "y") ~dirty:true;
+      Store.write s (page 1) (data "z") ~dirty:false;
+      Alcotest.(check bool) "sticky" true (Store.is_dirty s (page 1)))
+
+let test_immediate_ops () =
+  let _eng, s = mk () in
+  (* No fiber needed: immediate ops never sleep. *)
+  Store.write_immediate s (page 1) (data "imm") ~dirty:false;
+  (match Store.read_immediate s (page 1) with
+   | Some b -> Alcotest.(check string) "content" "imm" (Bytes.to_string b)
+   | None -> Alcotest.fail "missing");
+  Alcotest.(check (option unit)) "absent" None
+    (Option.map ignore (Store.read_immediate s (page 2)))
+
+let test_drop () =
+  let eng, s = mk () in
+  in_fiber eng (fun () -> Store.write s (page 1) (data "x") ~dirty:true);
+  Store.drop s (page 1);
+  Alcotest.(check (option unit)) "gone" None
+    (Option.map ignore (Store.read_immediate s (page 1)))
+
+let test_crash_loses_ram_keeps_disk () =
+  let eng, s = mk ~ram:1 () in
+  in_fiber eng (fun () ->
+      Store.write s (page 1) (data "old") ~dirty:false;
+      Store.write s (page 2) (data "new") ~dirty:false);
+  (* page 1 is on disk, page 2 in RAM. *)
+  Store.crash s;
+  Alcotest.(check bool) "ram gone" true (Store.where s (page 2) = None);
+  Alcotest.(check bool) "disk survives" true (Store.where s (page 1) = Some Store.Disk)
+
+let test_pages_listing () =
+  let eng, s = mk ~ram:1 () in
+  in_fiber eng (fun () ->
+      Store.write s (page 1) (data "a") ~dirty:false;
+      Store.write s (page 2) (data "b") ~dirty:false);
+  let pages = List.sort Gaddr.compare (Store.pages s) in
+  Alcotest.(check int) "two pages" 2 (List.length pages);
+  Alcotest.(check bool) "page1 listed" true
+    (List.exists (Gaddr.equal (page 1)) pages)
+
+let () =
+  Alcotest.run "kstorage"
+    [
+      ( "page_store",
+        [
+          Alcotest.test_case "write/read" `Quick test_write_read;
+          Alcotest.test_case "read copies" `Quick test_read_returns_copy;
+          Alcotest.test_case "miss" `Quick test_miss;
+          Alcotest.test_case "ram vs disk latency" `Quick test_ram_latency_vs_disk;
+          Alcotest.test_case "eviction to disk" `Quick test_eviction_to_disk;
+          Alcotest.test_case "pinning" `Quick test_pinned_not_victimised;
+          Alcotest.test_case "evict hook" `Quick test_evict_hook_on_disk_overflow;
+          Alcotest.test_case "dirty tracking" `Quick test_dirty_tracking;
+          Alcotest.test_case "immediate ops" `Quick test_immediate_ops;
+          Alcotest.test_case "drop" `Quick test_drop;
+          Alcotest.test_case "crash semantics" `Quick test_crash_loses_ram_keeps_disk;
+          Alcotest.test_case "pages listing" `Quick test_pages_listing;
+        ] );
+    ]

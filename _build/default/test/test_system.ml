@@ -1,0 +1,352 @@
+(* End-to-end integration tests over a full multi-node Khazana system:
+   the paper's client API exercised across clusters. *)
+
+module System = Khazana.System
+module Client = Khazana.Client
+module Daemon = Khazana.Daemon
+module Region = Khazana.Region
+module Attr = Khazana.Attr
+module Gaddr = Kutil.Gaddr
+module Ctypes = Kconsistency.Types
+
+let ok = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "daemon error: %s" (Daemon.error_to_string e)
+
+let mk ?(seed = 42) ?(nodes_per_cluster = 3) ?(clusters = 2) () =
+  System.create ~seed ~nodes_per_cluster ~clusters ()
+
+let bytes_s = Bytes.of_string
+
+let test_reserve_allocate () =
+  let sys = mk () in
+  let c = System.client sys 1 () in
+  System.run_fiber sys (fun () ->
+      let region = ok (Client.reserve c ~len:10_000 ()) in
+      (* Length rounds up to pages; state starts reserved. *)
+      Alcotest.(check int) "rounded" 12288 region.Region.len;
+      Alcotest.(check int) "homed here" 1 region.Region.home;
+      Alcotest.(check bool) "reserved" true (region.Region.state = Region.Reserved);
+      (* Locking before allocation fails. *)
+      (match Client.lock c ~addr:region.Region.base ~len:10 Ctypes.Read with
+       | Error `Not_allocated -> ()
+       | Error e -> Alcotest.failf "wrong error %s" (Daemon.error_to_string e)
+       | Ok _ -> Alcotest.fail "lock on unallocated region");
+      ok (Client.allocate c region.Region.base);
+      match Client.lock c ~addr:region.Region.base ~len:10 Ctypes.Read with
+      | Ok ctx -> Client.unlock c ctx
+      | Error e -> Alcotest.failf "lock failed: %s" (Daemon.error_to_string e))
+
+let test_write_read_local () =
+  let sys = mk () in
+  let c = System.client sys 1 () in
+  System.run_fiber sys (fun () ->
+      let r = ok (Client.create_region c ~len:4096 ()) in
+      ok (Client.write_bytes c ~addr:r.Region.base (bytes_s "local data"));
+      let b = ok (Client.read_bytes c ~addr:r.Region.base ~len:10) in
+      Alcotest.(check string) "roundtrip" "local data" (Bytes.to_string b))
+
+let test_unallocated_reads_as_zero () =
+  let sys = mk () in
+  let c = System.client sys 1 () in
+  System.run_fiber sys (fun () ->
+      let r = ok (Client.create_region c ~len:4096 ()) in
+      let b = ok (Client.read_bytes c ~addr:r.Region.base ~len:8) in
+      Alcotest.(check string) "zero-filled" (String.make 8 '\000') (Bytes.to_string b))
+
+let test_cross_cluster_sharing () =
+  let sys = mk () in
+  let c1 = System.client sys 1 () in
+  let c4 = System.client sys 4 () in
+  System.run_fiber sys (fun () ->
+      let r = ok (Client.create_region c1 ~len:4096 ()) in
+      ok (Client.write_bytes c1 ~addr:r.Region.base (bytes_s "from n1"));
+      let b = ok (Client.read_bytes c4 ~addr:r.Region.base ~len:7) in
+      Alcotest.(check string) "n4 sees n1's write" "from n1" (Bytes.to_string b);
+      ok (Client.write_bytes c4 ~addr:r.Region.base (bytes_s "FROM N4"));
+      let b = ok (Client.read_bytes c1 ~addr:r.Region.base ~len:7) in
+      Alcotest.(check string) "n1 sees n4's write" "FROM N4" (Bytes.to_string b))
+
+let test_multi_page_ops () =
+  let sys = mk () in
+  let c = System.client sys 2 () in
+  System.run_fiber sys (fun () ->
+      let r = ok (Client.create_region c ~len:16384 ()) in
+      (* A write spanning page boundaries. *)
+      let addr = Gaddr.add_int r.Region.base 4090 in
+      ok (Client.write_bytes c ~addr (bytes_s "spans-a-boundary"));
+      let b = ok (Client.read_bytes c ~addr ~len:16) in
+      Alcotest.(check string) "boundary write" "spans-a-boundary" (Bytes.to_string b);
+      (* Whole-region lock covers all pages. *)
+      let ctx = ok (Client.lock c ~addr:r.Region.base ~len:16384 Ctypes.Read) in
+      let b = ok (Client.read c ctx ~addr ~len:5) in
+      Alcotest.(check string) "read under wide lock" "spans" (Bytes.to_string b);
+      Client.unlock c ctx)
+
+let test_lock_modes_enforced () =
+  let sys = mk () in
+  let c = System.client sys 1 () in
+  System.run_fiber sys (fun () ->
+      let r = ok (Client.create_region c ~len:4096 ()) in
+      let ctx = ok (Client.lock c ~addr:r.Region.base ~len:100 Ctypes.Read) in
+      (match Client.write c ctx ~addr:r.Region.base (bytes_s "x") with
+       | Error `Access_denied -> ()
+       | Error e -> Alcotest.failf "wrong error: %s" (Daemon.error_to_string e)
+       | Ok () -> Alcotest.fail "write under read lock");
+      Client.unlock c ctx;
+      (* Out-of-range access under a valid context. *)
+      let ctx = ok (Client.lock c ~addr:r.Region.base ~len:100 Ctypes.Write) in
+      (match Client.read c ctx ~addr:(Gaddr.add_int r.Region.base 200) ~len:10 with
+       | Error `Bad_range -> ()
+       | Error e -> Alcotest.failf "wrong error: %s" (Daemon.error_to_string e)
+       | Ok _ -> Alcotest.fail "read outside context");
+      Client.unlock c ctx)
+
+let test_access_control () =
+  let sys = mk () in
+  let owner = System.client sys 1 ~principal:100 () in
+  let stranger = System.client sys 2 ~principal:200 () in
+  System.run_fiber sys (fun () ->
+      let attr = Attr.make ~owner:100 ~world:Attr.Read_only () in
+      let r = ok (Client.create_region owner ~attr ~len:4096 ()) in
+      ok (Client.write_bytes owner ~addr:r.Region.base (bytes_s "secret"));
+      let b = ok (Client.read_bytes stranger ~addr:r.Region.base ~len:6) in
+      Alcotest.(check string) "stranger reads" "secret" (Bytes.to_string b);
+      match Client.write_bytes stranger ~addr:r.Region.base (bytes_s "EVIL") with
+      | Error `Access_denied -> ()
+      | Error e -> Alcotest.failf "wrong error: %s" (Daemon.error_to_string e)
+      | Ok () -> Alcotest.fail "stranger wrote a read-only region")
+
+let test_set_attr () =
+  let sys = mk () in
+  let owner = System.client sys 1 ~principal:100 () in
+  let stranger = System.client sys 2 ~principal:200 () in
+  System.run_fiber sys (fun () ->
+      let attr = Attr.make ~owner:100 ~world:Attr.No_access () in
+      let r = ok (Client.create_region owner ~attr ~len:4096 ()) in
+      (match Client.read_bytes stranger ~addr:r.Region.base ~len:1 with
+       | Error `Access_denied -> ()
+       | Error e -> Alcotest.failf "wrong error: %s" (Daemon.error_to_string e)
+       | Ok _ -> Alcotest.fail "no_access readable");
+      (* Owner relaxes the ACL; stranger may not. *)
+      (match Client.set_attr stranger r.Region.base { attr with Attr.world = Attr.Read_write } with
+       | Error `Access_denied -> ()
+       | Error e -> Alcotest.failf "wrong error: %s" (Daemon.error_to_string e)
+       | Ok () -> Alcotest.fail "stranger changed attrs");
+      ok (Client.set_attr owner r.Region.base { attr with Attr.world = Attr.Read_only });
+      let b = ok (Client.read_bytes stranger ~addr:r.Region.base ~len:1) in
+      Alcotest.(check int) "readable now" 1 (Bytes.length b))
+
+let test_get_attr () =
+  let sys = mk () in
+  let c1 = System.client sys 1 () in
+  let c5 = System.client sys 5 () in
+  System.run_fiber sys (fun () ->
+      let attr = Attr.make ~owner:1 ~min_replicas:2 ~level:Attr.Release () in
+      let r = ok (Client.create_region c1 ~attr ~len:4096 ()) in
+      let a = ok (Client.get_attr c5 r.Region.base) in
+      Alcotest.(check string) "protocol visible remotely" "release" a.Attr.protocol;
+      Alcotest.(check int) "replicas" 2 a.Attr.min_replicas)
+
+let test_concurrent_writers_serialise () =
+  let sys = mk () in
+  let c2 = System.client sys 2 () in
+  System.run_fiber sys (fun () ->
+      let r = ok (Client.create_region c2 ~len:4096 ()) in
+      ok (Client.write_bytes c2 ~addr:r.Region.base (bytes_s "\x00"));
+      (* Ten concurrent increment transactions from different nodes: CREW
+         locking must make them atomic. *)
+      let eng = System.engine sys in
+      let fibers =
+        List.concat_map
+          (fun node ->
+            List.init 5 (fun _ ->
+                Ksim.Fiber.async eng (fun () ->
+                    let c = System.client sys node () in
+                    let ctx =
+                      ok (Client.lock c ~addr:r.Region.base ~len:1 Ctypes.Write)
+                    in
+                    let b = ok (Client.read c ctx ~addr:r.Region.base ~len:1) in
+                    Bytes.set b 0 (Char.chr (Char.code (Bytes.get b 0) + 1));
+                    ok (Client.write c ctx ~addr:r.Region.base b);
+                    Client.unlock c ctx)))
+          [ 0; 1; 3; 5 ]
+      in
+      Ksim.Fiber.join_all fibers;
+      let b = ok (Client.read_bytes c2 ~addr:r.Region.base ~len:1) in
+      Alcotest.(check int) "all increments applied" 20 (Char.code (Bytes.get b 0)))
+
+let test_locality_after_first_access () =
+  let sys = mk () in
+  let c1 = System.client sys 1 () in
+  let c4 = System.client sys 4 () in
+  System.run_fiber sys (fun () ->
+      let r = ok (Client.create_region c1 ~len:4096 ()) in
+      ok (Client.write_bytes c1 ~addr:r.Region.base (bytes_s "cacheable"));
+      let timed f =
+        let t0 = System.now sys in
+        f ();
+        System.now sys - t0
+      in
+      let cold =
+        timed (fun () -> ignore (ok (Client.read_bytes c4 ~addr:r.Region.base ~len:9)))
+      in
+      let warm =
+        timed (fun () -> ignore (ok (Client.read_bytes c4 ~addr:r.Region.base ~len:9)))
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "warm (%d) ≪ cold (%d)" warm cold)
+        true
+        (warm * 10 < cold);
+      (* And the daemon now physically holds the page. *)
+      Alcotest.(check bool) "replica cached locally" true
+        (Daemon.holds_page (System.daemon sys 4) r.Region.base))
+
+let test_release_protocol_region () =
+  let sys = mk () in
+  let c1 = System.client sys 1 () in
+  let c2 = System.client sys 2 () in
+  System.run_fiber sys (fun () ->
+      let attr = Attr.make ~owner:1 ~level:Attr.Release () in
+      let r = ok (Client.create_region c1 ~attr ~len:4096 ()) in
+      ok (Client.write_bytes c1 ~addr:r.Region.base (bytes_s "v1"));
+      let b = ok (Client.read_bytes c2 ~addr:r.Region.base ~len:2) in
+      Alcotest.(check string) "propagated" "v1" (Bytes.to_string b);
+      ok (Client.write_bytes c1 ~addr:r.Region.base (bytes_s "v2"));
+      (* Release consistency: c2 sees v2 after the update propagates. *)
+      Ksim.Fiber.sleep (Ksim.Time.sec 1);
+      let b = ok (Client.read_bytes c2 ~addr:r.Region.base ~len:2) in
+      Alcotest.(check string) "eventually v2" "v2" (Bytes.to_string b))
+
+let test_free_and_unreserve () =
+  let sys = mk () in
+  let c = System.client sys 1 () in
+  System.run_fiber sys (fun () ->
+      let r = ok (Client.create_region c ~len:4096 ()) in
+      ok (Client.write_bytes c ~addr:r.Region.base (bytes_s "doomed"));
+      Client.free c r.Region.base;
+      Client.unreserve c r.Region.base;
+      (* Release-class ops run in the background; give them time. *)
+      Ksim.Fiber.sleep (Ksim.Time.sec 2);
+      match Client.lock c ~addr:r.Region.base ~len:1 Ctypes.Read with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "unreserved region still lockable")
+
+let test_figure1_scenario () =
+  (* Figure 1: five nodes; an object physically replicated on nodes 3 and
+     5; node 1 accesses it and Khazana locates a copy for it. *)
+  let sys = mk ~nodes_per_cluster:6 ~clusters:1 () in
+  let c3 = System.client sys 3 () in
+  System.run_fiber sys (fun () ->
+      let attr = Attr.make ~owner:3 ~min_replicas:2 () in
+      let r = ok (Client.create_region c3 ~attr ~len:4096 ()) in
+      ok (Client.write_bytes c3 ~addr:r.Region.base (bytes_s "the square object"));
+      (* Node 5 reads it, becoming the second replica site. *)
+      let c5 = System.client sys 5 () in
+      ignore (ok (Client.read_bytes c5 ~addr:r.Region.base ~len:17));
+      Alcotest.(check bool) "replicated on 3" true
+        (Daemon.holds_page (System.daemon sys 3) r.Region.base);
+      Alcotest.(check bool) "replicated on 5" true
+        (Daemon.holds_page (System.daemon sys 5) r.Region.base);
+      (* Some node has no copy yet (replication is bounded); it accesses
+         the address and Khazana locates a copy and serves it. *)
+      let accessor =
+        List.find
+          (fun n -> not (Daemon.holds_page (System.daemon sys n) r.Region.base))
+          (List.init 6 Fun.id)
+      in
+      let c1 = System.client sys accessor () in
+      let b = ok (Client.read_bytes c1 ~addr:r.Region.base ~len:17) in
+      Alcotest.(check string) "accessor got the data" "the square object"
+        (Bytes.to_string b);
+      Alcotest.(check bool) "accessor now caches a copy" true
+        (Daemon.holds_page (System.daemon sys accessor) r.Region.base))
+
+let test_address_pool_accounting () =
+  (* "Khazana daemon processes maintain a pool of locally reserved, but
+     unused, address space" (§3.1): many small reserves consume one 1 GiB
+     chunk, and consecutive reservations are contiguous within it. *)
+  let sys = mk () in
+  let c = System.client sys 2 () in
+  let d = System.daemon sys 2 in
+  System.run_fiber sys (fun () ->
+      let r1 = ok (Client.reserve c ~len:4096 ()) in
+      let pool_after_first = Daemon.pool_bytes d in
+      Alcotest.(check int) "one chunk minus a page"
+        (Khazana.Layout.chunk_size - 4096)
+        pool_after_first;
+      let r2 = ok (Client.reserve c ~len:8192 ()) in
+      Alcotest.(check bool) "contiguous from the pool" true
+        (Gaddr.equal r2.Region.base (Gaddr.add_int r1.Region.base 4096));
+      Alcotest.(check int) "pool shrinks exactly"
+        (pool_after_first - 8192)
+        (Daemon.pool_bytes d);
+      (* A reservation bigger than the remaining pool grabs more chunks. *)
+      let r3 = ok (Client.reserve c ~len:(2 * Khazana.Layout.chunk_size) ()) in
+      Alcotest.(check bool) "large reserve satisfied" true
+        (r3.Region.len = 2 * Khazana.Layout.chunk_size))
+
+let test_deterministic_replay () =
+  let run () =
+    let sys = mk ~seed:77 () in
+    let c1 = System.client sys 1 () in
+    let c4 = System.client sys 4 () in
+    System.run_fiber sys (fun () ->
+        let r = ok (Client.create_region c1 ~len:8192 ()) in
+        ok (Client.write_bytes c1 ~addr:r.Region.base (bytes_s "determinism"));
+        ignore (ok (Client.read_bytes c4 ~addr:r.Region.base ~len:11)));
+    let stats = Khazana.Wire.Transport.Net.stats (System.net sys) in
+    (System.now sys, stats.sent, stats.bytes_sent)
+  in
+  let a = run () and b = run () in
+  Alcotest.(check bool)
+    "identical virtual time, message count and bytes" true (a = b)
+
+let test_lookup_path_stats () =
+  let sys = mk () in
+  let c4 = System.client sys 4 () in
+  let d4 = System.daemon sys 4 in
+  System.run_fiber sys (fun () ->
+      let c1 = System.client sys 1 () in
+      let r = ok (Client.create_region c1 ~len:4096 ()) in
+      Daemon.reset_lookup_stats d4;
+      (* First access from n4: full path (directory miss -> cluster miss ->
+         map walk). *)
+      ignore (ok (Client.read_bytes c4 ~addr:r.Region.base ~len:1));
+      let s1 = Daemon.lookup_stats d4 in
+      Alcotest.(check bool) "cold lookup walked the tree" true (s1.Daemon.map_walks >= 1);
+      (* Second access: region directory hit. *)
+      ignore (ok (Client.read_bytes c4 ~addr:r.Region.base ~len:1));
+      let s2 = Daemon.lookup_stats d4 in
+      Alcotest.(check bool) "warm lookup hits directory" true
+        (s2.Daemon.rdir_hits > s1.Daemon.rdir_hits);
+      Alcotest.(check int) "no extra walk" s1.Daemon.map_walks s2.Daemon.map_walks)
+
+let () =
+  Alcotest.run "system"
+    [
+      ( "api",
+        [
+          Alcotest.test_case "reserve/allocate" `Quick test_reserve_allocate;
+          Alcotest.test_case "write/read local" `Quick test_write_read_local;
+          Alcotest.test_case "zero fill" `Quick test_unallocated_reads_as_zero;
+          Alcotest.test_case "cross-cluster sharing" `Quick test_cross_cluster_sharing;
+          Alcotest.test_case "multi-page" `Quick test_multi_page_ops;
+          Alcotest.test_case "lock modes" `Quick test_lock_modes_enforced;
+          Alcotest.test_case "access control" `Quick test_access_control;
+          Alcotest.test_case "set_attr" `Quick test_set_attr;
+          Alcotest.test_case "get_attr remote" `Quick test_get_attr;
+          Alcotest.test_case "free/unreserve" `Quick test_free_and_unreserve;
+        ] );
+      ( "behaviour",
+        [
+          Alcotest.test_case "writers serialise" `Slow test_concurrent_writers_serialise;
+          Alcotest.test_case "locality" `Quick test_locality_after_first_access;
+          Alcotest.test_case "release protocol" `Quick test_release_protocol_region;
+          Alcotest.test_case "figure 1 scenario" `Quick test_figure1_scenario;
+          Alcotest.test_case "address pool accounting" `Quick
+            test_address_pool_accounting;
+          Alcotest.test_case "deterministic replay" `Quick test_deterministic_replay;
+          Alcotest.test_case "lookup path stats" `Quick test_lookup_path_stats;
+        ] );
+    ]
