@@ -24,7 +24,7 @@ let hint_period_run ~report_ms =
   System.run_fiber sys (fun () ->
       let c1 = System.client sys 1 () in
       for _ = 1 to 15 do
-        let r = ok (Client.create_region c1 ~len:4096 ()) in
+        let r = ok (Client.create_region c1 4096) in
         ok (Client.write_bytes c1 ~addr:r.Region.base (Bytes.make 8 'h'));
         Ksim.Fiber.sleep (Ksim.Time.ms 700);
         let (), ms =
@@ -77,7 +77,7 @@ let timeout_run ~request_timeout_ms =
   let region =
     System.run_fiber sys (fun () ->
         let attr = Attr.make ~owner:1 ~min_replicas:3 () in
-        let r = ok (Client.create_region c1 ~attr ~len:4096 ()) in
+        let r = ok (Client.create_region c1 ~attr 4096) in
         ok (Client.write_bytes c1 ~addr:r.Region.base (Bytes.make 8 'x'));
         r)
   in
@@ -92,7 +92,7 @@ let timeout_run ~request_timeout_ms =
   let result, ms =
     timed sys (fun () ->
         System.run_fiber sys (fun () ->
-            Client.read_bytes c3 ~addr:region.Region.base ~len:8))
+            Client.read_bytes c3 ~addr:region.Region.base 8))
   in
   System.heal sys;
   (ms, Result.is_ok result)

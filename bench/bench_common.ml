@@ -42,3 +42,44 @@ let messages sys f =
   let r = f () in
   let after = (Khazana.Wire.Transport.Net.stats (System.net sys)).sent in
   (r, after - before)
+
+module Trace = Ktrace.Trace
+
+(* Run [f] with a ring sink installed and print where the simulated time of
+   the traced operations went, grouped by span name. Tracing is disabled
+   again (and the span counter reset) before returning, so surrounding
+   measurements stay sink-free. *)
+let traced_phases f =
+  Trace.reset ();
+  let ring = Trace.Ring.create () in
+  let sink = Trace.Ring.install ring in
+  let finally () = Trace.uninstall sink; Trace.reset () in
+  Fun.protect ~finally (fun () -> f ());
+  Trace.phase_breakdown (Trace.Ring.records ring)
+
+let print_phase_breakdown title phases =
+  let table = Stats.table ~columns:[ title; "spans"; "total (ms)" ] in
+  List.iter
+    (fun (name, count, total_ms) ->
+      Stats.row table [ name; string_of_int count; f2 total_ms ])
+    phases;
+  print_table table
+
+(* One traced cold read across the WAN: the per-phase view of the Figure 2
+   path that E1's latency table summarises. *)
+let span_breakdown sys ~reader ~writer =
+  let cw = System.client sys writer () in
+  let region =
+    System.run_fiber sys (fun () ->
+        let r = ok (Client.create_region cw 4096) in
+        ok (Client.write_bytes cw ~addr:r.Region.base (Bytes.make 64 'd'));
+        r)
+  in
+  let cr = System.client sys reader () in
+  let phases =
+    traced_phases (fun () ->
+        System.run_fiber sys (fun () ->
+            ignore (ok (Client.read_bytes cr ~addr:region.Region.base 64))))
+  in
+  Printf.printf "per-phase span breakdown (one cold WAN read, traced):\n";
+  print_phase_breakdown "phase" phases

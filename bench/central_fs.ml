@@ -52,7 +52,7 @@ let server_op_cost = Ksim.Time.us 10
 let start_server engine topology ~server =
   let transport = T.create engine topology in
   let files : (string, bytes ref) Hashtbl.t = Hashtbl.create 64 in
-  T.set_server transport server (fun ~src:_ req ~reply ->
+  T.set_server transport server (fun ~src:_ ~span:_ req ~reply ->
       Ksim.Fiber.spawn engine ~name:"cfs-serve" (fun () ->
           Ksim.Fiber.sleep server_op_cost;
           match req with

@@ -16,14 +16,14 @@ let run () =
   let c1 = System.client sys 1 () in
   let region =
     System.run_fiber sys (fun () ->
-        let r = ok (Client.create_region c1 ~len:4096 ()) in
+        let r = ok (Client.create_region c1 4096) in
         ok (Client.write_bytes c1 ~addr:r.Region.base (Bytes.make 8 'x'));
         r)
   in
   let c4 = System.client sys 4 () in
   (* Warm node 4's directory so the partition hits the op, not the lookup. *)
   System.run_fiber sys (fun () ->
-      ignore (ok (Client.read_bytes c4 ~addr:region.Region.base ~len:8)));
+      ignore (ok (Client.read_bytes c4 ~addr:region.Region.base 8)));
   System.partition sys [ 0; 1; 2 ] [ 3; 4; 5 ];
 
   let table =

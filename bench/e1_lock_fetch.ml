@@ -17,7 +17,7 @@ let scenario sys ~reader ~writer ~cold_directory =
     let cw = System.client sys writer () in
     let region =
       System.run_fiber sys (fun () ->
-          let r = ok (Client.create_region cw ~len:4096 ()) in
+          let r = ok (Client.create_region cw 4096) in
           ok (Client.write_bytes cw ~addr:r.Region.base (Bytes.make 64 'd'));
           r)
     in
@@ -33,7 +33,7 @@ let scenario sys ~reader ~writer ~cold_directory =
             timed sys (fun () ->
                 System.run_fiber sys (fun () ->
                     ignore
-                      (ok (Client.read_bytes cr ~addr:region.Region.base ~len:64))))
+                      (ok (Client.read_bytes cr ~addr:region.Region.base 64))))
           in
           Stats.add latencies ms)
     in
@@ -47,7 +47,7 @@ let warm_local sys ~node =
   let c = System.client sys node () in
   let region =
     System.run_fiber sys (fun () ->
-        let r = ok (Client.create_region c ~len:4096 ()) in
+        let r = ok (Client.create_region c 4096) in
         ok (Client.write_bytes c ~addr:r.Region.base (Bytes.make 64 'd'));
         r)
   in
@@ -57,7 +57,7 @@ let warm_local sys ~node =
           let (), ms =
             timed sys (fun () ->
                 System.run_fiber sys (fun () ->
-                    ignore (ok (Client.read_bytes c ~addr:region.Region.base ~len:64))))
+                    ignore (ok (Client.read_bytes c ~addr:region.Region.base 64))))
           in
           Stats.add latencies ms)
     in
@@ -88,4 +88,5 @@ let run () =
         [ name; f2 (Stats.mean lat); f2 (Stats.percentile lat 99.0);
           f1 (Stats.mean msgs) ])
     rows;
-  print_table table
+  print_table table;
+  span_breakdown sys ~reader:4 ~writer:1

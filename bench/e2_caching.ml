@@ -15,7 +15,7 @@ let run () =
   let reader = System.client sys reader_node () in
   let region =
     System.run_fiber sys (fun () ->
-        let r = ok (Client.create_region writer ~len:4096 ()) in
+        let r = ok (Client.create_region writer 4096) in
         ok (Client.write_bytes writer ~addr:r.Region.base (Bytes.make 32 'a'));
         r)
   in
@@ -26,7 +26,7 @@ let run () =
     let (), ms =
       timed sys (fun () ->
           System.run_fiber sys (fun () ->
-              ignore (ok (Client.read_bytes reader ~addr:region.Region.base ~len:32))))
+              ignore (ok (Client.read_bytes reader ~addr:region.Region.base 32))))
     in
     Stats.row table
       [ label; f2 ms;
@@ -57,7 +57,7 @@ let run () =
     let region =
       System.run_fiber sys (fun () ->
           let c = System.client sys (List.hd nodes) () in
-          let r = ok (Client.create_region c ~len:4096 ()) in
+          let r = ok (Client.create_region c 4096) in
           ok (Client.write_bytes c ~addr:r.Region.base (Bytes.make 8 'x'));
           r)
     in

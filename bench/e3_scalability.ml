@@ -20,7 +20,7 @@ let run_workload ~nodes ~disjoint =
             List.map
               (fun n ->
                 let c = System.client sys n () in
-                let r = ok (Client.create_region c ~len:4096 ()) in
+                let r = ok (Client.create_region c 4096) in
                 ok (Client.write_bytes c ~addr:r.Region.base (Bytes.make 8 'i'));
                 (n, r))
               node_ids)
@@ -31,7 +31,7 @@ let run_workload ~nodes ~disjoint =
       let shared =
         System.run_fiber sys (fun () ->
             let c = System.client sys 0 () in
-            let r = ok (Client.create_region c ~len:4096 ()) in
+            let r = ok (Client.create_region c 4096) in
             ok (Client.write_bytes c ~addr:r.Region.base (Bytes.make 8 'i'));
             r)
       in

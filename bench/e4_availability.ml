@@ -21,7 +21,7 @@ let run_once ~min_replicas ~seed =
             let node = 1 + (i mod (total_nodes - 1)) in
             let c = System.client sys node () in
             let attr = Attr.make ~owner:node ~min_replicas () in
-            let r = ok (Client.create_region c ~attr ~len:4096 ()) in
+            let r = ok (Client.create_region c ~attr 4096) in
             ok (Client.write_bytes c ~addr:r.Region.base (Bytes.make 128 'v'));
             r))
   in
@@ -51,7 +51,7 @@ let run_once ~min_replicas ~seed =
              (fun survivor ->
                System.run_fiber sys (fun () ->
                    let c = System.client sys survivor () in
-                   match Client.read_bytes c ~addr:r.Region.base ~len:16 with
+                   match Client.read_bytes c ~addr:r.Region.base 16 with
                    | Ok _ -> true
                    | Error _ -> false))
              vantage)

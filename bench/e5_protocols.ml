@@ -17,10 +17,10 @@ let run_protocol (label, attr) =
 
   let region =
     System.run_fiber sys (fun () ->
-        let r = ok (Client.create_region writer ~attr ~len:4096 ()) in
+        let r = ok (Client.create_region writer ~attr 4096) in
         ok (Client.write_bytes writer ~addr:r.Region.base (Bytes.of_string "00000000"));
         List.iter
-          (fun (_, c) -> ignore (ok (Client.read_bytes c ~addr:r.Region.base ~len:8)))
+          (fun (_, c) -> ignore (ok (Client.read_bytes c ~addr:r.Region.base 8)))
           readers;
         r)
   in
@@ -40,7 +40,7 @@ let run_protocol (label, attr) =
         Ksim.Fiber.sleep (Ksim.Time.ms 40);
         List.iter
           (fun (_, c) ->
-            let b, ms = timed sys (fun () -> ok (Client.read_bytes c ~addr ~len:8)) in
+            let b, ms = timed sys (fun () -> ok (Client.read_bytes c ~addr 8)) in
             Stats.add rlat ms;
             incr reads;
             if Bytes.to_string b <> !current then incr stale)

@@ -35,7 +35,7 @@ let run () =
   let c1 = System.client sys 1 () in
   let region =
     System.run_fiber sys (fun () ->
-        let r = ok (Client.create_region c1 ~len:4096 ()) in
+        let r = ok (Client.create_region c1 4096) in
         ok (Client.write_bytes c1 ~addr:r.Region.base (Bytes.make 8 'x'));
         r)
   in
@@ -66,9 +66,9 @@ let run () =
   let c1 = System.client sys2 1 () in
   let region2 =
     System.run_fiber sys2 (fun () ->
-        let r = ok (Client.create_region c1 ~len:4096 ()) in
+        let r = ok (Client.create_region c1 4096) in
         ok (Client.write_bytes c1 ~addr:r.Region.base (Bytes.make 8 'x'));
-        ignore (ok (Client.read_bytes (System.client sys2 4 ()) ~addr:r.Region.base ~len:8));
+        ignore (ok (Client.read_bytes (System.client sys2 4 ()) ~addr:r.Region.base 8));
         r)
   in
   System.run_until_quiet ~limit:(Ksim.Time.sec 2) sys2;
@@ -97,7 +97,7 @@ let run () =
     let regions =
       System.run_fiber sys (fun () ->
           Array.init 60 (fun _ ->
-              let r = ok (Client.create_region c1 ~len:4096 ()) in
+              let r = ok (Client.create_region c1 4096) in
               ok (Client.write_bytes c1 ~addr:r.Region.base (Bytes.make 8 'x'));
               r))
     in

@@ -63,7 +63,7 @@ let run () =
   let regions =
     System.run_fiber sys (fun () ->
         List.init 32 (fun _ ->
-            let r = ok (Client.create_region c1 ~len:4096 ()) in
+            let r = ok (Client.create_region c1 4096) in
             ok (Client.write_bytes c1 ~addr:r.Region.base (Bytes.make 16 'a'));
             r))
   in
@@ -86,7 +86,7 @@ let run () =
     List.for_all
       (fun (r : Region.t) ->
         System.run_fiber sys (fun () ->
-            match Client.read_bytes c1 ~addr:r.Region.base ~len:16 with
+            match Client.read_bytes c1 ~addr:r.Region.base 16 with
             | Ok b -> Bytes.get b 0 = 'z'
             | Error _ -> false))
       regions

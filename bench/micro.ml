@@ -107,7 +107,7 @@ let end_to_end_tests =
   let c = Khazana.System.client sys 1 () in
   let region =
     Khazana.System.run_fiber sys (fun () ->
-        match Khazana.Client.create_region c ~len:4096 () with
+        match Khazana.Client.create_region c 4096 with
         | Ok r -> r
         | Error _ -> assert false)
   in

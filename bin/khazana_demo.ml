@@ -15,9 +15,22 @@ let ok = function
   | Ok v -> v
   | Error e -> failwith (Daemon.error_to_string e)
 
+(* With --trace, stream every span and event to stderr via the pretty
+   sink while [f] runs. *)
+let maybe_traced trace f =
+  if not trace then f ()
+  else begin
+    let sink = Ktrace.Trace.install (Ktrace.Trace.pretty_sink Format.err_formatter) in
+    Fun.protect
+      ~finally:(fun () ->
+        Format.pp_print_flush Format.err_formatter ();
+        Ktrace.Trace.uninstall sink)
+      f
+  end
+
 (* ------------------------------- workload -------------------------- *)
 
-let run_workload nodes clusters ops seed level =
+let run_workload nodes clusters ops seed level trace =
   let level =
     match Attr.level_of_string level with
     | Some l -> l
@@ -35,12 +48,13 @@ let run_workload nodes clusters ops seed level =
             let node = i mod n in
             let c = System.client sys node () in
             let attr = Attr.make ~owner:node ~level () in
-            let r = ok (Client.create_region c ~attr ~len:4096 ()) in
+            let r = ok (Client.create_region c ~attr 4096) in
             ok (Client.write_bytes c ~addr:r.Region.base (Bytes.make 32 '0'));
             r))
   in
   let latencies = Kutil.Stats.summary () in
   let writes = ref 0 and reads = ref 0 in
+  maybe_traced trace @@ fun () ->
   System.run_fiber sys (fun () ->
       for _ = 1 to ops do
         let node = Kutil.Rng.int rng n in
@@ -53,7 +67,7 @@ let run_workload nodes clusters ops seed level =
          end
          else begin
            incr reads;
-           ignore (ok (Client.read_bytes c ~addr:region.Region.base ~len:32))
+           ignore (ok (Client.read_bytes c ~addr:region.Region.base 32))
          end);
         Kutil.Stats.add latencies (Ksim.Time.to_ms_f (System.now sys - t0))
       done);
@@ -71,16 +85,25 @@ let run_workload nodes clusters ops seed level =
       Printf.printf "  node %d: %d / %d / %d / %d\n" (Daemon.id d)
         s.Daemon.homed_hits s.Daemon.rdir_hits s.Daemon.cluster_hits
         s.Daemon.map_walks)
+    (System.daemons sys);
+  Printf.printf "\nper-node lock outcomes (grant/reject/timeout):\n";
+  List.iter
+    (fun d ->
+      let counters = Ktrace.Metrics.counters (Daemon.metrics d) in
+      let get k = try List.assoc k counters with Not_found -> 0 in
+      Printf.printf "  node %d: %d / %d / %d\n" (Daemon.id d)
+        (get "lock.grant") (get "lock.reject") (get "lock.timeout"))
     (System.daemons sys)
 
 (* -------------------------------- fs demo -------------------------- *)
 
-let run_fs_demo () =
+let run_fs_demo trace =
   let sys = System.create ~nodes_per_cluster:3 ~clusters:2 () in
   let fs_err = function
     | Ok v -> v
     | Error e -> failwith (Kfs.Fs.error_to_string e)
   in
+  maybe_traced trace @@ fun () ->
   System.run_fiber sys (fun () ->
       let c1 = System.client sys 1 () in
       let sb = fs_err (Kfs.Fs.format c1 ()) in
@@ -125,15 +148,24 @@ let level_arg =
     & opt string "strict"
     & info [ "consistency" ] ~docv:"LEVEL" ~doc:"strict | release | eventual.")
 
+let trace_arg =
+  Arg.(
+    value & flag
+    & info [ "trace" ]
+        ~doc:"Stream operation traces (spans, CM transitions, page-store \
+              events) to stderr while the workload runs.")
+
 let workload_cmd =
   Cmd.v
     (Cmd.info "workload" ~doc:"Run a synthetic shared-state workload.")
-    Term.(const run_workload $ nodes_arg $ clusters_arg $ ops_arg $ seed_arg $ level_arg)
+    Term.(
+      const run_workload $ nodes_arg $ clusters_arg $ ops_arg $ seed_arg
+      $ level_arg $ trace_arg)
 
 let fs_cmd =
   Cmd.v
     (Cmd.info "fs-demo" ~doc:"Format and cross-mount the distributed filesystem.")
-    Term.(const run_fs_demo $ const ())
+    Term.(const run_fs_demo $ trace_arg)
 
 let protocols_cmd =
   Cmd.v

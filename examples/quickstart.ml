@@ -29,7 +29,7 @@ let () =
   let region =
     System.run_fiber sys (fun () ->
         let attr = Attr.make ~owner:3 ~min_replicas:2 () in
-        let r = ok (Client.create_region app3 ~attr ~len:4096 ()) in
+        let r = ok (Client.create_region app3 ~attr 4096) in
         ok (Client.write_bytes app3 ~addr:r.Region.base
               (Bytes.of_string "the shared square object"));
         r)
@@ -41,7 +41,7 @@ let () =
      squares of Figure 1). *)
   let app5 = System.client sys 5 () in
   System.run_fiber sys (fun () ->
-      ignore (ok (Client.read_bytes app5 ~addr:region.Region.base ~len:24)));
+      ignore (ok (Client.read_bytes app5 ~addr:region.Region.base 24)));
   System.run_until_quiet sys;
   Printf.printf "\nreplica map after node 5's access:\n";
   List.iter
@@ -58,13 +58,13 @@ let () =
   let t0 = System.now sys in
   let data =
     System.run_fiber sys (fun () ->
-        ok (Client.read_bytes app1 ~addr:region.Region.base ~len:24))
+        ok (Client.read_bytes app1 ~addr:region.Region.base 24))
   in
   let cold = System.now sys - t0 in
   let t1 = System.now sys in
   ignore
     (System.run_fiber sys (fun () ->
-         ok (Client.read_bytes app1 ~addr:region.Region.base ~len:24)));
+         ok (Client.read_bytes app1 ~addr:region.Region.base 24)));
   let warm = System.now sys - t1 in
   Printf.printf "\nnode 1 read the same address: %S\n" (Bytes.to_string data);
   Format.printf "  first access (locate + fetch over WAN): %a@." Ksim.Time.pp cold;

@@ -25,11 +25,11 @@ let run_protocol level =
   let attr = Attr.make ~owner:1 ~level () in
   let region =
     System.run_fiber sys (fun () ->
-        let r = ok (Client.create_region origin ~attr ~len:4096 ()) in
+        let r = ok (Client.create_region origin ~attr 4096) in
         ok (Client.write_bytes origin ~addr:r.Region.base (Bytes.of_string "v000"));
         (* Warm every edge cache. *)
         List.iter
-          (fun e -> ignore (ok (Client.read_bytes e ~addr:r.Region.base ~len:4)))
+          (fun e -> ignore (ok (Client.read_bytes e ~addr:r.Region.base 4)))
           edges;
         r)
   in
@@ -41,7 +41,7 @@ let run_protocol level =
     List.iter
       (fun e ->
         let t0 = System.now sys in
-        let b = ok (Client.read_bytes e ~addr ~len:4) in
+        let b = ok (Client.read_bytes e ~addr 4) in
         Kutil.Stats.add read_latency (Ksim.Time.to_ms_f (System.now sys - t0));
         incr per_kind;
         if Bytes.to_string b <> !current then incr counter)

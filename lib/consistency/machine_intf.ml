@@ -34,7 +34,26 @@ end
 
 type packed = Packed : (module MACHINE with type t = 'a) * 'a -> packed
 
-let handle_packed (Packed ((module M), m)) event = M.handle m event
+(** One observed machine step: what came in, what state it moved between,
+    what went out. Fed to the span hook of {!handle_packed} so the daemon
+    can land CM state transitions in an operation trace without the
+    machines themselves knowing about tracing (they stay pure). *)
+type transition = {
+  t_before : string;  (** state name before the event *)
+  t_after : string;   (** state name after *)
+  t_event : Types.event;
+  t_actions : Types.action list;
+}
+
+let handle_packed ?hook (Packed ((module M), m)) event =
+  match hook with
+  | None -> M.handle m event
+  | Some f ->
+    let before = M.state_name m in
+    let actions = M.handle m event in
+    f { t_before = before; t_after = M.state_name m; t_event = event;
+        t_actions = actions };
+    actions
 let packed_state_name (Packed ((module M), m)) = M.state_name m
 let packed_has_valid_copy (Packed ((module M), m)) = M.has_valid_copy m
 let packed_is_owner (Packed ((module M), m)) = M.is_owner m

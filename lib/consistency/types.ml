@@ -98,6 +98,14 @@ type event =
           machine must forget it and allow later intents to re-request. *)
   | Timeout of timer_id
 
+let event_kind = function
+  | Acquire { mode; _ } -> "acquire." ^ mode_to_string mode
+  | Release { mode; _ } -> "release." ^ mode_to_string mode
+  | Peer { msg; _ } -> msg_kind msg
+  | Evicted _ -> "evicted"
+  | Abort _ -> "abort"
+  | Timeout _ -> "timer"
+
 type reject_reason = Unavailable of string
 
 type action =

@@ -1,42 +1,86 @@
+module Trace = Ktrace.Trace
+module Op_ctx = Ktrace.Op_ctx
+
 type t = { daemon : Daemon.t; principal : int }
 
 let connect daemon ~principal = { daemon; principal }
 let daemon t = t.daemon
 let principal t = t.principal
 
-let reserve t ?attr ~len () =
-  Daemon.reserve t.daemon ?attr ~principal:t.principal ~len ()
+(* Every client operation runs under an operation context. When the caller
+   supplies one we join it (nested operations share one trace); otherwise we
+   mint a fresh root span named after the operation — unless tracing is off,
+   in which case the context is a free two-word record and nothing else
+   happens. *)
+let with_op t name ctx f =
+  match ctx with
+  | Some ctx -> f ctx
+  | None ->
+    if not (Trace.enabled ()) then f (Op_ctx.make t.principal)
+    else begin
+      let engine = Daemon.engine t.daemon in
+      let span = Trace.root ~engine ~node:(Daemon.id t.daemon) name in
+      Fun.protect
+        ~finally:(fun () -> Trace.finish ~engine span)
+        (fun () -> f (Op_ctx.make ~span t.principal))
+    end
 
-let unreserve t base = Daemon.unreserve t.daemon base
-let allocate t base = Daemon.allocate t.daemon base
-let free t base = Daemon.free t.daemon base
+let reserve t ?attr ?ctx len =
+  with_op t "client.reserve" ctx (fun ctx ->
+      Daemon.reserve t.daemon ?attr ~ctx len)
 
-let lock t ~addr ~len mode =
-  Daemon.lock t.daemon ~principal:t.principal ~addr ~len mode
+let unreserve t ?ctx base =
+  with_op t "client.unreserve" ctx (fun ctx ->
+      Daemon.unreserve t.daemon ~ctx base)
+
+let allocate t ?ctx base =
+  with_op t "client.allocate" ctx (fun ctx ->
+      Daemon.allocate t.daemon ~ctx base)
+
+let free t ?ctx base =
+  with_op t "client.free" ctx (fun ctx -> Daemon.free t.daemon ~ctx base)
+
+let lock t ?ctx ~addr ~len mode =
+  with_op t "client.lock" ctx (fun ctx ->
+      Daemon.lock t.daemon ~ctx ~addr ~len mode)
 
 let unlock t ctx = Daemon.unlock t.daemon ctx
 let read t ctx ~addr ~len = Daemon.read t.daemon ctx ~addr ~len
 let write t ctx ~addr data = Daemon.write t.daemon ctx ~addr data
-let get_attr t addr = Daemon.get_attr t.daemon addr
-let set_attr t base attr = Daemon.set_attr t.daemon ~principal:t.principal base attr
 
-let create_region t ?attr ~len () =
-  match reserve t ?attr ~len () with
-  | Error _ as e -> e
-  | Ok region -> (
-    match allocate t region.Region.base with
-    | Ok () -> Ok (Region.allocated region)
-    | Error e -> Error e)
+let get_attr t ?ctx addr =
+  with_op t "client.get_attr" ctx (fun ctx ->
+      Daemon.get_attr t.daemon ~ctx addr)
 
-let with_lock t ~addr ~len mode f =
-  match lock t ~addr ~len mode with
+let set_attr t ?ctx base attr =
+  with_op t "client.set_attr" ctx (fun ctx ->
+      Daemon.set_attr t.daemon ~ctx base attr)
+
+let create_region t ?attr ?ctx len =
+  with_op t "client.create_region" ctx (fun ctx ->
+      match Daemon.reserve t.daemon ?attr ~ctx len with
+      | Error _ as e -> e
+      | Ok region -> (
+        match Daemon.allocate t.daemon ~ctx region.Region.base with
+        | Ok () -> Ok (Region.allocated region)
+        | Error e -> Error e))
+
+let with_lock_in t ctx ~addr ~len mode f =
+  match Daemon.lock t.daemon ~ctx ~addr ~len mode with
   | Error e -> Error e
-  | Ok ctx -> Fun.protect ~finally:(fun () -> unlock t ctx) (fun () -> f ctx)
+  | Ok lctx ->
+    Fun.protect ~finally:(fun () -> unlock t lctx) (fun () -> f lctx)
 
-let read_bytes t ~addr ~len =
-  with_lock t ~addr ~len Kconsistency.Types.Read (fun ctx ->
-      read t ctx ~addr ~len)
+let with_lock t ?ctx ~addr ~len mode f =
+  with_op t "client.with_lock" ctx (fun ctx ->
+      with_lock_in t ctx ~addr ~len mode f)
 
-let write_bytes t ~addr data =
-  with_lock t ~addr ~len:(Bytes.length data) Kconsistency.Types.Write (fun ctx ->
-      write t ctx ~addr data)
+let read_bytes t ?ctx ~addr len =
+  with_op t "client.read_bytes" ctx (fun ctx ->
+      with_lock_in t ctx ~addr ~len Kconsistency.Types.Read (fun lctx ->
+          read t lctx ~addr ~len))
+
+let write_bytes t ?ctx ~addr data =
+  with_op t "client.write_bytes" ctx (fun ctx ->
+      with_lock_in t ctx ~addr ~len:(Bytes.length data)
+        Kconsistency.Types.Write (fun lctx -> write t lctx ~addr data))

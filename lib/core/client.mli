@@ -3,7 +3,15 @@
     "Typically an application process (client) interacts with Khazana
     through library routines" — this module is those routines: a thin,
     principal-carrying veneer over the local daemon, plus convenience
-    helpers for whole-region access. All operations are fiber-blocking. *)
+    helpers for whole-region access. All operations are fiber-blocking.
+
+    Every operation takes an optional {!Ktrace.Op_ctx.t}. Omitted, the
+    client mints a fresh context — and, when a trace sink is installed, a
+    root span named after the operation ([client.lock],
+    [client.write_bytes], ...) under which every daemon step, remote hop
+    and CM transition of that operation nests. Pass an explicit [ctx] to
+    group several calls under one caller-owned span, or to attach a
+    deadline. With no sink installed the context machinery costs nothing. *)
 
 type t
 
@@ -13,14 +21,18 @@ val principal : t -> int
 
 (** {1 The paper's operations} *)
 
-val reserve : t -> ?attr:Attr.t -> len:int -> unit -> (Region.t, Daemon.error) result
-val unreserve : t -> Kutil.Gaddr.t -> unit
-val allocate : t -> Kutil.Gaddr.t -> (unit, Daemon.error) result
-val free : t -> Kutil.Gaddr.t -> unit
+val reserve :
+  t -> ?attr:Attr.t -> ?ctx:Ktrace.Op_ctx.t -> int ->
+  (Region.t, Daemon.error) result
+(** [reserve t len] — the length is the final positional argument. *)
+
+val unreserve : t -> ?ctx:Ktrace.Op_ctx.t -> Kutil.Gaddr.t -> unit
+val allocate : t -> ?ctx:Ktrace.Op_ctx.t -> Kutil.Gaddr.t -> (unit, Daemon.error) result
+val free : t -> ?ctx:Ktrace.Op_ctx.t -> Kutil.Gaddr.t -> unit
 
 val lock :
-  t -> addr:Kutil.Gaddr.t -> len:int -> Kconsistency.Types.mode ->
-  (Daemon.lock_ctx, Daemon.error) result
+  t -> ?ctx:Ktrace.Op_ctx.t -> addr:Kutil.Gaddr.t -> len:int ->
+  Kconsistency.Types.mode -> (Daemon.lock_ctx, Daemon.error) result
 
 val unlock : t -> Daemon.lock_ctx -> unit
 
@@ -32,25 +44,29 @@ val write :
   t -> Daemon.lock_ctx -> addr:Kutil.Gaddr.t -> bytes ->
   (unit, Daemon.error) result
 
-val get_attr : t -> Kutil.Gaddr.t -> (Attr.t, Daemon.error) result
-val set_attr : t -> Kutil.Gaddr.t -> Attr.t -> (unit, Daemon.error) result
+val get_attr : t -> ?ctx:Ktrace.Op_ctx.t -> Kutil.Gaddr.t -> (Attr.t, Daemon.error) result
+val set_attr : t -> ?ctx:Ktrace.Op_ctx.t -> Kutil.Gaddr.t -> Attr.t -> (unit, Daemon.error) result
 
 (** {1 Convenience} *)
 
 val create_region :
-  t -> ?attr:Attr.t -> len:int -> unit -> (Region.t, Daemon.error) result
-(** reserve + allocate. *)
+  t -> ?attr:Attr.t -> ?ctx:Ktrace.Op_ctx.t -> int ->
+  (Region.t, Daemon.error) result
+(** reserve + allocate; the length is the final positional argument. *)
 
 val with_lock :
-  t -> addr:Kutil.Gaddr.t -> len:int -> Kconsistency.Types.mode ->
+  t -> ?ctx:Ktrace.Op_ctx.t -> addr:Kutil.Gaddr.t -> len:int ->
+  Kconsistency.Types.mode ->
   (Daemon.lock_ctx -> ('a, Daemon.error) result) ->
   ('a, Daemon.error) result
 (** Lock, run, always unlock. *)
 
 val read_bytes :
-  t -> addr:Kutil.Gaddr.t -> len:int -> (bytes, Daemon.error) result
-(** lock(read) + read + unlock. *)
+  t -> ?ctx:Ktrace.Op_ctx.t -> addr:Kutil.Gaddr.t -> int ->
+  (bytes, Daemon.error) result
+(** [read_bytes t ~addr len]: lock(read) + read + unlock. *)
 
 val write_bytes :
-  t -> addr:Kutil.Gaddr.t -> bytes -> (unit, Daemon.error) result
+  t -> ?ctx:Ktrace.Op_ctx.t -> addr:Kutil.Gaddr.t -> bytes ->
+  (unit, Daemon.error) result
 (** lock(write) + write + unlock. *)

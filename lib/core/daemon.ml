@@ -4,6 +4,9 @@ module Ctypes = Kconsistency.Types
 module Machine = Kconsistency.Machine_intf
 module Topology = Knet.Topology
 module Store = Kstorage.Page_store
+module Trace = Ktrace.Trace
+module Op_ctx = Ktrace.Op_ctx
+module Metrics = Ktrace.Metrics
 
 type config = {
   rdir_capacity : int;
@@ -30,21 +33,9 @@ let default_config =
     background_retry_every = Ksim.Time.ms 250;
   }
 
-type error =
-  [ `Timeout
-  | `Unavailable of string
-  | `Access_denied
-  | `Not_allocated
-  | `Bad_range
-  | `Conflict of string ]
+type error = Error.t
 
-let error_to_string : error -> string = function
-  | `Timeout -> "timeout"
-  | `Unavailable s -> "unavailable: " ^ s
-  | `Access_denied -> "access denied"
-  | `Not_allocated -> "region not allocated"
-  | `Bad_range -> "bad range"
-  | `Conflict s -> "conflict: " ^ s
+let error_to_string = Error.to_string
 
 type lookup_stats = {
   homed_hits : int;
@@ -60,6 +51,7 @@ type slot = { region : Region.t; packed : Machine.packed }
 
 type lock_ctx = {
   ctx_id : int;
+  ctx_op : Op_ctx.t;  (* the client operation this lock belongs to *)
   ctx_region : Region.t;
   ctx_addr : Gaddr.t;
   ctx_len : int;
@@ -90,6 +82,7 @@ type t = {
   mutable up : bool;
   mutable epoch : int;  (* bumped on crash: fences stale timers/fibers *)
   cm_state : Cluster.t option;
+  metrics : Metrics.t;
   mutable stats : lookup_stats;
 }
 
@@ -101,6 +94,7 @@ let page_directory t = t.pdir
 let store t = t.store
 let cluster_state t = t.cm_state
 let lookup_stats t = t.stats
+let metrics t = t.metrics
 
 let reset_lookup_stats t =
   t.stats <-
@@ -117,6 +111,34 @@ let holds_page t page =
   match Gaddr.Table.find_opt t.machines page with
   | Some s -> Machine.packed_has_valid_copy s.packed
   | None -> false
+
+(* ------------------------------------------------------------------ *)
+(* Tracing helpers                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Open a span under an operation context. All span creation funnels
+   through here so the disabled path is one branch and no attribute list
+   is built. Background contexts (null span) stay span-free: only work
+   rooted in a traced client operation lands in the trace tree, so one
+   operation reads as exactly one connected trace. *)
+let span_of t ctx name attrs =
+  if Trace.enabled () && not (Trace.is_null (Op_ctx.span ctx)) then
+    Trace.child ~engine:t.engine ~node:t.id ~attrs:(attrs ())
+      ~parent:(Op_ctx.span ctx) name
+  else Trace.null
+
+let finish_span ?(attrs = fun () -> []) t span =
+  if not (Trace.is_null span) then
+    Trace.finish ~engine:t.engine ~attrs:(attrs ()) span
+
+let finish_status t span status =
+  finish_span ~attrs:(fun () -> [ ("status", status) ]) t span
+
+(* Effective per-attempt timeout honouring the context deadline. *)
+let budgeted_timeout t ctx default =
+  match Op_ctx.remaining ctx ~now:(Ksim.Engine.now t.engine) with
+  | Some left -> min left default
+  | None -> default
 
 (* ------------------------------------------------------------------ *)
 (* Machines and CM action interpretation                               *)
@@ -191,12 +213,16 @@ let machine_for t (region : Region.t) page =
          ~homed_here:(region.home = t.id));
     slot
 
-let rec apply_actions t slot page actions =
+(* [span] is the trace position of whatever caused this machine step; it
+   rides on every CM message we send out, so a lock request's protocol
+   conversation (requester -> home -> owner -> requester) forms one
+   causally-linked chain across nodes. *)
+let rec apply_actions t ~span slot page actions =
   List.iter
     (fun action ->
       match action with
       | Ctypes.Send (dst, body) ->
-        Wire.Transport.notify t.transport ~src:t.id ~dst
+        Wire.Transport.notify t.transport ~src:t.id ~dst ~span:(Trace.id span)
           (Wire.Cm_msg { page; region_base = slot.region.Region.base; body });
         (* Fail fast on known-dead peers (the moral equivalent of a
            connection refused): pretend the peer reported that it holds
@@ -212,7 +238,7 @@ let rec apply_actions t slot page actions =
                  if t.up && t.epoch = epoch then
                    match Gaddr.Table.find_opt t.machines page with
                    | Some slot ->
-                     feed t slot page
+                     feed t ~span:Trace.null slot page
                        (Ctypes.Peer { src = dst; msg = Ctypes.Evict_notify })
                    | None -> ()))
         end
@@ -229,6 +255,11 @@ let rec apply_actions t slot page actions =
           ignore (Ksim.Promise.try_resolve promise (Error (`Unavailable why)))
         | None -> ())
       | Ctypes.Install { data; dirty } ->
+        if Trace.enabled () then
+          Trace.event ~engine:t.engine ~node:t.id ~span "store.install"
+            ~attrs:
+              [ ("page", Gaddr.to_string page);
+                ("dirty", string_of_bool dirty) ];
         Store.write_immediate t.store page data ~dirty
       | Ctypes.Discard -> Store.drop t.store page
       | Ctypes.Start_timer { id; after } ->
@@ -237,7 +268,8 @@ let rec apply_actions t slot page actions =
           (Ksim.Engine.schedule t.engine ~after (fun () ->
                if t.up && t.epoch = epoch then
                  match Gaddr.Table.find_opt t.machines page with
-                 | Some slot -> feed t slot page (Ctypes.Timeout id)
+                 | Some slot ->
+                   feed t ~span:Trace.null slot page (Ctypes.Timeout id)
                  | None -> ()))
       | Ctypes.Sharers_hint sharers ->
         ignore
@@ -246,13 +278,26 @@ let rec apply_actions t slot page actions =
         Page_directory.set_sharers t.pdir page sharers)
     actions
 
-and feed t slot page event =
-  apply_actions t slot page (Machine.handle_packed slot.packed event)
+and feed t ~span slot page event =
+  let hook =
+    if Trace.enabled () then
+      Some
+        (fun (tr : Machine.transition) ->
+          Trace.event ~engine:t.engine ~node:t.id ~span "cm.transition"
+            ~attrs:
+              [ ("page", Gaddr.to_string page);
+                ("protocol", Machine.packed_name slot.packed);
+                ("event", Ctypes.event_kind tr.Machine.t_event);
+                ("from", tr.Machine.t_before);
+                ("to", tr.Machine.t_after) ])
+    else None
+  in
+  apply_actions t ~span slot page (Machine.handle_packed ?hook slot.packed event)
 
 (* Local storage victimised a page: tell its machine. *)
 let on_evict t page data ~dirty =
   match Gaddr.Table.find_opt t.machines page with
-  | Some slot -> feed t slot page (Ctypes.Evicted { data; dirty })
+  | Some slot -> feed t ~span:Trace.null slot page (Ctypes.Evicted { data; dirty })
   | None -> ()
 
 (* ------------------------------------------------------------------ *)
@@ -265,35 +310,65 @@ let homed_containing t addr =
       match acc with Some _ -> acc | None -> if Region.contains r addr then Some r else None)
     t.homed None
 
-let rpc t ~dst req =
-  Wire.Transport.call t.transport ~src:t.id ~dst ~timeout:t.cfg.rpc_timeout req
+(* Every remote hop is a span under the caller's context, and the span id
+   travels in the RPC envelope so the peer's dispatch nests under it. *)
+let rpc t ctx ~dst req =
+  let span =
+    span_of t ctx ("rpc." ^ Wire.request_kind req) (fun () ->
+        [ ("dst", string_of_int dst) ])
+  in
+  let r =
+    Wire.Transport.call t.transport ~src:t.id ~dst ~timeout:t.cfg.rpc_timeout
+      ~span:(Trace.id span) req
+  in
+  (match r with
+   | Ok _ -> finish_span t span
+   | Error `Timeout ->
+     Metrics.incr t.metrics "rpc.timeout";
+     finish_status t span "timeout");
+  r
 
 (* The map region descriptor is well-known bootstrap state. *)
 let map_region t = Layout.map_region ~bootstrap_node:t.bootstrap
 
 (* -- low-level single-page lock used by both clients and the map IO -- *)
 
-let acquire_page t (region : Region.t) page mode ~timeout =
+let acquire_page t ctx (region : Region.t) page mode ~timeout =
+  let span =
+    span_of t ctx "cm.acquire" (fun () ->
+        [ ("page", Gaddr.to_string page);
+          ("mode", Ctypes.mode_to_string mode) ])
+  in
   let slot = machine_for t region page in
   let req = t.next_req in
   t.next_req <- t.next_req + 1;
   let promise = Ksim.Promise.create () in
   Hashtbl.replace t.pending req promise;
-  feed t slot page (Ctypes.Acquire { req; mode });
+  feed t ~span slot page (Ctypes.Acquire { req; mode });
   match Ksim.Fiber.await_timeout t.engine promise ~timeout with
   | Some result ->
     Hashtbl.remove t.pending req;
+    (match result with
+     | Ok () ->
+       Metrics.incr t.metrics "page.grant";
+       finish_status t span "grant"
+     | Error e ->
+       Metrics.incr t.metrics "page.reject";
+       finish_status t span (error_to_string e));
     result
   | None ->
     Hashtbl.remove t.pending req;
     (match Gaddr.Table.find_opt t.machines page with
-     | Some slot -> feed t slot page (Ctypes.Abort { req })
+     | Some slot -> feed t ~span slot page (Ctypes.Abort { req })
      | None -> ());
+    Metrics.incr t.metrics "page.timeout";
+    finish_status t span "timeout";
     Error `Timeout
 
-let release_page t (region : Region.t) page mode ~data =
+let release_page t ctx (region : Region.t) page mode ~data =
   match Gaddr.Table.find_opt t.machines page with
-  | Some slot -> feed t slot page (Ctypes.Release { mode; data })
+  | Some slot ->
+    feed t ~span:(Op_ctx.span ctx) slot page (Ctypes.Release { mode; data })
   | None ->
     ignore region;
     () (* crash wiped the machine; nothing to release *)
@@ -304,15 +379,15 @@ let release_page t (region : Region.t) page mode ~data =
    caught at the operation boundary and reflected as [`Unavailable]. *)
 exception Map_unavailable of string
 
-let map_page_read t i =
+let map_page_read t ctx i =
   let region = map_region t in
   let page = Layout.map_page_addr i in
-  match acquire_page t region page Ctypes.Read ~timeout:t.cfg.lock_timeout with
+  match acquire_page t ctx region page Ctypes.Read ~timeout:t.cfg.lock_timeout with
   | Error e ->
     raise (Map_unavailable ("map read: " ^ error_to_string e))
   | Ok () ->
     let bytes = Store.read_immediate t.store page in
-    release_page t region page Ctypes.Read ~data:None;
+    release_page t ctx region page Ctypes.Read ~data:None;
     (match bytes with
      | Some b -> Address_map.Node.decode b
      | None -> raise (Map_unavailable "map page vanished under read lock"))
@@ -322,12 +397,12 @@ let map_page_write_locked t i node =
   let page = Layout.map_page_addr i in
   Store.write_immediate t.store page (Address_map.Node.encode node) ~dirty:true
 
-let map_io t : Address_map.io =
-  let read_page i = map_page_read t i in
+let map_io t ctx : Address_map.io =
+  let read_page i = map_page_read t ctx i in
   let mutate f =
     let region = map_region t in
     let root_page = Layout.map_page_addr 0 in
-    match acquire_page t region root_page Ctypes.Write ~timeout:t.cfg.lock_timeout with
+    match acquire_page t ctx region root_page Ctypes.Write ~timeout:t.cfg.lock_timeout with
     | Error e -> raise (Map_unavailable ("map mutation: " ^ error_to_string e))
     | Ok () ->
       let root =
@@ -339,12 +414,12 @@ let map_io t : Address_map.io =
         if i = 0 then map_page_write_locked t 0 node
         else begin
           let page = Layout.map_page_addr i in
-          match acquire_page t region page Ctypes.Write ~timeout:t.cfg.lock_timeout with
+          match acquire_page t ctx region page Ctypes.Write ~timeout:t.cfg.lock_timeout with
           | Error e -> raise (Map_unavailable ("map write: " ^ error_to_string e))
           | Ok () ->
             map_page_write_locked t i node;
             let data = Store.read_immediate t.store page in
-            release_page t region page Ctypes.Write ~data
+            release_page t ctx region page Ctypes.Write ~data
         end
       in
       let read i = if i = 0 then root else read_page i in
@@ -352,7 +427,7 @@ let map_io t : Address_map.io =
         ~finally:(fun () ->
           (* Always rewrite + release the root so its write propagates. *)
           let data = Store.read_immediate t.store root_page in
-          release_page t region root_page Ctypes.Write ~data)
+          release_page t ctx region root_page Ctypes.Write ~data)
         (fun () ->
           f ~root ~read ~write;
           map_page_write_locked t 0 root)
@@ -368,7 +443,7 @@ let bootstrap_map t =
     (Address_map.Node.encode root) ~dirty:false;
   (* Record the map region itself in the map, so tree walks can resolve
      metadata addresses uniformly. *)
-  let io = map_io t in
+  let io = map_io t Op_ctx.background in
   match
     Address_map.insert io
       {
@@ -382,30 +457,32 @@ let bootstrap_map t =
   | Error e -> failwith ("bootstrap_map: " ^ e)
 
 (* Fetch a descriptor from one of the candidate holder nodes. *)
-let fetch_descriptor t ~addr candidates =
+let fetch_descriptor t ctx ~addr candidates =
   let rec try_nodes = function
     | [] -> None
     | node :: rest ->
       if node = t.id then try_nodes rest
       else begin
-        match rpc t ~dst:node (Wire.Get_descriptor { addr }) with
+        match rpc t ctx ~dst:node (Wire.Get_descriptor { addr }) with
         | Ok (Wire.R_descriptor (Some desc)) -> Some desc
         | Ok (Wire.R_descriptor None) | Ok _ | Error `Timeout -> try_nodes rest
       end
   in
   try_nodes candidates
 
-let rec locate_region_once ?(walk = false) t addr =
+let rec locate_region_once ?(walk = false) t ctx addr =
   if Region.contains (map_region t) addr then Ok (map_region t)
   else
     match homed_containing t addr with
     | Some r ->
       t.stats <- { t.stats with homed_hits = t.stats.homed_hits + 1 };
+      Metrics.incr t.metrics "locate.homed_hit";
       Ok r
     | None -> (
       match Region_directory.find t.rdir addr with
       | Some r ->
         t.stats <- { t.stats with rdir_hits = t.stats.rdir_hits + 1 };
+        Metrics.incr t.metrics "locate.rdir_hit";
         Ok r
       | None -> (
         (* Ask the cluster manager before touching the tree (§3.5). *)
@@ -418,7 +495,7 @@ let rec locate_region_once ?(walk = false) t addr =
               | None, _ -> None)
             | None -> None
           else
-            match rpc t ~dst:t.cluster_manager (Wire.Cluster_lookup { addr }) with
+            match rpc t ctx ~dst:t.cluster_manager (Wire.Cluster_lookup { addr }) with
             | Ok (Wire.R_lookup { desc = Some desc; _ }) -> Some desc
             | Ok (Wire.R_lookup { desc = None; holders = _ }) -> None
             | Ok _ | Error `Timeout -> None
@@ -426,32 +503,35 @@ let rec locate_region_once ?(walk = false) t addr =
         match from_cluster with
         | Some desc ->
           t.stats <- { t.stats with cluster_hits = t.stats.cluster_hits + 1 };
+          Metrics.incr t.metrics "locate.cluster_hit";
           Region_directory.put t.rdir desc;
           Ok desc
         | None -> (
           (* Full address-map tree walk. *)
-          match Address_map.lookup (map_io t) addr with
-          | exception Map_unavailable why -> cluster_walk t addr why
+          match Address_map.lookup (map_io t ctx) addr with
+          | exception Map_unavailable why -> cluster_walk t ctx addr why
           | result ->
           t.stats <-
             { t.stats with
               map_walks = t.stats.map_walks + 1;
               map_walk_depth_total = t.stats.map_walk_depth_total + result.Address_map.depth;
             };
+          Metrics.incr t.metrics "locate.map_walk";
           match result.Address_map.entry with
           | Some entry -> (
-            match fetch_descriptor t ~addr entry.Address_map.homes with
+            match fetch_descriptor t ctx ~addr entry.Address_map.homes with
             | Some desc ->
               Region_directory.put t.rdir desc;
               Ok desc
-            | None -> cluster_walk t addr "region home unreachable")
+            | None -> cluster_walk t ctx addr "region home unreachable")
           | None ->
             (* An absent entry usually means a release-consistent map
                update is still in flight; the caller's retry loop handles
                that. Walk the clusters only on the final attempt. *)
-            if walk then cluster_walk t addr "address not reserved"
+            if walk then cluster_walk t ctx addr "address not reserved"
             else begin
               t.stats <- { t.stats with failures = t.stats.failures + 1 };
+              Metrics.incr t.metrics "locate.failure";
               Error (`Unavailable "address not reserved")
             end)))
 
@@ -460,22 +540,25 @@ let rec locate_region_once ?(walk = false) t addr =
    (§3.1): when the tree fails us — stale homes, or the map itself
    unavailable — ask the other clusters' managers whether anyone nearby
    caches the region. *)
-and cluster_walk t addr fallback_error =
+and cluster_walk t ctx addr fallback_error =
   let rec walk = function
     | [] ->
       t.stats <- { t.stats with failures = t.stats.failures + 1 };
+      Metrics.incr t.metrics "locate.failure";
       Error (`Unavailable fallback_error)
     | manager :: rest -> (
-      match rpc t ~dst:manager (Wire.Cluster_walk { addr }) with
+      match rpc t ctx ~dst:manager (Wire.Cluster_walk { addr }) with
       | Ok (Wire.R_lookup { desc = Some desc; _ }) ->
         t.stats <- { t.stats with cluster_walks = t.stats.cluster_walks + 1 };
+        Metrics.incr t.metrics "locate.cluster_walk";
         Region_directory.put t.rdir desc;
         Ok desc
       | Ok (Wire.R_lookup { desc = None; holders }) -> (
         (* No descriptor hint, but maybe holder nodes we can query. *)
-        match fetch_descriptor t ~addr holders with
+        match fetch_descriptor t ctx ~addr holders with
         | Some desc ->
           t.stats <- { t.stats with cluster_walks = t.stats.cluster_walks + 1 };
+          Metrics.incr t.metrics "locate.cluster_walk";
           Region_directory.put t.rdir desc;
           Ok desc
         | None -> walk rest)
@@ -487,16 +570,29 @@ and cluster_walk t addr fallback_error =
    timeout" (§3.5). A miss may just mean a release-consistent map update is
    still in flight, so back off briefly and retry before reflecting the
    error. *)
-let locate_region t addr =
+let locate_region_in t ctx addr =
+  let t0 = Ksim.Engine.now t.engine in
+  let span =
+    span_of t ctx "daemon.locate" (fun () -> [ ("addr", Gaddr.to_string addr) ])
+  in
+  let ctx = Op_ctx.with_span ctx span in
   let rec go attempt =
-    match locate_region_once ~walk:(attempt >= 3) t addr with
+    match locate_region_once ~walk:(attempt >= 3) t ctx addr with
     | Ok _ as ok -> ok
     | Error _ as e when attempt >= 4 -> e
     | Error _ ->
       Ksim.Fiber.sleep (Ksim.Time.ms (25 * (1 lsl attempt)));
       go (attempt + 1)
   in
-  go 0
+  let result = go 0 in
+  Metrics.observe t.metrics "locate.ms"
+    (Ksim.Time.to_ms_f (Ksim.Engine.now t.engine - t0));
+  (match result with
+   | Ok _ -> finish_status t span "ok"
+   | Error e -> finish_status t span (error_to_string e));
+  result
+
+let locate_region t ?(ctx = Op_ctx.background) addr = locate_region_in t ctx addr
 
 (* ------------------------------------------------------------------ *)
 (* Client operations                                                   *)
@@ -531,7 +627,7 @@ let add_chunk_to_pool t base len =
   in
   t.pool <- merge [] t.pool
 
-let request_chunk t =
+let request_chunk t ctx =
   if t.cluster_manager = t.id then
     match t.cm_state with
     | Some cm ->
@@ -540,15 +636,22 @@ let request_chunk t =
       true
     | None -> false
   else
-    match rpc t ~dst:t.cluster_manager Wire.Chunk_request with
+    match rpc t ctx ~dst:t.cluster_manager Wire.Chunk_request with
     | Ok (Wire.R_chunk { base; len }) ->
       add_chunk_to_pool t base len;
       true
     | Ok _ | Error `Timeout -> false
 
-let reserve t ?attr ~principal ~len () =
+let reserve t ?attr ~ctx len =
+  let span =
+    span_of t ctx "daemon.reserve" (fun () ->
+        [ ("len", string_of_int len) ])
+  in
+  let ctx = Op_ctx.with_span ctx span in
   let attr =
-    match attr with Some a -> a | None -> Attr.make ~owner:principal ()
+    match attr with
+    | Some a -> a
+    | None -> Attr.make ~owner:(Op_ctx.principal ctx) ()
   in
   let page_size = attr.Attr.page_size in
   let len = round_up (max len 1) page_size in
@@ -556,24 +659,31 @@ let reserve t ?attr ~principal ~len () =
     match take_from_pool t len with
     | Some base -> Some base
     | None ->
-      if attempts > 0 && request_chunk t then obtain (attempts - 1) else None
+      if attempts > 0 && request_chunk t ctx then obtain (attempts - 1)
+      else None
   in
   (* A reservation larger than the chunk size needs several chunks; chunks
      are contiguous per cluster so consecutive grants coalesce. *)
   let needed_chunks = (len / Layout.chunk_size) + 2 in
-  match obtain needed_chunks with
-  | None -> Error (`Unavailable "no address space available")
-  | Some base -> (
-    let region = Region.make ~base ~len ~attr ~home:t.id in
-    match
-      Address_map.insert (map_io t)
-        { Address_map.base; len; page_size; homes = [ t.id ] }
-    with
-    | Error e -> Error (`Conflict e)
-    | Ok () ->
-      Gaddr.Table.replace t.homed base region;
-      Region_directory.put t.rdir region;
-      Ok region)
+  let result =
+    match obtain needed_chunks with
+    | None -> Error (`Unavailable "no address space available")
+    | Some base -> (
+      let region = Region.make ~base ~len ~attr ~home:t.id in
+      match
+        Address_map.insert (map_io t ctx)
+          { Address_map.base; len; page_size; homes = [ t.id ] }
+      with
+      | Error e -> Error (`Conflict e)
+      | Ok () ->
+        Gaddr.Table.replace t.homed base region;
+        Region_directory.put t.rdir region;
+        Ok region)
+  in
+  (match result with
+   | Ok _ -> finish_status t span "ok"
+   | Error e -> finish_status t span (error_to_string e));
+  result
 
 (* Release-class operations retry in the background until they succeed
    (paper §3.5): errors while releasing resources are never reflected. *)
@@ -592,26 +702,37 @@ let allocate_local t (region : Region.t) =
   Gaddr.Table.replace t.homed region.Region.base allocated;
   Region_directory.put t.rdir allocated
 
-let allocate t base =
-  match locate_region t base with
-  | Error e -> Error e
-  | Ok region ->
-    if not (Gaddr.equal region.Region.base base) then Error `Bad_range
-    else if region.Region.state = Region.Allocated then Ok ()
-    else if region.Region.home = t.id then begin
-      allocate_local t region;
-      Ok ()
-    end
-    else begin
-      match rpc t ~dst:region.Region.home (Wire.Alloc_region { desc = region }) with
-      | Ok Wire.R_unit ->
-        let allocated = Region.allocated region in
-        Region_directory.put t.rdir allocated;
+let allocate t ~ctx base =
+  let span =
+    span_of t ctx "daemon.allocate" (fun () ->
+        [ ("base", Gaddr.to_string base) ])
+  in
+  let ctx = Op_ctx.with_span ctx span in
+  let result =
+    match locate_region_in t ctx base with
+    | Error e -> Error e
+    | Ok region ->
+      if not (Gaddr.equal region.Region.base base) then Error `Bad_range
+      else if region.Region.state = Region.Allocated then Ok ()
+      else if region.Region.home = t.id then begin
+        allocate_local t region;
         Ok ()
-      | Ok (Wire.R_error e) -> Error (`Unavailable e)
-      | Ok _ -> Error (`Unavailable "bad response")
-      | Error `Timeout -> Error `Timeout
-    end
+      end
+      else begin
+        match rpc t ctx ~dst:region.Region.home (Wire.Alloc_region { desc = region }) with
+        | Ok Wire.R_unit ->
+          let allocated = Region.allocated region in
+          Region_directory.put t.rdir allocated;
+          Ok ()
+        | Ok (Wire.R_error e) -> Error (`Unavailable e)
+        | Ok _ -> Error (`Rpc "unexpected response to alloc_region")
+        | Error `Timeout -> Error `Timeout
+      end
+  in
+  (match result with
+   | Ok () -> finish_status t span "ok"
+   | Error e -> finish_status t span (error_to_string e));
+  result
 
 let free_local t base =
   match Gaddr.Table.find_opt t.homed base with
@@ -628,68 +749,105 @@ let free_local t base =
     Region_directory.put t.rdir { region with Region.state = Region.Reserved };
     true
 
-let free t base =
-  match locate_region t base with
+let free t ~ctx base =
+  match locate_region_in t ctx base with
   | Error _ -> ()
   | Ok region ->
     Region_directory.remove t.rdir region.Region.base;
     if region.Region.home = t.id then ignore (free_local t base)
     else
       background_retry t ~name:"free" (fun () ->
-          match rpc t ~dst:region.Region.home (Wire.Free_region { base }) with
+          match
+            rpc t Op_ctx.background ~dst:region.Region.home
+              (Wire.Free_region { base })
+          with
           | Ok Wire.R_unit -> true
           | Ok _ | Error `Timeout -> false)
 
-let unreserve_local t base =
+let unreserve_local t ctx base =
   ignore (free_local t base);
   Gaddr.Table.remove t.homed base;
   Region_directory.remove t.rdir base;
-  match Address_map.remove (map_io t) base with
+  match Address_map.remove (map_io t ctx) base with
   | true | false -> true
 
-let unreserve t base =
-  match locate_region t base with
+let unreserve t ~ctx base =
+  match locate_region_in t ctx base with
   | Error _ -> ()
   | Ok region ->
     Region_directory.remove t.rdir base;
     if region.Region.home = t.id then
-      background_retry t ~name:"unreserve" (fun () -> unreserve_local t base)
+      background_retry t ~name:"unreserve" (fun () ->
+          unreserve_local t Op_ctx.background base)
     else
       background_retry t ~name:"unreserve" (fun () ->
-          match rpc t ~dst:region.Region.home (Wire.Unreserve_region { base }) with
+          match
+            rpc t Op_ctx.background ~dst:region.Region.home
+              (Wire.Unreserve_region { base })
+          with
           | Ok Wire.R_unit -> true
           | Ok _ | Error `Timeout -> false)
 
 (* Region directories may serve stale attributes; before acting on a
    denial (or an unallocated state), refetch the descriptor from its home
    so recent set_attr/allocate calls are honoured. *)
-let refresh_descriptor t (region : Region.t) =
+let refresh_descriptor t ctx (region : Region.t) =
   if region.Region.home = t.id then
     Gaddr.Table.find_opt t.homed region.Region.base
   else
     match
-      rpc t ~dst:region.Region.home (Wire.Get_descriptor { addr = region.Region.base })
+      rpc t ctx ~dst:region.Region.home
+        (Wire.Get_descriptor { addr = region.Region.base })
     with
     | Ok (Wire.R_descriptor (Some fresh)) ->
       Region_directory.put t.rdir fresh;
       Some fresh
     | Ok _ | Error `Timeout -> None
 
-let lock t ~principal ~addr ~len mode =
-  match locate_region t addr with
+let lock t ~ctx ~addr ~len mode =
+  let t0 = Ksim.Engine.now t.engine in
+  let op = ctx in
+  let span =
+    span_of t ctx "daemon.lock" (fun () ->
+        [ ("addr", Gaddr.to_string addr);
+          ("len", string_of_int len);
+          ("mode", Ctypes.mode_to_string mode) ])
+  in
+  let ctx = Op_ctx.with_span ctx span in
+  let principal = Op_ctx.principal ctx in
+  let reflect result =
+    (match result with
+     | Ok _ ->
+       Metrics.incr t.metrics "lock.grant";
+       Metrics.observe t.metrics "lock.ms"
+         (Ksim.Time.to_ms_f (Ksim.Engine.now t.engine - t0));
+       finish_status t span "ok"
+     | Error `Timeout ->
+       Metrics.incr t.metrics "lock.timeout";
+       finish_status t span "timeout"
+     | Error e ->
+       Metrics.incr t.metrics "lock.reject";
+       finish_status t span (error_to_string e));
+    result
+  in
+  reflect
+  @@
+  match locate_region_in t ctx addr with
   | Error e -> Error e
   | Ok region ->
     let region =
       if
         region.Region.state <> Region.Allocated
         || not (Attr.allows region.Region.attr ~principal mode)
-      then Option.value (refresh_descriptor t region) ~default:region
+      then Option.value (refresh_descriptor t ctx region) ~default:region
       else region
     in
     if not (Region.contains_range region addr ~len) then Error `Bad_range
     else if region.Region.state <> Region.Allocated then Error `Not_allocated
     else if not (Attr.allows region.Region.attr ~principal mode) then
       Error `Access_denied
+    else if Op_ctx.expired ctx ~now:(Ksim.Engine.now t.engine) then
+      Error `Timeout
     else begin
       let pages =
         Gaddr.pages_in addr ~len ~page_size:region.Region.attr.Attr.page_size
@@ -698,17 +856,20 @@ let lock t ~principal ~addr ~len mode =
         | [] -> Ok (List.rev acquired)
         | page :: rest -> (
           let rec attempt n =
-            match acquire_page t region page mode ~timeout:t.cfg.lock_timeout with
-            | Ok () -> Ok ()
-            | Error _ when n > 1 -> attempt (n - 1)
-            | Error e -> Error e
+            let timeout = budgeted_timeout t ctx t.cfg.lock_timeout in
+            if timeout <= 0 then Error `Timeout
+            else
+              match acquire_page t ctx region page mode ~timeout with
+              | Ok () -> Ok ()
+              | Error _ when n > 1 -> attempt (n - 1)
+              | Error e -> Error e
           in
           match attempt t.cfg.lock_retries with
           | Ok () -> acquire_all (page :: acquired) rest
           | Error e ->
             (* Roll back already-acquired pages. *)
             List.iter
-              (fun p -> release_page t region p mode ~data:None)
+              (fun p -> release_page t ctx region p mode ~data:None)
               acquired;
             Error e)
       in
@@ -718,9 +879,10 @@ let lock t ~principal ~addr ~len mode =
         List.iter
           (fun p -> try Store.pin t.store p with Invalid_argument _ -> ())
           pages;
-        let ctx =
+        let lctx =
           {
             ctx_id = t.next_ctx;
+            ctx_op = op;
             ctx_region = region;
             ctx_addr = addr;
             ctx_len = len;
@@ -731,12 +893,17 @@ let lock t ~principal ~addr ~len mode =
           }
         in
         t.next_ctx <- t.next_ctx + 1;
-        Ok ctx
+        Ok lctx
     end
 
 let unlock t ctx =
   if ctx.ctx_live then begin
     ctx.ctx_live <- false;
+    let span =
+      span_of t ctx.ctx_op "daemon.unlock" (fun () ->
+          [ ("addr", Gaddr.to_string ctx.ctx_addr) ])
+    in
+    let op = Op_ctx.with_span ctx.ctx_op span in
     List.iter
       (fun page ->
         Store.unpin t.store page;
@@ -745,8 +912,9 @@ let unlock t ctx =
           then Store.read_immediate t.store page
           else None
         in
-        release_page t ctx.ctx_region page ctx.ctx_mode ~data)
-      ctx.ctx_pages
+        release_page t op ctx.ctx_region page ctx.ctx_mode ~data)
+      ctx.ctx_pages;
+    finish_span t span
   end
 
 let ctx_covers ctx addr ~len =
@@ -757,6 +925,10 @@ let ctx_covers ctx addr ~len =
 let read t ctx ~addr ~len =
   if not (ctx_covers ctx addr ~len) then Error `Bad_range
   else begin
+    let span =
+      span_of t ctx.ctx_op "daemon.read" (fun () ->
+          [ ("addr", Gaddr.to_string addr); ("len", string_of_int len) ])
+    in
     let page_size = ctx.ctx_region.Region.attr.Attr.page_size in
     let out = Bytes.create len in
     let rec copy addr remaining written =
@@ -765,6 +937,9 @@ let read t ctx ~addr ~len =
         let page = Gaddr.page_floor addr ~page_size in
         let off = Gaddr.page_offset addr ~page_size in
         let n = min remaining (page_size - off) in
+        if Trace.enabled () then
+          Trace.event ~engine:t.engine ~node:t.id ~span "store.read"
+            ~attrs:[ ("page", Gaddr.to_string page) ];
         match Store.read t.store page with
         | Some bytes ->
           Bytes.blit bytes off out written n;
@@ -772,7 +947,13 @@ let read t ctx ~addr ~len =
         | None -> Error (`Unavailable "page missing from local store")
       end
     in
-    match copy addr len 0 with Ok () -> Ok out | Error e -> Error e
+    let result =
+      match copy addr len 0 with Ok () -> Ok out | Error e -> Error e
+    in
+    (match result with
+     | Ok _ -> finish_status t span "ok"
+     | Error e -> finish_status t span (error_to_string e));
+    result
   end
 
 let write t ctx ~addr data =
@@ -780,6 +961,10 @@ let write t ctx ~addr data =
   if ctx.ctx_mode <> Ctypes.Write then Error `Access_denied
   else if not (ctx_covers ctx addr ~len) then Error `Bad_range
   else begin
+    let span =
+      span_of t ctx.ctx_op "daemon.write" (fun () ->
+          [ ("addr", Gaddr.to_string addr); ("len", string_of_int len) ])
+    in
     let page_size = ctx.ctx_region.Region.attr.Attr.page_size in
     let rec copy addr remaining consumed =
       if remaining = 0 then Ok ()
@@ -787,6 +972,9 @@ let write t ctx ~addr data =
         let page = Gaddr.page_floor addr ~page_size in
         let off = Gaddr.page_offset addr ~page_size in
         let n = min remaining (page_size - off) in
+        if Trace.enabled () then
+          Trace.event ~engine:t.engine ~node:t.id ~span "store.write"
+            ~attrs:[ ("page", Gaddr.to_string page) ];
         match Store.read t.store page with
         | Some bytes ->
           Bytes.blit data consumed bytes off n;
@@ -796,51 +984,67 @@ let write t ctx ~addr data =
         | None -> Error (`Unavailable "page missing from local store")
       end
     in
-    copy addr len 0
+    let result = copy addr len 0 in
+    (match result with
+     | Ok () -> finish_status t span "ok"
+     | Error e -> finish_status t span (error_to_string e));
+    result
   end
 
-let get_attr t addr =
-  match locate_region t addr with
+let get_attr t ~ctx addr =
+  match locate_region_in t ctx addr with
   | Ok region -> Ok region.Region.attr
   | Error e -> Error e
 
-let set_attr t ~principal base (attr : Attr.t) =
-  match locate_region t base with
-  | Error e -> Error e
-  | Ok region ->
-    if not (Gaddr.equal region.Region.base base) then Error `Bad_range
-    else if principal <> region.Region.attr.Attr.owner then Error `Access_denied
-    else begin
-      (* Only policy fields may change after creation. *)
-      let updated =
-        { region.Region.attr with
-          Attr.world = attr.Attr.world;
-          min_replicas = attr.Attr.min_replicas;
-        }
-      in
-      if region.Region.home = t.id then begin
-        let region' = { region with Region.attr = updated } in
-        Gaddr.Table.replace t.homed base region';
-        Region_directory.put t.rdir region';
-        Ok ()
-      end
-      else
-        match rpc t ~dst:region.Region.home (Wire.Set_attr { base; attr = updated }) with
-        | Ok Wire.R_unit ->
-          Region_directory.put t.rdir { region with Region.attr = updated };
+let set_attr t ~ctx base (attr : Attr.t) =
+  let span =
+    span_of t ctx "daemon.set_attr" (fun () ->
+        [ ("base", Gaddr.to_string base) ])
+  in
+  let ctx = Op_ctx.with_span ctx span in
+  let principal = Op_ctx.principal ctx in
+  let result =
+    match locate_region_in t ctx base with
+    | Error e -> Error e
+    | Ok region ->
+      if not (Gaddr.equal region.Region.base base) then Error `Bad_range
+      else if principal <> region.Region.attr.Attr.owner then Error `Access_denied
+      else begin
+        (* Only policy fields may change after creation. *)
+        let updated =
+          { region.Region.attr with
+            Attr.world = attr.Attr.world;
+            min_replicas = attr.Attr.min_replicas;
+          }
+        in
+        if region.Region.home = t.id then begin
+          let region' = { region with Region.attr = updated } in
+          Gaddr.Table.replace t.homed base region';
+          Region_directory.put t.rdir region';
           Ok ()
-        | Ok (Wire.R_error e) -> Error (`Unavailable e)
-        | Ok _ -> Error (`Unavailable "bad response")
-        | Error `Timeout -> Error `Timeout
-    end
+        end
+        else
+          match rpc t ctx ~dst:region.Region.home (Wire.Set_attr { base; attr = updated }) with
+          | Ok Wire.R_unit ->
+            Region_directory.put t.rdir { region with Region.attr = updated };
+            Ok ()
+          | Ok (Wire.R_error e) -> Error (`Unavailable e)
+          | Ok _ -> Error (`Rpc "unexpected response to set_attr")
+          | Error `Timeout -> Error `Timeout
+      end
+  in
+  (match result with
+   | Ok () -> finish_status t span "ok"
+   | Error e -> finish_status t span (error_to_string e));
+  result
 
 (* ------------------------------------------------------------------ *)
 (* Server side                                                         *)
 (* ------------------------------------------------------------------ *)
 
-let serve_cm_msg t ~src ~page ~region_base body =
+let serve_cm_msg t ctx ~src ~page ~region_base body =
   match Gaddr.Table.find_opt t.machines page with
-  | Some slot -> feed t slot page (Ctypes.Peer { src; msg = body })
+  | Some slot -> feed t ~span:(Op_ctx.span ctx) slot page (Ctypes.Peer { src; msg = body })
   | None ->
     (* First contact for this page: resolve its region (usually a region
        directory hit) in a fiber, then feed. *)
@@ -851,21 +1055,35 @@ let serve_cm_msg t ~src ~page ~region_base body =
             match homed_containing t page with
             | Some r -> Some r
             | None -> (
-              match locate_region t region_base with
+              match locate_region_in t ctx region_base with
               | Ok r when Region.contains r page -> Some r
               | Ok _ | Error _ -> None)
         in
         match region with
         | Some region when t.up ->
           let slot = machine_for t region page in
-          feed t slot page (Ctypes.Peer { src; msg = body })
+          feed t ~span:(Op_ctx.span ctx) slot page (Ctypes.Peer { src; msg = body })
         | Some _ | None -> ())
 
-let serve t ~src request ~reply =
-  if t.up then
+let serve t ~src ~span request ~reply =
+  if t.up then begin
+    (* The caller's span id arrived in the envelope: everything this
+       dispatch does nests under the remote operation. Untraced traffic
+       (span 0) opens no span, so background chatter never pollutes the
+       record stream with disconnected roots. *)
+    let sspan =
+      if Trace.enabled () && span <> 0 then
+        Trace.child ~engine:t.engine ~node:t.id
+          ~parent:(Trace.of_id span)
+          ~attrs:[ ("src", string_of_int src) ]
+          ("daemon.serve." ^ Wire.request_kind request)
+      else Trace.null
+    in
+    let ctx = Op_ctx.make ~span:sspan (-1) in
+    Fun.protect ~finally:(fun () -> finish_span t sspan) @@ fun () ->
     match request with
     | Wire.Cm_msg { page; region_base; body } ->
-      serve_cm_msg t ~src ~page ~region_base body
+      serve_cm_msg t ctx ~src ~page ~region_base body
     | Wire.Get_descriptor { addr } ->
       let answer =
         match homed_containing t addr with
@@ -888,7 +1106,7 @@ let serve t ~src request ~reply =
       else reply (Wire.R_error "free failed")
     | Wire.Unreserve_region { base } ->
       Ksim.Fiber.spawn t.engine ~name:"unreserve-serve" (fun () ->
-          ignore (unreserve_local t base);
+          ignore (unreserve_local t ctx base);
           reply Wire.R_unit)
     | Wire.Set_attr { base; attr } -> (
       match Gaddr.Table.find_opt t.homed base with
@@ -916,6 +1134,7 @@ let serve t ~src request ~reply =
         Cluster.record_report cm ~node:src ~regions:node_regions ~free_bytes
       | None -> ())
     | Wire.Ping -> reply Wire.R_unit
+  end
 
 (* Periodic hint refresh to the cluster manager (§3.1). *)
 let start_reporting t =
@@ -974,6 +1193,7 @@ let create ?(config = default_config) ?(peer_managers = []) ~id ~bootstrap
     Store.create engine
       (Store.config ~ram_pages:config.ram_pages ~disk_pages:config.disk_pages ())
   in
+  Store.set_node store id;
   let cm_state =
     if cluster_manager = id then
       Some (Cluster.create ~cluster_id:(Topology.cluster_of topology id))
@@ -1001,13 +1221,14 @@ let create ?(config = default_config) ?(peer_managers = []) ~id ~bootstrap
       up = true;
       epoch = 0;
       cm_state;
+      metrics = Metrics.create ();
       stats =
         { homed_hits = 0; rdir_hits = 0; cluster_hits = 0; map_walks = 0;
           map_walk_depth_total = 0; cluster_walks = 0; failures = 0 };
     }
   in
   Store.set_evict_hook store (fun page data ~dirty -> on_evict t page data ~dirty);
-  Wire.Transport.set_server transport id (fun ~src req ~reply ->
-      serve t ~src req ~reply);
+  Wire.Transport.set_server transport id (fun ~src ~span req ~reply ->
+      serve t ~src ~span req ~reply);
   start_reporting t;
   t

@@ -27,15 +27,12 @@ type config = {
 
 val default_config : config
 
-type error =
-  [ `Timeout
-  | `Unavailable of string
-  | `Access_denied
-  | `Not_allocated
-  | `Bad_range
-  | `Conflict of string ]
+type error = Error.t
+(** Unified operation error type; see {!Error} for the constructors and the
+    string round-trip. RPC-level failures surface as [`Rpc _]. *)
 
 val error_to_string : error -> string
+(** Alias of {!Error.to_string}; total over every constructor. *)
 
 (** {1 Lifecycle} *)
 
@@ -74,26 +71,29 @@ type lock_ctx
 (** Returned by {!lock}; required by {!read} and {!write}. *)
 
 val reserve :
-  t -> ?attr:Attr.t -> principal:int -> len:int -> unit ->
-  (Region.t, error) result
-(** Reserve a contiguous range of global address space as a new region
-    homed at this node. [len] is rounded up to a page multiple. *)
+  t -> ?attr:Attr.t -> ctx:Ktrace.Op_ctx.t -> int -> (Region.t, error) result
+(** [reserve t ~ctx len] reserves a contiguous range of global address
+    space as a new region homed at this node. [len] (the final positional
+    argument) is rounded up to a page multiple. The default [attr] owner is
+    the context principal. *)
 
-val unreserve : t -> Kutil.Gaddr.t -> unit
+val unreserve : t -> ctx:Ktrace.Op_ctx.t -> Kutil.Gaddr.t -> unit
 (** Release-class: returns immediately; remote legs retry in the
     background until they succeed (paper §3.5). *)
 
-val allocate : t -> Kutil.Gaddr.t -> (unit, error) result
+val allocate : t -> ctx:Ktrace.Op_ctx.t -> Kutil.Gaddr.t -> (unit, error) result
 (** Allocate backing storage for a reserved region (by base address). *)
 
-val free : t -> Kutil.Gaddr.t -> unit
+val free : t -> ctx:Ktrace.Op_ctx.t -> Kutil.Gaddr.t -> unit
 (** Release-class counterpart of {!allocate}. *)
 
 val lock :
-  t -> principal:int -> addr:Kutil.Gaddr.t -> len:int ->
+  t -> ctx:Ktrace.Op_ctx.t -> addr:Kutil.Gaddr.t -> len:int ->
   Kconsistency.Types.mode -> (lock_ctx, error) result
-(** Lock [addr, addr+len) in the given mode. The consistency protocol of
-    the enclosing region decides what the intent costs. *)
+(** Lock [addr, addr+len) in the given mode. The principal is taken from
+    [ctx]; a context deadline caps the per-page acquisition timeout. The
+    consistency protocol of the enclosing region decides what the intent
+    costs. *)
 
 val unlock : t -> lock_ctx -> unit
 (** Release-class: never fails toward the client. Dirty pages written under
@@ -107,18 +107,20 @@ val write :
   t -> lock_ctx -> addr:Kutil.Gaddr.t -> bytes -> (unit, error) result
 (** Update part of the locked range; requires a write-mode context. *)
 
-val get_attr : t -> Kutil.Gaddr.t -> (Attr.t, error) result
+val get_attr : t -> ctx:Ktrace.Op_ctx.t -> Kutil.Gaddr.t -> (Attr.t, error) result
 
 val set_attr :
-  t -> principal:int -> Kutil.Gaddr.t -> Attr.t -> (unit, error) result
+  t -> ctx:Ktrace.Op_ctx.t -> Kutil.Gaddr.t -> Attr.t -> (unit, error) result
 (** Update [world] access and [min_replicas] at the region's home. Other
     fields (protocol, page size) are immutable after creation. *)
 
 (** {1 Introspection} *)
 
-val locate_region : t -> Kutil.Gaddr.t -> (Region.t, error) result
+val locate_region :
+  t -> ?ctx:Ktrace.Op_ctx.t -> Kutil.Gaddr.t -> (Region.t, error) result
 (** The §3.2 location path: homed table, region directory, cluster manager,
-    address-map tree walk. Exposed for experiments. *)
+    address-map tree walk. Exposed for experiments; [ctx] defaults to
+    {!Ktrace.Op_ctx.background}. *)
 
 val region_directory : t -> Region_directory.t
 val page_directory : t -> Page_directory.t
@@ -145,6 +147,10 @@ type lookup_stats = {
 
 val lookup_stats : t -> lookup_stats
 val reset_lookup_stats : t -> unit
+
+val metrics : t -> Ktrace.Metrics.t
+(** This daemon's named counters and summaries (lock grants/rejects/
+    timeouts, locate path hits, RPC timeouts, latency summaries). *)
 
 val pool_bytes : t -> int
 (** Locally reserved-but-unused address space. *)

@@ -1,0 +1,40 @@
+type t =
+  [ `Timeout
+  | `Unavailable of string
+  | `Access_denied
+  | `Not_allocated
+  | `Bad_range
+  | `Conflict of string
+  | `Rpc of string ]
+
+let to_string : t -> string = function
+  | `Timeout -> "timeout"
+  | `Unavailable s -> "unavailable: " ^ s
+  | `Access_denied -> "access denied"
+  | `Not_allocated -> "region not allocated"
+  | `Bad_range -> "bad range"
+  | `Conflict s -> "conflict: " ^ s
+  | `Rpc s -> "rpc: " ^ s
+
+let strip_prefix ~prefix s =
+  let lp = String.length prefix in
+  if String.length s >= lp && String.sub s 0 lp = prefix then
+    Some (String.sub s lp (String.length s - lp))
+  else None
+
+let of_string s : t option =
+  match s with
+  | "timeout" -> Some `Timeout
+  | "access denied" -> Some `Access_denied
+  | "region not allocated" -> Some `Not_allocated
+  | "bad range" -> Some `Bad_range
+  | _ -> (
+    match strip_prefix ~prefix:"unavailable: " s with
+    | Some rest -> Some (`Unavailable rest)
+    | None -> (
+      match strip_prefix ~prefix:"conflict: " s with
+      | Some rest -> Some (`Conflict rest)
+      | None ->
+        Option.map (fun rest -> `Rpc rest) (strip_prefix ~prefix:"rpc: " s)))
+
+let pp ppf e = Format.pp_print_string ppf (to_string e)

@@ -1,0 +1,24 @@
+(** The one Khazana operation-error type.
+
+    Every failure a client can observe — daemon-local denials, consistency
+    timeouts, and RPC-level transport failures — is a constructor here, so
+    call sites match on a single polymorphic-variant type regardless of
+    which layer failed. {!Daemon.error} is an alias of this type. *)
+
+type t =
+  [ `Timeout  (** a lock or remote call exhausted its time budget *)
+  | `Unavailable of string  (** resource unreachable / protocol gave up *)
+  | `Access_denied
+  | `Not_allocated
+  | `Bad_range
+  | `Conflict of string
+  | `Rpc of string  (** transport-level failure: malformed or unexpected
+                        response from a peer *) ]
+
+val to_string : t -> string
+(** Total over every constructor. *)
+
+val of_string : string -> t option
+(** Inverse of {!to_string}: [of_string (to_string e) = Some e]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -162,10 +162,10 @@ let decode_guard ?(what = "") f =
 let page_size t = t.sb.default_attr.Attr.page_size
 
 let new_region client ~attr ~len =
-  lift (Client.create_region client ~attr ~len ())
+  lift (Client.create_region client ~attr len)
 
 let read_struct t addr ~len decode =
-  let* bytes = lift (Client.read_bytes t.client ~addr ~len) in
+  let* bytes = lift (Client.read_bytes t.client ~addr len) in
   decode_guard ~what:"struct" (fun () -> decode bytes)
 
 let write_struct t addr bytes = lift (Client.write_bytes t.client ~addr bytes)
@@ -278,7 +278,7 @@ let read_file_data t ino ~off ~len =
   match t.sb.policy with
   | Contiguous _ -> (
     match data_addr t ino off with
-    | Some addr -> lift (Client.read_bytes t.client ~addr ~len)
+    | Some addr -> lift (Client.read_bytes t.client ~addr len)
     | None -> Error (`Corrupt "missing data region"))
   | Per_block_regions ->
     let out = Bytes.create len in
@@ -289,7 +289,7 @@ let read_file_data t ino ~off ~len =
         match data_addr t ino off with
         | None -> Error (`Corrupt "missing block")
         | Some addr ->
-          let* piece = lift (Client.read_bytes t.client ~addr ~len:chunk) in
+          let* piece = lift (Client.read_bytes t.client ~addr chunk) in
           Bytes.blit piece 0 out produced chunk;
           go (off + chunk) (produced + chunk)
       end
@@ -369,8 +369,8 @@ let format client ?(policy = Per_block_regions) ?attr () =
   in
   let page = attr.Attr.page_size in
   (* Superblock and root inode, each a region of its own. *)
-  let* sb_region = lift (Client.create_region client ~attr ~len:page ()) in
-  let* root_region = lift (Client.create_region client ~attr ~len:page ()) in
+  let* sb_region = lift (Client.create_region client ~attr page) in
+  let* root_region = lift (Client.create_region client ~attr page) in
   let sb = { policy; root_inode = root_region.Region.base; default_attr = attr } in
   let t =
     { client; sb_addr = sb_region.Region.base; sb; block_size = page }
@@ -387,7 +387,7 @@ let format client ?(policy = Per_block_regions) ?attr () =
 
 let mount client sb_addr =
   let* attr = lift (Client.get_attr client sb_addr) in
-  let* raw = lift (Client.read_bytes client ~addr:sb_addr ~len:attr.Attr.page_size) in
+  let* raw = lift (Client.read_bytes client ~addr:sb_addr attr.Attr.page_size) in
   let* sb = decode_guard ~what:"superblock" (fun () -> decode_superblock raw) in
   Ok { client; sb_addr; sb; block_size = sb.default_attr.Attr.page_size }
 

@@ -158,7 +158,7 @@ let ensure_pool t ~attr =
   | Some r -> Ok r
   | None ->
     let len = pool_pages * attr.Attr.page_size in
-    let* r = lift (Client.create_region t.client ~attr ~len ()) in
+    let* r = lift (Client.create_region t.client ~attr len) in
     t.pool <- Some r;
     Ok r
 
@@ -192,7 +192,7 @@ let new_object t ~class_name ?(placement = Own_region) ?attr ~init () =
       Error (`Corrupt "object too big for a region page")
     | Own_region ->
       let len = attr.Attr.page_size in
-      let* region = lift (Client.create_region t.client ~attr ~len ()) in
+      let* region = lift (Client.create_region t.client ~attr len) in
       let addr = region.Region.base in
       let* () =
         with_object_lock t addr Kconsistency.Types.Write (fun ctx ~len ->
@@ -353,7 +353,7 @@ let create overlay client =
       access_counts = Gaddr.Table.create 32;
     }
   in
-  Overlay.T.set_server overlay.Overlay.transport node (fun ~src:_ req ~reply ->
+  Overlay.T.set_server overlay.Overlay.transport node (fun ~src:_ ~span:_ req ~reply ->
       Ksim.Fiber.spawn
         (Khazana.Daemon.engine daemon)
         ~name:"obj-serve"

@@ -10,21 +10,27 @@ end
 module Make (P : PROTOCOL) = struct
   module Msg = struct
     type t =
-      | Request of { id : int; body : P.request }
+      | Request of { id : int; span : int; body : P.request }
       | Response of { id : int; body : P.response }
-      | Oneway of P.request
+      | Oneway of { span : int; body : P.request }
 
     let header_size = 16
 
+    (* A non-null trace span id adds one correlation word to the envelope;
+       untraced traffic is byte-identical to the pre-tracing protocol. *)
+    let span_size span = if span = 0 then 0 else 8
+
     let size_bytes = function
-      | Request { body; _ } -> header_size + P.request_size body
+      | Request { span; body; _ } ->
+        header_size + span_size span + P.request_size body
       | Response { body; _ } -> header_size + P.response_size body
-      | Oneway body -> header_size + P.request_size body
+      | Oneway { span; body } ->
+        header_size + span_size span + P.request_size body
 
     let kind = function
       | Request { body; _ } -> P.request_kind body
       | Response _ -> "response"
-      | Oneway body -> P.request_kind body
+      | Oneway { body; _ } -> P.request_kind body
   end
 
   module Net = Knet.Network.Make (Msg)
@@ -36,6 +42,7 @@ module Make (P : PROTOCOL) = struct
     pending : (int, P.response Ksim.Promise.t) Hashtbl.t;
     servers :
       (src:Knet.Topology.node_id ->
+       span:int ->
        P.request ->
        reply:(P.response -> unit) ->
        unit)
@@ -58,24 +65,24 @@ module Make (P : PROTOCOL) = struct
       (fun node ->
         Net.set_handler net node (fun ~src msg ->
             match msg with
-            | Msg.Request { id; body } -> (
+            | Msg.Request { id; span; body } -> (
               match t.servers.(node) with
               | None -> ()
               | Some server ->
                 let reply resp =
                   Net.send net ~src:node ~dst:src (Msg.Response { id; body = resp })
                 in
-                server ~src body ~reply)
+                server ~src ~span body ~reply)
             | Msg.Response { id; body } -> (
               match Hashtbl.find_opt t.pending id with
               | None -> () (* late reply after timeout: drop *)
               | Some promise ->
                 Hashtbl.remove t.pending id;
                 ignore (Ksim.Promise.try_resolve promise body))
-            | Msg.Oneway body -> (
+            | Msg.Oneway { span; body } -> (
               match t.servers.(node) with
               | None -> ()
-              | Some server -> server ~src body ~reply:(fun _ -> ()))))
+              | Some server -> server ~src ~span body ~reply:(fun _ -> ()))))
       (Knet.Topology.nodes topology);
     t
 
@@ -86,7 +93,8 @@ module Make (P : PROTOCOL) = struct
 
   let default_timeout = Ksim.Time.sec 1
 
-  let call t ~src ~dst ?(timeout = default_timeout) ?(attempts = 1) request =
+  let call t ~src ~dst ?(timeout = default_timeout) ?(attempts = 1) ?(span = 0)
+      request =
     let rec attempt n =
       if n <= 0 then Error `Timeout
       else begin
@@ -94,7 +102,7 @@ module Make (P : PROTOCOL) = struct
         t.next_id <- t.next_id + 1;
         let promise = Ksim.Promise.create () in
         Hashtbl.replace t.pending id promise;
-        Net.send t.net ~src ~dst (Msg.Request { id; body = request });
+        Net.send t.net ~src ~dst (Msg.Request { id; span; body = request });
         match Ksim.Fiber.await_timeout t.engine promise ~timeout with
         | Some resp -> Ok resp
         | None ->
@@ -105,6 +113,8 @@ module Make (P : PROTOCOL) = struct
     if attempts <= 0 then invalid_arg "Rpc.call: attempts must be positive";
     attempt attempts
 
-  let notify t ~src ~dst request = Net.send t.net ~src ~dst (Msg.Oneway request)
+  let notify t ~src ~dst ?(span = 0) request =
+    Net.send t.net ~src ~dst (Msg.Oneway { span; body = request })
+
   let pending_calls t = Hashtbl.length t.pending
 end

@@ -20,9 +20,12 @@ module Make (P : PROTOCOL) : sig
 
   module Msg : sig
     type t =
-      | Request of { id : int; body : P.request }
+      | Request of { id : int; span : int; body : P.request }
       | Response of { id : int; body : P.response }
-      | Oneway of P.request
+      | Oneway of { span : int; body : P.request }
+          (** [span] is the sender's enclosing {!Ktrace} span id (0 when
+              untraced); receivers parent their dispatch spans under it so a
+              multi-hop operation forms one causally-linked trace. *)
 
     val size_bytes : t -> int
     val kind : t -> string
@@ -37,11 +40,16 @@ module Make (P : PROTOCOL) : sig
   val set_server :
     t ->
     Knet.Topology.node_id ->
-    (src:Knet.Topology.node_id -> P.request -> reply:(P.response -> unit) -> unit) ->
+    (src:Knet.Topology.node_id ->
+     span:int ->
+     P.request ->
+     reply:(P.response -> unit) ->
+     unit) ->
     unit
-  (** Install a node's request handler. The handler may reply immediately,
-      or capture [reply] and call it later from a fiber; replying is
-      optional (the caller then times out). *)
+  (** Install a node's request handler. [span] is the caller's trace span
+      id (0 when untraced). The handler may reply immediately, or capture
+      [reply] and call it later from a fiber; replying is optional (the
+      caller then times out). *)
 
   val call :
     t ->
@@ -49,13 +57,20 @@ module Make (P : PROTOCOL) : sig
     dst:Knet.Topology.node_id ->
     ?timeout:Ksim.Time.t ->
     ?attempts:int ->
+    ?span:int ->
     P.request ->
     (P.response, [ `Timeout ]) result
   (** Fiber-blocking remote call; resends up to [attempts] times (default 1
-      attempt, timeout 1s of virtual time per attempt). *)
+      attempt, timeout 1s of virtual time per attempt). [span] rides in the
+      envelope so the callee can link its work into the caller's trace. *)
 
   val notify :
-    t -> src:Knet.Topology.node_id -> dst:Knet.Topology.node_id -> P.request -> unit
+    t ->
+    src:Knet.Topology.node_id ->
+    dst:Knet.Topology.node_id ->
+    ?span:int ->
+    P.request ->
+    unit
   (** One-way message: no response, no retry. *)
 
   val pending_calls : t -> int

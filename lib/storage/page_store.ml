@@ -45,6 +45,7 @@ type t = {
   ram : frame Gaddr.Table.t;
   disk : frame Gaddr.Table.t;
   mutable hook : evict_hook;
+  mutable node : int;  (* owning daemon's node id, -1 until set: trace tag *)
   mutable tick : int;
   mutable ram_hits : int;
   mutable disk_hits : int;
@@ -63,6 +64,7 @@ let create engine cfg =
     ram = Gaddr.Table.create 64;
     disk = Gaddr.Table.create 256;
     hook = (fun _ _ ~dirty:_ -> ());
+    node = -1;
     tick = 0;
     ram_hits = 0;
     disk_hits = 0;
@@ -73,6 +75,15 @@ let create engine cfg =
   }
 
 let set_evict_hook t hook = t.hook <- hook
+let set_node t node = t.node <- node
+
+(* Tier transitions land in the global trace stream (unattached to any
+   span: eviction is a side effect of whoever faulted the cache, not of
+   one operation). Free when no sink is installed. *)
+let trace_tier t name addr ~attrs =
+  if Ktrace.Trace.enabled () then
+    Ktrace.Trace.event ~engine:t.engine ~node:t.node name
+      ~attrs:(("page", Gaddr.to_string addr) :: attrs)
 
 type tier = Ram | Disk
 
@@ -104,6 +115,8 @@ let rec make_disk_room t =
     | Some (addr, frame) ->
       Gaddr.Table.remove t.disk addr;
       t.disk_evictions <- t.disk_evictions + 1;
+      trace_tier t "store.evict" addr
+        ~attrs:[ ("tier", "disk"); ("dirty", string_of_bool frame.dirty) ];
       if frame.dirty then begin
         t.writebacks <- t.writebacks + 1;
         t.hook addr frame.data ~dirty:true
@@ -121,6 +134,8 @@ let rec make_ram_room t ~charge =
     | Some (addr, frame) ->
       Gaddr.Table.remove t.ram addr;
       t.ram_evictions <- t.ram_evictions + 1;
+      trace_tier t "store.demote" addr
+        ~attrs:[ ("from", "ram"); ("to", "disk") ];
       make_disk_room t;
       if charge then Ksim.Fiber.sleep t.cfg.disk_write_latency;
       Gaddr.Table.replace t.disk addr frame;
@@ -145,6 +160,8 @@ let read t addr =
       touch t frame;
       Ksim.Fiber.sleep t.cfg.disk_read_latency;
       Gaddr.Table.remove t.disk addr;
+      trace_tier t "store.promote" addr
+        ~attrs:[ ("from", "disk"); ("to", "ram") ];
       install_ram t addr frame;
       Some (Bytes.copy frame.data)
     | None ->

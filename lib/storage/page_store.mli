@@ -29,6 +29,11 @@ type evict_hook = Kutil.Gaddr.t -> bytes -> dirty:bool -> unit
 val create : Ksim.Engine.t -> config -> t
 val set_evict_hook : t -> evict_hook -> unit
 
+val set_node : t -> int -> unit
+(** Tag this store with its daemon's node id so the {!Ktrace} tier events
+    it emits ([store.promote] / [store.demote] / [store.evict]) identify
+    their node. Events cost nothing while no trace sink is installed. *)
+
 type tier = Ram | Disk
 
 val where : t -> Kutil.Gaddr.t -> tier option

@@ -1,0 +1,51 @@
+module Stats = Kutil.Stats
+
+type t = {
+  counters : (string, Stats.counter) Hashtbl.t;
+  summaries : (string, Stats.summary) Hashtbl.t;
+}
+
+let create () = { counters = Hashtbl.create 16; summaries = Hashtbl.create 16 }
+
+let counter t name =
+  match Hashtbl.find_opt t.counters name with
+  | Some c -> c
+  | None ->
+    let c = Stats.counter () in
+    Hashtbl.replace t.counters name c;
+    c
+
+let summary t name =
+  match Hashtbl.find_opt t.summaries name with
+  | Some s -> s
+  | None ->
+    let s = Stats.summary () in
+    Hashtbl.replace t.summaries name s;
+    s
+
+let incr t ?by name = Stats.incr ?by (counter t name)
+let observe t name v = Stats.add (summary t name) v
+
+let sorted_bindings tbl =
+  List.sort
+    (fun (a, _) (b, _) -> String.compare a b)
+    (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
+
+let counters t =
+  List.map (fun (k, c) -> (k, Stats.count c)) (sorted_bindings t.counters)
+
+let summaries t = sorted_bindings t.summaries
+
+let reset t =
+  Hashtbl.reset t.counters;
+  Hashtbl.reset t.summaries
+
+let pp ppf t =
+  List.iter
+    (fun (name, n) -> Format.fprintf ppf "%-32s %d@." name n)
+    (counters t);
+  List.iter
+    (fun (name, s) ->
+      if Stats.samples s > 0 then
+        Format.fprintf ppf "%-32s %a@." name (Stats.pp_summary ~unit:"ms") s)
+    (summaries t)

@@ -1,0 +1,280 @@
+type span = int
+
+let null = 0
+let is_null s = s = 0
+let id s = s
+let of_id i = if i < 0 then 0 else i
+
+type attrs = (string * string) list
+
+type record =
+  | Span_start of {
+      id : int;
+      parent : int;
+      node : int;
+      name : string;
+      ts : Ksim.Time.t;
+      attrs : attrs;
+    }
+  | Span_end of { id : int; ts : Ksim.Time.t; attrs : attrs }
+  | Event of {
+      span : int;
+      node : int;
+      name : string;
+      ts : Ksim.Time.t;
+      attrs : attrs;
+    }
+
+(* ------------------------------------------------------------------ *)
+(* Sink registry                                                       *)
+(* ------------------------------------------------------------------ *)
+
+type sink = { sink_id : int; fn : record -> unit }
+
+let sinks : sink list ref = ref []
+let next_sink = ref 1
+let next_span = ref 1
+
+let enabled () = !sinks <> []
+
+let install fn =
+  let s = { sink_id = !next_sink; fn } in
+  incr next_sink;
+  sinks := !sinks @ [ s ];
+  s
+
+let uninstall s =
+  sinks := List.filter (fun s' -> s'.sink_id <> s.sink_id) !sinks
+
+let clear_sinks () = sinks := []
+
+let reset () =
+  clear_sinks ();
+  next_span := 1
+
+let emit r = List.iter (fun s -> s.fn r) !sinks
+
+(* ------------------------------------------------------------------ *)
+(* Emitting                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let fresh_span () =
+  let i = !next_span in
+  incr next_span;
+  i
+
+let start ~engine ~node ~attrs ~parent name =
+  let id = fresh_span () in
+  emit
+    (Span_start { id; parent; node; name; ts = Ksim.Engine.now engine; attrs });
+  id
+
+let root ~engine ?(node = -1) ?(attrs = []) name =
+  if not (enabled ()) then null
+  else start ~engine ~node ~attrs ~parent:0 name
+
+let child ~engine ?(node = -1) ?(attrs = []) ~parent name =
+  if not (enabled ()) then null
+  else start ~engine ~node ~attrs ~parent name
+
+let finish ~engine ?(attrs = []) span =
+  if span <> 0 && enabled () then
+    emit (Span_end { id = span; ts = Ksim.Engine.now engine; attrs })
+
+let event ~engine ?(node = -1) ?(span = null) ?(attrs = []) name =
+  if enabled () then
+    emit (Event { span; node; name; ts = Ksim.Engine.now engine; attrs })
+
+let with_span ~engine ?node ?attrs ~parent name f =
+  let s = child ~engine ?node ?attrs ~parent name in
+  Fun.protect ~finally:(fun () -> finish ~engine s) (fun () -> f s)
+
+(* ------------------------------------------------------------------ *)
+(* Built-in sinks                                                      *)
+(* ------------------------------------------------------------------ *)
+
+module Ring = struct
+  type t = { buf : record option array; mutable head : int; mutable len : int }
+
+  let create ?(capacity = 65_536) () =
+    if capacity <= 0 then invalid_arg "Trace.Ring.create: capacity";
+    { buf = Array.make capacity None; head = 0; len = 0 }
+
+  let push t r =
+    let cap = Array.length t.buf in
+    t.buf.((t.head + t.len) mod cap) <- Some r;
+    if t.len < cap then t.len <- t.len + 1
+    else t.head <- (t.head + 1) mod cap
+
+  let install t = install (push t)
+
+  let records t =
+    let cap = Array.length t.buf in
+    List.init t.len (fun i ->
+        match t.buf.((t.head + i) mod cap) with
+        | Some r -> r
+        | None -> assert false)
+
+  let length t = t.len
+
+  let clear t =
+    Array.fill t.buf 0 (Array.length t.buf) None;
+    t.head <- 0;
+    t.len <- 0
+end
+
+let pp_attrs ppf = function
+  | [] -> ()
+  | attrs ->
+    Format.fprintf ppf " {%s}"
+      (String.concat ", " (List.map (fun (k, v) -> k ^ "=" ^ v) attrs))
+
+let pretty_sink ppf = function
+  | Span_start { id; parent; node; name; ts; attrs } ->
+    Format.fprintf ppf "[%a] n%d > %s #%d%s%a@." Ksim.Time.pp ts node name id
+      (if parent = 0 then "" else Printf.sprintf " (in #%d)" parent)
+      pp_attrs attrs
+  | Span_end { id; ts; attrs } ->
+    Format.fprintf ppf "[%a] < #%d%a@." Ksim.Time.pp ts id pp_attrs attrs
+  | Event { span; node; name; ts; attrs } ->
+    Format.fprintf ppf "[%a] n%d . %s%s%a@." Ksim.Time.pp ts node name
+      (if span = 0 then "" else Printf.sprintf " (in #%d)" span)
+      pp_attrs attrs
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_attrs attrs =
+  String.concat ","
+    (List.map
+       (fun (k, v) ->
+         Printf.sprintf "\"%s\":\"%s\"" (json_escape k) (json_escape v))
+       attrs)
+
+let jsonl_sink ppf = function
+  | Span_start { id; parent; node; name; ts; attrs } ->
+    Format.fprintf ppf
+      {|{"type":"span_start","id":%d,"parent":%d,"node":%d,"name":"%s","ts_ns":%d,"attrs":{%s}}|}
+      id parent node (json_escape name) ts (json_attrs attrs);
+    Format.pp_print_newline ppf ()
+  | Span_end { id; ts; attrs } ->
+    Format.fprintf ppf {|{"type":"span_end","id":%d,"ts_ns":%d,"attrs":{%s}}|}
+      id ts (json_attrs attrs);
+    Format.pp_print_newline ppf ()
+  | Event { span; node; name; ts; attrs } ->
+    Format.fprintf ppf
+      {|{"type":"event","span":%d,"node":%d,"name":"%s","ts_ns":%d,"attrs":{%s}}|}
+      span node (json_escape name) ts (json_attrs attrs);
+    Format.pp_print_newline ppf ()
+
+(* ------------------------------------------------------------------ *)
+(* Offline analysis                                                    *)
+(* ------------------------------------------------------------------ *)
+
+type span_info = {
+  span_id : int;
+  span_parent : int;
+  span_node : int;
+  span_name : string;
+  span_start : Ksim.Time.t;
+  span_finish : Ksim.Time.t option;
+  span_attrs : attrs;
+}
+
+let spans records =
+  let ends = Hashtbl.create 64 in
+  List.iter
+    (function
+      | Span_end { id; ts; attrs } ->
+        if not (Hashtbl.mem ends id) then Hashtbl.replace ends id (ts, attrs)
+      | Span_start _ | Event _ -> ())
+    records;
+  List.rev
+    (List.fold_left
+       (fun acc r ->
+         match r with
+         | Span_start { id; parent; node; name; ts; attrs } ->
+           let span_finish, end_attrs =
+             match Hashtbl.find_opt ends id with
+             | Some (ts, a) -> (Some ts, a)
+             | None -> (None, [])
+           in
+           {
+             span_id = id;
+             span_parent = parent;
+             span_node = node;
+             span_name = name;
+             span_start = ts;
+             span_finish;
+             span_attrs = attrs @ end_attrs;
+           }
+           :: acc
+         | Span_end _ | Event _ -> acc)
+       [] records)
+
+let find_spans records ~name =
+  List.filter (fun s -> s.span_name = name) (spans records)
+
+let ancestors infos id =
+  let parent_of =
+    let tbl = Hashtbl.create 64 in
+    List.iter (fun s -> Hashtbl.replace tbl s.span_id s.span_parent) infos;
+    fun i -> Hashtbl.find_opt tbl i
+  in
+  (* Bound the walk to the number of spans: malformed input must not loop. *)
+  let rec go acc i fuel =
+    if fuel <= 0 then List.rev acc
+    else
+      match parent_of i with
+      | Some p when p <> 0 -> go (p :: acc) p (fuel - 1)
+      | Some _ | None -> List.rev acc
+  in
+  go [] id (List.length infos)
+
+let is_descendant infos ~ancestor id =
+  List.exists (fun a -> a = ancestor) (ancestors infos id)
+
+let events_under records ~ancestor =
+  let infos = spans records in
+  let in_subtree span =
+    span <> 0
+    && (span = ancestor || is_descendant infos ~ancestor span)
+  in
+  List.filter
+    (function Event { span; _ } -> in_subtree span | _ -> false)
+    records
+
+let phase_breakdown records =
+  let tbl : (string, int ref * float ref) Hashtbl.t = Hashtbl.create 32 in
+  List.iter
+    (fun s ->
+      match s.span_finish with
+      | None -> ()
+      | Some fin ->
+        let count, total =
+          match Hashtbl.find_opt tbl s.span_name with
+          | Some cell -> cell
+          | None ->
+            let cell = (ref 0, ref 0.0) in
+            Hashtbl.replace tbl s.span_name cell;
+            cell
+        in
+        incr count;
+        total := !total +. Ksim.Time.to_ms_f (fin - s.span_start))
+    (spans records);
+  let rows =
+    Hashtbl.fold (fun name (c, t) acc -> (name, !c, !t) :: acc) tbl []
+  in
+  List.sort (fun (_, _, a) (_, _, b) -> Float.compare b a) rows

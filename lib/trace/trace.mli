@@ -1,0 +1,140 @@
+(** Ktrace: hierarchical operation tracing over simulated time.
+
+    Every Khazana operation (client call, daemon dispatch, RPC hop,
+    consistency-manager transition, page-store access) can emit structured
+    records into globally installed {e sinks}. With no sink installed the
+    whole subsystem is disabled: span creation returns {!null} and no
+    record is materialised, so the traced code paths cost nothing.
+
+    Spans form a tree via parent ids; ids are process-global, so a span
+    started on one simulated node can parent a span on another — that is
+    what stitches a multi-hop operation into one causally-linked trace
+    (the span id travels in the RPC envelope, see {!Krpc.Rpc}).
+
+    Timestamps are simulated time read from the {!Ksim.Engine} that the
+    caller passes in; tracing never advances the clock. *)
+
+type span
+(** A handle to a live span. {!null} when tracing is disabled. *)
+
+val null : span
+val is_null : span -> bool
+
+val id : span -> int
+(** Wire representation: 0 for {!null}, unique positive int otherwise. *)
+
+val of_id : int -> span
+(** Reconstruct a parent handle from a wire-carried id (inverse of {!id}). *)
+
+type attrs = (string * string) list
+
+type record =
+  | Span_start of {
+      id : int;
+      parent : int;  (** 0 = root *)
+      node : int;    (** simulated node id, -1 when unknown *)
+      name : string;
+      ts : Ksim.Time.t;
+      attrs : attrs;
+    }
+  | Span_end of { id : int; ts : Ksim.Time.t; attrs : attrs }
+  | Event of {
+      span : int;  (** enclosing span id, 0 = unattached *)
+      node : int;
+      name : string;
+      ts : Ksim.Time.t;
+      attrs : attrs;
+    }
+
+(** {1 Sinks} *)
+
+val enabled : unit -> bool
+(** At least one sink is installed. *)
+
+type sink
+
+val install : (record -> unit) -> sink
+val uninstall : sink -> unit
+val clear_sinks : unit -> unit
+
+val reset : unit -> unit
+(** Remove all sinks and restart the span-id counter (tests). *)
+
+(** {1 Emitting} *)
+
+val root :
+  engine:Ksim.Engine.t -> ?node:int -> ?attrs:attrs -> string -> span
+(** Start a top-level span; {!null} when tracing is disabled. *)
+
+val child :
+  engine:Ksim.Engine.t -> ?node:int -> ?attrs:attrs -> parent:span ->
+  string -> span
+(** Start a span under [parent]. A [null] parent yields a fresh root, so
+    background fibers get their own traces. {!null} when disabled. *)
+
+val finish : engine:Ksim.Engine.t -> ?attrs:attrs -> span -> unit
+(** Close a span (no-op on {!null}). [attrs] typically carry a status. *)
+
+val event :
+  engine:Ksim.Engine.t -> ?node:int -> ?span:span -> ?attrs:attrs ->
+  string -> unit
+(** Emit a point event, attached to [span] when given. *)
+
+val with_span :
+  engine:Ksim.Engine.t -> ?node:int -> ?attrs:attrs -> parent:span ->
+  string -> (span -> 'a) -> 'a
+(** [child] + run + always [finish]. *)
+
+(** {1 Built-in sinks} *)
+
+module Ring : sig
+  (** Bounded in-memory buffer of the most recent records (tests). *)
+
+  type t
+
+  val create : ?capacity:int -> unit -> t
+  (** Default capacity 65536 records. *)
+
+  val install : t -> sink
+  val records : t -> record list
+  (** Oldest first. *)
+
+  val length : t -> int
+  val clear : t -> unit
+end
+
+val pretty_sink : Format.formatter -> record -> unit
+(** Human-readable one-line-per-record rendering (demos). *)
+
+val jsonl_sink : Format.formatter -> record -> unit
+(** One JSON object per line (benches / offline analysis). *)
+
+(** {1 Offline analysis over collected records} *)
+
+type span_info = {
+  span_id : int;
+  span_parent : int;
+  span_node : int;
+  span_name : string;
+  span_start : Ksim.Time.t;
+  span_finish : Ksim.Time.t option;  (** [None]: never closed *)
+  span_attrs : attrs;                (** start attrs @ end attrs *)
+}
+
+val spans : record list -> span_info list
+(** All spans started in the record stream, in start order. *)
+
+val find_spans : record list -> name:string -> span_info list
+
+val ancestors : span_info list -> int -> int list
+(** Parent chain of a span id, nearest first (excludes the id itself). *)
+
+val is_descendant : span_info list -> ancestor:int -> int -> bool
+
+val events_under : record list -> ancestor:int -> record list
+(** [Event] records whose span lies in [ancestor]'s subtree (or is
+    [ancestor] itself). *)
+
+val phase_breakdown : record list -> (string * int * float) list
+(** Span durations grouped by span name: (name, count, total ms), sorted
+    by total descending. Unfinished spans are skipped. *)

@@ -24,14 +24,14 @@ let test_unreachable_home_times_out () =
   let c1 = System.client sys 1 () in
   let region =
     System.run_fiber sys (fun () ->
-        let r = ok (Client.create_region c1 ~len:4096 ()) in
+        let r = ok (Client.create_region c1 4096) in
         ok (Client.write_bytes c1 ~addr:r.Region.base (bytes_s "data"));
         r)
   in
   System.crash sys 1;
   let c2 = System.client sys 2 () in
   System.run_fiber sys (fun () ->
-      match Client.read_bytes c2 ~addr:region.Region.base ~len:4 with
+      match Client.read_bytes c2 ~addr:region.Region.base 4 with
       | Error (`Timeout | `Unavailable _) -> ()
       | Error e -> Alcotest.failf "unexpected error: %s" (Daemon.error_to_string e)
       | Ok _ -> Alcotest.fail "read served by a crashed home with no replicas")
@@ -42,7 +42,7 @@ let test_min_replicas_survive_home_read_path () =
   let region =
     System.run_fiber sys (fun () ->
         let attr = Attr.make ~owner:1 ~min_replicas:3 () in
-        let r = ok (Client.create_region c1 ~attr ~len:4096 ()) in
+        let r = ok (Client.create_region c1 ~attr 4096) in
         ok (Client.write_bytes c1 ~addr:r.Region.base (bytes_s "precious"));
         (* Let replication pushes settle. *)
         Ksim.Fiber.sleep (Ksim.Time.sec 1);
@@ -66,7 +66,7 @@ let test_min_replicas_survive_home_read_path () =
   in
   let cs = System.client sys survivor () in
   System.run_fiber sys (fun () ->
-      let b = ok (Client.read_bytes cs ~addr:region.Region.base ~len:8) in
+      let b = ok (Client.read_bytes cs ~addr:region.Region.base 8) in
       Alcotest.(check string) "local replica readable" "precious" (Bytes.to_string b))
 
 let test_owner_crash_data_recovered_from_replicas () =
@@ -75,7 +75,7 @@ let test_owner_crash_data_recovered_from_replicas () =
   let region =
     System.run_fiber sys (fun () ->
         let attr = Attr.make ~owner:1 ~min_replicas:2 () in
-        let r = ok (Client.create_region c1 ~attr ~len:4096 ()) in
+        let r = ok (Client.create_region c1 ~attr 4096) in
         ok (Client.write_bytes c1 ~addr:r.Region.base (bytes_s "v-one"));
         r)
   in
@@ -87,7 +87,7 @@ let test_owner_crash_data_recovered_from_replicas () =
   System.crash sys 2;
   let c3 = System.client sys 3 () in
   System.run_fiber sys (fun () ->
-      match Client.read_bytes c3 ~addr:region.Region.base ~len:5 with
+      match Client.read_bytes c3 ~addr:region.Region.base 5 with
       | Ok b ->
         (* The CREW manager recovers the latest data that passed through
            it: v-two travelled home with the release Update... in CREW the
@@ -105,19 +105,19 @@ let test_partition_blocks_then_heals () =
   let c1 = System.client sys 1 () in
   let region =
     System.run_fiber sys (fun () ->
-        let r = ok (Client.create_region c1 ~len:4096 ()) in
+        let r = ok (Client.create_region c1 4096) in
         ok (Client.write_bytes c1 ~addr:r.Region.base (bytes_s "island"));
         r)
   in
   System.partition sys [ 0; 1; 2 ] [ 3; 4; 5 ];
   let c4 = System.client sys 4 () in
   System.run_fiber sys (fun () ->
-      match Client.read_bytes c4 ~addr:region.Region.base ~len:6 with
+      match Client.read_bytes c4 ~addr:region.Region.base 6 with
       | Error _ -> ()
       | Ok _ -> Alcotest.fail "read across a partition");
   System.heal sys;
   System.run_fiber sys (fun () ->
-      let b = ok (Client.read_bytes c4 ~addr:region.Region.base ~len:6) in
+      let b = ok (Client.read_bytes c4 ~addr:region.Region.base 6) in
       Alcotest.(check string) "works after heal" "island" (Bytes.to_string b))
 
 let test_release_ops_retry_in_background () =
@@ -128,14 +128,14 @@ let test_release_ops_retry_in_background () =
   let c1 = System.client sys 1 () in
   let region =
     System.run_fiber sys (fun () ->
-        let r = ok (Client.create_region c1 ~len:4096 ()) in
+        let r = ok (Client.create_region c1 4096) in
         ok (Client.write_bytes c1 ~addr:r.Region.base (bytes_s "x"));
         r)
   in
   (* n4 learns about the region, then gets partitioned from its home. *)
   let c4 = System.client sys 4 () in
   System.run_fiber sys (fun () ->
-      ignore (ok (Client.read_bytes c4 ~addr:region.Region.base ~len:1)));
+      ignore (ok (Client.read_bytes c4 ~addr:region.Region.base 1)));
   System.partition sys [ 0; 1; 2 ] [ 3; 4; 5 ];
   (* free from the wrong side of the partition returns immediately. *)
   let t0 = System.now sys in
@@ -156,7 +156,7 @@ let test_crash_rejects_inflight_ops () =
   let c1 = System.client sys 1 () in
   let region =
     System.run_fiber sys (fun () ->
-        let r = ok (Client.create_region c1 ~len:4096 ()) in
+        let r = ok (Client.create_region c1 4096) in
         ok (Client.write_bytes c1 ~addr:r.Region.base (bytes_s "zz"));
         r)
   in
@@ -164,7 +164,7 @@ let test_crash_rejects_inflight_ops () =
   let c2 = System.client sys 2 () in
   let failed = ref false in
   Ksim.Fiber.spawn (System.engine sys) (fun () ->
-      match Client.read_bytes c2 ~addr:region.Region.base ~len:2 with
+      match Client.read_bytes c2 ~addr:region.Region.base 2 with
       | Error _ -> failed := true
       | Ok _ -> ());
   ignore
@@ -178,7 +178,7 @@ let test_crash_recover_serves_from_disk () =
   let c1 = System.client sys 1 () in
   let region =
     System.run_fiber sys (fun () ->
-        let r = ok (Client.create_region c1 ~len:4096 ()) in
+        let r = ok (Client.create_region c1 4096) in
         ok (Client.write_bytes c1 ~addr:r.Region.base (bytes_s "durable"));
         r)
   in
@@ -198,7 +198,7 @@ let test_crash_recover_serves_from_disk () =
   System.recover sys 1;
   let c2 = System.client sys 2 () in
   System.run_fiber sys (fun () ->
-      let b = ok (Client.read_bytes c2 ~addr:region.Region.base ~len:7) in
+      let b = ok (Client.read_bytes c2 ~addr:region.Region.base 7) in
       Alcotest.(check string) "recovered from disk" "durable" (Bytes.to_string b))
 
 let test_cluster_walk_survives_map_outage () =
@@ -215,12 +215,12 @@ let test_cluster_walk_survives_map_outage () =
   let c1 = System.client sys 1 () in
   let region =
     System.run_fiber sys (fun () ->
-        let r = ok (Client.create_region c1 ~len:4096 ()) in
+        let r = ok (Client.create_region c1 4096) in
         ok (Client.write_bytes c1 ~addr:r.Region.base (bytes_s "found me"));
         (* A cluster-1 node reads it, so cluster 1's manager (node 3) will
            learn about it from that node's periodic report. *)
         let c4 = System.client sys 4 () in
-        ignore (ok (Client.read_bytes c4 ~addr:r.Region.base ~len:8));
+        ignore (ok (Client.read_bytes c4 ~addr:r.Region.base 8));
         r)
   in
   System.run_until_quiet ~limit:(Ksim.Time.sec 2) sys;
@@ -229,7 +229,7 @@ let test_cluster_walk_survives_map_outage () =
   Daemon.reset_lookup_stats d7;
   let c7 = System.client sys 7 () in
   System.run_fiber sys (fun () ->
-      let b = ok (Client.read_bytes c7 ~addr:region.Region.base ~len:8) in
+      let b = ok (Client.read_bytes c7 ~addr:region.Region.base 8) in
       Alcotest.(check string) "read despite map outage" "found me"
         (Bytes.to_string b));
   let s = Daemon.lookup_stats d7 in
@@ -246,7 +246,7 @@ let test_lossy_wan_ops_still_complete () =
   let c1 = System.client sys 1 () in
   let region =
     System.run_fiber sys (fun () ->
-        let r = ok (Client.create_region c1 ~len:4096 ()) in
+        let r = ok (Client.create_region c1 4096) in
         ok (Client.write_bytes c1 ~addr:r.Region.base (bytes_s "00"));
         r)
   in
@@ -255,7 +255,7 @@ let test_lossy_wan_ops_still_complete () =
       for i = 1 to 15 do
         let v = Printf.sprintf "%02d" i in
         ok (Client.write_bytes c4 ~addr:region.Region.base (bytes_s v));
-        let b = ok (Client.read_bytes c1 ~addr:region.Region.base ~len:2) in
+        let b = ok (Client.read_bytes c1 ~addr:region.Region.base 2) in
         Alcotest.(check string)
           (Printf.sprintf "round %d consistent" i)
           v (Bytes.to_string b)
@@ -275,7 +275,7 @@ let test_availability_sweep_shape () =
               let node = 1 + (i mod 5) in
               let c = System.client sys node () in
               let attr = Attr.make ~owner:node ~min_replicas:replicas () in
-              let r = ok (Client.create_region c ~attr ~len:4096 ()) in
+              let r = ok (Client.create_region c ~attr 4096) in
               ok (Client.write_bytes c ~addr:r.Region.base (bytes_s "payload!"));
               r)
             (List.init 10 Fun.id))
@@ -289,7 +289,7 @@ let test_availability_sweep_shape () =
       (List.filter
          (fun (r : Region.t) ->
            System.run_fiber sys (fun () ->
-               match Client.read_bytes c0 ~addr:r.Region.base ~len:8 with
+               match Client.read_bytes c0 ~addr:r.Region.base 8 with
                | Ok _ -> true
                | Error _ -> false))
          regions)

@@ -53,7 +53,7 @@ let test_lock_fetch_sequence () =
   let cb = System.client sys node_b () in
   let region =
     System.run_fiber sys (fun () ->
-        let r = ok (Client.create_region cb ~len:4096 ()) in
+        let r = ok (Client.create_region cb 4096) in
         (* B writes, making it unambiguous owner with private data. *)
         ok (Client.write_bytes cb ~addr:r.Region.base (Bytes.of_string "owned by B"));
         r)
@@ -113,14 +113,14 @@ let test_read_variant_uses_fetch () =
   let cb = System.client sys node_b () in
   let region =
     System.run_fiber sys (fun () ->
-        let r = ok (Client.create_region cb ~len:4096 ()) in
+        let r = ok (Client.create_region cb 4096) in
         ok (Client.write_bytes cb ~addr:r.Region.base (Bytes.of_string "data"));
         r)
   in
   let get_events = record_trace sys in
   let ca = System.client sys node_a () in
   System.run_fiber sys (fun () ->
-      ignore (ok (Client.read_bytes ca ~addr:region.Region.base ~len:4)));
+      ignore (ok (Client.read_bytes ca ~addr:region.Region.base 4)));
   let events = get_events () in
   Alcotest.(check bool) "read_req used" true
     (List.exists (fun e -> e.kind = "cm.read_req" && e.src = node_a) events);
@@ -138,13 +138,13 @@ let test_warm_lock_needs_no_messages () =
   let c = System.client sys 1 () in
   let region =
     System.run_fiber sys (fun () ->
-        let r = ok (Client.create_region c ~len:4096 ()) in
+        let r = ok (Client.create_region c 4096) in
         ok (Client.write_bytes c ~addr:r.Region.base (Bytes.of_string "mine"));
         r)
   in
   let get_events = record_trace sys in
   System.run_fiber sys (fun () ->
-      ignore (ok (Client.read_bytes c ~addr:region.Region.base ~len:4)));
+      ignore (ok (Client.read_bytes c ~addr:region.Region.base 4)));
   let cm_events =
     List.filter
       (fun e -> String.length e.kind >= 3 && String.sub e.kind 0 3 = "cm.")

@@ -26,7 +26,7 @@ let mk ?(seed = 1) () =
   (eng, rpc)
 
 let echo_server rpc node =
-  R.set_server rpc node (fun ~src:_ req ~reply ->
+  R.set_server rpc node (fun ~src:_ ~span:_ req ~reply ->
       match req with
       | Proto.Echo s -> reply (Proto.Echoed s)
       | Proto.Slow d ->
@@ -121,7 +121,7 @@ let test_retries_exhausted () =
 let test_notify () =
   let eng, rpc = mk () in
   let got = ref [] in
-  R.set_server rpc 1 (fun ~src req ~reply:_ ->
+  R.set_server rpc 1 (fun ~src ~span:_ req ~reply:_ ->
       match req with
       | Proto.Echo s -> got := (src, s) :: !got
       | Proto.Slow _ | Proto.Silent -> ());
@@ -131,8 +131,8 @@ let test_notify () =
 
 let test_server_replacement () =
   let eng, rpc = mk () in
-  R.set_server rpc 1 (fun ~src:_ _ ~reply -> reply (Proto.Echoed "v1"));
-  R.set_server rpc 1 (fun ~src:_ _ ~reply -> reply (Proto.Echoed "v2"));
+  R.set_server rpc 1 (fun ~src:_ ~span:_ _ ~reply -> reply (Proto.Echoed "v1"));
+  R.set_server rpc 1 (fun ~src:_ ~span:_ _ ~reply -> reply (Proto.Echoed "v2"));
   let result = in_fiber eng (fun () -> R.call rpc ~src:0 ~dst:1 (Proto.Echo "?")) in
   match result with
   | Ok (Proto.Echoed s) -> Alcotest.(check string) "latest handler" "v2" s

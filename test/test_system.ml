@@ -22,7 +22,7 @@ let test_reserve_allocate () =
   let sys = mk () in
   let c = System.client sys 1 () in
   System.run_fiber sys (fun () ->
-      let region = ok (Client.reserve c ~len:10_000 ()) in
+      let region = ok (Client.reserve c 10_000) in
       (* Length rounds up to pages; state starts reserved. *)
       Alcotest.(check int) "rounded" 12288 region.Region.len;
       Alcotest.(check int) "homed here" 1 region.Region.home;
@@ -41,17 +41,17 @@ let test_write_read_local () =
   let sys = mk () in
   let c = System.client sys 1 () in
   System.run_fiber sys (fun () ->
-      let r = ok (Client.create_region c ~len:4096 ()) in
+      let r = ok (Client.create_region c 4096) in
       ok (Client.write_bytes c ~addr:r.Region.base (bytes_s "local data"));
-      let b = ok (Client.read_bytes c ~addr:r.Region.base ~len:10) in
+      let b = ok (Client.read_bytes c ~addr:r.Region.base 10) in
       Alcotest.(check string) "roundtrip" "local data" (Bytes.to_string b))
 
 let test_unallocated_reads_as_zero () =
   let sys = mk () in
   let c = System.client sys 1 () in
   System.run_fiber sys (fun () ->
-      let r = ok (Client.create_region c ~len:4096 ()) in
-      let b = ok (Client.read_bytes c ~addr:r.Region.base ~len:8) in
+      let r = ok (Client.create_region c 4096) in
+      let b = ok (Client.read_bytes c ~addr:r.Region.base 8) in
       Alcotest.(check string) "zero-filled" (String.make 8 '\000') (Bytes.to_string b))
 
 let test_cross_cluster_sharing () =
@@ -59,23 +59,23 @@ let test_cross_cluster_sharing () =
   let c1 = System.client sys 1 () in
   let c4 = System.client sys 4 () in
   System.run_fiber sys (fun () ->
-      let r = ok (Client.create_region c1 ~len:4096 ()) in
+      let r = ok (Client.create_region c1 4096) in
       ok (Client.write_bytes c1 ~addr:r.Region.base (bytes_s "from n1"));
-      let b = ok (Client.read_bytes c4 ~addr:r.Region.base ~len:7) in
+      let b = ok (Client.read_bytes c4 ~addr:r.Region.base 7) in
       Alcotest.(check string) "n4 sees n1's write" "from n1" (Bytes.to_string b);
       ok (Client.write_bytes c4 ~addr:r.Region.base (bytes_s "FROM N4"));
-      let b = ok (Client.read_bytes c1 ~addr:r.Region.base ~len:7) in
+      let b = ok (Client.read_bytes c1 ~addr:r.Region.base 7) in
       Alcotest.(check string) "n1 sees n4's write" "FROM N4" (Bytes.to_string b))
 
 let test_multi_page_ops () =
   let sys = mk () in
   let c = System.client sys 2 () in
   System.run_fiber sys (fun () ->
-      let r = ok (Client.create_region c ~len:16384 ()) in
+      let r = ok (Client.create_region c 16384) in
       (* A write spanning page boundaries. *)
       let addr = Gaddr.add_int r.Region.base 4090 in
       ok (Client.write_bytes c ~addr (bytes_s "spans-a-boundary"));
-      let b = ok (Client.read_bytes c ~addr ~len:16) in
+      let b = ok (Client.read_bytes c ~addr 16) in
       Alcotest.(check string) "boundary write" "spans-a-boundary" (Bytes.to_string b);
       (* Whole-region lock covers all pages. *)
       let ctx = ok (Client.lock c ~addr:r.Region.base ~len:16384 Ctypes.Read) in
@@ -87,7 +87,7 @@ let test_lock_modes_enforced () =
   let sys = mk () in
   let c = System.client sys 1 () in
   System.run_fiber sys (fun () ->
-      let r = ok (Client.create_region c ~len:4096 ()) in
+      let r = ok (Client.create_region c 4096) in
       let ctx = ok (Client.lock c ~addr:r.Region.base ~len:100 Ctypes.Read) in
       (match Client.write c ctx ~addr:r.Region.base (bytes_s "x") with
        | Error `Access_denied -> ()
@@ -108,9 +108,9 @@ let test_access_control () =
   let stranger = System.client sys 2 ~principal:200 () in
   System.run_fiber sys (fun () ->
       let attr = Attr.make ~owner:100 ~world:Attr.Read_only () in
-      let r = ok (Client.create_region owner ~attr ~len:4096 ()) in
+      let r = ok (Client.create_region owner ~attr 4096) in
       ok (Client.write_bytes owner ~addr:r.Region.base (bytes_s "secret"));
-      let b = ok (Client.read_bytes stranger ~addr:r.Region.base ~len:6) in
+      let b = ok (Client.read_bytes stranger ~addr:r.Region.base 6) in
       Alcotest.(check string) "stranger reads" "secret" (Bytes.to_string b);
       match Client.write_bytes stranger ~addr:r.Region.base (bytes_s "EVIL") with
       | Error `Access_denied -> ()
@@ -123,8 +123,8 @@ let test_set_attr () =
   let stranger = System.client sys 2 ~principal:200 () in
   System.run_fiber sys (fun () ->
       let attr = Attr.make ~owner:100 ~world:Attr.No_access () in
-      let r = ok (Client.create_region owner ~attr ~len:4096 ()) in
-      (match Client.read_bytes stranger ~addr:r.Region.base ~len:1 with
+      let r = ok (Client.create_region owner ~attr 4096) in
+      (match Client.read_bytes stranger ~addr:r.Region.base 1 with
        | Error `Access_denied -> ()
        | Error e -> Alcotest.failf "wrong error: %s" (Daemon.error_to_string e)
        | Ok _ -> Alcotest.fail "no_access readable");
@@ -134,7 +134,7 @@ let test_set_attr () =
        | Error e -> Alcotest.failf "wrong error: %s" (Daemon.error_to_string e)
        | Ok () -> Alcotest.fail "stranger changed attrs");
       ok (Client.set_attr owner r.Region.base { attr with Attr.world = Attr.Read_only });
-      let b = ok (Client.read_bytes stranger ~addr:r.Region.base ~len:1) in
+      let b = ok (Client.read_bytes stranger ~addr:r.Region.base 1) in
       Alcotest.(check int) "readable now" 1 (Bytes.length b))
 
 let test_get_attr () =
@@ -143,7 +143,7 @@ let test_get_attr () =
   let c5 = System.client sys 5 () in
   System.run_fiber sys (fun () ->
       let attr = Attr.make ~owner:1 ~min_replicas:2 ~level:Attr.Release () in
-      let r = ok (Client.create_region c1 ~attr ~len:4096 ()) in
+      let r = ok (Client.create_region c1 ~attr 4096) in
       let a = ok (Client.get_attr c5 r.Region.base) in
       Alcotest.(check string) "protocol visible remotely" "release" a.Attr.protocol;
       Alcotest.(check int) "replicas" 2 a.Attr.min_replicas)
@@ -152,7 +152,7 @@ let test_concurrent_writers_serialise () =
   let sys = mk () in
   let c2 = System.client sys 2 () in
   System.run_fiber sys (fun () ->
-      let r = ok (Client.create_region c2 ~len:4096 ()) in
+      let r = ok (Client.create_region c2 4096) in
       ok (Client.write_bytes c2 ~addr:r.Region.base (bytes_s "\x00"));
       (* Ten concurrent increment transactions from different nodes: CREW
          locking must make them atomic. *)
@@ -173,7 +173,7 @@ let test_concurrent_writers_serialise () =
           [ 0; 1; 3; 5 ]
       in
       Ksim.Fiber.join_all fibers;
-      let b = ok (Client.read_bytes c2 ~addr:r.Region.base ~len:1) in
+      let b = ok (Client.read_bytes c2 ~addr:r.Region.base 1) in
       Alcotest.(check int) "all increments applied" 20 (Char.code (Bytes.get b 0)))
 
 let test_locality_after_first_access () =
@@ -181,7 +181,7 @@ let test_locality_after_first_access () =
   let c1 = System.client sys 1 () in
   let c4 = System.client sys 4 () in
   System.run_fiber sys (fun () ->
-      let r = ok (Client.create_region c1 ~len:4096 ()) in
+      let r = ok (Client.create_region c1 4096) in
       ok (Client.write_bytes c1 ~addr:r.Region.base (bytes_s "cacheable"));
       let timed f =
         let t0 = System.now sys in
@@ -189,10 +189,10 @@ let test_locality_after_first_access () =
         System.now sys - t0
       in
       let cold =
-        timed (fun () -> ignore (ok (Client.read_bytes c4 ~addr:r.Region.base ~len:9)))
+        timed (fun () -> ignore (ok (Client.read_bytes c4 ~addr:r.Region.base 9)))
       in
       let warm =
-        timed (fun () -> ignore (ok (Client.read_bytes c4 ~addr:r.Region.base ~len:9)))
+        timed (fun () -> ignore (ok (Client.read_bytes c4 ~addr:r.Region.base 9)))
       in
       Alcotest.(check bool)
         (Printf.sprintf "warm (%d) ≪ cold (%d)" warm cold)
@@ -208,21 +208,21 @@ let test_release_protocol_region () =
   let c2 = System.client sys 2 () in
   System.run_fiber sys (fun () ->
       let attr = Attr.make ~owner:1 ~level:Attr.Release () in
-      let r = ok (Client.create_region c1 ~attr ~len:4096 ()) in
+      let r = ok (Client.create_region c1 ~attr 4096) in
       ok (Client.write_bytes c1 ~addr:r.Region.base (bytes_s "v1"));
-      let b = ok (Client.read_bytes c2 ~addr:r.Region.base ~len:2) in
+      let b = ok (Client.read_bytes c2 ~addr:r.Region.base 2) in
       Alcotest.(check string) "propagated" "v1" (Bytes.to_string b);
       ok (Client.write_bytes c1 ~addr:r.Region.base (bytes_s "v2"));
       (* Release consistency: c2 sees v2 after the update propagates. *)
       Ksim.Fiber.sleep (Ksim.Time.sec 1);
-      let b = ok (Client.read_bytes c2 ~addr:r.Region.base ~len:2) in
+      let b = ok (Client.read_bytes c2 ~addr:r.Region.base 2) in
       Alcotest.(check string) "eventually v2" "v2" (Bytes.to_string b))
 
 let test_free_and_unreserve () =
   let sys = mk () in
   let c = System.client sys 1 () in
   System.run_fiber sys (fun () ->
-      let r = ok (Client.create_region c ~len:4096 ()) in
+      let r = ok (Client.create_region c 4096) in
       ok (Client.write_bytes c ~addr:r.Region.base (bytes_s "doomed"));
       Client.free c r.Region.base;
       Client.unreserve c r.Region.base;
@@ -239,11 +239,11 @@ let test_figure1_scenario () =
   let c3 = System.client sys 3 () in
   System.run_fiber sys (fun () ->
       let attr = Attr.make ~owner:3 ~min_replicas:2 () in
-      let r = ok (Client.create_region c3 ~attr ~len:4096 ()) in
+      let r = ok (Client.create_region c3 ~attr 4096) in
       ok (Client.write_bytes c3 ~addr:r.Region.base (bytes_s "the square object"));
       (* Node 5 reads it, becoming the second replica site. *)
       let c5 = System.client sys 5 () in
-      ignore (ok (Client.read_bytes c5 ~addr:r.Region.base ~len:17));
+      ignore (ok (Client.read_bytes c5 ~addr:r.Region.base 17));
       Alcotest.(check bool) "replicated on 3" true
         (Daemon.holds_page (System.daemon sys 3) r.Region.base);
       Alcotest.(check bool) "replicated on 5" true
@@ -256,7 +256,7 @@ let test_figure1_scenario () =
           (List.init 6 Fun.id)
       in
       let c1 = System.client sys accessor () in
-      let b = ok (Client.read_bytes c1 ~addr:r.Region.base ~len:17) in
+      let b = ok (Client.read_bytes c1 ~addr:r.Region.base 17) in
       Alcotest.(check string) "accessor got the data" "the square object"
         (Bytes.to_string b);
       Alcotest.(check bool) "accessor now caches a copy" true
@@ -270,19 +270,19 @@ let test_address_pool_accounting () =
   let c = System.client sys 2 () in
   let d = System.daemon sys 2 in
   System.run_fiber sys (fun () ->
-      let r1 = ok (Client.reserve c ~len:4096 ()) in
+      let r1 = ok (Client.reserve c 4096) in
       let pool_after_first = Daemon.pool_bytes d in
       Alcotest.(check int) "one chunk minus a page"
         (Khazana.Layout.chunk_size - 4096)
         pool_after_first;
-      let r2 = ok (Client.reserve c ~len:8192 ()) in
+      let r2 = ok (Client.reserve c 8192) in
       Alcotest.(check bool) "contiguous from the pool" true
         (Gaddr.equal r2.Region.base (Gaddr.add_int r1.Region.base 4096));
       Alcotest.(check int) "pool shrinks exactly"
         (pool_after_first - 8192)
         (Daemon.pool_bytes d);
       (* A reservation bigger than the remaining pool grabs more chunks. *)
-      let r3 = ok (Client.reserve c ~len:(2 * Khazana.Layout.chunk_size) ()) in
+      let r3 = ok (Client.reserve c (2 * Khazana.Layout.chunk_size)) in
       Alcotest.(check bool) "large reserve satisfied" true
         (r3.Region.len = 2 * Khazana.Layout.chunk_size))
 
@@ -292,9 +292,9 @@ let test_deterministic_replay () =
     let c1 = System.client sys 1 () in
     let c4 = System.client sys 4 () in
     System.run_fiber sys (fun () ->
-        let r = ok (Client.create_region c1 ~len:8192 ()) in
+        let r = ok (Client.create_region c1 8192) in
         ok (Client.write_bytes c1 ~addr:r.Region.base (bytes_s "determinism"));
-        ignore (ok (Client.read_bytes c4 ~addr:r.Region.base ~len:11)));
+        ignore (ok (Client.read_bytes c4 ~addr:r.Region.base 11)));
     let stats = Khazana.Wire.Transport.Net.stats (System.net sys) in
     (System.now sys, stats.sent, stats.bytes_sent)
   in
@@ -308,19 +308,163 @@ let test_lookup_path_stats () =
   let d4 = System.daemon sys 4 in
   System.run_fiber sys (fun () ->
       let c1 = System.client sys 1 () in
-      let r = ok (Client.create_region c1 ~len:4096 ()) in
+      let r = ok (Client.create_region c1 4096) in
       Daemon.reset_lookup_stats d4;
       (* First access from n4: full path (directory miss -> cluster miss ->
          map walk). *)
-      ignore (ok (Client.read_bytes c4 ~addr:r.Region.base ~len:1));
+      ignore (ok (Client.read_bytes c4 ~addr:r.Region.base 1));
       let s1 = Daemon.lookup_stats d4 in
       Alcotest.(check bool) "cold lookup walked the tree" true (s1.Daemon.map_walks >= 1);
       (* Second access: region directory hit. *)
-      ignore (ok (Client.read_bytes c4 ~addr:r.Region.base ~len:1));
+      ignore (ok (Client.read_bytes c4 ~addr:r.Region.base 1));
       let s2 = Daemon.lookup_stats d4 in
       Alcotest.(check bool) "warm lookup hits directory" true
         (s2.Daemon.rdir_hits > s1.Daemon.rdir_hits);
       Alcotest.(check int) "no extra walk" s1.Daemon.map_walks s2.Daemon.map_walks)
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end tracing: one cross-node operation = one connected trace.  *)
+(* ------------------------------------------------------------------ *)
+
+module Trace = Ktrace.Trace
+
+let with_trace_ring f =
+  Trace.reset ();
+  let ring = Trace.Ring.create () in
+  let sink = Trace.Ring.install ring in
+  Fun.protect ~finally:(fun () -> Trace.uninstall sink; Trace.reset ())
+    (fun () -> f ring)
+
+let test_cross_node_write_is_one_trace () =
+  let sys = mk () in
+  let c1 = System.client sys 1 () in
+  let c4 = System.client sys 4 () in
+  (* Region homed at n1; set up untraced. *)
+  let r =
+    System.run_fiber sys (fun () ->
+        let r = ok (Client.create_region c1 4096) in
+        ok (Client.write_bytes c1 ~addr:r.Region.base (bytes_s "seed"));
+        r)
+  in
+  with_trace_ring @@ fun ring ->
+  (* Now trace a single cross-node write from n4: its CREW acquire must
+     cross to the home (n1) and back. *)
+  System.run_fiber sys (fun () ->
+      ok (Client.write_bytes c4 ~addr:r.Region.base (bytes_s "traced write")));
+  let records = Trace.Ring.records ring in
+  let infos = Trace.spans records in
+  (* Exactly one root: the client op. *)
+  let roots = List.filter (fun s -> s.Trace.span_parent = 0) infos in
+  (match roots with
+   | [ root ] ->
+     Alcotest.(check string) "root is the client op" "client.write_bytes"
+       root.Trace.span_name;
+     Alcotest.(check int) "root on requester node" 4 root.Trace.span_node;
+     let under name =
+       List.filter
+         (fun s ->
+           s.Trace.span_name = name
+           && Trace.is_descendant infos ~ancestor:root.Trace.span_id
+                s.Trace.span_id)
+         infos
+     in
+     (* Daemon dispatch, location path and CM acquire nest under the op. *)
+     Alcotest.(check bool) "daemon.lock under op" true (under "daemon.lock" <> []);
+     Alcotest.(check bool) "daemon.locate under op" true (under "daemon.locate" <> []);
+     Alcotest.(check bool) "cm.acquire under op" true (under "cm.acquire" <> []);
+     (* At least one RPC hop span (CM traffic to the home). *)
+     let hops =
+       List.filter
+         (fun s ->
+           String.length s.Trace.span_name >= 4
+           && String.sub s.Trace.span_name 0 4 = "rpc."
+           && Trace.is_descendant infos ~ancestor:root.Trace.span_id
+                s.Trace.span_id)
+         infos
+     in
+     Alcotest.(check bool) "at least one rpc hop" true (hops <> []);
+     (* The trace reaches another simulated node: some descendant span or
+        event ran on the home (n1). *)
+     let visited_nodes =
+       List.filter_map
+         (fun s ->
+           if Trace.is_descendant infos ~ancestor:root.Trace.span_id s.Trace.span_id
+           then Some s.Trace.span_node
+           else None)
+         infos
+     in
+     Alcotest.(check bool) "trace crosses to the home node" true
+       (List.mem 1 visited_nodes);
+     (* CM transition events and page-store accesses land in the subtree. *)
+     let event_names =
+       Trace.events_under records ~ancestor:root.Trace.span_id
+       |> List.filter_map (function
+            | Trace.Event { name; _ } -> Some name
+            | _ -> None)
+     in
+     Alcotest.(check bool) "cm.transition events" true
+       (List.mem "cm.transition" event_names);
+     Alcotest.(check bool) "store access events" true
+       (List.mem "store.write" event_names)
+   | l -> Alcotest.failf "expected exactly one root span, got %d" (List.length l))
+
+let test_cross_node_lock_hop_spans () =
+  let sys = mk () in
+  let c1 = System.client sys 1 () in
+  let c4 = System.client sys 4 () in
+  let r =
+    System.run_fiber sys (fun () ->
+        let r = ok (Client.create_region c1 4096) in
+        ok (Client.write_bytes c1 ~addr:r.Region.base (bytes_s "xx"));
+        r)
+  in
+  with_trace_ring @@ fun ring ->
+  System.run_fiber sys (fun () ->
+      match Client.lock c4 ~addr:r.Region.base ~len:2 Ctypes.Read with
+      | Ok l -> Client.unlock c4 l
+      | Error e -> Alcotest.failf "lock: %s" (Daemon.error_to_string e));
+  let records = Trace.Ring.records ring in
+  let infos = Trace.spans records in
+  let root =
+    match Trace.find_spans records ~name:"client.lock" with
+    | [ s ] -> s
+    | l -> Alcotest.failf "%d client.lock roots" (List.length l)
+  in
+  (* Serve-side spans on remote nodes parent under the requester's hops:
+     the home's dispatch of the read request must be in the op subtree. *)
+  let serve_spans =
+    List.filter
+      (fun s ->
+        String.length s.Trace.span_name >= 13
+        && String.sub s.Trace.span_name 0 13 = "daemon.serve."
+        && Trace.is_descendant infos ~ancestor:root.Trace.span_id s.Trace.span_id)
+      infos
+  in
+  Alcotest.(check bool) "remote dispatch under the op" true (serve_spans <> []);
+  Alcotest.(check bool) "a dispatch ran on a different node" true
+    (List.exists (fun s -> s.Trace.span_node <> 4) serve_spans);
+  (* Every span in the stream closed (no leaked spans). *)
+  List.iter
+    (fun s ->
+      if s.Trace.span_finish = None then
+        Alcotest.failf "span %s (%d) never finished" s.Trace.span_name
+          s.Trace.span_id)
+    infos
+
+let test_tracing_disabled_zero_records () =
+  (* With no sink installed the same workload emits nothing and behaves
+     identically (the deterministic-replay test covers timing; here we
+     check the sink side). *)
+  Trace.reset ();
+  let ring = Trace.Ring.create () in
+  (* NOT installed. *)
+  let sys = mk () in
+  let c1 = System.client sys 1 () in
+  System.run_fiber sys (fun () ->
+      let r = ok (Client.create_region c1 4096) in
+      ok (Client.write_bytes c1 ~addr:r.Region.base (bytes_s "dark")));
+  Alcotest.(check bool) "tracing off" false (Trace.enabled ());
+  Alcotest.(check int) "no records" 0 (Trace.Ring.length ring)
 
 let () =
   Alcotest.run "system"
@@ -348,5 +492,14 @@ let () =
             test_address_pool_accounting;
           Alcotest.test_case "deterministic replay" `Quick test_deterministic_replay;
           Alcotest.test_case "lookup path stats" `Quick test_lookup_path_stats;
+        ] );
+      ( "tracing",
+        [
+          Alcotest.test_case "cross-node write is one trace" `Quick
+            test_cross_node_write_is_one_trace;
+          Alcotest.test_case "cross-node lock hop spans" `Quick
+            test_cross_node_lock_hop_spans;
+          Alcotest.test_case "disabled emits nothing" `Quick
+            test_tracing_disabled_zero_records;
         ] );
     ]
