@@ -59,10 +59,10 @@ type txn =
   | Await_done of { dest : node_id; mode : mode; timer : timer_id;
                     attempts : int; regrant : msg option; fence : fence }
 
-(* High on purpose: with fail-fast crash signals from the transport (the
-   daemon synthesises an Evict_notify when a peer is known-down), timeouts
-   here almost always mean "slow", not "dead" — and false suspicion is a
-   safety hazard. *)
+(* High on purpose: with fail-fast crash signals from the failure detector
+   (the daemon synthesises an Unreachable event when a send targets a
+   suspected peer), timeouts here almost always mean "slow", not "dead" —
+   and false suspicion is a safety hazard. *)
 let max_attempts = 60
 
 type t = {
@@ -80,6 +80,14 @@ type t = {
   (* ---- manager role (meaningful only at home) ---- *)
   mutable owner : node_id;
   mutable copyset : NSet.t;  (* nodes with read copies; excludes owner *)
+  mutable revoke : NSet.t;
+      (* Invalidation debt: copyset members an invalidation round gave up
+         on (unreachable or unresponsive). They may still hold a now-stale
+         but protocol-valid copy, so they stay in the copyset and the
+         repair tick keeps re-sending Invalidate until one lands (or an
+         Evict_notify / fresh grant clears the debt). Without this, a
+         write that completed around a partition would leave the stale
+         copy servable forever once the partition heals. *)
   hqueue : (node_id * mode) Queue.t;
   mutable txn : txn;
   mutable fence : fence;  (* transaction sequence *)
@@ -108,6 +116,7 @@ let create cfg init =
     pending_fetches = [];
     owner = cfg.home;
     copyset = NSet.empty;
+    revoke = NSet.empty;
     hqueue = Queue.create ();
     txn = Idle;
     fence = 0;
@@ -126,6 +135,11 @@ let is_owner t =
 let locks_held t = Local_locks.held t.locks
 let version t = t.ver
 let is_home t = t.cfg.self = t.cfg.home
+
+let holders t =
+  if is_home t then NSet.elements (NSet.add t.owner t.copyset) else []
+
+let busy t = is_home t && t.txn <> Idle
 
 let fresh_timer t =
   t.next_timer <- t.next_timer + 1;
@@ -183,6 +197,12 @@ let do_invalidate t (target, fence) acc =
    transaction fence into the grant. *)
 let serve_fetch t (src, msg) acc =
   match (msg, t.data) with
+  | (Fetch { fence; _ } | Fetch_own { fence; _ }), _ when fence < t.floor ->
+    (* A fetch from below our floor: either a stale retransmit, or a
+       manager that crashed and restarted its fence counter from zero.
+       Serving it is useless — the destination would refuse the grant —
+       so teach the sender our floor instead. *)
+    Send (src, Fence_bump { floor = t.floor }) :: acc
   | Fetch { dest; fence }, Some data ->
     if t.cstate = Owned_excl then t.cstate <- Owned_shared;
     (* Serving a read copy (and the downgrade it implies) belongs to
@@ -239,14 +259,25 @@ let start_read_txn ?(attempts = 0) ?fence t dest ~source ~tried acc =
   let fence = match fence with Some f -> f | None -> fresh_fence t in
   let timer = fresh_timer t in
   t.txn <- Read_flight { dest; source; timer; tried; attempts; fence };
+  (* The hint must reach the durable directory before the grant can land:
+     a crash mid-transaction would otherwise rebuild from books that miss
+     a node already holding a copy, leaving it uninvalidatable forever. *)
   Start_timer { id = timer; after = t.cfg.request_timeout }
   :: Send (source, Fetch { dest; fence })
+  :: sharers_hint t
   :: acc
 
 (* Pessimistic ownership bookkeeping: the grant may land even if its ack
    does not. Believing a dead transfer costs a fail-over round later; not
    believing a live one would mint two owners. *)
 let start_own_transfer ?(attempts = 0) ?fence t dest ~source ~tried acc =
+  (* Retire the displaced owner into the copyset: if the hand-off never
+     reaches it (fail-over around a partition) it still holds a valid copy,
+     and a holder the books forget is a stale copy no write can revoke. If
+     the hand-off does land, it becomes a harmless phantom that the next
+     invalidation round or the repair probe clears. *)
+  if t.owner <> dest && t.owner <> t.cfg.self then
+    t.copyset <- NSet.add t.owner t.copyset;
   t.owner <- dest;
   t.copyset <- NSet.remove dest t.copyset;
   let fence = match fence with Some f -> f | None -> fresh_fence t in
@@ -254,12 +285,16 @@ let start_own_transfer ?(attempts = 0) ?fence t dest ~source ~tried acc =
   t.txn <- Own_flight { dest; source; timer; tried; attempts; fence };
   Start_timer { id = timer; after = t.cfg.request_timeout }
   :: Send (source, Fetch_own { dest; fence })
+  :: sharers_hint t
   :: acc
 
 let grant_from_backup ?fence t dest ~mode ~data ~version acc =
   (match mode with
    | Read -> if dest <> t.owner then t.copyset <- NSet.add dest t.copyset
    | Write ->
+     (* Same displaced-owner retirement as [start_own_transfer]. *)
+     if t.owner <> dest && t.owner <> t.cfg.self then
+       t.copyset <- NSet.add t.owner t.copyset;
      t.owner <- dest;
      t.copyset <- NSet.remove dest t.copyset);
   (* Write grants climb the version ladder on every attempt so a recipient
@@ -277,6 +312,7 @@ let grant_from_backup ?fence t dest ~mode ~data ~version acc =
     Await_done { dest; mode; timer; attempts = 0; regrant = Some grant; fence };
   Start_timer { id = timer; after = t.cfg.request_timeout }
   :: Send (dest, grant)
+  :: sharers_hint t
   :: acc
 
 (* Once the copyset is clean, move ownership (or upgrade in place). *)
@@ -311,17 +347,25 @@ let start_write_txn t dest acc =
 (* Maintain min_replicas primary copies (paper §3.5) by queueing internal
    reads on behalf of replica targets; they receive unsolicited read
    grants. Queued pushes count as prospective holders, or each completed
-   push would re-queue more and the page would over-replicate. *)
-let enqueue_replication t =
+   push would re-queue more and the page would over-replicate. Nodes in
+   [avoid] (suspected dead or partitioned) count as neither holders nor
+   candidates, so repair re-replicates around them. *)
+let enqueue_replication ?(avoid = []) t =
   if t.cfg.min_replicas > 1 then begin
+    let avoid = NSet.of_list avoid in
     let holders = NSet.add t.owner t.copyset in
     let queued = Queue.fold (fun acc (n, _) -> NSet.add n acc) NSet.empty t.hqueue in
-    let prospective = NSet.cardinal (NSet.union holders queued) in
+    let prospective =
+      NSet.cardinal (NSet.diff (NSet.union holders queued) avoid)
+    in
     let missing = t.cfg.min_replicas - prospective in
     if missing > 0 then begin
       let fresh =
         List.filter
-          (fun n -> (not (NSet.mem n holders)) && not (NSet.mem n queued))
+          (fun n ->
+            (not (NSet.mem n holders))
+            && (not (NSet.mem n queued))
+            && not (NSet.mem n avoid))
           t.cfg.replica_targets
       in
       List.iteri
@@ -336,15 +380,21 @@ let rec pump_home t acc =
     let dest, mode = Queue.pop t.hqueue in
     match mode with
     | Read ->
-      if dest = t.owner || NSet.mem dest t.copyset then
-        (* Requester already holds a copy per our books: stale request, or
-           its grant/ack was lost. Serve from backup so it unblocks;
-           otherwise drop and let it retry. *)
+      if dest = t.owner then
+        (* The owner itself asking to read: its grant/ack was lost. Serve
+           from backup so it unblocks; otherwise drop and let it retry. *)
         (match t.backup with
          | Some (data, version) ->
            grant_from_backup t dest ~mode:Read ~data ~version acc
          | None -> pump_home t acc)
-      else start_read_txn t dest ~source:t.owner ~tried:NSet.empty acc
+      else
+        (* A copyset member may be a phantom (e.g. a retired previous
+           owner) asking for a fresh copy. Run the ordinary read
+           transaction rather than short-circuiting from the backup: the
+           fetch defers behind the owner's active write lock, which the
+           backup path would race past, and [start_read_txn] re-adds the
+           requester to the copyset so the books stay pessimistic. *)
+        start_read_txn t dest ~source:t.owner ~tried:NSet.empty acc
     | Write -> start_write_txn t dest acc)
   | Idle | Read_flight _ | Inval_phase _ | Own_flight _ | Await_done _ -> acc
 
@@ -383,7 +433,11 @@ let fail_over t ~dest ~mode ~tried acc =
   | [] -> (
     match t.backup with
     | Some (data, version) ->
-      if mode = Write then t.copyset <- NSet.empty;
+      (* Every source is unreachable, so recover from the backup — but do
+         NOT clear the copyset. Unreachable mostly means partitioned, and
+         a partitioned holder keeps a protocol-valid (now stale) copy that
+         only a later invalidation round can revoke; wiping the books here
+         would exempt it forever. *)
       grant_from_backup t dest ~mode ~data ~version acc
     | None ->
       let acc = Send (dest, Nack) :: acc in
@@ -397,9 +451,26 @@ let fail_over t ~dest ~mode ~tried acc =
 (* A grant fenced below our floor is a ghost of a finished transaction:
    accepting it would resurrect a revoked copy. Refuse, and tell the
    manager we hold nothing so it can retry cleanly. *)
+(* The cache role's "exclusive" claim must respect the collocated
+   manager's books at the home: a write grant implies exclusivity only if
+   the copyset really drained. An invalidation round that skipped an
+   unreachable sharer leaves it in the copyset as invalidation debt, and a
+   later home-local write must then still run a real invalidation round
+   rather than take the Owned_excl shortcut past the stale copy. *)
+let claim_exclusive t =
+  t.cstate <-
+    (if t.cfg.self = t.cfg.home && not (NSet.is_empty t.copyset) then
+       Owned_shared
+     else Owned_excl)
+
 let refuse_stale_grant t acc =
   t.cache_req <- None;
-  pump_local t (Send (t.cfg.home, Evict_notify) :: acc)
+  (* The Fence_bump rescues a manager whose fence counter restarted after
+     a crash: every grant it mints would otherwise be refused forever. *)
+  pump_local t
+    (Send (t.cfg.home, Fence_bump { floor = t.floor })
+    :: Send (t.cfg.home, Evict_notify)
+    :: acc)
 
 let handle_cache_msg t src msg acc =
   match msg with
@@ -430,10 +501,11 @@ let handle_cache_msg t src msg acc =
          be retried for us, so tell the manager we hold nothing; if we
          still hold a legitimate (shared/downgraded) copy, just drop it —
          we are not the grant's audience any more. *)
-      (if t.cstate = Invalid then refuse_stale_grant t acc else acc)
+      (if t.cstate = Invalid then refuse_stale_grant t acc
+       else Send (t.cfg.home, Fence_bump { floor = t.floor }) :: acc)
     else begin
       if t.cache_req = Some Write then t.cache_req <- None;
-      t.cstate <- Owned_excl;
+      claim_exclusive t;
       t.data <- Some data;
       t.ver <- max version t.ver;
       pump_local t
@@ -445,7 +517,7 @@ let handle_cache_msg t src msg acc =
     if t.cstate = Invalid && fence < t.floor then refuse_stale_grant t acc
     else if t.data <> None then begin
       if t.cache_req = Some Write then t.cache_req <- None;
-      t.cstate <- Owned_excl;
+      claim_exclusive t;
       pump_local t (Send (t.cfg.home, Done { mode = Write }) :: acc)
     end
     else
@@ -481,7 +553,7 @@ let handle_cache_msg t src msg acc =
       pump_local t (Reject (req, Unavailable "no reachable copy") :: acc)
     | None -> acc)
   | Read_req | Write_req | Invalidate_ack | Done _ | Evict_notify
-  | Own_return _ | Update _ | Update_ack | Pull_req | Diff _ ->
+  | Own_return _ | Update _ | Update_ack | Pull_req | Diff _ | Fence_bump _ ->
     acc (* manager-side traffic *)
 
 let absorb_returned_ownership t data version =
@@ -502,6 +574,7 @@ let handle_home_msg t src msg acc =
     pump_home t acc
   | Invalidate_ack -> (
     t.copyset <- NSet.remove src t.copyset;
+    t.revoke <- NSet.remove src t.revoke;
     match t.txn with
     | Inval_phase { dest; waiting; timer; attempts; fence } ->
       let waiting = NSet.remove src waiting in
@@ -516,15 +589,20 @@ let handle_home_msg t src msg acc =
     | (Read_flight { dest; _ } | Await_done { dest; mode = Read; _ })
       when dest = src && done_mode = Read ->
       if src <> t.owner then t.copyset <- NSet.add src t.copyset;
+      (* It just accepted a current-fence grant: any invalidation debt is
+         paid — it holds fresh data now. *)
+      t.revoke <- NSet.remove src t.revoke;
       finish_txn t acc
     | (Own_flight { dest; _ } | Await_done { dest; mode = Write; _ })
       when dest = src && done_mode = Write ->
       t.owner <- src;
       t.copyset <- NSet.remove src t.copyset;
+      t.revoke <- NSet.remove src t.revoke;
       finish_txn t acc
     | Idle | Read_flight _ | Inval_phase _ | Own_flight _ | Await_done _ -> acc)
   | Evict_notify -> (
     t.copyset <- NSet.remove src t.copyset;
+    t.revoke <- NSet.remove src t.revoke;
     match t.txn with
     | Inval_phase { dest; waiting; timer; attempts; fence } when NSet.mem src waiting ->
       let waiting = NSet.remove src waiting in
@@ -562,6 +640,24 @@ let handle_home_msg t src msg acc =
     if version >= (match t.backup with Some (_, v) -> v | None -> 0) then
       t.backup <- Some (data, version);
     acc
+  | Fence_bump { floor } ->
+    (* A survivor of a previous incarnation of this manager refuses fences
+       below [floor]: our counter restarted from zero after a crash and
+       rebuild. Jump past the dead epoch, and restart any flight still in
+       progress under a fresh fence — everything already in the air below
+       the floor will be refused on arrival. *)
+    if floor > t.fence then begin
+      t.fence <- floor;
+      match t.txn with
+      | Read_flight { dest; source; tried; _ } ->
+        start_read_txn t dest ~source ~tried acc
+      | Own_flight { dest; source; tried; _ } ->
+        start_own_transfer t dest ~source ~tried acc
+      | Await_done { dest; mode; _ } ->
+        fail_over t ~dest ~mode ~tried:NSet.empty acc
+      | Idle | Inval_phase _ -> acc
+    end
+    else acc
   | Read_grant _ | Own_grant _ | Upgrade_grant _ | Invalidate _ | Fetch _
   | Fetch_own _ | Nack | Update_ack | Pull_req | Diff _ ->
     acc
@@ -601,9 +697,12 @@ let on_timeout t id acc =
           (Start_timer { id = timer; after = t.cfg.request_timeout } :: acc)
       end
       else begin
-        (* Unresponsive sharers are presumed crashed; their cached copies
-           died with them (recovering nodes revalidate from scratch). *)
-        t.copyset <- NSet.diff t.copyset waiting;
+        (* Stop waiting, but keep the unresponsive sharers in the copyset:
+           a partitioned (rather than crashed) node still holds a valid
+           copy, and forgetting it here would leave that copy stale but
+           servable forever. Record the debt so the repair tick keeps
+           re-sending the invalidation until it lands. *)
+        t.revoke <- NSet.union t.revoke waiting;
         ownership_phase ~fence t dest acc
       end
     | Await_done { dest; mode; attempts; regrant; fence; _ } ->
@@ -700,5 +799,76 @@ let handle t event =
       if !aborted_head then t.cache_req <- None;
       pump_local t []
     | Timeout id -> if is_home t then on_timeout t id [] else []
+    | Maintain { avoid } ->
+      if is_home t then begin
+        enqueue_replication ~avoid t;
+        (* Pay down invalidation debt: keep re-sending the Invalidate a
+           past write round could not deliver, until the holder acks (or
+           evicts, or accepts a fresh grant). Skip currently-suspected
+           debtors — the send would only bounce — and never the owner,
+           whose copy is the live one. *)
+        let dues =
+          NSet.fold
+            (fun n acc ->
+              if n = t.owner || n = t.cfg.self || List.mem n avoid then acc
+              else Send (n, Invalidate { fence = t.fence }) :: acc)
+            t.revoke []
+        in
+        pump_home t dues
+      end
+      else []
+    | Unreachable { node } ->
+      (* Fail-fast signal from the daemon's failure detector: stop letting
+         [node] block progress, but — unlike Evict_notify — keep it in the
+         copyset. A partitioned holder still has a protocol-valid stale
+         copy; forgetting it here would exempt it from every later
+         invalidation round and let it serve stale reads forever. *)
+      if not (is_home t) then []
+      else (
+        match t.txn with
+        | Inval_phase { dest; waiting; timer; attempts; fence }
+          when NSet.mem node waiting ->
+          let waiting = NSet.remove node waiting in
+          t.revoke <- NSet.add node t.revoke;
+          if NSet.is_empty waiting then ownership_phase ~fence t dest []
+          else begin
+            t.txn <- Inval_phase { dest; waiting; timer; attempts; fence };
+            []
+          end
+        | Read_flight { dest; source; tried; _ } when source = node ->
+          fail_over t ~dest ~mode:Read ~tried:(NSet.add node tried) []
+        | Own_flight { dest; source; tried; _ } when source = node ->
+          fail_over t ~dest ~mode:Write ~tried:(NSet.add node tried) []
+        | Await_done { dest; _ } when dest = node ->
+          (* The grantee itself is suspected. Stop waiting for its ack;
+             ownership/copyset were recorded at grant time so the books
+             stay conservative, and if it really died the next
+             transaction's fail-over recovers from an alternate source. *)
+          t.txn <- Idle;
+          pump_home t [ sharers_hint t ]
+        | Idle | Read_flight _ | Inval_phase _ | Own_flight _ | Await_done _
+          ->
+          [])
+    | Reincarnate { version; sharers } ->
+      if is_home t then begin
+        t.ver <- max t.ver version;
+        (match (t.backup, t.data) with
+         | None, Some d -> t.backup <- Some (d, t.ver)
+         | (Some _ | None), _ -> ());
+        (* Adopt the previous incarnation's recorded sharers so the next
+           write's invalidation round revokes their (possibly stale but
+           protocol-valid) copies. Spurious members are safe: pessimistic
+           copyset bookkeeping already tolerates them. *)
+        List.iter
+          (fun n -> if n <> t.cfg.self then t.copyset <- NSet.add n t.copyset)
+          sharers;
+        (* With inherited sharers the home's own copy is not exclusive:
+           a local write must run a real invalidation round, not take the
+           Owned_excl shortcut past the survivors. *)
+        if (not (NSet.is_empty t.copyset)) && t.cstate = Owned_excl then
+          t.cstate <- Owned_shared;
+        pump_home t [ sharers_hint t ]
+      end
+      else []
   in
   List.rev acc

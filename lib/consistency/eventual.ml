@@ -59,6 +59,13 @@ let locks_held t = Local_locks.held t.locks
 let version t = t.ver
 let is_home t = t.cfg.self = t.cfg.home
 
+let holders t =
+  if is_home t && t.data <> None then
+    NSet.elements (NSet.add t.cfg.self t.copyset)
+  else []
+
+let busy _ = false
+
 let fresh_timer t =
   t.next_timer <- t.next_timer + 1;
   t.next_timer
@@ -96,18 +103,24 @@ let arm_fanout t acc =
     Start_timer { id; after = t.cfg.propagate_every } :: acc
   end
 
-(* Push to replica targets that are missing, creating min_replicas copies. *)
-let replication_targets t =
+(* Push to replica targets that are missing, creating min_replicas copies.
+   Suspected nodes ([avoid]) count as neither replicas nor candidates. *)
+let replication_targets ?(avoid = []) t =
   if t.cfg.min_replicas <= 1 then []
   else begin
-    let have = 1 + NSet.cardinal (NSet.remove t.cfg.self t.copyset) in
+    let avoid_set = NSet.of_list avoid in
+    let live = NSet.diff (NSet.remove t.cfg.self t.copyset) avoid_set in
+    let have = 1 + NSet.cardinal live in
     let missing = t.cfg.min_replicas - have in
     if missing <= 0 then []
     else
       List.filteri
         (fun i _ -> i < missing)
         (List.filter
-           (fun n -> n <> t.cfg.self && not (NSet.mem n t.copyset))
+           (fun n ->
+             n <> t.cfg.self
+             && (not (NSet.mem n t.copyset))
+             && not (NSet.mem n avoid_set))
            t.cfg.replica_targets)
   end
 
@@ -137,7 +150,7 @@ let handle_home_msg t src msg acc =
     acc
   | Read_grant _ | Own_grant _ | Upgrade_grant _ | Invalidate _ | Invalidate_ack
   | Fetch _ | Fetch_own _ | Done _ | Nack | Own_return _ | Update_ack
-  | Write_req | Diff _ ->
+  | Write_req | Diff _ | Fence_bump _ ->
     acc
 
 let handle_cache_msg t src msg acc =
@@ -165,7 +178,7 @@ let handle_cache_msg t src msg acc =
     | None -> acc)
   | Read_req | Write_req | Own_grant _ | Upgrade_grant _ | Invalidate _
   | Invalidate_ack | Fetch _ | Fetch_own _ | Done _ | Evict_notify
-  | Own_return _ | Update_ack | Pull_req | Diff _ ->
+  | Own_return _ | Update_ack | Pull_req | Diff _ | Fence_bump _ ->
     acc
 
 let handle t event =
@@ -198,7 +211,7 @@ let handle t event =
            handle_home_msg t src msg []
          | Read_grant _ | Own_grant _ | Upgrade_grant _ | Invalidate _
          | Invalidate_ack | Fetch _ | Fetch_own _ | Done _ | Nack
-         | Own_return _ | Update_ack | Write_req | Diff _ ->
+         | Own_return _ | Update_ack | Write_req | Diff _ | Fence_bump _ ->
            handle_cache_msg t src msg [])
       else handle_cache_msg t src msg []
     | Evicted _ ->
@@ -235,6 +248,30 @@ let handle t event =
               targets
         end
         else []
+      end
+      else []
+    | Maintain { avoid } -> (
+      if not (is_home t) then []
+      else
+        match t.data with
+        | None -> []
+        | Some data ->
+          let extra = replication_targets ~avoid t in
+          List.iter (fun n -> t.copyset <- NSet.add n t.copyset) extra;
+          List.rev_map
+            (fun n -> Send (n, Update { data; version = t.ver }))
+            extra)
+    | Unreachable _ ->
+      (* Anti-entropy pushes to a dead replica just drop; nothing waits on
+         acks here, and a partitioned replica keeps its copyset slot. *)
+      []
+    | Reincarnate { version; sharers } ->
+      if is_home t then begin
+        if version > t.ver then t.ver <- version;
+        List.iter
+          (fun n -> if n <> t.cfg.self then t.copyset <- NSet.add n t.copyset)
+          sharers;
+        []
       end
       else []
   in

@@ -30,6 +30,15 @@ module type MACHINE = sig
 
   val version : t -> Types.version
   (** Version of the local copy (0 when none). *)
+
+  val holders : t -> Types.node_id list
+  (** Home-side view of the nodes believed to hold a copy (including the
+      owner and the home itself when it holds data). [[]] off-home —
+      only the home tracks the copyset. *)
+
+  val busy : t -> bool
+  (** Home-side: is a transaction or replication phase in flight that will
+      itself reshape the copyset? Repair backs off while this is true. *)
 end
 
 type packed = Packed : (module MACHINE with type t = 'a) * 'a -> packed
@@ -59,4 +68,6 @@ let packed_has_valid_copy (Packed ((module M), m)) = M.has_valid_copy m
 let packed_is_owner (Packed ((module M), m)) = M.is_owner m
 let packed_locks_held (Packed ((module M), m)) = M.locks_held m
 let packed_version (Packed ((module M), m)) = M.version m
+let packed_holders (Packed ((module M), m)) = M.holders m
+let packed_busy (Packed ((module M), m)) = M.busy m
 let packed_name (Packed ((module M), _)) = M.name

@@ -68,6 +68,13 @@ let locks_held t = Local_locks.held t.locks
 let version t = t.ver
 let is_home t = t.cfg.self = t.cfg.home
 
+let holders t =
+  if is_home t && t.data <> None then
+    NSet.elements (NSet.add t.cfg.self t.copyset)
+  else []
+
+let busy t = is_home t && t.phase <> H_idle
+
 let fresh_timer t =
   t.next_timer <- t.next_timer + 1;
   t.next_timer
@@ -107,10 +114,16 @@ let pump_local t acc =
 let replica_fanout_targets t = NSet.elements (NSet.remove t.cfg.self t.copyset)
 
 (* Ensure min_replicas by counting home's authoritative copy plus the
-   copyset; missing replicas are created by pushing the current data. *)
-let replication_pushes t acc =
+   copyset; missing replicas are created by pushing the current data.
+   [avoid] names suspected nodes: they neither count as live replicas nor
+   qualify as push targets. *)
+let replication_pushes ?(avoid = []) t acc =
   if t.cfg.min_replicas > 1 then begin
-    let have = 1 + NSet.cardinal (NSet.remove t.cfg.self t.copyset) in
+    let avoid_set = NSet.of_list avoid in
+    let live =
+      NSet.diff (NSet.remove t.cfg.self t.copyset) avoid_set
+    in
+    let have = 1 + NSet.cardinal live in
     let missing = t.cfg.min_replicas - have in
     if missing > 0 then begin
       match t.data with
@@ -118,7 +131,10 @@ let replication_pushes t acc =
       | Some data ->
         let fresh =
           List.filter
-            (fun n -> n <> t.cfg.self && not (NSet.mem n t.copyset))
+            (fun n ->
+              n <> t.cfg.self
+              && (not (NSet.mem n t.copyset))
+              && not (NSet.mem n avoid_set))
             t.cfg.replica_targets
         in
         List.fold_left
@@ -227,7 +243,8 @@ let handle_home_msg t src msg acc =
     | Some data -> Send (src, Update { data; version = t.ver }) :: acc
     | None -> acc)
   | Read_grant _ | Own_grant _ | Upgrade_grant _ | Invalidate _ | Invalidate_ack
-  | Fetch _ | Fetch_own _ | Done _ | Nack | Own_return _ | Diff _ ->
+  | Fetch _ | Fetch_own _ | Done _ | Nack | Own_return _ | Diff _
+  | Fence_bump _ ->
     acc
 
 let on_timeout t id acc =
@@ -280,7 +297,7 @@ let handle_cache_msg t src msg acc =
     | None -> acc)
   | Read_req | Write_req | Upgrade_grant _ | Invalidate _ | Invalidate_ack
   | Fetch _ | Fetch_own _ | Done _ | Evict_notify | Own_return _
-  | Update_ack | Pull_req | Diff _ ->
+  | Update_ack | Pull_req | Diff _ | Fence_bump _ ->
     acc
 
 let handle t event =
@@ -319,7 +336,7 @@ let handle t event =
            handle_home_msg t src msg []
          | Read_grant _ | Own_grant _ | Upgrade_grant _ | Invalidate _
          | Invalidate_ack | Fetch _ | Fetch_own _ | Done _ | Nack
-         | Own_return _ | Diff _ ->
+         | Own_return _ | Diff _ | Fence_bump _ ->
            handle_cache_msg t src msg [])
       else handle_cache_msg t src msg []
     | Evicted { data = _; dirty = _ } ->
@@ -345,5 +362,35 @@ let handle t event =
        | Some _ | None -> ());
       pump_local t []
     | Timeout id -> if is_home t then on_timeout t id [] else []
+    | Maintain { avoid } ->
+      if is_home t && t.phase = H_idle then replication_pushes ~avoid t []
+      else []
+    | Unreachable { node } ->
+      (* Suspected peer: stop waiting for its update ack, but keep it in
+         the copyset — a partitioned replica still holds data and should
+         receive future fan-outs once it heals. *)
+      if is_home t then (
+        match t.phase with
+        | H_updating { waiting; timer } when NSet.mem node waiting ->
+          let waiting = NSet.remove node waiting in
+          if NSet.is_empty waiting then begin
+            t.phase <- H_idle;
+            grant_next_writer t (replication_pushes t [])
+          end
+          else begin
+            t.phase <- H_updating { waiting; timer };
+            []
+          end
+        | H_idle | H_granted _ | H_updating _ -> [])
+      else []
+    | Reincarnate { version; sharers } ->
+      if is_home t then begin
+        if version > t.ver then t.ver <- version;
+        List.iter
+          (fun n -> if n <> t.cfg.self then t.copyset <- NSet.add n t.copyset)
+          sharers;
+        []
+      end
+      else []
   in
   List.rev acc

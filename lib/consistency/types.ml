@@ -51,6 +51,13 @@ type msg =
       (* write-shared: byte ranges changed during one lock interval,
          merged at the home and fanned out (Brun-Cottan-style
          application-specific conflict granularity) *)
+  | Fence_bump of { floor : fence }
+      (* cache -> home: "your fences are below my floor". Sent instead of
+         serving or acking when a message arrives fenced below the cache's
+         floor. A manager that crashed and rebuilt restarts its fence
+         counter at zero, so every survivor of the old epoch would silently
+         refuse it forever; this reply teaches the reborn manager the old
+         epoch so it can resume above it. *)
 
 let msg_kind = function
   | Read_req -> "cm.read_req"
@@ -70,6 +77,7 @@ let msg_kind = function
   | Update_ack -> "cm.update_ack"
   | Pull_req -> "cm.pull_req"
   | Diff _ -> "cm.diff"
+  | Fence_bump _ -> "cm.fence_bump"
 
 let msg_size = function
   | Read_grant { data; _ } | Own_grant { data; _ }
@@ -79,7 +87,7 @@ let msg_size = function
     List.fold_left (fun acc (_, b) -> acc + 12 + Bytes.length b) 32 patches
   | Read_req | Write_req | Fetch _ | Fetch_own _ | Upgrade_grant _
   | Invalidate _ | Invalidate_ack | Done _ | Nack | Evict_notify | Update_ack
-  | Pull_req ->
+  | Pull_req | Fence_bump _ ->
     32
 
 type event =
@@ -97,6 +105,29 @@ type event =
       (** The daemon gave up on a queued lock intent (client timeout); the
           machine must forget it and allow later intents to re-request. *)
   | Timeout of timer_id
+  | Maintain of { avoid : node_id list }
+      (** Repair tick from the home daemon's anti-entropy fiber: top the
+          replica set back up to [min_replicas] if it fell below, treating
+          the [avoid] nodes (currently suspected dead/partitioned) as
+          neither holders nor candidates. No-op off-home and while a
+          transaction is already reshaping the copyset. *)
+  | Unreachable of { node : node_id }
+      (** The daemon just tried to send this machine's traffic to [node]
+          while the failure detector suspects it — the moral equivalent of a
+          connection refused. Machines use it to stop waiting on [node]
+          (fail over in-flight work, count its invalidation round as
+          un-ackable) {e without} evicting it from the books: unlike
+          {!Evict_notify} it is not evidence the copy is gone — a
+          partitioned holder still has valid, stale data that a later
+          write must revoke. *)
+  | Reincarnate of { version : version; sharers : node_id list }
+      (** The home daemon rebuilt this machine after a crash and is feeding
+          it what the persistent page directory remembers: the version of
+          the data it recovered and the nodes that held copies in the
+          previous incarnation. Protocols that track a copyset adopt the
+          sharers (over-approximation is safe — invalidation handles
+          non-holders) so stale survivor copies get revoked by the next
+          write instead of lingering forever. No-op off-home. *)
 
 let event_kind = function
   | Acquire { mode; _ } -> "acquire." ^ mode_to_string mode
@@ -105,6 +136,9 @@ let event_kind = function
   | Evicted _ -> "evicted"
   | Abort _ -> "abort"
   | Timeout _ -> "timer"
+  | Maintain _ -> "maintain"
+  | Unreachable _ -> "unreachable"
+  | Reincarnate _ -> "reincarnate"
 
 type reject_reason = Unavailable of string
 

@@ -7,6 +7,7 @@ type t = {
   mutable next_chunk_index : int;
   hints : hint Gaddr.Table.t;  (* by region base *)
   free_pool : (Knet.Topology.node_id, int) Hashtbl.t;
+  last_seen : (Knet.Topology.node_id, Ksim.Time.t) Hashtbl.t;
 }
 
 let create ~cluster_id =
@@ -15,7 +16,16 @@ let create ~cluster_id =
     next_chunk_index = 0;
     hints = Gaddr.Table.create 64;
     free_pool = Hashtbl.create 16;
+    last_seen = Hashtbl.create 16;
   }
+
+let heartbeat t ~node ~now = Hashtbl.replace t.last_seen node now
+
+let suspects t ~now ~timeout =
+  Hashtbl.fold
+    (fun node seen acc -> if now - seen > timeout then node :: acc else acc)
+    t.last_seen []
+  |> List.sort compare
 
 let next_chunk t =
   let base = Layout.chunk_addr ~cluster:t.cluster_id ~index:t.next_chunk_index in
@@ -33,7 +43,8 @@ let forget_node t node =
   in
   List.iter (Gaddr.Table.remove t.hints) empty
 
-let record_report t ~node ~regions ~free_bytes =
+let record_report ?now t ~node ~regions ~free_bytes =
+  (match now with Some now -> heartbeat t ~node ~now | None -> ());
   Hashtbl.replace t.free_pool node free_bytes;
   (* Drop the node's stale claims, then re-add the fresh ones. *)
   Gaddr.Table.iter

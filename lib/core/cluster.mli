@@ -15,13 +15,30 @@ val next_chunk : t -> Kutil.Gaddr.t * int
 (** Hand out the next unreserved chunk of this cluster's address slice. *)
 
 val record_report :
+  ?now:Ksim.Time.t ->
   t ->
   node:Knet.Topology.node_id ->
   regions:(Kutil.Gaddr.t * Region.t) list ->
   free_bytes:int ->
   unit
 (** Refresh hints from a member's periodic report: which regions it caches
-    or homes, and how much unreserved pool it still holds. *)
+    or homes, and how much unreserved pool it still holds. When [now] is
+    given the report also counts as a heartbeat. *)
+
+(** {1 Failure detection}
+
+    Reports double as heartbeats: a member whose last report (or other
+    direct evidence of life) is older than the suspicion timeout is
+    suspected — crashed and partitioned nodes look identical here, which
+    is the point. *)
+
+val heartbeat : t -> node:Knet.Topology.node_id -> now:Ksim.Time.t -> unit
+(** Direct evidence that [node] was alive at [now]. *)
+
+val suspects : t -> now:Ksim.Time.t -> timeout:Ksim.Time.t -> Knet.Topology.node_id list
+(** Members whose last heartbeat is more than [timeout] ago, sorted.
+    Nodes never heard from are not listed — seed them with {!heartbeat}
+    when the manager starts so silence eventually shows up. *)
 
 val lookup :
   t -> Kutil.Gaddr.t -> (Region.t option * Knet.Topology.node_id list)

@@ -18,6 +18,9 @@ type config = {
   request_timeout : Ksim.Time.t;
   report_every : Ksim.Time.t;
   background_retry_every : Ksim.Time.t;
+  retry_backoff_cap : Ksim.Time.t;
+  suspect_after : Ksim.Time.t;
+  repair_every : Ksim.Time.t;
 }
 
 let default_config =
@@ -31,6 +34,10 @@ let default_config =
     request_timeout = Ksim.Time.ms 200;
     report_every = Ksim.Time.ms 500;
     background_retry_every = Ksim.Time.ms 250;
+    retry_backoff_cap = Ksim.Time.sec 2;
+    (* Three missed reports before a member is suspected. *)
+    suspect_after = Ksim.Time.ms 1500;
+    repair_every = Ksim.Time.ms 500;
   }
 
 type error = Error.t
@@ -82,6 +89,13 @@ type t = {
   mutable up : bool;
   mutable epoch : int;  (* bumped on crash: fences stale timers/fibers *)
   cm_state : Cluster.t option;
+  rng : Kutil.Rng.t;  (* seeded from the engine: jitter stays deterministic *)
+  (* Failure detector: the local view of who is currently unresponsive.
+     Fed by cluster-manager hints (heartbeat ageing) and by our own RPC
+     timeouts; cleared by any direct sign of life. *)
+  suspected : (Topology.node_id, unit) Hashtbl.t;
+  strikes : (Topology.node_id, int) Hashtbl.t;  (* consecutive rpc timeouts *)
+  mutable last_hint : Topology.node_id list;  (* manager: last broadcast *)
   metrics : Metrics.t;
   mutable stats : lookup_stats;
 }
@@ -111,6 +125,43 @@ let holds_page t page =
   match Gaddr.Table.find_opt t.machines page with
   | Some s -> Machine.packed_has_valid_copy s.packed
   | None -> false
+
+(* ------------------------------------------------------------------ *)
+(* Failure detector                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let suspects t =
+  Hashtbl.fold (fun n () acc -> n :: acc) t.suspected [] |> List.sort compare
+
+let is_suspect t n = Hashtbl.mem t.suspected n
+
+let suspect t n =
+  if n <> t.id && not (Hashtbl.mem t.suspected n) then begin
+    Hashtbl.replace t.suspected n ();
+    Metrics.incr t.metrics "fd.suspect"
+  end
+
+(* Any direct sign of life trumps hints and strikes. *)
+let clear_suspect t n =
+  Hashtbl.remove t.strikes n;
+  if Hashtbl.mem t.suspected n then begin
+    Hashtbl.remove t.suspected n;
+    Metrics.incr t.metrics "fd.clear"
+  end
+
+(* One RPC timeout is weak evidence (the peer may be slow, the reply may
+   have been lost); two in a row with nothing heard in between is enough
+   to suspect. *)
+let strike t n =
+  let k = 1 + Option.value (Hashtbl.find_opt t.strikes n) ~default:0 in
+  Hashtbl.replace t.strikes n k;
+  if k >= 2 then suspect t n
+
+(* Order location candidates so suspected nodes are asked last, never
+   skipped: suspicion is a hint, and liveness must survive a wrong one. *)
+let prioritise_live t nodes =
+  let live, dubious = List.partition (fun n -> not (is_suspect t n)) nodes in
+  live @ dubious
 
 (* ------------------------------------------------------------------ *)
 (* Tracing helpers                                                     *)
@@ -175,7 +226,7 @@ let machine_config t (region : Region.t) =
     propagate_every = Ksim.Time.ms 100;
   }
 
-let machine_for t (region : Region.t) page =
+let rec machine_for t (region : Region.t) page =
   match Gaddr.Table.find_opt t.machines page with
   | Some slot -> slot
   | None ->
@@ -207,31 +258,47 @@ let machine_for t (region : Region.t) page =
         failwith ("unknown consistency protocol " ^ region.attr.Attr.protocol)
     in
     let slot = { region; packed } in
+    let prior_sharers =
+      match (init, Page_directory.find t.pdir page) with
+      | Ctypes.Start_owner _, Some entry ->
+        List.filter (fun n -> n <> t.id) entry.Page_directory.sharers
+      | (Ctypes.Start_owner _ | Ctypes.Start_unknown), _ -> []
+    in
     Gaddr.Table.replace t.machines page slot;
     ignore
       (Page_directory.ensure t.pdir ~page ~region_base:region.base
          ~homed_here:(region.home = t.id));
+    (* A home machine materialising over an existing directory record is a
+       reincarnation: the previous one died with nodes still holding
+       copies. Seed the new machine with them — whichever path rebuilds
+       first (client op, incoming CM message, or the repair loop) — or
+       those copies become stale yet revocable by nothing. *)
+    if prior_sharers <> [] then
+      feed t ~span:Trace.null slot page
+        (Ctypes.Reincarnate { version = 0; sharers = prior_sharers });
     slot
 
 (* [span] is the trace position of whatever caused this machine step; it
    rides on every CM message we send out, so a lock request's protocol
    conversation (requester -> home -> owner -> requester) forms one
    causally-linked chain across nodes. *)
-let rec apply_actions t ~span slot page actions =
+and apply_actions t ~span slot page actions =
   List.iter
     (fun action ->
       match action with
       | Ctypes.Send (dst, body) ->
         Wire.Transport.notify t.transport ~src:t.id ~dst ~span:(Trace.id span)
           (Wire.Cm_msg { page; region_base = slot.region.Region.base; body });
-        (* Fail fast on known-dead peers (the moral equivalent of a
-           connection refused): pretend the peer reported that it holds
-           nothing, so managers fail over immediately instead of burning
-           their whole retry budget. Partitions still look like silence. *)
-        if
-          dst <> t.id
-          && not (Wire.Transport.Net.is_up (Wire.Transport.net t.transport) dst)
-        then begin
+        (* Fail fast on suspected peers (the moral equivalent of a
+           connection refused): tell the machine the peer is unreachable,
+           so managers fail over immediately instead of burning their
+           whole retry budget. The suspicion list is fed by missed
+           heartbeats, so crashed and partitioned nodes look the same
+           here — no liveness oracle. Deliberately NOT a synthetic
+           Evict_notify: suspicion is not evidence the peer's copy is
+           gone, and the machine must keep it in its books so a later
+           write still revokes a partitioned holder's stale copy. *)
+        if dst <> t.id && is_suspect t dst then begin
           let epoch = t.epoch in
           ignore
             (Ksim.Engine.schedule t.engine ~after:(Ksim.Time.us 50) (fun () ->
@@ -239,7 +306,7 @@ let rec apply_actions t ~span slot page actions =
                    match Gaddr.Table.find_opt t.machines page with
                    | Some slot ->
                      feed t ~span:Trace.null slot page
-                       (Ctypes.Peer { src = dst; msg = Ctypes.Evict_notify })
+                       (Ctypes.Unreachable { node = dst })
                    | None -> ()))
         end
       | Ctypes.Grant req -> (
@@ -260,7 +327,12 @@ let rec apply_actions t ~span slot page actions =
             ~attrs:
               [ ("page", Gaddr.to_string page);
                 ("dirty", string_of_bool dirty) ];
-        Store.write_immediate t.store page data ~dirty
+        Store.write_immediate t.store page data ~dirty;
+        (* The home is the page's disk-backed authority: write its copy
+           through to the disk tier so the data survives a crash that also
+           takes every RAM replica. Remote caches stay RAM-only. *)
+        if dirty && slot.region.Region.home = t.id then
+          Store.flush_immediate t.store page
       | Ctypes.Discard -> Store.drop t.store page
       | Ctypes.Start_timer { id; after } ->
         let epoch = t.epoch in
@@ -317,13 +389,23 @@ let rpc t ctx ~dst req =
     span_of t ctx ("rpc." ^ Wire.request_kind req) (fun () ->
         [ ("dst", string_of_int dst) ])
   in
+  (* The per-attempt timeout comes from the shared backoff policy: the
+     base equals the old fixed rpc_timeout, jittered so simultaneous
+     retriers (and their upstream retry loops) decorrelate. *)
+  let backoff =
+    Kutil.Backoff.make ~rng:t.rng ~base:t.cfg.rpc_timeout
+      ~cap:t.cfg.retry_backoff_cap ()
+  in
   let r =
-    Wire.Transport.call t.transport ~src:t.id ~dst ~timeout:t.cfg.rpc_timeout
-      ~span:(Trace.id span) req
+    Wire.Transport.call t.transport ~src:t.id ~dst ~backoff ~span:(Trace.id span)
+      req
   in
   (match r with
-   | Ok _ -> finish_span t span
+   | Ok _ ->
+     clear_suspect t dst;
+     finish_span t span
    | Error `Timeout ->
+     strike t dst;
      Metrics.incr t.metrics "rpc.timeout";
      finish_status t span "timeout");
   r
@@ -456,7 +538,8 @@ let bootstrap_map t =
   | Ok () -> ()
   | Error e -> failwith ("bootstrap_map: " ^ e)
 
-(* Fetch a descriptor from one of the candidate holder nodes. *)
+(* Fetch a descriptor from one of the candidate holder nodes; suspected
+   holders are asked last so a healthy candidate answers first. *)
 let fetch_descriptor t ctx ~addr candidates =
   let rec try_nodes = function
     | [] -> None
@@ -468,7 +551,7 @@ let fetch_descriptor t ctx ~addr candidates =
         | Ok (Wire.R_descriptor None) | Ok _ | Error `Timeout -> try_nodes rest
       end
   in
-  try_nodes candidates
+  try_nodes (prioritise_live t candidates)
 
 let rec locate_region_once ?(walk = false) t ctx addr =
   if Region.contains (map_region t) addr then Ok (map_region t)
@@ -564,7 +647,7 @@ and cluster_walk t ctx addr fallback_error =
         | None -> walk rest)
       | Ok _ | Error `Timeout -> walk rest)
   in
-  walk t.peer_managers
+  walk (prioritise_live t t.peer_managers)
 
 (* "Khazana operations are repeatedly tried ... until they succeed or
    timeout" (§3.5). A miss may just mean a release-consistent map update is
@@ -576,12 +659,16 @@ let locate_region_in t ctx addr =
     span_of t ctx "daemon.locate" (fun () -> [ ("addr", Gaddr.to_string addr) ])
   in
   let ctx = Op_ctx.with_span ctx span in
+  let backoff =
+    Kutil.Backoff.make ~rng:t.rng ~base:(Ksim.Time.ms 25)
+      ~cap:t.cfg.retry_backoff_cap ()
+  in
   let rec go attempt =
     match locate_region_once ~walk:(attempt >= 3) t ctx addr with
     | Ok _ as ok -> ok
     | Error _ as e when attempt >= 4 -> e
     | Error _ ->
-      Ksim.Fiber.sleep (Ksim.Time.ms (25 * (1 lsl attempt)));
+      Ksim.Fiber.sleep (Kutil.Backoff.next backoff);
       go (attempt + 1)
   in
   let result = go 0 in
@@ -686,13 +773,19 @@ let reserve t ?attr ~ctx len =
   result
 
 (* Release-class operations retry in the background until they succeed
-   (paper §3.5): errors while releasing resources are never reflected. *)
+   (paper §3.5): errors while releasing resources are never reflected.
+   Re-attempts back off exponentially (jittered, capped) instead of
+   hammering an unreachable home at a fixed period. *)
 let background_retry t ~name f =
   let epoch = t.epoch in
+  let backoff =
+    Kutil.Backoff.make ~rng:t.rng ~base:t.cfg.background_retry_every
+      ~cap:t.cfg.retry_backoff_cap ()
+  in
   let rec attempt () =
     if t.up && t.epoch = epoch then
       if not (f ()) then
-        Ksim.Fiber.spawn_after t.engine ~after:t.cfg.background_retry_every
+        Ksim.Fiber.spawn_after t.engine ~after:(Kutil.Backoff.next backoff)
           ~name (fun () -> attempt ())
   in
   Ksim.Fiber.spawn t.engine ~name (fun () -> attempt ())
@@ -852,6 +945,12 @@ let lock t ~ctx ~addr ~len mode =
       let pages =
         Gaddr.pages_in addr ~len ~page_size:region.Region.attr.Attr.page_size
       in
+      (* One backoff across the whole multi-page acquire: every failed
+         attempt anywhere in the range widens the pause before the next. *)
+      let backoff =
+        Kutil.Backoff.make ~rng:t.rng ~base:(Ksim.Time.ms 50)
+          ~cap:t.cfg.retry_backoff_cap ()
+      in
       let rec acquire_all acquired = function
         | [] -> Ok (List.rev acquired)
         | page :: rest -> (
@@ -861,7 +960,9 @@ let lock t ~ctx ~addr ~len mode =
             else
               match acquire_page t ctx region page mode ~timeout with
               | Ok () -> Ok ()
-              | Error _ when n > 1 -> attempt (n - 1)
+              | Error _ when n > 1 ->
+                Ksim.Fiber.sleep (Kutil.Backoff.next backoff);
+                attempt (n - 1)
               | Error e -> Error e
           in
           match attempt t.cfg.lock_retries with
@@ -1065,8 +1166,39 @@ let serve_cm_msg t ctx ~src ~page ~region_base body =
           feed t ~span:(Op_ctx.span ctx) slot page (Ctypes.Peer { src; msg = body })
         | Some _ | None -> ())
 
+(* Adopt a manager's suspicion list for [cluster]: wholesale replace for
+   that cluster's members (suspect the listed, clear the rest). Local
+   direct evidence still wins afterwards — any message from a wrongly
+   suspected node clears it. A manager hearing about a foreign cluster
+   relays the hint to its own members; members never forward, so the
+   dissemination is exactly two hops and cannot loop. *)
+let apply_suspect_hint t ~src ~cluster sus =
+  List.iter
+    (fun n ->
+      if n <> t.id && n <> src then
+        if List.mem n sus then suspect t n else clear_suspect t n)
+    (Topology.cluster_members t.topology cluster);
+  let my_cluster = Topology.cluster_of t.topology t.id in
+  if t.cm_state <> None && cluster <> my_cluster then
+    List.iter
+      (fun m ->
+        if m <> t.id then
+          Wire.Transport.notify t.transport ~src:t.id ~dst:m
+            (Wire.Suspect_hint { cluster; suspects = sus }))
+      (Topology.cluster_members t.topology my_cluster)
+
 let serve t ~src ~span request ~reply =
   if t.up then begin
+    (* Any traffic from [src] is direct evidence it is alive. *)
+    if src <> t.id then begin
+      clear_suspect t src;
+      match t.cm_state with
+      | Some cm
+        when Topology.cluster_of t.topology src
+             = Topology.cluster_of t.topology t.id ->
+        Cluster.heartbeat cm ~node:src ~now:(Ksim.Engine.now t.engine)
+      | Some _ | None -> ()
+    end;
     (* The caller's span id arrived in the envelope: everything this
        dispatch does nests under the remote operation. Untraced traffic
        (span 0) opens no span, so background chatter never pollutes the
@@ -1131,34 +1263,239 @@ let serve t ~src ~span request ~reply =
     | Wire.Cluster_report { node_regions; free_bytes } -> (
       match t.cm_state with
       | Some cm ->
-        Cluster.record_report cm ~node:src ~regions:node_regions ~free_bytes
+        Cluster.record_report ~now:(Ksim.Engine.now t.engine) cm ~node:src
+          ~regions:node_regions ~free_bytes
       | None -> ())
+    | Wire.Suspect_hint { cluster; suspects } ->
+      apply_suspect_hint t ~src ~cluster suspects
+    | Wire.Page_pull { page } -> (
+      match Gaddr.Table.find_opt t.machines page with
+      | Some slot when Machine.packed_has_valid_copy slot.packed -> (
+        match Store.read_immediate t.store page with
+        | Some data ->
+          reply (Wire.R_page (Some (data, Machine.packed_version slot.packed)))
+        | None -> reply (Wire.R_page None))
+      | Some _ | None -> reply (Wire.R_page None))
+    | Wire.Page_probe { page } ->
+      reply
+        (Wire.R_held
+           (match Gaddr.Table.find_opt t.machines page with
+           | Some slot -> Machine.packed_has_valid_copy slot.packed
+           | None -> false))
     | Wire.Ping -> reply Wire.R_unit
   end
 
-(* Periodic hint refresh to the cluster manager (§3.1). *)
+(* Manager tick of the failure detector: age member heartbeats into a
+   suspicion list, adopt it locally, and disseminate it. Broadcasts go out
+   when the list changes and keep refreshing every tick while anyone is
+   suspected (so nodes that were partitioned or recovering when a change
+   broadcast fired still converge); a quiet healthy cluster sends
+   nothing. *)
+let detect_and_disseminate t cm =
+  let now = Ksim.Engine.now t.engine in
+  let sus = Cluster.suspects cm ~now ~timeout:t.cfg.suspect_after in
+  let my_cluster = Topology.cluster_of t.topology t.id in
+  let members =
+    List.filter (fun n -> n <> t.id)
+      (Topology.cluster_members t.topology my_cluster)
+  in
+  List.iter
+    (fun n -> if List.mem n sus then suspect t n else clear_suspect t n)
+    members;
+  if sus <> t.last_hint || sus <> [] then begin
+    t.last_hint <- sus;
+    List.iter
+      (fun dst ->
+        Wire.Transport.notify t.transport ~src:t.id ~dst
+          (Wire.Suspect_hint { cluster = my_cluster; suspects = sus }))
+      (members @ t.peer_managers)
+  end
+
+(* Periodic hint refresh to the cluster manager (§3.1); the same loop is
+   the heartbeat (member side) and the detector tick (manager side). *)
 let start_reporting t =
   let epoch = t.epoch in
+  (* A (re)starting manager wipes the slate: every member gets a full
+     suspicion window of grace before silence counts against it. *)
+  (match t.cm_state with
+   | Some cm ->
+     let now = Ksim.Engine.now t.engine in
+     List.iter
+       (fun n -> if n <> t.id then Cluster.heartbeat cm ~node:n ~now)
+       (Topology.cluster_members t.topology
+          (Topology.cluster_of t.topology t.id))
+   | None -> ());
   let rec loop () =
     if t.up && t.epoch = epoch then begin
-      if t.cluster_manager <> t.id then begin
-        let node_regions =
-          Gaddr.Table.fold (fun base r acc -> (base, r) :: acc) t.homed []
-        in
-        let node_regions =
-          List.fold_left
-            (fun acc r -> (r.Region.base, r) :: acc)
-            node_regions
-            (Region_directory.entries t.rdir)
-        in
-        Wire.Transport.notify t.transport ~src:t.id ~dst:t.cluster_manager
-          (Wire.Cluster_report { node_regions; free_bytes = pool_bytes t })
-      end;
+      (match t.cm_state with
+       | Some cm -> detect_and_disseminate t cm
+       | None ->
+         let node_regions =
+           Gaddr.Table.fold (fun base r acc -> (base, r) :: acc) t.homed []
+         in
+         let node_regions =
+           List.fold_left
+             (fun acc r -> (r.Region.base, r) :: acc)
+             node_regions
+             (Region_directory.entries t.rdir)
+         in
+         Wire.Transport.notify t.transport ~src:t.id ~dst:t.cluster_manager
+           (Wire.Cluster_report { node_regions; free_bytes = pool_bytes t }));
       Ksim.Fiber.sleep t.cfg.report_every;
       loop ()
     end
   in
   Ksim.Fiber.spawn t.engine ~name:"cluster-report" loop
+
+(* ------------------------------------------------------------------ *)
+(* Replica repair (anti-entropy)                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* One pass of the home-side repair loop.
+
+   First, re-materialise home machines for pages whose data survived a
+   crash on the persistent tier: the page directory remembers what was
+   homed here, so recovered pages go back into service without waiting
+   for a client to touch them (and without zero-filling pages whose data
+   is genuinely gone — those still rebuild lazily on first touch).
+
+   Second, enforce the replica floor: for every home-side machine whose
+   live (unsuspected) holder count fell below min_replicas, evict the
+   suspected holders from the protocol's books and ask the machine to
+   re-replicate around them. Machines mid-transaction are skipped — their
+   own retry/fail-over logic is already reshaping the copyset, and repair
+   would race it. *)
+let repair_pass t =
+  let pass_epoch = t.epoch in
+  let orphans =
+    Page_directory.fold
+      (fun page entry acc ->
+        if entry.Page_directory.homed_here
+           && not (Gaddr.Table.mem t.machines page)
+        then (page, entry.Page_directory.region_base) :: acc
+        else acc)
+      t.pdir []
+  in
+  List.iter
+    (fun (page, base) ->
+      match Gaddr.Table.find_opt t.homed base with
+      | Some region when region.Region.state = Region.Allocated -> (
+        (* Our disk image may predate writes that died with our RAM, but a
+           protocol-valid copy on a live sharer can never be stale — the
+           write-invalidate protocols revoke copies before accepting newer
+           data. Pull from the sharers the persistent page directory
+           remembers, and only fall back to disk when nobody answers. *)
+        let sharers =
+          match Page_directory.find t.pdir page with
+          | None -> []
+          | Some entry ->
+            List.filter (fun n -> n <> t.id) entry.Page_directory.sharers
+        in
+        let pulled =
+          List.fold_left
+            (fun best n ->
+              if is_suspect t n then best
+              else
+                match
+                  rpc t Op_ctx.background ~dst:n (Wire.Page_pull { page })
+                with
+                | Ok (Wire.R_page (Some (data, ver))) -> (
+                  match best with
+                  | Some (_, bver) when bver >= ver -> best
+                  | _ -> Some (data, ver))
+                | Ok _ | Error _ -> best)
+            None sharers
+        in
+        (* The pull RPCs block this fiber: re-check that no crash happened
+           meanwhile and that no client raced us into materialising the
+           machine. *)
+        if t.up && t.epoch = pass_epoch
+           && not (Gaddr.Table.mem t.machines page)
+        then begin
+          let reincarnate version =
+            match Gaddr.Table.find_opt t.machines page with
+            | Some slot ->
+              feed t ~span:Trace.null slot page
+                (Ctypes.Reincarnate { version; sharers })
+            | None -> ()
+          in
+          match (pulled, Store.read_immediate t.store page) with
+          | Some (data, ver), _ ->
+            Metrics.incr t.metrics "repair.pull";
+            Store.write_immediate t.store page data ~dirty:false;
+            Metrics.incr t.metrics "repair.rebuild";
+            ignore (machine_for t region page);
+            reincarnate ver
+          | None, Some _ ->
+            Metrics.incr t.metrics "repair.rebuild";
+            ignore (machine_for t region page);
+            reincarnate 0
+          | None, None -> ()
+        end)
+      | Some _ | None -> ())
+    orphans;
+  let sus = suspects t in
+  let slots = Gaddr.Table.fold (fun page s acc -> (page, s) :: acc) t.machines [] in
+  List.iter
+    (fun (page, slot) ->
+      let region = slot.region in
+      if region.Region.home = t.id
+         && region.Region.state = Region.Allocated
+         && region.Region.attr.Attr.min_replicas > 1
+         && not (Machine.packed_busy slot.packed)
+      then begin
+        (* Suspicion is not evidence of data loss: a partitioned holder
+           still has its copy and must stay in the books so later writes
+           invalidate it. Suspects are merely discounted from the floor;
+           only a confirmed "no copy" answer below evicts. *)
+        let holders = Machine.packed_holders slot.packed in
+        let live = List.filter (fun n -> not (is_suspect t n)) holders in
+        (* A recorded holder may be a phantom: it crashed (losing its RAM
+           copy) and recovered before this manager rebuilt its books, so
+           it looks alive while holding nothing. Counting it toward the
+           floor would block repair forever — verify remote live holders
+           and evict the ones that answer "no copy". Unreachable ones are
+           merely discounted: they may still hold data that a later
+           invalidation round must revoke. *)
+        let live =
+          List.filter
+            (fun n ->
+              n = t.id
+              ||
+              match rpc t Op_ctx.background ~dst:n (Wire.Page_probe { page }) with
+              | Ok (Wire.R_held true) -> true
+              | Ok _ ->
+                if t.up && t.epoch = pass_epoch then begin
+                  match Gaddr.Table.find_opt t.machines page with
+                  | Some slot ->
+                    feed t ~span:Trace.null slot page
+                      (Ctypes.Peer { src = n; msg = Ctypes.Evict_notify })
+                  | None -> ()
+                end;
+                false
+              | Error _ -> false)
+            live
+        in
+        if List.length live < region.Region.attr.Attr.min_replicas then begin
+          Metrics.incr t.metrics "repair.maintain";
+          match Gaddr.Table.find_opt t.machines page with
+          | Some slot ->
+            feed t ~span:Trace.null slot page (Ctypes.Maintain { avoid = sus })
+          | None -> ()
+        end
+      end)
+    slots
+
+let start_repair t =
+  let epoch = t.epoch in
+  let rec loop () =
+    Ksim.Fiber.sleep t.cfg.repair_every;
+    if t.up && t.epoch = epoch then begin
+      repair_pass t;
+      loop ()
+    end
+  in
+  Ksim.Fiber.spawn t.engine ~name:"replica-repair" loop
 
 (* ------------------------------------------------------------------ *)
 (* Lifecycle                                                           *)
@@ -1175,15 +1512,21 @@ let crash t =
   Hashtbl.iter
     (fun _ p -> ignore (Ksim.Promise.try_resolve p (Error (`Unavailable "node crashed"))))
     t.pending;
-  Hashtbl.reset t.pending
+  Hashtbl.reset t.pending;
+  (* Suspicion state is soft: a rebooted node re-learns it. *)
+  Hashtbl.reset t.suspected;
+  Hashtbl.reset t.strikes;
+  t.last_hint <- []
 
 let recover t =
   t.up <- true;
   t.epoch <- t.epoch + 1;
   Wire.Transport.Net.recover (Wire.Transport.net t.transport) t.id;
-  (* Home-role machines are rebuilt lazily from the surviving disk tier on
-     first touch (see [machine_for]); cached remote copies were dropped. *)
-  start_reporting t
+  (* Home-role machines are rebuilt from the surviving disk tier — eagerly
+     by the repair loop (pages the page directory remembers as homed
+     here), lazily on first touch for the rest. *)
+  start_reporting t;
+  start_repair t
 
 let create ?(config = default_config) ?(peer_managers = []) ~id ~bootstrap
     ~cluster_manager transport =
@@ -1221,6 +1564,10 @@ let create ?(config = default_config) ?(peer_managers = []) ~id ~bootstrap
       up = true;
       epoch = 0;
       cm_state;
+      rng = Kutil.Rng.split (Ksim.Engine.rng engine);
+      suspected = Hashtbl.create 8;
+      strikes = Hashtbl.create 8;
+      last_hint = [];
       metrics = Metrics.create ();
       stats =
         { homed_hits = 0; rdir_hits = 0; cluster_hits = 0; map_walks = 0;
@@ -1231,4 +1578,5 @@ let create ?(config = default_config) ?(peer_managers = []) ~id ~bootstrap
   Wire.Transport.set_server transport id (fun ~src ~span req ~reply ->
       serve t ~src ~span req ~reply);
   start_reporting t;
+  start_repair t;
   t

@@ -21,8 +21,17 @@ type config = {
   lock_retries : int;           (** attempts before reflecting failure (3) *)
   rpc_timeout : Ksim.Time.t;    (** control-plane calls (default 500 ms) *)
   request_timeout : Ksim.Time.t;(** CM-internal per-hop timeout (200 ms) *)
-  report_every : Ksim.Time.t;   (** cluster-hint refresh period (500 ms) *)
-  background_retry_every : Ksim.Time.t; (** release-op retry period (250 ms) *)
+  report_every : Ksim.Time.t;   (** cluster-hint refresh period (500 ms);
+                                    the report doubles as the heartbeat *)
+  background_retry_every : Ksim.Time.t;
+      (** release-op retry backoff base (250 ms) *)
+  retry_backoff_cap : Ksim.Time.t;
+      (** ceiling for all exponential retry backoffs (default 2 s) *)
+  suspect_after : Ksim.Time.t;
+      (** heartbeat silence before a manager suspects a member (1.5 s =
+          three missed reports) *)
+  repair_every : Ksim.Time.t;
+      (** period of the home-side replica-repair pass (500 ms) *)
 }
 
 val default_config : config
@@ -63,7 +72,21 @@ val crash : t -> unit
     directory). The node also leaves the network. *)
 
 val recover : t -> unit
-(** Rejoin the network; rebuild home-role machines lazily from disk. *)
+(** Rejoin the network; home-role machines whose data survived on disk are
+    rebuilt eagerly by the repair loop, the rest lazily on first touch. *)
+
+(** {1 Failure detection}
+
+    Each daemon keeps a suspicion list: cluster managers age member
+    heartbeats (the periodic reports) into it and disseminate it; every
+    node also suspects peers after consecutive RPC timeouts. Any direct
+    traffic from a suspected node clears it. Crashed and partitioned
+    nodes are indistinguishable here — both just go silent. *)
+
+val suspects : t -> Knet.Topology.node_id list
+(** Nodes this daemon currently believes are dead or unreachable, sorted. *)
+
+val is_suspect : t -> Knet.Topology.node_id -> bool
 
 (** {1 Client operations (the paper's API, §2)} *)
 

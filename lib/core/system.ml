@@ -25,15 +25,29 @@ let client t node ?principal () =
   Client.connect (daemon t node) ~principal:(Option.value principal ~default:node)
 
 (* Drive the engine until a fiber completes; a quiescent queue with the
-   fiber still pending is a deadlock in the system under test. *)
-let run_fiber t f =
-  let p = Ksim.Fiber.async t.engine f in
+   fiber still pending is a deadlock in the system under test. The failure
+   message carries enough state to debug it without a rerun. *)
+let run_fiber ?(name = "run_fiber") t f =
+  let p = Ksim.Fiber.async t.engine ~name f in
   while (not (Ksim.Promise.is_resolved p)) && Ksim.Engine.step t.engine do
     ()
   done;
   match Ksim.Promise.peek p with
   | Some v -> v
-  | None -> failwith "System.run_fiber: simulation went quiescent (deadlock)"
+  | None ->
+    let down =
+      Array.to_list t.daemons
+      |> List.filter_map (fun d ->
+             if Daemon.is_up d then None else Some (string_of_int (Daemon.id d)))
+    in
+    failwith
+      (Printf.sprintf
+         "System.run_fiber: simulation went quiescent (deadlock) with fiber \
+          %S still blocked at t=%dns; %d RPC call(s) pending; down nodes: \
+          [%s]"
+         name (Ksim.Engine.now t.engine)
+         (Wire.Transport.pending_calls t.transport)
+         (String.concat "," down))
 
 let run_until_quiet ?(limit = Ksim.Time.sec 60) t =
   Ksim.Engine.run ~until:(Ksim.Engine.now t.engine + limit) t.engine
@@ -66,5 +80,5 @@ let create ?(seed = 42) ?config ?lan ?wan ~nodes_per_cluster ~clusters () =
           ~cluster_manager:(manager_of id) transport)
   in
   let t = { engine; topology; transport; daemons } in
-  run_fiber t (fun () -> Daemon.bootstrap_map daemons.(bootstrap));
+  run_fiber ~name:"bootstrap" t (fun () -> Daemon.bootstrap_map daemons.(bootstrap));
   t

@@ -31,10 +31,12 @@ val client : t -> Knet.Topology.node_id -> ?principal:int -> unit -> Client.t
 (** Connect a client application process to the daemon on a node. The
     principal defaults to the node id. *)
 
-val run_fiber : t -> (unit -> 'a) -> 'a
+val run_fiber : ?name:string -> t -> (unit -> 'a) -> 'a
 (** Run a fiber to completion, driving the simulation as needed. Raises
     [Failure] if the simulation goes quiescent with the fiber still blocked
-    (deadlock). This is the main entry point for tests and examples. *)
+    (deadlock); the message names the blocked fiber and reports the sim
+    time, pending RPC count and currently-down nodes. This is the main
+    entry point for tests and examples. *)
 
 val run_until_quiet : ?limit:Ksim.Time.t -> t -> unit
 (** Drain all pending simulation work (bounded by [limit] of additional

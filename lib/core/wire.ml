@@ -32,12 +32,33 @@ type request =
           still be located using a cluster-walk algorithm". Answered from
           local hints only; never forwarded further. *)
   | Cluster_report of { node_regions : (Gaddr.t * Region.t) list; free_bytes : int }
-      (** One-way hint refresh: regions this node caches/homes, free pool. *)
+      (** One-way hint refresh: regions this node caches/homes, free pool.
+          Doubles as the failure detector's heartbeat. *)
+  | Suspect_hint of { cluster : int; suspects : Knet.Topology.node_id list }
+      (** One-way, cluster manager -> members and peer managers: the
+          manager's current suspicion list for its cluster (nodes whose
+          heartbeats went stale). A wholesale view, not a delta; a
+          receiving manager relays it to its own members. *)
+  | Page_pull of { page : Gaddr.t }
+      (** Recovering home -> recorded sharer: "send me your copy of this
+          page, if you still hold a protocol-valid one". Used by the repair
+          loop to reconcile a possibly-stale disk image with live replicas
+          before re-serving the page — a valid remote copy can never be
+          older than the crashed home's disk. *)
+  | Page_probe of { page : Gaddr.t }
+      (** Home -> recorded holder: "do you still hold a protocol-valid
+          copy?". The repair loop uses it to unmask phantom holders — nodes
+          that crashed (losing their copy) and recovered before the home
+          rebuilt its books — which would otherwise count toward the
+          replica floor forever. *)
   | Ping
 
 type response =
   | R_unit
   | R_descriptor of Region.t option
+  | R_page of (bytes * int) option
+      (** The sharer's valid copy and its protocol version, or [None]. *)
+  | R_held of bool
   | R_chunk of { base : Gaddr.t; len : int }
   | R_lookup of { desc : Region.t option; holders : Knet.Topology.node_id list }
   | R_error of string
@@ -56,6 +77,8 @@ let request_size = function
   | Cluster_walk _ -> addr_size + 8
   | Cluster_report { node_regions; _ } ->
     16 + (List.length node_regions * (addr_size + desc_size))
+  | Suspect_hint { suspects; _ } -> 16 + (4 * List.length suspects)
+  | Page_pull _ | Page_probe _ -> addr_size + 8
   | Ping -> 8
 
 let response_size = function
@@ -66,6 +89,9 @@ let response_size = function
   | R_lookup { desc; holders } ->
     8 + (match desc with Some _ -> desc_size | None -> 1)
     + (4 * List.length holders)
+  | R_page None -> 9
+  | R_page (Some (data, _)) -> 16 + Bytes.length data
+  | R_held _ -> 9
   | R_error s -> 8 + String.length s
 
 let request_kind = function
@@ -79,6 +105,9 @@ let request_kind = function
   | Cluster_lookup _ -> "cluster_lookup"
   | Cluster_walk _ -> "cluster_walk"
   | Cluster_report _ -> "cluster_report"
+  | Suspect_hint _ -> "suspect_hint"
+  | Page_pull _ -> "page_pull"
+  | Page_probe _ -> "page_probe"
   | Ping -> "ping"
 
 module Transport = Krpc.Rpc.Make (struct

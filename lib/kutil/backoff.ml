@@ -1,0 +1,27 @@
+type t = {
+  base : int;
+  cap : int;
+  rng : Rng.t option;
+  mutable tries : int;
+}
+
+let make ?rng ?cap ~base () =
+  let cap = Option.value cap ~default:(32 * base) in
+  if base <= 0 then invalid_arg "Backoff.make: base must be positive";
+  if cap < base then invalid_arg "Backoff.make: cap below base";
+  { base; cap; rng; tries = 0 }
+
+(* base * 2^k without overflow: doubling saturates at cap. *)
+let raw_delay t k =
+  let rec grow v k = if k <= 0 || v >= t.cap then v else grow (v * 2) (k - 1) in
+  min t.cap (grow t.base k)
+
+let next t =
+  let d = raw_delay t t.tries in
+  t.tries <- t.tries + 1;
+  match t.rng with
+  | Some rng when d >= 2 -> (d / 2) + Rng.int rng ((d - (d / 2)) + 1)
+  | Some _ | None -> d
+
+let reset t = t.tries <- 0
+let attempts t = t.tries

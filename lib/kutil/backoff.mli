@@ -1,0 +1,28 @@
+(** Exponential backoff with optional jitter.
+
+    Shared retry policy for every layer that re-attempts work over the
+    unreliable substrate (RPC timeouts, background release-class retries,
+    lock re-acquisition, location walks). Delays grow [base], [2*base],
+    [4*base], ... capped at [cap]; with an {!Rng.t} attached, each delay is
+    equal-jittered into [[d/2, d]] so synchronised retry storms decorrelate
+    while staying fully deterministic under the simulation seed.
+
+    Values are plain integers in whatever unit the caller uses (the
+    simulator's [Time.t] nanoseconds, usually). *)
+
+type t
+
+val make : ?rng:Rng.t -> ?cap:int -> base:int -> unit -> t
+(** [make ~base ()] starts at [base] per attempt. [cap] bounds the raw
+    (pre-jitter) delay; it defaults to [32 * base]. Raises
+    [Invalid_argument] if [base <= 0] or [cap < base]. *)
+
+val next : t -> int
+(** Delay for the next attempt; advances the attempt counter. *)
+
+val reset : t -> unit
+(** Forget past attempts: the next delay is [base] again. Call after a
+    success so later failures start patient, not paranoid. *)
+
+val attempts : t -> int
+(** Attempts drawn since creation or the last {!reset}. *)

@@ -14,6 +14,12 @@ module Make (M : MESSAGE) = struct
     rng : Kutil.Rng.t;
     handlers : handler option array;
     up : bool array;
+    (* Messages scheduled but not yet delivered, per destination. A crash
+       folds the destination's count into [dropped] and bumps its epoch so
+       the stale delivery callbacks know not to double-account (or leak a
+       pre-crash message into a recovered node). *)
+    inflight : int array;
+    node_epoch : int array;
     mutable partitions : (int array * int array) list;
     mutable sent : int;
     mutable delivered : int;
@@ -33,6 +39,8 @@ module Make (M : MESSAGE) = struct
       rng = Kutil.Rng.split (Ksim.Engine.rng engine);
       handlers = Array.make n None;
       up = Array.make n true;
+      inflight = Array.make n 0;
+      node_epoch = Array.make n 0;
       partitions = [];
       sent = 0;
       delivered = 0;
@@ -54,7 +62,10 @@ module Make (M : MESSAGE) = struct
 
   let crash t node =
     check_node t node;
-    t.up.(node) <- false
+    t.up.(node) <- false;
+    t.dropped <- t.dropped + t.inflight.(node);
+    t.inflight.(node) <- 0;
+    t.node_epoch.(node) <- t.node_epoch.(node) + 1
 
   let recover t node =
     check_node t node;
@@ -95,6 +106,19 @@ module Make (M : MESSAGE) = struct
     end
     else t.dropped <- t.dropped + 1
 
+  (* Put a message in flight towards [dst]: the delivery callback is a
+     no-op if the destination crashed in the meantime (the crash already
+     accounted the message as dropped). *)
+  let schedule_delivery t ~after ~src ~dst msg =
+    let epoch = t.node_epoch.(dst) in
+    t.inflight.(dst) <- t.inflight.(dst) + 1;
+    ignore
+      (Ksim.Engine.schedule t.engine ~after (fun () ->
+           if t.node_epoch.(dst) = epoch then begin
+             t.inflight.(dst) <- t.inflight.(dst) - 1;
+             deliver t ~src ~dst msg
+           end))
+
   (* A local send still goes through the scheduler (at a nominal IPC cost)
      so that handler re-entrancy never depends on whether a peer happens to
      be co-located. *)
@@ -112,9 +136,7 @@ module Make (M : MESSAGE) = struct
        | Some f -> f (Ksim.Engine.now t.engine) ~src ~dst msg
        | None -> ());
       if src = dst then
-        ignore
-          (Ksim.Engine.schedule t.engine ~after:local_delay (fun () ->
-               deliver t ~src ~dst msg))
+        schedule_delivery t ~after:local_delay ~src ~dst msg
       else if blocked t src dst || not t.up.(dst) then
         (* Unreachable at send time: the packet leaves but can never land. *)
         t.dropped <- t.dropped + 1
@@ -131,9 +153,7 @@ module Make (M : MESSAGE) = struct
               (float_of_int (M.size_bytes msg) /. profile.bandwidth_bps)
           in
           let delay = profile.base_latency + jitter + serialisation in
-          ignore
-            (Ksim.Engine.schedule t.engine ~after:delay (fun () ->
-                 deliver t ~src ~dst msg))
+          schedule_delivery t ~after:delay ~src ~dst msg
         end
       end
     end
@@ -142,6 +162,7 @@ module Make (M : MESSAGE) = struct
     sent : int;
     delivered : int;
     dropped : int;
+    in_flight : int;
     bytes_sent : int;
     by_kind : (string * int) list;
   }
@@ -155,6 +176,7 @@ module Make (M : MESSAGE) = struct
       sent = t.sent;
       delivered = t.delivered;
       dropped = t.dropped;
+      in_flight = Array.fold_left ( + ) 0 t.inflight;
       bytes_sent = t.bytes_sent;
       by_kind;
     }

@@ -36,7 +36,9 @@ module Make (M : MESSAGE) : sig
   (** {1 Failure injection} *)
 
   val crash : t -> Topology.node_id -> unit
-  (** Take the node off the network; in-flight messages to it are lost. *)
+  (** Take the node off the network. In-flight messages towards it are
+      lost and counted in [stats.dropped] — they never deliver, even if
+      the node {!recover}s before their scheduled arrival. *)
 
   val recover : t -> Topology.node_id -> unit
   val is_up : t -> Topology.node_id -> bool
@@ -56,11 +58,15 @@ module Make (M : MESSAGE) : sig
     sent : int;
     delivered : int;
     dropped : int;
+    in_flight : int;  (** scheduled but not yet delivered *)
     bytes_sent : int;
     by_kind : (string * int) list;  (** messages sent, per kind, sorted *)
   }
 
   val stats : t -> stats
+  (** Traffic counters. [sent = delivered + dropped + in_flight] holds at
+      all times (modulo {!reset_stats} taken while traffic was in flight). *)
+
   val reset_stats : t -> unit
 
   val set_trace : t -> (Ksim.Time.t -> src:Topology.node_id -> dst:Topology.node_id -> M.t -> unit) -> unit

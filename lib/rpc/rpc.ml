@@ -93,8 +93,13 @@ module Make (P : PROTOCOL) = struct
 
   let default_timeout = Ksim.Time.sec 1
 
-  let call t ~src ~dst ?(timeout = default_timeout) ?(attempts = 1) ?(span = 0)
-      request =
+  let call t ~src ~dst ?(timeout = default_timeout) ?backoff ?(attempts = 1)
+      ?(span = 0) request =
+    let attempt_timeout () =
+      match backoff with
+      | Some b -> Kutil.Backoff.next b
+      | None -> timeout
+    in
     let rec attempt n =
       if n <= 0 then Error `Timeout
       else begin
@@ -103,6 +108,7 @@ module Make (P : PROTOCOL) = struct
         let promise = Ksim.Promise.create () in
         Hashtbl.replace t.pending id promise;
         Net.send t.net ~src ~dst (Msg.Request { id; span; body = request });
+        let timeout = attempt_timeout () in
         match Ksim.Fiber.await_timeout t.engine promise ~timeout with
         | Some resp -> Ok resp
         | None ->

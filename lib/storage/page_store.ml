@@ -232,6 +232,25 @@ let unpin t addr =
   | Some f -> if f.pins > 0 then f.pins <- f.pins - 1
   | None -> ()
 
+let flush_immediate t addr =
+  match Gaddr.Table.find_opt t.ram addr with
+  | None -> ()
+  | Some frame -> (
+    t.writebacks <- t.writebacks + 1;
+    match Gaddr.Table.find_opt t.disk addr with
+    | Some d ->
+      d.data <- Bytes.copy frame.data;
+      d.dirty <- false
+    | None ->
+      make_disk_room t;
+      Gaddr.Table.replace t.disk addr
+        {
+          data = Bytes.copy frame.data;
+          dirty = false;
+          pins = 0;
+          last_use = frame.last_use;
+        })
+
 let drop t addr =
   Gaddr.Table.remove t.ram addr;
   Gaddr.Table.remove t.disk addr

@@ -55,6 +55,12 @@ val write_immediate : t -> Kutil.Gaddr.t -> bytes -> dirty:bool -> unit
 (** Control-plane install: no simulated latency. Evictions it forces still
     invoke the eviction hook synchronously. *)
 
+val flush_immediate : t -> Kutil.Gaddr.t -> unit
+(** Copy the RAM-resident frame of [addr] through to the disk tier (the
+    page stays in RAM, and keeps its dirty flag for protocol purposes) so
+    its current content survives {!crash}. Control-plane: no simulated
+    latency. No-op when the page is not RAM-resident. *)
+
 val mark_clean : t -> Kutil.Gaddr.t -> unit
 val is_dirty : t -> Kutil.Gaddr.t -> bool
 

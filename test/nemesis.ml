@@ -1,0 +1,420 @@
+(* Nemesis: a deterministic chaos harness.
+
+   A seeded schedule of crashes, recoveries and partitions is interleaved
+   with client workloads, then the run is checked against the system's
+   robustness invariants:
+
+   - no settled acknowledged write is ever lost: once a write is acked and
+     replication has quiesced, every later successful read returns that
+     value or a newer attempted one;
+   - every successful read returns a value some client actually wrote
+     (no zero pages, no interleaved garbage);
+   - after the final heal the replica floor ([min_replicas]) of every
+     region is restored within bounded simulated time by the repair loop;
+   - the system quiesces: settles return and a final fault-free round of
+     reads succeeds from every node;
+   - network accounting stays conserved (sent = delivered + dropped +
+     in-flight) across every fault;
+   - the whole run is reproducible: same seed, same final state, same
+     simulated clock.
+
+   Everything — fault times, victims, partitions, workload targets — flows
+   from the seed, so a failing seed replays exactly. Seeds come from
+   NEMESIS_SEEDS (comma-separated) or default to 1..5. *)
+
+module System = Khazana.System
+module Client = Khazana.Client
+module Daemon = Khazana.Daemon
+module Region = Khazana.Region
+module Attr = Khazana.Attr
+
+let ok = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "daemon error: %s" (Daemon.error_to_string e)
+
+let bytes_s = Bytes.of_string
+let node_count = 6
+let victims = [ 1; 2; 3; 4; 5 ] (* node 0: bootstrap + manager, never faulted *)
+let region_count = 5
+let rounds = 9
+
+(* One tracked region: every value ever attempted (value -> attempt index)
+   plus the index of the last write known to be both acked and settled. *)
+type reg = {
+  r : Region.t;
+  minr : int;
+  home : int;
+  attempts : (string, int) Hashtbl.t;
+  mutable n_attempts : int;
+  mutable last_settled : int;
+}
+
+type st = { mutable down : int list; mutable partitioned : bool }
+
+let mk ~seed () = System.create ~seed ~nodes_per_cluster:node_count ~clusters:1 ()
+
+let fresh_value rg =
+  let idx = rg.n_attempts in
+  rg.n_attempts <- idx + 1;
+  let v = Printf.sprintf "%02d%06d" rg.home idx in
+  Hashtbl.replace rg.attempts v idx;
+  (v, idx)
+
+let count_holders sys rg =
+  List.length
+    (List.filter
+       (fun n -> Daemon.holds_page (System.daemon sys n) rg.r.Region.base)
+       (List.init node_count Fun.id))
+
+let up_nodes st = List.filter (fun n -> not (List.mem n st.down)) (0 :: victims)
+
+let pick rng l =
+  match l with
+  | [] -> None
+  | l -> Some (List.nth l (Kutil.Rng.int rng (List.length l)))
+
+(* ----------------------- Fault schedule ----------------------------- *)
+
+let fault_step rng sys st =
+  let crash () =
+    match pick rng (List.filter (fun n -> not (List.mem n st.down)) victims) with
+    | Some n ->
+      System.crash sys n;
+      st.down <- n :: st.down
+    | None -> ()
+  in
+  let recover () =
+    match pick rng st.down with
+    | Some n ->
+      System.recover sys n;
+      st.down <- List.filter (fun m -> m <> n) st.down
+    | None -> ()
+  in
+  let partition () =
+    let arr = Array.of_list victims in
+    Kutil.Rng.shuffle rng arr;
+    let k = 1 + Kutil.Rng.int rng 2 in
+    let minority = Array.to_list (Array.sub arr 0 k) in
+    let majority =
+      0 :: Array.to_list (Array.sub arr k (Array.length arr - k))
+    in
+    System.partition sys minority majority;
+    st.partitioned <- true
+  in
+  let heal () =
+    System.heal sys;
+    st.partitioned <- false
+  in
+  if st.partitioned && Kutil.Rng.bool rng then heal ()
+  else if List.length st.down >= 2 then recover ()
+  else
+    match Kutil.Rng.int rng 5 with
+    | 0 -> crash ()
+    | 1 -> if st.partitioned then heal () else partition ()
+    | 2 -> if st.down = [] then crash () else recover ()
+    | 3 when st.down <> [] -> recover ()
+    | _ -> () (* quiet round *)
+
+(* ------------------------- Workload ---------------------------------- *)
+
+(* One write + one read per region, issued from random live nodes. Faulted
+   rounds tolerate failures; a *successful* read must still return a value
+   somebody actually wrote. *)
+let workload_round rng sys st clients regs =
+  List.iter
+    (fun rg ->
+      let writer = Option.get (pick rng (up_nodes st)) in
+      let reader = Option.get (pick rng (up_nodes st)) in
+      System.run_fiber ~name:"nemesis-workload" sys (fun () ->
+          let v, _ = fresh_value rg in
+          (match
+             Client.write_bytes clients.(writer) ~addr:rg.r.Region.base
+               (bytes_s v)
+           with
+          | Ok () | Error _ -> ());
+          match Client.read_bytes clients.(reader) ~addr:rg.r.Region.base 8 with
+          | Error _ -> ()
+          | Ok b ->
+            let got = Bytes.to_string b in
+            if not (Hashtbl.mem rg.attempts got) then
+              Alcotest.failf
+                "read of region %02d returned %S: never written by anyone"
+                rg.home got))
+    regs
+
+(* Recover everything, settle, then land one write per region that must be
+   acked — once replication settles it becomes the durability watermark. *)
+let checkpoint sys st clients regs =
+  List.iter (fun n -> System.recover sys n) st.down;
+  st.down <- [];
+  if st.partitioned then begin
+    System.heal sys;
+    st.partitioned <- false
+  end;
+  System.run_until_quiet ~limit:(Ksim.Time.sec 5) sys;
+  (* A fully healed system must accept a write within a bounded number of
+     lock rounds — fail-over of state stranded on a crashed-and-reborn
+     owner can take a couple of suspicion/repair cycles, but not forever. *)
+  let acked =
+    List.map
+      (fun rg ->
+        let rec attempt k =
+          let r =
+            System.run_fiber ~name:"nemesis-checkpoint" sys (fun () ->
+                let v, idx = fresh_value rg in
+                match
+                  Client.write_bytes clients.(rg.home) ~addr:rg.r.Region.base
+                    (bytes_s v)
+                with
+                | Ok () -> Ok (rg, idx)
+                | Error e -> Error e)
+          in
+          match r with
+          | Ok x -> x
+          | Error e when k > 1 ->
+            System.run_until_quiet ~limit:(Ksim.Time.sec 3) sys;
+            ignore e;
+            attempt (k - 1)
+          | Error e ->
+            Alcotest.failf
+              "healed system refused checkpoint write for region %02d: %s"
+              rg.home
+              (Daemon.error_to_string e)
+        in
+        attempt 4)
+      regs
+  in
+  System.run_until_quiet ~limit:(Ksim.Time.sec 3) sys;
+  List.iter (fun (rg, idx) -> rg.last_settled <- idx) acked
+
+(* Repair must bring every region back to its floor within bounded
+   simulated time of the final heal. *)
+let wait_replica_floor sys regs ~cap =
+  let t0 = System.now sys in
+  let deficient () =
+    List.filter (fun rg -> rg.minr > 1 && count_holders sys rg < rg.minr) regs
+  in
+  while deficient () <> [] && System.now sys - t0 < cap do
+    System.run_until_quiet ~limit:(Ksim.Time.ms 500) sys
+  done;
+  match deficient () with
+  | [] -> ()
+  | l ->
+    Alcotest.failf
+      "replica floor not restored within %dms for %d region(s): %s"
+      (cap / 1_000_000) (List.length l)
+      (String.concat ", "
+         (List.map
+            (fun rg ->
+              Printf.sprintf "home %d (%d/%d holders)" rg.home
+                (count_holders sys rg) rg.minr)
+            l))
+
+(* --------------------------- One run --------------------------------- *)
+
+let run_nemesis ~seed () =
+  let sys = mk ~seed () in
+  let rng = Kutil.Rng.create ~seed:(0x6e65 + (seed * 7919)) in
+  let clients =
+    Array.init node_count (fun n -> System.client sys n ())
+  in
+  let st = { down = []; partitioned = false } in
+  let regs =
+    List.map
+      (fun i ->
+        let home = 1 + (i mod 5) in
+        let minr = if i mod 2 = 0 then 2 else 3 in
+        let r =
+          System.run_fiber ~name:"nemesis-create" sys (fun () ->
+              let attr = Attr.make ~owner:home ~min_replicas:minr () in
+              ok (Client.create_region clients.(home) ~attr 4096))
+        in
+        {
+          r;
+          minr;
+          home;
+          attempts = Hashtbl.create 32;
+          n_attempts = 0;
+          last_settled = -1;
+        })
+      (List.init region_count Fun.id)
+  in
+  (* Round 0: a settled write everywhere before the first fault. *)
+  checkpoint sys st clients regs;
+  for round = 1 to rounds do
+    fault_step rng sys st;
+    workload_round rng sys st clients regs;
+    System.run_until_quiet ~limit:(Ksim.Time.sec 2) sys;
+    if round mod 3 = 0 then checkpoint sys st clients regs
+  done;
+  (* Final heal + the bounded-time repair guarantee. *)
+  List.iter (fun n -> System.recover sys n) st.down;
+  st.down <- [];
+  if st.partitioned then begin
+    System.heal sys;
+    st.partitioned <- false
+  end;
+  System.run_until_quiet ~limit:(Ksim.Time.sec 5) sys;
+  wait_replica_floor sys regs ~cap:(Ksim.Time.sec 20);
+  (* Durability: from every node, every region reads back a value at least
+     as new as its last settled acknowledged write. *)
+  let finals =
+    List.map
+      (fun rg ->
+        let v =
+          System.run_fiber ~name:"nemesis-final-read" sys (fun () ->
+              Bytes.to_string
+                (ok (Client.read_bytes clients.(0) ~addr:rg.r.Region.base 8)))
+        in
+        (match Hashtbl.find_opt rg.attempts v with
+        | None ->
+          Alcotest.failf "final read of region %02d got unwritten value %S"
+            rg.home v
+        | Some idx ->
+          if idx < rg.last_settled then
+            Alcotest.failf
+              "region %02d lost settled write: read attempt %d, settled %d"
+              rg.home idx rg.last_settled);
+        (* A second vantage must agree with the durability watermark too. *)
+        System.run_fiber ~name:"nemesis-vantage" sys (fun () ->
+            let v' =
+              Bytes.to_string
+                (ok (Client.read_bytes clients.(3) ~addr:rg.r.Region.base 8))
+            in
+            match Hashtbl.find_opt rg.attempts v' with
+            | Some idx' when idx' >= rg.last_settled -> ()
+            | _ ->
+              Alcotest.failf "vantage read of region %02d regressed to %S"
+                rg.home v');
+        v)
+      regs
+  in
+  (* Network accounting survived the whole schedule. *)
+  let s = Khazana.Wire.Transport.Net.stats (System.net sys) in
+  if s.sent <> s.delivered + s.dropped + s.in_flight then
+    Alcotest.failf "network accounting leak: sent %d <> %d + %d + %d" s.sent
+      s.delivered s.dropped s.in_flight;
+  String.concat ";" finals ^ Printf.sprintf "@%d" (System.now sys)
+
+(* ----------------------- Directed scenarios -------------------------- *)
+
+(* The headline repair guarantee, in isolation: crash a replica holder and
+   watch the region climb back to its floor without any client activity. *)
+let test_floor_restored_after_holder_crash () =
+  let sys = mk ~seed:11 () in
+  let c1 = System.client sys 1 () in
+  let region =
+    System.run_fiber sys (fun () ->
+        let attr = Attr.make ~owner:1 ~min_replicas:3 () in
+        let r = ok (Client.create_region c1 ~attr 4096) in
+        ok (Client.write_bytes c1 ~addr:r.Region.base (bytes_s "precious")) ;
+        r)
+  in
+  System.run_until_quiet ~limit:(Ksim.Time.sec 2) sys;
+  let holders () =
+    List.filter
+      (fun n -> Daemon.holds_page (System.daemon sys n) region.Region.base)
+      (List.init node_count Fun.id)
+  in
+  let victim =
+    match List.filter (fun n -> n <> 0 && n <> 1) (holders ()) with
+    | v :: _ -> v
+    | [] -> Alcotest.fail "no replica outside home and manager"
+  in
+  Alcotest.(check bool) "floor met before crash" true
+    (List.length (holders ()) >= 3);
+  System.crash sys victim;
+  (* Bounded: suspicion (1.5 s) + a few repair passes (500 ms each). *)
+  let t0 = System.now sys in
+  let cap = Ksim.Time.sec 15 in
+  while List.length (holders ()) < 3 && System.now sys - t0 < cap do
+    System.run_until_quiet ~limit:(Ksim.Time.ms 500) sys
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "floor restored in %dms (holders: %d)"
+       ((System.now sys - t0) / 1_000_000)
+       (List.length (holders ())))
+    true
+    (List.length (holders ()) >= 3);
+  (* And the repair targets got real data, not zero pages. *)
+  let reader =
+    match List.filter (fun n -> n <> 1 && n <> victim) (holders ()) with
+    | n :: _ -> n
+    | [] -> Alcotest.fail "no surviving replica"
+  in
+  let cr = System.client sys reader () in
+  System.run_fiber sys (fun () ->
+      let b = ok (Client.read_bytes cr ~addr:region.Region.base 8) in
+      Alcotest.(check string) "repaired replica has the data" "precious"
+        (Bytes.to_string b))
+
+(* CREW's single-writer guarantee under concurrency: two racing writers,
+   the final value is exactly one of theirs. *)
+let test_concurrent_writers_single_winner () =
+  let sys = mk ~seed:5 () in
+  let c1 = System.client sys 1 () in
+  let region =
+    System.run_fiber sys (fun () ->
+        let attr = Attr.make ~owner:1 ~min_replicas:2 () in
+        let r = ok (Client.create_region c1 ~attr 4096) in
+        ok (Client.write_bytes c1 ~addr:r.Region.base (bytes_s "original"));
+        r)
+  in
+  System.run_until_quiet ~limit:(Ksim.Time.sec 1) sys;
+  let c2 = System.client sys 2 () in
+  let c3 = System.client sys 3 () in
+  let acked = ref [] in
+  Ksim.Fiber.spawn (System.engine sys) (fun () ->
+      match Client.write_bytes c2 ~addr:region.Region.base (bytes_s "AAAAAAAA") with
+      | Ok () -> acked := "AAAAAAAA" :: !acked
+      | Error _ -> ());
+  Ksim.Fiber.spawn (System.engine sys) (fun () ->
+      match Client.write_bytes c3 ~addr:region.Region.base (bytes_s "BBBBBBBB") with
+      | Ok () -> acked := "BBBBBBBB" :: !acked
+      | Error _ -> ());
+  System.run_until_quiet ~limit:(Ksim.Time.sec 10) sys;
+  Alcotest.(check bool) "both writers eventually acked" true
+    (List.length !acked = 2);
+  let c4 = System.client sys 4 () in
+  System.run_fiber sys (fun () ->
+      let b = Bytes.to_string (ok (Client.read_bytes c4 ~addr:region.Region.base 8)) in
+      Alcotest.(check bool)
+        (Printf.sprintf "final value is one writer's (%S)" b)
+        true
+        (b = "AAAAAAAA" || b = "BBBBBBBB"))
+
+let test_determinism () =
+  let seed = 1 in
+  let a = run_nemesis ~seed () in
+  let b = run_nemesis ~seed () in
+  Alcotest.(check string) "same seed, same run" a b
+
+(* --------------------------- Harness --------------------------------- *)
+
+let seeds =
+  match Sys.getenv_opt "NEMESIS_SEEDS" with
+  | Some s ->
+    let l = String.split_on_char ',' s |> List.filter_map int_of_string_opt in
+    if l = [] then [ 1; 2; 3; 4; 5 ] else l
+  | None -> [ 1; 2; 3; 4; 5 ]
+
+let () =
+  Alcotest.run "nemesis"
+    [
+      ( "directed",
+        [
+          Alcotest.test_case "replica floor after holder crash" `Quick
+            test_floor_restored_after_holder_crash;
+          Alcotest.test_case "concurrent writers single winner" `Quick
+            test_concurrent_writers_single_winner;
+          Alcotest.test_case "deterministic replay" `Slow test_determinism;
+        ] );
+      ( "sweep",
+        List.map
+          (fun seed ->
+            Alcotest.test_case
+              (Printf.sprintf "seed %d" seed)
+              `Slow
+              (fun () -> ignore (run_nemesis ~seed ())))
+          seeds );
+    ]

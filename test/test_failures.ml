@@ -201,6 +201,48 @@ let test_crash_recover_serves_from_disk () =
       let b = ok (Client.read_bytes c2 ~addr:region.Region.base 7) in
       Alcotest.(check string) "recovered from disk" "durable" (Bytes.to_string b))
 
+let test_home_recover_restores_replica_floor () =
+  (* Crash the *home* of a min_replicas:3 region, bring it back, and do
+     nothing else: the persistent page directory plus the repair loop must
+     re-materialise the home role from disk and push the replica count back
+     to the floor — no fresh client write required. *)
+  let sys = mk () in
+  let c1 = System.client sys 1 () in
+  let region =
+    System.run_fiber sys (fun () ->
+        let attr = Attr.make ~owner:1 ~min_replicas:3 () in
+        let r = ok (Client.create_region c1 ~attr 4096) in
+        ok (Client.write_bytes c1 ~addr:r.Region.base (bytes_s "evermore"));
+        Ksim.Fiber.sleep (Ksim.Time.sec 1);
+        r)
+  in
+  (* Force the page out of RAM so only the disk tier survives the crash. *)
+  let store = Daemon.store (System.daemon sys 1) in
+  System.run_fiber sys (fun () ->
+      for i = 0 to 300 do
+        Kstorage.Page_store.write_immediate store
+          (Kutil.Gaddr.of_int (0x7000_0000 + (i * 4096)))
+          (Bytes.create 8) ~dirty:false
+      done);
+  System.crash sys 1;
+  System.run_until_quiet ~limit:(Ksim.Time.sec 3) sys;
+  System.recover sys 1;
+  System.run_until_quiet ~limit:(Ksim.Time.sec 10) sys;
+  let holders =
+    List.filter
+      (fun n -> Daemon.holds_page (System.daemon sys n) region.Region.base)
+      (List.init 6 Fun.id)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "replica floor restored (%d holders)" (List.length holders))
+    true
+    (List.length holders >= 3);
+  let c2 = System.client sys 2 () in
+  System.run_fiber sys (fun () ->
+      let b = ok (Client.read_bytes c2 ~addr:region.Region.base 8) in
+      Alcotest.(check string) "re-served after recover" "evermore"
+        (Bytes.to_string b))
+
 let test_cluster_walk_survives_map_outage () =
   (* §3.1: "If the set of nodes specified in a given region's address map
      entry is stale, the region can still be located using a cluster-walk
@@ -318,6 +360,8 @@ let () =
             test_crash_rejects_inflight_ops;
           Alcotest.test_case "crash/recover from disk" `Quick
             test_crash_recover_serves_from_disk;
+          Alcotest.test_case "home recover restores replica floor" `Quick
+            test_home_recover_restores_replica_floor;
           Alcotest.test_case "cluster walk survives map outage" `Quick
             test_cluster_walk_survives_map_outage;
           Alcotest.test_case "lossy WAN absorbed" `Quick

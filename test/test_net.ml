@@ -162,6 +162,45 @@ let test_loss () =
   Alcotest.(check bool) "some arrive" true (!got > 0);
   Alcotest.(check bool) "roughly half" true (abs (!got - 100) < 40)
 
+let test_crash_accounts_inflight () =
+  (* sent = delivered + dropped + in_flight must survive a crash that
+     catches messages on the wire. *)
+  let eng, _, net = mk () in
+  Net.set_handler net 3 (fun ~src:_ _ -> ());
+  Net.send net ~src:0 ~dst:3 (msg "doomed-1");
+  Net.send net ~src:0 ~dst:3 (msg "doomed-2");
+  ignore
+    (Ksim.Engine.schedule eng ~after:(Time.ms 1) (fun () ->
+         let s = Net.stats net in
+         Alcotest.(check int) "on the wire" 2 s.in_flight;
+         Alcotest.(check int) "nothing dropped yet" 0 s.dropped;
+         Net.crash net 3;
+         let s = Net.stats net in
+         Alcotest.(check int) "crash folds in-flight into dropped" 2 s.dropped;
+         Alcotest.(check int) "nothing left in flight" 0 s.in_flight));
+  Ksim.Engine.run eng;
+  let s = Net.stats net in
+  Alcotest.(check int) "sent" 2 s.sent;
+  Alcotest.(check int) "delivered" 0 s.delivered;
+  Alcotest.(check int) "conservation" s.sent
+    (s.delivered + s.dropped + s.in_flight)
+
+let test_no_stale_delivery_after_recover () =
+  (* A message in flight at crash time must not leak into the node after
+     it recovers (it was already accounted as dropped). *)
+  let eng, _, net = mk () in
+  let got = ref 0 in
+  Net.set_handler net 3 (fun ~src:_ _ -> incr got);
+  Net.send net ~src:0 ~dst:3 (msg "stale");
+  ignore (Ksim.Engine.schedule eng ~after:(Time.ms 1) (fun () -> Net.crash net 3));
+  ignore (Ksim.Engine.schedule eng ~after:(Time.ms 2) (fun () -> Net.recover net 3));
+  Ksim.Engine.run eng;
+  Alcotest.(check int) "pre-crash message never delivered" 0 !got;
+  let s = Net.stats net in
+  Alcotest.(check int) "counted once, as dropped" 1 s.dropped;
+  Alcotest.(check int) "conservation" s.sent
+    (s.delivered + s.dropped + s.in_flight)
+
 (* ----------------------------- Accounting -------------------------- *)
 
 let test_stats_and_kinds () =
@@ -229,6 +268,9 @@ let () =
           Alcotest.test_case "partition" `Quick test_partition;
           Alcotest.test_case "partition symmetric" `Quick test_partition_is_symmetric;
           Alcotest.test_case "loss model" `Quick test_loss;
+          Alcotest.test_case "crash accounting" `Quick test_crash_accounts_inflight;
+          Alcotest.test_case "no stale delivery" `Quick
+            test_no_stale_delivery_after_recover;
         ] );
       ( "accounting",
         [
