@@ -8,6 +8,7 @@
 
 open Bench_common
 module Store = Kstorage.Page_store
+module Wal = Kstorage.Wal
 
 let accesses = 2000
 
@@ -91,4 +92,69 @@ let run () =
             | Error _ -> false))
       regions
   in
-  Printf.printf "\nall 32 evicted-dirty pages still serve the newest data: %b\n" alive
+  Printf.printf "\nall 32 evicted-dirty pages still serve the newest data: %b\n" alive;
+
+  (* E8c: crash-recovery replay. One node homes a region (no replicas, so
+     the intent log is the only recovery path), takes a stream of writes,
+     crashes, recovers. The checkpoint interval controls how long the log
+     grows and therefore how long the node stays unavailable replaying
+     it. *)
+  Printf.printf
+    "\nrecovery replay vs checkpoint interval (240 writes, then crash):\n";
+  let recovery_run ~checkpoint_every =
+    let config =
+      { Daemon.default_config with Daemon.wal_checkpoint_every = checkpoint_every }
+    in
+    let sys = System.create ~config ~seed:29 ~nodes_per_cluster:4 ~clusters:1 () in
+    let c1 = System.client sys 1 () in
+    let pages = 4 in
+    let region =
+      System.run_fiber sys (fun () ->
+          let attr = Attr.make ~owner:1 ~min_replicas:1 () in
+          ok (Client.create_region c1 ~attr (pages * 4096)))
+    in
+    let addr i = Gaddr.add_int region.Region.base (i mod pages * 4096) in
+    let last = Array.make pages "" in
+    System.run_fiber sys (fun () ->
+        for i = 0 to 239 do
+          let v = Printf.sprintf "w%06d!" i in
+          last.(i mod pages) <- v;
+          ok (Client.write_bytes c1 ~addr:(addr i) (Bytes.of_string v))
+        done);
+    System.run_until_quiet ~limit:(Ksim.Time.sec 2) sys;
+    let d1 = System.daemon sys 1 in
+    let log_len = Wal.size (Daemon.wal d1) in
+    let replay_ms = Ksim.Time.to_ms_f (Wal.replay_cost (Daemon.wal d1)) in
+    System.crash sys 1;
+    let t0 = System.now sys in
+    System.recover sys 1;
+    while not (Daemon.is_up d1) do
+      System.run_until_quiet ~limit:(Ksim.Time.ms 1) sys
+    done;
+    let gap_ms = Ksim.Time.to_ms_f (System.now sys - t0) in
+    System.run_until_quiet ~limit:(Ksim.Time.sec 2) sys;
+    let intact =
+      List.for_all
+        (fun p ->
+          System.run_fiber sys (fun () ->
+              match Client.read_bytes c1 ~addr:(addr p) 8 with
+              | Ok b -> Bytes.to_string b = last.(p)
+              | Error _ -> false))
+        (List.init pages Fun.id)
+    in
+    (log_len, replay_ms, gap_ms, intact)
+  in
+  let t3 =
+    Stats.table
+      ~columns:
+        [ "checkpoint every"; "log records at crash"; "replay cost (ms)";
+          "availability gap (ms)"; "all writes recovered" ]
+  in
+  List.iter
+    (fun (label, interval) ->
+      let log_len, replay_ms, gap_ms, intact = recovery_run ~checkpoint_every:interval in
+      Stats.row t3
+        [ label; string_of_int log_len; f2 replay_ms; f2 gap_ms;
+          string_of_bool intact ])
+    [ ("64", 64); ("256", 256); ("1024", 1024); ("never", max_int) ];
+  print_table t3

@@ -4,6 +4,8 @@ module Ctypes = Kconsistency.Types
 module Machine = Kconsistency.Machine_intf
 module Topology = Knet.Topology
 module Store = Kstorage.Page_store
+module Wal = Kstorage.Wal
+module Codec = Kutil.Codec
 module Trace = Ktrace.Trace
 module Op_ctx = Ktrace.Op_ctx
 module Metrics = Ktrace.Metrics
@@ -21,6 +23,7 @@ type config = {
   retry_backoff_cap : Ksim.Time.t;
   suspect_after : Ksim.Time.t;
   repair_every : Ksim.Time.t;
+  wal_checkpoint_every : int;
 }
 
 let default_config =
@@ -38,6 +41,7 @@ let default_config =
     (* Three missed reports before a member is suspected. *)
     suspect_after = Ksim.Time.ms 1500;
     repair_every = Ksim.Time.ms 500;
+    wal_checkpoint_every = 512;
   }
 
 type error = Error.t
@@ -78,6 +82,7 @@ type t = {
   cluster_manager : Topology.node_id;
   peer_managers : Topology.node_id list;  (* other clusters' managers *)
   store : Store.t;
+  wal : Wal.t;
   rdir : Region_directory.t;
   pdir : Page_directory.t;
   homed : Region.t Gaddr.Table.t;
@@ -106,6 +111,11 @@ let is_up t = t.up
 let region_directory t = t.rdir
 let page_directory t = t.pdir
 let store t = t.store
+let wal t = t.wal
+
+let set_disk_faults t faults =
+  Store.set_faults t.store faults;
+  Wal.set_faults t.wal faults
 let cluster_state t = t.cm_state
 let lookup_stats t = t.stats
 let metrics t = t.metrics
@@ -226,6 +236,50 @@ let machine_config t (region : Region.t) =
     propagate_every = Ksim.Time.ms 100;
   }
 
+(* ------------------------------------------------------------------ *)
+(* Write-ahead intent log notes                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Persistent metadata flows through the WAL as tagged notes; recovery
+   re-applies them in log order ([apply_note] below). Page data takes the
+   transactional [Wal.log_page] path from the Install action instead. *)
+
+let encode_region region =
+  let e = Codec.encoder () in
+  Region.encode e region;
+  Codec.to_bytes e
+
+let note_homed_put t region =
+  Wal.control t.wal "homed.put" (encode_region region)
+
+let note_homed_del t base =
+  let e = Codec.encoder () in
+  Codec.u128 e base;
+  Wal.control t.wal "homed.del" (Codec.to_bytes e)
+
+(* Directory entries for locally-homed pages are the persistent part of the
+   page directory. Creation is hint-grade (losing the note merely delays
+   the eager post-recovery rebuild until first touch), so it rides unsynced;
+   sharer-list updates are synced — an under-approximated sharer set leaves
+   stale copies that nothing can revoke. *)
+let pdir_ensure_logged t ~page ~region_base ~homed_here =
+  let fresh = Page_directory.find t.pdir page = None in
+  let entry = Page_directory.ensure t.pdir ~page ~region_base ~homed_here in
+  if homed_here && fresh then begin
+    let e = Codec.encoder () in
+    Codec.u128 e page;
+    Codec.u128 e region_base;
+    Wal.control t.wal ~sync:false "pdir.ensure" (Codec.to_bytes e)
+  end;
+  entry
+
+let note_pdir_sharers t ~page ~region_base sharers =
+  let e = Codec.encoder () in
+  Codec.u128 e page;
+  Codec.u128 e region_base;
+  Codec.list e (fun n -> Codec.int e n) sharers;
+  Wal.control t.wal "pdir.sharers" (Codec.to_bytes e)
+
 let rec machine_for t (region : Region.t) page =
   match Gaddr.Table.find_opt t.machines page with
   | Some slot -> slot
@@ -266,7 +320,7 @@ let rec machine_for t (region : Region.t) page =
     in
     Gaddr.Table.replace t.machines page slot;
     ignore
-      (Page_directory.ensure t.pdir ~page ~region_base:region.base
+      (pdir_ensure_logged t ~page ~region_base:region.base
          ~homed_here:(region.home = t.id));
     (* A home machine materialising over an existing directory record is a
        reincarnation: the previous one died with nodes still holding
@@ -327,12 +381,19 @@ and apply_actions t ~span slot page actions =
             ~attrs:
               [ ("page", Gaddr.to_string page);
                 ("dirty", string_of_bool dirty) ];
-        Store.write_immediate t.store page data ~dirty;
-        (* The home is the page's disk-backed authority: write its copy
-           through to the disk tier so the data survives a crash that also
-           takes every RAM replica. Remote caches stay RAM-only. *)
-        if dirty && slot.region.Region.home = t.id then
+        (* The home is the page's disk-backed authority. Write-ahead: the
+           committed image reaches the intent log (synced by commit)
+           before the store, so a crash that eats the lazy, unsynced disk
+           flush still recovers the bytes by replay. Remote caches stay
+           RAM-only and unlogged. *)
+        if dirty && slot.region.Region.home = t.id then begin
+          let tx = Wal.begin_tx t.wal in
+          Wal.log_page t.wal tx page data;
+          Wal.commit t.wal tx;
+          Store.write_immediate t.store page data ~dirty;
           Store.flush_immediate t.store page
+        end
+        else Store.write_immediate t.store page data ~dirty
       | Ctypes.Discard -> Store.drop t.store page
       | Ctypes.Start_timer { id; after } ->
         let epoch = t.epoch in
@@ -344,10 +405,14 @@ and apply_actions t ~span slot page actions =
                    feed t ~span:Trace.null slot page (Ctypes.Timeout id)
                  | None -> ()))
       | Ctypes.Sharers_hint sharers ->
+        let homed_here = slot.region.Region.home = t.id in
         ignore
-          (Page_directory.ensure t.pdir ~page ~region_base:slot.region.Region.base
-             ~homed_here:(slot.region.Region.home = t.id));
-        Page_directory.set_sharers t.pdir page sharers)
+          (pdir_ensure_logged t ~page ~region_base:slot.region.Region.base
+             ~homed_here);
+        Page_directory.set_sharers t.pdir page sharers;
+        if homed_here then
+          note_pdir_sharers t ~page ~region_base:slot.region.Region.base
+            sharers)
     actions
 
 and feed t ~span slot page event =
@@ -520,6 +585,7 @@ let bootstrap_map t =
   if t.id <> t.bootstrap then invalid_arg "Daemon.bootstrap_map: wrong node";
   let region = map_region t in
   Gaddr.Table.replace t.homed region.Region.base region;
+  note_homed_put t region;
   let root = Address_map.Node.empty_root () in
   Store.write_immediate t.store (Layout.map_page_addr 0)
     (Address_map.Node.encode root) ~dirty:false;
@@ -729,7 +795,15 @@ let request_chunk t ctx =
       true
     | Ok _ | Error `Timeout -> false
 
+(* Client-facing entry points refuse while the daemon is down or still in
+   its recovery replay window: granting from half-rebuilt state could hand
+   out pages the replay is about to overwrite. *)
+let down_guard t = if t.up then None else Some (`Unavailable "node down")
+
 let reserve t ?attr ~ctx len =
+  match down_guard t with
+  | Some e -> Error e
+  | None ->
   let span =
     span_of t ctx "daemon.reserve" (fun () ->
         [ ("len", string_of_int len) ])
@@ -764,6 +838,7 @@ let reserve t ?attr ~ctx len =
       | Error e -> Error (`Conflict e)
       | Ok () ->
         Gaddr.Table.replace t.homed base region;
+        note_homed_put t region;
         Region_directory.put t.rdir region;
         Ok region)
   in
@@ -793,9 +868,13 @@ let background_retry t ~name f =
 let allocate_local t (region : Region.t) =
   let allocated = Region.allocated region in
   Gaddr.Table.replace t.homed region.Region.base allocated;
+  note_homed_put t allocated;
   Region_directory.put t.rdir allocated
 
 let allocate t ~ctx base =
+  match down_guard t with
+  | Some e -> Error e
+  | None ->
   let span =
     span_of t ctx "daemon.allocate" (fun () ->
         [ ("base", Gaddr.to_string base) ])
@@ -831,18 +910,32 @@ let free_local t base =
   match Gaddr.Table.find_opt t.homed base with
   | None -> true
   | Some region ->
+    (* The whole free is one logged intent: without the transaction, a
+       crash between page drops would resurrect half the region's pages at
+       replay and not the rest. *)
+    let reserved = { region with Region.state = Region.Reserved } in
+    let tx = Wal.begin_tx t.wal in
+    List.iter
+      (fun page ->
+        let e = Codec.encoder () in
+        Codec.u128 e page;
+        Wal.log_note t.wal tx "page.free" (Codec.to_bytes e))
+      (Region.pages region);
+    Wal.log_note t.wal tx "homed.put" (encode_region reserved);
+    Wal.commit t.wal tx;
     List.iter
       (fun page ->
         Gaddr.Table.remove t.machines page;
         Store.drop t.store page;
         Page_directory.remove t.pdir page)
       (Region.pages region);
-    Gaddr.Table.replace t.homed base
-      { region with Region.state = Region.Reserved };
-    Region_directory.put t.rdir { region with Region.state = Region.Reserved };
+    Gaddr.Table.replace t.homed base reserved;
+    Region_directory.put t.rdir reserved;
     true
 
 let free t ~ctx base =
+  if not t.up then ()
+  else
   match locate_region_in t ctx base with
   | Error _ -> ()
   | Ok region ->
@@ -860,11 +953,14 @@ let free t ~ctx base =
 let unreserve_local t ctx base =
   ignore (free_local t base);
   Gaddr.Table.remove t.homed base;
+  note_homed_del t base;
   Region_directory.remove t.rdir base;
   match Address_map.remove (map_io t ctx) base with
   | true | false -> true
 
 let unreserve t ~ctx base =
+  if not t.up then ()
+  else
   match locate_region_in t ctx base with
   | Error _ -> ()
   | Ok region ->
@@ -898,6 +994,9 @@ let refresh_descriptor t ctx (region : Region.t) =
     | Ok _ | Error `Timeout -> None
 
 let lock t ~ctx ~addr ~len mode =
+  match down_guard t with
+  | Some e -> Error e
+  | None ->
   let t0 = Ksim.Engine.now t.engine in
   let op = ctx in
   let span =
@@ -977,9 +1076,7 @@ let lock t ~ctx ~addr ~len mode =
       match acquire_all [] pages with
       | Error e -> Error e
       | Ok pages ->
-        List.iter
-          (fun p -> try Store.pin t.store p with Invalid_argument _ -> ())
-          pages;
+        List.iter (Store.pin t.store) pages;
         let lctx =
           {
             ctx_id = t.next_ctx;
@@ -1093,11 +1190,17 @@ let write t ctx ~addr data =
   end
 
 let get_attr t ~ctx addr =
+  match down_guard t with
+  | Some e -> Error e
+  | None ->
   match locate_region_in t ctx addr with
   | Ok region -> Ok region.Region.attr
   | Error e -> Error e
 
 let set_attr t ~ctx base (attr : Attr.t) =
+  match down_guard t with
+  | Some e -> Error e
+  | None ->
   let span =
     span_of t ctx "daemon.set_attr" (fun () ->
         [ ("base", Gaddr.to_string base) ])
@@ -1121,6 +1224,7 @@ let set_attr t ~ctx base (attr : Attr.t) =
         if region.Region.home = t.id then begin
           let region' = { region with Region.attr = updated } in
           Gaddr.Table.replace t.homed base region';
+          note_homed_put t region';
           Region_directory.put t.rdir region';
           Ok ()
         end
@@ -1245,6 +1349,7 @@ let serve t ~src ~span request ~reply =
       | Some region ->
         let region' = { region with Region.attr = attr } in
         Gaddr.Table.replace t.homed base region';
+        note_homed_put t region';
         Region_directory.put t.rdir region';
         reply Wire.R_unit
       | None -> reply (Wire.R_error "unknown region"))
@@ -1486,12 +1591,102 @@ let repair_pass t =
       end)
     slots
 
+(* ------------------------------------------------------------------ *)
+(* WAL checkpointing and recovery replay                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Truncate the intent log once it has grown past the configured bound.
+   Ordering matters: the disk tier is hardened first, so that by the time
+   the truncating checkpoint record is the only thing left, everything the
+   dropped records described really is durable. The snapshot carries the
+   homed-region table and the persistent page-directory entries. *)
+let wal_checkpoint t =
+  Store.sync t.store;
+  let e = Codec.encoder () in
+  let regions = Gaddr.Table.fold (fun _ r acc -> r :: acc) t.homed [] in
+  let regions =
+    List.sort (fun a b -> Gaddr.compare a.Region.base b.Region.base) regions
+  in
+  Codec.list e (fun r -> Region.encode e r) regions;
+  Page_directory.encode_persistent t.pdir e;
+  Wal.checkpoint t.wal (Codec.to_bytes e);
+  Metrics.incr t.metrics "wal.checkpoint"
+
+let restore_snapshot t snap =
+  let d = Codec.decoder snap in
+  let regions = Codec.read_list d (fun () -> Region.decode d) in
+  List.iter
+    (fun r ->
+      Gaddr.Table.replace t.homed r.Region.base r;
+      Region_directory.put t.rdir r)
+    regions;
+  Page_directory.decode_persistent t.pdir d
+
+(* Re-apply one logged metadata note. Notes are plain "set" payloads, so
+   applying a replayed prefix twice is the same as once. Unknown tags are
+   skipped: a log written by a newer daemon must not wedge recovery. *)
+let apply_note t tag data =
+  let d = Codec.decoder data in
+  match tag with
+  | "homed.put" ->
+    let r = Region.decode d in
+    Gaddr.Table.replace t.homed r.Region.base r;
+    Region_directory.put t.rdir r
+  | "homed.del" ->
+    let base = Codec.read_u128 d in
+    Gaddr.Table.remove t.homed base;
+    Region_directory.remove t.rdir base
+  | "pdir.ensure" ->
+    let page = Codec.read_u128 d in
+    let region_base = Codec.read_u128 d in
+    ignore (Page_directory.ensure t.pdir ~page ~region_base ~homed_here:true)
+  | "pdir.sharers" ->
+    let page = Codec.read_u128 d in
+    let region_base = Codec.read_u128 d in
+    let sharers = Codec.read_list d (fun () -> Codec.read_int d) in
+    ignore (Page_directory.ensure t.pdir ~page ~region_base ~homed_here:true);
+    Page_directory.set_sharers t.pdir page sharers
+  | "page.free" ->
+    let page = Codec.read_u128 d in
+    Store.drop t.store page;
+    Page_directory.remove t.pdir page
+  | _ -> ()
+
+(* The recovery phase proper: scrub torn disk images, then reconstruct
+   state from the last checkpoint snapshot plus the committed log suffix.
+   Replayed page images land clean in RAM and are written through to disk;
+   the closing {!Store.sync} hardens them, so a second crash right after
+   recovery replays from an equally good disk. *)
+let wal_replay t =
+  let scrubbed = Store.scrub t.store in
+  if scrubbed > 0 then
+    Metrics.observe t.metrics "recovery.scrubbed" (float_of_int scrubbed);
+  let r = Wal.replay t.wal in
+  (match r.Wal.snapshot with
+   | Some snap -> restore_snapshot t snap
+   | None -> ());
+  List.iter
+    (fun op ->
+      match op with
+      | Wal.Page (page, data) ->
+        Store.write_immediate t.store page data ~dirty:false;
+        Store.flush_immediate t.store page
+      | Wal.Note (tag, data) -> apply_note t tag data)
+    r.Wal.ops;
+  Store.sync t.store;
+  Metrics.observe t.metrics "recovery.replayed" (float_of_int r.Wal.replayed);
+  if r.Wal.discarded > 0 then
+    Metrics.observe t.metrics "recovery.discarded"
+      (float_of_int r.Wal.discarded)
+
 let start_repair t =
   let epoch = t.epoch in
   let rec loop () =
     Ksim.Fiber.sleep t.cfg.repair_every;
     if t.up && t.epoch = epoch then begin
       repair_pass t;
+      if t.up && t.epoch = epoch && Wal.needs_checkpoint t.wal then
+        wal_checkpoint t;
       loop ()
     end
   in
@@ -1506,8 +1701,18 @@ let crash t =
   t.epoch <- t.epoch + 1;
   Wire.Transport.Net.crash (Wire.Transport.net t.transport) t.id;
   Store.crash t.store;
+  Wal.crash t.wal;
   Gaddr.Table.reset t.machines;
+  (* Nothing in memory survives by magic anymore: the homed-region table,
+     the page directory and the region-descriptor cache all die here and
+     come back through WAL replay (or, for hints, through traffic). The
+     address pool leaks — exactly as unflushed reservations would. *)
   Page_directory.crash t.pdir;
+  Gaddr.Table.reset t.homed;
+  List.iter
+    (fun r -> Region_directory.remove t.rdir r.Region.base)
+    (Region_directory.entries t.rdir);
+  t.pool <- [];
   (* In-flight client operations die with the node. *)
   Hashtbl.iter
     (fun _ p -> ignore (Ksim.Promise.try_resolve p (Error (`Unavailable "node crashed"))))
@@ -1519,14 +1724,24 @@ let crash t =
   t.last_hint <- []
 
 let recover t =
-  t.up <- true;
   t.epoch <- t.epoch + 1;
+  let epoch = t.epoch in
   Wire.Transport.Net.recover (Wire.Transport.net t.transport) t.id;
-  (* Home-role machines are rebuilt from the surviving disk tier — eagerly
-     by the repair loop (pages the page directory remembers as homed
-     here), lazily on first touch for the rest. *)
-  start_reporting t;
-  start_repair t
+  (* Recovery is a real phase with a real duration: the node is back on
+     the network but refuses service ([t.up] still false) until the WAL
+     replay completes. The replay charges simulated time proportional to
+     the log length — this is the availability gap E8c measures — then
+     reconstructs metadata and committed page images, and only then opens
+     the doors and hands off to the repair loop, which eagerly rebuilds
+     home machines for the recovered pages. *)
+  Ksim.Fiber.spawn t.engine ~name:"wal-recovery" (fun () ->
+      Ksim.Fiber.sleep (Wal.replay_cost t.wal);
+      if t.epoch = epoch && not t.up then begin
+        wal_replay t;
+        t.up <- true;
+        start_reporting t;
+        start_repair t
+      end)
 
 let create ?(config = default_config) ?(peer_managers = []) ~id ~bootstrap
     ~cluster_manager transport =
@@ -1537,6 +1752,16 @@ let create ?(config = default_config) ?(peer_managers = []) ~id ~bootstrap
       (Store.config ~ram_pages:config.ram_pages ~disk_pages:config.disk_pages ())
   in
   Store.set_node store id;
+  let wal =
+    Wal.create
+      ~config:
+        {
+          Wal.default_config with
+          Wal.checkpoint_every = config.wal_checkpoint_every;
+        }
+      ~rng:(Kutil.Rng.split (Ksim.Engine.rng engine))
+      ()
+  in
   let cm_state =
     if cluster_manager = id then
       Some (Cluster.create ~cluster_id:(Topology.cluster_of topology id))
@@ -1553,6 +1778,7 @@ let create ?(config = default_config) ?(peer_managers = []) ~id ~bootstrap
       cluster_manager;
       peer_managers = List.filter (fun n -> n <> cluster_manager) peer_managers;
       store;
+      wal;
       rdir = Region_directory.create ~capacity:config.rdir_capacity;
       pdir = Page_directory.create ();
       homed = Gaddr.Table.create 32;
@@ -1575,6 +1801,9 @@ let create ?(config = default_config) ?(peer_managers = []) ~id ~bootstrap
     }
   in
   Store.set_evict_hook store (fun page data ~dirty -> on_evict t page data ~dirty);
+  (* An injected crash point inside a disk I/O takes the whole daemon down,
+     exactly as nemesis's external crashes do. *)
+  Store.set_crash_hook store (fun () -> if t.up then crash t);
   Wire.Transport.set_server transport id (fun ~src ~span req ~reply ->
       serve t ~src ~span req ~reply);
   start_reporting t;

@@ -32,6 +32,9 @@ type config = {
           three missed reports) *)
   repair_every : Ksim.Time.t;
       (** period of the home-side replica-repair pass (500 ms) *)
+  wal_checkpoint_every : int;
+      (** intent-log records before the repair loop takes a truncating
+          checkpoint (default 512) *)
 }
 
 val default_config : config
@@ -67,13 +70,26 @@ val engine : t -> Ksim.Engine.t
 val is_up : t -> bool
 
 val crash : t -> unit
-(** Lose RAM state, CM machines and in-flight operations; keep the disk
-    tier and authoritative homed-region table (the paper's persistent page
-    directory). The node also leaves the network. *)
+(** Lose all in-memory state: RAM tier, CM machines, in-flight operations,
+    the homed-region table, the page directory and the descriptor cache.
+    The disk tier survives minus whatever the fault model takes (unsynced
+    writes roll back, the crash frontier may tear); the intent log survives
+    to its last sync. The node also leaves the network. *)
 
 val recover : t -> unit
-(** Rejoin the network; home-role machines whose data survived on disk are
-    rebuilt eagerly by the repair loop, the rest lazily on first touch. *)
+(** Rejoin the network and start the recovery phase: the daemon stays
+    {!is_up}[ = false] while a fiber charges the simulated replay cost,
+    scrubs torn disk images, and reconstructs metadata and committed page
+    images from the WAL (checkpoint snapshot + committed log suffix). Only
+    then does it serve again; the repair loop takes over to eagerly rebuild
+    home machines and restore replica floors. *)
+
+val set_disk_faults : t -> Kstorage.Disk_fault.config -> unit
+(** Install the disk fault model on this node's page store and intent log
+    (default {!Kstorage.Disk_fault.none}). *)
+
+val wal : t -> Kstorage.Wal.t
+(** This node's write-ahead intent log (introspection: size, stats). *)
 
 (** {1 Failure detection}
 

@@ -4,8 +4,11 @@
     indexed by global addresses, that contains information about individual
     pages of global regions including the list of nodes sharing this page."
     Entries for locally-homed pages are authoritative (they mirror the
-    consistency manager's sharer knowledge and survive crashes, like the
-    disk tier); entries for remote pages are hints. *)
+    consistency manager's sharer knowledge); entries for remote pages are
+    hints. Nothing here survives a crash by itself — the in-memory table is
+    wiped, and recovery rebuilds the authoritative part from the WAL
+    checkpoint snapshot ({!encode_persistent} / {!decode_persistent}) plus
+    the replayed log suffix. *)
 
 type entry = {
   region_base : Kutil.Gaddr.t;
@@ -21,7 +24,16 @@ val find : t -> Kutil.Gaddr.t -> entry option
 val set_sharers : t -> Kutil.Gaddr.t -> Knet.Topology.node_id list -> unit
 val remove : t -> Kutil.Gaddr.t -> unit
 val crash : t -> unit
-(** Drop hint entries (remote pages); keep authoritative local ones. *)
+(** Wipe everything: the directory lives in memory. Homed entries come back
+    through WAL replay, hints through traffic and anti-entropy repair. *)
 
 val length : t -> int
 val fold : (Kutil.Gaddr.t -> entry -> 'a -> 'a) -> t -> 'a -> 'a
+
+val encode_persistent : t -> Kutil.Codec.encoder -> unit
+(** Append the authoritative (homed-here) entries, sorted by page, for a
+    WAL checkpoint snapshot. *)
+
+val decode_persistent : t -> Kutil.Codec.decoder -> unit
+(** Re-create the entries written by {!encode_persistent} (merging into
+    whatever the log suffix already restored). *)

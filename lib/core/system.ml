@@ -54,6 +54,7 @@ let run_until_quiet ?(limit = Ksim.Time.sec 60) t =
 
 let crash t node = Daemon.crash (daemon t node)
 let recover t node = Daemon.recover (daemon t node)
+let set_disk_faults t node faults = Daemon.set_disk_faults (daemon t node) faults
 
 let partition t a b =
   Wire.Transport.Net.partition (net t) a b

@@ -48,5 +48,9 @@ val now : t -> Ksim.Time.t
 
 val crash : t -> Knet.Topology.node_id -> unit
 val recover : t -> Knet.Topology.node_id -> unit
+
+(** Install (or clear, with {!Kstorage.Disk_fault.none}) the disk fault
+    model on one node's page store and intent log. *)
+val set_disk_faults : t -> Knet.Topology.node_id -> Kstorage.Disk_fault.config -> unit
 val partition : t -> Knet.Topology.node_id list -> Knet.Topology.node_id list -> unit
 val heal : t -> unit

@@ -1,0 +1,38 @@
+type config = {
+  lost_write_prob : float;
+  torn_write_prob : float;
+  crash_during_io_prob : float;
+}
+
+let none =
+  { lost_write_prob = 0.0; torn_write_prob = 0.0; crash_during_io_prob = 0.0 }
+
+let active c =
+  c.lost_write_prob > 0.0 || c.torn_write_prob > 0.0
+  || c.crash_during_io_prob > 0.0
+
+(* FNV-1a (offset basis truncated to OCaml's 63-bit int), folded over every
+   byte. [Hashtbl.hash] samples only a prefix of large buffers, which would
+   let a torn tail slip through verification. *)
+let checksum b =
+  let h = ref 0x3bf29ce484222325 in
+  for i = 0 to Bytes.length b - 1 do
+    h := (!h lxor Char.code (Bytes.unsafe_get b i)) * 0x100000001b3
+  done;
+  !h land max_int
+
+let tear rng ~intended ~prior =
+  let len = Bytes.length intended in
+  let out =
+    match prior with
+    | Some p when Bytes.length p = len -> Bytes.copy p
+    | Some _ | None -> Bytes.make len '\000'
+  in
+  (* At least one byte written, at least one byte missing: a cut strictly
+     inside the buffer (single-byte writes cannot tear). *)
+  if len >= 2 then begin
+    let cut = 1 + Kutil.Rng.int rng (len - 1) in
+    Bytes.blit intended 0 out 0 cut
+  end
+  else Bytes.blit intended 0 out 0 len;
+  out

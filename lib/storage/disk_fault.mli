@@ -1,0 +1,36 @@
+(** Disk fault model shared by the page store and the write-ahead log.
+
+    The simulated disk tier has a volatile write cache: writes land in it
+    immediately but only become durable at a [sync] barrier. A crash rolls
+    the cache back according to this model — each unsynced write may be
+    lost, and the write at the crash frontier may additionally be {e torn}
+    (a partial page/record image). All draws come from a seeded
+    {!Kutil.Rng} stream, so every failure is replayable from the seed. *)
+
+type config = {
+  lost_write_prob : float;
+      (** chance that an unsynced write (and, for a sequential log,
+          everything after it) rolls back on crash *)
+  torn_write_prob : float;
+      (** chance that the write at the crash frontier leaves a partial
+          image instead of disappearing cleanly; detectable by checksum *)
+  crash_during_io_prob : float;
+      (** chance that a disk I/O invokes the registered crash hook
+          mid-flight (inside the disk-latency sleep) *)
+}
+
+val none : config
+(** All probabilities zero: the seed-state "disk is perfect" model. *)
+
+val active : config -> bool
+(** At least one probability is non-zero. *)
+
+val checksum : bytes -> int
+(** FNV-1a over the whole buffer. Every disk frame and log record carries
+    the checksum of its content; a torn image fails verification, which is
+    how recovery discards it instead of serving garbage. *)
+
+val tear : Kutil.Rng.t -> intended:bytes -> prior:bytes option -> bytes
+(** A torn image of a write that was cut off partway: a prefix of the
+    intended bytes over a suffix of the prior durable content (zeros when
+    the sector was never written). The cut point comes from [rng]. *)

@@ -26,6 +26,7 @@ type frame = {
   mutable dirty : bool;
   mutable pins : int;
   mutable last_use : int;
+  mutable sum : int;  (* checksum of [data]; maintained on the disk tier *)
 }
 
 type evict_hook = Gaddr.t -> bytes -> dirty:bool -> unit
@@ -37,13 +38,28 @@ type stats = {
   ram_evictions : int;
   disk_evictions : int;
   writebacks : int;
+  syncs : int;
+  lost_writes : int;
+  torn_writes : int;
+  torn_detected : int;
 }
 
 type t = {
   engine : Ksim.Engine.t;
   cfg : config;
+  rng : Kutil.Rng.t;
   ram : frame Gaddr.Table.t;
   disk : frame Gaddr.Table.t;
+  (* Disk writes since the last {!sync} barrier, with the content that was
+     durable before the first overwrite ([None]: page was absent). A crash
+     rolls each entry back according to the fault model. *)
+  unsynced : (bytes * int) option Gaddr.Table.t;
+  (* Demotions currently inside their disk-latency sleep; a crash catches
+     these mid-write and may tear them onto the platter. *)
+  mutable in_flight : (Gaddr.t * frame) list;
+  mutable faults : Disk_fault.config;
+  mutable crash_hook : unit -> unit;
+  mutable epoch : int;
   mutable hook : evict_hook;
   mutable node : int;  (* owning daemon's node id, -1 until set: trace tag *)
   mutable tick : int;
@@ -53,6 +69,10 @@ type t = {
   mutable ram_evictions : int;
   mutable disk_evictions : int;
   mutable writebacks : int;
+  mutable sync_count : int;
+  mutable lost_writes : int;
+  mutable torn_writes : int;
+  mutable torn_detected : int;
 }
 
 let create engine cfg =
@@ -61,8 +81,14 @@ let create engine cfg =
   {
     engine;
     cfg;
+    rng = Kutil.Rng.split (Ksim.Engine.rng engine);
     ram = Gaddr.Table.create 64;
     disk = Gaddr.Table.create 256;
+    unsynced = Gaddr.Table.create 64;
+    in_flight = [];
+    faults = Disk_fault.none;
+    crash_hook = (fun () -> ());
+    epoch = 0;
     hook = (fun _ _ ~dirty:_ -> ());
     node = -1;
     tick = 0;
@@ -72,10 +98,17 @@ let create engine cfg =
     ram_evictions = 0;
     disk_evictions = 0;
     writebacks = 0;
+    sync_count = 0;
+    lost_writes = 0;
+    torn_writes = 0;
+    torn_detected = 0;
   }
 
 let set_evict_hook t hook = t.hook <- hook
 let set_node t node = t.node <- node
+let set_faults t faults = t.faults <- faults
+let faults t = t.faults
+let set_crash_hook t hook = t.crash_hook <- hook
 
 (* Tier transitions land in the global trace stream (unattached to any
    span: eviction is a side effect of whoever faulted the cache, not of
@@ -96,6 +129,33 @@ let touch t frame =
   t.tick <- t.tick + 1;
   frame.last_use <- t.tick
 
+(* A disk I/O may hit a crash point partway through its latency window. The
+   hook fires from the event queue, never synchronously from inside the
+   caller's operation, so the crash lands mid-sleep exactly as a real power
+   cut would: after the op started, before it completed. *)
+let maybe_crash_during_io t latency =
+  let p = t.faults.Disk_fault.crash_during_io_prob in
+  if p > 0.0 && Kutil.Rng.float t.rng 1.0 < p then begin
+    let after = 1 + Kutil.Rng.int t.rng (max 1 (latency - 1)) in
+    let hook = t.crash_hook in
+    ignore (Ksim.Engine.schedule t.engine ~after (fun () -> hook ()))
+  end
+
+(* Install/overwrite a page on the disk tier, remembering the content that
+   was durable before the first unsynced overwrite so a crash can roll it
+   back. *)
+let install_disk t addr frame =
+  if not (Gaddr.Table.mem t.unsynced addr) then begin
+    let prior =
+      match Gaddr.Table.find_opt t.disk addr with
+      | Some old -> Some (old.data, old.sum)
+      | None -> None
+    in
+    Gaddr.Table.replace t.unsynced addr prior
+  end;
+  frame.sum <- Disk_fault.checksum frame.data;
+  Gaddr.Table.replace t.disk addr frame
+
 (* Least-recently-used unpinned entry of a table; O(size), which is fine at
    simulated-cache scale. *)
 let victim table =
@@ -114,6 +174,7 @@ let rec make_disk_room t =
     | None -> () (* everything pinned: overcommit rather than deadlock *)
     | Some (addr, frame) ->
       Gaddr.Table.remove t.disk addr;
+      Gaddr.Table.remove t.unsynced addr;
       t.disk_evictions <- t.disk_evictions + 1;
       trace_tier t "store.evict" addr
         ~attrs:[ ("tier", "disk"); ("dirty", string_of_bool frame.dirty) ];
@@ -126,7 +187,10 @@ let rec make_disk_room t =
   end
 
 (* Demote a RAM victim to disk. Writing disk costs simulated time on the
-   data plane; control-plane installs skip the sleep. *)
+   data plane; control-plane installs skip the sleep. If the store crashed
+   while we slept, the write never completed — the crash handler decides
+   (from [in_flight]) whether it tore; either way this fiber must not touch
+   the post-crash tables. *)
 let rec make_ram_room t ~charge =
   if Gaddr.Table.length t.ram >= t.cfg.ram_pages then begin
     match victim t.ram with
@@ -137,34 +201,72 @@ let rec make_ram_room t ~charge =
       trace_tier t "store.demote" addr
         ~attrs:[ ("from", "ram"); ("to", "disk") ];
       make_disk_room t;
-      if charge then Ksim.Fiber.sleep t.cfg.disk_write_latency;
-      Gaddr.Table.replace t.disk addr frame;
-      make_ram_room t ~charge
+      let survived =
+        if charge then begin
+          let epoch = t.epoch in
+          t.in_flight <- (addr, frame) :: t.in_flight;
+          maybe_crash_during_io t t.cfg.disk_write_latency;
+          Ksim.Fiber.sleep t.cfg.disk_write_latency;
+          if t.epoch = epoch then begin
+            t.in_flight <-
+              List.filter (fun (_, f) -> f != frame) t.in_flight;
+            true
+          end
+          else false
+        end
+        else true
+      in
+      if survived then begin
+        install_disk t addr frame;
+        make_ram_room t ~charge
+      end
   end
 
 let install_ram ?(charge = true) t addr frame =
+  let epoch = t.epoch in
   make_ram_room t ~charge;
-  Gaddr.Table.replace t.ram addr frame
+  (* The demotion above may have slept across a crash; the fresh tables
+     belong to the next life of this store. *)
+  if t.epoch = epoch then Gaddr.Table.replace t.ram addr frame
+
+(* Reading a disk frame verifies its checksum; a torn image is dropped on
+   detection and reads as a miss — the store never serves one. *)
+let verify_disk t addr frame =
+  if Disk_fault.checksum frame.data = frame.sum then true
+  else begin
+    Gaddr.Table.remove t.disk addr;
+    Gaddr.Table.remove t.unsynced addr;
+    t.torn_detected <- t.torn_detected + 1;
+    trace_tier t "store.torn" addr ~attrs:[ ("tier", "disk") ];
+    false
+  end
 
 let read t addr =
   match Gaddr.Table.find_opt t.ram addr with
   | Some frame ->
     t.ram_hits <- t.ram_hits + 1;
     touch t frame;
+    let epoch = t.epoch in
     Ksim.Fiber.sleep t.cfg.ram_latency;
-    Some (Bytes.copy frame.data)
+    if t.epoch = epoch then Some (Bytes.copy frame.data) else None
   | None -> (
     match Gaddr.Table.find_opt t.disk addr with
-    | Some frame ->
+    | Some frame when verify_disk t addr frame ->
       t.disk_hits <- t.disk_hits + 1;
       touch t frame;
+      let epoch = t.epoch in
+      maybe_crash_during_io t t.cfg.disk_read_latency;
       Ksim.Fiber.sleep t.cfg.disk_read_latency;
-      Gaddr.Table.remove t.disk addr;
-      trace_tier t "store.promote" addr
-        ~attrs:[ ("from", "disk"); ("to", "ram") ];
-      install_ram t addr frame;
-      Some (Bytes.copy frame.data)
-    | None ->
+      if t.epoch <> epoch then None
+      else begin
+        Gaddr.Table.remove t.disk addr;
+        Gaddr.Table.remove t.unsynced addr;
+        trace_tier t "store.promote" addr
+          ~attrs:[ ("from", "disk"); ("to", "ram") ];
+        install_ram t addr frame;
+        Some (Bytes.copy frame.data)
+      end
+    | Some _ | None ->
       t.misses <- t.misses + 1;
       None)
 
@@ -177,17 +279,25 @@ let write t addr data ~dirty =
     touch t frame;
     Ksim.Fiber.sleep t.cfg.ram_latency
   | None ->
-    let pins, was_dirty =
+    (* Overwriting a disk-resident page replaces its content outright; the
+       old frame's dirty bit still matters (the overwritten bytes were
+       never pushed) but its pins belonged to fibers of a previous life of
+       this page and must not resurrect. *)
+    let was_dirty =
       match Gaddr.Table.find_opt t.disk addr with
       | Some old ->
         Gaddr.Table.remove t.disk addr;
-        (old.pins, old.dirty)
-      | None -> (0, false)
+        Gaddr.Table.remove t.unsynced addr;
+        old.dirty
+      | None -> false
     in
-    let frame = { data; dirty = dirty || was_dirty; pins; last_use = 0 } in
+    let frame =
+      { data; dirty = dirty || was_dirty; pins = 0; last_use = 0; sum = 0 }
+    in
     touch t frame;
+    let epoch = t.epoch in
     install_ram t addr frame;
-    Ksim.Fiber.sleep t.cfg.ram_latency
+    if t.epoch = epoch then Ksim.Fiber.sleep t.cfg.ram_latency
 
 let find_frame t addr =
   match Gaddr.Table.find_opt t.ram addr with
@@ -195,9 +305,12 @@ let find_frame t addr =
   | None -> Gaddr.Table.find_opt t.disk addr
 
 let read_immediate t addr =
-  match find_frame t addr with
+  match Gaddr.Table.find_opt t.ram addr with
   | Some frame -> Some (Bytes.copy frame.data)
-  | None -> None
+  | None -> (
+    match Gaddr.Table.find_opt t.disk addr with
+    | Some frame when verify_disk t addr frame -> Some (Bytes.copy frame.data)
+    | Some _ | None -> None)
 
 let write_immediate t addr data ~dirty =
   let data = Bytes.copy data in
@@ -209,10 +322,11 @@ let write_immediate t addr data ~dirty =
     (* Promote disk frames so the data plane sees a RAM hit next. *)
     if (not (Gaddr.Table.mem t.ram addr)) && Gaddr.Table.mem t.disk addr then begin
       Gaddr.Table.remove t.disk addr;
+      Gaddr.Table.remove t.unsynced addr;
       install_ram ~charge:false t addr frame
     end
   | None ->
-    let frame = { data; dirty; pins = 0; last_use = 0 } in
+    let frame = { data; dirty; pins = 0; last_use = 0; sum = 0 } in
     touch t frame;
     install_ram ~charge:false t addr frame
 
@@ -222,10 +336,11 @@ let mark_clean t addr =
 let is_dirty t addr =
   match find_frame t addr with Some f -> f.dirty | None -> false
 
+(* Pin/unpin tolerate non-resident pages symmetrically: a page can be
+   invalidated or crash away while a lock context holds it, and the
+   context's cleanup must not distinguish the cases. *)
 let pin t addr =
-  match find_frame t addr with
-  | Some f -> f.pins <- f.pins + 1
-  | None -> invalid_arg "Page_store.pin: page not resident"
+  match find_frame t addr with Some f -> f.pins <- f.pins + 1 | None -> ()
 
 let unpin t addr =
   match find_frame t addr with
@@ -235,27 +350,117 @@ let unpin t addr =
 let flush_immediate t addr =
   match Gaddr.Table.find_opt t.ram addr with
   | None -> ()
-  | Some frame -> (
+  | Some frame ->
     t.writebacks <- t.writebacks + 1;
-    match Gaddr.Table.find_opt t.disk addr with
-    | Some d ->
-      d.data <- Bytes.copy frame.data;
-      d.dirty <- false
-    | None ->
-      make_disk_room t;
-      Gaddr.Table.replace t.disk addr
-        {
-          data = Bytes.copy frame.data;
-          dirty = false;
-          pins = 0;
-          last_use = frame.last_use;
-        })
+    (* The RAM copy is now backed by disk: clear its dirty bit, or the
+       same bytes get counted and written back a second time on
+       demotion. *)
+    frame.dirty <- false;
+    if not (Gaddr.Table.mem t.disk addr) then make_disk_room t;
+    install_disk t addr
+      {
+        data = Bytes.copy frame.data;
+        dirty = false;
+        pins = 0;
+        last_use = frame.last_use;
+        sum = 0;
+      }
+
+let sync t =
+  if Gaddr.Table.length t.unsynced > 0 then
+    t.sync_count <- t.sync_count + 1;
+  Gaddr.Table.reset t.unsynced
 
 let drop t addr =
   Gaddr.Table.remove t.ram addr;
-  Gaddr.Table.remove t.disk addr
+  Gaddr.Table.remove t.disk addr;
+  Gaddr.Table.remove t.unsynced addr
 
-let crash t = Gaddr.Table.reset t.ram
+let crash t =
+  (* Fence: fibers asleep inside an operation observe the epoch change and
+     abandon their work instead of polluting the post-crash tables. *)
+  t.epoch <- t.epoch + 1;
+  Gaddr.Table.reset t.ram;
+  (* Demotions caught mid-write: the write never completed. With the fault
+     model on, it may have torn — a partial image lands on disk whose
+     checksum (of the intended content) won't verify. *)
+  let flights = List.rev t.in_flight in
+  t.in_flight <- [];
+  if Disk_fault.active t.faults then
+    List.iter
+      (fun (addr, frame) ->
+        if Kutil.Rng.float t.rng 1.0 < t.faults.Disk_fault.torn_write_prob
+        then begin
+          let prior =
+            Option.map
+              (fun f -> f.data)
+              (Gaddr.Table.find_opt t.disk addr)
+          in
+          let torn = Disk_fault.tear t.rng ~intended:frame.data ~prior in
+          Gaddr.Table.replace t.disk addr
+            {
+              data = torn;
+              dirty = false;
+              pins = 0;
+              last_use = frame.last_use;
+              sum = Disk_fault.checksum frame.data;
+            };
+          t.torn_writes <- t.torn_writes + 1
+        end)
+      flights;
+  (* Completed-but-unsynced writes: each may roll back to the prior durable
+     content, and the rolled-back write may tear instead of vanishing
+     cleanly. Sorted order keeps the rng draw sequence independent of hash
+     table iteration. *)
+  if Disk_fault.active t.faults then begin
+    let entries = Gaddr.Table.fold (fun a p acc -> (a, p) :: acc) t.unsynced [] in
+    let entries = List.sort (fun (a, _) (b, _) -> Gaddr.compare a b) entries in
+    List.iter
+      (fun (addr, prior) ->
+        match Gaddr.Table.find_opt t.disk addr with
+        | None -> ()
+        | Some frame ->
+          if Kutil.Rng.float t.rng 1.0 < t.faults.Disk_fault.lost_write_prob
+          then
+            if
+              Kutil.Rng.float t.rng 1.0 < t.faults.Disk_fault.torn_write_prob
+            then begin
+              let pdata = Option.map fst prior in
+              frame.data <-
+                Disk_fault.tear t.rng ~intended:frame.data ~prior:pdata;
+              (* frame.sum still covers the intended bytes: mismatch. *)
+              t.torn_writes <- t.torn_writes + 1
+            end
+            else begin
+              (match prior with
+              | Some (pdata, psum) ->
+                frame.data <- pdata;
+                frame.sum <- psum;
+                frame.dirty <- false
+              | None -> Gaddr.Table.remove t.disk addr);
+              t.lost_writes <- t.lost_writes + 1
+            end)
+      entries
+  end;
+  Gaddr.Table.reset t.unsynced;
+  (* Pins were owned by fibers the crash killed. *)
+  Gaddr.Table.iter (fun _ f -> f.pins <- 0) t.disk
+
+let scrub t =
+  let torn =
+    Gaddr.Table.fold
+      (fun addr frame acc ->
+        if Disk_fault.checksum frame.data = frame.sum then acc
+        else addr :: acc)
+      t.disk []
+  in
+  List.iter
+    (fun addr ->
+      Gaddr.Table.remove t.disk addr;
+      t.torn_detected <- t.torn_detected + 1;
+      trace_tier t "store.torn" addr ~attrs:[ ("tier", "disk") ])
+    torn;
+  List.length torn
 
 let pages t =
   let acc = Gaddr.Table.fold (fun a _ acc -> a :: acc) t.ram [] in
@@ -272,6 +477,10 @@ let stats t =
     ram_evictions = t.ram_evictions;
     disk_evictions = t.disk_evictions;
     writebacks = t.writebacks;
+    syncs = t.sync_count;
+    lost_writes = t.lost_writes;
+    torn_writes = t.torn_writes;
+    torn_detected = t.torn_detected;
   }
 
 let reset_stats t =
@@ -280,4 +489,8 @@ let reset_stats t =
   t.misses <- 0;
   t.ram_evictions <- 0;
   t.disk_evictions <- 0;
-  t.writebacks <- 0
+  t.writebacks <- 0;
+  t.sync_count <- 0;
+  t.lost_writes <- 0;
+  t.torn_writes <- 0;
+  t.torn_detected <- 0

@@ -5,8 +5,17 @@
     charge simulated latency (call them from a fiber). When RAM fills,
     unpinned pages are victimised to disk; when disk fills, the victim is
     handed to the eviction hook so the consistency protocol can push dirty
-    data and update sharer lists before the copy disappears. A crash wipes
-    RAM; disk contents survive into recovery. *)
+    data and update sharer lists before the copy disappears.
+
+    The disk tier has a volatile write cache: a write becomes durable only
+    at the next {!sync} barrier. A crash wipes RAM and — under an active
+    {!Disk_fault.config} — rolls unsynced disk writes back to their prior
+    durable content, possibly leaving torn (checksum-failing) images, which
+    the store detects and drops rather than serves. Disk I/O can also hit
+    an injected crash point inside its latency window, firing the
+    registered crash hook mid-operation. All fault draws come from an rng
+    split off the engine's seeded stream, so failures replay from the
+    seed. *)
 
 type config = {
   ram_pages : int;                  (** RAM frames *)
@@ -31,8 +40,19 @@ val set_evict_hook : t -> evict_hook -> unit
 
 val set_node : t -> int -> unit
 (** Tag this store with its daemon's node id so the {!Ktrace} tier events
-    it emits ([store.promote] / [store.demote] / [store.evict]) identify
-    their node. Events cost nothing while no trace sink is installed. *)
+    it emits ([store.promote] / [store.demote] / [store.evict] /
+    [store.torn]) identify their node. Events cost nothing while no trace
+    sink is installed. *)
+
+val set_faults : t -> Disk_fault.config -> unit
+(** Default {!Disk_fault.none}: the disk never lies. *)
+
+val faults : t -> Disk_fault.config
+
+val set_crash_hook : t -> (unit -> unit) -> unit
+(** Invoked (from the event queue, never synchronously from inside a store
+    operation) when an injected crash point inside a disk I/O fires. The
+    owning daemon points this at its own crash entry point. *)
 
 type tier = Ram | Disk
 
@@ -41,7 +61,9 @@ val where : t -> Kutil.Gaddr.t -> tier option
 
 val read : t -> Kutil.Gaddr.t -> bytes option
 (** Fetch a copy of the page, promoting disk hits into RAM. Returns a fresh
-    buffer; mutating it does not affect the store. *)
+    buffer; mutating it does not affect the store. Torn disk images are
+    dropped, not served. [None] also when the store crashed while the read
+    slept. *)
 
 val write : t -> Kutil.Gaddr.t -> bytes -> dirty:bool -> unit
 (** Install or overwrite the page in RAM. [dirty] marks it as needing
@@ -49,24 +71,32 @@ val write : t -> Kutil.Gaddr.t -> bytes -> dirty:bool -> unit
 
 val read_immediate : t -> Kutil.Gaddr.t -> bytes option
 (** Control-plane read: no simulated latency, no tier promotion. Safe to
-    call outside a fiber. *)
+    call outside a fiber. Torn disk images are dropped, not served. *)
 
 val write_immediate : t -> Kutil.Gaddr.t -> bytes -> dirty:bool -> unit
 (** Control-plane install: no simulated latency. Evictions it forces still
     invoke the eviction hook synchronously. *)
 
 val flush_immediate : t -> Kutil.Gaddr.t -> unit
-(** Copy the RAM-resident frame of [addr] through to the disk tier (the
-    page stays in RAM, and keeps its dirty flag for protocol purposes) so
-    its current content survives {!crash}. Control-plane: no simulated
-    latency. No-op when the page is not RAM-resident. *)
+(** Copy the RAM-resident frame of [addr] through to the disk tier and
+    clear the RAM frame's dirty bit (the bytes are now backed; leaving it
+    set would write them back a second time on demotion). The write is
+    unsynced until the next {!sync}. Control-plane: no simulated latency.
+    No-op when the page is not RAM-resident. *)
+
+val sync : t -> unit
+(** Durability barrier: every disk write so far survives any later crash.
+    Control-plane (the simulated cost of reaching a barrier is charged by
+    callers where it matters). *)
 
 val mark_clean : t -> Kutil.Gaddr.t -> unit
 val is_dirty : t -> Kutil.Gaddr.t -> bool
 
 val pin : t -> Kutil.Gaddr.t -> unit
 (** Pinned pages (under an active lock context) are never victimised.
-    Pins nest. *)
+    Pins nest. No-op on non-resident pages — a page can be invalidated or
+    crash away under an active lock context, and pin/unpin stay
+    symmetric. *)
 
 val unpin : t -> Kutil.Gaddr.t -> unit
 
@@ -74,7 +104,16 @@ val drop : t -> Kutil.Gaddr.t -> unit
 (** Remove the local copy without writeback (after invalidation). *)
 
 val crash : t -> unit
-(** Lose the RAM tier (including dirty pages!); keep disk. *)
+(** Lose the RAM tier (including dirty pages!) and all pins; apply the
+    fault model to unsynced disk writes (roll back to prior durable
+    content, possibly tearing the image at the crash frontier) and to
+    demotions caught mid-write. Fibers asleep inside store operations
+    observe the crash and abandon their work. *)
+
+val scrub : t -> int
+(** Recovery pass: drop every disk frame whose checksum fails (torn
+    images), returning how many were dropped. Run before replaying the
+    WAL so replayed images repair the holes. *)
 
 val pages : t -> Kutil.Gaddr.t list
 (** All locally cached page addresses. *)
@@ -88,7 +127,11 @@ type stats = {
   misses : int;
   ram_evictions : int;
   disk_evictions : int;
-  writebacks : int;  (** dirty pages handed to the evict hook *)
+  writebacks : int;     (** dirty pages handed to the evict hook *)
+  syncs : int;          (** {!sync} barriers that had writes to harden *)
+  lost_writes : int;    (** unsynced writes rolled back by a crash *)
+  torn_writes : int;    (** partial images left on disk by a crash *)
+  torn_detected : int;  (** torn images caught by checksum and dropped *)
 }
 
 val stats : t -> stats

@@ -1,0 +1,291 @@
+let src = Logs.Src.create "khazana.wal" ~doc:"Write-ahead intent log"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+module Gaddr = Kutil.Gaddr
+module Codec = Kutil.Codec
+
+type config = {
+  checkpoint_every : int;
+  replay_open_cost : Ksim.Time.t;
+  replay_record_cost : Ksim.Time.t;
+}
+
+let default_config =
+  {
+    checkpoint_every = 512;
+    replay_open_cost = Ksim.Time.ms 6;
+    replay_record_cost = Ksim.Time.us 40;
+  }
+
+type payload = Page of Gaddr.t * bytes | Note of string * bytes
+
+type body =
+  | Begin of int
+  | Data of int * payload
+  | Commit of int
+  | Control of payload
+  | Checkpoint of bytes
+
+(* Each record carries the checksum of its encoded body, standing in for the
+   on-disk framing a real log would have. A torn record is modelled by
+   replacing [image] with a cut of the encoding; [check] then fails. *)
+type record = { body : body; image : bytes; check : int }
+
+type stats = {
+  appends : int;
+  syncs : int;
+  commits : int;
+  checkpoints : int;
+  torn_tail : int;
+  lost_records : int;
+}
+
+type t = {
+  config : config;
+  rng : Kutil.Rng.t;
+  mutable faults : Disk_fault.config;
+  mutable records : record list; (* newest first *)
+  mutable synced : int;          (* durable prefix length (oldest-first) *)
+  mutable len : int;
+  mutable since_checkpoint : int;
+  mutable next_tx : int;
+  mutable generation : int;      (* bumped on crash: fences stale tx handles *)
+  mutable appends : int;
+  mutable sync_count : int;
+  mutable commit_count : int;
+  mutable checkpoint_count : int;
+  mutable torn_count : int;
+  mutable lost_count : int;
+}
+
+type tx = { id : int; born : int (* generation *) }
+
+let create ?(config = default_config) ~rng () =
+  {
+    config;
+    rng;
+    faults = Disk_fault.none;
+    records = [];
+    synced = 0;
+    len = 0;
+    since_checkpoint = 0;
+    next_tx = 1;
+    generation = 0;
+    appends = 0;
+    sync_count = 0;
+    commit_count = 0;
+    checkpoint_count = 0;
+    torn_count = 0;
+    lost_count = 0;
+  }
+
+let set_faults t faults = t.faults <- faults
+let faults t = t.faults
+
+let encode_payload e = function
+  | Page (addr, data) ->
+      Codec.u8 e 0;
+      Codec.u128 e addr;
+      Codec.bytes e data
+  | Note (tag, data) ->
+      Codec.u8 e 1;
+      Codec.string e tag;
+      Codec.bytes e data
+
+let encode_body body =
+  let e = Codec.encoder () in
+  (match body with
+  | Begin id ->
+      Codec.u8 e 0;
+      Codec.int e id
+  | Data (id, p) ->
+      Codec.u8 e 1;
+      Codec.int e id;
+      encode_payload e p
+  | Commit id ->
+      Codec.u8 e 2;
+      Codec.int e id
+  | Control p ->
+      Codec.u8 e 3;
+      encode_payload e p
+  | Checkpoint snap ->
+      Codec.u8 e 4;
+      Codec.bytes e snap);
+  Codec.to_bytes e
+
+let append t body =
+  let image = encode_body body in
+  let r = { body; image; check = Disk_fault.checksum image } in
+  t.records <- r :: t.records;
+  t.len <- t.len + 1;
+  t.since_checkpoint <- t.since_checkpoint + 1;
+  t.appends <- t.appends + 1
+
+let sync t =
+  if t.synced < t.len then t.sync_count <- t.sync_count + 1;
+  t.synced <- t.len
+
+let begin_tx t =
+  let id = t.next_tx in
+  t.next_tx <- id + 1;
+  append t (Begin id);
+  { id; born = t.generation }
+
+let live t tx = tx.born = t.generation
+let log_page t tx addr data = if live t tx then append t (Data (tx.id, Page (addr, Bytes.copy data)))
+let log_note t tx tag data = if live t tx then append t (Data (tx.id, Note (tag, Bytes.copy data)))
+
+let commit t tx =
+  if live t tx then begin
+    append t (Commit tx.id);
+    t.commit_count <- t.commit_count + 1;
+    sync t
+  end
+
+let control t ?(sync_ = true) tag data =
+  append t (Control (Note (tag, Bytes.copy data)));
+  if sync_ then sync t
+
+(* .mli exposes the label as ?sync; shadowing dance below. *)
+let control t ?(sync = true) tag data = control t ~sync_:sync tag data
+
+let needs_checkpoint t = t.since_checkpoint >= t.config.checkpoint_every
+let size t = t.len
+let records_since_checkpoint t = t.since_checkpoint
+
+let checkpoint t snapshot =
+  t.records <- [];
+  t.len <- 0;
+  t.synced <- 0;
+  append t (Checkpoint (Bytes.copy snapshot));
+  t.since_checkpoint <- 0;
+  t.checkpoint_count <- t.checkpoint_count + 1;
+  sync t
+
+let crash t =
+  t.generation <- t.generation + 1;
+  let unsynced = t.len - t.synced in
+  if unsynced > 0 && Disk_fault.active t.faults then begin
+    (* Oldest-first unsynced suffix; a sequential log loses a contiguous
+       tail, so the first lost record truncates everything after it. *)
+    let tail = List.rev (List.filteri (fun i _ -> i < unsynced) t.records) in
+    let survive = ref [] in
+    let stopped = ref false in
+    List.iter
+      (fun r ->
+        if not !stopped then
+          if Kutil.Rng.float t.rng 1.0 < t.faults.Disk_fault.lost_write_prob
+          then begin
+            stopped := true;
+            if
+              Kutil.Rng.float t.rng 1.0 < t.faults.Disk_fault.torn_write_prob
+              && Bytes.length r.image >= 2
+            then begin
+              (* The frontier record was cut off partway: keep it with a
+                 mangled image so replay sees a checksum mismatch. *)
+              let torn =
+                Disk_fault.tear t.rng ~intended:r.image ~prior:None
+              in
+              survive := { r with image = torn } :: !survive;
+              t.torn_count <- t.torn_count + 1
+            end
+          end
+          else survive := r :: !survive)
+      tail;
+    let kept = List.length !survive in
+    t.lost_count <- t.lost_count + (unsynced - kept);
+    if unsynced <> kept then
+      Log.debug (fun m ->
+          m "crash truncated WAL tail: %d unsynced, %d survive" unsynced kept);
+    t.records <-
+      !survive @ List.filteri (fun i _ -> i >= unsynced) t.records;
+    t.len <- t.synced + kept;
+    t.since_checkpoint <- min t.since_checkpoint t.len
+  end;
+  t.synced <- t.len
+
+type replay = {
+  snapshot : bytes option;
+  ops : payload list;
+  replayed : int;
+  discarded : int;
+}
+
+let replay t =
+  let oldest_first = List.rev t.records in
+  (* Pass 1: stop at the first torn record, collect committed tx ids. *)
+  let readable = ref [] in
+  let torn = ref false in
+  List.iter
+    (fun r ->
+      if (not !torn) && Disk_fault.checksum r.image = r.check then
+        readable := r :: !readable
+      else torn := true)
+    oldest_first;
+  let readable = List.rev !readable in
+  let committed = Hashtbl.create 8 in
+  List.iter
+    (fun r ->
+      match r.body with
+      | Commit id -> Hashtbl.replace committed id ()
+      | _ -> ())
+    readable;
+  (* Pass 2: emit in log order — control records inline, tx payloads
+     buffered and emitted at their commit record, so ordering between a
+     transaction and later control records is the commit point's. *)
+  let pending : (int, payload list ref) Hashtbl.t = Hashtbl.create 8 in
+  let snapshot = ref None in
+  let ops = ref [] in
+  let replayed = ref 0 in
+  let discarded = ref 0 in
+  List.iter
+    (fun r ->
+      match r.body with
+      | Checkpoint snap ->
+          snapshot := Some snap;
+          incr replayed
+      | Control p ->
+          ops := p :: !ops;
+          incr replayed
+      | Begin id ->
+          if Hashtbl.mem committed id then begin
+            Hashtbl.replace pending id (ref []);
+            incr replayed
+          end
+          else incr discarded
+      | Data (id, p) ->
+          if Hashtbl.mem committed id then begin
+            (match Hashtbl.find_opt pending id with
+            | Some buf -> buf := p :: !buf
+            | None -> Hashtbl.replace pending id (ref [ p ]));
+            incr replayed
+          end
+          else incr discarded
+      | Commit id -> (
+          match Hashtbl.find_opt pending id with
+          | Some buf ->
+              ops := !buf @ !ops;
+              Hashtbl.remove pending id;
+              incr replayed
+          | None -> incr replayed))
+    readable;
+  let lost = List.length oldest_first - List.length readable in
+  {
+    snapshot = !snapshot;
+    ops = List.rev !ops;
+    replayed = !replayed;
+    discarded = !discarded + lost;
+  }
+
+let replay_cost t =
+  t.config.replay_open_cost + (t.config.replay_record_cost * t.len)
+
+let stats t =
+  {
+    appends = t.appends;
+    syncs = t.sync_count;
+    commits = t.commit_count;
+    checkpoints = t.checkpoint_count;
+    torn_tail = t.torn_count;
+    lost_records = t.lost_count;
+  }

@@ -1,0 +1,126 @@
+(** Per-node write-ahead intent log.
+
+    The durability backbone of a daemon's local storage: every durable
+    mutation (a committed page image at a region's home, a persistent
+    page-directory or region-table change) is appended here {e before} it
+    touches the lazily-synced disk tier. Appends go into the log's volatile
+    tail; {!sync} (called implicitly by {!commit}) makes the whole prefix
+    durable. A crash truncates the log at a fault-model-chosen point in the
+    unsynced tail — possibly leaving one torn (checksum-failing) record at
+    the frontier — and {!replay} then reconstructs exactly the committed
+    prefix: transactional records apply only if their [Commit] made it,
+    control records apply in log order, and a torn record ends the readable
+    log.
+
+    Multi-record transactions make multi-page operations atomic across
+    crashes: either every payload of a committed transaction reappears
+    after replay, or none does.
+
+    The log is bounded: once {!needs_checkpoint}, the owner should sync its
+    disk tier, snapshot its persistent metadata and call {!checkpoint},
+    which truncates the log to a single checkpoint record.
+
+    Replay is a pure read — applying its op list is the caller's job — and
+    is idempotent by construction: the ops are plain "set" payloads, so
+    applying a replayed prefix twice leaves the same state as once. *)
+
+type config = {
+  checkpoint_every : int;
+      (** records appended since the last checkpoint before
+          {!needs_checkpoint} turns true (default 512) *)
+  replay_open_cost : Ksim.Time.t;
+      (** fixed simulated cost of opening the log at recovery (default
+          6 ms, one disk seek) *)
+  replay_record_cost : Ksim.Time.t;
+      (** simulated cost per surviving record at recovery (default 40 us:
+          sequential read + re-apply) *)
+}
+
+val default_config : config
+
+type t
+
+val create : ?config:config -> rng:Kutil.Rng.t -> unit -> t
+(** [rng] drives the crash fault model; split it from the owning node's
+    deterministic stream. *)
+
+val set_faults : t -> Disk_fault.config -> unit
+val faults : t -> Disk_fault.config
+
+(** {1 Appending} *)
+
+type tx
+
+val begin_tx : t -> tx
+(** Open an intent: appends a begin record (unsynced). *)
+
+val log_page : t -> tx -> Kutil.Gaddr.t -> bytes -> unit
+(** Record a page image under the transaction. *)
+
+val log_note : t -> tx -> string -> bytes -> unit
+(** Record an opaque, caller-interpreted metadata mutation under the
+    transaction. *)
+
+val commit : t -> tx -> unit
+(** Append the commit record and {!sync}. After [commit] returns, the
+    transaction's payloads survive any crash. Committing a transaction
+    begun before a crash of this log is a no-op (the intent died). *)
+
+val control : t -> ?sync:bool -> string -> bytes -> unit
+(** Non-transactional note, applied at replay in log order. [sync]
+    defaults to [true]; pass [false] for hint-grade records whose loss is
+    safe, leaving a genuine unsynced tail for the fault model to chew. *)
+
+val sync : t -> unit
+(** Durability barrier: the entire log as of now survives any crash. *)
+
+(** {1 Checkpointing} *)
+
+val needs_checkpoint : t -> bool
+val size : t -> int
+(** Records currently in the log. *)
+
+val records_since_checkpoint : t -> int
+
+val checkpoint : t -> bytes -> unit
+(** Truncate the log to a single (synced) checkpoint record carrying the
+    caller's snapshot of its persistent state. The caller must first make
+    its disk tier durable ({!Page_store.sync}) — a checkpoint asserts
+    "everything the truncated records described is on disk". *)
+
+(** {1 Crash and recovery} *)
+
+val crash : t -> unit
+(** Apply the fault model to the unsynced tail: pick the surviving prefix,
+    possibly tear the record at the frontier. Open transactions die. *)
+
+type payload =
+  | Page of Kutil.Gaddr.t * bytes   (** page image to reinstall *)
+  | Note of string * bytes          (** caller-interpreted metadata *)
+
+type replay = {
+  snapshot : bytes option;  (** last surviving checkpoint's snapshot *)
+  ops : payload list;       (** application order: control + committed tx
+                                payloads, oldest first *)
+  replayed : int;           (** records contributing to [ops] *)
+  discarded : int;          (** torn / uncommitted records dropped *)
+}
+
+val replay : t -> replay
+(** Pure: reads the surviving log, verifies record checksums, stops at a
+    torn record, drops transactions without a commit. Calling it twice
+    returns the same value. *)
+
+val replay_cost : t -> Ksim.Time.t
+(** Simulated time recovery should charge for replaying the current log. *)
+
+type stats = {
+  appends : int;
+  syncs : int;
+  commits : int;
+  checkpoints : int;
+  torn_tail : int;     (** crashes that left a torn frontier record *)
+  lost_records : int;  (** records dropped by crash truncation *)
+}
+
+val stats : t -> stats

@@ -27,6 +27,9 @@ module Client = Khazana.Client
 module Daemon = Khazana.Daemon
 module Region = Khazana.Region
 module Attr = Khazana.Attr
+module Disk_fault = Kstorage.Disk_fault
+module Store = Kstorage.Page_store
+module Gaddr = Kutil.Gaddr
 
 let ok = function
   | Ok v -> v
@@ -49,9 +52,56 @@ type reg = {
   mutable last_settled : int;
 }
 
-type st = { mutable down : int list; mutable partitioned : bool }
+type st = {
+  mutable down : int list;
+  mutable partitioned : bool;
+  mutable faulty : int list;  (* nodes with an active disk fault model *)
+}
 
-let mk ~seed () = System.create ~seed ~nodes_per_cluster:node_count ~clusters:1 ()
+(* Disk-fault runs shrink RAM so the workload actually reaches the disk
+   tier (demotions, promotions, injected crash points inside disk I/O) and
+   checkpoint the WAL often enough to exercise truncation mid-run. *)
+let mk ?(small_ram = false) ~seed () =
+  let config =
+    if small_ram then
+      Some
+        {
+          Daemon.default_config with
+          Daemon.ram_pages = 8;
+          disk_pages = 128;
+          wal_checkpoint_every = 64;
+        }
+    else None
+  in
+  System.create ?config ~seed ~nodes_per_cluster:node_count ~clusters:1 ()
+
+(* Which disk pathology a sweep seed exercises is a function of the seed,
+   so the seed list controls coverage: lost unsynced writes, torn images,
+   and crashes fired from inside the disk-latency window. *)
+let fault_profile seed =
+  match seed mod 3 with
+  | 0 ->
+    { Disk_fault.lost_write_prob = 0.5; torn_write_prob = 0.0;
+      crash_during_io_prob = 0.0 }
+  | 1 ->
+    { Disk_fault.lost_write_prob = 0.3; torn_write_prob = 0.6;
+      crash_during_io_prob = 0.0 }
+  | _ ->
+    { Disk_fault.lost_write_prob = 0.3; torn_write_prob = 0.3;
+      crash_during_io_prob = 0.01 }
+
+let fault_profile_name seed =
+  match seed mod 3 with
+  | 0 -> "lost writes"
+  | 1 -> "torn writes"
+  | _ -> "crash mid-flush"
+
+(* Injected I/O crash points take nodes down outside the schedule's view:
+   refresh the down-list from ground truth before acting on it. A node in
+   its recovery phase counts as down (it is not serving yet). *)
+let resync_down sys st =
+  st.down <-
+    List.filter (fun n -> not (Daemon.is_up (System.daemon sys n))) victims
 
 let fresh_value rg =
   let idx = rg.n_attempts in
@@ -75,7 +125,25 @@ let pick rng l =
 
 (* ----------------------- Fault schedule ----------------------------- *)
 
-let fault_step rng sys st =
+let fault_step ?profile rng sys st =
+  (* Disk-fault arm: flip the fault model on and off on random victims.
+     Rng draws happen only when a profile is given, so plain schedules
+     consume exactly the same stream as before. *)
+  (match profile with
+  | None -> ()
+  | Some p ->
+    (match
+       pick rng (List.filter (fun n -> not (List.mem n st.faulty)) victims)
+     with
+    | Some n when Kutil.Rng.bool rng ->
+      System.set_disk_faults sys n p;
+      st.faulty <- n :: st.faulty
+    | Some _ | None -> ());
+    (match pick rng st.faulty with
+    | Some n when Kutil.Rng.float rng 1.0 < 0.3 ->
+      System.set_disk_faults sys n Disk_fault.none;
+      st.faulty <- List.filter (fun m -> m <> n) st.faulty
+    | Some _ | None -> ()));
   let crash () =
     match pick rng (List.filter (fun n -> not (List.mem n st.down)) victims) with
     | Some n ->
@@ -145,6 +213,12 @@ let workload_round rng sys st clients regs =
 (* Recover everything, settle, then land one write per region that must be
    acked — once replication settles it becomes the durability watermark. *)
 let checkpoint sys st clients regs =
+  (* The watermark write must land on honest disks: stop fault injection
+     and pick up any nodes an injected I/O crash took down behind our
+     back before healing everything. *)
+  List.iter (fun n -> System.set_disk_faults sys n Disk_fault.none) st.faulty;
+  st.faulty <- [];
+  resync_down sys st;
   List.iter (fun n -> System.recover sys n) st.down;
   st.down <- [];
   if st.partitioned then begin
@@ -212,13 +286,14 @@ let wait_replica_floor sys regs ~cap =
 
 (* --------------------------- One run --------------------------------- *)
 
-let run_nemesis ~seed () =
-  let sys = mk ~seed () in
+let run_nemesis ?(disk = false) ~seed () =
+  let sys = mk ~small_ram:disk ~seed () in
+  let profile = if disk then Some (fault_profile seed) else None in
   let rng = Kutil.Rng.create ~seed:(0x6e65 + (seed * 7919)) in
   let clients =
     Array.init node_count (fun n -> System.client sys n ())
   in
-  let st = { down = []; partitioned = false } in
+  let st = { down = []; partitioned = false; faulty = [] } in
   let regs =
     List.map
       (fun i ->
@@ -242,12 +317,16 @@ let run_nemesis ~seed () =
   (* Round 0: a settled write everywhere before the first fault. *)
   checkpoint sys st clients regs;
   for round = 1 to rounds do
-    fault_step rng sys st;
+    resync_down sys st;
+    fault_step ?profile rng sys st;
     workload_round rng sys st clients regs;
     System.run_until_quiet ~limit:(Ksim.Time.sec 2) sys;
     if round mod 3 = 0 then checkpoint sys st clients regs
   done;
   (* Final heal + the bounded-time repair guarantee. *)
+  List.iter (fun n -> System.set_disk_faults sys n Disk_fault.none) st.faulty;
+  st.faulty <- [];
+  resync_down sys st;
   List.iter (fun n -> System.recover sys n) st.down;
   st.down <- [];
   if st.partitioned then begin
@@ -383,20 +462,117 @@ let test_concurrent_writers_single_winner () =
         true
         (b = "AAAAAAAA" || b = "BBBBBBBB"))
 
+(* An acked write whose disk image is destroyed by the crash (rolled back
+   and torn) must come back from the intent log alone: min_replicas = 1, so
+   no peer holds a copy to repair from. *)
+let test_torn_write_recovered_from_wal () =
+  let sys = mk ~seed:23 () in
+  let c1 = System.client sys 1 () in
+  let region =
+    System.run_fiber sys (fun () ->
+        let attr = Attr.make ~owner:1 ~min_replicas:1 () in
+        let r = ok (Client.create_region c1 ~attr 4096) in
+        ok (Client.write_bytes c1 ~addr:r.Region.base (bytes_s "original"));
+        r)
+  in
+  System.run_until_quiet ~limit:(Ksim.Time.sec 2) sys;
+  System.set_disk_faults sys 1
+    {
+      Disk_fault.lost_write_prob = 1.0;
+      torn_write_prob = 1.0;
+      crash_during_io_prob = 0.0;
+    };
+  System.run_fiber sys (fun () ->
+      ok (Client.write_bytes c1 ~addr:region.Region.base (bytes_s "walsaved")));
+  System.crash sys 1;
+  let d1 = System.daemon sys 1 in
+  Alcotest.(check bool) "crash left a torn image behind" true
+    ((Store.stats (Daemon.store d1)).torn_writes >= 1);
+  System.set_disk_faults sys 1 Disk_fault.none;
+  System.recover sys 1;
+  System.run_until_quiet ~limit:(Ksim.Time.sec 5) sys;
+  Alcotest.(check bool) "node recovered" true (Daemon.is_up d1);
+  System.run_fiber sys (fun () ->
+      let b = ok (Client.read_bytes c1 ~addr:region.Region.base 8) in
+      Alcotest.(check string) "committed write replayed from the log"
+        "walsaved" (Bytes.to_string b))
+
+(* The acceptance shape: a crash point injected inside the disk-latency
+   window takes the daemon down mid-operation; after WAL replay every
+   committed write is readable again from the reborn home. *)
+let test_crash_mid_io_recovers_committed_writes () =
+  let sys = mk ~small_ram:true ~seed:31 () in
+  let c2 = System.client sys 2 () in
+  let pages = 12 in
+  let region =
+    System.run_fiber sys (fun () ->
+        let attr = Attr.make ~owner:2 ~min_replicas:1 () in
+        ok (Client.create_region c2 ~attr (pages * 4096)))
+  in
+  let addr i = Gaddr.add_int region.Region.base (i * 4096) in
+  let value i = Printf.sprintf "v%06d!" i in
+  System.run_fiber sys (fun () ->
+      for i = 0 to pages - 1 do
+        ok (Client.write_bytes c2 ~addr:(addr i) (bytes_s (value i)))
+      done);
+  System.run_until_quiet ~limit:(Ksim.Time.sec 2) sys;
+  (* Every disk I/O on node 2 now schedules a crash inside its latency
+     window. With 8 RAM frames, sweeping the region promotes pages back
+     off disk, so the node must die mid-read. *)
+  System.set_disk_faults sys 2
+    {
+      Disk_fault.lost_write_prob = 0.5;
+      torn_write_prob = 0.5;
+      crash_during_io_prob = 1.0;
+    };
+  System.run_fiber sys (fun () ->
+      for i = 0 to pages - 1 do
+        ignore (Client.read_bytes c2 ~addr:(addr i) 8)
+      done);
+  System.run_until_quiet ~limit:(Ksim.Time.sec 2) sys;
+  let d2 = System.daemon sys 2 in
+  Alcotest.(check bool) "injected crash point fired" false (Daemon.is_up d2);
+  System.set_disk_faults sys 2 Disk_fault.none;
+  System.recover sys 2;
+  System.run_until_quiet ~limit:(Ksim.Time.sec 5) sys;
+  Alcotest.(check bool) "node recovered" true (Daemon.is_up d2);
+  System.run_fiber sys (fun () ->
+      for i = 0 to pages - 1 do
+        let b = ok (Client.read_bytes c2 ~addr:(addr i) 8) in
+        Alcotest.(check string)
+          (Printf.sprintf "page %d readable after mid-I/O crash" i)
+          (value i) (Bytes.to_string b)
+      done)
+
 let test_determinism () =
   let seed = 1 in
   let a = run_nemesis ~seed () in
   let b = run_nemesis ~seed () in
   Alcotest.(check string) "same seed, same run" a b
 
+let test_disk_fault_determinism () =
+  (* seed 8 selects the crash-mid-flush profile: determinism must hold
+     even when crashes fire from inside disk I/O. *)
+  let a = run_nemesis ~disk:true ~seed:8 () in
+  let b = run_nemesis ~disk:true ~seed:8 () in
+  Alcotest.(check string) "same seed, same run under disk faults" a b
+
 (* --------------------------- Harness --------------------------------- *)
 
-let seeds =
-  match Sys.getenv_opt "NEMESIS_SEEDS" with
+let seeds_from_env var default =
+  match Sys.getenv_opt var with
   | Some s ->
     let l = String.split_on_char ',' s |> List.filter_map int_of_string_opt in
-    if l = [] then [ 1; 2; 3; 4; 5 ] else l
-  | None -> [ 1; 2; 3; 4; 5 ]
+    if l = [] then default else l
+  | None -> default
+
+let seeds = seeds_from_env "NEMESIS_SEEDS" [ 1; 2; 3; 4; 5 ]
+
+(* Ten disk-fault seeds; seed mod 3 selects the pathology, so this range
+   covers lost writes, torn writes and crash-mid-flush several times
+   each. *)
+let disk_seeds =
+  seeds_from_env "NEMESIS_DISK_SEEDS" [ 6; 7; 8; 9; 10; 11; 12; 13; 14; 15 ]
 
 let () =
   Alcotest.run "nemesis"
@@ -407,7 +583,13 @@ let () =
             test_floor_restored_after_holder_crash;
           Alcotest.test_case "concurrent writers single winner" `Quick
             test_concurrent_writers_single_winner;
+          Alcotest.test_case "torn write recovered from WAL" `Quick
+            test_torn_write_recovered_from_wal;
+          Alcotest.test_case "crash mid-I/O recovers committed writes" `Quick
+            test_crash_mid_io_recovers_committed_writes;
           Alcotest.test_case "deterministic replay" `Slow test_determinism;
+          Alcotest.test_case "deterministic replay under disk faults" `Slow
+            test_disk_fault_determinism;
         ] );
       ( "sweep",
         List.map
@@ -417,4 +599,12 @@ let () =
               `Slow
               (fun () -> ignore (run_nemesis ~seed ())))
           seeds );
+      ( "disk sweep",
+        List.map
+          (fun seed ->
+            Alcotest.test_case
+              (Printf.sprintf "seed %d (%s)" seed (fault_profile_name seed))
+              `Slow
+              (fun () -> ignore (run_nemesis ~disk:true ~seed ())))
+          disk_seeds );
     ]

@@ -158,14 +158,27 @@ let test_pdir_basic () =
   in
   Alcotest.(check (list int)) "kept" [ 1; 2 ] e2.Khazana.Page_directory.sharers
 
-let test_pdir_crash_keeps_homed () =
+(* A crash wipes the whole directory (it lives in memory); the homed
+   entries come back through the persistent-snapshot codec that WAL
+   checkpoints embed, hints do not. *)
+let test_pdir_crash_wipes_and_snapshot_restores () =
   let pd = Khazana.Page_directory.create () in
   ignore (Khazana.Page_directory.ensure pd ~page:(addr 0) ~region_base:(addr 0) ~homed_here:true);
+  Khazana.Page_directory.set_sharers pd (addr 0) [ 2; 5 ];
   ignore (Khazana.Page_directory.ensure pd ~page:(addr 4096) ~region_base:(addr 4096) ~homed_here:false);
+  let enc = Kutil.Codec.encoder () in
+  Khazana.Page_directory.encode_persistent pd enc;
+  let snap = Kutil.Codec.to_bytes enc in
   Khazana.Page_directory.crash pd;
-  Alcotest.(check bool) "homed survives" true
-    (Khazana.Page_directory.find pd (addr 0) <> None);
-  Alcotest.(check bool) "hints dropped" true
+  Alcotest.(check int) "crash wipes everything" 0 (Khazana.Page_directory.length pd);
+  Khazana.Page_directory.decode_persistent pd (Kutil.Codec.decoder snap);
+  (match Khazana.Page_directory.find pd (addr 0) with
+   | Some e ->
+     Alcotest.(check bool) "homed flag" true e.Khazana.Page_directory.homed_here;
+     Alcotest.(check (list int)) "sharers restored" [ 2; 5 ]
+       e.Khazana.Page_directory.sharers
+   | None -> Alcotest.fail "homed entry not restored");
+  Alcotest.(check bool) "hints not in snapshot" true
     (Khazana.Page_directory.find pd (addr 4096) = None)
 
 (* ------------------------------ Cluster ---------------------------- *)
@@ -271,7 +284,7 @@ let () =
       ( "page_directory",
         [
           Alcotest.test_case "basic" `Quick test_pdir_basic;
-          Alcotest.test_case "crash" `Quick test_pdir_crash_keeps_homed;
+          Alcotest.test_case "crash" `Quick test_pdir_crash_wipes_and_snapshot_restores;
         ] );
       ( "cluster",
         [

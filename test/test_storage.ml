@@ -157,6 +157,260 @@ let test_pages_listing () =
   Alcotest.(check bool) "page1 listed" true
     (List.exists (Gaddr.equal (page 1)) pages)
 
+(* ------------------------- disk fault model ------------------------ *)
+
+let all_faults =
+  {
+    Kstorage.Disk_fault.lost_write_prob = 1.0;
+    torn_write_prob = 0.0;
+    crash_during_io_prob = 0.0;
+  }
+
+let torn_faults = { all_faults with Kstorage.Disk_fault.torn_write_prob = 1.0 }
+
+let test_lost_unsynced_write_rolls_back () =
+  let _eng, s = mk () in
+  Store.set_faults s all_faults;
+  Store.write_immediate s (page 1) (data "v1") ~dirty:true;
+  Store.flush_immediate s (page 1);
+  Store.sync s;
+  Store.write_immediate s (page 1) (data "v2") ~dirty:true;
+  Store.flush_immediate s (page 1);
+  (* The v2 flush missed the sync barrier: crash rolls it back to v1. *)
+  Store.crash s;
+  (match Store.read_immediate s (page 1) with
+   | Some b -> Alcotest.(check string) "rolled back" "v1" (Bytes.to_string b)
+   | None -> Alcotest.fail "durable copy lost");
+  Alcotest.(check bool) "loss counted" true ((Store.stats s).lost_writes >= 1)
+
+let test_never_synced_write_vanishes () =
+  let _eng, s = mk () in
+  Store.set_faults s all_faults;
+  Store.write_immediate s (page 1) (data "only") ~dirty:true;
+  Store.flush_immediate s (page 1);
+  Store.crash s;
+  Alcotest.(check (option unit)) "no prior durable content" None
+    (Option.map ignore (Store.read_immediate s (page 1)))
+
+let test_sync_barrier_protects () =
+  let _eng, s = mk () in
+  Store.set_faults s all_faults;
+  Store.write_immediate s (page 1) (data "safe") ~dirty:true;
+  Store.flush_immediate s (page 1);
+  Store.sync s;
+  Store.crash s;
+  (match Store.read_immediate s (page 1) with
+   | Some b -> Alcotest.(check string) "survived" "safe" (Bytes.to_string b)
+   | None -> Alcotest.fail "synced write lost")
+
+let test_torn_write_never_served () =
+  let _eng, s = mk () in
+  Store.set_faults s torn_faults;
+  Store.write_immediate s (page 1) (data "TORNTORN") ~dirty:true;
+  Store.flush_immediate s (page 1);
+  Store.crash s;
+  Alcotest.(check bool) "tear recorded" true ((Store.stats s).torn_writes >= 1);
+  (* The torn image is on disk but must read as a miss, never as data. *)
+  Alcotest.(check (option unit)) "torn not served" None
+    (Option.map ignore (Store.read_immediate s (page 1)));
+  Alcotest.(check bool) "detection counted" true
+    ((Store.stats s).torn_detected >= 1)
+
+let test_scrub_drops_torn () =
+  let _eng, s = mk () in
+  Store.set_faults s torn_faults;
+  Store.write_immediate s (page 1) (data "TORNTORN") ~dirty:true;
+  Store.flush_immediate s (page 1);
+  Store.write_immediate s (page 2) (data "fine") ~dirty:true;
+  Store.flush_immediate s (page 2);
+  Store.sync s;
+  Store.write_immediate s (page 1) (data "overwrit") ~dirty:true;
+  Store.flush_immediate s (page 1);
+  Store.crash s;
+  let dropped = Store.scrub s in
+  Alcotest.(check int) "one torn frame dropped" 1 dropped;
+  (match Store.read_immediate s (page 2) with
+   | Some b -> Alcotest.(check string) "clean page intact" "fine" (Bytes.to_string b)
+   | None -> Alcotest.fail "clean synced page lost")
+
+let test_crash_clears_pins () =
+  let eng, s = mk ~ram:1 ~disk:2 () in
+  in_fiber eng (fun () ->
+      Store.write s (page 1) (data "a") ~dirty:false;
+      Store.write s (page 2) (data "b") ~dirty:false);
+  (* page 1 demoted to disk; pin it there, then crash: the pinning fiber
+     is dead, so the pin must die too or the page is stuck forever. *)
+  Store.pin s (page 1);
+  Store.crash s;
+  in_fiber eng (fun () ->
+      Store.write s (page 3) (data "c") ~dirty:false;
+      Store.write s (page 4) (data "d") ~dirty:false;
+      Store.write s (page 5) (data "e") ~dirty:false);
+  Alcotest.(check bool) "page 1 was evictable after crash" true
+    (Store.where s (page 1) = None);
+  (* Symmetry: pin and unpin of a non-resident page are both no-ops. *)
+  Store.pin s (page 99);
+  Store.unpin s (page 99)
+
+let test_flush_immediate_single_writeback () =
+  let eng, s = mk ~ram:1 ~disk:1 () in
+  let dirty_evictions = ref 0 in
+  Store.set_evict_hook s (fun _ _ ~dirty -> if dirty then incr dirty_evictions);
+  Store.write_immediate s (page 1) (data "x") ~dirty:true;
+  Store.flush_immediate s (page 1);
+  Alcotest.(check int) "flush counted once" 1 (Store.stats s).writebacks;
+  Alcotest.(check bool) "ram copy now clean" false (Store.is_dirty s (page 1));
+  (* Demote the (now clean) RAM frame and push it off the disk: the bytes
+     were already flushed, so no second writeback may happen. *)
+  in_fiber eng (fun () ->
+      Store.write s (page 2) (data "y") ~dirty:false;
+      Store.write s (page 3) (data "z") ~dirty:false);
+  Alcotest.(check int) "no double writeback" 1 (Store.stats s).writebacks;
+  Alcotest.(check int) "hook saw no dirty page 1" 0 !dirty_evictions
+
+(* ----------------------------- WAL --------------------------------- *)
+
+module Wal = Kstorage.Wal
+
+let mk_wal ?config ?(faults = Kstorage.Disk_fault.none) ?(seed = 7) () =
+  let w = Wal.create ?config ~rng:(Kutil.Rng.create ~seed) () in
+  Wal.set_faults w faults;
+  w
+
+let payload_strings r =
+  List.map
+    (function
+      | Wal.Page (a, b) ->
+        Printf.sprintf "page:%d:%s" (Gaddr.diff a Gaddr.zero) (Bytes.to_string b)
+      | Wal.Note (tag, b) -> Printf.sprintf "note:%s:%s" tag (Bytes.to_string b))
+    r.Wal.ops
+
+let test_wal_commit_replay () =
+  let w = mk_wal () in
+  let tx = Wal.begin_tx w in
+  Wal.log_page w tx (page 1) (data "one");
+  Wal.log_note w tx "meta" (data "m");
+  Wal.commit w tx;
+  Wal.control w "ctl" (data "c");
+  (* An intent without a commit must never surface. *)
+  let dead = Wal.begin_tx w in
+  Wal.log_page w dead (page 2) (data "ghost");
+  let r = Wal.replay w in
+  Alcotest.(check (list string)) "committed ops in order"
+    [ "page:4096:one"; "note:meta:m"; "note:ctl:c" ]
+    (payload_strings r);
+  Alcotest.(check bool) "uncommitted discarded" true (r.Wal.discarded >= 1)
+
+let test_wal_replay_idempotent () =
+  let w = mk_wal () in
+  for i = 1 to 5 do
+    let tx = Wal.begin_tx w in
+    Wal.log_page w tx (page i) (data (string_of_int i));
+    Wal.commit w tx
+  done;
+  let r1 = Wal.replay w in
+  let r2 = Wal.replay w in
+  Alcotest.(check (list string)) "replay twice = once" (payload_strings r1)
+    (payload_strings r2);
+  (* Applying the op list is idempotent: payloads are plain sets. *)
+  let apply ops =
+    let t = Gaddr.Table.create 8 in
+    List.iter
+      (function
+        | Wal.Page (a, b) -> Gaddr.Table.replace t a (Bytes.to_string b)
+        | Wal.Note _ -> ())
+      ops;
+    List.sort compare (Gaddr.Table.fold (fun _ v acc -> v :: acc) t [])
+  in
+  Alcotest.(check (list string)) "apply twice = once" (apply r1.Wal.ops)
+    (apply (r1.Wal.ops @ r1.Wal.ops))
+
+let test_wal_checkpoint_truncates () =
+  let w =
+    mk_wal ~config:{ Wal.default_config with Wal.checkpoint_every = 10 } ()
+  in
+  for i = 1 to 4 do
+    let tx = Wal.begin_tx w in
+    Wal.log_page w tx (page i) (data "d");
+    Wal.commit w tx
+  done;
+  Alcotest.(check bool) "needs checkpoint" true (Wal.needs_checkpoint w);
+  Wal.checkpoint w (data "SNAP");
+  Alcotest.(check int) "truncated to one record" 1 (Wal.size w);
+  Alcotest.(check bool) "no longer needs one" false (Wal.needs_checkpoint w);
+  let r = Wal.replay w in
+  Alcotest.(check (option string)) "snapshot survives" (Some "SNAP")
+    (Option.map Bytes.to_string r.Wal.snapshot);
+  Alcotest.(check (list string)) "old ops truncated away" [] (payload_strings r)
+
+let test_wal_crash_loses_unsynced_tail () =
+  let w = mk_wal ~faults:all_faults () in
+  let tx = Wal.begin_tx w in
+  Wal.log_page w tx (page 1) (data "kept");
+  Wal.commit w tx;
+  (* commit synced; these hint-grade records did not. *)
+  Wal.control w ~sync:false "hint" (data "a");
+  Wal.control w ~sync:false "hint" (data "b");
+  Wal.crash w;
+  let r = Wal.replay w in
+  Alcotest.(check (list string)) "synced prefix only" [ "page:4096:kept" ]
+    (payload_strings r);
+  Alcotest.(check bool) "losses counted" true ((Wal.stats w).lost_records >= 1)
+
+let test_wal_torn_frontier_record () =
+  let w = mk_wal ~faults:torn_faults () in
+  let tx = Wal.begin_tx w in
+  Wal.log_page w tx (page 1) (data "durable");
+  Wal.commit w tx;
+  Wal.control w ~sync:false "tail" (data "unsynced-payload");
+  Wal.crash w;
+  Alcotest.(check bool) "torn tail recorded" true ((Wal.stats w).torn_tail >= 1);
+  let r = Wal.replay w in
+  (* The torn record ends the readable log; the committed prefix is whole. *)
+  Alcotest.(check (list string)) "prefix intact, torn dropped"
+    [ "page:4096:durable" ] (payload_strings r);
+  Alcotest.(check bool) "torn discarded" true (r.Wal.discarded >= 1)
+
+(* Crash-at-every-point sweep: build the same operation script, crash it
+   after every prefix length with a mid-flight uncommitted intent, and
+   check the recovery contract both ways — every committed write is in the
+   replay, no uncommitted write ever is. The fault model drops every
+   unsynced record, which makes "crash anywhere between two syncs"
+   equivalent to crashing right after the earlier one — the worst case. *)
+let test_wal_crash_every_point_sweep () =
+  let script = [ "alpha"; "bravo"; "charlie"; "delta"; "echo" ] in
+  let n = List.length script in
+  for cut = 0 to n do
+    let w = mk_wal ~faults:all_faults ~seed:(100 + cut) () in
+    let committed = ref [] in
+    List.iteri
+      (fun i content ->
+        if i < cut then begin
+          let tx = Wal.begin_tx w in
+          Wal.log_page w tx (page (i + 1)) (data content);
+          Wal.commit w tx;
+          committed := Printf.sprintf "page:%d:%s" ((i + 1) * 4096) content
+                       :: !committed
+        end)
+      script;
+    (* A crash catches the next intent mid-flight: begun, logged, never
+       committed. *)
+    if cut < n then begin
+      let tx = Wal.begin_tx w in
+      Wal.log_page w tx (page (cut + 1)) (data "UNCOMMITTED")
+    end;
+    Wal.crash w;
+    let r = Wal.replay w in
+    Alcotest.(check (list string))
+      (Printf.sprintf "crash point %d: exactly the committed prefix" cut)
+      (List.rev !committed) (payload_strings r);
+    (* Committing the dead intent after the crash must be a no-op. *)
+    Alcotest.(check (list string))
+      (Printf.sprintf "crash point %d: stable after replay" cut)
+      (List.rev !committed)
+      (payload_strings (Wal.replay w))
+  done
+
 let () =
   Alcotest.run "kstorage"
     [
@@ -174,5 +428,35 @@ let () =
           Alcotest.test_case "drop" `Quick test_drop;
           Alcotest.test_case "crash semantics" `Quick test_crash_loses_ram_keeps_disk;
           Alcotest.test_case "pages listing" `Quick test_pages_listing;
+        ] );
+      ( "disk_faults",
+        [
+          Alcotest.test_case "lost unsynced write rolls back" `Quick
+            test_lost_unsynced_write_rolls_back;
+          Alcotest.test_case "never-synced write vanishes" `Quick
+            test_never_synced_write_vanishes;
+          Alcotest.test_case "sync barrier protects" `Quick
+            test_sync_barrier_protects;
+          Alcotest.test_case "torn write never served" `Quick
+            test_torn_write_never_served;
+          Alcotest.test_case "scrub drops torn frames" `Quick
+            test_scrub_drops_torn;
+          Alcotest.test_case "crash clears pins" `Quick test_crash_clears_pins;
+          Alcotest.test_case "flush_immediate single writeback" `Quick
+            test_flush_immediate_single_writeback;
+        ] );
+      ( "wal",
+        [
+          Alcotest.test_case "commit and replay" `Quick test_wal_commit_replay;
+          Alcotest.test_case "replay idempotent" `Quick
+            test_wal_replay_idempotent;
+          Alcotest.test_case "checkpoint truncates" `Quick
+            test_wal_checkpoint_truncates;
+          Alcotest.test_case "crash loses unsynced tail" `Quick
+            test_wal_crash_loses_unsynced_tail;
+          Alcotest.test_case "torn frontier record" `Quick
+            test_wal_torn_frontier_record;
+          Alcotest.test_case "crash at every point" `Quick
+            test_wal_crash_every_point_sweep;
         ] );
     ]
