@@ -1601,6 +1601,17 @@ let repair_pass t =
    dropped records described really is durable. The snapshot carries the
    homed-region table and the persistent page-directory entries. *)
 let wal_checkpoint t =
+  (* A homed page whose committed image is still dirty in RAM would have
+     its only recoverable copy die with the truncated log records: push
+     every such page to disk before asserting durability. *)
+  Page_directory.fold
+    (fun page entry () ->
+      if
+        entry.Page_directory.homed_here
+        && Store.where t.store page = Some Store.Ram
+        && Store.is_dirty t.store page
+      then Store.flush_immediate t.store page)
+    t.pdir ();
   Store.sync t.store;
   let e = Codec.encoder () in
   let regions = Gaddr.Table.fold (fun _ r acc -> r :: acc) t.homed [] in
@@ -1654,9 +1665,13 @@ let apply_note t tag data =
 
 (* The recovery phase proper: scrub torn disk images, then reconstruct
    state from the last checkpoint snapshot plus the committed log suffix.
-   Replayed page images land clean in RAM and are written through to disk;
-   the closing {!Store.sync} hardens them, so a second crash right after
-   recovery replays from an equally good disk. *)
+   Replayed page images land clean in RAM and are written through to disk.
+   Recovery ends with a truncating {!wal_checkpoint}: it hardens the disk
+   tier and — crucially — drops the crash's torn frontier record from the
+   log. Replay stops at the first checksum failure, so leaving a torn
+   record in place would silently discard every transaction committed
+   after recovery at the next crash; checkpointing restores a fully
+   readable log before the node acknowledges anything new. *)
 let wal_replay t =
   let scrubbed = Store.scrub t.store in
   if scrubbed > 0 then
@@ -1673,7 +1688,7 @@ let wal_replay t =
         Store.flush_immediate t.store page
       | Wal.Note (tag, data) -> apply_note t tag data)
     r.Wal.ops;
-  Store.sync t.store;
+  wal_checkpoint t;
   Metrics.observe t.metrics "recovery.replayed" (float_of_int r.Wal.replayed);
   if r.Wal.discarded > 0 then
     Metrics.observe t.metrics "recovery.discarded"

@@ -200,7 +200,8 @@ let rec make_ram_room t ~charge =
       t.ram_evictions <- t.ram_evictions + 1;
       trace_tier t "store.demote" addr
         ~attrs:[ ("from", "ram"); ("to", "disk") ];
-      make_disk_room t;
+      (* Replacing an existing disk frame doesn't grow the table. *)
+      if not (Gaddr.Table.mem t.disk addr) then make_disk_room t;
       let survived =
         if charge then begin
           let epoch = t.epoch in
@@ -259,12 +260,29 @@ let read t addr =
       Ksim.Fiber.sleep t.cfg.disk_read_latency;
       if t.epoch <> epoch then None
       else begin
-        Gaddr.Table.remove t.disk addr;
-        Gaddr.Table.remove t.unsynced addr;
-        trace_tier t "store.promote" addr
-          ~attrs:[ ("from", "disk"); ("to", "ram") ];
-        install_ram t addr frame;
-        Some (Bytes.copy frame.data)
+        (* Inclusive promotion: the disk frame stays put — after a WAL
+           checkpoint truncates a page's log records it can be the only
+           durable copy of a committed image, and a read must not turn
+           durable data into RAM-only data. A copy fronts it in RAM;
+           pins move to the RAM copy (pin/unpin resolve RAM first). *)
+        let data = Bytes.copy frame.data in
+        (match Gaddr.Table.find_opt t.disk addr with
+         | Some f when f == frame && not (Gaddr.Table.mem t.ram addr) ->
+           let ram_frame =
+             {
+               data = Bytes.copy frame.data;
+               dirty = frame.dirty;
+               pins = frame.pins;
+               last_use = frame.last_use;
+               sum = 0;
+             }
+           in
+           frame.pins <- 0;
+           trace_tier t "store.promote" addr
+             ~attrs:[ ("from", "disk"); ("to", "ram") ];
+           install_ram t addr ram_frame
+         | _ -> () (* dropped or overwritten while we slept *));
+        Some data
       end
     | Some _ | None ->
       t.misses <- t.misses + 1;
@@ -279,15 +297,16 @@ let write t addr data ~dirty =
     touch t frame;
     Ksim.Fiber.sleep t.cfg.ram_latency
   | None ->
-    (* Overwriting a disk-resident page replaces its content outright; the
-       old frame's dirty bit still matters (the overwritten bytes were
-       never pushed) but its pins belonged to fibers of a previous life of
-       this page and must not resurrect. *)
+    (* Overwriting a disk-resident page installs the new content in RAM in
+       front of it; the disk frame keeps the prior durable bytes until a
+       flush or demotion writes the new ones (a crash before then correctly
+       reverts to the old image). The old frame's dirty bit still matters
+       (the overwritten bytes were never pushed) but its pins belonged to
+       fibers of a previous life of this page and must not resurrect. *)
     let was_dirty =
       match Gaddr.Table.find_opt t.disk addr with
       | Some old ->
-        Gaddr.Table.remove t.disk addr;
-        Gaddr.Table.remove t.unsynced addr;
+        old.pins <- 0;
         old.dirty
       | None -> false
     in
@@ -314,19 +333,25 @@ let read_immediate t addr =
 
 let write_immediate t addr data ~dirty =
   let data = Bytes.copy data in
-  match find_frame t addr with
+  match Gaddr.Table.find_opt t.ram addr with
   | Some frame ->
     frame.data <- data;
     frame.dirty <- frame.dirty || dirty;
-    touch t frame;
-    (* Promote disk frames so the data plane sees a RAM hit next. *)
-    if (not (Gaddr.Table.mem t.ram addr)) && Gaddr.Table.mem t.disk addr then begin
-      Gaddr.Table.remove t.disk addr;
-      Gaddr.Table.remove t.unsynced addr;
-      install_ram ~charge:false t addr frame
-    end
+    touch t frame
   | None ->
-    let frame = { data; dirty; pins = 0; last_use = 0; sum = 0 } in
+    (* A disk-resident page keeps its durable frame; the new content goes
+       into a RAM frame in front of it (the data plane sees a RAM hit
+       next), reaching disk only through an explicit flush or demotion. *)
+    let was_dirty =
+      match Gaddr.Table.find_opt t.disk addr with
+      | Some old ->
+        old.pins <- 0;
+        old.dirty
+      | None -> false
+    in
+    let frame =
+      { data; dirty = dirty || was_dirty; pins = 0; last_use = 0; sum = 0 }
+    in
     touch t frame;
     install_ram ~charge:false t addr frame
 
@@ -462,9 +487,13 @@ let scrub t =
     torn;
   List.length torn
 
+(* A page can be resident in both tiers (inclusive caching): list each
+   address once. *)
 let pages t =
-  let acc = Gaddr.Table.fold (fun a _ acc -> a :: acc) t.ram [] in
-  Gaddr.Table.fold (fun a _ acc -> a :: acc) t.disk acc
+  let seen = Gaddr.Table.create 64 in
+  Gaddr.Table.iter (fun a _ -> Gaddr.Table.replace seen a ()) t.ram;
+  Gaddr.Table.iter (fun a _ -> Gaddr.Table.replace seen a ()) t.disk;
+  Gaddr.Table.fold (fun a () acc -> a :: acc) seen []
 
 let ram_used t = Gaddr.Table.length t.ram
 let disk_used t = Gaddr.Table.length t.disk

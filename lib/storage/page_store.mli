@@ -60,14 +60,18 @@ val where : t -> Kutil.Gaddr.t -> tier option
 (** Instantaneous lookup (no simulated latency). *)
 
 val read : t -> Kutil.Gaddr.t -> bytes option
-(** Fetch a copy of the page, promoting disk hits into RAM. Returns a fresh
-    buffer; mutating it does not affect the store. Torn disk images are
-    dropped, not served. [None] also when the store crashed while the read
-    slept. *)
+(** Fetch a copy of the page, promoting disk hits into RAM. Promotion is
+    inclusive: the disk frame is retained (it may be the only durable copy
+    of a checkpointed page), with a RAM copy installed in front of it.
+    Returns a fresh buffer; mutating it does not affect the store. Torn
+    disk images are dropped, not served. [None] also when the store
+    crashed while the read slept. *)
 
 val write : t -> Kutil.Gaddr.t -> bytes -> dirty:bool -> unit
 (** Install or overwrite the page in RAM. [dirty] marks it as needing
-    writeback before the local copy may be discarded. *)
+    writeback before the local copy may be discarded. A disk-resident
+    frame of the same page is kept with its prior durable bytes; the new
+    content reaches disk only through {!flush_immediate} or demotion. *)
 
 val read_immediate : t -> Kutil.Gaddr.t -> bytes option
 (** Control-plane read: no simulated latency, no tier promotion. Safe to

@@ -200,7 +200,15 @@ let crash t =
     t.records <-
       !survive @ List.filteri (fun i _ -> i >= unsynced) t.records;
     t.len <- t.synced + kept;
-    t.since_checkpoint <- min t.since_checkpoint t.len
+    (* Recount the checkpoint-cadence counter from what actually survived:
+       the records newer than the last checkpoint record (the checkpoint
+       itself is not counted, matching {!checkpoint}/{!append}). *)
+    let rec after_checkpoint acc = function
+      | [] -> acc
+      | { body = Checkpoint _; _ } :: _ -> acc
+      | _ :: rest -> after_checkpoint (acc + 1) rest
+    in
+    t.since_checkpoint <- after_checkpoint 0 t.records
   end;
   t.synced <- t.len
 

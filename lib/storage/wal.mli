@@ -92,7 +92,11 @@ val checkpoint : t -> bytes -> unit
 
 val crash : t -> unit
 (** Apply the fault model to the unsynced tail: pick the surviving prefix,
-    possibly tear the record at the frontier. Open transactions die. *)
+    possibly tear the record at the frontier. Open transactions die. A
+    torn frontier record stays in the log (it is on the platter); since
+    {!replay} stops reading at it, the owner must {!checkpoint} after
+    applying its recovery replay — otherwise records appended after the
+    torn one are unreachable at the next replay. *)
 
 type payload =
   | Page of Kutil.Gaddr.t * bytes   (** page image to reinstall *)

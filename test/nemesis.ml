@@ -544,6 +544,63 @@ let test_crash_mid_io_recovers_committed_writes () =
           (value i) (Bytes.to_string b)
       done)
 
+(* Regression: a crash that tears the WAL frontier record must not poison
+   the log for writes committed after recovery. Replay stops at the first
+   checksum-failing record, so if recovery left the torn record in place,
+   every post-recovery commit would be silently discarded by the next
+   replay. Recovery must end with a truncating checkpoint instead. *)
+let test_post_recovery_commits_survive_second_crash () =
+  let sys = mk ~seed:23 () in
+  let c1 = System.client sys 1 () in
+  let region =
+    System.run_fiber sys (fun () ->
+        let attr = Attr.make ~owner:1 ~min_replicas:1 () in
+        let r = ok (Client.create_region c1 ~attr 4096) in
+        ok (Client.write_bytes c1 ~addr:r.Region.base (bytes_s "original"));
+        r)
+  in
+  System.run_until_quiet ~limit:(Ksim.Time.sec 2) sys;
+  System.set_disk_faults sys 1
+    {
+      Disk_fault.lost_write_prob = 1.0;
+      torn_write_prob = 1.0;
+      crash_during_io_prob = 0.0;
+    };
+  System.run_fiber sys (fun () ->
+      ok (Client.write_bytes c1 ~addr:region.Region.base (bytes_s "walsaved")));
+  (* Commit syncs the log, so give the crash an unsynced tail to tear: a
+     hint-grade record of the same class as the daemon's own pdir.ensure
+     notes (recovery skips the unknown tag). *)
+  let d1 = System.daemon sys 1 in
+  Kstorage.Wal.control (Daemon.wal d1) ~sync:false "test.hint" (bytes_s "x");
+  System.crash sys 1;
+  Alcotest.(check bool) "first crash left a torn WAL frontier" true
+    ((Kstorage.Wal.stats (Daemon.wal d1)).Kstorage.Wal.torn_tail >= 1);
+  System.set_disk_faults sys 1 Disk_fault.none;
+  System.recover sys 1;
+  System.run_until_quiet ~limit:(Ksim.Time.sec 5) sys;
+  Alcotest.(check bool) "node recovered" true (Daemon.is_up d1);
+  (* Commit a fresh write, then destroy its (unsynced) disk flush with a
+     second crash: only the intent log can bring it back. *)
+  System.set_disk_faults sys 1
+    {
+      Disk_fault.lost_write_prob = 1.0;
+      torn_write_prob = 0.0;
+      crash_during_io_prob = 0.0;
+    };
+  System.run_fiber sys (fun () ->
+      ok (Client.write_bytes c1 ~addr:region.Region.base (bytes_s "afterlog")));
+  System.crash sys 1;
+  System.set_disk_faults sys 1 Disk_fault.none;
+  System.recover sys 1;
+  System.run_until_quiet ~limit:(Ksim.Time.sec 5) sys;
+  Alcotest.(check bool) "node recovered again" true (Daemon.is_up d1);
+  System.run_fiber sys (fun () ->
+      let b = ok (Client.read_bytes c1 ~addr:region.Region.base 8) in
+      Alcotest.(check string)
+        "write committed after the torn-tail recovery survives a second crash"
+        "afterlog" (Bytes.to_string b))
+
 let test_determinism () =
   let seed = 1 in
   let a = run_nemesis ~seed () in
@@ -587,6 +644,8 @@ let () =
             test_torn_write_recovered_from_wal;
           Alcotest.test_case "crash mid-I/O recovers committed writes" `Quick
             test_crash_mid_io_recovers_committed_writes;
+          Alcotest.test_case "post-recovery commits survive second crash"
+            `Quick test_post_recovery_commits_survive_second_crash;
           Alcotest.test_case "deterministic replay" `Slow test_determinism;
           Alcotest.test_case "deterministic replay under disk faults" `Slow
             test_disk_fault_determinism;

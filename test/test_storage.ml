@@ -252,6 +252,56 @@ let test_crash_clears_pins () =
   Store.pin s (page 99);
   Store.unpin s (page 99)
 
+(* Regression: promoting a disk hit into RAM must keep the disk frame
+   (inclusive caching). After a WAL checkpoint truncates a page's log
+   records, that frame can be the only durable copy of a committed image;
+   an exclusive promotion would turn it RAM-only and a crash would lose an
+   acked write with nothing left to replay. *)
+let test_promotion_keeps_durable_copy () =
+  let eng, s = mk () in
+  Store.set_faults s all_faults;
+  Store.write_immediate s (page 1) (data "keep") ~dirty:true;
+  Store.flush_immediate s (page 1);
+  Store.sync s;
+  (* RAM dies with the crash; only the synced disk frame remains. *)
+  Store.crash s;
+  in_fiber eng (fun () ->
+      match Store.read s (page 1) with
+      | Some b ->
+        Alcotest.(check string) "disk hit" "keep" (Bytes.to_string b);
+        Alcotest.(check bool) "promoted" true
+          (Store.where s (page 1) = Some Store.Ram)
+      | None -> Alcotest.fail "durable page unreadable");
+  Store.crash s;
+  match Store.read_immediate s (page 1) with
+  | Some b ->
+    Alcotest.(check string) "durable copy survived the promotion" "keep"
+      (Bytes.to_string b)
+  | None -> Alcotest.fail "promotion dropped the only durable copy"
+
+(* Regression: overwriting a disk-resident page in RAM must keep the prior
+   durable image on disk until the new content is flushed — a crash before
+   the flush reverts to the old committed bytes instead of losing the page
+   outright. *)
+let test_overwrite_keeps_prior_durable () =
+  let _eng, s = mk () in
+  Store.set_faults s all_faults;
+  Store.write_immediate s (page 1) (data "v1") ~dirty:true;
+  Store.flush_immediate s (page 1);
+  Store.sync s;
+  Store.crash s;
+  (* Page now lives only on disk; overwrite it without flushing. *)
+  Store.write_immediate s (page 1) (data "v2") ~dirty:true;
+  (match Store.read_immediate s (page 1) with
+   | Some b -> Alcotest.(check string) "RAM fronts disk" "v2" (Bytes.to_string b)
+   | None -> Alcotest.fail "overwritten page unreadable");
+  Store.crash s;
+  match Store.read_immediate s (page 1) with
+  | Some b ->
+    Alcotest.(check string) "prior durable image survived" "v1"
+      (Bytes.to_string b)
+  | None -> Alcotest.fail "overwrite destroyed the durable copy"
+
 let test_flush_immediate_single_writeback () =
   let eng, s = mk ~ram:1 ~disk:1 () in
   let dirty_evictions = ref 0 in
@@ -371,6 +421,54 @@ let test_wal_torn_frontier_record () =
     [ "page:4096:durable" ] (payload_strings r);
   Alcotest.(check bool) "torn discarded" true (r.Wal.discarded >= 1)
 
+(* Regression: a torn frontier record ends the readable log, so it must
+   not be allowed to linger once recovery has replayed around it — records
+   appended after it would be unreachable at the next replay. The owner's
+   recovery checkpoint truncates it away; commits made after that must
+   survive a second crash. *)
+let test_wal_checkpoint_clears_torn_frontier () =
+  let w = mk_wal ~faults:torn_faults () in
+  let tx = Wal.begin_tx w in
+  Wal.log_page w tx (page 1) (data "old-data");
+  Wal.commit w tx;
+  Wal.control w ~sync:false "tail" (data "doomed");
+  Wal.crash w;
+  Alcotest.(check bool) "torn frontier left behind" true
+    ((Wal.stats w).torn_tail >= 1);
+  (* Recovery: replay, then checkpoint what was recovered (simulating the
+     daemon snapshotting its restored state). *)
+  ignore (Wal.replay w);
+  Wal.checkpoint w (data "SNAP");
+  Alcotest.(check int) "log truncated to the checkpoint" 1 (Wal.size w);
+  (* A transaction committed after recovery... *)
+  let tx = Wal.begin_tx w in
+  Wal.log_page w tx (page 2) (data "new-data");
+  Wal.commit w tx;
+  (* ...must be readable after a second crash: nothing torn may remain
+     ahead of it in the log. *)
+  Wal.crash w;
+  let r = Wal.replay w in
+  Alcotest.(check (option string)) "snapshot intact" (Some "SNAP")
+    (Option.map Bytes.to_string r.Wal.snapshot);
+  Alcotest.(check (list string)) "post-recovery commit replayed"
+    [ "page:8192:new-data" ] (payload_strings r)
+
+(* Regression: crash truncation must recount records-since-checkpoint from
+   what actually survived, not clamp the old counter to the log length
+   (which counts the checkpoint record itself and over-reports after a
+   lossy crash, skewing checkpoint cadence). *)
+let test_wal_crash_recounts_since_checkpoint () =
+  let w = mk_wal ~faults:all_faults () in
+  Wal.checkpoint w (data "S");
+  Wal.control w "kept" (data "1");
+  Wal.control w ~sync:false "lost" (data "2");
+  Wal.control w ~sync:false "lost" (data "3");
+  Wal.crash w;
+  (* The whole unsynced tail is dropped: one synced record survives after
+     the checkpoint. *)
+  Alcotest.(check int) "survivors after checkpoint" 1
+    (Wal.records_since_checkpoint w)
+
 (* Crash-at-every-point sweep: build the same operation script, crash it
    after every prefix length with a mid-flight uncommitted intent, and
    check the recovery contract both ways — every committed write is in the
@@ -442,6 +540,10 @@ let () =
           Alcotest.test_case "scrub drops torn frames" `Quick
             test_scrub_drops_torn;
           Alcotest.test_case "crash clears pins" `Quick test_crash_clears_pins;
+          Alcotest.test_case "promotion keeps durable copy" `Quick
+            test_promotion_keeps_durable_copy;
+          Alcotest.test_case "overwrite keeps prior durable" `Quick
+            test_overwrite_keeps_prior_durable;
           Alcotest.test_case "flush_immediate single writeback" `Quick
             test_flush_immediate_single_writeback;
         ] );
@@ -456,6 +558,10 @@ let () =
             test_wal_crash_loses_unsynced_tail;
           Alcotest.test_case "torn frontier record" `Quick
             test_wal_torn_frontier_record;
+          Alcotest.test_case "checkpoint clears torn frontier" `Quick
+            test_wal_checkpoint_clears_torn_frontier;
+          Alcotest.test_case "crash recounts since_checkpoint" `Quick
+            test_wal_crash_recounts_since_checkpoint;
           Alcotest.test_case "crash at every point" `Quick
             test_wal_crash_every_point_sweep;
         ] );
