@@ -43,6 +43,18 @@ let messages sys f =
   let after = (Khazana.Wire.Transport.Net.stats (System.net sys)).sent in
   (r, after - before)
 
+(* Traffic deltas around a thunk: envelopes sent, logical messages
+   (batch items count individually) and bytes. The envelope/atom gap is
+   what RPC coalescing saves. *)
+let traffic sys f =
+  let s0 = Khazana.Wire.Transport.Net.stats (System.net sys) in
+  let r = f () in
+  let s1 = Khazana.Wire.Transport.Net.stats (System.net sys) in
+  ( r,
+    s1.sent - s0.sent,
+    s1.atoms - s0.atoms,
+    s1.bytes_sent - s0.bytes_sent )
+
 module Trace = Ktrace.Trace
 
 (* Run [f] with a ring sink installed and print where the simulated time of

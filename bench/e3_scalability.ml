@@ -62,6 +62,84 @@ let run_workload ~nodes ~disjoint =
   let elapsed = Ksim.Time.to_sec_f (System.now sys - t0) in
   float_of_int (nodes * ops_per_node) /. elapsed
 
+(* E3b — message count at equal workload, coalescing off vs on.
+
+   Same seed, same ops: 8 nodes each take 10 whole-region write locks over
+   their neighbour's 16-page region (disjoint working sets, but every lock
+   crosses the wire to the region's home). Coalescing merges each event
+   cascade's same-destination CM messages (acquire fan-out, grant replies,
+   release notifications) into batch envelopes, so the envelope count
+   drops while the logical message count stays put. *)
+let e3b_nodes = 8
+let e3b_pages = 16
+let e3b_ops = 10
+
+let run_batched_workload ~coalesce =
+  let len = e3b_pages * 4096 in
+  let sys = System.create ~nodes_per_cluster:e3b_nodes ~clusters:1 () in
+  Khazana.Wire.Transport.set_coalescing (System.transport sys) coalesce;
+  let node_ids = List.init e3b_nodes Fun.id in
+  let regions =
+    System.run_fiber sys (fun () ->
+        List.map
+          (fun n ->
+            let c = System.client sys n () in
+            let r = ok (Client.create_region c len) in
+            ok (Client.write_bytes c ~addr:r.Region.base (Bytes.make len 'i'));
+            (n, r))
+          node_ids)
+  in
+  let t0 = System.now sys in
+  let (), envelopes, atoms, bytes =
+    Bench_common.traffic sys (fun () ->
+        System.run_fiber sys (fun () ->
+            let eng = System.engine sys in
+            let fibers =
+              List.map
+                (fun n ->
+                  Ksim.Fiber.async eng (fun () ->
+                      let c = System.client sys n () in
+                      (* Lock the neighbour's region: remote home, no
+                         contention. *)
+                      let region =
+                        List.assoc ((n + 1) mod e3b_nodes) regions
+                      in
+                      for i = 1 to e3b_ops do
+                        let ctx =
+                          ok
+                            (Client.lock c ~addr:region.Region.base ~len
+                               Ctypes.Write)
+                        in
+                        ok
+                          (Client.write c ctx ~addr:region.Region.base
+                             (Bytes.make 8 (Char.chr (65 + (i mod 26)))));
+                        Client.unlock c ctx
+                      done))
+                node_ids
+            in
+            Ksim.Fiber.join_all fibers))
+  in
+  let elapsed_ms = Ksim.Time.to_ms_f (System.now sys - t0) in
+  (elapsed_ms, envelopes, atoms, bytes)
+
+let message_table () =
+  Printf.printf
+    "\nE3b: equal workload (%d nodes x %d whole-region locks, %d pages each):\n"
+    e3b_nodes e3b_ops e3b_pages;
+  let table =
+    Stats.table
+      ~columns:
+        [ "coalescing"; "elapsed (ms)"; "envelopes"; "logical msgs"; "KiB sent" ]
+  in
+  List.iter
+    (fun (name, coalesce) ->
+      let ms, envelopes, atoms, bytes = run_batched_workload ~coalesce in
+      Stats.row table
+        [ name; f1 ms; string_of_int envelopes; string_of_int atoms;
+          f1 (float_of_int bytes /. 1024.) ])
+    [ ("off", false); ("on", true) ];
+  print_table table
+
 let run () =
   header "E3: throughput scaling with node count"
     "Disjoint working sets scale with nodes; a single contended region does not.";
@@ -82,4 +160,5 @@ let run () =
       Stats.row table
         [ string_of_int nodes; f1 d; f2 (d /. !base_d); f1 c; f2 (c /. !base_c) ])
     [ 1; 2; 4; 8; 16 ];
-  print_table table
+  print_table table;
+  message_table ()

@@ -38,7 +38,11 @@ module Node : sig
   }
 
   val max_entries : int
+  (** Entries a node holds before {!insert} must split it. *)
+
   val empty_root : unit -> t
+  (** A root covering the whole address space with no entries. *)
+
   val encode : t -> bytes
   (** Fixed 4 KiB image. *)
 

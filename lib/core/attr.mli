@@ -10,7 +10,10 @@
 type consistency_level = Strict | Release | Eventual
 
 val level_to_string : consistency_level -> string
+(** "strict" / "release" / "eventual". *)
+
 val level_of_string : string -> consistency_level option
+(** Inverse of {!level_to_string}; [None] on unknown names. *)
 
 val default_protocol_for : consistency_level -> string
 (** crew / release / eventual. *)
@@ -42,6 +45,14 @@ val make :
     non-positive replica count. *)
 
 val allows : t -> principal:int -> Kconsistency.Types.mode -> bool
+(** May [principal] take a lock in this mode? The owner always may;
+    everyone else is checked against [world]. *)
+
 val encode : Kutil.Codec.encoder -> t -> unit
+(** Append the wire form (attributes travel inside region descriptors). *)
+
 val decode : Kutil.Codec.decoder -> t
+(** Inverse of {!encode}. *)
+
 val pp : Format.formatter -> t -> unit
+(** Human-readable one-line rendering for logs and tests. *)

@@ -16,8 +16,14 @@
 type t
 
 val connect : Daemon.t -> principal:int -> t
+(** An application handle bound to its node-local daemon; every operation
+    it issues runs as [principal] for access control. *)
+
 val daemon : t -> Daemon.t
+(** The daemon this client talks to. *)
+
 val principal : t -> int
+(** The principal operations run as. *)
 
 (** {1 The paper's operations} *)
 
@@ -27,25 +33,42 @@ val reserve :
 (** [reserve t len] — the length is the final positional argument. *)
 
 val unreserve : t -> ?ctx:Ktrace.Op_ctx.t -> Kutil.Gaddr.t -> unit
+(** Give a reserved region's address space back. Release-class: returns
+    immediately and retries in the background until it lands. *)
+
 val allocate : t -> ?ctx:Ktrace.Op_ctx.t -> Kutil.Gaddr.t -> (unit, Daemon.error) result
+(** Attach backing storage to a reserved region (by its base address). *)
+
 val free : t -> ?ctx:Ktrace.Op_ctx.t -> Kutil.Gaddr.t -> unit
+(** Release a region's backing storage. Release-class, like {!unreserve}. *)
 
 val lock :
   t -> ?ctx:Ktrace.Op_ctx.t -> addr:Kutil.Gaddr.t -> len:int ->
   Kconsistency.Types.mode -> (Daemon.lock_ctx, Daemon.error) result
+(** Acquire the byte range in [Read] or [Write] mode; pages are acquired
+    in pipelined waves and the grant is all-or-nothing (see
+    {!Daemon.lock}). The returned context gates {!read}/{!write}. *)
 
 val unlock : t -> Daemon.lock_ctx -> unit
+(** Release every page of the context. Release-class: returns
+    immediately; update propagation retries in the background. *)
 
 val read :
   t -> Daemon.lock_ctx -> addr:Kutil.Gaddr.t -> len:int ->
   (bytes, Daemon.error) result
+(** Copy bytes out of the locked range (any lock mode suffices). *)
 
 val write :
   t -> Daemon.lock_ctx -> addr:Kutil.Gaddr.t -> bytes ->
   (unit, Daemon.error) result
+(** Copy bytes into the locked range (requires a [Write] context). *)
 
 val get_attr : t -> ?ctx:Ktrace.Op_ctx.t -> Kutil.Gaddr.t -> (Attr.t, Daemon.error) result
+(** Attributes of the region containing the address. *)
+
 val set_attr : t -> ?ctx:Ktrace.Op_ctx.t -> Kutil.Gaddr.t -> Attr.t -> (unit, Daemon.error) result
+(** Replace the attributes of the region based at the address (owner
+    only; propagates to cached descriptors lazily). *)
 
 (** {1 Convenience} *)
 

@@ -10,6 +10,8 @@
 type t
 
 val create : cluster_id:int -> t
+(** Manager state for one cluster; the id selects the cluster's slice of
+    the global address space. *)
 
 val next_chunk : t -> Kutil.Gaddr.t * int
 (** Hand out the next unreserved chunk of this cluster's address slice. *)
@@ -49,4 +51,7 @@ val forget_node : t -> Knet.Topology.node_id -> unit
 (** Drop all hints about a (crashed) member. *)
 
 val free_bytes_hint : t -> (Knet.Topology.node_id * int) list
+(** Last reported unreserved pool size per member. *)
+
 val chunks_granted : t -> int
+(** How many chunks {!next_chunk} has handed out. *)

@@ -24,6 +24,7 @@ type config = {
   suspect_after : Ksim.Time.t;
   repair_every : Ksim.Time.t;
   wal_checkpoint_every : int;
+  acquire_window : int;
 }
 
 let default_config =
@@ -42,6 +43,9 @@ let default_config =
     suspect_after = Ksim.Time.ms 1500;
     repair_every = Ksim.Time.ms 500;
     wal_checkpoint_every = 512;
+    (* Pages per concurrent acquisition wave in a multi-page lock; 1
+       recovers the old fully-sequential behaviour. *)
+    acquire_window = 16;
   }
 
 type error = Error.t
@@ -341,7 +345,11 @@ and apply_actions t ~span slot page actions =
     (fun action ->
       match action with
       | Ctypes.Send (dst, body) ->
+        (* CM traffic is coalescable: all pages a machine cascade touches
+           at one instant toward the same peer (a multi-page invalidation
+           fan-out, a window of grants) share one batch envelope. *)
         Wire.Transport.notify t.transport ~src:t.id ~dst ~span:(Trace.id span)
+          ~coalesce:true
           (Wire.Cm_msg { page; region_base = slot.region.Region.base; body });
         (* Fail fast on suspected peers (the moral equivalent of a
            connection refused): tell the machine the peer is unreachable,
@@ -519,6 +527,26 @@ let release_page t ctx (region : Region.t) page mode ~data =
   | None ->
     ignore region;
     () (* crash wiped the machine; nothing to release *)
+
+(* Release every page of a (possibly partial) multi-page lock in one pass.
+   Shared by unlock and the acquisition rollback paths so their per-page
+   bookkeeping cannot drift: [unpin] drops the storage pins unlock took,
+   [written] propagates dirty images for pages the context wrote. Rollback
+   of a never-granted context passes neither — the pages were never pinned
+   and carry no data. *)
+let release_pages t ctx (region : Region.t) mode ?(unpin = false) ?written
+    pages =
+  List.iter
+    (fun page ->
+      if unpin then Store.unpin t.store page;
+      let data =
+        match written with
+        | Some tbl when mode = Ctypes.Write && Gaddr.Table.mem tbl page ->
+          Store.read_immediate t.store page
+        | _ -> None
+      in
+      release_page t ctx region page mode ~data)
+    pages
 
 (* -- address map IO over our own lock/read/write primitives -- *)
 
@@ -914,13 +942,14 @@ let free_local t base =
        crash between page drops would resurrect half the region's pages at
        replay and not the rest. *)
     let reserved = { region with Region.state = Region.Reserved } in
+    let pages = Region.pages region in
     let tx = Wal.begin_tx t.wal in
     List.iter
       (fun page ->
         let e = Codec.encoder () in
         Codec.u128 e page;
         Wal.log_note t.wal tx "page.free" (Codec.to_bytes e))
-      (Region.pages region);
+      pages;
     Wal.log_note t.wal tx "homed.put" (encode_region reserved);
     Wal.commit t.wal tx;
     List.iter
@@ -928,7 +957,7 @@ let free_local t base =
         Gaddr.Table.remove t.machines page;
         Store.drop t.store page;
         Page_directory.remove t.pdir page)
-      (Region.pages region);
+      pages;
     Gaddr.Table.replace t.homed base reserved;
     Region_directory.put t.rdir reserved;
     true
@@ -1041,6 +1070,8 @@ let lock t ~ctx ~addr ~len mode =
     else if Op_ctx.expired ctx ~now:(Ksim.Engine.now t.engine) then
       Error `Timeout
     else begin
+      (* Computed once; granted contexts carry it as [ctx_pages] so unlock
+         and read/write never recompute the page list. *)
       let pages =
         Gaddr.pages_in addr ~len ~page_size:region.Region.attr.Attr.page_size
       in
@@ -1050,28 +1081,61 @@ let lock t ~ctx ~addr ~len mode =
         Kutil.Backoff.make ~rng:t.rng ~base:(Ksim.Time.ms 50)
           ~cap:t.cfg.retry_backoff_cap ()
       in
-      let rec acquire_all acquired = function
+      let acquire_one page =
+        let rec attempt n =
+          let timeout = budgeted_timeout t ctx t.cfg.lock_timeout in
+          if timeout <= 0 then Error `Timeout
+          else
+            match acquire_page t ctx region page mode ~timeout with
+            | Ok () -> Ok ()
+            | Error _ when n > 1 ->
+              Ksim.Fiber.sleep (Kutil.Backoff.next backoff);
+              attempt (n - 1)
+            | Error e -> Error e
+        in
+        attempt t.cfg.lock_retries
+      in
+      (* Pipelined acquisition: issue up to [acquire_window] page acquires
+         concurrently (each in its own fiber, all sharing the backoff and
+         the context deadline), so an N-page lock costs O(N / window)
+         round-trip waves instead of N sequential round trips. Rollback
+         stays all-or-nothing: any failure releases every page this call
+         acquired — prior waves and the failing wave's partial grants. *)
+      let window = max 1 t.cfg.acquire_window in
+      let rec take n acc = function
+        | rest when n = 0 -> (List.rev acc, rest)
+        | [] -> (List.rev acc, [])
+        | p :: rest -> take (n - 1) (p :: acc) rest
+      in
+      let rec acquire_all acquired remaining =
+        match remaining with
         | [] -> Ok (List.rev acquired)
-        | page :: rest -> (
-          let rec attempt n =
-            let timeout = budgeted_timeout t ctx t.cfg.lock_timeout in
-            if timeout <= 0 then Error `Timeout
-            else
-              match acquire_page t ctx region page mode ~timeout with
-              | Ok () -> Ok ()
-              | Error _ when n > 1 ->
-                Ksim.Fiber.sleep (Kutil.Backoff.next backoff);
-                attempt (n - 1)
-              | Error e -> Error e
+        | _ ->
+          let wave, rest = take window [] remaining in
+          let results =
+            wave
+            |> List.map (fun page ->
+                   ( page,
+                     Ksim.Fiber.async t.engine ~name:"daemon.lock.acquire"
+                       (fun () -> acquire_one page) ))
+            |> List.map (fun (page, p) -> (page, Ksim.Fiber.await p))
           in
-          match attempt t.cfg.lock_retries with
-          | Ok () -> acquire_all (page :: acquired) rest
-          | Error e ->
-            (* Roll back already-acquired pages. *)
-            List.iter
-              (fun p -> release_page t ctx region p mode ~data:None)
-              acquired;
-            Error e)
+          let granted =
+            List.filter_map
+              (fun (page, r) -> match r with Ok () -> Some page | Error _ -> None)
+              results
+          in
+          (match
+             List.find_map
+               (fun (_, r) -> match r with Error e -> Some e | Ok () -> None)
+               results
+           with
+           | Some e ->
+             (* Roll back already-acquired pages, including the failing
+                wave's partial grants. *)
+             release_pages t ctx region mode (List.rev_append acquired granted);
+             Error e
+           | None -> acquire_all (List.rev_append granted acquired) rest)
       in
       match acquire_all [] pages with
       | Error e -> Error e
@@ -1102,16 +1166,8 @@ let unlock t ctx =
           [ ("addr", Gaddr.to_string ctx.ctx_addr) ])
     in
     let op = Op_ctx.with_span ctx.ctx_op span in
-    List.iter
-      (fun page ->
-        Store.unpin t.store page;
-        let data =
-          if ctx.ctx_mode = Ctypes.Write && Gaddr.Table.mem ctx.ctx_written page
-          then Store.read_immediate t.store page
-          else None
-        in
-        release_page t op ctx.ctx_region page ctx.ctx_mode ~data)
-      ctx.ctx_pages;
+    release_pages t op ctx.ctx_region ctx.ctx_mode ~unpin:true
+      ~written:ctx.ctx_written ctx.ctx_pages;
     finish_span t span
   end
 

@@ -35,9 +35,13 @@ type config = {
   wal_checkpoint_every : int;
       (** intent-log records before the repair loop takes a truncating
           checkpoint (default 512) *)
+  acquire_window : int;
+      (** pages acquired concurrently per wave of a multi-page {!lock}
+          (default 16; clamped to ≥ 1, where 1 is fully sequential) *)
 }
 
 val default_config : config
+(** The defaults quoted per field above. *)
 
 type error = Error.t
 (** Unified operation error type; see {!Error} for the constructors and the
@@ -66,8 +70,13 @@ val bootstrap_map : t -> unit
 (** Initialise the address map root page. Must run on the bootstrap node. *)
 
 val id : t -> Knet.Topology.node_id
+(** This daemon's node id. *)
+
 val engine : t -> Ksim.Engine.t
+(** The simulation engine the daemon runs on. *)
+
 val is_up : t -> bool
+(** [false] while crashed or still replaying recovery. *)
 
 val crash : t -> unit
 (** Lose all in-memory state: RAM tier, CM machines, in-flight operations,
@@ -103,6 +112,7 @@ val suspects : t -> Knet.Topology.node_id list
 (** Nodes this daemon currently believes are dead or unreachable, sorted. *)
 
 val is_suspect : t -> Knet.Topology.node_id -> bool
+(** Is the node on this daemon's suspicion list right now? *)
 
 (** {1 Client operations (the paper's API, §2)} *)
 
@@ -132,7 +142,11 @@ val lock :
 (** Lock [addr, addr+len) in the given mode. The principal is taken from
     [ctx]; a context deadline caps the per-page acquisition timeout. The
     consistency protocol of the enclosing region decides what the intent
-    costs. *)
+    costs. Pages are acquired in pipelined waves of
+    [config.acquire_window] concurrent requests sharing one backoff and
+    deadline, so a large range costs O(pages / window) round-trip waves;
+    failure anywhere rolls back every page this call acquired
+    (all-or-nothing, no pins or grants leak). *)
 
 val unlock : t -> lock_ctx -> unit
 (** Release-class: never fails toward the client. Dirty pages written under
@@ -147,6 +161,7 @@ val write :
 (** Update part of the locked range; requires a write-mode context. *)
 
 val get_attr : t -> ctx:Ktrace.Op_ctx.t -> Kutil.Gaddr.t -> (Attr.t, error) result
+(** Attributes of the region containing the address. *)
 
 val set_attr :
   t -> ctx:Ktrace.Op_ctx.t -> Kutil.Gaddr.t -> Attr.t -> (unit, error) result
@@ -162,9 +177,16 @@ val locate_region :
     {!Ktrace.Op_ctx.background}. *)
 
 val region_directory : t -> Region_directory.t
+(** The per-node descriptor cache (tests and experiments poke at it). *)
+
 val page_directory : t -> Page_directory.t
+(** The per-node page directory. *)
+
 val store : t -> Kstorage.Page_store.t
+(** The two-tier local page store. *)
+
 val homed_regions : t -> Region.t list
+(** Allocated regions whose home is this node. *)
 
 val machine_state : t -> Kutil.Gaddr.t -> string option
 (** Protocol state name of the machine for a page, if instantiated. *)
@@ -185,7 +207,10 @@ type lookup_stats = {
 }
 
 val lookup_stats : t -> lookup_stats
+(** How region-location requests resolved, by path (§3.2 order). *)
+
 val reset_lookup_stats : t -> unit
+(** Zero every {!lookup_stats} counter. *)
 
 val metrics : t -> Ktrace.Metrics.t
 (** This daemon's named counters and summaries (lock grants/rejects/

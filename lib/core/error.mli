@@ -22,3 +22,4 @@ val of_string : string -> t option
 (** Inverse of {!to_string}: [of_string (to_string e) = Some e]. *)
 
 val pp : Format.formatter -> t -> unit
+(** Formats {!to_string}'s rendering. *)

@@ -19,16 +19,29 @@ type entry = {
 type t
 
 val create : unit -> t
+(** An empty directory. *)
+
 val ensure : t -> page:Kutil.Gaddr.t -> region_base:Kutil.Gaddr.t -> homed_here:bool -> entry
+(** The page's entry, created (with no sharers) if absent. *)
+
 val find : t -> Kutil.Gaddr.t -> entry option
+(** The page's entry, if one exists. *)
+
 val set_sharers : t -> Kutil.Gaddr.t -> Knet.Topology.node_id list -> unit
+(** Overwrite the recorded sharer list (no-op on unknown pages). *)
+
 val remove : t -> Kutil.Gaddr.t -> unit
+(** Forget the page entirely. *)
+
 val crash : t -> unit
 (** Wipe everything: the directory lives in memory. Homed entries come back
     through WAL replay, hints through traffic and anti-entropy repair. *)
 
 val length : t -> int
+(** Number of entries. *)
+
 val fold : (Kutil.Gaddr.t -> entry -> 'a -> 'a) -> t -> 'a -> 'a
+(** Fold over every entry (iteration order unspecified). *)
 
 val encode_persistent : t -> Kutil.Codec.encoder -> unit
 (** Append the authoritative (homed-here) entries, sorted by page, for a

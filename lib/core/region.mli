@@ -24,14 +24,33 @@ val make :
     misaligned base or length. *)
 
 val allocated : t -> t
+(** The same descriptor flipped to [Allocated] state. *)
+
 val page_count : t -> int
+(** Number of pages ([len / attr.page_size]). *)
+
 val pages : t -> Kutil.Gaddr.t list
+(** Every page base address in the region, in ascending order. Callers
+    that need the list more than once (lock/unlock paths) compute it once
+    and reuse it. *)
+
 val contains : t -> Kutil.Gaddr.t -> bool
+(** Does the address fall inside [base, base+len)? *)
+
 val contains_range : t -> Kutil.Gaddr.t -> len:int -> bool
+(** Does the whole byte range fall inside the region? *)
+
 val page_of : t -> Kutil.Gaddr.t -> Kutil.Gaddr.t
 (** Enclosing page base for an address inside the region. *)
 
 val end_ : t -> Kutil.Gaddr.t
+(** One past the last address ([base + len]). *)
+
 val encode : Kutil.Codec.encoder -> t -> unit
+(** Append the wire form (descriptors travel in RPC payloads). *)
+
 val decode : Kutil.Codec.decoder -> t
+(** Inverse of {!encode}. *)
+
 val pp : Format.formatter -> t -> unit
+(** Human-readable one-line rendering for logs and tests. *)

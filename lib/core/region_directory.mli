@@ -9,7 +9,12 @@
 type t
 
 val create : capacity:int -> t
+(** An empty directory holding at most [capacity] descriptors. *)
+
 val put : t -> Region.t -> unit
+(** Insert or refresh a descriptor (evicting the least recently used
+    entry at capacity). *)
+
 val find : t -> Kutil.Gaddr.t -> Region.t option
 (** Descriptor of the cached region containing the address, if any;
     refreshes recency. *)
@@ -22,7 +27,16 @@ val invalidate_containing : t -> Kutil.Gaddr.t -> unit
     recovery). *)
 
 val length : t -> int
+(** Current number of cached descriptors. *)
+
 val entries : t -> Region.t list
+(** Every cached descriptor (no particular order; for tests/diagnostics). *)
+
 val hits : t -> int
+(** {!find} calls that returned a descriptor. *)
+
 val misses : t -> int
+(** {!find} calls that returned [None]. *)
+
 val reset_stats : t -> unit
+(** Zero {!hits} and {!misses}. *)

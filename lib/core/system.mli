@@ -20,12 +20,25 @@ val create :
     and the simulation is quiescent. *)
 
 val engine : t -> Ksim.Engine.t
+(** The simulation engine everything runs on. *)
+
 val topology : t -> Knet.Topology.t
+(** Cluster/link layout. *)
+
 val transport : t -> Wire.Transport.t
+(** The shared RPC transport (e.g. for [set_coalescing] in benches). *)
+
 val net : t -> Wire.Transport.Net.t
+(** The underlying network, for its traffic counters and fault knobs. *)
+
 val daemon : t -> Knet.Topology.node_id -> Daemon.t
+(** The node's daemon. *)
+
 val daemons : t -> Daemon.t list
+(** Every daemon, in node-id order. *)
+
 val node_count : t -> int
+(** Total nodes ([nodes_per_cluster × clusters]). *)
 
 val client : t -> Knet.Topology.node_id -> ?principal:int -> unit -> Client.t
 (** Connect a client application process to the daemon on a node. The
@@ -43,14 +56,24 @@ val run_until_quiet : ?limit:Ksim.Time.t -> t -> unit
     virtual time, default 60 s). *)
 
 val now : t -> Ksim.Time.t
+(** Current simulated time. *)
 
 (** {1 Failure injection} *)
 
 val crash : t -> Knet.Topology.node_id -> unit
+(** Crash a node: RAM (and pins) lost, disk kept subject to the fault
+    model, links down, in-flight operations abandoned. *)
+
 val recover : t -> Knet.Topology.node_id -> unit
+(** Bring a crashed node back: scrub torn disk frames, replay the WAL,
+    rejoin the cluster. *)
 
 (** Install (or clear, with {!Kstorage.Disk_fault.none}) the disk fault
     model on one node's page store and intent log. *)
 val set_disk_faults : t -> Knet.Topology.node_id -> Kstorage.Disk_fault.config -> unit
+
 val partition : t -> Knet.Topology.node_id list -> Knet.Topology.node_id list -> unit
+(** Cut the network between the two groups (both directions). *)
+
 val heal : t -> unit
+(** Remove every partition. *)

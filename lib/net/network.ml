@@ -3,6 +3,7 @@ module type MESSAGE = sig
 
   val size_bytes : t -> int
   val kind : t -> string
+  val kinds : t -> string list
 end
 
 module Make (M : MESSAGE) = struct
@@ -24,6 +25,7 @@ module Make (M : MESSAGE) = struct
     mutable sent : int;
     mutable delivered : int;
     mutable dropped : int;
+    mutable atoms : int;
     mutable bytes_sent : int;
     by_kind : (string, int) Hashtbl.t;
     mutable trace :
@@ -45,6 +47,7 @@ module Make (M : MESSAGE) = struct
       sent = 0;
       delivered = 0;
       dropped = 0;
+      atoms = 0;
       bytes_sent = 0;
       by_kind = Hashtbl.create 32;
       trace = None;
@@ -91,10 +94,16 @@ module Make (M : MESSAGE) = struct
     check_node t b;
     t.up.(a) && t.up.(b) && not (blocked t a b)
 
+  (* Per-kind counters follow the logical messages, not the envelopes: a
+     batch of N invalidations counts as N under "cm.inval", so kind-level
+     comparisons stay meaningful whether or not coalescing is on. *)
   let account_kind t msg =
-    let k = M.kind msg in
-    Hashtbl.replace t.by_kind k
-      (1 + Option.value (Hashtbl.find_opt t.by_kind k) ~default:0)
+    List.iter
+      (fun k ->
+        t.atoms <- t.atoms + 1;
+        Hashtbl.replace t.by_kind k
+          (1 + Option.value (Hashtbl.find_opt t.by_kind k) ~default:0))
+      (M.kinds msg)
 
   let deliver t ~src ~dst msg =
     if t.up.(dst) && not (blocked t src dst) then begin
@@ -163,6 +172,7 @@ module Make (M : MESSAGE) = struct
     delivered : int;
     dropped : int;
     in_flight : int;
+    atoms : int;
     bytes_sent : int;
     by_kind : (string * int) list;
   }
@@ -177,6 +187,7 @@ module Make (M : MESSAGE) = struct
       delivered = t.delivered;
       dropped = t.dropped;
       in_flight = Array.fold_left ( + ) 0 t.inflight;
+      atoms = t.atoms;
       bytes_sent = t.bytes_sent;
       by_kind;
     }
@@ -185,6 +196,7 @@ module Make (M : MESSAGE) = struct
     t.sent <- 0;
     t.delivered <- 0;
     t.dropped <- 0;
+    t.atoms <- 0;
     t.bytes_sent <- 0;
     Hashtbl.reset t.by_kind
 

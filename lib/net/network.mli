@@ -15,6 +15,13 @@ module type MESSAGE = sig
 
   val kind : t -> string
   (** Short label for per-message-kind counters and traces. *)
+
+  val kinds : t -> string list
+  (** Kind labels of the logical messages inside this envelope — a
+      singleton [[kind m]] for ordinary messages, one label per item for
+      batch envelopes (see {!Krpc.Rpc}). Feeds [stats.by_kind] and
+      [stats.atoms] so per-kind counts stay comparable whether or not
+      coalescing is on. *)
 end
 
 module Make (M : MESSAGE) : sig
@@ -55,17 +62,22 @@ module Make (M : MESSAGE) : sig
   (** {1 Accounting} *)
 
   type stats = {
-    sent : int;
+    sent : int;       (** envelopes handed to the wire *)
     delivered : int;
     dropped : int;
     in_flight : int;  (** scheduled but not yet delivered *)
+    atoms : int;
+        (** logical messages sent: each item of a batch envelope counts
+            once, so [atoms >= sent] and the gap measures coalescing *)
     bytes_sent : int;
-    by_kind : (string * int) list;  (** messages sent, per kind, sorted *)
+    by_kind : (string * int) list;
+        (** logical messages sent, per kind, sorted; sums to [atoms] *)
   }
 
   val stats : t -> stats
   (** Traffic counters. [sent = delivered + dropped + in_flight] holds at
-      all times (modulo {!reset_stats} taken while traffic was in flight). *)
+      all times (modulo {!reset_stats} taken while traffic was in flight);
+      the conservation invariant is over envelopes, not atoms. *)
 
   val reset_stats : t -> unit
 

@@ -4,15 +4,28 @@
     Khazana daemons use this for all inter-node protocol traffic. Retried
     requests give at-least-once execution: handlers must be idempotent or
     deduplicate, as the paper's own retry-until-success error handling
-    requires. *)
+    requires.
 
+    One-way messages marked coalescable are not sent immediately: they sit
+    in a per-destination queue until the end of the current simulated
+    instant, then travel as one {!Make.Msg.t.Batch} envelope. A home
+    invalidating N pages at one sharer in a single event cascade therefore
+    pays one envelope, not N. *)
+
+(** The user-supplied wire protocol: one request and one response type,
+    with enough metadata for the network's size and kind accounting. *)
 module type PROTOCOL = sig
   type request
   type response
 
   val request_size : request -> int
+  (** Approximate serialised size of a request body in bytes. *)
+
   val response_size : response -> int
+  (** Approximate serialised size of a response body in bytes. *)
+
   val request_kind : request -> string
+  (** Short label for per-kind traffic counters ({!Knet.Network}). *)
 end
 
 module Make (P : PROTOCOL) : sig
@@ -26,16 +39,34 @@ module Make (P : PROTOCOL) : sig
           (** [span] is the sender's enclosing {!Ktrace} span id (0 when
               untraced); receivers parent their dispatch spans under it so a
               multi-hop operation forms one causally-linked trace. *)
+      | Batch of { items : (int * P.request) list }
+          (** Same-tick one-way messages to one destination coalesced into
+              a single envelope; each item keeps its own [(span, body)]
+              pair and is dispatched to the server exactly as a separate
+              [Oneway] would have been. *)
 
     val size_bytes : t -> int
+    (** Envelope wire size: header + body, plus a span correlation word
+        when traced; batches share one header across items. *)
+
     val kind : t -> string
+    (** Envelope-level label ("rpc.batch" for batches). *)
+
+    val kinds : t -> string list
+    (** Per-logical-message labels; see {!Knet.Network.MESSAGE.kinds}. *)
   end
 
   module Net : module type of Knet.Network.Make (Msg)
 
   val create : Ksim.Engine.t -> Knet.Topology.t -> t
+  (** Build a transport over the topology and hook every node's network
+      handler; servers are installed separately with {!set_server}. *)
+
   val net : t -> Net.t
+  (** The underlying network (failure injection, traffic stats). *)
+
   val engine : t -> Ksim.Engine.t
+  (** The simulation engine this transport schedules on. *)
 
   val set_server :
     t ->
@@ -73,9 +104,25 @@ module Make (P : PROTOCOL) : sig
     src:Knet.Topology.node_id ->
     dst:Knet.Topology.node_id ->
     ?span:int ->
+    ?coalesce:bool ->
     P.request ->
     unit
-  (** One-way message: no response, no retry. *)
+  (** One-way message: no response, no retry. With [~coalesce:true]
+      (default false) the message is queued and flushed at the end of the
+      current simulated instant, sharing a {!Msg.t.Batch} envelope with
+      every other coalescable same-tick message from [src] to [dst]; the
+      flush emits an "rpc.batch" {!Ktrace} event when it merged two or
+      more. Delivery semantics are otherwise unchanged — the network's
+      crash/partition/loss decisions apply to the whole envelope at flush
+      time. *)
+
+  val set_coalescing : t -> bool -> unit
+  (** Globally enable/disable batching of [~coalesce:true] notifies
+      (default enabled). Disabling flushes any queued messages first;
+      benches use this to measure the uncoalesced baseline. *)
+
+  val coalescing : t -> bool
+  (** Whether coalescing is currently enabled. *)
 
   val pending_calls : t -> int
   (** Outstanding requests (diagnostics). *)

@@ -372,6 +372,12 @@ let unpin t addr =
   | Some f -> if f.pins > 0 then f.pins <- f.pins - 1
   | None -> ()
 
+let pinned_pages t =
+  let count tbl acc =
+    Gaddr.Table.fold (fun _ f acc -> if f.pins > 0 then acc + 1 else acc) tbl acc
+  in
+  count t.ram (count t.disk 0)
+
 let flush_immediate t addr =
   match Gaddr.Table.find_opt t.ram addr with
   | None -> ()

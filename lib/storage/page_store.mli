@@ -104,6 +104,10 @@ val pin : t -> Kutil.Gaddr.t -> unit
 
 val unpin : t -> Kutil.Gaddr.t -> unit
 
+val pinned_pages : t -> int
+(** Resident pages with at least one pin — 0 whenever no lock context is
+    live (tests use this to prove failed multi-page locks leak no pins). *)
+
 val drop : t -> Kutil.Gaddr.t -> unit
 (** Remove the local copy without writeback (after invalidation). *)
 

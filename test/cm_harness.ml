@@ -120,6 +120,43 @@ let has_copy t node = Machine.packed_has_valid_copy (machine t node)
 let version t node = Machine.packed_version (machine t node)
 let installed_data t node = List.assoc_opt node t.installed
 
+(* ----------------------- Multi-page delivery ----------------------- *)
+
+(* A multi-page conversation is several single-page harnesses (machines
+   are strictly per page; pages never exchange messages). The two drain
+   orders below model the wire-level difference RPC coalescing makes:
+   per-page unicast interleaves pages arbitrarily, while a batch envelope
+   lands every same-destination message in one consecutive burst. The
+   machines must not care — see the equivalence test. *)
+
+let multi_pending harnesses = List.exists (fun t -> t.wire <> []) harnesses
+
+(* One message from each page that has one: the interleaved unicast order. *)
+let deliver_interleaved harnesses =
+  List.iter (fun t -> ignore (deliver_one t)) harnesses
+
+(* Every in-flight message (across all pages) bound for the destination of
+   the oldest in-flight message, delivered back to back: what the receiver
+   of one batch envelope observes. *)
+let deliver_batched harnesses =
+  match List.find_opt (fun t -> t.wire <> []) harnesses with
+  | None -> ()
+  | Some first ->
+    let _, dst, _ = List.hd first.wire in
+    List.iter
+      (fun t ->
+        let mine, rest = List.partition (fun (_, d, _) -> d = dst) t.wire in
+        t.wire <- rest;
+        List.iter (fun (src, _, msg) -> feed t dst (Ctypes.Peer { src; msg })) mine)
+      harnesses
+
+let rec multi_drain ~batched harnesses =
+  if multi_pending harnesses then begin
+    if batched then deliver_batched harnesses
+    else deliver_interleaved harnesses;
+    multi_drain ~batched harnesses
+  end
+
 (* CREW safety: at most one write lock system-wide, never concurrent with
    any other lock on another node. *)
 let crew_invariant_violation t =

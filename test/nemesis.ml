@@ -30,6 +30,7 @@ module Attr = Khazana.Attr
 module Disk_fault = Kstorage.Disk_fault
 module Store = Kstorage.Page_store
 module Gaddr = Kutil.Gaddr
+module Ctypes = Kconsistency.Types
 
 let ok = function
   | Ok v -> v
@@ -544,6 +545,57 @@ let test_crash_mid_io_recovers_committed_writes () =
           (value i) (Bytes.to_string b)
       done)
 
+(* The home dies in the middle of a pipelined multi-page acquisition: some
+   of the contender's acquire wave has been granted, the rest never will
+   be. The failed lock must roll its partial grants back without leaking
+   storage pins, and once the home recovers, the same whole-region lock
+   must go through cleanly. *)
+let test_crash_mid_batched_acquire () =
+  let sys = mk ~seed:77 () in
+  let c1 = System.client sys 1 () in
+  let pages = 16 in
+  let len = pages * 4096 in
+  let region =
+    System.run_fiber sys (fun () ->
+        let attr = Attr.make ~owner:1 ~min_replicas:1 () in
+        let r = ok (Client.create_region c1 ~attr (pages * 4096)) in
+        ok (Client.write_bytes c1 ~addr:r.Region.base (Bytes.make len 'x'));
+        r)
+  in
+  System.run_until_quiet ~limit:(Ksim.Time.sec 2) sys;
+  let c2 = System.client sys 2 () in
+  let outcome = ref None in
+  System.run_fiber sys (fun () ->
+      let locker =
+        Ksim.Fiber.async (System.engine sys) (fun () ->
+            let ctx =
+              Ktrace.Op_ctx.make
+                ~deadline:(System.now sys + Ksim.Time.sec 4) 2
+            in
+            Client.lock c2 ~ctx ~addr:region.Region.base ~len Ctypes.Write)
+      in
+      (* Mid-wave: the acquire fan-out is in flight, grants only partly
+         delivered. *)
+      Ksim.Fiber.sleep (Ksim.Time.us 400);
+      System.crash sys 1;
+      outcome := Some (Ksim.Fiber.await locker));
+  System.run_until_quiet ~limit:(Ksim.Time.sec 8) sys;
+  (match !outcome with
+   | Some (Ok _) -> Alcotest.fail "lock cannot complete: home died mid-wave"
+   | Some (Error _) -> ()
+   | None -> Alcotest.fail "locker never finished");
+  Alcotest.(check int) "no pins leaked by the aborted lock" 0
+    (Store.pinned_pages (Daemon.store (System.daemon sys 2)));
+  System.recover sys 1;
+  System.run_until_quiet ~limit:(Ksim.Time.sec 10) sys;
+  System.run_fiber sys (fun () ->
+      let full = ok (Client.lock c2 ~addr:region.Region.base ~len Ctypes.Write) in
+      ok (Client.write c2 full ~addr:region.Region.base (bytes_s "after-crash"));
+      Client.unlock c2 full;
+      let b = ok (Client.read_bytes c2 ~addr:region.Region.base 11) in
+      Alcotest.(check string) "region usable after recovery" "after-crash"
+        (Bytes.to_string b))
+
 (* Regression: a crash that tears the WAL frontier record must not poison
    the log for writes committed after recovery. Replay stops at the first
    checksum-failing record, so if recovery left the torn record in place,
@@ -646,6 +698,8 @@ let () =
             test_crash_mid_io_recovers_committed_writes;
           Alcotest.test_case "post-recovery commits survive second crash"
             `Quick test_post_recovery_commits_survive_second_crash;
+          Alcotest.test_case "crash mid-batched-acquire" `Quick
+            test_crash_mid_batched_acquire;
           Alcotest.test_case "deterministic replay" `Slow test_determinism;
           Alcotest.test_case "deterministic replay under disk faults" `Slow
             test_disk_fault_determinism;

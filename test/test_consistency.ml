@@ -396,6 +396,67 @@ let test_eventual_staleness_observable () =
   (* Before anti-entropy, n1 is behind. *)
   Alcotest.(check bool) "n1 stale" true (H.version h 1 < H.version h 2)
 
+(* ---------------- Batched vs per-page delivery equivalence ---------- *)
+
+(* RPC coalescing changes only envelope boundaries: a sharer that used to
+   receive N per-page invalidations as N unicasts now gets them in one
+   batch, i.e. back to back with nothing interleaved. The machines must
+   reach the same final states either way. This drives a three-page CREW
+   conversation (read fan-out, then a home write that invalidates every
+   sharer on every page) under both delivery orders and compares the full
+   observable state. *)
+let multi_page_fingerprint ~batched =
+  let pages =
+    List.init 3 (fun i ->
+        H.create ~protocol:"crew" ~home:0 ~min_replicas:1 ~nodes
+          ~initial:(Bytes.make 4 (Char.chr (Char.code 'a' + i)))
+          ())
+  in
+  (* Two remote sharers cache every page. *)
+  List.iter (fun h -> ignore (H.acquire h 1 Ctypes.Read)) pages;
+  List.iter (fun h -> ignore (H.acquire h 2 Ctypes.Read)) pages;
+  H.multi_drain ~batched pages;
+  List.iter (fun h -> H.release h 1 Ctypes.Read ~data:None) pages;
+  List.iter (fun h -> H.release h 2 Ctypes.Read ~data:None) pages;
+  H.multi_drain ~batched pages;
+  (* The home write-acquires every page: a multi-page invalidation
+     fan-out toward both sharers. *)
+  let reqs = List.map (fun h -> H.acquire h 0 Ctypes.Write) pages in
+  H.multi_drain ~batched pages;
+  List.iteri
+    (fun i (h, req) ->
+      if not (H.is_granted h req) then
+        Alcotest.failf "page %d write not granted (batched=%b)" i batched)
+    (List.combine pages reqs);
+  List.iter
+    (fun h ->
+      match H.crew_invariant_violation h with
+      | Some v -> Alcotest.failf "CREW violation (batched=%b): %s" batched v
+      | None -> ())
+    pages;
+  List.concat_map
+    (fun h ->
+      List.map
+        (fun n ->
+          ( H.state h n,
+            H.locks h n,
+            H.has_copy h n,
+            H.version h n,
+            Option.map Bytes.to_string (H.installed_data h n) ))
+        nodes)
+    pages
+
+let test_batched_invalidate_equivalence () =
+  let per_page = multi_page_fingerprint ~batched:false in
+  let batched = multi_page_fingerprint ~batched:true in
+  Alcotest.(check int) "same observation count" (List.length per_page)
+    (List.length batched);
+  List.iteri
+    (fun i (a, b) ->
+      if a <> b then
+        Alcotest.failf "state diverged at observation %d under batching" i)
+    (List.combine per_page batched)
+
 let () =
   Alcotest.run "kconsistency"
     [
@@ -416,6 +477,8 @@ let () =
             test_crew_eviction_returns_ownership;
           Alcotest.test_case "shared eviction" `Quick test_crew_shared_eviction_notifies;
           Alcotest.test_case "abort" `Quick test_crew_abort_unblocks;
+          Alcotest.test_case "batched invalidate equivalence" `Quick
+            test_batched_invalidate_equivalence;
           Alcotest.test_case "min replicas" `Quick test_crew_min_replicas;
           Alcotest.test_case "owner crash fail-over" `Quick
             test_crew_owner_crash_failover;

@@ -9,6 +9,7 @@ module Msg = struct
 
   let size_bytes m = m.size
   let kind m = m.label
+  let kinds m = [ m.label ]
 end
 
 module Net = Knet.Network.Make (Msg)

@@ -129,6 +129,93 @@ let test_notify () =
   Ksim.Engine.run eng;
   Alcotest.(check (list (pair int string))) "oneway delivered" [ (2, "oneway") ] !got
 
+(* --------------------------- Coalescing ---------------------------- *)
+
+let oneway_server rpc node got =
+  R.set_server rpc node (fun ~src:_ ~span:_ req ~reply:_ ->
+      match req with
+      | Proto.Echo s -> got := s :: !got
+      | Proto.Slow _ | Proto.Silent -> ())
+
+let test_coalesce_batches_same_tick () =
+  let eng, rpc = mk () in
+  let got = ref [] in
+  oneway_server rpc 1 got;
+  let s0 = R.Net.stats (R.net rpc) in
+  R.notify rpc ~src:0 ~dst:1 ~coalesce:true (Proto.Echo "a");
+  R.notify rpc ~src:0 ~dst:1 ~coalesce:true (Proto.Echo "b");
+  R.notify rpc ~src:0 ~dst:1 ~coalesce:true (Proto.Echo "c");
+  Ksim.Engine.run eng;
+  let s1 = R.Net.stats (R.net rpc) in
+  Alcotest.(check (list string)) "all delivered, send order" [ "a"; "b"; "c" ]
+    (List.rev !got);
+  Alcotest.(check int) "one envelope" 1 (s1.R.Net.sent - s0.R.Net.sent);
+  Alcotest.(check int) "three logical messages" 3 (s1.R.Net.atoms - s0.R.Net.atoms)
+
+let test_coalesce_per_destination () =
+  let eng, rpc = mk () in
+  let got1 = ref [] and got3 = ref [] in
+  oneway_server rpc 1 got1;
+  oneway_server rpc 3 got3;
+  let s0 = R.Net.stats (R.net rpc) in
+  R.notify rpc ~src:0 ~dst:1 ~coalesce:true (Proto.Echo "x");
+  R.notify rpc ~src:0 ~dst:3 ~coalesce:true (Proto.Echo "y");
+  R.notify rpc ~src:0 ~dst:1 ~coalesce:true (Proto.Echo "z");
+  Ksim.Engine.run eng;
+  let s1 = R.Net.stats (R.net rpc) in
+  Alcotest.(check (list string)) "dst 1 got both" [ "x"; "z" ] (List.rev !got1);
+  Alcotest.(check (list string)) "dst 3 got its one" [ "y" ] !got3;
+  (* One batch to node 1, one plain oneway to node 3. *)
+  Alcotest.(check int) "two envelopes" 2 (s1.R.Net.sent - s0.R.Net.sent)
+
+let test_coalesce_singleton_is_plain_oneway () =
+  let eng, rpc = mk () in
+  let got = ref [] in
+  oneway_server rpc 1 got;
+  let s0 = R.Net.stats (R.net rpc) in
+  R.notify rpc ~src:0 ~dst:1 ~coalesce:true (Proto.Echo "solo");
+  Ksim.Engine.run eng;
+  let coalesced_bytes =
+    (R.Net.stats (R.net rpc)).R.Net.bytes_sent - s0.R.Net.bytes_sent
+  in
+  let s1 = R.Net.stats (R.net rpc) in
+  R.notify rpc ~src:0 ~dst:1 (Proto.Echo "solo");
+  Ksim.Engine.run eng;
+  let plain_bytes =
+    (R.Net.stats (R.net rpc)).R.Net.bytes_sent - s1.R.Net.bytes_sent
+  in
+  Alcotest.(check (list string)) "both delivered" [ "solo"; "solo" ] !got;
+  Alcotest.(check int) "a batch of one costs exactly a oneway" plain_bytes
+    coalesced_bytes
+
+let test_coalescing_disabled () =
+  let eng, rpc = mk () in
+  let got = ref [] in
+  oneway_server rpc 1 got;
+  R.set_coalescing rpc false;
+  let s0 = R.Net.stats (R.net rpc) in
+  R.notify rpc ~src:0 ~dst:1 ~coalesce:true (Proto.Echo "a");
+  R.notify rpc ~src:0 ~dst:1 ~coalesce:true (Proto.Echo "b");
+  Ksim.Engine.run eng;
+  let s1 = R.Net.stats (R.net rpc) in
+  (* Separate envelopes may reorder under link jitter. *)
+  Alcotest.(check (list string)) "delivered" [ "a"; "b" ]
+    (List.sort compare !got);
+  Alcotest.(check int) "one envelope per message" 2 (s1.R.Net.sent - s0.R.Net.sent)
+
+let test_batch_envelope_cheaper_than_oneways () =
+  let batch =
+    R.Msg.Batch { items = [ (0, Proto.Echo "aa"); (0, Proto.Echo "bb") ] }
+  in
+  let oneways =
+    R.Msg.size_bytes (R.Msg.Oneway { span = 0; body = Proto.Echo "aa" })
+    + R.Msg.size_bytes (R.Msg.Oneway { span = 0; body = Proto.Echo "bb" })
+  in
+  Alcotest.(check bool) "batch saves header bytes" true
+    (R.Msg.size_bytes batch < oneways);
+  Alcotest.(check (list string)) "batch kinds are per item" [ "echo"; "echo" ]
+    (R.Msg.kinds batch)
+
 let test_server_replacement () =
   let eng, rpc = mk () in
   R.set_server rpc 1 (fun ~src:_ ~span:_ _ ~reply -> reply (Proto.Echoed "v1"));
@@ -152,5 +239,15 @@ let () =
           Alcotest.test_case "retries exhausted" `Quick test_retries_exhausted;
           Alcotest.test_case "notify" `Quick test_notify;
           Alcotest.test_case "server replacement" `Quick test_server_replacement;
+        ] );
+      ( "coalescing",
+        [
+          Alcotest.test_case "same-tick batch" `Quick test_coalesce_batches_same_tick;
+          Alcotest.test_case "per destination" `Quick test_coalesce_per_destination;
+          Alcotest.test_case "singleton stays plain" `Quick
+            test_coalesce_singleton_is_plain_oneway;
+          Alcotest.test_case "disable flag" `Quick test_coalescing_disabled;
+          Alcotest.test_case "envelope economics" `Quick
+            test_batch_envelope_cheaper_than_oneways;
         ] );
     ]

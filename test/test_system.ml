@@ -102,6 +102,47 @@ let test_lock_modes_enforced () =
        | Ok _ -> Alcotest.fail "read outside context");
       Client.unlock c ctx)
 
+(* A mid-wave acquire failure must roll back the whole multi-page lock:
+   pages granted in earlier waves and the failing wave's partial grants
+   are all released, and no storage pins leak (pins are only taken once
+   the full range is granted). *)
+let test_multi_page_lock_rollback () =
+  (* Window smaller than the region so the acquisition takes two waves,
+     with the blocked page in the second. *)
+  let config = { Daemon.default_config with Daemon.acquire_window = 4 } in
+  let sys = System.create ~seed:7 ~config ~nodes_per_cluster:3 ~clusters:2 () in
+  let owner = System.client sys 1 () in
+  let contender = System.client sys 2 () in
+  let len = 8 * 4096 in
+  System.run_fiber sys (fun () ->
+      let r = ok (Client.create_region owner len) in
+      let base = r.Region.base in
+      let held = Gaddr.add_int base (6 * 4096) in
+      let hold = ok (Client.lock owner ~addr:held ~len:8 Ctypes.Write) in
+      (* Whole-region write lock from another node: the first wave's four
+         pages are granted, then the second wave hits the held page and the
+         deadline expires. *)
+      let ctx =
+        Ktrace.Op_ctx.make ~deadline:(System.now sys + Ksim.Time.sec 3) 2
+      in
+      (match Client.lock contender ~ctx ~addr:base ~len Ctypes.Write with
+       | Ok _ -> Alcotest.fail "lock must fail while a page is write-held"
+       | Error _ -> ());
+      Alcotest.(check int) "no pins leaked by the failed lock" 0
+        (Kstorage.Page_store.pinned_pages (Daemon.store (System.daemon sys 2)));
+      (* The holder is unaffected by the aborted contender. *)
+      ok (Client.write owner hold ~addr:held (bytes_s "mine"));
+      Client.unlock owner hold;
+      (* The partial grants were released: the same full-range lock now
+         succeeds and the pin accounting balances again after unlock. *)
+      let full = ok (Client.lock contender ~addr:base ~len Ctypes.Write) in
+      ok (Client.write contender full ~addr:base (bytes_s "rolled-back-ok"));
+      Client.unlock contender full;
+      Alcotest.(check int) "no pins live after unlock" 0
+        (Kstorage.Page_store.pinned_pages (Daemon.store (System.daemon sys 2)));
+      let b = ok (Client.read_bytes contender ~addr:base 14) in
+      Alcotest.(check string) "data visible" "rolled-back-ok" (Bytes.to_string b))
+
 let test_access_control () =
   let sys = mk () in
   let owner = System.client sys 1 ~principal:100 () in
@@ -476,6 +517,8 @@ let () =
           Alcotest.test_case "zero fill" `Quick test_unallocated_reads_as_zero;
           Alcotest.test_case "cross-cluster sharing" `Quick test_cross_cluster_sharing;
           Alcotest.test_case "multi-page" `Quick test_multi_page_ops;
+          Alcotest.test_case "multi-page rollback" `Quick
+            test_multi_page_lock_rollback;
           Alcotest.test_case "lock modes" `Quick test_lock_modes_enforced;
           Alcotest.test_case "access control" `Quick test_access_control;
           Alcotest.test_case "set_attr" `Quick test_set_attr;
