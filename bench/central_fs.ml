@@ -91,7 +91,7 @@ let start_server engine topology ~server =
   { transport; server }
 
 let call t ~src req =
-  match T.call t.transport ~src ~dst:t.server ~timeout:(Ksim.Time.sec 5) req with
+  match T.call t.transport ~src ~dst:t.server ~policy:(Krpc.Policy.with_timeout (Ksim.Time.sec 5)) req with
   | Ok r -> r
   | Error `Timeout -> Proto.R_err "timeout"
 

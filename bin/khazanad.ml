@@ -1,0 +1,250 @@
+(* khazanad — Khazana as real processes.
+
+   Forks one OS process per node, each running a full daemon over the
+   Unix-domain-socket transport backend ({!Ktransport.Transport_unix}), and
+   drives an E1-shaped workload against the fleet: node 0 creates and
+   writes a region, every other node cold-reads it (lock+fetch across real
+   sockets), re-reads it warm (local replica), then write-locks it
+   (invalidation across real sockets). Wall-clock numbers print next to
+   the same workload on the simulated backend, same daemon code — the
+   whole point of the transport seam.
+
+   Processes coordinate through files in a scratch directory (the region's
+   base address, per-node results, a stop flag), written atomically via
+   rename. *)
+
+open Khazana
+module Topology = Knet.Topology
+module Sockets = Wire.Sockets
+
+let ( / ) = Filename.concat
+
+let fail fmt = Printf.ksprintf (fun s -> prerr_endline ("khazanad: " ^ s); exit 1) fmt
+
+let ok = function
+  | Ok v -> v
+  | Error e -> fail "operation failed: %s" (Daemon.error_to_string e)
+
+let write_file_atomic path contents =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  output_string oc contents;
+  close_out oc;
+  Sys.rename tmp path
+
+let read_file path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+(* Pump the endpoint (so heartbeats and peer requests keep flowing) until
+   a coordination file appears. *)
+let wait_for_file ep path ~deadline =
+  while (not (Sys.file_exists path)) && Unix.gettimeofday () < deadline do
+    Sockets.pump ~max_wait:0.01 ep
+  done;
+  if not (Sys.file_exists path) then fail "timed out waiting for %s" path
+
+let timed_ms f =
+  let t0 = Unix.gettimeofday () in
+  let v = f () in
+  (v, (Unix.gettimeofday () -. t0) *. 1000.0)
+
+(* ------------------------------------------------------------------ *)
+(* Per-process node logic                                              *)
+(* ------------------------------------------------------------------ *)
+
+let region_len = 4096
+let payload = 64
+
+let make_daemon ~dir ~id topology =
+  Ktrace.Trace.set_namespace id;
+  let ep = Sockets.create ~dir ~id topology in
+  let transport = Sockets.pack ep in
+  let daemon =
+    Daemon.create ~peer_managers:[ 0 ] ~id ~bootstrap:0 ~cluster_manager:0
+      transport
+  in
+  (ep, daemon)
+
+(* Node 0: bootstrap, publish the region, serve until every worker has
+   reported, then raise the stop flag. *)
+let run_bootstrap ~dir ~nodes ~deadline topology =
+  let ep, daemon = make_daemon ~dir ~id:0 topology in
+  Sockets.run_fiber ep ~name:"bootstrap" (fun () -> Daemon.bootstrap_map daemon);
+  let client = Client.connect daemon ~principal:0 in
+  let region =
+    Sockets.run_fiber ep ~name:"create-region" (fun () ->
+        let r = ok (Client.create_region client region_len) in
+        ok (Client.write_bytes client ~addr:r.Region.base (Bytes.make payload 'd'));
+        r)
+  in
+  write_file_atomic (dir / "region.addr") (Kutil.U128.to_hex region.Region.base);
+  let results = List.init (nodes - 1) (fun i -> dir / Printf.sprintf "result-%d" (i + 1)) in
+  while
+    (not (List.for_all Sys.file_exists results)) && Unix.gettimeofday () < deadline
+  do
+    Sockets.pump ~max_wait:0.01 ep
+  done;
+  write_file_atomic (dir / "stop") "";
+  if not (List.for_all Sys.file_exists results) then
+    fail "timed out waiting for worker results";
+  let rows =
+    List.map
+      (fun path ->
+        match String.split_on_char ' ' (String.trim (read_file path)) with
+        | [ node; cold; warm; write ] -> (node, cold, warm, write)
+        | _ -> fail "malformed result file %s" path)
+      results
+  in
+  Sockets.close ep;
+  rows
+
+(* Worker node: wait for the region, measure, report, wait for stop. *)
+let run_worker ~dir ~id ~trials ~deadline topology =
+  let ep, daemon = make_daemon ~dir ~id topology in
+  wait_for_file ep (dir / "region.addr") ~deadline;
+  let base = Kutil.U128.of_hex (String.trim (read_file (dir / "region.addr"))) in
+  let client = Client.connect daemon ~principal:id in
+  (* Workers run concurrently and all write the same page, so a read may
+     see the initial fill or any single worker's write — but never a torn
+     mix: CREW serialises writers against readers. *)
+  let check b =
+    let uniform =
+      Bytes.length b = payload
+      &&
+      let c = Bytes.get b 0 in
+      (c = 'd' || (c > 'a' && Char.code c <= Char.code 'a' + 16))
+      && Bytes.for_all (Char.equal c) b
+    in
+    if not uniform then fail "node %d read torn bytes" id
+  in
+  let read_once () =
+    let b =
+      Sockets.run_fiber ep ~name:"read" (fun () ->
+          ok (Client.read_bytes client ~addr:base payload))
+    in
+    check b;
+    b
+  in
+  let _data, cold_ms = timed_ms read_once in
+  let warm_total = ref 0.0 in
+  for _ = 1 to trials do
+    let _, ms = timed_ms read_once in
+    warm_total := !warm_total +. ms
+  done;
+  let (), write_ms =
+    timed_ms (fun () ->
+        Sockets.run_fiber ep ~name:"write" (fun () ->
+            ok (Client.write_bytes client ~addr:base (Bytes.make payload (Char.chr (Char.code 'a' + id))))))
+  in
+  write_file_atomic
+    (dir / Printf.sprintf "result-%d" id)
+    (Printf.sprintf "%d %.2f %.2f %.2f" id cold_ms
+       (!warm_total /. float_of_int trials)
+       write_ms);
+  (* The parent raises the flag once every result is in — or at its own
+     deadline; the cushion keeps a slow parent from stranding us. *)
+  wait_for_file ep (dir / "stop") ~deadline:(deadline +. 10.0);
+  Sockets.close ep;
+  exit 0
+
+(* ------------------------------------------------------------------ *)
+(* The simulated twin: same workload, same daemon code, virtual clock.  *)
+(* ------------------------------------------------------------------ *)
+
+let simulated_rows ~nodes ~trials =
+  let sys = System.create ~nodes_per_cluster:nodes ~clusters:1 () in
+  let cw = System.client sys 0 () in
+  let region =
+    System.run_fiber sys (fun () ->
+        let r = ok (Client.create_region cw region_len) in
+        ok (Client.write_bytes cw ~addr:r.Region.base (Bytes.make payload 'd'));
+        r)
+  in
+  let virt_ms f =
+    let t0 = System.now sys in
+    let v = System.run_fiber sys f in
+    (v, Ksim.Time.to_ms_f (System.now sys - t0))
+  in
+  List.init (nodes - 1) (fun i ->
+      let id = i + 1 in
+      let c = System.client sys id () in
+      let read_once () = ok (Client.read_bytes c ~addr:region.Region.base payload) in
+      let _, cold = virt_ms read_once in
+      let warm_total = ref 0.0 in
+      for _ = 1 to trials do
+        let _, ms = virt_ms read_once in
+        warm_total := !warm_total +. ms
+      done;
+      let (), write_ms =
+        virt_ms (fun () ->
+            ok
+              (Client.write_bytes c ~addr:region.Region.base
+                 (Bytes.make payload (Char.chr (Char.code 'a' + id)))))
+      in
+      ( string_of_int id,
+        Printf.sprintf "%.2f" cold,
+        Printf.sprintf "%.2f" (!warm_total /. float_of_int trials),
+        Printf.sprintf "%.2f" write_ms ))
+
+(* ------------------------------------------------------------------ *)
+
+let print_rows ~header rows =
+  print_endline header;
+  Printf.printf "  %-6s %14s %16s %12s\n" "node" "cold read (ms)" "warm mean (ms)" "write (ms)";
+  List.iter
+    (fun (node, cold, warm, write) ->
+      Printf.printf "  %-6s %14s %16s %12s\n" node cold warm write)
+    rows
+
+let rm_rf dir =
+  if Sys.file_exists dir then begin
+    Array.iter (fun f -> try Sys.remove (dir / f) with Sys_error _ -> ())
+      (Sys.readdir dir);
+    try Unix.rmdir dir with Unix.Unix_error _ -> ()
+  end
+
+let () =
+  let nodes = ref 3 and trials = ref 20 and budget = ref 50.0 in
+  Arg.parse
+    [
+      ("--nodes", Arg.Set_int nodes, "number of daemon processes (default 3)");
+      ("--trials", Arg.Set_int trials, "warm reads per worker (default 20)");
+      ("--budget", Arg.Set_float budget, "seconds before giving up (default 50)");
+    ]
+    (fun a -> fail "unexpected argument %s" a)
+    "khazanad: run a Khazana fleet as real processes over unix sockets";
+  if !nodes < 2 then fail "--nodes must be at least 2";
+  let dir =
+    Filename.get_temp_dir_name ()
+    / Printf.sprintf "khazanad-%d" (Unix.getpid ())
+  in
+  rm_rf dir;
+  Unix.mkdir dir 0o700;
+  let deadline = Unix.gettimeofday () +. !budget in
+  let topology = Topology.symmetric ~nodes_per_cluster:!nodes ~clusters:1 in
+  let children =
+    List.init (!nodes - 1) (fun i ->
+        let id = i + 1 in
+        match Unix.fork () with
+        | 0 -> run_worker ~dir ~id ~trials:!trials ~deadline topology
+        | pid -> pid)
+  in
+  Printf.printf "khazanad: %d processes, unix-domain sockets in %s\n%!" !nodes dir;
+  let rows = run_bootstrap ~dir ~nodes:!nodes ~deadline topology in
+  List.iter
+    (fun pid ->
+      match Unix.waitpid [] pid with
+      | _, Unix.WEXITED 0 -> ()
+      | _, _ -> fail "worker process %d failed" pid)
+    children;
+  print_rows ~header:"real processes (wall-clock):" rows;
+  print_newline ();
+  let sim = simulated_rows ~nodes:!nodes ~trials:!trials in
+  print_rows ~header:"simulated backend (virtual time, same workload):" sim;
+  rm_rf dir;
+  print_newline ();
+  Printf.printf "ok: %d-process loopback workload completed\n" !nodes

@@ -90,6 +90,117 @@ let msg_size = function
   | Pull_req | Fence_bump _ ->
     32
 
+(* Byte codecs for [msg], used when CM traffic crosses a real transport.
+   Tags are wire format: renumbering breaks cross-version interop. *)
+
+module Codec = Kutil.Codec
+
+let encode_mode enc = function Read -> Codec.u8 enc 0 | Write -> Codec.u8 enc 1
+
+let decode_mode dec =
+  match Codec.read_u8 dec with
+  | 0 -> Read
+  | 1 -> Write
+  | n -> raise (Codec.Decode_error (Printf.sprintf "Ctypes.mode: tag %d" n))
+
+let encode_msg enc msg =
+  match msg with
+  | Read_req -> Codec.u8 enc 0
+  | Write_req -> Codec.u8 enc 1
+  | Fetch { dest; fence } ->
+    Codec.u8 enc 2;
+    Codec.u32 enc dest;
+    Codec.int enc fence
+  | Fetch_own { dest; fence } ->
+    Codec.u8 enc 3;
+    Codec.u32 enc dest;
+    Codec.int enc fence
+  | Read_grant { data; version; fence } ->
+    Codec.u8 enc 4;
+    Codec.bytes enc data;
+    Codec.int enc version;
+    Codec.int enc fence
+  | Own_grant { data; version; fence } ->
+    Codec.u8 enc 5;
+    Codec.bytes enc data;
+    Codec.int enc version;
+    Codec.int enc fence
+  | Upgrade_grant { fence } ->
+    Codec.u8 enc 6;
+    Codec.int enc fence
+  | Invalidate { fence } ->
+    Codec.u8 enc 7;
+    Codec.int enc fence
+  | Invalidate_ack -> Codec.u8 enc 8
+  | Done { mode } ->
+    Codec.u8 enc 9;
+    encode_mode enc mode
+  | Nack -> Codec.u8 enc 10
+  | Evict_notify -> Codec.u8 enc 11
+  | Own_return { data; version } ->
+    Codec.u8 enc 12;
+    Codec.bytes enc data;
+    Codec.int enc version
+  | Update { data; version } ->
+    Codec.u8 enc 13;
+    Codec.bytes enc data;
+    Codec.int enc version
+  | Update_ack -> Codec.u8 enc 14
+  | Pull_req -> Codec.u8 enc 15
+  | Diff { patches; version } ->
+    Codec.u8 enc 16;
+    Codec.list enc
+      (fun (off, b) ->
+        Codec.int enc off;
+        Codec.bytes enc b)
+      patches;
+    Codec.int enc version
+  | Fence_bump { floor } ->
+    Codec.u8 enc 17;
+    Codec.int enc floor
+
+let decode_msg dec =
+  match Codec.read_u8 dec with
+  | 0 -> Read_req
+  | 1 -> Write_req
+  | 2 ->
+    let dest = Codec.read_u32 dec in
+    Fetch { dest; fence = Codec.read_int dec }
+  | 3 ->
+    let dest = Codec.read_u32 dec in
+    Fetch_own { dest; fence = Codec.read_int dec }
+  | 4 ->
+    let data = Codec.read_bytes dec in
+    let version = Codec.read_int dec in
+    Read_grant { data; version; fence = Codec.read_int dec }
+  | 5 ->
+    let data = Codec.read_bytes dec in
+    let version = Codec.read_int dec in
+    Own_grant { data; version; fence = Codec.read_int dec }
+  | 6 -> Upgrade_grant { fence = Codec.read_int dec }
+  | 7 -> Invalidate { fence = Codec.read_int dec }
+  | 8 -> Invalidate_ack
+  | 9 -> Done { mode = decode_mode dec }
+  | 10 -> Nack
+  | 11 -> Evict_notify
+  | 12 ->
+    let data = Codec.read_bytes dec in
+    Own_return { data; version = Codec.read_int dec }
+  | 13 ->
+    let data = Codec.read_bytes dec in
+    Update { data; version = Codec.read_int dec }
+  | 14 -> Update_ack
+  | 15 -> Pull_req
+  | 16 ->
+    let patches =
+      Codec.read_list dec (fun () ->
+          let off = Codec.read_int dec in
+          (off, Codec.read_bytes dec))
+    in
+    Diff { patches; version = Codec.read_int dec }
+  | 17 -> Fence_bump { floor = Codec.read_int dec }
+  | n -> raise (Codec.Decode_error (Printf.sprintf "Ctypes.msg: tag %d" n))
+
 type event =
   | Acquire of { req : req_id; mode : mode }
       (** A client lock intent arrived at this node. *)

@@ -462,15 +462,16 @@ let rpc t ctx ~dst req =
     span_of t ctx ("rpc." ^ Wire.request_kind req) (fun () ->
         [ ("dst", string_of_int dst) ])
   in
-  (* The per-attempt timeout comes from the shared backoff policy: the
-     base equals the old fixed rpc_timeout, jittered so simultaneous
-     retriers (and their upstream retry loops) decorrelate. *)
-  let backoff =
-    Kutil.Backoff.make ~rng:t.rng ~base:t.cfg.rpc_timeout
+  (* The per-attempt timeout comes from a jittered policy: the base equals
+     the old fixed rpc_timeout, jittered (from this daemon's own rng, so
+     simulation schedules are unchanged) so simultaneous retriers and
+     their upstream retry loops decorrelate. *)
+  let policy =
+    Wire.Policy.jittered ~rng:t.rng ~base:t.cfg.rpc_timeout
       ~cap:t.cfg.retry_backoff_cap ()
   in
   let r =
-    Wire.Transport.call t.transport ~src:t.id ~dst ~backoff ~span:(Trace.id span)
+    Wire.Transport.call t.transport ~src:t.id ~dst ~policy ~span:(Trace.id span)
       req
   in
   (match r with
@@ -1770,7 +1771,12 @@ let start_repair t =
 let crash t =
   t.up <- false;
   t.epoch <- t.epoch + 1;
-  Wire.Transport.Net.crash (Wire.Transport.net t.transport) t.id;
+  (* On a simulated transport the node also drops off the network; on a
+     real one there is nothing to inject — a crashed process is its own
+     network failure. *)
+  (match Wire.Transport.faults t.transport with
+   | Some f -> f.Ktransport.Transport.Faults.crash t.id
+   | None -> ());
   Store.crash t.store;
   Wal.crash t.wal;
   Gaddr.Table.reset t.machines;
@@ -1797,7 +1803,9 @@ let crash t =
 let recover t =
   t.epoch <- t.epoch + 1;
   let epoch = t.epoch in
-  Wire.Transport.Net.recover (Wire.Transport.net t.transport) t.id;
+  (match Wire.Transport.faults t.transport with
+   | Some f -> f.Ktransport.Transport.Faults.recover t.id
+   | None -> ());
   (* Recovery is a real phase with a real duration: the node is back on
      the network but refuses service ([t.up] still false) until the WAL
      replay completes. The replay charges simulated time proportional to
@@ -1817,7 +1825,7 @@ let recover t =
 let create ?(config = default_config) ?(peer_managers = []) ~id ~bootstrap
     ~cluster_manager transport =
   let engine = Wire.Transport.engine transport in
-  let topology = Wire.Transport.Net.topology (Wire.Transport.net transport) in
+  let topology = Wire.Transport.topology transport in
   let store =
     Store.create engine
       (Store.config ~ram_pages:config.ram_pages ~disk_pages:config.disk_pages ())

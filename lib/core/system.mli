@@ -26,10 +26,12 @@ val topology : t -> Knet.Topology.t
 (** Cluster/link layout. *)
 
 val transport : t -> Wire.Transport.t
-(** The shared RPC transport (e.g. for [set_coalescing] in benches). *)
+(** The packed transport daemons speak through (e.g. for [set_coalescing]
+    and traffic {!Wire.Transport.stats} in benches). *)
 
-val net : t -> Wire.Transport.Net.t
-(** The underlying network, for its traffic counters and fault knobs. *)
+val net : t -> Wire.Sim.Net.t
+(** The concrete simulated network under the seam, for byte-level traffic
+    counters, trace taps and fault knobs that only simulation has. *)
 
 val daemon : t -> Knet.Topology.node_id -> Daemon.t
 (** The node's daemon. *)

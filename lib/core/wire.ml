@@ -1,11 +1,15 @@
 (** Inter-daemon wire protocol.
 
     Everything Khazana nodes say to each other travels as one of these
-    requests over {!Krpc.Rpc}. Consistency-manager traffic ([Cm_msg]) is
-    one-way; the rest follow request/response. *)
+    requests over the {!Ktransport.Transport} seam. Consistency-manager
+    traffic ([Cm_msg]) is one-way; the rest follow request/response. The
+    protocol is a full {!Ktransport.Transport.WIRE}: it round-trips
+    through {!Kutil.Codec} bytes, so the same daemon runs over the
+    simulated network or real sockets. *)
 
 module Gaddr = Kutil.Gaddr
 module Ctypes = Kconsistency.Types
+module Codec = Kutil.Codec
 
 type request =
   | Cm_msg of { page : Gaddr.t; region_base : Gaddr.t; body : Ctypes.msg }
@@ -110,11 +114,166 @@ let request_kind = function
   | Page_probe _ -> "page_probe"
   | Ping -> "ping"
 
-module Transport = Krpc.Rpc.Make (struct
+(* ---------------- byte codecs ---------------- *)
+
+(* Tags are wire format; renumbering breaks cross-version interop. *)
+
+let encode_request enc req =
+  match req with
+  | Cm_msg { page; region_base; body } ->
+    Codec.u8 enc 0;
+    Codec.u128 enc page;
+    Codec.u128 enc region_base;
+    Ctypes.encode_msg enc body
+  | Get_descriptor { addr } ->
+    Codec.u8 enc 1;
+    Codec.u128 enc addr
+  | Alloc_region { desc } ->
+    Codec.u8 enc 2;
+    Region.encode enc desc
+  | Free_region { base } ->
+    Codec.u8 enc 3;
+    Codec.u128 enc base
+  | Unreserve_region { base } ->
+    Codec.u8 enc 4;
+    Codec.u128 enc base
+  | Set_attr { base; attr } ->
+    Codec.u8 enc 5;
+    Codec.u128 enc base;
+    Attr.encode enc attr
+  | Chunk_request -> Codec.u8 enc 6
+  | Cluster_lookup { addr } ->
+    Codec.u8 enc 7;
+    Codec.u128 enc addr
+  | Cluster_walk { addr } ->
+    Codec.u8 enc 8;
+    Codec.u128 enc addr
+  | Cluster_report { node_regions; free_bytes } ->
+    Codec.u8 enc 9;
+    Codec.list enc
+      (fun (base, desc) ->
+        Codec.u128 enc base;
+        Region.encode enc desc)
+      node_regions;
+    Codec.int enc free_bytes
+  | Suspect_hint { cluster; suspects } ->
+    Codec.u8 enc 10;
+    Codec.int enc cluster;
+    Codec.list enc (Codec.u32 enc) suspects
+  | Page_pull { page } ->
+    Codec.u8 enc 11;
+    Codec.u128 enc page
+  | Page_probe { page } ->
+    Codec.u8 enc 12;
+    Codec.u128 enc page
+  | Ping -> Codec.u8 enc 13
+
+let decode_request dec =
+  match Codec.read_u8 dec with
+  | 0 ->
+    let page = Codec.read_u128 dec in
+    let region_base = Codec.read_u128 dec in
+    Cm_msg { page; region_base; body = Ctypes.decode_msg dec }
+  | 1 -> Get_descriptor { addr = Codec.read_u128 dec }
+  | 2 -> Alloc_region { desc = Region.decode dec }
+  | 3 -> Free_region { base = Codec.read_u128 dec }
+  | 4 -> Unreserve_region { base = Codec.read_u128 dec }
+  | 5 ->
+    let base = Codec.read_u128 dec in
+    Set_attr { base; attr = Attr.decode dec }
+  | 6 -> Chunk_request
+  | 7 -> Cluster_lookup { addr = Codec.read_u128 dec }
+  | 8 -> Cluster_walk { addr = Codec.read_u128 dec }
+  | 9 ->
+    let node_regions =
+      Codec.read_list dec (fun () ->
+          let base = Codec.read_u128 dec in
+          (base, Region.decode dec))
+    in
+    Cluster_report { node_regions; free_bytes = Codec.read_int dec }
+  | 10 ->
+    let cluster = Codec.read_int dec in
+    Suspect_hint { cluster; suspects = Codec.read_list dec (fun () -> Codec.read_u32 dec) }
+  | 11 -> Page_pull { page = Codec.read_u128 dec }
+  | 12 -> Page_probe { page = Codec.read_u128 dec }
+  | 13 -> Ping
+  | n -> raise (Codec.Decode_error (Printf.sprintf "Wire.request: tag %d" n))
+
+let encode_response enc resp =
+  match resp with
+  | R_unit -> Codec.u8 enc 0
+  | R_descriptor d ->
+    Codec.u8 enc 1;
+    Codec.option enc (Region.encode enc) d
+  | R_page p ->
+    Codec.u8 enc 2;
+    Codec.option enc
+      (fun (data, version) ->
+        Codec.bytes enc data;
+        Codec.int enc version)
+      p
+  | R_held b ->
+    Codec.u8 enc 3;
+    Codec.bool enc b
+  | R_chunk { base; len } ->
+    Codec.u8 enc 4;
+    Codec.u128 enc base;
+    Codec.int enc len
+  | R_lookup { desc; holders } ->
+    Codec.u8 enc 5;
+    Codec.option enc (Region.encode enc) desc;
+    Codec.list enc (Codec.u32 enc) holders
+  | R_error s ->
+    Codec.u8 enc 6;
+    Codec.string enc s
+
+let decode_response dec =
+  match Codec.read_u8 dec with
+  | 0 -> R_unit
+  | 1 -> R_descriptor (Codec.read_option dec (fun () -> Region.decode dec))
+  | 2 ->
+    R_page
+      (Codec.read_option dec (fun () ->
+           let data = Codec.read_bytes dec in
+           (data, Codec.read_int dec)))
+  | 3 -> R_held (Codec.read_bool dec)
+  | 4 ->
+    let base = Codec.read_u128 dec in
+    R_chunk { base; len = Codec.read_int dec }
+  | 5 ->
+    let desc = Codec.read_option dec (fun () -> Region.decode dec) in
+    R_lookup { desc; holders = Codec.read_list dec (fun () -> Codec.read_u32 dec) }
+  | 6 -> R_error (Codec.read_string dec)
+  | n -> raise (Codec.Decode_error (Printf.sprintf "Wire.response: tag %d" n))
+
+(* ---------------- the transport seam, instantiated ----------------
+
+   [P] must stay a named module path: OCaml's applicative functors then
+   make [Transport.t] from the three [Make] applications below one and the
+   same abstract type, so a packed simulated transport and a packed socket
+   transport are interchangeable values. *)
+
+module P = struct
   type nonrec request = request
   type nonrec response = response
 
   let request_size = request_size
   let response_size = response_size
   let request_kind = request_kind
-end)
+  let encode_request = encode_request
+  let decode_request = decode_request
+  let encode_response = encode_response
+  let decode_response = decode_response
+end
+
+module Transport = Ktransport.Transport.Make (P)
+(** What daemons hold: a packed first-class transport. *)
+
+module Sim = Ktransport.Transport_sim.Make (P)
+(** The simulated backend ([Sim.T.t = Transport.t]). [Sim.Rpc] and
+    [Sim.Net] expose the concrete engine for harnesses. *)
+
+module Sockets = Ktransport.Transport_unix.Make (P)
+(** The real backend: frames over Unix-domain sockets. *)
+
+module Policy = Krpc.Policy

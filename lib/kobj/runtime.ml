@@ -237,7 +237,7 @@ let invoke_at t node obj ~meth ~arg =
     t.remote_invocations <- t.remote_invocations + 1;
     match
       Overlay.T.call t.overlay.Overlay.transport ~src:t.node ~dst:node
-        ~timeout:(Ksim.Time.sec 2)
+        ~policy:(Krpc.Policy.with_timeout (Ksim.Time.sec 2))
         { Overlay_proto.obj_addr = obj.addr; meth; arg }
     with
     | Ok (Overlay_proto.R_ok bytes) -> Ok bytes

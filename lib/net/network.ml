@@ -25,6 +25,15 @@ module Make (M : MESSAGE) = struct
     mutable sent : int;
     mutable delivered : int;
     mutable dropped : int;
+    (* [reset_stats] does not zero the raw counters (that would break the
+       sent = delivered + dropped + in_flight conservation when traffic is
+       in flight at reset time); it snapshots baselines that [stats]
+       subtracts. [base_sent] is set to delivered + dropped at reset, so
+       messages in flight across the reset count as sent in the new window
+       and their eventual delivery/drop balances the books. *)
+    mutable base_sent : int;
+    mutable base_delivered : int;
+    mutable base_dropped : int;
     mutable atoms : int;
     mutable bytes_sent : int;
     by_kind : (string, int) Hashtbl.t;
@@ -47,6 +56,9 @@ module Make (M : MESSAGE) = struct
       sent = 0;
       delivered = 0;
       dropped = 0;
+      base_sent = 0;
+      base_delivered = 0;
+      base_dropped = 0;
       atoms = 0;
       bytes_sent = 0;
       by_kind = Hashtbl.create 32;
@@ -183,9 +195,9 @@ module Make (M : MESSAGE) = struct
       |> List.sort compare
     in
     {
-      sent = t.sent;
-      delivered = t.delivered;
-      dropped = t.dropped;
+      sent = t.sent - t.base_sent;
+      delivered = t.delivered - t.base_delivered;
+      dropped = t.dropped - t.base_dropped;
       in_flight = Array.fold_left ( + ) 0 t.inflight;
       atoms = t.atoms;
       bytes_sent = t.bytes_sent;
@@ -193,9 +205,11 @@ module Make (M : MESSAGE) = struct
     }
 
   let reset_stats (t : t) =
-    t.sent <- 0;
-    t.delivered <- 0;
-    t.dropped <- 0;
+    t.base_delivered <- t.delivered;
+    t.base_dropped <- t.dropped;
+    (* Not [t.sent]: anything still in flight stays counted as sent in the
+       new window, so conservation holds when it later delivers or drops. *)
+    t.base_sent <- t.delivered + t.dropped;
     t.atoms <- 0;
     t.bytes_sent <- 0;
     Hashtbl.reset t.by_kind

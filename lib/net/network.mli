@@ -76,10 +76,13 @@ module Make (M : MESSAGE) : sig
 
   val stats : t -> stats
   (** Traffic counters. [sent = delivered + dropped + in_flight] holds at
-      all times (modulo {!reset_stats} taken while traffic was in flight);
-      the conservation invariant is over envelopes, not atoms. *)
+      all times, including across {!reset_stats}; the conservation
+      invariant is over envelopes, not atoms. *)
 
   val reset_stats : t -> unit
+  (** Zero the counters for a fresh measurement window. Messages in flight
+      at reset time count as [sent] in the new window, so the conservation
+      invariant above keeps holding as they deliver or drop. *)
 
   val set_trace : t -> (Ksim.Time.t -> src:Topology.node_id -> dst:Topology.node_id -> M.t -> unit) -> unit
   (** Called once per message at send time (after drop decisions for

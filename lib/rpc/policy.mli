@@ -1,0 +1,44 @@
+(** Retry policy for remote calls.
+
+    One record replaces the old [?timeout]/[?backoff]/[?attempts] optional
+    trio of {!Rpc.Make.call}: what a caller actually chooses is a single
+    coherent policy — how long to wait per attempt, how many attempts, and
+    how the wait grows between them — and passing the pieces separately
+    invited incoherent combinations (a backoff with one attempt, a timeout
+    silently ignored because a backoff was also given). *)
+
+type backoff = {
+  cap : Ksim.Time.t;
+      (** ceiling for the raw (pre-jitter) per-attempt timeout *)
+  rng : Kutil.Rng.t option;
+      (** jitter stream; [None] gives the deterministic exponential
+          schedule, [Some rng] equal-jitters each timeout into [[d/2, d]]
+          (see {!Kutil.Backoff}) so synchronised retriers decorrelate *)
+}
+
+type t = {
+  timeout : Ksim.Time.t;  (** first-attempt timeout, and the backoff base *)
+  attempts : int;         (** total send attempts; must be positive *)
+  backoff : backoff option;
+      (** [None]: every attempt waits exactly [timeout] *)
+}
+
+val default : t
+(** One attempt, 1 s timeout, no backoff — the old [call] defaults. *)
+
+val wan : t
+(** Patient preset for slow or lossy links: 2 s base, four attempts,
+    exponential growth capped at 16 s. *)
+
+val with_timeout : ?attempts:int -> Ksim.Time.t -> t
+(** Fixed per-attempt timeout, default one attempt. *)
+
+val jittered :
+  rng:Kutil.Rng.t -> ?attempts:int -> base:Ksim.Time.t -> cap:Ksim.Time.t ->
+  unit -> t
+(** Exponential-with-jitter policy drawing from the caller's [rng] — the
+    shared retry shape for daemon control-plane traffic. *)
+
+val timeout_source : t -> unit -> Ksim.Time.t
+(** A fresh per-call source of successive attempt timeouts (transport
+    implementations call this once per [call], then once per attempt). *)

@@ -122,15 +122,9 @@ module Make (P : PROTOCOL) = struct
 
   let set_server t node handler = t.servers.(node) <- Some handler
 
-  let default_timeout = Ksim.Time.sec 1
-
-  let call t ~src ~dst ?(timeout = default_timeout) ?backoff ?(attempts = 1)
-      ?(span = 0) request =
-    let attempt_timeout () =
-      match backoff with
-      | Some b -> Kutil.Backoff.next b
-      | None -> timeout
-    in
+  let call t ~src ~dst ?(policy = Policy.default) ?(span = 0) request =
+    let attempt_timeout = Policy.timeout_source policy in
+    let attempts = policy.Policy.attempts in
     let rec attempt n =
       if n <= 0 then Error `Timeout
       else begin
@@ -147,7 +141,7 @@ module Make (P : PROTOCOL) = struct
           attempt (n - 1)
       end
     in
-    if attempts <= 0 then invalid_arg "Rpc.call: attempts must be positive";
+    if attempts <= 0 then invalid_arg "Rpc.call: policy attempts must be positive";
     attempt attempts
 
   let flush_queue t ~src ~dst =

@@ -86,18 +86,16 @@ module Make (P : PROTOCOL) : sig
     t ->
     src:Knet.Topology.node_id ->
     dst:Knet.Topology.node_id ->
-    ?timeout:Ksim.Time.t ->
-    ?backoff:Kutil.Backoff.t ->
-    ?attempts:int ->
+    ?policy:Policy.t ->
     ?span:int ->
     P.request ->
     (P.response, [ `Timeout ]) result
-  (** Fiber-blocking remote call; resends up to [attempts] times (default 1
-      attempt, timeout 1s of virtual time per attempt). When [backoff] is
-      given, each attempt's timeout is drawn from it instead of [timeout] —
-      successive attempts wait exponentially longer (jittered), which is
-      the shared retry policy for all daemon traffic. [span] rides in the
-      envelope so the callee can link its work into the caller's trace. *)
+  (** Fiber-blocking remote call governed by [policy] (default
+      {!Policy.default}: one attempt, 1 s timeout): the request is resent
+      up to [policy.attempts] times, each attempt waiting for the policy's
+      next per-attempt timeout (fixed, or growing along its backoff
+      schedule). [span] rides in the envelope so the callee can link its
+      work into the caller's trace. *)
 
   val notify :
     t ->

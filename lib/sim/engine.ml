@@ -49,6 +49,16 @@ let pending t =
      O(n), so report live minus nothing and fix up lazily in [step]. *)
   t.live
 
+let rec next_at t =
+  match Kutil.Heap.peek t.queue with
+  | None -> None
+  | Some timer when timer.cancelled ->
+    (* Dead head-of-queue entries can be discarded eagerly. *)
+    ignore (Kutil.Heap.pop t.queue);
+    t.live <- t.live - 1;
+    next_at t
+  | Some timer -> Some timer.at
+
 let step t =
   let rec next () =
     match Kutil.Heap.pop t.queue with

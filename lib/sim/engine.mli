@@ -26,6 +26,11 @@ val cancel : timer -> unit
 val pending : t -> int
 (** Number of live (uncancelled, unfired) events. *)
 
+val next_at : t -> Time.t option
+(** Virtual time of the earliest live event, or [None] when the queue is
+    empty. Real-time drivers use it to sleep exactly until the engine next
+    has work. *)
+
 val step : t -> bool
 (** Fire the next event; [false] when the queue is empty. *)
 

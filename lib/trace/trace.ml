@@ -34,6 +34,11 @@ type sink = { sink_id : int; fn : record -> unit }
 let sinks : sink list ref = ref []
 let next_sink = ref 1
 let next_span = ref 1
+let span_base = ref 0
+
+let set_namespace n =
+  if n < 0 || n >= 1 lsl 20 then invalid_arg "Trace.set_namespace";
+  span_base := n lsl 40
 
 let enabled () = !sinks <> []
 
@@ -50,7 +55,8 @@ let clear_sinks () = sinks := []
 
 let reset () =
   clear_sinks ();
-  next_span := 1
+  next_span := 1;
+  span_base := 0
 
 let emit r = List.iter (fun s -> s.fn r) !sinks
 
@@ -61,7 +67,7 @@ let emit r = List.iter (fun s -> s.fn r) !sinks
 let fresh_span () =
   let i = !next_span in
   incr next_span;
-  i
+  !span_base lor i
 
 let start ~engine ~node ~attrs ~parent name =
   let id = fresh_span () in

@@ -58,7 +58,15 @@ val uninstall : sink -> unit
 val clear_sinks : unit -> unit
 
 val reset : unit -> unit
-(** Remove all sinks and restart the span-id counter (tests). *)
+(** Remove all sinks, restart the span-id counter and clear the namespace
+    (tests). *)
+
+val set_namespace : int -> unit
+(** Namespace this process's span ids by folding [n] (< 2^20, typically
+    the node id) into their high bits. Span ids cross the wire in RPC
+    envelopes; when each daemon is a separate OS process the per-process
+    counters would collide without this. The default namespace 0 leaves
+    ids as bare small ints (single-process simulation). *)
 
 (** {1 Emitting} *)
 

@@ -1,0 +1,55 @@
+module Make (P : Transport.PROTOCOL) = struct
+  module T = Transport.Make (P)
+  module Rpc = Krpc.Rpc.Make (P)
+  module Net = Rpc.Net
+
+  module Backend = struct
+    type t = Rpc.t
+
+    let engine = Rpc.engine
+    let topology t = Net.topology (Rpc.net t)
+    let set_server = Rpc.set_server
+
+    let call t ~src ~dst ~policy ~span req =
+      Rpc.call t ~src ~dst ~policy ~span req
+
+    let notify t ~src ~dst ~span ~coalesce req =
+      Rpc.notify t ~src ~dst ~span ~coalesce req
+
+    let set_coalescing = Rpc.set_coalescing
+    let coalescing = Rpc.coalescing
+
+    let stats t =
+      let s = Net.stats (Rpc.net t) in
+      {
+        Transport.sent = s.Net.sent;
+        delivered = s.Net.delivered;
+        dropped = s.Net.dropped;
+        in_flight = s.Net.in_flight;
+        atoms = s.Net.atoms;
+        bytes_sent = s.Net.bytes_sent;
+        by_kind = s.Net.by_kind;
+      }
+
+    let reset_stats t = Net.reset_stats (Rpc.net t)
+    let pending_calls = Rpc.pending_calls
+
+    let faults t =
+      let net = Rpc.net t in
+      Some
+        {
+          Transport.Faults.crash = Net.crash net;
+          recover = Net.recover net;
+          is_up = Net.is_up net;
+          partition = Net.partition net;
+          heal = (fun () -> Net.heal net);
+          reachable = Net.reachable net;
+        }
+  end
+
+  let pack rpc = T.pack (module Backend) rpc
+
+  let create engine topology =
+    let rpc = Rpc.create engine topology in
+    (pack rpc, rpc)
+end

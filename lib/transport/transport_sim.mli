@@ -1,0 +1,21 @@
+(** The simulated backend of the {!Transport} seam.
+
+    A thin adapter re-homing {!Krpc.Rpc} (and under it {!Knet.Network})
+    behind {!Transport.Make.S}: same engine, same envelopes, same
+    coalescing and accounting — a system built on the packed transport is
+    event-for-event identical to one built on [Krpc.Rpc] directly. The one
+    capability unique to this backend, failure injection, is exposed
+    through {!Transport.Make.S.faults} (always [Some _] here). *)
+
+module Make (P : Transport.PROTOCOL) : sig
+  module T : module type of Transport.Make (P)
+  module Rpc : module type of Krpc.Rpc.Make (P)
+  module Net = Rpc.Net
+
+  val create : Ksim.Engine.t -> Knet.Topology.t -> T.t * Rpc.t
+  (** Build the simulated engine over the topology; returns both the packed
+      transport (for daemons) and the raw {!Rpc.t} (for harnesses that need
+      the concrete network: trace taps, byte-level counters). *)
+
+  val pack : Rpc.t -> T.t
+end

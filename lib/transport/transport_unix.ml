@@ -1,0 +1,505 @@
+module Codec = Kutil.Codec
+module Policy = Krpc.Policy
+
+let frame_header = 4
+
+type incoming = { in_fd : Unix.file_descr; in_buf : Buffer.t }
+
+module Make (W : Transport.WIRE) = struct
+  module T = Transport.Make (W)
+
+  (* Envelope alphabet, mirroring {!Krpc.Rpc.Make.Msg} on real bytes. *)
+  type msg =
+    | Request of { call : int; span : int; body : W.request }
+    | Response of { call : int; body : W.response }
+    | Oneway of { span : int; body : W.request }
+    | Batch of { items : (int * W.request) list }
+
+  type t = {
+    id : int;
+    topology : Knet.Topology.t;
+    dir : string;
+    engine : Ksim.Engine.t;
+    start : float;  (* wall-clock origin of the engine's virtual clock *)
+    listen_fd : Unix.file_descr;
+    outgoing : (int, Unix.file_descr) Hashtbl.t;
+    mutable incoming : incoming list;
+    mutable server : T.handler option;
+    pending : (int, W.response Ksim.Promise.t) Hashtbl.t;
+    mutable next_call : int;
+    mutable coalescing : bool;
+    (* Same-instant coalescing queues, keyed by destination (the source is
+       always this endpoint); reverse send order, flushed at the end of the
+       engine instant that first filled them. *)
+    queues : (int, (int * W.request) list ref) Hashtbl.t;
+    mutable sent : int;
+    mutable delivered : int;
+    mutable dropped : int;
+    mutable atoms : int;
+    mutable bytes_sent : int;
+    by_kind : (string, int) Hashtbl.t;
+    mutable closed : bool;
+  }
+
+  let sock_path dir node =
+    Filename.concat dir (Printf.sprintf "node-%d.sock" node)
+
+  let elapsed t = int_of_float ((Unix.gettimeofday () -. t.start) *. 1e9)
+
+  let id t = t.id
+  let engine t = t.engine
+  let topology t = t.topology
+
+  (* ---------------- frames ---------------- *)
+
+  let tag_request = 1
+  and tag_response = 2
+  and tag_oneway = 3
+  and tag_batch = 4
+
+  let encode_msg ~src msg =
+    let enc = Codec.encoder () in
+    (match msg with
+     | Request { call; span; body } ->
+       Codec.u8 enc tag_request;
+       Codec.u32 enc src;
+       Codec.int enc call;
+       Codec.int enc span;
+       W.encode_request enc body
+     | Response { call; body } ->
+       Codec.u8 enc tag_response;
+       Codec.u32 enc src;
+       Codec.int enc call;
+       W.encode_response enc body
+     | Oneway { span; body } ->
+       Codec.u8 enc tag_oneway;
+       Codec.u32 enc src;
+       Codec.int enc span;
+       W.encode_request enc body
+     | Batch { items } ->
+       Codec.u8 enc tag_batch;
+       Codec.u32 enc src;
+       Codec.list enc
+         (fun (span, body) ->
+           Codec.int enc span;
+           W.encode_request enc body)
+         items);
+    let payload = Codec.to_bytes enc in
+    let n = Bytes.length payload in
+    let frame = Bytes.create (frame_header + n) in
+    Bytes.set_int32_be frame 0 (Int32.of_int n);
+    Bytes.blit payload 0 frame frame_header n;
+    frame
+
+  let decode_payload payload =
+    let dec = Codec.decoder payload in
+    let tag = Codec.read_u8 dec in
+    let src = Codec.read_u32 dec in
+    let msg =
+      if tag = tag_request then
+        let call = Codec.read_int dec in
+        let span = Codec.read_int dec in
+        Request { call; span; body = W.decode_request dec }
+      else if tag = tag_response then
+        let call = Codec.read_int dec in
+        Response { call; body = W.decode_response dec }
+      else if tag = tag_oneway then
+        let span = Codec.read_int dec in
+        Oneway { span; body = W.decode_request dec }
+      else if tag = tag_batch then
+        Batch
+          {
+            items =
+              Codec.read_list dec (fun () ->
+                  let span = Codec.read_int dec in
+                  (span, W.decode_request dec));
+          }
+      else raise (Codec.Decode_error "Transport_unix: unknown frame tag")
+    in
+    (src, msg)
+
+  (* ---------------- accounting ---------------- *)
+
+  let account_kind t k =
+    t.atoms <- t.atoms + 1;
+    Hashtbl.replace t.by_kind k
+      (1 + Option.value (Hashtbl.find_opt t.by_kind k) ~default:0)
+
+  let account_sent t msg frame =
+    t.sent <- t.sent + 1;
+    t.bytes_sent <- t.bytes_sent + Bytes.length frame;
+    match msg with
+    | Request { body; _ } | Oneway { body; _ } ->
+      account_kind t (W.request_kind body)
+    | Response _ -> account_kind t "response"
+    | Batch { items } ->
+      List.iter (fun (_, body) -> account_kind t (W.request_kind body)) items
+
+  (* ---------------- sockets ---------------- *)
+
+  let close_quietly fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+  let drop_outgoing t dst =
+    match Hashtbl.find_opt t.outgoing dst with
+    | Some fd ->
+      Hashtbl.remove t.outgoing dst;
+      close_quietly fd
+    | None -> ()
+
+  (* Lazily connect to a peer's socket. The peer may not have bound yet
+     (process start is not synchronised), so refused/absent sockets retry
+     briefly; this stalls the pump, which is acceptable exactly once per
+     pair during start-up. *)
+  let connect_deadline = 10.0 (* seconds *)
+
+  let connect_out t dst =
+    match Hashtbl.find_opt t.outgoing dst with
+    | Some fd -> Some fd
+    | None ->
+      let path = sock_path t.dir dst in
+      let deadline = Unix.gettimeofday () +. connect_deadline in
+      let rec go () =
+        let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        match Unix.connect fd (Unix.ADDR_UNIX path) with
+        | () ->
+          Hashtbl.replace t.outgoing dst fd;
+          Some fd
+        | exception Unix.Unix_error ((ENOENT | ECONNREFUSED), _, _) ->
+          close_quietly fd;
+          if Unix.gettimeofday () > deadline then None
+          else begin
+            Unix.sleepf 0.02;
+            go ()
+          end
+        | exception Unix.Unix_error _ ->
+          close_quietly fd;
+          None
+      in
+      go ()
+
+  let write_all fd b =
+    let n = Bytes.length b in
+    let rec go off =
+      if off < n then go (off + Unix.write fd b off (n - off))
+    in
+    go 0
+
+  (* ---------------- delivery ---------------- *)
+
+  (* Local sends skip the socket but still round-trip through the codec, so
+     a self-message exercises exactly the bytes a remote peer would see. *)
+  let local_delay = Ksim.Time.us 5
+
+  let rec transmit t ~dst msg =
+    let frame = encode_msg ~src:t.id msg in
+    account_sent t msg frame;
+    if dst = t.id then
+      let payload = Bytes.sub frame frame_header (Bytes.length frame - frame_header) in
+      ignore
+        (Ksim.Engine.schedule t.engine ~after:local_delay (fun () ->
+             match decode_payload payload with
+             | src, msg -> deliver t ~src msg
+             | exception Codec.Decode_error _ -> t.dropped <- t.dropped + 1))
+    else
+      match connect_out t dst with
+      | None -> t.dropped <- t.dropped + 1
+      | Some fd -> (
+        try write_all fd frame
+        with Unix.Unix_error _ ->
+          drop_outgoing t dst;
+          t.dropped <- t.dropped + 1)
+
+  and deliver t ~src msg =
+    match msg with
+    | Request { call; span; body } -> (
+      match t.server with
+      | None -> t.dropped <- t.dropped + 1
+      | Some server ->
+        t.delivered <- t.delivered + 1;
+        let reply resp = transmit t ~dst:src (Response { call; body = resp }) in
+        server ~src ~span body ~reply)
+    | Response { call; body } -> (
+      t.delivered <- t.delivered + 1;
+      match Hashtbl.find_opt t.pending call with
+      | None -> () (* late reply after timeout: drop *)
+      | Some promise ->
+        Hashtbl.remove t.pending call;
+        ignore (Ksim.Promise.try_resolve promise body))
+    | Oneway { span; body } -> (
+      match t.server with
+      | None -> t.dropped <- t.dropped + 1
+      | Some server ->
+        t.delivered <- t.delivered + 1;
+        server ~src ~span body ~reply:(fun _ -> ()))
+    | Batch { items } -> (
+      match t.server with
+      | None -> t.dropped <- t.dropped + 1
+      | Some server ->
+        t.delivered <- t.delivered + 1;
+        List.iter
+          (fun (span, body) -> server ~src ~span body ~reply:(fun _ -> ()))
+          items)
+
+  (* Incoming frames dispatch from inside an engine event, so handlers run
+     in the same context as under simulation (and fibers they resume are
+     driven by the engine, not by the socket pump's stack). *)
+  let dispatch_payload t payload =
+    ignore
+      (Ksim.Engine.schedule t.engine ~after:0 (fun () ->
+           match decode_payload payload with
+           | src, msg -> deliver t ~src msg
+           | exception Codec.Decode_error _ -> t.dropped <- t.dropped + 1))
+
+  (* ---------------- socket pump ---------------- *)
+
+  let accept_all t =
+    let rec go () =
+      match Unix.accept t.listen_fd with
+      | fd, _ ->
+        Unix.set_nonblock fd;
+        t.incoming <- { in_fd = fd; in_buf = Buffer.create 4096 } :: t.incoming;
+        go ()
+      | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) -> ()
+      | exception Unix.Unix_error (EINTR, _, _) -> go ()
+    in
+    go ()
+
+  (* Returns [false] when the connection is gone and should be removed. *)
+  let read_into t c =
+    let chunk = Bytes.create 65536 in
+    let rec go () =
+      match Unix.read c.in_fd chunk 0 (Bytes.length chunk) with
+      | 0 -> false
+      | n ->
+        Buffer.add_subbytes c.in_buf chunk 0 n;
+        go ()
+      | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) -> true
+      | exception Unix.Unix_error (EINTR, _, _) -> go ()
+      | exception Unix.Unix_error _ -> false
+    in
+    let alive = go () in
+    (* Extract every complete length-prefixed frame buffered so far. *)
+    let data = Buffer.to_bytes c.in_buf in
+    let len = Bytes.length data in
+    let pos = ref 0 in
+    let continue = ref true in
+    while !continue && !pos + frame_header <= len do
+      let n = Int32.to_int (Bytes.get_int32_be data !pos) in
+      if n < 0 || !pos + frame_header + n > len then continue := false
+      else begin
+        dispatch_payload t (Bytes.sub data (!pos + frame_header) n);
+        pos := !pos + frame_header + n
+      end
+    done;
+    if !pos > 0 then begin
+      Buffer.clear c.in_buf;
+      Buffer.add_subbytes c.in_buf data !pos (len - !pos)
+    end;
+    if not alive then close_quietly c.in_fd;
+    alive
+
+  (* One scheduler-and-sockets turn: run every engine event due by the wall
+     clock, sleep in select until the sockets speak or the next timer is
+     due, ingest frames, run the engine again. *)
+  let pump ?(max_wait = 0.05) t =
+    if t.closed then invalid_arg "Transport_unix.pump: endpoint closed";
+    Ksim.Engine.run ~until:(elapsed t) t.engine;
+    let timeout =
+      match Ksim.Engine.next_at t.engine with
+      | Some at ->
+        let now = elapsed t in
+        if at <= now then 0.0
+        else Float.min max_wait (float_of_int (at - now) /. 1e9)
+      | None -> max_wait
+    in
+    let fds = t.listen_fd :: List.map (fun c -> c.in_fd) t.incoming in
+    (match Unix.select fds [] [] timeout with
+     | ready, _, _ ->
+       if List.memq t.listen_fd ready then accept_all t;
+       if ready <> [] then
+         t.incoming <-
+           List.filter
+             (fun c -> if List.memq c.in_fd ready then read_into t c else true)
+             t.incoming
+     | exception Unix.Unix_error (EINTR, _, _) -> ());
+    Ksim.Engine.run ~until:(elapsed t) t.engine
+
+  (* ---------------- the Transport.S operations ---------------- *)
+
+  let set_server t node h =
+    if node <> t.id then
+      invalid_arg "Transport_unix.set_server: not the local node";
+    t.server <- Some h
+
+  let require_local t src op =
+    if src <> t.id then
+      invalid_arg ("Transport_unix." ^ op ^ ": src must be the local node")
+
+  let call t ~src ~dst ~policy ~span request =
+    require_local t src "call";
+    let attempt_timeout = Policy.timeout_source policy in
+    let attempts = policy.Policy.attempts in
+    if attempts <= 0 then
+      invalid_arg "Transport_unix.call: policy attempts must be positive";
+    let rec attempt n =
+      if n <= 0 then Error `Timeout
+      else begin
+        let call_id = t.next_call in
+        t.next_call <- t.next_call + 1;
+        let promise = Ksim.Promise.create () in
+        Hashtbl.replace t.pending call_id promise;
+        transmit t ~dst (Request { call = call_id; span; body = request });
+        match
+          Ksim.Fiber.await_timeout t.engine promise ~timeout:(attempt_timeout ())
+        with
+        | Some resp -> Ok resp
+        | None ->
+          Hashtbl.remove t.pending call_id;
+          attempt (n - 1)
+      end
+    in
+    attempt attempts
+
+  let flush_queue t ~dst =
+    match Hashtbl.find_opt t.queues dst with
+    | None -> ()
+    | Some q ->
+      Hashtbl.remove t.queues dst;
+      (match List.rev !q with
+       | [] -> ()
+       | [ (span, body) ] -> transmit t ~dst (Oneway { span; body })
+       | items -> transmit t ~dst (Batch { items }))
+
+  let notify t ~src ~dst ~span ~coalesce request =
+    require_local t src "notify";
+    if coalesce && t.coalescing then begin
+      match Hashtbl.find_opt t.queues dst with
+      | Some q -> q := (span, request) :: !q
+      | None ->
+        Hashtbl.replace t.queues dst (ref [ (span, request) ]);
+        ignore
+          (Ksim.Engine.schedule t.engine ~after:0 (fun () -> flush_queue t ~dst))
+    end
+    else transmit t ~dst (Oneway { span; body = request })
+
+  let set_coalescing t on =
+    if not on then
+      List.iter
+        (fun dst -> flush_queue t ~dst)
+        (Hashtbl.fold (fun k _ acc -> k :: acc) t.queues []);
+    t.coalescing <- on
+
+  let coalescing t = t.coalescing
+
+  let stats t =
+    let by_kind =
+      Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.by_kind []
+      |> List.sort compare
+    in
+    {
+      Transport.sent = t.sent;
+      delivered = t.delivered;
+      dropped = t.dropped;
+      in_flight = 0;
+      atoms = t.atoms;
+      bytes_sent = t.bytes_sent;
+      by_kind;
+    }
+
+  let reset_stats t =
+    t.sent <- 0;
+    t.delivered <- 0;
+    t.dropped <- 0;
+    t.atoms <- 0;
+    t.bytes_sent <- 0;
+    Hashtbl.reset t.by_kind
+
+  let pending_calls t = Hashtbl.length t.pending
+  let faults _ = None
+
+  module Backend = struct
+    type nonrec t = t
+
+    let engine = engine
+    let topology = topology
+    let set_server = set_server
+    let call = call
+    let notify = notify
+    let set_coalescing = set_coalescing
+    let coalescing = coalescing
+    let stats = stats
+    let reset_stats = reset_stats
+    let pending_calls = pending_calls
+    let faults = faults
+  end
+
+  let pack t = T.pack (module Backend) t
+
+  (* ---------------- lifecycle and driving ---------------- *)
+
+  let create ?(seed = 42) ~dir ~id topology =
+    if id < 0 || id >= Knet.Topology.node_count topology then
+      invalid_arg "Transport_unix.create: bad node id";
+    (* A peer that vanished mid-write must surface as EPIPE, not kill the
+       process. *)
+    (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+     with Invalid_argument _ -> ());
+    let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Unix.set_nonblock listen_fd;
+    let path = sock_path dir id in
+    (try Unix.unlink path with Unix.Unix_error _ -> ());
+    Unix.bind listen_fd (Unix.ADDR_UNIX path);
+    Unix.listen listen_fd 64;
+    {
+      id;
+      topology;
+      dir;
+      engine = Ksim.Engine.create ~seed:(seed + id) ();
+      start = Unix.gettimeofday ();
+      listen_fd;
+      outgoing = Hashtbl.create 8;
+      incoming = [];
+      server = None;
+      pending = Hashtbl.create 32;
+      next_call = 0;
+      coalescing = true;
+      queues = Hashtbl.create 8;
+      sent = 0;
+      delivered = 0;
+      dropped = 0;
+      atoms = 0;
+      bytes_sent = 0;
+      by_kind = Hashtbl.create 16;
+      closed = false;
+    }
+
+  (* Drive a fiber to completion against the wall clock, pumping this
+     endpoint (and [others], for single-process multi-endpoint harnesses)
+     until its promise resolves. There is no quiescence-based deadlock
+     detection here — real time keeps flowing — so liveness comes from the
+     call policies' timeouts. *)
+  let run_fiber ?(others = []) ?(name = "run_fiber") t f =
+    let p = Ksim.Fiber.async t.engine ~name f in
+    while not (Ksim.Promise.is_resolved p) do
+      (* Work that needs no socket (a purely local operation) completes
+         right here; only re-enter the blocking select while the fiber is
+         genuinely waiting on the wire or a timer. *)
+      Ksim.Engine.run ~until:(elapsed t) t.engine;
+      if not (Ksim.Promise.is_resolved p) then begin
+        pump ~max_wait:0.01 t;
+        List.iter (fun o -> pump ~max_wait:0.0 o) others
+      end
+    done;
+    Option.get (Ksim.Promise.peek p)
+
+  let close t =
+    if not t.closed then begin
+      t.closed <- true;
+      close_quietly t.listen_fd;
+      Hashtbl.iter (fun _ fd -> close_quietly fd) t.outgoing;
+      Hashtbl.reset t.outgoing;
+      List.iter (fun c -> close_quietly c.in_fd) t.incoming;
+      t.incoming <- [];
+      try Unix.unlink (sock_path t.dir t.id) with Unix.Unix_error _ -> ()
+    end
+end

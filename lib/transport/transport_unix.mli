@@ -1,0 +1,53 @@
+(** The real backend of the {!Transport} seam: length-prefixed frames over
+    Unix-domain sockets, one endpoint per OS process.
+
+    Each endpoint owns a listening socket ([<dir>/node-<id>.sock]), lazily
+    opened outgoing connections to peers, and a private {!Ksim.Engine.t}
+    whose virtual clock is driven to track real elapsed time — so the same
+    fiber-blocking daemon code that runs under simulation runs here with
+    real-time semantics. Frames are a 4-byte big-endian length followed by
+    a {!Kutil.Codec} payload; the envelope alphabet (request / response /
+    oneway / batch) mirrors the simulated RPC layer's, so coalescing and
+    per-kind accounting behave identically.
+
+    Failure injection is not available ({!Transport.Make.S.faults} returns
+    [None]): on this backend, a crashed peer is a dead socket. *)
+
+module Make (W : Transport.WIRE) : sig
+  module T : module type of Transport.Make (W)
+
+  type t
+  (** One process's endpoint. *)
+
+  val create : ?seed:int -> dir:string -> id:Knet.Topology.node_id ->
+    Knet.Topology.t -> t
+  (** Bind [<dir>/node-<id>.sock] and build the endpoint with a fresh
+      engine (rng seeded [seed + id], default seed 42). Ignores SIGPIPE
+      process-wide: a peer that died mid-write must surface as an error on
+      the write, not kill us. Connections to peers open lazily on first
+      send, retrying for a few seconds to tolerate unsynchronised process
+      start-up. *)
+
+  val pack : t -> T.t
+  (** View the endpoint through the transport seam. *)
+
+  val id : t -> Knet.Topology.node_id
+  val engine : t -> Ksim.Engine.t
+
+  val pump : ?max_wait:float -> t -> unit
+  (** One scheduler-and-sockets turn: run engine events due by the wall
+      clock, select on the sockets for at most [max_wait] seconds (bounded
+      tighter by the engine's next timer), ingest complete frames
+      (dispatching each from inside an engine event), and run the engine
+      again. A daemon process's main loop is [while running do pump t done]. *)
+
+  val run_fiber : ?others:t list -> ?name:string -> t -> (unit -> 'a) -> 'a
+  (** Spawn a fiber on the endpoint's engine and pump until it completes.
+      [others] are sibling endpoints in the same process (single-process
+      harnesses, e.g. the conformance suite) that must be pumped too or the
+      conversation deadlocks. Liveness comes from call policies' timeouts:
+      real time keeps flowing, there is no quiescence detection. *)
+
+  val close : t -> unit
+  (** Close all sockets and unlink the listening path. Idempotent. *)
+end

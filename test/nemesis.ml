@@ -370,7 +370,7 @@ let run_nemesis ?(disk = false) ~seed () =
       regs
   in
   (* Network accounting survived the whole schedule. *)
-  let s = Khazana.Wire.Transport.Net.stats (System.net sys) in
+  let s = Khazana.Wire.Sim.Net.stats (System.net sys) in
   if s.sent <> s.delivered + s.dropped + s.in_flight then
     Alcotest.failf "network accounting leak: sent %d <> %d + %d + %d" s.sent
       s.delivered s.dropped s.in_flight;

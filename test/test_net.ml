@@ -220,6 +220,30 @@ let test_stats_and_kinds () =
   Net.reset_stats net;
   Alcotest.(check int) "reset" 0 (Net.stats net).sent
 
+let test_reset_stats_with_traffic_in_flight () =
+  (* Resetting the window while messages are on the wire must not break
+     conservation: in-flight messages stay counted as sent in the new
+     window, so when they land they balance as delivered (or dropped),
+     never as delivered-without-sent. *)
+  let eng, _, net = mk () in
+  Net.set_handler net 3 (fun ~src:_ _ -> ());
+  Net.send net ~src:0 ~dst:3 (msg "landed");
+  Ksim.Engine.run eng;
+  Net.send net ~src:0 ~dst:3 (msg "mid-air");
+  Net.send net ~src:0 ~dst:3 (msg "mid-air");
+  let before = Net.stats net in
+  Alcotest.(check int) "two in flight at reset" 2 before.in_flight;
+  Net.reset_stats net;
+  let s0 = Net.stats net in
+  Alcotest.(check int) "window cleared of landed traffic" 0 s0.delivered;
+  Alcotest.(check int) "conservation at reset" s0.sent
+    (s0.delivered + s0.dropped + s0.in_flight);
+  Ksim.Engine.run eng;
+  let s1 = Net.stats net in
+  Alcotest.(check int) "in-flight landed in the new window" 2 s1.delivered;
+  Alcotest.(check int) "conservation after landing" s1.sent
+    (s1.delivered + s1.dropped + s1.in_flight)
+
 let test_trace () =
   let eng, _, net = mk () in
   Net.set_handler net 1 (fun ~src:_ _ -> ());
@@ -276,6 +300,8 @@ let () =
       ( "accounting",
         [
           Alcotest.test_case "stats and kinds" `Quick test_stats_and_kinds;
+          Alcotest.test_case "reset with traffic in flight" `Quick
+            test_reset_stats_with_traffic_in_flight;
           Alcotest.test_case "trace" `Quick test_trace;
           Alcotest.test_case "deterministic" `Quick test_deterministic_delivery_times;
         ] );

@@ -73,7 +73,9 @@ let test_timeout () =
   echo_server rpc 1;
   let result =
     in_fiber eng (fun () ->
-        R.call rpc ~src:0 ~dst:1 ~timeout:(Time.ms 50) (Proto.Slow (Time.ms 500)))
+        R.call rpc ~src:0 ~dst:1
+          ~policy:(Krpc.Policy.with_timeout (Time.ms 50))
+          (Proto.Slow (Time.ms 500)))
   in
   Alcotest.(check bool) "timed out" true (result = Error `Timeout);
   (* The late reply must not confuse later calls. *)
@@ -87,7 +89,7 @@ let test_no_response_times_out () =
   echo_server rpc 1;
   let t0 = Ksim.Engine.now eng in
   let result =
-    in_fiber eng (fun () -> R.call rpc ~src:0 ~dst:1 ~timeout:(Time.ms 100) Proto.Silent)
+    in_fiber eng (fun () -> R.call rpc ~src:0 ~dst:1 ~policy:(Krpc.Policy.with_timeout (Time.ms 100)) Proto.Silent)
   in
   Alcotest.(check bool) "timeout" true (result = Error `Timeout);
   Alcotest.(check bool) "waited" true (Ksim.Engine.now eng - t0 >= Time.ms 100)
@@ -101,7 +103,9 @@ let test_retry_succeeds_after_partition_heals () =
   ignore (Ksim.Engine.schedule eng ~after:(Time.ms 150) (fun () -> R.Net.heal net));
   let result =
     in_fiber eng (fun () ->
-        R.call rpc ~src:0 ~dst:3 ~timeout:(Time.ms 100) ~attempts:5 (Proto.Echo "retry"))
+        R.call rpc ~src:0 ~dst:3
+          ~policy:(Krpc.Policy.with_timeout ~attempts:5 (Time.ms 100))
+          (Proto.Echo "retry"))
   in
   match result with
   | Ok (Proto.Echoed s) -> Alcotest.(check string) "retried ok" "retry" s
@@ -113,7 +117,9 @@ let test_retries_exhausted () =
   R.Net.crash net 1;
   let result =
     in_fiber eng (fun () ->
-        R.call rpc ~src:0 ~dst:1 ~timeout:(Time.ms 20) ~attempts:3 (Proto.Echo "x"))
+        R.call rpc ~src:0 ~dst:1
+          ~policy:(Krpc.Policy.with_timeout ~attempts:3 (Time.ms 20))
+          (Proto.Echo "x"))
   in
   Alcotest.(check bool) "exhausted" true (result = Error `Timeout);
   Alcotest.(check int) "no leaked pending calls" 0 (R.pending_calls rpc)

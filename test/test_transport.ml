@@ -1,0 +1,263 @@
+(* Conformance suite for the transport seam: the same assertions run
+   against the simulated backend and the Unix-domain-socket backend (all
+   endpoints living in this one process, pumped round-robin). Anything a
+   daemon relies on — correlation, timeouts, oneway and batch dispatch,
+   stats accounting — must hold identically on both. *)
+
+module Time = Ksim.Time
+module Topology = Knet.Topology
+module Policy = Krpc.Policy
+
+(* A protocol with real byte codecs, so it can ride the socket backend. *)
+module Proto = struct
+  type request = Echo of string | Silent
+  type response = Echoed of string
+
+  let request_size = function
+    | Echo s -> 16 + String.length s
+    | Silent -> 8
+
+  let response_size (Echoed s) = 16 + String.length s
+  let request_kind = function Echo _ -> "echo" | Silent -> "silent"
+
+  module Codec = Kutil.Codec
+
+  let encode_request enc = function
+    | Echo s ->
+      Codec.u8 enc 0;
+      Codec.string enc s
+    | Silent -> Codec.u8 enc 1
+
+  let decode_request dec =
+    match Codec.read_u8 dec with
+    | 0 -> Echo (Codec.read_string dec)
+    | 1 -> Silent
+    | n -> raise (Codec.Decode_error (Printf.sprintf "Proto.request: %d" n))
+
+  let encode_response enc (Echoed s) = Codec.string enc s
+  let decode_response dec = Echoed (Codec.read_string dec)
+end
+
+module T = Ktransport.Transport.Make (Proto)
+module Sim = Ktransport.Transport_sim.Make (Proto)
+module Sockets = Ktransport.Transport_unix.Make (Proto)
+
+(* What the suite needs from a backend under test. Fresh state per test. *)
+module type HARNESS = sig
+  val name : string
+
+  type h
+
+  val setup : unit -> h
+  val teardown : h -> unit
+  val transport : h -> node:int -> T.t
+  (** The transport value node [node]'s code would hold. One shared value
+      under simulation; a per-process endpoint on sockets. *)
+
+  val run : h -> src:int -> (unit -> 'a) -> 'a
+  (** Run a fiber on [src]'s engine to completion, driving all nodes. *)
+
+  val settle : h -> unit
+  (** Drain in-flight deliveries (oneways have no completion to await). *)
+
+  val timeout : Time.t
+  (** A per-attempt timeout comfortably above the backend's delivery
+      latency, yet short enough that timeout tests stay quick. *)
+end
+
+module Sim_harness : HARNESS = struct
+  let name = "sim"
+
+  type h = { engine : Ksim.Engine.t; transport : T.t }
+
+  let setup () =
+    let engine = Ksim.Engine.create ~seed:7 () in
+    let topology = Topology.symmetric ~nodes_per_cluster:2 ~clusters:1 in
+    let transport, _rpc = Sim.create engine topology in
+    { engine; transport }
+
+  let teardown _ = ()
+  let transport h ~node:_ = h.transport
+
+  let run h ~src:_ f =
+    let p = Ksim.Fiber.async h.engine f in
+    Ksim.Engine.run h.engine;
+    match Ksim.Promise.peek p with
+    | Some v -> v
+    | None -> Alcotest.fail "sim: fiber blocked at quiescence"
+
+  let settle h = Ksim.Engine.run h.engine
+  let timeout = Time.ms 100
+end
+
+module Unix_harness : HARNESS = struct
+  let name = "unix"
+
+  type h = { dir : string; eps : Sockets.t array }
+
+  let setup () =
+    let dir =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "ktransport-test-%d-%d" (Unix.getpid ())
+           (int_of_float (Unix.gettimeofday () *. 1e6) mod 1_000_000))
+    in
+    Unix.mkdir dir 0o700;
+    let topology = Topology.symmetric ~nodes_per_cluster:2 ~clusters:1 in
+    { dir; eps = Array.init 2 (fun id -> Sockets.create ~dir ~id topology) }
+
+  let teardown h =
+    Array.iter Sockets.close h.eps;
+    (try Unix.rmdir h.dir with Unix.Unix_error _ -> ())
+
+  let transport h ~node = Sockets.pack h.eps.(node)
+
+  let run h ~src f =
+    let others =
+      Array.to_list h.eps
+      |> List.filter (fun e -> Sockets.id e <> src)
+    in
+    Sockets.run_fiber ~others h.eps.(src) f
+
+  let settle h =
+    (* No quiescence signal on real sockets: pump everyone briefly. *)
+    let deadline = Unix.gettimeofday () +. 0.3 in
+    while Unix.gettimeofday () < deadline do
+      Array.iter (fun e -> Sockets.pump ~max_wait:0.01 e) h.eps
+    done
+
+  (* Generous: delivery is microseconds, but a loaded CI box can stall a
+     process for tens of milliseconds between pumps. *)
+  let timeout = Time.sec 2
+end
+
+module Suite (H : HARNESS) = struct
+  let with_h f () =
+    let h = H.setup () in
+    Fun.protect ~finally:(fun () -> H.teardown h) (fun () -> f h)
+
+  let policy = Policy.with_timeout H.timeout
+  let echo_handler ~src:_ ~span:_ req ~reply =
+    match req with
+    | Proto.Echo s -> reply (Proto.Echoed s)
+    | Proto.Silent -> ()
+
+  let test_call_response h =
+    T.set_server (H.transport h ~node:1) 1 echo_handler;
+    match
+      H.run h ~src:0 (fun () ->
+          T.call (H.transport h ~node:0) ~src:0 ~dst:1 ~policy (Proto.Echo "hi"))
+    with
+    | Ok (Proto.Echoed s) -> Alcotest.(check string) "echo" "hi" s
+    | Error `Timeout -> Alcotest.fail "unexpected timeout"
+
+  (* Ten interleaved calls: every reply must land on its own request. *)
+  let test_correlation h =
+    T.set_server (H.transport h ~node:1) 1 echo_handler;
+    let results =
+      H.run h ~src:0 (fun () ->
+          let t0 = H.transport h ~node:0 in
+          let promises =
+            List.init 10 (fun i ->
+                Ksim.Fiber.async (T.engine t0) (fun () ->
+                    T.call t0 ~src:0 ~dst:1 ~policy
+                      (Proto.Echo (string_of_int i))))
+          in
+          List.mapi
+            (fun i p ->
+              match Ksim.Fiber.await p with
+              | Ok (Proto.Echoed s) -> (i, s)
+              | Error `Timeout -> (i, "<timeout>"))
+            promises)
+    in
+    Alcotest.(check (list (pair int string)))
+      "each call got its own answer"
+      (List.init 10 (fun i -> (i, string_of_int i)))
+      results
+
+  let test_timeout h =
+    T.set_server (H.transport h ~node:1) 1 (fun ~src:_ ~span:_ _ ~reply:_ -> ());
+    let t0 = H.transport h ~node:0 in
+    let r =
+      H.run h ~src:0 (fun () ->
+          T.call t0 ~src:0 ~dst:1
+            ~policy:(Policy.with_timeout (Time.ms 50))
+            Proto.Silent)
+    in
+    Alcotest.(check bool) "timed out" true (r = Error `Timeout);
+    Alcotest.(check int) "no leaked pending call" 0 (T.pending_calls t0)
+
+  let test_oneway h =
+    let got = ref [] in
+    T.set_server (H.transport h ~node:1) 1 (fun ~src ~span:_ req ~reply:_ ->
+        match req with
+        | Proto.Echo s -> got := (src, s) :: !got
+        | Proto.Silent -> ());
+    T.notify (H.transport h ~node:0) ~src:0 ~dst:1 (Proto.Echo "oneway");
+    H.settle h;
+    Alcotest.(check (list (pair int string)))
+      "delivered with source" [ (0, "oneway") ] !got
+
+  (* Three same-instant coalescable notifies: one envelope on the wire,
+     three separate handler dispatches in send order, three atoms. *)
+  let test_batch_dispatch h =
+    let got = ref [] in
+    T.set_server (H.transport h ~node:1) 1 (fun ~src:_ ~span:_ req ~reply:_ ->
+        match req with
+        | Proto.Echo s -> got := s :: !got
+        | Proto.Silent -> ());
+    let t0 = H.transport h ~node:0 in
+    let s0 = T.stats t0 in
+    H.run h ~src:0 (fun () ->
+        T.notify t0 ~src:0 ~dst:1 ~coalesce:true (Proto.Echo "a");
+        T.notify t0 ~src:0 ~dst:1 ~coalesce:true (Proto.Echo "b");
+        T.notify t0 ~src:0 ~dst:1 ~coalesce:true (Proto.Echo "c"));
+    H.settle h;
+    let s1 = T.stats t0 in
+    Alcotest.(check (list string))
+      "all delivered, in send order" [ "a"; "b"; "c" ] (List.rev !got);
+    Alcotest.(check int) "one envelope" 1 (s1.Ktransport.Transport.sent - s0.Ktransport.Transport.sent);
+    Alcotest.(check int) "three atoms" 3 (s1.Ktransport.Transport.atoms - s0.Ktransport.Transport.atoms)
+
+  let test_stats_accounting h =
+    T.set_server (H.transport h ~node:1) 1 echo_handler;
+    let t0 = H.transport h ~node:0 in
+    T.reset_stats t0;
+    ignore
+      (H.run h ~src:0 (fun () ->
+           T.call t0 ~src:0 ~dst:1 ~policy (Proto.Echo "counted")));
+    H.settle h;
+    let s = T.stats t0 in
+    Alcotest.(check bool) "sent some" true (s.Ktransport.Transport.sent > 0);
+    Alcotest.(check bool) "bytes counted" true (s.Ktransport.Transport.bytes_sent > 0);
+    (* Conservation. Under simulation the counters are global, so this is
+       the network invariant proper; a socket endpoint counts its own
+       vantage (sent the request, delivered the response) and the books
+       balance here because a call's traffic is symmetric. *)
+    Alcotest.(check int) "sent = delivered + dropped + in_flight"
+      s.Ktransport.Transport.sent
+      (s.Ktransport.Transport.delivered + s.Ktransport.Transport.dropped
+       + s.Ktransport.Transport.in_flight);
+    Alcotest.(check bool) "echo kind counted" true
+      (List.mem_assoc "echo" s.Ktransport.Transport.by_kind)
+
+  let cases =
+    [
+      Alcotest.test_case "call/response" `Quick (with_h test_call_response);
+      Alcotest.test_case "correlation" `Quick (with_h test_correlation);
+      Alcotest.test_case "timeout" `Quick (with_h test_timeout);
+      Alcotest.test_case "oneway" `Quick (with_h test_oneway);
+      Alcotest.test_case "batch dispatch" `Quick (with_h test_batch_dispatch);
+      Alcotest.test_case "stats accounting" `Quick (with_h test_stats_accounting);
+    ]
+end
+
+module Sim_suite = Suite (Sim_harness)
+module Unix_suite = Suite (Unix_harness)
+
+let () =
+  Alcotest.run "ktransport"
+    [
+      ("conformance:" ^ Sim_harness.name, Sim_suite.cases);
+      ("conformance:" ^ Unix_harness.name, Unix_suite.cases);
+    ]
