@@ -15,6 +15,7 @@ let experiments =
     ("e8", "local storage hierarchy", E8_storage.run);
     ("e9", "object placement & false sharing", E9_objects.run);
     ("e10", "release-class background retry", E10_release_ops.run);
+    ("e12", "2PC commit latency vs participants", E12_txn.run);
     ("ablations", "design-knob ablations (hints, timeouts, fs instances)", Ablations.run);
     ("micro", "wall-clock microbenchmarks", Micro.run);
   ]

@@ -88,9 +88,38 @@ let run_bootstrap ~dir ~nodes ~deadline topology =
   do
     Sockets.pump ~max_wait:0.01 ep
   done;
+  if not (List.for_all Sys.file_exists results) then begin
+    write_file_atomic (dir / "stop") "";
+    fail "timed out waiting for worker results"
+  end;
+  (* Workers are done measuring but still pumping (they block on the stop
+     flag), so the fleet is quiet and every node still serves RPCs: run
+     the atomic-commit phase now. Worker 1 published a region homed on
+     itself; each transaction spans that region and ours — a real
+     two-participant 2PC over the sockets. *)
+  wait_for_file ep (dir / "region1.addr") ~deadline;
+  let r1base = Kutil.U128.of_hex (String.trim (read_file (dir / "region1.addr"))) in
+  let txns = 10 in
+  let txn_total = ref 0.0 in
+  for n = 1 to txns do
+    let fill = Bytes.make payload (Char.chr (Char.code 'a' + (n mod 16))) in
+    let (), ms =
+      timed_ms (fun () ->
+          Sockets.run_fiber ep ~name:"txn" (fun () ->
+              ok
+                (Client.txn client (fun txn ->
+                     match
+                       Client.txn_write client txn ~addr:region.Region.base fill
+                     with
+                     | Error _ as e -> e
+                     | Ok () -> Client.txn_write client txn ~addr:r1base fill))))
+    in
+    txn_total := !txn_total +. ms
+  done;
+  Printf.printf
+    "2pc: %d two-participant atomic commits, wall-clock mean %.2f ms\n%!" txns
+    (!txn_total /. float_of_int txns);
   write_file_atomic (dir / "stop") "";
-  if not (List.for_all Sys.file_exists results) then
-    fail "timed out waiting for worker results";
   let rows =
     List.map
       (fun path ->
@@ -108,6 +137,15 @@ let run_worker ~dir ~id ~trials ~deadline topology =
   wait_for_file ep (dir / "region.addr") ~deadline;
   let base = Kutil.U128.of_hex (String.trim (read_file (dir / "region.addr"))) in
   let client = Client.connect daemon ~principal:id in
+  (* Worker 1 doubles as the second 2PC participant: it homes a region of
+     its own and publishes the address for the bootstrap's txn phase. *)
+  if id = 1 then begin
+    let r1 =
+      Sockets.run_fiber ep ~name:"create-region1" (fun () ->
+          ok (Client.create_region client region_len))
+    in
+    write_file_atomic (dir / "region1.addr") (Kutil.U128.to_hex r1.Region.base)
+  end;
   (* Workers run concurrently and all write the same page, so a read may
      see the initial fill or any single worker's write — but never a torn
      mix: CREW serialises writers against readers. *)

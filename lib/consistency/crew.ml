@@ -213,6 +213,12 @@ let serve_fetch t (src, msg) acc =
   | Fetch_own { dest; fence }, Some data ->
     t.cstate <- Invalid;
     t.data <- None;
+    (* The manager's backup must track the freshest image that passed
+       through it. This hand-off is such a pass: without the refresh, an
+       owner that dies before writing anything forces a fail-over onto a
+       backup that may predate several settled writes — resurrecting
+       ancient data instead of the image we just forwarded. *)
+    if is_home t then t.backup <- Some (data, t.ver);
     (* Relinquishing ownership: anything granted to us by older
        transactions is dead from here on. The version bumps on every
        hand-off so freshness ordering tracks the ownership chain. *)

@@ -75,6 +75,45 @@ let with_lock t ?ctx ~addr ~len mode f =
   with_op t "client.with_lock" ctx (fun ctx ->
       with_lock_in t ctx ~addr ~len mode f)
 
+(* Widen the daemon's closed error variant into the caller's row so [txn]
+   bodies can fail with richer error types (kfs adds its own constructors). *)
+let widen_error : Daemon.error -> [> Daemon.error ] = function
+  | `Timeout -> `Timeout
+  | `Unavailable s -> `Unavailable s
+  | `Access_denied -> `Access_denied
+  | `Not_allocated -> `Not_allocated
+  | `Bad_range -> `Bad_range
+  | `Conflict s -> `Conflict s
+  | `Rpc s -> `Rpc s
+
+let txn t ?ctx f =
+  with_op t "client.txn" ctx (fun ctx ->
+      let txn = Daemon.txn_begin t.daemon ~ctx in
+      let result =
+        try f txn
+        with e ->
+          Daemon.txn_abort t.daemon txn;
+          raise e
+      in
+      match result with
+      | Ok v -> (
+        match Daemon.txn_commit t.daemon txn with
+        | Ok () -> Ok v
+        | Error e -> Error (widen_error e))
+      | Error _ as e ->
+        Daemon.txn_abort t.daemon txn;
+        e)
+
+let txn_read t txn ~addr ~len =
+  match Daemon.txn_read t.daemon txn ~addr ~len with
+  | Ok _ as ok -> ok
+  | Error e -> Error (widen_error e)
+
+let txn_write t txn ~addr data =
+  match Daemon.txn_write t.daemon txn ~addr data with
+  | Ok _ as ok -> ok
+  | Error e -> Error (widen_error e)
+
 let read_bytes t ?ctx ~addr len =
   with_op t "client.read_bytes" ctx (fun ctx ->
       with_lock_in t ctx ~addr ~len Kconsistency.Types.Read (fun lctx ->

@@ -84,6 +84,34 @@ val with_lock :
   ('a, Daemon.error) result
 (** Lock, run, always unlock. *)
 
+(** {1 Atomic transactions}
+
+    Multi-region all-or-nothing updates via the daemon's two-phase commit
+    (see {!Daemon.txn_commit}). The error row is open so callers layering
+    their own error constructors (kfs) can fail out of the body without
+    wrapping. *)
+
+val txn :
+  t -> ?ctx:Ktrace.Op_ctx.t ->
+  (Daemon.txn -> ('a, ([> Daemon.error ] as 'e)) result) ->
+  ('a, 'e) result
+(** [txn t f] begins a transaction, runs [f], and commits if [f] returns
+    [Ok] — the commit is atomic across every region touched, whatever
+    their homes. [Error] from [f] (or an exception) aborts: no write in
+    the body is ever visible. [Ok] from [txn] means the commit decision
+    is durably logged. *)
+
+val txn_read :
+  t -> Daemon.txn -> addr:Kutil.Gaddr.t -> len:int ->
+  (bytes, [> Daemon.error ]) result
+(** Transactional read: write-intent locks the range (held to commit) and
+    observes the transaction's own buffered writes. *)
+
+val txn_write :
+  t -> Daemon.txn -> addr:Kutil.Gaddr.t -> bytes ->
+  (unit, [> Daemon.error ]) result
+(** Buffer a write; visible nowhere until the transaction commits. *)
+
 val read_bytes :
   t -> ?ctx:Ktrace.Op_ctx.t -> addr:Kutil.Gaddr.t -> int ->
   (bytes, Daemon.error) result

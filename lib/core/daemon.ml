@@ -6,6 +6,7 @@ module Topology = Knet.Topology
 module Store = Kstorage.Page_store
 module Wal = Kstorage.Wal
 module Codec = Kutil.Codec
+module Txid = Kutil.Txid
 module Trace = Ktrace.Trace
 module Op_ctx = Ktrace.Op_ctx
 module Metrics = Ktrace.Metrics
@@ -25,6 +26,7 @@ type config = {
   repair_every : Ksim.Time.t;
   wal_checkpoint_every : int;
   acquire_window : int;
+  txn_resolve_after : Ksim.Time.t;
 }
 
 let default_config =
@@ -46,6 +48,10 @@ let default_config =
     (* Pages per concurrent acquisition wave in a multi-page lock; 1
        recovers the old fully-sequential behaviour. *)
     acquire_window = 16;
+    (* How long a participant sits on a prepared-but-undecided transaction
+       before it starts asking the coordinator what happened. Long enough
+       that a healthy 2PC round never triggers it. *)
+    txn_resolve_after = Ksim.Time.sec 3;
   }
 
 type error = Error.t
@@ -74,6 +80,29 @@ type lock_ctx = {
   ctx_pages : Gaddr.t list;
   ctx_written : unit Gaddr.Table.t;
   mutable ctx_live : bool;
+}
+
+(* Participant-side record of a prepared (voted-yes, undecided) global
+   transaction: the page images to apply on commit, and bookkeeping for the
+   presumed-abort resolver. *)
+type prepared = {
+  p_pages : (Gaddr.t * bytes) list;
+  mutable p_since : Ksim.Time.t;    (* when prepared / last status attempt *)
+  mutable p_querying : bool;        (* a status query fiber is in flight *)
+}
+
+(* A committed 2PC page image the home has installed in its store but not
+   yet reconciled with the consistency machine. When the coordinator is
+   alive its write-lock release propagates the very same image through the
+   CM (the matching [Install] clears the pin); when the coordinator died
+   holding the locks, the pin goes overdue and the maintenance loop
+   re-writes the image through a local write lock — riding the CM's own
+   dead-owner fail-over — so reads stop serving the machine's stale
+   pre-transaction copy. *)
+type pin = {
+  pin_img : bytes;
+  mutable pin_since : Ksim.Time.t;
+  mutable pin_busy : bool;          (* a repair fiber is in flight *)
 }
 
 type t = {
@@ -107,6 +136,22 @@ type t = {
   mutable last_hint : Topology.node_id list;  (* manager: last broadcast *)
   metrics : Metrics.t;
   mutable stats : lookup_stats;
+  (* --- distributed atomic commit (2PC over the WAL) --- *)
+  mutable next_txn_seq : int;  (* per-epoch coordinator sequence numbers *)
+  txn_prepared : prepared Txid.Table.t;  (* participant: voted, undecided *)
+  txn_decided : bool Txid.Table.t;  (* decisions seen (duplicate = no-op) *)
+  txn_decisions : Topology.node_id list Txid.Table.t;
+      (* coordinator: committed decisions with participants still owed the
+         decision message; forgotten once every ack is in *)
+  txn_active : unit Txid.Table.t;
+      (* coordinator: transactions inside their voting window. In-memory
+         only, deliberately: after a crash nothing here survives, so a
+         status query for a pre-crash transaction answers "aborted" —
+         which is sound, because the epoch fence keeps the dead commit
+         fiber from ever logging its decision. *)
+  txn_pins : pin Gaddr.Table.t;  (* home: committed images awaiting CM sync *)
+  mutable txn_last : Txid.t option;  (* last id minted here (tests) *)
+  mutable txn_hook : (string -> unit) option;  (* nemesis crash points *)
 }
 
 let id t = t.id
@@ -134,6 +179,15 @@ let pool_bytes t = List.fold_left (fun acc (_, len) -> acc + len) 0 t.pool
 
 let machine_state t page =
   Option.map (fun s -> Machine.packed_state_name s.packed) (Gaddr.Table.find_opt t.machines page)
+
+(* 2PC introspection and fault-injection seam (tests / nemesis). *)
+let set_txn_hook t hook = t.txn_hook <- hook
+let last_txid t = t.txn_last
+let txn_prepared_count t = Txid.Table.length t.txn_prepared
+let txn_undelivered_decisions t = Txid.Table.length t.txn_decisions
+
+let txn_step t step = match t.txn_hook with Some f -> f step | None -> ()
+let alive t epoch = t.up && t.epoch = epoch
 
 let holds_page t page =
   match Gaddr.Table.find_opt t.machines page with
@@ -384,6 +438,17 @@ and apply_actions t ~span slot page actions =
           ignore (Ksim.Promise.try_resolve promise (Error (`Unavailable why)))
         | None -> ())
       | Ctypes.Install { data; dirty } ->
+        (* The machine just synced this exact image with the store — if it
+           is a pinned committed 2PC image, the CM has caught up (the
+           coordinator's write-lock release propagated it) and the pin's
+           repair pass is no longer needed. An install of *different*
+           bytes keeps the pin: that is the stale pre-transaction copy
+           resurfacing through dead-owner fail-over, exactly what the pin
+           exists to overwrite. *)
+        (match Gaddr.Table.find_opt t.txn_pins page with
+         | Some pin when Bytes.equal pin.pin_img data ->
+           Gaddr.Table.remove t.txn_pins page
+         | Some _ | None -> ());
         if Trace.enabled () then
           Trace.event ~engine:t.engine ~node:t.id ~span "store.install"
             ~attrs:
@@ -457,18 +522,22 @@ let homed_containing t addr =
 
 (* Every remote hop is a span under the caller's context, and the span id
    travels in the RPC envelope so the peer's dispatch nests under it. *)
-let rpc t ctx ~dst req =
+let rpc t ctx ?policy ~dst req =
   let span =
     span_of t ctx ("rpc." ^ Wire.request_kind req) (fun () ->
         [ ("dst", string_of_int dst) ])
   in
-  (* The per-attempt timeout comes from a jittered policy: the base equals
+  (* Unless the caller picked one (2PC traffic uses [Policy.idempotent]),
+     the per-attempt timeout comes from a jittered policy: the base equals
      the old fixed rpc_timeout, jittered (from this daemon's own rng, so
      simulation schedules are unchanged) so simultaneous retriers and
      their upstream retry loops decorrelate. *)
   let policy =
-    Wire.Policy.jittered ~rng:t.rng ~base:t.cfg.rpc_timeout
-      ~cap:t.cfg.retry_backoff_cap ()
+    match policy with
+    | Some p -> p
+    | None ->
+      Wire.Policy.jittered ~rng:t.rng ~base:t.cfg.rpc_timeout
+        ~cap:t.cfg.retry_backoff_cap ()
   in
   let r =
     Wire.Transport.call t.transport ~src:t.id ~dst ~policy ~span:(Trace.id span)
@@ -1301,6 +1370,544 @@ let set_attr t ~ctx base (attr : Attr.t) =
   result
 
 (* ------------------------------------------------------------------ *)
+(* Distributed atomic commit: 2PC over the WAL (§4)                    *)
+(* ------------------------------------------------------------------ *)
+
+(* The protocol in one paragraph. A transaction buffers writes under
+   write-intent (2PL) locks taken through the ordinary pipelined {!lock}
+   path. At commit the coordinator computes the new page images, groups
+   them by region home, and drives two-phase commit: each participant home
+   forces the images plus a [Prepare] record through its WAL (its yes
+   vote), then the coordinator forces a [Decide commit] record through its
+   own WAL — the commit point — and broadcasts the decision. Presumed
+   abort: aborts are never logged at the coordinator, so a participant
+   stuck with a prepared-undecided transaction (after any crash) asks the
+   coordinator and treats "no record of it" as abort. The decision record
+   carries the participant list; it is kept (across checkpoints and
+   crashes, via the snapshot) until every participant has acked, then
+   forgotten with a [txn.forget] control note. Stale actors are fenced by
+   the epoch machinery: a coordinator that crashed mid-vote can never log
+   a decision afterwards, which is what makes "no record = abort" safe. *)
+
+let txn_event t ~span gtx name attrs =
+  if Trace.enabled () then
+    Trace.event ~engine:t.engine ~node:t.id ~span name
+      ~attrs:(("txid", Txid.to_string gtx) :: attrs)
+
+(* Participant phase one: force the images and the prepare record, answer
+   the vote. Idempotent — a retried prepare for a transaction already
+   prepared (or even decided) re-votes yes without re-logging. *)
+let participant_prepare t ~span gtx pages =
+  if Txid.Table.mem t.txn_decided gtx || Txid.Table.mem t.txn_prepared gtx
+  then true
+  else begin
+    let tx = Wal.begin_tx t.wal in
+    List.iter (fun (page, img) -> Wal.log_page t.wal tx page img) pages;
+    Wal.prepare t.wal tx gtx;
+    Txid.Table.replace t.txn_prepared gtx
+      { p_pages = pages; p_since = Ksim.Engine.now t.engine;
+        p_querying = false };
+    Metrics.incr t.metrics "txn.prepare";
+    txn_event t ~span gtx "txn.prepare"
+      [ ("pages", string_of_int (List.length pages)) ];
+    true
+  end
+
+(* Participant phase two: log the decision and, on commit, install the
+   prepared images in the local store. Duplicate decisions — and decisions
+   for unknown (long-forgotten) transactions — are no-ops. *)
+let participant_decide t ~span gtx commit =
+  match Txid.Table.find_opt t.txn_prepared gtx with
+  | None ->
+    if Txid.Table.mem t.txn_decided gtx then
+      Metrics.incr t.metrics "txn.decide.dup"
+  | Some entry ->
+    (* Commit decisions sync (the ack below promises durability); abort
+       decisions may ride unsynced — losing one merely re-runs the
+       presumed-abort resolution. *)
+    Wal.decide t.wal ~sync:commit gtx ~commit ~participants:[];
+    if commit then
+      List.iter
+        (fun (page, img) ->
+          (match homed_containing t page with
+           | Some region ->
+             ignore
+               (pdir_ensure_logged t ~page ~region_base:region.Region.base
+                  ~homed_here:true)
+           | None -> ());
+          Store.write_immediate t.store page img ~dirty:false;
+          Store.flush_immediate t.store page;
+          (* The store now holds the committed image, but a live machine
+             for this page still caches (and would keep serving) the
+             pre-transaction bytes. Pin the image until the CM catches up
+             — see [pin]. *)
+          Gaddr.Table.replace t.txn_pins page
+            { pin_img = Bytes.copy img;
+              pin_since = Ksim.Engine.now t.engine;
+              pin_busy = false })
+        entry.p_pages;
+    Txid.Table.remove t.txn_prepared gtx;
+    Txid.Table.replace t.txn_decided gtx commit;
+    Metrics.incr t.metrics
+      (if commit then "txn.decide.commit" else "txn.decide.abort");
+    txn_event t ~span gtx "txn.decide" [ ("commit", string_of_bool commit) ]
+
+(* Coordinator's answer to an in-doubt participant. Order matters: a
+   committed transaction must never read as aborted, and one still inside
+   its voting window must stall the asker rather than resolve it. *)
+let txn_status t gtx =
+  if
+    Txid.Table.find_opt t.txn_decided gtx = Some true
+    || Txid.Table.mem t.txn_decisions gtx
+  then Wire.Tx_committed
+  else if Txid.Table.mem t.txn_active gtx then Wire.Tx_in_progress
+  else Wire.Tx_aborted
+
+(* A participant acked the commit decision: once the last ack is in, the
+   decision is garbage — forget it (logged, so replay forgets too). *)
+let txn_ack_decide t gtx dst =
+  match Txid.Table.find_opt t.txn_decisions gtx with
+  | None -> ()
+  | Some parts ->
+    let rest = List.filter (fun n -> n <> dst) parts in
+    if rest = [] then begin
+      Txid.Table.remove t.txn_decisions gtx;
+      let e = Codec.encoder () in
+      Txid.encode e gtx;
+      Wal.control t.wal ~sync:false "txn.forget" (Codec.to_bytes e)
+    end
+    else Txid.Table.replace t.txn_decisions gtx rest
+
+(* ---- the client-side transaction handle ---- *)
+
+type txn = {
+  txn_op : Op_ctx.t;
+  mutable txn_locks : lock_ctx list;
+  mutable txn_writes : (Gaddr.t * bytes) list;  (* newest first *)
+  mutable txn_live : bool;
+}
+
+let txn_begin t ~ctx =
+  ignore t;
+  { txn_op = ctx; txn_locks = []; txn_writes = []; txn_live = true }
+
+(* Strict two-phase locking: every range a transaction touches — read or
+   write — is locked in write-intent mode at first touch and held to the
+   end, so the buffered images computed at commit cannot be invalidated
+   by a concurrent writer, and no other node can observe them early. *)
+let txn_lock t txn ~addr ~len =
+  match
+    List.find_opt (fun c -> ctx_covers c addr ~len) txn.txn_locks
+  with
+  | Some c -> Ok c
+  | None -> (
+    match lock t ~ctx:txn.txn_op ~addr ~len Ctypes.Write with
+    | Ok c ->
+      txn.txn_locks <- c :: txn.txn_locks;
+      Ok c
+    | Error e -> Error e)
+
+let txn_dead_guard txn =
+  if txn.txn_live then None else Some (`Conflict "transaction finished")
+
+(* Overlay one buffered write onto a read result where the ranges
+   intersect. *)
+let overlay_write ~addr ~len out (waddr, data) =
+  let wlen = Bytes.length data in
+  let lo = if Gaddr.compare addr waddr > 0 then addr else waddr in
+  let rend = Gaddr.add_int addr len in
+  let wend = Gaddr.add_int waddr wlen in
+  let hi = if Gaddr.compare rend wend < 0 then rend else wend in
+  if Gaddr.compare lo hi < 0 then
+    Bytes.blit data (Gaddr.diff lo waddr) out (Gaddr.diff lo addr)
+      (Gaddr.diff hi lo)
+
+let txn_read t txn ~addr ~len =
+  match txn_dead_guard txn with
+  | Some e -> Error e
+  | None -> (
+    match down_guard t with
+    | Some e -> Error e
+    | None -> (
+      match txn_lock t txn ~addr ~len with
+      | Error e -> Error e
+      | Ok c -> (
+        match read t c ~addr ~len with
+        | Error e -> Error e
+        | Ok out ->
+          (* Read-your-writes: buffered writes overlay the stored bytes,
+             oldest first so later writes win. *)
+          List.iter (overlay_write ~addr ~len out) (List.rev txn.txn_writes);
+          Ok out)))
+
+let txn_write t txn ~addr data =
+  match txn_dead_guard txn with
+  | Some e -> Error e
+  | None -> (
+    match down_guard t with
+    | Some e -> Error e
+    | None -> (
+      match txn_lock t txn ~addr ~len:(Bytes.length data) with
+      | Error e -> Error e
+      | Ok _ ->
+        txn.txn_writes <- (addr, Bytes.copy data) :: txn.txn_writes;
+        Ok ()))
+
+let txn_release_locks t txn =
+  let locks = txn.txn_locks in
+  txn.txn_locks <- [];
+  List.iter (fun c -> unlock t c) locks
+
+let txn_abort t txn =
+  if txn.txn_live then begin
+    txn.txn_live <- false;
+    txn.txn_writes <- [];
+    Metrics.incr t.metrics "txn.abort";
+    (* No writes were staged through the lock contexts, so releasing
+       propagates nothing: the store still holds the pre-transaction
+       images everywhere. *)
+    txn_release_locks t txn
+  end
+
+(* Compute the committed page images from the locked stored bytes plus the
+   write buffer — without touching the store, so an abort at any later
+   point leaves clean state. Returns images in first-touch order. *)
+let txn_images t txn =
+  let images : (Region.t * bytes) Gaddr.Table.t = Gaddr.Table.create 8 in
+  let order = ref [] in
+  let stage (addr, data) =
+    let len = Bytes.length data in
+    match List.find_opt (fun c -> ctx_covers c addr ~len) txn.txn_locks with
+    | None -> Error (`Conflict "write range lost its lock")
+    | Some c ->
+      let region = c.ctx_region in
+      let page_size = region.Region.attr.Attr.page_size in
+      let rec per_page = function
+        | [] -> Ok ()
+        | page :: rest -> (
+          let base =
+            match Gaddr.Table.find_opt images page with
+            | Some (_, b) -> Some b
+            | None -> (
+              match Store.read t.store page with
+              | Some b ->
+                let b = Bytes.copy b in
+                Gaddr.Table.replace images page (region, b);
+                order := page :: !order;
+                Some b
+              | None -> None)
+          in
+          match base with
+          | None -> Error (`Unavailable "page missing from local store")
+          | Some b ->
+            let pend = Gaddr.add_int page page_size in
+            let lo = if Gaddr.compare addr page > 0 then addr else page in
+            let wend = Gaddr.add_int addr len in
+            let hi = if Gaddr.compare wend pend < 0 then wend else pend in
+            Bytes.blit data (Gaddr.diff lo addr) b (Gaddr.diff lo page)
+              (Gaddr.diff hi lo);
+            per_page rest)
+      in
+      per_page (Gaddr.pages_in addr ~len ~page_size)
+  in
+  let rec stage_all = function
+    | [] -> Ok ()
+    | w :: rest -> (
+      match stage w with Ok () -> stage_all rest | Error e -> Error e)
+  in
+  match stage_all (List.rev txn.txn_writes) with
+  | Error e -> Error e
+  | Ok () ->
+    Ok
+      (List.rev_map
+         (fun page ->
+           let region, img = Gaddr.Table.find images page in
+           (page, region, img))
+         !order)
+
+let txn_commit t txn =
+  match txn_dead_guard txn with
+  | Some e -> Error e
+  | None ->
+    txn.txn_live <- false;
+    match down_guard t with
+    | Some e ->
+      txn_release_locks t txn;
+      Error e
+    | None when txn.txn_writes = [] ->
+      txn_release_locks t txn;
+      Ok ()
+    | None ->
+      let epoch = t.epoch in
+      let span = span_of t txn.txn_op "daemon.txn_commit" (fun () -> []) in
+      let ctx = Op_ctx.with_span txn.txn_op span in
+      let sp = Op_ctx.span ctx in
+      let gtx = Txid.make ~coord:t.id ~epoch:t.epoch ~seq:t.next_txn_seq in
+      t.next_txn_seq <- t.next_txn_seq + 1;
+      t.txn_last <- Some gtx;
+      let crashed () =
+        txn_release_locks t txn;
+        finish_status t span "crashed";
+        Error (`Unavailable "node crashed")
+      in
+      let aborted remote why =
+        (* Presumed abort: nothing is logged at the coordinator. Tell the
+           participants that may have prepared, best-effort — the ones a
+           lost message misses will resolve through the status query. *)
+        Txid.Table.remove t.txn_active gtx;
+        if Txid.Table.mem t.txn_prepared gtx then
+          participant_decide t ~span:sp gtx false;
+        List.iter
+          (fun dst ->
+            Ksim.Fiber.spawn t.engine ~name:"txn-abort-notify" (fun () ->
+                if alive t epoch then
+                  ignore
+                    (rpc t Op_ctx.background ~policy:Wire.Policy.idempotent
+                       ~dst (Wire.Tx_decide { gtx; commit = false }))))
+          remote;
+        Metrics.incr t.metrics "txn.abort";
+        txn_event t ~span:sp gtx "txn.decide" [ ("commit", "false") ];
+        txn_release_locks t txn;
+        finish_status t span "aborted";
+        Error (`Conflict why)
+      in
+      (match txn_images t txn with
+       | Error e ->
+         txn_release_locks t txn;
+         finish_status t span (error_to_string e);
+         Error e
+       | Ok images ->
+         (* Group by region home; every distinct home is a participant. *)
+         let by_home = Hashtbl.create 4 in
+         List.iter
+           (fun (page, region, img) ->
+             let home = region.Region.home in
+             let prev =
+               Option.value (Hashtbl.find_opt by_home home) ~default:[]
+             in
+             Hashtbl.replace by_home home ((page, img) :: prev))
+           images;
+         let participants =
+           Hashtbl.fold (fun n _ acc -> n :: acc) by_home []
+           |> List.sort compare
+         in
+         let remote = List.filter (fun n -> n <> t.id) participants in
+         let pages_of n = List.rev (Hashtbl.find by_home n) in
+         Txid.Table.replace t.txn_active gtx ();
+         txn_event t ~span:sp gtx "txn.begin"
+           [ ("participants",
+              String.concat "," (List.map string_of_int participants)) ];
+         txn_step t "coord.before_prepare";
+         if not (alive t epoch) then crashed ()
+         else begin
+           (* Phase one: the local leg forces its prepare directly; remote
+              legs go out in parallel under the aggressive-retry policy. *)
+           let local_ok =
+             if Hashtbl.mem by_home t.id then
+               participant_prepare t ~span:sp gtx (pages_of t.id)
+             else true
+           in
+           let votes =
+             remote
+             |> List.map (fun dst ->
+                    ( dst,
+                      Ksim.Fiber.async t.engine ~name:"txn-prepare"
+                        (fun () ->
+                          match
+                            rpc t ctx ~policy:Wire.Policy.idempotent ~dst
+                              (Wire.Tx_prepare { gtx; pages = pages_of dst })
+                          with
+                          | Ok (Wire.R_tx_vote v) -> v
+                          | Ok _ | Error `Timeout -> false) ))
+             |> List.map (fun (dst, p) ->
+                    let v = Ksim.Fiber.await p in
+                    txn_step t "coord.prepare_ack";
+                    (dst, v))
+           in
+           if not (alive t epoch) then crashed ()
+           else if not (local_ok && List.for_all snd votes) then
+             aborted remote
+               "transaction aborted: participant unreachable or voted no"
+           else begin
+             txn_step t "coord.all_acked";
+             if not (alive t epoch) then crashed ()
+             else begin
+               (* The commit point: the decision record is forced into the
+                  coordinator's own WAL, with the participant list so a
+                  recovered coordinator resumes the broadcast. *)
+               Wal.decide t.wal gtx ~commit:true ~participants:remote;
+               Txid.Table.replace t.txn_decided gtx true;
+               Txid.Table.remove t.txn_active gtx;
+               if remote <> [] then
+                 Txid.Table.replace t.txn_decisions gtx remote;
+               Metrics.incr t.metrics "txn.commit";
+               txn_event t ~span:sp gtx "txn.decide" [ ("commit", "true") ];
+               txn_step t "coord.decision_logged";
+               if alive t epoch then begin
+                 (* Apply locally. The prepared local leg installs its
+                    images; then the buffered writes are staged through the
+                    held lock contexts so the release below propagates the
+                    new images through the consistency machinery exactly
+                    like ordinary writes. *)
+                 if Txid.Table.mem t.txn_prepared gtx then
+                   participant_decide t ~span:sp gtx true;
+                 List.iter
+                   (fun (addr, data) ->
+                     match
+                       List.find_opt
+                         (fun c ->
+                           ctx_covers c addr ~len:(Bytes.length data))
+                         txn.txn_locks
+                     with
+                     | Some c -> ignore (write t c ~addr data)
+                     | None -> ())
+                   (List.rev txn.txn_writes);
+                 (* Phase two, fast path: one synchronous push per remote
+                    participant. Whatever stays unacked is re-pushed by the
+                    repair loop until it drains. *)
+                 List.iter
+                   (fun dst ->
+                     txn_step t "coord.decide_send";
+                     if alive t epoch then
+                       match
+                         rpc t ctx ~policy:Wire.Policy.idempotent ~dst
+                           (Wire.Tx_decide { gtx; commit = true })
+                       with
+                       | Ok Wire.R_unit -> txn_ack_decide t gtx dst
+                       | Ok _ | Error `Timeout -> ())
+                   remote;
+                 txn_release_locks t txn
+               end;
+               finish_status t span "committed";
+               (* The decision is durable: the transaction is committed
+                  even if this node crashed mid-broadcast — recovery and
+                  the resolver finish the delivery. *)
+               Ok ()
+             end
+           end
+         end)
+
+(* Periodic 2PC maintenance, run from the repair loop.
+
+   Coordinator half: re-push committed decisions that some participant has
+   not acked (it was down or partitioned during the broadcast).
+
+   Participant half: prepared-but-undecided transactions older than
+   [txn_resolve_after] query the coordinator. "Committed" applies,
+   "aborted" (including "never heard of it" — presumed abort) drops, "in
+   progress" waits for the next pass. *)
+let txn_maintenance t epoch =
+  let now = Ksim.Engine.now t.engine in
+  let pending =
+    Txid.Table.fold (fun g parts acc -> (g, parts) :: acc) t.txn_decisions []
+  in
+  List.iter
+    (fun (gtx, parts) ->
+      List.iter
+        (fun dst ->
+          Ksim.Fiber.spawn t.engine ~name:"txn-rebroadcast" (fun () ->
+              if alive t epoch then
+                match
+                  rpc t Op_ctx.background ~policy:Wire.Policy.idempotent ~dst
+                    (Wire.Tx_decide { gtx; commit = true })
+                with
+                | Ok Wire.R_unit ->
+                  if alive t epoch then txn_ack_decide t gtx dst
+                | Ok _ | Error `Timeout -> ()))
+        parts)
+    pending;
+  let stale =
+    Txid.Table.fold
+      (fun g e acc ->
+        if (not e.p_querying) && now - e.p_since >= t.cfg.txn_resolve_after
+        then (g, e) :: acc
+        else acc)
+      t.txn_prepared []
+  in
+  List.iter
+    (fun (gtx, entry) ->
+      entry.p_querying <- true;
+      Ksim.Fiber.spawn t.engine ~name:"txn-resolve" (fun () ->
+          let answer =
+            if gtx.Txid.coord = t.id then Some (txn_status t gtx)
+            else
+              match
+                rpc t Op_ctx.background ~policy:Wire.Policy.idempotent
+                  ~dst:gtx.Txid.coord (Wire.Tx_status { gtx })
+              with
+              | Ok (Wire.R_tx_status st) -> Some st
+              | Ok _ | Error `Timeout -> None
+          in
+          if alive t epoch then
+            match Txid.Table.find_opt t.txn_prepared gtx with
+            | Some e when e == entry -> (
+              entry.p_querying <- false;
+              entry.p_since <- Ksim.Engine.now t.engine;
+              match answer with
+              | Some Wire.Tx_committed ->
+                Metrics.incr t.metrics "txn.resolve";
+                txn_event t ~span:Trace.null gtx "txn.resolve"
+                  [ ("commit", "true") ];
+                participant_decide t ~span:Trace.null gtx true
+              | Some Wire.Tx_aborted ->
+                Metrics.incr t.metrics "txn.resolve";
+                txn_event t ~span:Trace.null gtx "txn.resolve"
+                  [ ("commit", "false") ];
+                participant_decide t ~span:Trace.null gtx false
+              | Some Wire.Tx_in_progress | None -> ())
+            | Some _ | None -> ()))
+    stale;
+  (* Overdue pins: the coordinator never released its write locks (it died
+     holding them), so the consistency machine still serves the
+     pre-transaction image. Re-write the committed image through a local
+     write lock — the acquisition itself runs the CM's dead-owner
+     fail-over, and the release propagates the image and revokes every
+     stale survivor copy. The pin identity check after the (blocking)
+     acquisition guards the race where the coordinator's own release
+     cleared the pin while we waited. *)
+  let overdue =
+    Gaddr.Table.fold
+      (fun page pin acc ->
+        if (not pin.pin_busy) && now - pin.pin_since >= t.cfg.txn_resolve_after
+        then (page, pin) :: acc
+        else acc)
+      t.txn_pins []
+  in
+  List.iter
+    (fun (page, pin) ->
+      pin.pin_busy <- true;
+      Ksim.Fiber.spawn t.engine ~name:"txn-pin-repair" (fun () ->
+          let pin_current () =
+            match Gaddr.Table.find_opt t.txn_pins page with
+            | Some p -> p == pin
+            | None -> false
+          in
+          match homed_containing t page with
+          | None ->
+            (* Region freed out from under the pin: nothing left to sync. *)
+            if alive t epoch && pin_current () then
+              Gaddr.Table.remove t.txn_pins page
+          | Some region -> (
+            let len = region.Region.attr.Attr.page_size in
+            match lock t ~ctx:Op_ctx.background ~addr:page ~len Ctypes.Write with
+            | Ok c ->
+              if alive t epoch then begin
+                if pin_current () then begin
+                  ignore (write t c ~addr:page pin.pin_img);
+                  Gaddr.Table.remove t.txn_pins page;
+                  Metrics.incr t.metrics "txn.pin.repair"
+                end;
+                unlock t c
+              end
+            | Error _ ->
+              (* Back off: the next maintenance tick retries. *)
+              if alive t epoch && pin_current () then begin
+                pin.pin_busy <- false;
+                pin.pin_since <- Ksim.Engine.now t.engine
+              end)))
+    overdue
+
+(* ------------------------------------------------------------------ *)
 (* Server side                                                         *)
 (* ------------------------------------------------------------------ *)
 
@@ -1444,6 +2051,23 @@ let serve t ~src ~span request ~reply =
            (match Gaddr.Table.find_opt t.machines page with
            | Some slot -> Machine.packed_has_valid_copy slot.packed
            | None -> false))
+    | Wire.Tx_prepare { gtx; pages } ->
+      txn_step t "part.prepare_recv";
+      (* The crash hook may have taken the node down mid-handler; a dead
+         participant sends no vote and the coordinator times out. *)
+      if t.up then begin
+        let vote = participant_prepare t ~span:sspan gtx pages in
+        txn_step t "part.prepared";
+        if t.up then reply (Wire.R_tx_vote vote)
+      end
+    | Wire.Tx_decide { gtx; commit } ->
+      txn_step t "part.decide_recv";
+      if t.up then begin
+        participant_decide t ~span:sspan gtx commit;
+        txn_step t "part.decided";
+        if t.up then reply Wire.R_unit
+      end
+    | Wire.Tx_status { gtx } -> reply (Wire.R_tx_status (txn_status t gtx))
     | Wire.Ping -> reply Wire.R_unit
   end
 
@@ -1677,6 +2301,17 @@ let wal_checkpoint t =
   in
   Codec.list e (fun r -> Region.encode e r) regions;
   Page_directory.encode_persistent t.pdir e;
+  (* Undelivered commit decisions must survive the truncation of their
+     [Decide] records: the snapshot is the coordinator's durable copy. *)
+  let decisions =
+    Txid.Table.fold (fun g parts acc -> (g, parts) :: acc) t.txn_decisions []
+    |> List.sort (fun (a, _) (b, _) -> Txid.compare a b)
+  in
+  Codec.list e
+    (fun (g, parts) ->
+      Txid.encode e g;
+      Codec.list e (fun n -> Codec.u32 e n) parts)
+    decisions;
   Wal.checkpoint t.wal (Codec.to_bytes e);
   Metrics.incr t.metrics "wal.checkpoint"
 
@@ -1688,7 +2323,18 @@ let restore_snapshot t snap =
       Gaddr.Table.replace t.homed r.Region.base r;
       Region_directory.put t.rdir r)
     regions;
-  Page_directory.decode_persistent t.pdir d
+  Page_directory.decode_persistent t.pdir d;
+  let decisions =
+    Codec.read_list d (fun () ->
+        let g = Txid.decode d in
+        let parts = Codec.read_list d (fun () -> Codec.read_u32 d) in
+        (g, parts))
+  in
+  List.iter
+    (fun (g, parts) ->
+      Txid.Table.replace t.txn_decided g true;
+      if parts <> [] then Txid.Table.replace t.txn_decisions g parts)
+    decisions
 
 (* Re-apply one logged metadata note. Notes are plain "set" payloads, so
    applying a replayed prefix twice is the same as once. Unknown tags are
@@ -1718,6 +2364,7 @@ let apply_note t tag data =
     let page = Codec.read_u128 d in
     Store.drop t.store page;
     Page_directory.remove t.pdir page
+  | "txn.forget" -> Txid.Table.remove t.txn_decisions (Txid.decode d)
   | _ -> ()
 
 (* The recovery phase proper: scrub torn disk images, then reconstruct
@@ -1737,6 +2384,15 @@ let wal_replay t =
   (match r.Wal.snapshot with
    | Some snap -> restore_snapshot t snap
    | None -> ());
+  (* Surviving decision records re-arm the decided table before the op
+     stream runs, so that an op-stream [txn.forget] note (logged after its
+     decision) can still clear the broadcast list it refers to. *)
+  List.iter
+    (fun (gtx, commit, parts) ->
+      Txid.Table.replace t.txn_decided gtx commit;
+      if commit && gtx.Kutil.Txid.coord = t.id && parts <> [] then
+        Txid.Table.replace t.txn_decisions gtx parts)
+    r.Wal.decisions;
   List.iter
     (fun op ->
       match op with
@@ -1745,6 +2401,21 @@ let wal_replay t =
         Store.flush_immediate t.store page
       | Wal.Note (tag, data) -> apply_note t tag data)
     r.Wal.ops;
+  (* Prepared-but-undecided transactions come back in limbo: images held
+     out of the store, re-registered for the resolver to settle through a
+     coordinator status query (presumed abort if it knows nothing). The
+     recovery-ending checkpoint below carries their records forward. *)
+  List.iter
+    (fun (gtx, payloads) ->
+      let pages =
+        List.filter_map
+          (function Wal.Page (p, img) -> Some (p, img) | Wal.Note _ -> None)
+          payloads
+      in
+      Txid.Table.replace t.txn_prepared gtx
+        { p_pages = pages; p_since = Ksim.Engine.now t.engine;
+          p_querying = false })
+    r.Wal.in_doubt;
   wal_checkpoint t;
   Metrics.observe t.metrics "recovery.replayed" (float_of_int r.Wal.replayed);
   if r.Wal.discarded > 0 then
@@ -1757,6 +2428,7 @@ let start_repair t =
     Ksim.Fiber.sleep t.cfg.repair_every;
     if t.up && t.epoch = epoch then begin
       repair_pass t;
+      txn_maintenance t epoch;
       if t.up && t.epoch = epoch && Wal.needs_checkpoint t.wal then
         wal_checkpoint t;
       loop ()
@@ -1786,6 +2458,20 @@ let crash t =
      address pool leaks — exactly as unflushed reservations would. *)
   Page_directory.crash t.pdir;
   Gaddr.Table.reset t.homed;
+  (* 2PC state dies too and comes back through replay: prepared entries
+     from surviving [Prepare] records, decisions from the snapshot and
+     surviving [Decide] records. The voting-window table stays empty on
+     purpose — the epoch fence guarantees the pre-crash commit fiber can
+     never log a decision now, so answering "aborted" for its id is sound
+     (presumed abort). *)
+  Txid.Table.reset t.txn_prepared;
+  Txid.Table.reset t.txn_decided;
+  Txid.Table.reset t.txn_decisions;
+  Txid.Table.reset t.txn_active;
+  (* Pins protect live machines from serving pre-transaction images; after
+     a crash the machines are gone and replay rebuilds the store with the
+     committed images, so materialisation reads the right bytes anyway. *)
+  Gaddr.Table.reset t.txn_pins;
   List.iter
     (fun r -> Region_directory.remove t.rdir r.Region.base)
     (Region_directory.entries t.rdir);
@@ -1877,6 +2563,14 @@ let create ?(config = default_config) ?(peer_managers = []) ~id ~bootstrap
       stats =
         { homed_hits = 0; rdir_hits = 0; cluster_hits = 0; map_walks = 0;
           map_walk_depth_total = 0; cluster_walks = 0; failures = 0 };
+      next_txn_seq = 0;
+      txn_prepared = Txid.Table.create 8;
+      txn_decided = Txid.Table.create 16;
+      txn_decisions = Txid.Table.create 8;
+      txn_active = Txid.Table.create 4;
+      txn_pins = Gaddr.Table.create 8;
+      txn_last = None;
+      txn_hook = None;
     }
   in
   Store.set_evict_hook store (fun page data ~dirty -> on_evict t page data ~dirty);

@@ -38,6 +38,9 @@ type config = {
   acquire_window : int;
       (** pages acquired concurrently per wave of a multi-page {!lock}
           (default 16; clamped to ≥ 1, where 1 is fully sequential) *)
+  txn_resolve_after : Ksim.Time.t;
+      (** how long a participant holds a prepared-but-undecided transaction
+          before asking the coordinator for the verdict (default 3 s) *)
 }
 
 val default_config : config
@@ -167,6 +170,68 @@ val set_attr :
   t -> ctx:Ktrace.Op_ctx.t -> Kutil.Gaddr.t -> Attr.t -> (unit, error) result
 (** Update [world] access and [min_replicas] at the region's home. Other
     fields (protocol, page size) are immutable after creation. *)
+
+(** {1 Distributed atomic transactions (2PC over the WAL)}
+
+    A transaction buffers writes under write-intent locks taken through
+    the ordinary {!lock} path (strict 2PL: every range touched is locked
+    at first touch and held to the end). {!txn_commit} computes the new
+    page images, groups them by region home, and runs two-phase commit:
+    each participant home forces the images plus a prepare record through
+    its WAL, then the coordinator forces the commit decision through its
+    own WAL — the commit point — and broadcasts it. Presumed abort: the
+    coordinator logs only commits, and a participant left in doubt by a
+    crash asks the coordinator, treating "no record" as abort. Stale
+    coordinators and participants are fenced by the crash epoch. *)
+
+type txn
+(** A client-side transaction handle; single-fiber, not reusable after
+    {!txn_commit} or {!txn_abort}. *)
+
+val txn_begin : t -> ctx:Ktrace.Op_ctx.t -> txn
+
+val txn_read :
+  t -> txn -> addr:Kutil.Gaddr.t -> len:int -> (bytes, error) result
+(** Read within the transaction, observing its own buffered writes
+    (read-your-writes). Takes the range's write-intent lock at first
+    touch. *)
+
+val txn_write :
+  t -> txn -> addr:Kutil.Gaddr.t -> bytes -> (unit, error) result
+(** Buffer a write. Nothing is visible to any node — including this one,
+    outside the transaction — until commit. *)
+
+val txn_commit : t -> txn -> (unit, error) result
+(** Run two-phase commit over the buffered writes. [Ok ()] means the
+    decision record is durable at the coordinator: the transaction is
+    committed even if delivery to some participant is still in flight
+    (the repair loop finishes it). [Error] means no write is, or ever
+    will be, visible ([`Conflict] for a vote/timeout abort,
+    [`Unavailable] if this node crashed mid-protocol). An empty
+    transaction commits trivially. *)
+
+val txn_abort : t -> txn -> unit
+(** Drop the buffered writes and release the locks. Nothing was staged,
+    so nothing propagates. *)
+
+(** {2 2PC introspection (tests and experiments)} *)
+
+val set_txn_hook : t -> (string -> unit) option -> unit
+(** Install a protocol-step hook. The coordinator fires
+    [coord.before_prepare], [coord.prepare_ack], [coord.all_acked],
+    [coord.decision_logged] and [coord.decide_send] (once per remote
+    participant); a participant fires [part.prepare_recv],
+    [part.prepared], [part.decide_recv] and [part.decided]. The nemesis
+    crashes the node {e inside} the hook to probe every protocol step. *)
+
+val last_txid : t -> Kutil.Txid.t option
+(** The most recent transaction id this node coordinated. *)
+
+val txn_prepared_count : t -> int
+(** Prepared-but-undecided transactions currently held (in-doubt limbo). *)
+
+val txn_undelivered_decisions : t -> int
+(** Commit decisions this coordinator still owes some participant. *)
 
 (** {1 Introspection} *)
 

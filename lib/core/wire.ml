@@ -56,6 +56,22 @@ type request =
           rebuilt its books — which would otherwise count toward the
           replica floor forever. *)
   | Ping
+  | Tx_prepare of { gtx : Kutil.Txid.t; pages : (Gaddr.t * bytes) list }
+      (** 2PC phase one, coordinator -> participant home: force the page
+          images under a prepared WAL transaction and vote. Idempotent: a
+          participant that already prepared or decided [gtx] re-votes yes
+          without re-logging. *)
+  | Tx_decide of { gtx : Kutil.Txid.t; commit : bool }
+      (** 2PC phase two, coordinator -> participant: apply or drop the
+          prepared images. Idempotent: a duplicate decision (or one for an
+          unknown, already-forgotten transaction) acks as a no-op. *)
+  | Tx_status of { gtx : Kutil.Txid.t }
+      (** In-doubt participant -> coordinator: what became of [gtx]?
+          Presumed abort — a coordinator with no record of the decision
+          answers aborted, unless the transaction is still in its voting
+          window. *)
+
+type tx_state = Tx_committed | Tx_aborted | Tx_in_progress
 
 type response =
   | R_unit
@@ -66,6 +82,10 @@ type response =
   | R_chunk of { base : Gaddr.t; len : int }
   | R_lookup of { desc : Region.t option; holders : Knet.Topology.node_id list }
   | R_error of string
+  | R_tx_vote of bool
+      (** Participant's phase-one vote: [true] = prepared, will commit on
+          decision. *)
+  | R_tx_status of tx_state
 
 let addr_size = 16
 let desc_size = 64 (* serialized descriptor estimate *)
@@ -84,6 +104,10 @@ let request_size = function
   | Suspect_hint { suspects; _ } -> 16 + (4 * List.length suspects)
   | Page_pull _ | Page_probe _ -> addr_size + 8
   | Ping -> 8
+  | Tx_prepare { pages; _ } ->
+    20 + List.fold_left (fun a (_, img) -> a + addr_size + Bytes.length img) 0 pages
+  | Tx_decide _ -> 21
+  | Tx_status _ -> 20
 
 let response_size = function
   | R_unit -> 8
@@ -97,6 +121,8 @@ let response_size = function
   | R_page (Some (data, _)) -> 16 + Bytes.length data
   | R_held _ -> 9
   | R_error s -> 8 + String.length s
+  | R_tx_vote _ -> 9
+  | R_tx_status _ -> 9
 
 let request_kind = function
   | Cm_msg { body; _ } -> Ctypes.msg_kind body
@@ -113,6 +139,9 @@ let request_kind = function
   | Page_pull _ -> "page_pull"
   | Page_probe _ -> "page_probe"
   | Ping -> "ping"
+  | Tx_prepare _ -> "tx_prepare"
+  | Tx_decide _ -> "tx_decide"
+  | Tx_status _ -> "tx_status"
 
 (* ---------------- byte codecs ---------------- *)
 
@@ -167,6 +196,21 @@ let encode_request enc req =
     Codec.u8 enc 12;
     Codec.u128 enc page
   | Ping -> Codec.u8 enc 13
+  | Tx_prepare { gtx; pages } ->
+    Codec.u8 enc 14;
+    Kutil.Txid.encode enc gtx;
+    Codec.list enc
+      (fun (page, img) ->
+        Codec.u128 enc page;
+        Codec.bytes enc img)
+      pages
+  | Tx_decide { gtx; commit } ->
+    Codec.u8 enc 15;
+    Kutil.Txid.encode enc gtx;
+    Codec.bool enc commit
+  | Tx_status { gtx } ->
+    Codec.u8 enc 16;
+    Kutil.Txid.encode enc gtx
 
 let decode_request dec =
   match Codec.read_u8 dec with
@@ -197,6 +241,18 @@ let decode_request dec =
   | 11 -> Page_pull { page = Codec.read_u128 dec }
   | 12 -> Page_probe { page = Codec.read_u128 dec }
   | 13 -> Ping
+  | 14 ->
+    let gtx = Kutil.Txid.decode dec in
+    let pages =
+      Codec.read_list dec (fun () ->
+          let page = Codec.read_u128 dec in
+          (page, Codec.read_bytes dec))
+    in
+    Tx_prepare { gtx; pages }
+  | 15 ->
+    let gtx = Kutil.Txid.decode dec in
+    Tx_decide { gtx; commit = Codec.read_bool dec }
+  | 16 -> Tx_status { gtx = Kutil.Txid.decode dec }
   | n -> raise (Codec.Decode_error (Printf.sprintf "Wire.request: tag %d" n))
 
 let encode_response enc resp =
@@ -226,6 +282,13 @@ let encode_response enc resp =
   | R_error s ->
     Codec.u8 enc 6;
     Codec.string enc s
+  | R_tx_vote ok ->
+    Codec.u8 enc 7;
+    Codec.bool enc ok
+  | R_tx_status st ->
+    Codec.u8 enc 8;
+    Codec.u8 enc
+      (match st with Tx_committed -> 0 | Tx_aborted -> 1 | Tx_in_progress -> 2)
 
 let decode_response dec =
   match Codec.read_u8 dec with
@@ -244,6 +307,14 @@ let decode_response dec =
     let desc = Codec.read_option dec (fun () -> Region.decode dec) in
     R_lookup { desc; holders = Codec.read_list dec (fun () -> Codec.read_u32 dec) }
   | 6 -> R_error (Codec.read_string dec)
+  | 7 -> R_tx_vote (Codec.read_bool dec)
+  | 8 ->
+    R_tx_status
+      (match Codec.read_u8 dec with
+      | 0 -> Tx_committed
+      | 1 -> Tx_aborted
+      | 2 -> Tx_in_progress
+      | n -> raise (Codec.Decode_error (Printf.sprintf "Wire.tx_state: %d" n)))
   | n -> raise (Codec.Decode_error (Printf.sprintf "Wire.response: tag %d" n))
 
 (* ---------------- the transport seam, instantiated ----------------

@@ -331,6 +331,80 @@ let write_dirents_locked t ctx inode_addr ino entries =
   let* () = write_file_data t ino ~off:0 raw in
   put_inode_locked t ctx ~addr:inode_addr { ino with isize = Bytes.length raw }
 
+(* ---- transactional variants: all reads and writes go through a
+   [Client.txn] handle, so a multi-directory update commits atomically
+   (or not at all) across the inodes' homes. The handle's write-intent
+   locks double as the mutual-exclusion the [_locked] variants get from
+   [with_inode_locked]. *)
+
+let txn_read_inode t txn addr =
+  let* raw = Client.txn_read t.client txn ~addr ~len:(page_size t) in
+  decode_guard ~what:"inode" (fun () -> decode_inode raw)
+
+let txn_write_inode t txn addr ino =
+  Client.txn_write t.client txn ~addr (pad_inode t ino)
+
+let txn_read_file_data t txn ino ~off ~len =
+  match t.sb.policy with
+  | Contiguous _ -> (
+    match data_addr t ino off with
+    | Some addr -> Client.txn_read t.client txn ~addr ~len
+    | None -> Error (`Corrupt "missing data region"))
+  | Per_block_regions ->
+    let out = Bytes.create len in
+    let rec go off produced =
+      if produced >= len then Ok out
+      else begin
+        let chunk = min (len - produced) (t.block_size - (off mod t.block_size)) in
+        match data_addr t ino off with
+        | None -> Error (`Corrupt "missing block")
+        | Some addr ->
+          let* piece = Client.txn_read t.client txn ~addr ~len:chunk in
+          Bytes.blit piece 0 out produced chunk;
+          go (off + chunk) (produced + chunk)
+      end
+    in
+    go off 0
+
+let txn_write_file_data t txn ino ~off data =
+  match t.sb.policy with
+  | Contiguous _ -> (
+    match data_addr t ino off with
+    | Some addr -> Client.txn_write t.client txn ~addr data
+    | None -> Error (`Corrupt "missing data region"))
+  | Per_block_regions ->
+    let len = Bytes.length data in
+    let rec go off consumed =
+      if consumed >= len then Ok ()
+      else begin
+        let chunk = min (len - consumed) (t.block_size - (off mod t.block_size)) in
+        match data_addr t ino off with
+        | None -> Error (`Corrupt "missing block")
+        | Some addr ->
+          let piece = Bytes.sub data consumed chunk in
+          let* () = Client.txn_write t.client txn ~addr piece in
+          go (off + chunk) (consumed + chunk)
+      end
+    in
+    go off 0
+
+let txn_read_dirents t txn ino =
+  if ino.isize = 0 then Ok []
+  else
+    let* raw = txn_read_file_data t txn ino ~off:0 ~len:ino.isize in
+    decode_guard ~what:"dirents" (fun () -> decode_dirents raw)
+
+(* Block allocation ([ensure_blocks]) is deliberately outside the
+   transaction: region reservation is not transactional, so an abort after
+   growth leaks the fresh block region (benign — same leak as a crash
+   between reserve and use). The entry blob and inode size updates are
+   what must commit atomically, and do. *)
+let txn_write_dirents t txn inode_addr ino entries =
+  let raw = encode_dirents entries in
+  let* ino = ensure_blocks t ~attr:t.sb.default_attr ino ~upto:(Bytes.length raw) in
+  let* () = txn_write_file_data t txn ino ~off:0 raw in
+  txn_write_inode t txn inode_addr { ino with isize = Bytes.length raw }
+
 (* ------------------------------------------------------------------ *)
 (* Paths                                                               *)
 (* ------------------------------------------------------------------ *)
@@ -558,44 +632,51 @@ let unlink t path = remove_entry t path ~want:File
 let rmdir t path = remove_entry t path ~want:Directory
 
 (* Rename moves a directory entry between (possibly distinct) parents.
-   Distinct parents are locked in global-address order to rule out
+   The whole move runs inside one Khazana transaction: the removal from
+   the source directory and the insertion into the destination commit
+   atomically through 2PC across the two inodes' homes, so no observer —
+   and no crash at any protocol step — can see the entry in both
+   directories or in neither. Distinct parents are still touched (and
+   therefore write-intent-locked) in global-address order, ruling out
    deadlock between concurrent renames in opposite directions. *)
 let rename t src dst =
   let* src_dir, src_name = parent_and_name t src in
   let* dst_dir, dst_name = parent_and_name t dst in
   let same = Gaddr.equal src_dir dst_dir in
-  let transfer ctx_src ino_src ctx_dst ino_dst =
-    let* src_entries = read_dirents t ino_src in
-    match List.find_opt (fun e -> e.name = src_name) src_entries with
-    | None -> Error `Not_found
-    | Some entry ->
-      let* dst_entries =
-        if same then Ok src_entries else read_dirents t ino_dst
+  Client.txn t.client (fun txn ->
+      let* ino_src, ino_dst =
+        if same then
+          let* ino = txn_read_inode t txn src_dir in
+          Ok (ino, ino)
+        else if Gaddr.compare src_dir dst_dir <= 0 then
+          let* ino_src = txn_read_inode t txn src_dir in
+          let* ino_dst = txn_read_inode t txn dst_dir in
+          Ok (ino_src, ino_dst)
+        else
+          let* ino_dst = txn_read_inode t txn dst_dir in
+          let* ino_src = txn_read_inode t txn src_dir in
+          Ok (ino_src, ino_dst)
       in
-      if List.exists (fun e -> e.name = dst_name) dst_entries then
-        Error `Exists
-      else if same then
-        write_dirents_locked t ctx_src src_dir
-          ino_src
-          ({ entry with name = dst_name }
-           :: List.filter (fun e -> e.name <> src_name) src_entries)
+      if ino_src.ikind <> Directory || ino_dst.ikind <> Directory then
+        Error `Not_a_directory
       else
-        let* () =
-          write_dirents_locked t ctx_src src_dir ino_src
-            (List.filter (fun e -> e.name <> src_name) src_entries)
-        in
-        write_dirents_locked t ctx_dst dst_dir ino_dst
-          ({ entry with name = dst_name } :: dst_entries)
-  in
-  if same then
-    with_inode_locked t src_dir (fun ctx ino -> transfer ctx ino ctx ino)
-  else begin
-    let first, second =
-      if Gaddr.compare src_dir dst_dir <= 0 then (src_dir, dst_dir)
-      else (dst_dir, src_dir)
-    in
-    with_inode_locked t first (fun ctx1 ino1 ->
-        with_inode_locked t second (fun ctx2 ino2 ->
-            if Gaddr.equal first src_dir then transfer ctx1 ino1 ctx2 ino2
-            else transfer ctx2 ino2 ctx1 ino1))
-  end
+        let* src_entries = txn_read_dirents t txn ino_src in
+        match List.find_opt (fun e -> e.name = src_name) src_entries with
+        | None -> Error `Not_found
+        | Some entry ->
+          let* dst_entries =
+            if same then Ok src_entries else txn_read_dirents t txn ino_dst
+          in
+          if List.exists (fun e -> e.name = dst_name) dst_entries then
+            Error `Exists
+          else if same then
+            txn_write_dirents t txn src_dir ino_src
+              ({ entry with name = dst_name }
+               :: List.filter (fun e -> e.name <> src_name) src_entries)
+          else
+            let* () =
+              txn_write_dirents t txn src_dir ino_src
+                (List.filter (fun e -> e.name <> src_name) src_entries)
+            in
+            txn_write_dirents t txn dst_dir ino_dst
+              ({ entry with name = dst_name } :: dst_entries))

@@ -1,0 +1,32 @@
+(** Global transaction identifiers for distributed atomic commit.
+
+    A transaction is named by the node that coordinates it, the epoch that
+    node was in when it assigned the id, and a per-coordinator sequence
+    number. The epoch component makes ids from before a coordinator crash
+    distinguishable from ids minted after recovery, so a recovered
+    coordinator can never be confused into adopting a predecessor's
+    in-flight transaction as its own (the presumed-abort rules in
+    {!Kstorage.Wal} and the daemon rely on this).
+
+    Lives in [kutil] because both the storage layer (WAL records) and the
+    wire layer (2PC messages) need the type, and [kstorage] sits below the
+    core library. *)
+
+type t = { coord : int;  (** coordinating node id *)
+           epoch : int;  (** coordinator epoch at assignment *)
+           seq : int     (** per-coordinator, per-epoch sequence number *) }
+
+val make : coord:int -> epoch:int -> seq:int -> t
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val to_string : t -> string
+(** ["coord.epoch.seq"], stable — used as a trace attribute so a
+    transaction can be reconstructed from a jsonl sink. *)
+
+val pp : Format.formatter -> t -> unit
+
+val encode : Codec.encoder -> t -> unit
+val decode : Codec.decoder -> t
+
+module Table : Hashtbl.S with type key = t

@@ -15,6 +15,13 @@ let wan =
     backoff = Some { cap = Ksim.Time.sec 16; rng = None };
   }
 
+let idempotent =
+  {
+    timeout = Ksim.Time.ms 300;
+    attempts = 8;
+    backoff = Some { cap = Ksim.Time.sec 2; rng = None };
+  }
+
 let with_timeout ?(attempts = 1) timeout =
   if attempts <= 0 then invalid_arg "Policy.with_timeout: attempts must be positive";
   { timeout; attempts; backoff = None }

@@ -30,6 +30,15 @@ val wan : t
 (** Patient preset for slow or lossy links: 2 s base, four attempts,
     exponential growth capped at 16 s. *)
 
+val idempotent : t
+(** Aggressive-retry preset for messages the receiver treats as
+    idempotent — 2PC prepare/decision traffic above all: 300 ms base,
+    eight attempts, exponential growth capped at 2 s. Safe only when a
+    duplicate delivery is a no-op at the receiver (a participant that has
+    already decided a transaction must ack a re-sent decision without
+    re-applying it); deterministic (no jitter) so simulated fault
+    schedules replay exactly. *)
+
 val with_timeout : ?attempts:int -> Ksim.Time.t -> t
 (** Fixed per-attempt timeout, default one attempt. *)
 

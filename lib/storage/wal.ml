@@ -25,6 +25,8 @@ type body =
   | Commit of int
   | Control of payload
   | Checkpoint of bytes
+  | Prepare of int * Kutil.Txid.t
+  | Decide of Kutil.Txid.t * bool * int list
 
 (* Each record carries the checksum of its encoded body, standing in for the
    on-disk framing a real log would have. A torn record is modelled by
@@ -110,7 +112,16 @@ let encode_body body =
       encode_payload e p
   | Checkpoint snap ->
       Codec.u8 e 4;
-      Codec.bytes e snap);
+      Codec.bytes e snap
+  | Prepare (id, gtx) ->
+      Codec.u8 e 5;
+      Codec.int e id;
+      Kutil.Txid.encode e gtx
+  | Decide (gtx, commit, participants) ->
+      Codec.u8 e 6;
+      Kutil.Txid.encode e gtx;
+      Codec.bool e commit;
+      Codec.list e (Codec.u32 e) participants);
   Codec.to_bytes e
 
 let append t body =
@@ -142,6 +153,20 @@ let commit t tx =
     sync t
   end
 
+let prepare t tx gtx =
+  if live t tx then begin
+    append t (Prepare (tx.id, gtx));
+    sync t
+  end
+
+let decide t ?(sync_ = true) gtx ~commit ~participants =
+  append t (Decide (gtx, commit, participants));
+  if sync_ then sync t
+
+(* Same ?sync shadowing dance as [control]. *)
+let decide t ?(sync = true) gtx ~commit ~participants =
+  decide t ~sync_:sync gtx ~commit ~participants
+
 let control t ?(sync_ = true) tag data =
   append t (Control (Note (tag, Bytes.copy data)));
   if sync_ then sync t
@@ -153,11 +178,56 @@ let needs_checkpoint t = t.since_checkpoint >= t.config.checkpoint_every
 let size t = t.len
 let records_since_checkpoint t = t.since_checkpoint
 
+(* Oldest-first records up to (not including) the first torn one. *)
+let readable_records t =
+  let oldest_first = List.rev t.records in
+  let readable = ref [] in
+  let torn = ref false in
+  List.iter
+    (fun r ->
+      if (not !torn) && Disk_fault.checksum r.image = r.check then
+        readable := r :: !readable
+      else torn := true)
+    oldest_first;
+  (List.rev !readable, List.length oldest_first - List.length !readable)
+
+(* Local tx ids that are prepared under a global transaction whose decision
+   has not been logged yet. Their page images exist nowhere but here — the
+   disk tier only gets them once the decision arrives — so truncation must
+   carry their records over. *)
+let in_doubt_ids readable =
+  let prepared : (int, Kutil.Txid.t) Hashtbl.t = Hashtbl.create 4 in
+  let decided : (Kutil.Txid.t, unit) Hashtbl.t = Hashtbl.create 4 in
+  List.iter
+    (fun r ->
+      match r.body with
+      | Prepare (id, gtx) -> Hashtbl.replace prepared id gtx
+      | Decide (gtx, _, _) -> Hashtbl.replace decided gtx ()
+      | _ -> ())
+    readable;
+  let keep = Hashtbl.create 4 in
+  Hashtbl.iter
+    (fun id gtx -> if not (Hashtbl.mem decided gtx) then Hashtbl.replace keep id ())
+    prepared;
+  keep
+
 let checkpoint t snapshot =
+  let readable, _ = readable_records t in
+  let keep = in_doubt_ids readable in
+  let carried =
+    List.filter
+      (fun r ->
+        match r.body with
+        | Begin id | Data (id, _) | Prepare (id, _) -> Hashtbl.mem keep id
+        | _ -> false)
+      readable
+  in
   t.records <- [];
   t.len <- 0;
   t.synced <- 0;
   append t (Checkpoint (Bytes.copy snapshot));
+  List.iter (fun r -> append t r.body) carried;
+  (* Carried-over records are old news, not post-checkpoint activity. *)
   t.since_checkpoint <- 0;
   t.checkpoint_count <- t.checkpoint_count + 1;
   sync t
@@ -215,37 +285,67 @@ let crash t =
 type replay = {
   snapshot : bytes option;
   ops : payload list;
+  in_doubt : (Kutil.Txid.t * payload list) list;
+  decisions : (Kutil.Txid.t * bool * int list) list;
   replayed : int;
   discarded : int;
 }
 
 let replay t =
-  let oldest_first = List.rev t.records in
-  (* Pass 1: stop at the first torn record, collect committed tx ids. *)
-  let readable = ref [] in
-  let torn = ref false in
-  List.iter
-    (fun r ->
-      if (not !torn) && Disk_fault.checksum r.image = r.check then
-        readable := r :: !readable
-      else torn := true)
-    oldest_first;
-  let readable = List.rev !readable in
+  (* Pass 1: stop at the first torn record; collect committed tx ids,
+     prepared-tx -> global-txid, and logged 2PC decisions. *)
+  let readable, lost = readable_records t in
   let committed = Hashtbl.create 8 in
+  let prepared : (int, Kutil.Txid.t) Hashtbl.t = Hashtbl.create 4 in
+  let decided : (Kutil.Txid.t, bool) Hashtbl.t = Hashtbl.create 4 in
   List.iter
     (fun r ->
       match r.body with
       | Commit id -> Hashtbl.replace committed id ()
+      | Prepare (id, gtx) -> Hashtbl.replace prepared id gtx
+      | Decide (gtx, c, _) -> Hashtbl.replace decided gtx c
       | _ -> ())
     readable;
+  (* Apply a tx if it locally committed, or if it prepared under a global
+     transaction whose commit decision is on record. A prepared tx with no
+     decision is in doubt: its payloads are surfaced separately for the
+     owner to hold until the coordinator answers (presumed abort: a
+     decision that is nowhere on record will resolve to abort). *)
+  let apply_tx id =
+    Hashtbl.mem committed id
+    ||
+    match Hashtbl.find_opt prepared id with
+    | Some gtx -> Hashtbl.find_opt decided gtx = Some true
+    | None -> false
+  in
+  let doubt_tx id =
+    match Hashtbl.find_opt prepared id with
+    | Some gtx -> if Hashtbl.mem decided gtx then None else Some gtx
+    | None -> None
+  in
   (* Pass 2: emit in log order — control records inline, tx payloads
-     buffered and emitted at their commit record, so ordering between a
-     transaction and later control records is the commit point's. *)
+     buffered and emitted at their commit/prepare record, so ordering
+     between a transaction and later control records is the commit
+     point's. *)
   let pending : (int, payload list ref) Hashtbl.t = Hashtbl.create 8 in
   let snapshot = ref None in
   let ops = ref [] in
+  let in_doubt = ref [] in
+  let decisions = ref [] in
   let replayed = ref 0 in
   let discarded = ref 0 in
+  let buffer id p =
+    match Hashtbl.find_opt pending id with
+    | Some buf -> buf := p :: !buf
+    | None -> Hashtbl.replace pending id (ref [ p ])
+  in
+  let flush id =
+    match Hashtbl.find_opt pending id with
+    | Some buf ->
+        ops := !buf @ !ops;
+        Hashtbl.remove pending id
+    | None -> ()
+  in
   List.iter
     (fun r ->
       match r.body with
@@ -256,31 +356,49 @@ let replay t =
           ops := p :: !ops;
           incr replayed
       | Begin id ->
-          if Hashtbl.mem committed id then begin
+          if apply_tx id || doubt_tx id <> None then begin
             Hashtbl.replace pending id (ref []);
             incr replayed
           end
           else incr discarded
       | Data (id, p) ->
-          if Hashtbl.mem committed id then begin
-            (match Hashtbl.find_opt pending id with
-            | Some buf -> buf := p :: !buf
-            | None -> Hashtbl.replace pending id (ref [ p ]));
+          if apply_tx id || doubt_tx id <> None then begin
+            buffer id p;
             incr replayed
           end
           else incr discarded
-      | Commit id -> (
-          match Hashtbl.find_opt pending id with
-          | Some buf ->
-              ops := !buf @ !ops;
-              Hashtbl.remove pending id;
-              incr replayed
-          | None -> incr replayed))
+      | Commit id ->
+          flush id;
+          incr replayed
+      | Prepare (id, _) -> (
+          if apply_tx id then begin
+            flush id;
+            incr replayed
+          end
+          else
+            match doubt_tx id with
+            | Some gtx ->
+                let buf =
+                  match Hashtbl.find_opt pending id with
+                  | Some buf -> List.rev !buf
+                  | None -> []
+                in
+                Hashtbl.remove pending id;
+                in_doubt := (gtx, buf) :: !in_doubt;
+                incr replayed
+            | None ->
+                (* Decision on record says abort. *)
+                Hashtbl.remove pending id;
+                incr discarded)
+      | Decide (gtx, c, participants) ->
+          decisions := (gtx, c, participants) :: !decisions;
+          incr replayed)
     readable;
-  let lost = List.length oldest_first - List.length readable in
   {
     snapshot = !snapshot;
     ops = List.rev !ops;
+    in_doubt = List.rev !in_doubt;
+    decisions = List.rev !decisions;
     replayed = !replayed;
     discarded = !discarded + lost;
   }

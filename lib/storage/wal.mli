@@ -66,6 +66,30 @@ val commit : t -> tx -> unit
     transaction's payloads survive any crash. Committing a transaction
     begun before a crash of this log is a no-op (the intent died). *)
 
+(** {2 Distributed atomic commit}
+
+    A participant in two-phase commit logs its vote by {e preparing} a
+    local transaction under a global {!Kutil.Txid.t} instead of committing
+    it. A prepared transaction is in limbo: replay neither applies nor
+    drops it until a {!decide} record for the same global id appears later
+    in the log (possibly after intervening crashes — prepared-but-
+    undecided transactions survive {!checkpoint} truncation). Presumed
+    abort: only the commit decision is ever required to be on record;
+    a prepared transaction whose coordinator has no decision resolves to
+    abort. *)
+
+val prepare : t -> tx -> Kutil.Txid.t -> unit
+(** Append the prepare record and {!sync} — the participant's vote is
+    durable before it is sent. No-op on a dead (pre-crash) handle. *)
+
+val decide : t -> ?sync:bool -> Kutil.Txid.t -> commit:bool -> participants:int list -> unit
+(** Append the decision for a global transaction. At a coordinator,
+    [participants] lists the nodes still owed the decision (so a recovered
+    coordinator can resume the broadcast); at a participant it is [[]].
+    [sync] defaults to [true] and must be [true] for a commit decision a
+    caller acts on; abort decisions may ride unsynced — losing one merely
+    re-runs presumed-abort resolution. *)
+
 val control : t -> ?sync:bool -> string -> bytes -> unit
 (** Non-transactional note, applied at replay in log order. [sync]
     defaults to [true]; pass [false] for hint-grade records whose loss is
@@ -86,7 +110,10 @@ val checkpoint : t -> bytes -> unit
 (** Truncate the log to a single (synced) checkpoint record carrying the
     caller's snapshot of its persistent state. The caller must first make
     its disk tier durable ({!Page_store.sync}) — a checkpoint asserts
-    "everything the truncated records described is on disk". *)
+    "everything the truncated records described is on disk". Exception:
+    prepared-but-undecided transactions are carried across the truncation
+    verbatim — their images are deliberately {e not} in the disk tier yet,
+    so the log remains their only durable copy until a decision lands. *)
 
 (** {1 Crash and recovery} *)
 
@@ -105,15 +132,26 @@ type payload =
 type replay = {
   snapshot : bytes option;  (** last surviving checkpoint's snapshot *)
   ops : payload list;       (** application order: control + committed tx
-                                payloads, oldest first *)
+                                payloads + prepared payloads whose commit
+                                decision is on record, oldest first *)
+  in_doubt : (Kutil.Txid.t * payload list) list;
+                            (** prepared transactions with no logged
+                                decision, oldest first: held, not applied,
+                                until the coordinator answers *)
+  decisions : (Kutil.Txid.t * bool * int list) list;
+                            (** surviving [Decide] records in log order:
+                                (global id, committed, participants still
+                                owed the decision) *)
   replayed : int;           (** records contributing to [ops] *)
   discarded : int;          (** torn / uncommitted records dropped *)
 }
 
 val replay : t -> replay
 (** Pure: reads the surviving log, verifies record checksums, stops at a
-    torn record, drops transactions without a commit. Calling it twice
-    returns the same value. *)
+    torn record, drops transactions without a commit. Prepared
+    transactions resolve through their global id: decided-commit ones
+    apply with [ops], decided-abort ones drop, undecided ones surface in
+    [in_doubt]. Calling it twice returns the same value. *)
 
 val replay_cost : t -> Ksim.Time.t
 (** Simulated time recovery should charge for replaying the current log. *)

@@ -653,6 +653,379 @@ let test_post_recovery_commits_survive_second_crash () =
         "write committed after the torn-tail recovery survives a second crash"
         "afterlog" (Bytes.to_string b))
 
+(* ------------------- 2PC crash-at-every-step ------------------------- *)
+
+(* Two regions homed at different nodes, a coordinator on a third: the
+   minimal shape where atomic commit is actually distributed. The nemesis
+   kills the coordinator or a participant at a named protocol step (fired
+   from inside the daemon's txn hook), heals everything, and checks the
+   all-or-nothing invariant: both regions read the old value or both read
+   the new one — and an acknowledged commit is never lost. *)
+
+let txn_write_both c txn a b va vb =
+  match Client.txn_write c txn ~addr:a (bytes_s va) with
+  | Error _ as e -> e
+  | Ok () -> Client.txn_write c txn ~addr:b (bytes_s vb)
+
+(* Post-heal reads retried across a few suspicion/repair cycles: the value
+   must settle, and mixed states must never be observable. *)
+let read_settled ?(len = 5) sys node ~addr =
+  let c = System.client sys node () in
+  let rec go k =
+    let r =
+      System.run_fiber ~name:"2pc-read" sys (fun () ->
+          Client.read_bytes c ~addr len)
+    in
+    match r with
+    | Ok b -> Bytes.to_string b
+    | Error _ when k > 0 ->
+      System.run_until_quiet ~limit:(Ksim.Time.sec 3) sys;
+      go (k - 1)
+    | Error e ->
+      Alcotest.failf "region unreadable after heal: %s"
+        (Daemon.error_to_string e)
+  in
+  go 8
+
+let run_2pc_crash ~victim ~step ~nth () =
+  let sys = mk ~seed:(97 + Hashtbl.hash (victim, step, nth) mod 1000) () in
+  let c1 = System.client sys 1 () in
+  let c2 = System.client sys 2 () in
+  let a, b =
+    System.run_fiber sys (fun () ->
+        let ra = ok (Client.create_region c1 4096) in
+        let rb = ok (Client.create_region c2 4096) in
+        ok (Client.write_bytes c1 ~addr:ra.Region.base (bytes_s "old-a"));
+        ok (Client.write_bytes c2 ~addr:rb.Region.base (bytes_s "old-b"));
+        (ra.Region.base, rb.Region.base))
+  in
+  System.run_until_quiet ~limit:(Ksim.Time.sec 2) sys;
+  let d = System.daemon sys victim in
+  let fired = ref 0 in
+  Daemon.set_txn_hook d
+    (Some
+       (fun s ->
+         if s = step then begin
+           incr fired;
+           if !fired = nth then System.crash sys victim
+         end));
+  let c3 = System.client sys 3 () in
+  let outcome =
+    System.run_fiber ~name:"2pc-txn" sys (fun () ->
+        Client.txn c3 (fun txn -> txn_write_both c3 txn a b "new-a" "new-b"))
+  in
+  Daemon.set_txn_hook d None;
+  Alcotest.(check bool)
+    (Printf.sprintf "crash hook at %s fired" step)
+    true (!fired >= nth);
+  (* Heal: recover the victim, drain recovery, resolver and rebroadcast
+     (resolver nag needs txn_resolve_after = 3 s of quiet). *)
+  System.recover sys victim;
+  System.run_until_quiet ~limit:(Ksim.Time.sec 40) sys;
+  let va = read_settled sys 4 ~addr:a in
+  let vb = read_settled sys 4 ~addr:b in
+  (match (va, vb) with
+   | "old-a", "old-b" | "new-a", "new-b" -> ()
+   | _ ->
+     Alcotest.failf "partial transaction visible at %s: a=%S b=%S" step va vb);
+  (match outcome with
+   | Ok () ->
+     (* An acknowledged commit is durable, whatever died afterwards. *)
+     Alcotest.(check string) "acked commit survives (a)" "new-a" va;
+     Alcotest.(check string) "acked commit survives (b)" "new-b" vb
+   | Error (`Conflict _) ->
+     (* A reported abort means nothing ever became visible. *)
+     Alcotest.(check string) "abort left a untouched" "old-a" va;
+     Alcotest.(check string) "abort left b untouched" "old-b" vb
+   | Error (`Unavailable _ | `Timeout) ->
+     (* Crash mid-protocol: indeterminate at the client, but still atomic
+        (checked above). *)
+     ()
+   | Error e ->
+     Alcotest.failf "unexpected txn error: %s" (Daemon.error_to_string e));
+  (* Nobody is left in doubt... *)
+  List.iter
+    (fun n ->
+      Alcotest.(check int)
+        (Printf.sprintf "node %d limbo drained after %s" n step)
+        0
+        (Daemon.txn_prepared_count (System.daemon sys n)))
+    [ 1; 2; 3 ];
+  (* ...and the system still commits fresh transactions. *)
+  let c5 = System.client sys 5 () in
+  let rec follow_up k =
+    let r =
+      System.run_fiber ~name:"2pc-follow-up" sys (fun () ->
+          Client.txn c5 (fun txn -> txn_write_both c5 txn a b "fin-a" "fin-b"))
+    in
+    match r with
+    | Ok () -> ()
+    | Error _ when k > 0 ->
+      System.run_until_quiet ~limit:(Ksim.Time.sec 5) sys;
+      follow_up (k - 1)
+    | Error e ->
+      Alcotest.failf "follow-up txn refused after %s: %s" step
+        (Daemon.error_to_string e)
+  in
+  follow_up 5;
+  System.run_until_quiet ~limit:(Ksim.Time.sec 5) sys;
+  Alcotest.(check string) "follow-up committed (a)" "fin-a"
+    (read_settled sys 4 ~addr:a);
+  Alcotest.(check string) "follow-up committed (b)" "fin-b"
+    (read_settled sys 4 ~addr:b)
+
+(* Coordinator steps: nth picks the occurrence, so prepare_ack 1 is "after
+   the first vote arrives" and decide_send 2 is "mid decision broadcast". *)
+let coord_steps =
+  [ ("coord.before_prepare", 1); ("coord.prepare_ack", 1);
+    ("coord.all_acked", 1); ("coord.decision_logged", 1);
+    ("coord.decide_send", 2) ]
+
+let participant_steps =
+  [ ("part.prepare_recv", 1); ("part.prepared", 1);
+    ("part.decide_recv", 1); ("part.decided", 1) ]
+
+(* A partition during the voting phase: participant 1 unreachable, the
+   prepare times out, the transaction aborts — and nothing is visible. *)
+let test_2pc_partition_during_prepare () =
+  let sys = mk ~seed:131 () in
+  let c1 = System.client sys 1 () in
+  let c2 = System.client sys 2 () in
+  let a, b =
+    System.run_fiber sys (fun () ->
+        let ra = ok (Client.create_region c1 4096) in
+        let rb = ok (Client.create_region c2 4096) in
+        ok (Client.write_bytes c1 ~addr:ra.Region.base (bytes_s "old-a"));
+        ok (Client.write_bytes c2 ~addr:rb.Region.base (bytes_s "old-b"));
+        (ra.Region.base, rb.Region.base))
+  in
+  System.run_until_quiet ~limit:(Ksim.Time.sec 2) sys;
+  let d3 = System.daemon sys 3 in
+  Daemon.set_txn_hook d3
+    (Some
+       (fun s ->
+         if s = "coord.before_prepare" then
+           System.partition sys [ 1 ] [ 0; 2; 3; 4; 5 ]));
+  let c3 = System.client sys 3 () in
+  let outcome =
+    System.run_fiber ~name:"2pc-partition-txn" sys (fun () ->
+        Client.txn c3 (fun txn -> txn_write_both c3 txn a b "new-a" "new-b"))
+  in
+  Daemon.set_txn_hook d3 None;
+  (match outcome with
+   | Error (`Conflict _) -> ()
+   | Ok () -> Alcotest.fail "commit with a participant unreachable"
+   | Error e ->
+     Alcotest.failf "expected vote-timeout abort, got %s"
+       (Daemon.error_to_string e));
+  System.heal sys;
+  System.run_until_quiet ~limit:(Ksim.Time.sec 40) sys;
+  Alcotest.(check string) "a untouched" "old-a" (read_settled sys 4 ~addr:a);
+  Alcotest.(check string) "b untouched" "old-b" (read_settled sys 4 ~addr:b);
+  List.iter
+    (fun n ->
+      Alcotest.(check int)
+        (Printf.sprintf "node %d limbo drained" n)
+        0
+        (Daemon.txn_prepared_count (System.daemon sys n)))
+    [ 1; 2; 3 ]
+
+(* kfs rename rides Client.txn: crash the renaming node at each
+   coordinator step; afterwards exactly one of the two names exists. *)
+let run_kfs_rename_crash ~step () =
+  let sys = mk ~seed:(211 + Hashtbl.hash step mod 500) () in
+  let fs_ok = function
+    | Ok v -> v
+    | Error e -> Alcotest.failf "kfs: %s" (Kfs.Fs.error_to_string e)
+  in
+  let c1 = System.client sys 1 () in
+  let sb =
+    System.run_fiber sys (fun () ->
+        let sb = fs_ok (Kfs.Fs.format c1 ()) in
+        let fs1 = fs_ok (Kfs.Fs.mount c1 sb) in
+        fs_ok (Kfs.Fs.mkdir fs1 "/src");
+        fs_ok (Kfs.Fs.create fs1 "/src/f");
+        fs_ok (Kfs.Fs.write fs1 "/src/f" ~off:0 (bytes_s "payload"));
+        sb)
+  in
+  let c2 = System.client sys 2 () in
+  System.run_fiber sys (fun () ->
+      let fs2 = fs_ok (Kfs.Fs.mount c2 sb) in
+      fs_ok (Kfs.Fs.mkdir fs2 "/dst"));
+  System.run_until_quiet ~limit:(Ksim.Time.sec 2) sys;
+  let d3 = System.daemon sys 3 in
+  Daemon.set_txn_hook d3
+    (Some (fun s -> if s = step then System.crash sys 3));
+  let c3 = System.client sys 3 () in
+  let outcome =
+    System.run_fiber ~name:"2pc-rename" sys (fun () ->
+        let fs3 = fs_ok (Kfs.Fs.mount c3 sb) in
+        Kfs.Fs.rename fs3 "/src/f" "/dst/g")
+  in
+  Daemon.set_txn_hook d3 None;
+  System.recover sys 3;
+  System.run_until_quiet ~limit:(Ksim.Time.sec 40) sys;
+  let c4 = System.client sys 4 () in
+  System.run_fiber sys (fun () ->
+      let fs4 = fs_ok (Kfs.Fs.mount c4 sb) in
+      let at_src = Kfs.Fs.exists fs4 "/src/f" in
+      let at_dst = Kfs.Fs.exists fs4 "/dst/g" in
+      (match (at_src, at_dst) with
+       | true, false | false, true -> ()
+       | true, true ->
+         Alcotest.failf "crash at %s left the file in both directories" step
+       | false, false ->
+         Alcotest.failf "crash at %s lost the file entirely" step);
+      (match outcome with
+       | Ok () ->
+         Alcotest.(check bool)
+           (Printf.sprintf "acked rename durable (%s)" step)
+           true at_dst
+       | Error _ -> ());
+      let path = if at_dst then "/dst/g" else "/src/f" in
+      let data = fs_ok (Kfs.Fs.read fs4 path ~off:0 ~len:7) in
+      Alcotest.(check string) "content intact" "payload"
+        (Bytes.to_string data))
+
+(* ------------------------- 2PC seeded sweep -------------------------- *)
+
+(* Rounds of cross-node transactions (one value fanned out to three
+   regions homed at nodes 1, 2, 3) interleaved with seeded faults: a
+   crash of the coordinator or a participant at a random protocol step,
+   or a partition during voting. After every heal the three regions must
+   agree with each other and be at least as new as the last acknowledged
+   commit. *)
+let run_2pc_nemesis ~seed () =
+  let sys = mk ~seed () in
+  let rng = Kutil.Rng.create ~seed:(0x2bc + (seed * 7919)) in
+  let homes = [ 1; 2; 3 ] in
+  let coord = 4 in
+  let ccoord = System.client sys coord () in
+  let regions =
+    List.map
+      (fun home ->
+        let c = System.client sys home () in
+        let r =
+          System.run_fiber ~name:"2pc-create" sys (fun () ->
+              let attr = Attr.make ~owner:home () in
+              let r = ok (Client.create_region c ~attr 4096) in
+              ok (Client.write_bytes c ~addr:r.Region.base (bytes_s "%init%00"));
+              r)
+        in
+        r.Region.base)
+      homes
+  in
+  System.run_until_quiet ~limit:(Ksim.Time.sec 2) sys;
+  let attempts = Hashtbl.create 32 in
+  Hashtbl.replace attempts "%init%00" 0;
+  let last_acked = ref 0 in
+  let n_attempts = ref 0 in
+  let steps = Array.of_list (List.map fst (coord_steps @ participant_steps)) in
+  let txn_round () =
+    incr n_attempts;
+    let idx = !n_attempts in
+    let v = Printf.sprintf "%08d" idx in
+    Hashtbl.replace attempts v idx;
+    let r =
+      System.run_fiber ~name:"2pc-sweep-txn" sys (fun () ->
+          Client.txn ccoord (fun txn ->
+              List.fold_left
+                (fun acc addr ->
+                  match acc with
+                  | Error _ as e -> e
+                  | Ok () -> Client.txn_write ccoord txn ~addr (bytes_s v))
+                (Ok ()) regions))
+    in
+    (match r with Ok () -> last_acked := idx | Error _ -> ());
+    r
+  in
+  let heal_all () =
+    List.iter
+      (fun n ->
+        if not (Daemon.is_up (System.daemon sys n)) then System.recover sys n)
+      victims;
+    System.heal sys;
+    System.run_until_quiet ~limit:(Ksim.Time.sec 40) sys
+  in
+  let check_invariant round =
+    let values =
+      List.map
+        (fun addr -> read_settled ~len:8 sys 0 ~addr:(Gaddr.add_int addr 0))
+        regions
+    in
+    (match values with
+     | v :: rest when List.for_all (( = ) v) rest -> (
+       match Hashtbl.find_opt attempts v with
+       | None ->
+         Alcotest.failf "round %d: regions hold unwritten value %S" round v
+       | Some idx ->
+         if idx < !last_acked then
+           Alcotest.failf
+             "round %d: settled commit lost (read attempt %d, acked %d)" round
+             idx !last_acked)
+     | values ->
+       Alcotest.failf "round %d: partial transaction visible: %s" round
+         (String.concat " / " values));
+    List.iter
+      (fun n ->
+        Alcotest.(check int)
+          (Printf.sprintf "round %d: node %d limbo drained" round n)
+          0
+          (Daemon.txn_prepared_count (System.daemon sys n)))
+      (0 :: victims)
+  in
+  for round = 1 to 8 do
+    (match Kutil.Rng.int rng 4 with
+     | 0 -> ignore (txn_round ()) (* fault-free round *)
+     | 1 | 2 ->
+       (* Crash the coordinator or a participant at a random step. *)
+       let victim, step =
+         if Kutil.Rng.bool rng then
+           (coord, fst (List.nth coord_steps (Kutil.Rng.int rng 5)))
+         else
+           ( List.nth homes (Kutil.Rng.int rng 3),
+             steps.(5 + Kutil.Rng.int rng 4) )
+       in
+       let d = System.daemon sys victim in
+       Daemon.set_txn_hook d
+         (Some (fun s -> if s = step then System.crash sys victim));
+       ignore (txn_round ());
+       Daemon.set_txn_hook d None
+     | _ ->
+       (* Partition a participant away during voting. *)
+       let cut = List.nth homes (Kutil.Rng.int rng 3) in
+       let d = System.daemon sys coord in
+       Daemon.set_txn_hook d
+         (Some
+            (fun s ->
+              if s = "coord.before_prepare" then
+                System.partition sys [ cut ]
+                  (List.filter (fun n -> n <> cut) (0 :: victims))));
+       ignore (txn_round ());
+       Daemon.set_txn_hook d None);
+    heal_all ();
+    check_invariant round
+  done;
+  (* A final fault-free transaction must land. *)
+  let rec final k =
+    match txn_round () with
+    | Ok () -> ()
+    | Error _ when k > 0 ->
+      System.run_until_quiet ~limit:(Ksim.Time.sec 5) sys;
+      final (k - 1)
+    | Error e ->
+      Alcotest.failf "healed system refused final txn: %s"
+        (Daemon.error_to_string e)
+  in
+  final 5;
+  System.run_until_quiet ~limit:(Ksim.Time.sec 10) sys;
+  check_invariant 99;
+  (* Accounting survived the fault schedule. *)
+  let s = Khazana.Wire.Sim.Net.stats (System.net sys) in
+  if s.sent <> s.delivered + s.dropped + s.in_flight then
+    Alcotest.failf "network accounting leak: sent %d <> %d + %d + %d" s.sent
+      s.delivered s.dropped s.in_flight
+
 let test_determinism () =
   let seed = 1 in
   let a = run_nemesis ~seed () in
@@ -683,6 +1056,10 @@ let seeds = seeds_from_env "NEMESIS_SEEDS" [ 1; 2; 3; 4; 5 ]
 let disk_seeds =
   seeds_from_env "NEMESIS_DISK_SEEDS" [ 6; 7; 8; 9; 10; 11; 12; 13; 14; 15 ]
 
+(* 2PC sweep seeds: CI runs 26..35; the default keeps plain [dune runtest]
+   bounded. *)
+let twopc_seeds = seeds_from_env "NEMESIS_2PC_SEEDS" [ 26; 27 ]
+
 let () =
   Alcotest.run "nemesis"
     [
@@ -704,6 +1081,41 @@ let () =
           Alcotest.test_case "deterministic replay under disk faults" `Slow
             test_disk_fault_determinism;
         ] );
+      ( "2pc directed",
+        List.map
+          (fun (step, nth) ->
+            Alcotest.test_case
+              (Printf.sprintf "coordinator dies at %s" step)
+              `Quick
+              (run_2pc_crash ~victim:3 ~step ~nth))
+          coord_steps
+        @ List.map
+            (fun (step, nth) ->
+              Alcotest.test_case
+                (Printf.sprintf "participant dies at %s" step)
+                `Quick
+                (run_2pc_crash ~victim:1 ~step ~nth))
+            participant_steps
+        @ [
+            Alcotest.test_case "partition during prepare" `Quick
+              test_2pc_partition_during_prepare;
+          ]
+        @ List.map
+            (fun step ->
+              Alcotest.test_case
+                (Printf.sprintf "kfs rename, renamer dies at %s" step)
+                `Quick
+                (run_kfs_rename_crash ~step))
+            [ "coord.before_prepare"; "coord.all_acked";
+              "coord.decision_logged"; "coord.decide_send" ] );
+      ( "2pc sweep",
+        List.map
+          (fun seed ->
+            Alcotest.test_case
+              (Printf.sprintf "seed %d" seed)
+              `Slow
+              (fun () -> run_2pc_nemesis ~seed ()))
+          twopc_seeds );
       ( "sweep",
         List.map
           (fun seed ->
