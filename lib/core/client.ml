@@ -79,6 +79,7 @@ let with_lock t ?ctx ~addr ~len mode f =
    bodies can fail with richer error types (kfs adds its own constructors). *)
 let widen_error : Daemon.error -> [> Daemon.error ] = function
   | `Timeout -> `Timeout
+  | `Unreachable -> `Unreachable
   | `Unavailable s -> `Unavailable s
   | `Access_denied -> `Access_denied
   | `Not_allocated -> `Not_allocated

@@ -550,7 +550,11 @@ let rpc t ctx ?policy ~dst req =
    | Error `Timeout ->
      strike t dst;
      Metrics.incr t.metrics "rpc.timeout";
-     finish_status t span "timeout");
+     finish_status t span "timeout"
+   | Error `Unreachable ->
+     strike t dst;
+     Metrics.incr t.metrics "rpc.unreachable";
+     finish_status t span "unreachable");
   r
 
 (* The map region descriptor is well-known bootstrap state. *)
@@ -712,7 +716,7 @@ let fetch_descriptor t ctx ~addr candidates =
       else begin
         match rpc t ctx ~dst:node (Wire.Get_descriptor { addr }) with
         | Ok (Wire.R_descriptor (Some desc)) -> Some desc
-        | Ok (Wire.R_descriptor None) | Ok _ | Error `Timeout -> try_nodes rest
+        | Ok (Wire.R_descriptor None) | Ok _ | Error (`Timeout | `Unreachable) -> try_nodes rest
       end
   in
   try_nodes (prioritise_live t candidates)
@@ -745,7 +749,7 @@ let rec locate_region_once ?(walk = false) t ctx addr =
             match rpc t ctx ~dst:t.cluster_manager (Wire.Cluster_lookup { addr }) with
             | Ok (Wire.R_lookup { desc = Some desc; _ }) -> Some desc
             | Ok (Wire.R_lookup { desc = None; holders = _ }) -> None
-            | Ok _ | Error `Timeout -> None
+            | Ok _ | Error (`Timeout | `Unreachable) -> None
         in
         match from_cluster with
         | Some desc ->
@@ -809,7 +813,7 @@ and cluster_walk t ctx addr fallback_error =
           Region_directory.put t.rdir desc;
           Ok desc
         | None -> walk rest)
-      | Ok _ | Error `Timeout -> walk rest)
+      | Ok _ | Error (`Timeout | `Unreachable) -> walk rest)
   in
   walk (prioritise_live t t.peer_managers)
 
@@ -891,7 +895,7 @@ let request_chunk t ctx =
     | Ok (Wire.R_chunk { base; len }) ->
       add_chunk_to_pool t base len;
       true
-    | Ok _ | Error `Timeout -> false
+    | Ok _ | Error (`Timeout | `Unreachable) -> false
 
 (* Client-facing entry points refuse while the daemon is down or still in
    its recovery replay window: granting from half-rebuilt state could hand
@@ -996,7 +1000,7 @@ let allocate t ~ctx base =
           Ok ()
         | Ok (Wire.R_error e) -> Error (`Unavailable e)
         | Ok _ -> Error (`Rpc "unexpected response to alloc_region")
-        | Error `Timeout -> Error `Timeout
+        | Error (`Timeout as e) | Error (`Unreachable as e) -> Error e
       end
   in
   (match result with
@@ -1047,7 +1051,7 @@ let free t ~ctx base =
               (Wire.Free_region { base })
           with
           | Ok Wire.R_unit -> true
-          | Ok _ | Error `Timeout -> false)
+          | Ok _ | Error (`Timeout | `Unreachable) -> false)
 
 let unreserve_local t ctx base =
   ignore (free_local t base);
@@ -1074,7 +1078,7 @@ let unreserve t ~ctx base =
               (Wire.Unreserve_region { base })
           with
           | Ok Wire.R_unit -> true
-          | Ok _ | Error `Timeout -> false)
+          | Ok _ | Error (`Timeout | `Unreachable) -> false)
 
 (* Region directories may serve stale attributes; before acting on a
    denial (or an unallocated state), refetch the descriptor from its home
@@ -1090,7 +1094,7 @@ let refresh_descriptor t ctx (region : Region.t) =
     | Ok (Wire.R_descriptor (Some fresh)) ->
       Region_directory.put t.rdir fresh;
       Some fresh
-    | Ok _ | Error `Timeout -> None
+    | Ok _ | Error (`Timeout | `Unreachable) -> None
 
 let lock t ~ctx ~addr ~len mode =
   match down_guard t with
@@ -1361,7 +1365,7 @@ let set_attr t ~ctx base (attr : Attr.t) =
             Ok ()
           | Ok (Wire.R_error e) -> Error (`Unavailable e)
           | Ok _ -> Error (`Rpc "unexpected response to set_attr")
-          | Error `Timeout -> Error `Timeout
+          | Error (`Timeout as e) | Error (`Unreachable as e) -> Error e
       end
   in
   (match result with
@@ -1718,7 +1722,7 @@ let txn_commit t txn =
                               (Wire.Tx_prepare { gtx; pages = pages_of dst })
                           with
                           | Ok (Wire.R_tx_vote v) -> v
-                          | Ok _ | Error `Timeout -> false) ))
+                          | Ok _ | Error (`Timeout | `Unreachable) -> false) ))
              |> List.map (fun (dst, p) ->
                     let v = Ksim.Fiber.await p in
                     txn_step t "coord.prepare_ack";
@@ -1774,7 +1778,7 @@ let txn_commit t txn =
                            (Wire.Tx_decide { gtx; commit = true })
                        with
                        | Ok Wire.R_unit -> txn_ack_decide t gtx dst
-                       | Ok _ | Error `Timeout -> ())
+                       | Ok _ | Error (`Timeout | `Unreachable) -> ())
                    remote;
                  txn_release_locks t txn
                end;
@@ -1813,7 +1817,7 @@ let txn_maintenance t epoch =
                 with
                 | Ok Wire.R_unit ->
                   if alive t epoch then txn_ack_decide t gtx dst
-                | Ok _ | Error `Timeout -> ()))
+                | Ok _ | Error (`Timeout | `Unreachable) -> ()))
         parts)
     pending;
   let stale =
@@ -1836,7 +1840,7 @@ let txn_maintenance t epoch =
                   ~dst:gtx.Txid.coord (Wire.Tx_status { gtx })
               with
               | Ok (Wire.R_tx_status st) -> Some st
-              | Ok _ | Error `Timeout -> None
+              | Ok _ | Error (`Timeout | `Unreachable) -> None
           in
           if alive t epoch then
             match Txid.Table.find_opt t.txn_prepared gtx with
@@ -2312,6 +2316,31 @@ let wal_checkpoint t =
       Txid.encode e g;
       Codec.list e (fun n -> Codec.u32 e n) parts)
     decisions;
+  (* Simulated runs keep the disk tier in process memory, so the snapshot
+     needs no page data — replayed state rebuilds against the surviving
+     Store. A file-backed WAL is the *only* durable thing a real process
+     has: checkpoint truncation would orphan every committed page image
+     already pushed to the (volatile) disk tier, so the snapshot carries
+     the homed committed images too. The list is always present to keep
+     the format uniform; it is empty unless file-backed. *)
+  let images =
+    if Wal.file_backed t.wal then
+      Page_directory.fold
+        (fun page entry acc ->
+          if entry.Page_directory.homed_here then
+            match Store.read_immediate t.store page with
+            | Some data -> (page, data) :: acc
+            | None -> acc
+          else acc)
+        t.pdir []
+      |> List.sort (fun (a, _) (b, _) -> Gaddr.compare a b)
+    else []
+  in
+  Codec.list e
+    (fun (page, data) ->
+      Codec.u128 e page;
+      Codec.bytes e data)
+    images;
   Wal.checkpoint t.wal (Codec.to_bytes e);
   Metrics.incr t.metrics "wal.checkpoint"
 
@@ -2334,7 +2363,18 @@ let restore_snapshot t snap =
     (fun (g, parts) ->
       Txid.Table.replace t.txn_decided g true;
       if parts <> [] then Txid.Table.replace t.txn_decisions g parts)
-    decisions
+    decisions;
+  let images =
+    Codec.read_list d (fun () ->
+        let page = Codec.read_u128 d in
+        let data = Codec.read_bytes d in
+        (page, data))
+  in
+  List.iter
+    (fun (page, data) ->
+      Store.write_immediate t.store page data ~dirty:false;
+      Store.flush_immediate t.store page)
+    images
 
 (* Re-apply one logged metadata note. Notes are plain "set" payloads, so
    applying a replayed prefix twice is the same as once. Unknown tags are
@@ -2508,8 +2548,8 @@ let recover t =
         start_repair t
       end)
 
-let create ?(config = default_config) ?(peer_managers = []) ~id ~bootstrap
-    ~cluster_manager transport =
+let create ?(config = default_config) ?(peer_managers = []) ?wal_file ~id
+    ~bootstrap ~cluster_manager transport =
   let engine = Wire.Transport.engine transport in
   let topology = Wire.Transport.topology transport in
   let store =
@@ -2527,6 +2567,7 @@ let create ?(config = default_config) ?(peer_managers = []) ~id ~bootstrap
       ~rng:(Kutil.Rng.split (Ksim.Engine.rng engine))
       ()
   in
+  (match wal_file with Some path -> Wal.attach_file wal path | None -> ());
   let cm_state =
     if cluster_manager = id then
       Some (Cluster.create ~cluster_id:(Topology.cluster_of topology id))
@@ -2579,6 +2620,23 @@ let create ?(config = default_config) ?(peer_managers = []) ~id ~bootstrap
   Store.set_crash_hook store (fun () -> if t.up then crash t);
   Wire.Transport.set_server transport id (fun ~src ~span req ~reply ->
       serve t ~src ~span req ~reply);
+  (* A file-backed node replays its log before taking traffic: committed
+     state (and in-doubt prepares) from the previous incarnation must be
+     visible to the first request, exactly as simulated recovery orders
+     replay before [t.up]. An empty or fresh file replays to nothing and
+     just writes the initial checkpoint. *)
+  if wal_file <> None then wal_replay t;
   start_reporting t;
   start_repair t;
   t
+
+(* Graceful shutdown for a real process: push dirty homed pages, write the
+   truncating checkpoint (durable in the file-backed WAL), and refuse
+   further service. The caller closes the transport and exits; the next
+   incarnation replays to exactly this state. *)
+let shutdown t =
+  if t.up then begin
+    wal_checkpoint t;
+    t.up <- false;
+    t.epoch <- t.epoch + 1
+  end

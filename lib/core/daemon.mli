@@ -58,6 +58,7 @@ val error_to_string : error -> string
 val create :
   ?config:config ->
   ?peer_managers:Knet.Topology.node_id list ->
+  ?wal_file:string ->
   id:Knet.Topology.node_id ->
   bootstrap:Knet.Topology.node_id ->
   cluster_manager:Knet.Topology.node_id ->
@@ -67,7 +68,20 @@ val create :
     start its periodic reporting fiber. [bootstrap] is the well-known home
     of the address map; [cluster_manager] is this node's manager (possibly
     itself, in which case the manager role is activated). Call
-    {!bootstrap_map} once on the bootstrap node before any operation. *)
+    {!bootstrap_map} once on the bootstrap node before any operation.
+
+    [wal_file] backs the intent log with a real file
+    ({!Kstorage.Wal.attach_file}): an existing log is replayed — committed
+    state reinstalled, in-doubt prepares re-registered for resolution —
+    before the daemon takes its first request, so a killed process
+    restarted on the same file resumes where durability left it.
+    Checkpoint snapshots then also carry homed committed page images,
+    because a real process's disk tier dies with it. *)
+
+val shutdown : t -> unit
+(** Graceful exit for a real process (SIGTERM): flush dirty homed pages,
+    write a truncating WAL checkpoint, stop serving. With [wal_file] the
+    next incarnation replays to exactly this state. *)
 
 val bootstrap_map : t -> unit
 (** Initialise the address map root page. Must run on the bootstrap node. *)

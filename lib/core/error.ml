@@ -1,5 +1,6 @@
 type t =
   [ `Timeout
+  | `Unreachable
   | `Unavailable of string
   | `Access_denied
   | `Not_allocated
@@ -9,6 +10,7 @@ type t =
 
 let to_string : t -> string = function
   | `Timeout -> "timeout"
+  | `Unreachable -> "unreachable"
   | `Unavailable s -> "unavailable: " ^ s
   | `Access_denied -> "access denied"
   | `Not_allocated -> "region not allocated"
@@ -25,6 +27,7 @@ let strip_prefix ~prefix s =
 let of_string s : t option =
   match s with
   | "timeout" -> Some `Timeout
+  | "unreachable" -> Some `Unreachable
   | "access denied" -> Some `Access_denied
   | "region not allocated" -> Some `Not_allocated
   | "bad range" -> Some `Bad_range

@@ -7,6 +7,11 @@
 
 type t =
   [ `Timeout  (** a lock or remote call exhausted its time budget *)
+  | `Unreachable
+    (** the peer is definitively not there right now: on a real transport a
+        refused/reset connection, on the simulated one a send filtered by
+        injected faults. Unlike [`Timeout] (silence), this is positive
+        evidence — retry loops may fail over immediately. *)
   | `Unavailable of string  (** resource unreachable / protocol gave up *)
   | `Access_denied
   | `Not_allocated

@@ -33,6 +33,16 @@ type body =
    replacing [image] with a cut of the encoding; [check] then fails. *)
 type record = { body : body; image : bytes; check : int }
 
+(* Real-file backing: the same record stream framed as [u32 length][image]
+   on an fd. [on_disk] is the length of the oldest-first prefix already
+   written; {!sync} appends the rest and fsyncs, {!checkpoint} rewrites
+   the whole (now tiny) log atomically. *)
+type file = {
+  path : string;
+  mutable fd : Unix.file_descr;
+  mutable on_disk : int;
+}
+
 type stats = {
   appends : int;
   syncs : int;
@@ -58,6 +68,7 @@ type t = {
   mutable checkpoint_count : int;
   mutable torn_count : int;
   mutable lost_count : int;
+  mutable file : file option;
 }
 
 type tx = { id : int; born : int (* generation *) }
@@ -79,6 +90,7 @@ let create ?(config = default_config) ~rng () =
     checkpoint_count = 0;
     torn_count = 0;
     lost_count = 0;
+    file = None;
   }
 
 let set_faults t faults = t.faults <- faults
@@ -124,6 +136,38 @@ let encode_body body =
       Codec.list e (Codec.u32 e) participants);
   Codec.to_bytes e
 
+let decode_payload d =
+  match Codec.read_u8 d with
+  | 0 ->
+      let addr = Codec.read_u128 d in
+      Page (addr, Codec.read_bytes d)
+  | 1 ->
+      let tag = Codec.read_string d in
+      Note (tag, Codec.read_bytes d)
+  | n -> raise (Codec.Decode_error (Printf.sprintf "Wal.payload: tag %d" n))
+
+(* Inverse of {!encode_body}; raises {!Codec.Decode_error} on a mangled
+   image (a torn on-disk record). *)
+let decode_body image =
+  let d = Codec.decoder image in
+  match Codec.read_u8 d with
+  | 0 -> Begin (Codec.read_int d)
+  | 1 ->
+      let id = Codec.read_int d in
+      Data (id, decode_payload d)
+  | 2 -> Commit (Codec.read_int d)
+  | 3 -> Control (decode_payload d)
+  | 4 -> Checkpoint (Codec.read_bytes d)
+  | 5 ->
+      let id = Codec.read_int d in
+      Prepare (id, Kutil.Txid.decode d)
+  | 6 ->
+      let gtx = Kutil.Txid.decode d in
+      let commit = Codec.read_bool d in
+      let participants = Codec.read_list d (fun () -> Codec.read_u32 d) in
+      Decide (gtx, commit, participants)
+  | n -> raise (Codec.Decode_error (Printf.sprintf "Wal.body: tag %d" n))
+
 let append t body =
   let image = encode_body body in
   let r = { body; image; check = Disk_fault.checksum image } in
@@ -132,9 +176,48 @@ let append t body =
   t.since_checkpoint <- t.since_checkpoint + 1;
   t.appends <- t.appends + 1
 
+(* ---------------- real-file backing ---------------- *)
+
+let file_frame r =
+  let n = Bytes.length r.image in
+  let b = Bytes.create (4 + n) in
+  Bytes.set_int32_be b 0 (Int32.of_int n);
+  Bytes.blit r.image 0 b 4 n;
+  b
+
+let write_all fd b =
+  let n = Bytes.length b in
+  let rec go off = if off < n then go (off + Unix.write fd b off (n - off)) in
+  go 0
+
+let file_append_unsynced t f =
+  if f.on_disk < t.len then begin
+    let oldest_first = List.rev t.records in
+    List.iteri
+      (fun i r -> if i >= f.on_disk then write_all f.fd (file_frame r))
+      oldest_first;
+    Unix.fsync f.fd;
+    f.on_disk <- t.len
+  end
+
+(* Checkpoint truncation on a real file: write the whole (now tiny) log to
+   a sibling and rename over — the old log remains the durable copy until
+   the new one is complete, so a crash mid-checkpoint loses nothing. *)
+let file_rewrite t f =
+  let tmp = f.path ^ ".tmp" in
+  let fd = Unix.openfile tmp [ O_WRONLY; O_CREAT; O_TRUNC ] 0o600 in
+  List.iter (fun r -> write_all fd (file_frame r)) (List.rev t.records);
+  Unix.fsync fd;
+  Unix.close fd;
+  Unix.rename tmp f.path;
+  (try Unix.close f.fd with Unix.Unix_error _ -> ());
+  f.fd <- Unix.openfile f.path [ O_WRONLY; O_APPEND ] 0o600;
+  f.on_disk <- t.len
+
 let sync t =
   if t.synced < t.len then t.sync_count <- t.sync_count + 1;
-  t.synced <- t.len
+  t.synced <- t.len;
+  match t.file with Some f -> file_append_unsynced t f | None -> ()
 
 let begin_tx t =
   let id = t.next_tx in
@@ -230,12 +313,15 @@ let checkpoint t snapshot =
   (* Carried-over records are old news, not post-checkpoint activity. *)
   t.since_checkpoint <- 0;
   t.checkpoint_count <- t.checkpoint_count + 1;
+  (match t.file with Some f -> file_rewrite t f | None -> ());
   sync t
 
 let crash t =
   t.generation <- t.generation + 1;
   let unsynced = t.len - t.synced in
-  if unsynced > 0 && Disk_fault.active t.faults then begin
+  (* File-backed logs get their tail loss from the real kill, not the
+     simulated fault model. *)
+  if unsynced > 0 && Disk_fault.active t.faults && t.file = None then begin
     (* Oldest-first unsynced suffix; a sequential log loses a contiguous
        tail, so the first lost record truncates everything after it. *)
     let tail = List.rev (List.filteri (fun i _ -> i < unsynced) t.records) in
@@ -405,6 +491,65 @@ let replay t =
 
 let replay_cost t =
   t.config.replay_open_cost + (t.config.replay_record_cost * t.len)
+
+let file_backed t = t.file <> None
+
+let attach_file t path =
+  if t.file <> None then invalid_arg "Wal.attach_file: already attached";
+  if t.len > 0 then invalid_arg "Wal.attach_file: log not empty";
+  (* Load every complete frame; a torn or garbage tail (the write a kill
+     interrupted) ends the readable log and is truncated away so later
+     appends don't land after junk. *)
+  let valid_bytes = ref 0 in
+  if Sys.file_exists path then begin
+    let ic = open_in_bin path in
+    let size = in_channel_length ic in
+    let data = really_input_string ic size |> Bytes.of_string in
+    close_in ic;
+    let pos = ref 0 in
+    let continue = ref true in
+    let loaded = ref [] in
+    while !continue && !pos + 4 <= size do
+      let n = Int32.to_int (Bytes.get_int32_be data !pos) in
+      if n < 0 || !pos + 4 + n > size then continue := false
+      else begin
+        let image = Bytes.sub data (!pos + 4) n in
+        match decode_body image with
+        | body ->
+            loaded :=
+              { body; image; check = Disk_fault.checksum image } :: !loaded;
+            pos := !pos + 4 + n;
+            valid_bytes := !pos
+        | exception Codec.Decode_error _ -> continue := false
+      end
+    done;
+    (* newest first, like the in-memory log *)
+    t.records <- !loaded;
+    t.len <- List.length !loaded;
+    t.synced <- t.len;
+    let rec after_checkpoint acc = function
+      | [] -> acc
+      | { body = Checkpoint _; _ } :: _ -> acc
+      | _ :: rest -> after_checkpoint (acc + 1) rest
+    in
+    t.since_checkpoint <- after_checkpoint 0 t.records;
+    (* Never re-mint a local tx id that appears in the loaded log. *)
+    List.iter
+      (fun r ->
+        match r.body with
+        | Begin id | Data (id, _) | Commit id | Prepare (id, _) ->
+            if id >= t.next_tx then t.next_tx <- id + 1
+        | Control _ | Checkpoint _ | Decide _ -> ())
+      t.records;
+    if !valid_bytes < size then
+      Log.info (fun m ->
+          m "wal file %s: dropped torn tail (%d of %d bytes readable)" path
+            !valid_bytes size)
+  end;
+  let fd = Unix.openfile path [ O_WRONLY; O_CREAT; O_APPEND ] 0o600 in
+  if Sys.file_exists path && !valid_bytes < (Unix.fstat fd).st_size then
+    Unix.ftruncate fd !valid_bytes;
+  t.file <- Some { path; fd; on_disk = t.len }
 
 let stats t =
   {

@@ -47,6 +47,25 @@ val create : ?config:config -> rng:Kutil.Rng.t -> unit -> t
 val set_faults : t -> Disk_fault.config -> unit
 val faults : t -> Disk_fault.config
 
+(** {1 Real-file backing}
+
+    By default the log lives in process memory and "durability" is an
+    accounting fiction the simulated fault model chews on. A log attached
+    to a file is actually durable: {!sync} appends the unsynced records
+    ([u32 length]-framed body images) and fsyncs, {!checkpoint} rewrites
+    the truncated log via a rename so no crash point loses it, and a
+    SIGKILL's torn tail is dropped (and truncated away) at the next
+    {!attach_file}. Real processes get real crashes, so the simulated
+    {!crash} fault model never truncates a file-backed log. *)
+
+val attach_file : t -> string -> unit
+(** Arm file persistence on a freshly created (empty) log. If [path]
+    exists its records are loaded — ready for {!replay} — and the local
+    tx-id counter advances past every loaded id. Raises [Invalid_argument]
+    if the log already holds records or is already attached. *)
+
+val file_backed : t -> bool
+
 (** {1 Appending} *)
 
 type tx

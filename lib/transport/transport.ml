@@ -59,7 +59,7 @@ module Make (P : PROTOCOL) = struct
       policy:Policy.t ->
       span:int ->
       P.request ->
-      (P.response, [ `Timeout ]) result
+      (P.response, [ `Timeout | `Unreachable ]) result
 
     val notify :
       t ->

@@ -5,16 +5,18 @@
     operations — request/response {!Make.call} with a retry {!Policy},
     one-way {!Make.notify} with optional same-instant coalescing, a server
     handler per node, traffic {!stats}, and failure injection as an
-    {e optional} capability ({!Make.faults} is [None] on real backends,
-    where crashing a peer is not an API call).
+    {e optional} capability ({!Make.faults} is [None] on backends that
+    cannot simulate failures at all).
 
-    Two backends implement the seam:
+    Two backends implement the seam, and both expose {!Make.faults}:
     - {!Transport_sim} — the deterministic simulated network
       ({!Knet.Network} under {!Krpc.Rpc}), every node sharing one virtual
-      clock; supports failure injection.
+      clock; injection edits global network state.
     - {!Transport_unix} — real length-prefixed frames over Unix-domain
       sockets, one endpoint (and one {!Ksim.Engine.t} scheduler, driven
-      against the wall clock) per OS process.
+      against the wall clock) per OS process; injection edits the local
+      endpoint's frame filter, and {e genuine} failures (a dead peer, a
+      refused dial) additionally surface as [`Unreachable] calls.
 
     The scheduling dependency is explicit: every backend exposes the
     {!Ksim.Engine.t} its fibers and timers run on. Under simulation that
@@ -106,7 +108,11 @@ module Make (P : PROTOCOL) : sig
       policy:Policy.t ->
       span:int ->
       P.request ->
-      (P.response, [ `Timeout ]) result
+      (P.response, [ `Timeout | `Unreachable ]) result
+    (** [`Timeout] is silence (every attempt's reply window elapsed);
+        [`Unreachable] is positive evidence the peer is gone right now —
+        the final attempt's send itself failed (dead socket, refused
+        dial, or an injected fault filtered the frame at send time). *)
 
     val notify :
       t ->
@@ -124,7 +130,10 @@ module Make (P : PROTOCOL) : sig
     val pending_calls : t -> int
 
     val faults : t -> Faults.t option
-    (** [None] on backends whose failures are real. *)
+    (** [None] only on backends with no failure injection at all. Real
+        backends interpret the operations as edits to the {e local}
+        endpoint's frame filter; apply them at every endpoint to recover
+        the simulated backend's global semantics. *)
   end
 
   type t = Pack : (module S with type t = 'a) * 'a -> t
@@ -145,7 +154,7 @@ module Make (P : PROTOCOL) : sig
     ?policy:Policy.t ->
     ?span:int ->
     P.request ->
-    (P.response, [ `Timeout ]) result
+    (P.response, [ `Timeout | `Unreachable ]) result
   (** Fiber-blocking request/response under [policy] (default
       {!Policy.default}). *)
 

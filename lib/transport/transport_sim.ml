@@ -10,8 +10,12 @@ module Make (P : Transport.PROTOCOL) = struct
     let topology t = Net.topology (Rpc.net t)
     let set_server = Rpc.set_server
 
+    (* The simulated network never refuses a send — a frame to a crashed or
+       partitioned node leaves and silently dies — so calls here only ever
+       time out; [`Unreachable] is the real backend's row. *)
     let call t ~src ~dst ~policy ~span req =
-      Rpc.call t ~src ~dst ~policy ~span req
+      (Rpc.call t ~src ~dst ~policy ~span req
+        :> (P.response, [ `Timeout | `Unreachable ]) result)
 
     let notify t ~src ~dst ~span ~coalesce req =
       Rpc.notify t ~src ~dst ~span ~coalesce req

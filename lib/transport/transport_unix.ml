@@ -3,7 +3,29 @@ module Policy = Krpc.Policy
 
 let frame_header = 4
 
-type incoming = { in_fd : Unix.file_descr; in_buf : Buffer.t }
+type incoming = {
+  in_fd : Unix.file_descr;
+  in_buf : Buffer.t;
+  mutable in_src : int option;
+      (* learned from the first decoded frame; lets [sever] target the
+         connection a given peer speaks on *)
+}
+
+(* Seeded frame-level fault shim: probabilities roll per frame from a
+   dedicated deterministic stream, so a given seed always mutilates the
+   same frames in the same order. *)
+type frame_faults = { drop : float; duplicate : float; delay : float }
+
+let no_frame_faults = { drop = 0.0; duplicate = 0.0; delay = 0.0 }
+
+(* Re-dial pacing for a peer whose connection died. [ever] distinguishes
+   start-up (peer may simply not have bound yet: wait politely) from a
+   genuine loss (fail fast, back off between dial attempts). *)
+type dial = {
+  d_backoff : Kutil.Backoff.t;
+  mutable d_next : float;  (* wall-clock time before which we won't dial *)
+  mutable d_ever : bool;   (* some connect to this peer has succeeded *)
+}
 
 module Make (W : Transport.WIRE) = struct
   module T = Transport.Make (W)
@@ -39,6 +61,13 @@ module Make (W : Transport.WIRE) = struct
     mutable bytes_sent : int;
     by_kind : (string, int) Hashtbl.t;
     mutable closed : bool;
+    (* injected-fault state; every filter is this endpoint's local view *)
+    mutable frng : Kutil.Rng.t;
+    mutable frame_faults : frame_faults;
+    mutable self_down : bool;
+    peer_down : (int, unit) Hashtbl.t;
+    mutable partitions : (int list * int list) list;
+    dials : (int, dial) Hashtbl.t;
   }
 
   let sock_path dir node =
@@ -146,36 +175,118 @@ module Make (W : Transport.WIRE) = struct
       close_quietly fd
     | None -> ()
 
-  (* Lazily connect to a peer's socket. The peer may not have bound yet
-     (process start is not synchronised), so refused/absent sockets retry
-     briefly; this stalls the pump, which is acceptable exactly once per
-     pair during start-up. *)
-  let connect_deadline = 10.0 (* seconds *)
+  (* Tear down every connection this endpoint shares with [dst]: the
+     cached outgoing socket and any accepted connection whose first frame
+     identified [dst] as the speaker. The next send re-dials. *)
+  let sever t dst =
+    drop_outgoing t dst;
+    t.incoming <-
+      List.filter
+        (fun c ->
+          match c.in_src with
+          | Some s when s = dst ->
+            close_quietly c.in_fd;
+            false
+          | _ -> true)
+        t.incoming
+
+  (* ---------------- injected faults (local view) ---------------- *)
+
+  (* A real process cannot reach into a peer, so fault injection here is
+     each endpoint's local belief: frames to or from a node marked down,
+     or across a declared partition, are discarded at this endpoint's
+     edge. Single-process harnesses apply the same calls to every
+     endpoint and get the simulated backend's global semantics. *)
+
+  let across (l, r) a b =
+    (List.mem a l && List.mem b r) || (List.mem a r && List.mem b l)
+
+  let node_down t n =
+    if n = t.id then t.self_down else Hashtbl.mem t.peer_down n
+
+  let fault_blocked t a b =
+    node_down t a || node_down t b
+    || List.exists (fun p -> across p a b) t.partitions
+
+  let fault_crash t n =
+    if n = t.id then begin
+      t.self_down <- true;
+      (* drop live connections so recovery exercises the re-dial path *)
+      List.iter (fun d -> sever t d)
+        (Hashtbl.fold (fun k _ acc -> k :: acc) t.outgoing [])
+    end
+    else begin
+      Hashtbl.replace t.peer_down n ();
+      sever t n
+    end
+
+  let fault_recover t n =
+    if n = t.id then t.self_down <- false else Hashtbl.remove t.peer_down n
+
+  (* ---------------- dialing ---------------- *)
+
+  (* How long a send will politely block waiting for a peer that has
+     never yet answered (process start is not synchronised). After first
+     contact the wait drops to zero: a dead socket fails fast and re-dial
+     attempts are paced by exponential backoff instead. *)
+  let connect_grace = 10.0 (* seconds *)
+  let dial_backoff_base = Ksim.Time.ms 50
+  let dial_backoff_cap = Ksim.Time.ms 1000
+
+  let dial_state t dst =
+    match Hashtbl.find_opt t.dials dst with
+    | Some d -> d
+    | None ->
+      let d =
+        {
+          d_backoff =
+            Kutil.Backoff.make ~rng:t.frng ~base:dial_backoff_base
+              ~cap:dial_backoff_cap ();
+          d_next = 0.0;
+          d_ever = false;
+        }
+      in
+      Hashtbl.replace t.dials dst d;
+      d
 
   let connect_out t dst =
     match Hashtbl.find_opt t.outgoing dst with
     | Some fd -> Some fd
     | None ->
-      let path = sock_path t.dir dst in
-      let deadline = Unix.gettimeofday () +. connect_deadline in
-      let rec go () =
-        let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-        match Unix.connect fd (Unix.ADDR_UNIX path) with
-        | () ->
-          Hashtbl.replace t.outgoing dst fd;
-          Some fd
-        | exception Unix.Unix_error ((ENOENT | ECONNREFUSED), _, _) ->
-          close_quietly fd;
-          if Unix.gettimeofday () > deadline then None
-          else begin
-            Unix.sleepf 0.02;
-            go ()
-          end
-        | exception Unix.Unix_error _ ->
-          close_quietly fd;
+      let d = dial_state t dst in
+      if Unix.gettimeofday () < d.d_next then None
+      else begin
+        let path = sock_path t.dir dst in
+        let fail () =
+          d.d_next <-
+            Unix.gettimeofday ()
+            +. (float_of_int (Kutil.Backoff.next d.d_backoff) /. 1e9);
           None
-      in
-      go ()
+        in
+        let deadline = Unix.gettimeofday () +. connect_grace in
+        let rec go () =
+          let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+          match Unix.connect fd (Unix.ADDR_UNIX path) with
+          | () ->
+            Hashtbl.replace t.outgoing dst fd;
+            d.d_ever <- true;
+            d.d_next <- 0.0;
+            Kutil.Backoff.reset d.d_backoff;
+            Some fd
+          | exception Unix.Unix_error ((ENOENT | ECONNREFUSED), _, _) ->
+            close_quietly fd;
+            if d.d_ever then fail ()
+            else if Unix.gettimeofday () > deadline then fail ()
+            else begin
+              Unix.sleepf 0.02;
+              go ()
+            end
+          | exception Unix.Unix_error _ ->
+            close_quietly fd;
+            fail ()
+        in
+        go ()
+      end
 
   let write_all fd b =
     let n = Bytes.length b in
@@ -190,24 +301,88 @@ module Make (W : Transport.WIRE) = struct
      a self-message exercises exactly the bytes a remote peer would see. *)
   let local_delay = Ksim.Time.us 5
 
+  (* Push one encoded frame at [dst] right now. [false] means the send
+     itself failed — no connection and the dial was refused, or the write
+     hit a dead socket (peer vanished: evict the cached connection so the
+     next send re-dials). Either way the frame is counted dropped. *)
+  let send_frame t ~dst frame =
+    match connect_out t dst with
+    | None ->
+      t.dropped <- t.dropped + 1;
+      false
+    | Some fd -> (
+      try
+        write_all fd frame;
+        true
+      with Unix.Unix_error _ ->
+        drop_outgoing t dst;
+        t.dropped <- t.dropped + 1;
+        false)
+
+  (* Transmit = encode, roll the fault shim, then hand to the socket (or
+     the local loopback). Returns [false] only on positive evidence the
+     peer is unreachable right now; shim losses return [true] because the
+     frame left this endpoint as far as the caller can tell. *)
   let rec transmit t ~dst msg =
     let frame = encode_msg ~src:t.id msg in
     account_sent t msg frame;
-    if dst = t.id then
-      let payload = Bytes.sub frame frame_header (Bytes.length frame - frame_header) in
-      ignore
-        (Ksim.Engine.schedule t.engine ~after:local_delay (fun () ->
-             match decode_payload payload with
-             | src, msg -> deliver t ~src msg
-             | exception Codec.Decode_error _ -> t.dropped <- t.dropped + 1))
-    else
-      match connect_out t dst with
-      | None -> t.dropped <- t.dropped + 1
-      | Some fd -> (
-        try write_all fd frame
-        with Unix.Unix_error _ ->
-          drop_outgoing t dst;
-          t.dropped <- t.dropped + 1)
+    if fault_blocked t t.id dst then begin
+      t.dropped <- t.dropped + 1;
+      false
+    end
+    else begin
+      let ff = t.frame_faults in
+      if ff.drop > 0.0 && Kutil.Rng.float t.frng 1.0 < ff.drop then begin
+        t.dropped <- t.dropped + 1;
+        true (* silently lost in flight: the caller sees only silence *)
+      end
+      else begin
+        let delay_ns =
+          if ff.delay > 0.0 then
+            int_of_float (Kutil.Rng.float t.frng ff.delay *. 1e9)
+          else 0
+        in
+        let copies =
+          if ff.duplicate > 0.0 && Kutil.Rng.float t.frng 1.0 < ff.duplicate
+          then 2
+          else 1
+        in
+        let push () =
+          if dst = t.id then begin
+            let payload =
+              Bytes.sub frame frame_header (Bytes.length frame - frame_header)
+            in
+            ignore
+              (Ksim.Engine.schedule t.engine ~after:(local_delay + delay_ns)
+                 (fun () -> deliver_payload t payload));
+            true
+          end
+          else if delay_ns > 0 then begin
+            ignore
+              (Ksim.Engine.schedule t.engine ~after:delay_ns (fun () ->
+                   ignore (send_frame t ~dst frame)));
+            true
+          end
+          else send_frame t ~dst frame
+        in
+        let ok = push () in
+        if copies > 1 then begin
+          (* duplicated on the wire: more bytes, same logical message *)
+          t.bytes_sent <- t.bytes_sent + Bytes.length frame;
+          ignore (push ())
+        end;
+        ok
+      end
+    end
+
+  (* Decode and dispatch one received payload, filtering frames whose
+     speaker this endpoint currently believes down or partitioned away. *)
+  and deliver_payload t payload =
+    match decode_payload payload with
+    | src, msg ->
+      if fault_blocked t src t.id then t.dropped <- t.dropped + 1
+      else deliver t ~src msg
+    | exception Codec.Decode_error _ -> t.dropped <- t.dropped + 1
 
   and deliver t ~src msg =
     match msg with
@@ -216,7 +391,9 @@ module Make (W : Transport.WIRE) = struct
       | None -> t.dropped <- t.dropped + 1
       | Some server ->
         t.delivered <- t.delivered + 1;
-        let reply resp = transmit t ~dst:src (Response { call; body = resp }) in
+        let reply resp =
+          ignore (transmit t ~dst:src (Response { call; body = resp }))
+        in
         server ~src ~span body ~reply)
     | Response { call; body } -> (
       t.delivered <- t.delivered + 1;
@@ -246,9 +423,7 @@ module Make (W : Transport.WIRE) = struct
   let dispatch_payload t payload =
     ignore
       (Ksim.Engine.schedule t.engine ~after:0 (fun () ->
-           match decode_payload payload with
-           | src, msg -> deliver t ~src msg
-           | exception Codec.Decode_error _ -> t.dropped <- t.dropped + 1))
+           deliver_payload t payload))
 
   (* ---------------- socket pump ---------------- *)
 
@@ -257,7 +432,9 @@ module Make (W : Transport.WIRE) = struct
       match Unix.accept t.listen_fd with
       | fd, _ ->
         Unix.set_nonblock fd;
-        t.incoming <- { in_fd = fd; in_buf = Buffer.create 4096 } :: t.incoming;
+        t.incoming <-
+          { in_fd = fd; in_buf = Buffer.create 4096; in_src = None }
+          :: t.incoming;
         go ()
       | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) -> ()
       | exception Unix.Unix_error (EINTR, _, _) -> go ()
@@ -287,7 +464,12 @@ module Make (W : Transport.WIRE) = struct
       let n = Int32.to_int (Bytes.get_int32_be data !pos) in
       if n < 0 || !pos + frame_header + n > len then continue := false
       else begin
-        dispatch_payload t (Bytes.sub data (!pos + frame_header) n);
+        let payload = Bytes.sub data (!pos + frame_header) n in
+        (* Every frame begins [u8 tag][u32 src] (see [encode_msg]); peek
+           the src so [sever] can find the connection a peer speaks on. *)
+        if c.in_src = None && n >= 5 then
+          c.in_src <- Some (Int32.to_int (Bytes.get_int32_be payload 1));
+        dispatch_payload t payload;
         pos := !pos + frame_header + n
       end
     done;
@@ -348,14 +530,28 @@ module Make (W : Transport.WIRE) = struct
         t.next_call <- t.next_call + 1;
         let promise = Ksim.Promise.create () in
         Hashtbl.replace t.pending call_id promise;
-        transmit t ~dst (Request { call = call_id; span; body = request });
-        match
-          Ksim.Fiber.await_timeout t.engine promise ~timeout:(attempt_timeout ())
-        with
-        | Some resp -> Ok resp
-        | None ->
+        if not (transmit t ~dst (Request { call = call_id; span; body = request }))
+        then begin
+          (* The send itself failed: dead socket or refused dial. Don't
+             burn a full reply window waiting for an answer that never
+             left — pause briefly (the peer may be rebinding) and retry,
+             or report the positive evidence if attempts are spent. *)
           Hashtbl.remove t.pending call_id;
-          attempt (n - 1)
+          if n = 1 then Error `Unreachable
+          else begin
+            Ksim.Fiber.sleep (min (attempt_timeout ()) (Ksim.Time.ms 100));
+            attempt (n - 1)
+          end
+        end
+        else
+          match
+            Ksim.Fiber.await_timeout t.engine promise
+              ~timeout:(attempt_timeout ())
+          with
+          | Some resp -> Ok resp
+          | None ->
+            Hashtbl.remove t.pending call_id;
+            attempt (n - 1)
       end
     in
     attempt attempts
@@ -367,8 +563,8 @@ module Make (W : Transport.WIRE) = struct
       Hashtbl.remove t.queues dst;
       (match List.rev !q with
        | [] -> ()
-       | [ (span, body) ] -> transmit t ~dst (Oneway { span; body })
-       | items -> transmit t ~dst (Batch { items }))
+       | [ (span, body) ] -> ignore (transmit t ~dst (Oneway { span; body }))
+       | items -> ignore (transmit t ~dst (Batch { items })))
 
   let notify t ~src ~dst ~span ~coalesce request =
     require_local t src "notify";
@@ -380,7 +576,7 @@ module Make (W : Transport.WIRE) = struct
         ignore
           (Ksim.Engine.schedule t.engine ~after:0 (fun () -> flush_queue t ~dst))
     end
-    else transmit t ~dst (Oneway { span; body = request })
+    else ignore (transmit t ~dst (Oneway { span; body = request }))
 
   let set_coalescing t on =
     if not on then
@@ -415,7 +611,31 @@ module Make (W : Transport.WIRE) = struct
     Hashtbl.reset t.by_kind
 
   let pending_calls t = Hashtbl.length t.pending
-  let faults _ = None
+
+  (* Fault injection over real sockets: each operation edits this
+     endpoint's local filter (and severs live connections where the
+     simulated equivalent would kill them), so the conformance suite can
+     drive both backends through one interface. *)
+  let faults t =
+    Some
+      {
+        Transport.Faults.crash = (fun n -> fault_crash t n);
+        recover = (fun n -> fault_recover t n);
+        is_up = (fun n -> not (node_down t n));
+        partition =
+          (fun l r -> t.partitions <- (l, r) :: t.partitions);
+        heal = (fun () -> t.partitions <- []);
+        reachable = (fun a b -> not (fault_blocked t a b));
+      }
+
+  let set_frame_faults t ?seed ?(drop = 0.0) ?(duplicate = 0.0)
+      ?(delay = 0.0) () =
+    (match seed with
+     | Some s -> t.frng <- Kutil.Rng.create ~seed:s
+     | None -> ());
+    t.frame_faults <- { drop; duplicate; delay }
+
+  let clear_frame_faults t = t.frame_faults <- no_frame_faults
 
   module Backend = struct
     type nonrec t = t
@@ -471,6 +691,12 @@ module Make (W : Transport.WIRE) = struct
       bytes_sent = 0;
       by_kind = Hashtbl.create 16;
       closed = false;
+      frng = Kutil.Rng.create ~seed:(seed + (1000 * (id + 1)));
+      frame_faults = no_frame_faults;
+      self_down = false;
+      peer_down = Hashtbl.create 4;
+      partitions = [];
+      dials = Hashtbl.create 8;
     }
 
   (* Drive a fiber to completion against the wall clock, pumping this

@@ -10,8 +10,18 @@
     oneway / batch) mirrors the simulated RPC layer's, so coalescing and
     per-kind accounting behave identically.
 
-    Failure injection is not available ({!Transport.Make.S.faults} returns
-    [None]): on this backend, a crashed peer is a dead socket. *)
+    Two kinds of failure coexist on this backend. {e Genuine} failures —
+    a peer process that died, a refused dial, a dead socket mid-write —
+    surface as evicted connections, [Stats.dropped] frames and
+    [`Unreachable] calls, with re-dials paced by {!Kutil.Backoff}.
+    {e Injected} failures are a deterministic local filter over the frame
+    layer: {!Transport.Make.S.faults} returns [Some _] whose operations
+    edit this endpoint's view (frames to or from a "crashed" node, or
+    across a declared partition, are discarded at this endpoint's edge),
+    and {!Make.set_frame_faults} arms a seeded shim that drops, delays or
+    duplicates individual frames. Single-process harnesses that apply the
+    same fault calls to every endpoint recover the simulated backend's
+    global semantics, so one conformance suite drives both. *)
 
 module Make (W : Transport.WIRE) : sig
   module T : module type of Transport.Make (W)
@@ -25,8 +35,9 @@ module Make (W : Transport.WIRE) : sig
       engine (rng seeded [seed + id], default seed 42). Ignores SIGPIPE
       process-wide: a peer that died mid-write must surface as an error on
       the write, not kill us. Connections to peers open lazily on first
-      send, retrying for a few seconds to tolerate unsynchronised process
-      start-up. *)
+      send; a never-yet-answering peer is awaited for a start-up grace
+      period, while a peer that vanished after first contact fails fast
+      and is re-dialed under exponential backoff. *)
 
   val pack : t -> T.t
   (** View the endpoint through the transport seam. *)
@@ -50,4 +61,37 @@ module Make (W : Transport.WIRE) : sig
 
   val close : t -> unit
   (** Close all sockets and unlink the listening path. Idempotent. *)
+
+  (** {1 Fault injection}
+
+      Deterministic, endpoint-local failure modes for tests and chaos
+      harnesses. Topology-level injection (crash / partition) lives behind
+      the seam's {!Transport.Make.S.faults} capability; the operations
+      below are this backend's extras. *)
+
+  val sever : t -> Knet.Topology.node_id -> unit
+  (** Tear down every live connection shared with the peer — the cached
+      outgoing socket and any accepted connection the peer speaks on — as
+      if the TCP-level link died. Subsequent sends re-dial; the peer is
+      {e not} marked down, so a rebound peer is reached again. *)
+
+  val set_frame_faults :
+    t ->
+    ?seed:int ->
+    ?drop:float ->
+    ?duplicate:float ->
+    ?delay:float ->
+    unit ->
+    unit
+  (** Arm the seeded frame shim: each outgoing frame is independently
+      dropped with probability [drop], duplicated on the wire with
+      probability [duplicate], and delayed uniformly in [[0, delay]]
+      seconds (defaults all zero). [seed] reseeds the shim's private rng
+      so a run's mutilation sequence is reproducible. Shim drops count in
+      [Stats.dropped] but still look like silence to callers ([`Timeout],
+      not [`Unreachable]): the frame left the endpoint as far as the
+      sender can tell. *)
+
+  val clear_frame_faults : t -> unit
+  (** Disarm the shim: back to faithful frame delivery. *)
 end

@@ -215,7 +215,8 @@ let test_op_ctx_deadline () =
    that inverts it. *)
 let test_error_round_trip () =
   let cases : Error.t list =
-    [ `Timeout; `Unavailable "no quorum"; `Access_denied; `Not_allocated;
+    [ `Timeout; `Unreachable; `Unavailable "no quorum"; `Access_denied;
+      `Not_allocated;
       `Bad_range; `Conflict "overlapping reservation"; `Rpc "bad response" ]
   in
   List.iter

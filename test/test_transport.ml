@@ -63,6 +63,11 @@ module type HARNESS = sig
   val timeout : Time.t
   (** A per-attempt timeout comfortably above the backend's delivery
       latency, yet short enough that timeout tests stay quick. *)
+
+  val inject : h -> (Ktransport.Transport.Faults.t -> unit) -> unit
+  (** Apply a fault operation at every vantage that has one: once against
+      the simulated backend's global network, once per endpoint on
+      sockets (where injection is each endpoint's local view). *)
 end
 
 module Sim_harness : HARNESS = struct
@@ -88,9 +93,14 @@ module Sim_harness : HARNESS = struct
 
   let settle h = Ksim.Engine.run h.engine
   let timeout = Time.ms 100
+
+  let inject h f =
+    match T.faults h.transport with
+    | Some fa -> f fa
+    | None -> Alcotest.fail "sim: faults must be available"
 end
 
-module Unix_harness : HARNESS = struct
+module Unix_harness = struct
   let name = "unix"
 
   type h = { dir : string; eps : Sockets.t array }
@@ -129,7 +139,20 @@ module Unix_harness : HARNESS = struct
   (* Generous: delivery is microseconds, but a loaded CI box can stall a
      process for tens of milliseconds between pumps. *)
   let timeout = Time.sec 2
+
+  let inject h f =
+    Array.iter
+      (fun e ->
+        match T.faults (Sockets.pack e) with
+        | Some fa -> f fa
+        | None -> Alcotest.fail "unix: faults must be available")
+      h.eps
 end
+
+(* The functor application below still checks Unix_harness against
+   HARNESS; the module itself stays unsealed so socket-only tests can
+   reach the raw endpoints. *)
+module _ : HARNESS = Unix_harness
 
 module Suite (H : HARNESS) = struct
   let with_h f () =
@@ -149,7 +172,7 @@ module Suite (H : HARNESS) = struct
           T.call (H.transport h ~node:0) ~src:0 ~dst:1 ~policy (Proto.Echo "hi"))
     with
     | Ok (Proto.Echoed s) -> Alcotest.(check string) "echo" "hi" s
-    | Error `Timeout -> Alcotest.fail "unexpected timeout"
+    | Error _ -> Alcotest.fail "call failed"
 
   (* Ten interleaved calls: every reply must land on its own request. *)
   let test_correlation h =
@@ -167,7 +190,7 @@ module Suite (H : HARNESS) = struct
             (fun i p ->
               match Ksim.Fiber.await p with
               | Ok (Proto.Echoed s) -> (i, s)
-              | Error `Timeout -> (i, "<timeout>"))
+              | Error _ -> (i, "<error>"))
             promises)
     in
     Alcotest.(check (list (pair int string)))
@@ -241,6 +264,58 @@ module Suite (H : HARNESS) = struct
     Alcotest.(check bool) "echo kind counted" true
       (List.mem_assoc "echo" s.Ktransport.Transport.by_kind)
 
+  (* Fault injection is a seam capability on both backends now; the exact
+     error differs (sim frames die silently: [`Timeout]; a socket endpoint
+     filters at its own edge and knows: [`Unreachable]) but blocked-then-
+     healed behaviour must agree. *)
+  let fail_policy = Policy.with_timeout ~attempts:2 (Time.ms 200)
+
+  let test_partition_heal h =
+    T.set_server (H.transport h ~node:1) 1 echo_handler;
+    let t0 = H.transport h ~node:0 in
+    H.inject h (fun f -> f.Ktransport.Transport.Faults.partition [ 0 ] [ 1 ]);
+    (match T.faults t0 with
+     | Some f ->
+       Alcotest.(check bool) "reachable sees the cut" false
+         (f.Ktransport.Transport.Faults.reachable 0 1)
+     | None -> Alcotest.fail "faults must be available");
+    (match
+       H.run h ~src:0 (fun () ->
+           T.call t0 ~src:0 ~dst:1 ~policy:fail_policy (Proto.Echo "cut"))
+     with
+     | Error (`Timeout | `Unreachable) -> ()
+     | Ok _ -> Alcotest.fail "call crossed a partition");
+    H.inject h (fun f -> f.Ktransport.Transport.Faults.heal ());
+    match
+      H.run h ~src:0 (fun () ->
+          T.call t0 ~src:0 ~dst:1 ~policy (Proto.Echo "healed"))
+    with
+    | Ok (Proto.Echoed s) -> Alcotest.(check string) "healed" "healed" s
+    | Error _ -> Alcotest.fail "call failed after heal"
+
+  let test_crash_recover h =
+    T.set_server (H.transport h ~node:1) 1 echo_handler;
+    let t0 = H.transport h ~node:0 in
+    H.inject h (fun f -> f.Ktransport.Transport.Faults.crash 1);
+    (match T.faults t0 with
+     | Some f ->
+       Alcotest.(check bool) "is_up sees the crash" false
+         (f.Ktransport.Transport.Faults.is_up 1)
+     | None -> Alcotest.fail "faults must be available");
+    (match
+       H.run h ~src:0 (fun () ->
+           T.call t0 ~src:0 ~dst:1 ~policy:fail_policy (Proto.Echo "down"))
+     with
+     | Error (`Timeout | `Unreachable) -> ()
+     | Ok _ -> Alcotest.fail "call reached a crashed node");
+    H.inject h (fun f -> f.Ktransport.Transport.Faults.recover 1);
+    match
+      H.run h ~src:0 (fun () ->
+          T.call t0 ~src:0 ~dst:1 ~policy (Proto.Echo "back"))
+    with
+    | Ok (Proto.Echoed s) -> Alcotest.(check string) "recovered" "back" s
+    | Error _ -> Alcotest.fail "call failed after recovery"
+
   let cases =
     [
       Alcotest.test_case "call/response" `Quick (with_h test_call_response);
@@ -249,15 +324,145 @@ module Suite (H : HARNESS) = struct
       Alcotest.test_case "oneway" `Quick (with_h test_oneway);
       Alcotest.test_case "batch dispatch" `Quick (with_h test_batch_dispatch);
       Alcotest.test_case "stats accounting" `Quick (with_h test_stats_accounting);
+      Alcotest.test_case "partition/heal" `Quick (with_h test_partition_heal);
+      Alcotest.test_case "crash/recover" `Quick (with_h test_crash_recover);
     ]
 end
 
 module Sim_suite = Suite (Sim_harness)
 module Unix_suite = Suite (Unix_harness)
 
+(* Socket-only behaviours: genuine peer loss (not injected — the process
+   at the far end is really gone) and the seeded frame shim. These reach
+   the raw endpoints, so they live outside the backend-generic suite. *)
+module Unix_only = struct
+  module H = Unix_harness
+
+  let with_h f () =
+    let h = H.setup () in
+    Fun.protect ~finally:(fun () -> H.teardown h) (fun () -> f h)
+
+  let policy = Policy.with_timeout H.timeout
+  let echo_handler ~src:_ ~span:_ req ~reply =
+    match req with
+    | Proto.Echo s -> reply (Proto.Echoed s)
+    | Proto.Silent -> ()
+
+  let set_server_raw ep h = T.set_server (Sockets.pack ep) (Sockets.id ep) h
+
+  let call_ok h msg =
+    match
+      H.run h ~src:0 (fun () ->
+          T.call (H.transport h ~node:0) ~src:0 ~dst:1 ~policy
+            (Proto.Echo msg))
+    with
+    | Ok (Proto.Echoed s) -> Alcotest.(check string) "echo" msg s
+    | Error `Timeout -> Alcotest.fail "unexpected timeout"
+    | Error `Unreachable -> Alcotest.fail "unexpected unreachable"
+
+  (* Satellite regression: a peer that vanished must read as positive
+     evidence ([`Unreachable], counted dropped), the dead cached
+     connection must be evicted, and a rebind of the same id must make
+     the pair whole again without restarting the caller. *)
+  let test_peer_vanished_then_rebind h =
+    set_server_raw h.H.eps.(1) echo_handler;
+    call_ok h "before";
+    let d0 = (T.stats (H.transport h ~node:0)).Ktransport.Transport.dropped in
+    Sockets.close h.H.eps.(1);
+    (* the peer is gone: drive node 0 alone (a closed endpoint can't pump) *)
+    (match
+       Sockets.run_fiber h.H.eps.(0) (fun () ->
+           T.call (H.transport h ~node:0) ~src:0 ~dst:1
+             ~policy:(Policy.with_timeout ~attempts:2 (Time.ms 200))
+             (Proto.Echo "void"))
+     with
+     | Error `Unreachable -> ()
+     | Error `Timeout -> Alcotest.fail "dead peer must be unreachable, not silent"
+     | Ok _ -> Alcotest.fail "call reached a closed endpoint");
+    let d1 = (T.stats (H.transport h ~node:0)).Ktransport.Transport.dropped in
+    Alcotest.(check bool) "frames to the dead peer counted dropped" true
+      (d1 > d0);
+    (* Same id, same socket path: the peer is back. The caller's re-dial
+       is backoff-gated, so allow the default several attempts. *)
+    h.H.eps.(1) <-
+      Sockets.create ~dir:h.H.dir ~id:1
+        (Topology.symmetric ~nodes_per_cluster:2 ~clusters:1);
+    set_server_raw h.H.eps.(1) echo_handler;
+    match
+      H.run h ~src:0 (fun () ->
+          T.call (H.transport h ~node:0) ~src:0 ~dst:1
+            ~policy:(Policy.with_timeout ~attempts:8 (Time.ms 500))
+            (Proto.Echo "rebound"))
+    with
+    | Ok (Proto.Echoed s) -> Alcotest.(check string) "rebound" "rebound" s
+    | Error _ -> Alcotest.fail "call failed after peer rebind"
+
+  (* [sever] alone (connections torn, peer alive) must heal on the next
+     send: re-dial, not a permanent EPIPE. *)
+  let test_sever_reconnects h =
+    set_server_raw h.H.eps.(1) echo_handler;
+    call_ok h "first";
+    Sockets.sever h.H.eps.(0) 1;
+    Sockets.sever h.H.eps.(1) 0;
+    call_ok h "second"
+
+  (* drop = 1.0: every request frame dies in flight. That is silence
+     ([`Timeout]), not positive evidence, and it counts in [dropped]. *)
+  let test_frame_drop h =
+    set_server_raw h.H.eps.(1) echo_handler;
+    Sockets.set_frame_faults h.H.eps.(0) ~seed:11 ~drop:1.0 ();
+    let d0 = (T.stats (H.transport h ~node:0)).Ktransport.Transport.dropped in
+    (match
+       H.run h ~src:0 (fun () ->
+           T.call (H.transport h ~node:0) ~src:0 ~dst:1
+             ~policy:(Policy.with_timeout ~attempts:2 (Time.ms 150))
+             (Proto.Echo "lost"))
+     with
+     | Error `Timeout -> ()
+     | Error `Unreachable ->
+       Alcotest.fail "shim loss must look like silence, not refusal"
+     | Ok _ -> Alcotest.fail "dropped frame was delivered");
+    let d1 = (T.stats (H.transport h ~node:0)).Ktransport.Transport.dropped in
+    Alcotest.(check int) "both attempts' frames counted dropped" (d0 + 2) d1;
+    Sockets.clear_frame_faults h.H.eps.(0);
+    call_ok h "clear"
+
+  (* duplicate = 1.0 on a oneway: the frame rides the wire twice and the
+     handler runs twice — exactly the duplication [Policy.idempotent]
+     exists to tolerate. *)
+  let test_frame_duplicate h =
+    let got = ref 0 in
+    set_server_raw h.H.eps.(1)
+      (fun ~src:_ ~span:_ req ~reply:_ ->
+        match req with Proto.Echo _ -> incr got | Proto.Silent -> ());
+    Sockets.set_frame_faults h.H.eps.(0) ~seed:12 ~duplicate:1.0 ();
+    T.notify (H.transport h ~node:0) ~src:0 ~dst:1 (Proto.Echo "twice");
+    H.settle h;
+    Alcotest.(check int) "handler ran once per wire copy" 2 !got
+
+  (* delay > 0 routes sends through the deferred path; the frame must
+     still arrive. *)
+  let test_frame_delay h =
+    set_server_raw h.H.eps.(1) echo_handler;
+    Sockets.set_frame_faults h.H.eps.(0) ~seed:13 ~delay:0.05 ();
+    Sockets.set_frame_faults h.H.eps.(1) ~seed:14 ~delay:0.05 ();
+    call_ok h "late"
+
+  let cases =
+    [
+      Alcotest.test_case "peer vanished, then rebind" `Quick
+        (with_h test_peer_vanished_then_rebind);
+      Alcotest.test_case "sever reconnects" `Quick (with_h test_sever_reconnects);
+      Alcotest.test_case "frame drop" `Quick (with_h test_frame_drop);
+      Alcotest.test_case "frame duplicate" `Quick (with_h test_frame_duplicate);
+      Alcotest.test_case "frame delay" `Quick (with_h test_frame_delay);
+    ]
+end
+
 let () =
   Alcotest.run "ktransport"
     [
       ("conformance:" ^ Sim_harness.name, Sim_suite.cases);
       ("conformance:" ^ Unix_harness.name, Unix_suite.cases);
+      ("sockets", Unix_only.cases);
     ]
