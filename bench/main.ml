@@ -16,6 +16,7 @@ let experiments =
     ("e9", "object placement & false sharing", E9_objects.run);
     ("e10", "release-class background retry", E10_release_ops.run);
     ("e12", "2PC commit latency vs participants", E12_txn.run);
+    ("e13", "history checker overhead", E13_check.run);
     ("ablations", "design-knob ablations (hints, timeouts, fs instances)", Ablations.run);
     ("micro", "wall-clock microbenchmarks", Micro.run);
   ]

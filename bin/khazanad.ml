@@ -299,6 +299,34 @@ let zoff = 1024
 let zfill = Bytes.make payload 'Z'
 let indoubt_exit = 40
 
+module History = Kcheck.History
+
+(* Every chaos process records its client operations into a jsonl shard
+   ([hist-<proc>.jsonl]): invoke and return entries flushed per line, so a
+   SIGKILL costs at most a torn final line — whose orphaned invoke then
+   assembles as an ambiguous ("maybe applied") event. The supervisor
+   concatenates the shards once the fleet has exited and rejects the run
+   unless the merged history is linearizable per address and the
+   transactions serialize. Shard timestamps are wall-clock nanoseconds:
+   every process reads the same host clock, which is the real-time order
+   the checker needs. Process ids must be unique per incarnation, so the
+   victim's generation [gen] records as proc [1 + 100 * gen]. *)
+let wall_ns () = Int64.to_int (Int64.of_float (Unix.gettimeofday () *. 1e9))
+
+let attach_history ~dir ~proc client =
+  let path = dir / Printf.sprintf "hist-%d.jsonl" proc in
+  let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+  Client.set_history client
+    (Some (History.recorder ~now:wall_ns ~proc (History.jsonl_sink oc)))
+
+(* Chaos runs mutilate the real wire as well as the processes: a seeded
+   shim drops and duplicates outgoing frames and jitters their departure.
+   The RPC retry ladder absorbs the damage; the history checker owns the
+   verdict on what it may not do. *)
+let arm_chaos_faults ~id ep =
+  Sockets.set_frame_faults ep ~seed:(0xfaf + id) ~drop:0.02 ~duplicate:0.02
+    ~delay:0.002 ()
+
 (* SIGTERM means graceful shutdown: the serve loops poll this flag and
    exit through [Daemon.shutdown] (WAL checkpoint) + [Sockets.close]. *)
 let arm_sigterm () =
@@ -339,8 +367,10 @@ let graceful_exit ep daemon =
 let run_chaos_manager ~dir ~deadline topology =
   let ep, daemon = make_daemon ~wal_file:(dir / "wal-0") ~dir ~id:0 topology in
   let term = arm_sigterm () in
+  arm_chaos_faults ~id:0 ep;
   Sockets.run_fiber ep ~name:"bootstrap" (fun () -> Daemon.bootstrap_map daemon);
   let client = Client.connect daemon ~principal:0 in
+  attach_history ~dir ~proc:0 client;
   let region =
     Sockets.run_fiber ep ~name:"create-region" (fun () ->
         ok (Client.create_region client region_len))
@@ -421,7 +451,9 @@ let run_chaos_victim ~dir ~gen ~expect_indoubt ~deadline topology =
     make_daemon ~wal_file:(dir / "wal-1") ~dir ~id:1 topology
   in
   let term = arm_sigterm () in
+  arm_chaos_faults ~id:(1 + (7 * gen)) ep;
   let client = Client.connect daemon ~principal:1 in
+  attach_history ~dir ~proc:(1 + (100 * gen)) client;
   let settled_path = dir / "settled-1" in
   let settled () =
     if Sys.file_exists settled_path then
@@ -474,7 +506,12 @@ let run_chaos_victim ~dir ~gen ~expect_indoubt ~deadline topology =
           seq_of_payload b <> None)
     in
     (match seq_of_payload b with
-    | Some s when s >= floor -> seq := s
+    | Some s when s >= floor ->
+        (* Jump past every value an earlier incarnation may have written
+           (including unacknowledged writes that landed anyway): the
+           history checker matches reads to writes by value, so each
+           write of the run must carry a distinct payload. *)
+        seq := max s (gen * 1_000_000)
     | Some s ->
         fail "victim gen %d: replay lost settled writes (page seq %d < settled %d)"
           gen s floor
@@ -500,7 +537,11 @@ let run_chaos_victim ~dir ~gen ~expect_indoubt ~deadline topology =
          with Unix.Unix_error (Unix.EINTR, _, _) -> None)
       with
       | Some (Ok ()) -> write_file_atomic settled_path (string_of_int !seq)
-      | Some (Error _) | None -> decr seq (* pinned or interrupted: retry *)
+      | Some (Error _) | None ->
+          (* Failed or interrupted: leave [seq] consumed. The write may
+             have landed anyway (it is ambiguous in the history), so the
+             number must never be written again with a fresh meaning. *)
+          ()
     end
   done;
   graceful_exit ep daemon
@@ -514,7 +555,9 @@ let run_chaos_observer ~dir ~id ~deadline topology =
     make_daemon ~wal_file:(dir / Printf.sprintf "wal-%d" id) ~dir ~id topology
   in
   let term = arm_sigterm () in
+  arm_chaos_faults ~id ep;
   let client = Client.connect daemon ~principal:id in
+  attach_history ~dir ~proc:id client;
   let validated = ref false in
   while not (!term || Sys.file_exists (dir / "stop")) do
     pump_quiet ep;
@@ -706,7 +749,30 @@ let run_chaos ~nodes ~seed ~rounds ~budget =
       wait_exit pid ~label:"observer" ~expect:(exited 0) ~desc:"clean exit 0")
     observers;
   wait_exit !victim ~label:"victim" ~expect:(exited 0) ~desc:"clean exit 0";
+  (* Every process has exited: merge the per-process history shards and
+     run the linearizability / serializability checkers over the whole
+     run. Region pages start zero-filled, so reads that beat the first
+     write legitimately observe zeros. *)
+  let shards =
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f ->
+           String.length f >= 5
+           && String.sub f 0 5 = "hist-"
+           && Filename.check_suffix f ".jsonl")
+    |> List.sort compare
+  in
+  let entries = List.concat_map (fun f -> History.read_jsonl (dir / f)) shards in
+  let events = History.assemble entries in
+  let report =
+    Kcheck.Check.analyze ~init:(fun _ -> String.make payload '\000') events
+  in
+  if not (Kcheck.Check.passed report) then begin
+    Format.eprintf "%a@." Kcheck.Check.pp report;
+    bail "history check failed: %s" (Kcheck.Check.summary report)
+  end;
   rm_rf dir;
+  Printf.printf "chaos: %d shards, %s\n" (List.length shards)
+    (Kcheck.Check.summary report);
   Printf.printf
     "ok: chaos run survived — %d settled writes floor, reads saw seq %d/%d, \
      %d restarts (1 in-doubt, %d rounds), every exit clean\n"

@@ -1,0 +1,232 @@
+(* Glue: project an assembled history into per-address register
+   histories (linearizability) and a transaction set (serializability),
+   run both checkers, and render verdicts with minimized
+   counterexamples.
+
+   Projection rules, per event status:
+
+     plain read   Ok    -> required R (observed value)
+                  Fail/Maybe -> dropped (observed nothing provable)
+     plain write  Ok    -> required W
+                  Fail  -> dropped
+                  Maybe -> skippable W, return = infinity (a timed-out
+                           write may land arbitrarily late)
+     txn          Ok    -> per address: RW (external read -> final
+                           write), or W, or R; all required, spanning
+                           the txn's [invoke, return]. Reads that
+                           observed the txn's own earlier buffered
+                           write are internal and excluded.
+                  Fail  -> external reads become required R ops bounded
+                           by their Tread timestamp (they observed
+                           committed state through a real lock); writes
+                           dropped.
+                  Maybe -> reads as for Fail; writes become skippable
+                           W with return = infinity.
+
+   The serializability graph gets committed txns, maybe txns (promoted
+   inside Serial.check when their writes are observed), and every plain
+   op as a singleton txn so cross-address cycles through plain ops are
+   caught too. Failed txns are excluded: their reads are only
+   individually (per-address) constrained. *)
+
+type addr = Kutil.Gaddr.t
+
+module Atbl = Kutil.Gaddr.Table
+
+type report = {
+  registers : (addr * Register.op list * Register.verdict) list;
+      (** one entry per address, verdict plus the projected history *)
+  serial : Serial.verdict;
+  repeatable_read : string list;
+      (** committed txns whose external reads of one address disagree *)
+  events : int;
+  init : addr -> string;
+}
+
+(* Split a committed/maybe txn's sub-entries into external reads (first
+   observation per address before any own write) and final writes (last
+   value per address), flagging repeatable-read disagreements. *)
+let split_txn ~reads ~writes =
+  let first_write_at = Atbl.create 8 in
+  List.iter
+    (fun (a, _, at) ->
+      match Atbl.find_opt first_write_at a with
+      | Some t when t <= at -> ()
+      | _ -> Atbl.replace first_write_at a at)
+    writes;
+  let external_reads = Atbl.create 8 in
+  let disagreements = ref [] in
+  List.iter
+    (fun (a, v, at) ->
+      let internal =
+        match Atbl.find_opt first_write_at a with
+        | Some wat -> wat <= at (* observed own buffered write *)
+        | None -> false
+      in
+      if not internal then
+        match Atbl.find_opt external_reads a with
+        | None -> Atbl.replace external_reads a (v, at)
+        | Some (v0, _) ->
+            if not (String.equal v v0) then disagreements := a :: !disagreements)
+    reads;
+  let last_writes = Atbl.create 8 in
+  List.iter (fun (a, v, _) -> Atbl.replace last_writes a v) writes;
+  (external_reads, last_writes, !disagreements)
+
+let analyze ?(init = fun _ -> "") ?budget events =
+  let per_addr : (Register.op list ref) Atbl.t = Atbl.create 64 in
+  let reg_push a op =
+    match Atbl.find_opt per_addr a with
+    | Some l -> l := op :: !l
+    | None -> Atbl.replace per_addr a (ref [ op ])
+  in
+  let txns = ref [] in
+  let rr_violations = ref [] in
+  List.iter
+    (fun (e : History.event) ->
+      let lbl = History.label e in
+      match (e.e_op, e.e_status) with
+      | O_read { addr; value = Some v; _ }, Ok_ ->
+          reg_push addr
+            { Register.invoke = e.e_invoke; return = e.e_return; kind = R v;
+              required = true; label = lbl };
+          txns :=
+            { Serial.label = lbl; invoke = e.e_invoke; return = e.e_return;
+              reads = [ (addr, v) ]; writes = []; committed = true }
+            :: !txns
+      | O_read _, _ -> ()
+      | O_write { addr; value }, Ok_ ->
+          reg_push addr
+            { Register.invoke = e.e_invoke; return = e.e_return; kind = W value;
+              required = true; label = lbl };
+          txns :=
+            { Serial.label = lbl; invoke = e.e_invoke; return = e.e_return;
+              reads = []; writes = [ (addr, value) ]; committed = true }
+            :: !txns
+      | O_write _, Fail -> ()
+      | O_write { addr; value }, Maybe ->
+          reg_push addr
+            { Register.invoke = e.e_invoke; return = max_int; kind = W value;
+              required = false; label = lbl };
+          txns :=
+            { Serial.label = lbl; invoke = e.e_invoke; return = max_int;
+              reads = []; writes = [ (addr, value) ]; committed = false }
+            :: !txns
+      | O_txn { reads; writes }, status ->
+          let ext_reads, last_writes, disagree = split_txn ~reads ~writes in
+          List.iter
+            (fun a -> rr_violations := Printf.sprintf "%s at %s" lbl
+                 (Kutil.Gaddr.to_string a) :: !rr_violations)
+            disagree;
+          (match status with
+          | Ok_ ->
+              (* committed: per-address atomic point inside [invoke, return] *)
+              let addrs = Atbl.create 8 in
+              Atbl.iter (fun a _ -> Atbl.replace addrs a ()) ext_reads;
+              Atbl.iter (fun a _ -> Atbl.replace addrs a ()) last_writes;
+              Atbl.iter
+                (fun a () ->
+                  let kind =
+                    match (Atbl.find_opt ext_reads a, Atbl.find_opt last_writes a) with
+                    | Some (r, _), Some w -> Register.RW (r, w)
+                    | Some (r, _), None -> Register.R r
+                    | None, Some w -> Register.W w
+                    | None, None -> assert false
+                  in
+                  reg_push a
+                    { Register.invoke = e.e_invoke; return = e.e_return; kind;
+                      required = true; label = lbl })
+                addrs;
+              txns :=
+                { Serial.label = lbl; invoke = e.e_invoke; return = e.e_return;
+                  reads = Atbl.fold (fun a (v, _) l -> (a, v) :: l) ext_reads [];
+                  writes = Atbl.fold (fun a v l -> (a, v) :: l) last_writes [];
+                  committed = true }
+                :: !txns
+          | Fail | Maybe ->
+              (* reads went through real locks: individually required,
+                 done by their Tread stamp *)
+              Atbl.iter
+                (fun a (v, at) ->
+                  reg_push a
+                    { Register.invoke = e.e_invoke; return = at; kind = R v;
+                      required = true; label = lbl })
+                ext_reads;
+              if status = Maybe then begin
+                Atbl.iter
+                  (fun a v ->
+                    reg_push a
+                      { Register.invoke = e.e_invoke; return = max_int;
+                        kind = W v; required = false; label = lbl })
+                  last_writes;
+                txns :=
+                  { Serial.label = lbl; invoke = e.e_invoke; return = max_int;
+                    reads = Atbl.fold (fun a (v, _) l -> (a, v) :: l) ext_reads [];
+                    writes = Atbl.fold (fun a v l -> (a, v) :: l) last_writes [];
+                    committed = false }
+                  :: !txns
+              end))
+    events;
+  let registers =
+    Atbl.fold
+      (fun a ops acc ->
+        let ops = List.rev !ops in
+        (a, ops, Register.check ~init:(init a) ?budget ops) :: acc)
+      per_addr []
+    |> List.sort (fun (a, _, _) (b, _, _) -> Kutil.Gaddr.compare a b)
+  in
+  {
+    registers;
+    serial = Serial.check (List.rev !txns);
+    repeatable_read = List.rev !rr_violations;
+    events = List.length events;
+    init;
+  }
+
+let passed r =
+  r.repeatable_read = []
+  && (match r.serial with Serializable -> true | _ -> false)
+  && List.for_all
+       (fun (_, _, v) -> match v with Register.Linearizable -> true | _ -> false)
+       r.registers
+
+let inconclusive r =
+  List.exists
+    (fun (_, _, v) -> match v with Register.Inconclusive -> true | _ -> false)
+    r.registers
+
+let pp ppf r =
+  if passed r then
+    Fmt.pf ppf
+      "history check: OK (%d events, %d addresses linearizable, serializable)"
+      r.events (List.length r.registers)
+  else begin
+    Fmt.pf ppf "history check: FAILED (%d events)@." r.events;
+    List.iter
+      (fun (a, ops, v) ->
+        match v with
+        | Register.Linearizable -> ()
+        | Register.Inconclusive ->
+            Fmt.pf ppf "  address %s: INCONCLUSIVE (budget exhausted, %d ops)@."
+              (Kutil.Gaddr.to_string a) (List.length ops)
+        | Register.Violation ops ->
+            let shrunk = Register.shrink ~init:(r.init a) ops in
+            Fmt.pf ppf
+              "  address %s: NOT LINEARIZABLE — minimized counterexample (%d of %d ops):@."
+              (Kutil.Gaddr.to_string a) (List.length shrunk) (List.length ops);
+            List.iter (fun o -> Fmt.pf ppf "    %a@." Register.pp_op o) shrunk)
+      r.registers;
+    (match r.serial with
+    | Serial.Serializable -> ()
+    | Serial.Bad_history msg -> Fmt.pf ppf "  serializability: BAD HISTORY — %s@." msg
+    | Serial.Cycle (txs, whys) ->
+        Fmt.pf ppf "  NOT SERIALIZABLE — cycle of %d transactions:@."
+          (List.length txs);
+        List.iter (fun t -> Fmt.pf ppf "    %a@." Serial.pp_txn t) txs;
+        List.iter (fun w -> if w <> "" then Fmt.pf ppf "    (%s)@." w) whys);
+    List.iter
+      (fun s -> Fmt.pf ppf "  repeatable-read violation inside %s@." s)
+      r.repeatable_read
+  end
+
+let summary r = Fmt.str "%a" pp r

@@ -1,0 +1,37 @@
+(** End-to-end history analysis: project an assembled {!History.event}
+    list into per-address register histories and a transaction set, run
+    the {!Register} (linearizability) and {!Serial} (strict
+    serializability) checkers, and render failures as minimized
+    counterexamples. See the .ml header for the exact projection rules
+    per event status. *)
+
+type addr = Kutil.Gaddr.t
+
+type report = {
+  registers : (addr * Register.op list * Register.verdict) list;
+  serial : Serial.verdict;
+  repeatable_read : string list;
+      (** committed transactions whose external reads of one address
+          disagreed — impossible under 2PL, reported directly *)
+  events : int;
+  init : addr -> string;
+}
+
+val analyze :
+  ?init:(addr -> string) -> ?budget:int -> History.event list -> report
+(** [init] gives each address's value before any write (default [""];
+    pass the zero pattern for zero-filled regions). [budget] caps each
+    per-address search (default 2_000_000 states). *)
+
+val passed : report -> bool
+(** Every address linearizable, transaction set serializable, no
+    repeatable-read violations. [Inconclusive] addresses count as
+    failures — raise the budget or shorten the run. *)
+
+val inconclusive : report -> bool
+(** True if any address exhausted the search budget. *)
+
+val pp : Format.formatter -> report -> unit
+(** One line when passing; full minimized counterexamples otherwise. *)
+
+val summary : report -> string

@@ -1,0 +1,388 @@
+type addr = Kutil.Gaddr.t
+
+type call =
+  | Read of { addr : addr; len : int }
+  | Write of { addr : addr; value : string }
+  | Txn
+
+type status = Ok_ | Fail | Maybe
+
+type entry =
+  | Invoke of { proc : int; id : int; at : int; call : call }
+  | Tread of { proc : int; id : int; at : int; addr : addr; value : string }
+  | Twrite of { proc : int; id : int; at : int; addr : addr; value : string }
+  | Return of {
+      proc : int;
+      id : int;
+      at : int;
+      status : status;
+      value : string option;
+    }
+
+(* ------------------------------------------------------------------ *)
+(* Recording                                                           *)
+
+type recorder = {
+  r_now : unit -> int;
+  r_proc : int;
+  r_sink : entry -> unit;
+  mutable r_next : int;
+}
+
+let recorder ~now ~proc sink = { r_now = now; r_proc = proc; r_sink = sink; r_next = 0 }
+let proc r = r.r_proc
+
+let invoke r call =
+  let id = r.r_next in
+  r.r_next <- id + 1;
+  r.r_sink (Invoke { proc = r.r_proc; id; at = r.r_now (); call });
+  id
+
+let txn_read_entry r ~id addr value =
+  r.r_sink (Tread { proc = r.r_proc; id; at = r.r_now (); addr; value })
+
+let txn_write_entry r ~id addr value =
+  r.r_sink (Twrite { proc = r.r_proc; id; at = r.r_now (); addr; value })
+
+let finish r ~id ?value status =
+  r.r_sink (Return { proc = r.r_proc; id; at = r.r_now (); status; value })
+
+(* ------------------------------------------------------------------ *)
+(* Sinks                                                               *)
+
+module Ring = struct
+  type t = {
+    mutable buf : entry array;
+    mutable head : int; (* next write slot *)
+    mutable len : int;
+    cap : int;
+  }
+
+  let create ?(capacity = 1_048_576) () =
+    { buf = [||]; head = 0; len = 0; cap = max 1 capacity }
+
+  let sink t e =
+    if Array.length t.buf = 0 then t.buf <- Array.make t.cap e;
+    t.buf.(t.head) <- e;
+    t.head <- (t.head + 1) mod t.cap;
+    if t.len < t.cap then t.len <- t.len + 1
+
+  let entries t =
+    let start = (t.head - t.len + t.cap * 2) mod t.cap in
+    List.init t.len (fun i -> t.buf.((start + i) mod t.cap))
+
+  let length t = t.len
+
+  let clear t =
+    t.head <- 0;
+    t.len <- 0
+end
+
+(* jsonl: hand-rolled writer/parser for exactly the subset we emit.
+   Byte strings are hex-encoded — payloads are arbitrary binary. *)
+
+let hex_of_string s =
+  let b = Buffer.create (String.length s * 2) in
+  String.iter (fun c -> Buffer.add_string b (Printf.sprintf "%02x" (Char.code c))) s;
+  Buffer.contents b
+
+let string_of_hex h =
+  let n = String.length h / 2 in
+  String.init n (fun i -> Char.chr (int_of_string ("0x" ^ String.sub h (i * 2) 2)))
+
+let status_to_string = function Ok_ -> "ok" | Fail -> "fail" | Maybe -> "maybe"
+
+let status_of_string = function
+  | "ok" -> Some Ok_
+  | "fail" -> Some Fail
+  | "maybe" -> Some Maybe
+  | _ -> None
+
+let addr_to_json = Kutil.U128.to_hex
+let addr_of_json = Kutil.U128.of_hex
+
+let entry_to_json e =
+  let b = Buffer.create 96 in
+  let field k v = Buffer.add_string b (Printf.sprintf "\"%s\":%s," k v) in
+  let str k v = field k (Printf.sprintf "\"%s\"" v) in
+  Buffer.add_char b '{';
+  (match e with
+  | Invoke { proc; id; at; call } ->
+      str "t" "invoke";
+      field "proc" (string_of_int proc);
+      field "id" (string_of_int id);
+      field "at" (string_of_int at);
+      (match call with
+      | Read { addr; len } ->
+          str "call" "read";
+          str "addr" (addr_to_json addr);
+          field "len" (string_of_int len)
+      | Write { addr; value } ->
+          str "call" "write";
+          str "addr" (addr_to_json addr);
+          str "value" (hex_of_string value)
+      | Txn -> str "call" "txn")
+  | Tread { proc; id; at; addr; value } ->
+      str "t" "tread";
+      field "proc" (string_of_int proc);
+      field "id" (string_of_int id);
+      field "at" (string_of_int at);
+      str "addr" (addr_to_json addr);
+      str "value" (hex_of_string value)
+  | Twrite { proc; id; at; addr; value } ->
+      str "t" "twrite";
+      field "proc" (string_of_int proc);
+      field "id" (string_of_int id);
+      field "at" (string_of_int at);
+      str "addr" (addr_to_json addr);
+      str "value" (hex_of_string value)
+  | Return { proc; id; at; status; value } ->
+      str "t" "return";
+      field "proc" (string_of_int proc);
+      field "id" (string_of_int id);
+      field "at" (string_of_int at);
+      str "status" (status_to_string status);
+      Option.iter (fun v -> str "value" (hex_of_string v)) value);
+  (* drop trailing comma *)
+  let s = Buffer.contents b in
+  let s = if s.[String.length s - 1] = ',' then String.sub s 0 (String.length s - 1) else s in
+  s ^ "}"
+
+let jsonl_sink oc e =
+  output_string oc (entry_to_json e);
+  output_char oc '\n';
+  flush oc
+
+(* Minimal parser for the flat {"k":v,...} objects above. Returns an
+   assoc of raw (unquoted) value strings; bails on anything foreign. *)
+let parse_flat line =
+  let n = String.length line in
+  if n < 2 || line.[0] <> '{' || line.[n - 1] <> '}' then None
+  else
+    let body = String.sub line 1 (n - 2) in
+    let fields = ref [] in
+    let i = ref 0 in
+    let len = String.length body in
+    let ok = ref true in
+    (try
+       while !i < len do
+         (* key *)
+         if body.[!i] <> '"' then raise Exit;
+         let kend = String.index_from body (!i + 1) '"' in
+         let key = String.sub body (!i + 1) (kend - !i - 1) in
+         if kend + 1 >= len || body.[kend + 1] <> ':' then raise Exit;
+         i := kend + 2;
+         (* value: quoted string or bare token up to ',' *)
+         let value =
+           if !i < len && body.[!i] = '"' then begin
+             let vend = String.index_from body (!i + 1) '"' in
+             let v = String.sub body (!i + 1) (vend - !i - 1) in
+             i := vend + 1;
+             v
+           end
+           else begin
+             let vend = try String.index_from body !i ',' with Not_found -> len in
+             let v = String.sub body !i (vend - !i) in
+             i := vend;
+             v
+           end
+         in
+         fields := (key, value) :: !fields;
+         if !i < len then
+           if body.[!i] = ',' then incr i else raise Exit
+       done
+     with _ -> ok := false);
+    if !ok then Some !fields else None
+
+let entry_of_json line =
+  match parse_flat (String.trim line) with
+  | None -> None
+  | Some fields -> (
+      let get k = List.assoc_opt k fields in
+      let int k = Option.bind (get k) int_of_string_opt in
+      try
+        let req f k = match f k with Some v -> v | None -> raise Exit in
+        let proc = req int "proc" and id = req int "id" and at = req int "at" in
+        match req get "t" with
+        | "invoke" -> (
+            match req get "call" with
+            | "read" ->
+                Some
+                  (Invoke
+                     {
+                       proc;
+                       id;
+                       at;
+                       call =
+                         Read { addr = addr_of_json (req get "addr"); len = req int "len" };
+                     })
+            | "write" ->
+                Some
+                  (Invoke
+                     {
+                       proc;
+                       id;
+                       at;
+                       call =
+                         Write
+                           {
+                             addr = addr_of_json (req get "addr");
+                             value = string_of_hex (req get "value");
+                           };
+                     })
+            | "txn" -> Some (Invoke { proc; id; at; call = Txn })
+            | _ -> None)
+        | "tread" ->
+            Some
+              (Tread
+                 {
+                   proc;
+                   id;
+                   at;
+                   addr = addr_of_json (req get "addr");
+                   value = string_of_hex (req get "value");
+                 })
+        | "twrite" ->
+            Some
+              (Twrite
+                 {
+                   proc;
+                   id;
+                   at;
+                   addr = addr_of_json (req get "addr");
+                   value = string_of_hex (req get "value");
+                 })
+        | "return" ->
+            let status = match status_of_string (req get "status") with
+              | Some s -> s
+              | None -> raise Exit
+            in
+            let value = Option.map string_of_hex (get "value") in
+            Some (Return { proc; id; at; status; value })
+        | _ -> None
+      with _ -> None)
+
+let read_jsonl path =
+  let ic = open_in_bin path in
+  let out = ref [] in
+  (try
+     while true do
+       let line = input_line ic in
+       match entry_of_json line with Some e -> out := e :: !out | None -> ()
+     done
+   with End_of_file -> ());
+  close_in ic;
+  List.rev !out
+
+(* ------------------------------------------------------------------ *)
+(* Assembly                                                            *)
+
+type op =
+  | O_read of { addr : addr; len : int; value : string option }
+  | O_write of { addr : addr; value : string }
+  | O_txn of {
+      reads : (addr * string * int) list;
+      writes : (addr * string * int) list;
+    }
+
+type event = {
+  e_proc : int;
+  e_id : int;
+  e_invoke : int;
+  e_return : int;
+  e_op : op;
+  e_status : status;
+}
+
+type pending = {
+  p_invoke : int;
+  p_call : call;
+  mutable p_reads : (addr * string * int) list; (* reversed *)
+  mutable p_writes : (addr * string * int) list; (* reversed *)
+}
+
+let assemble entries =
+  let pend : (int * int, pending) Hashtbl.t = Hashtbl.create 256 in
+  let done_ = ref [] in
+  let close key p ~ret ~status ~value =
+    let op =
+      match p.p_call with
+      | Read { addr; len } -> O_read { addr; len; value }
+      | Write { addr; value } -> O_write { addr; value }
+      | Txn -> O_txn { reads = List.rev p.p_reads; writes = List.rev p.p_writes }
+    in
+    done_ :=
+      {
+        e_proc = fst key;
+        e_id = snd key;
+        e_invoke = p.p_invoke;
+        e_return = ret;
+        e_op = op;
+        e_status = status;
+      }
+      :: !done_
+  in
+  List.iter
+    (fun e ->
+      match e with
+      | Invoke { proc; id; at; call } ->
+          Hashtbl.replace pend (proc, id)
+            { p_invoke = at; p_call = call; p_reads = []; p_writes = [] }
+      | Tread { proc; id; at; addr; value } -> (
+          match Hashtbl.find_opt pend (proc, id) with
+          | Some p -> p.p_reads <- (addr, value, at) :: p.p_reads
+          | None -> ())
+      | Twrite { proc; id; at; addr; value } -> (
+          match Hashtbl.find_opt pend (proc, id) with
+          | Some p -> p.p_writes <- (addr, value, at) :: p.p_writes
+          | None -> ())
+      | Return { proc; id; at; status; value } -> (
+          match Hashtbl.find_opt pend (proc, id) with
+          | Some p ->
+              Hashtbl.remove pend (proc, id);
+              close (proc, id) p ~ret:at ~status ~value
+          | None -> () (* orphan return: invoke fell off a ring *)))
+    entries;
+  (* unmatched invokes: the process died (or timed out silently) with the
+     op in flight — ambiguous, unbounded return. *)
+  Hashtbl.iter
+    (fun key p -> close key p ~ret:max_int ~status:Maybe ~value:None)
+    pend;
+  List.sort
+    (fun a b ->
+      match compare a.e_invoke b.e_invoke with
+      | 0 -> compare (a.e_proc, a.e_id) (b.e_proc, b.e_id)
+      | c -> c)
+    !done_
+
+let label e = Printf.sprintf "p%d#%d" e.e_proc e.e_id
+
+let pp_short_bytes ppf s =
+  let shown = if String.length s <= 8 then s else String.sub s 0 8 in
+  let printable = String.for_all (fun c -> c >= ' ' && c <= '~') shown in
+  if printable && String.length s <= 8 then Fmt.pf ppf "%S" s
+  else Fmt.pf ppf "0x%s%s" (hex_of_string shown) (if String.length s > 8 then "…" else "")
+
+let pp_event ppf e =
+  let status = status_to_string e.e_status in
+  let ret = if e.e_return = max_int then "∞" else string_of_int e.e_return in
+  match e.e_op with
+  | O_read { addr; len; value } ->
+      Fmt.pf ppf "%s [%d,%s] read  %s len=%d %s%a" (label e) e.e_invoke ret
+        (addr_to_json addr) len status
+        (fun ppf -> function
+          | Some v -> Fmt.pf ppf " -> %a" pp_short_bytes v
+          | None -> ())
+        value
+  | O_write { addr; value } ->
+      Fmt.pf ppf "%s [%d,%s] write %s %s := %a" (label e) e.e_invoke ret
+        (addr_to_json addr) status pp_short_bytes value
+  | O_txn { reads; writes } ->
+      Fmt.pf ppf "%s [%d,%s] txn   %s reads=[%a] writes=[%a]" (label e) e.e_invoke
+        ret status
+        (Fmt.list ~sep:Fmt.comma (fun ppf (a, v, _) ->
+             Fmt.pf ppf "%s=%a" (addr_to_json a) pp_short_bytes v))
+        reads
+        (Fmt.list ~sep:Fmt.comma (fun ppf (a, v, _) ->
+             Fmt.pf ppf "%s:=%a" (addr_to_json a) pp_short_bytes v))
+        writes

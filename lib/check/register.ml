@@ -1,0 +1,161 @@
+(* Wing–Gong linearizability search for single-register histories, with
+   memoization on (linearized-set, register value). Per-address Khazana
+   histories are short (tens to low hundreds of ops per run), so the
+   exponential worst case stays comfortably inside the state budget. *)
+
+type kind = R of string | W of string | RW of string * string
+
+type op = {
+  invoke : int;
+  return : int;
+  kind : kind;
+  required : bool;
+  label : string;
+}
+
+type verdict = Linearizable | Violation of op list | Inconclusive
+
+let pp_kind ppf = function
+  | R v -> Fmt.pf ppf "R %a" History.pp_short_bytes v
+  | W v -> Fmt.pf ppf "W %a" History.pp_short_bytes v
+  | RW (r, w) ->
+      Fmt.pf ppf "RW %a->%a" History.pp_short_bytes r History.pp_short_bytes w
+
+let pp_op ppf o =
+  let ret = if o.return = max_int then "∞" else string_of_int o.return in
+  Fmt.pf ppf "%s [%d,%s]%s %a" o.label o.invoke ret
+    (if o.required then "" else " maybe")
+    pp_kind o.kind
+
+(* Search state: which ops are linearized (bitset over indices) plus the
+   register value after them. Memoize visited (bitset, value) pairs —
+   revisiting one can only re-explore the same subtree. *)
+
+module Key = struct
+  type t = Bytes.t * string
+
+  let equal (b1, v1) (b2, v2) = Bytes.equal b1 b2 && String.equal v1 v2
+  let hash (b, v) = Hashtbl.hash (Bytes.to_string b, v)
+end
+
+module Memo = Hashtbl.Make (Key)
+
+exception Budget
+
+let check ?init ?(budget = 2_000_000) ops =
+  let ops = Array.of_list ops in
+  let n = Array.length ops in
+  if n = 0 then Linearizable
+  else begin
+    let init = Option.value init ~default:"" in
+    let memo = Memo.create 4096 in
+    let states = ref 0 in
+    let bits = Bytes.make ((n + 7) / 8) '\000' in
+    let get i = Char.code (Bytes.get bits (i / 8)) land (1 lsl (i mod 8)) <> 0 in
+    let set i b =
+      let byte = Char.code (Bytes.get bits (i / 8)) in
+      let mask = 1 lsl (i mod 8) in
+      Bytes.set bits (i / 8) (Char.chr (if b then byte lor mask else byte land lnot mask))
+    in
+    (* An op may linearize next only if its invoke precedes every
+       still-pending op's return: otherwise some pending op strictly
+       finished before this one began and must come first. *)
+    let rec go value remaining =
+      if remaining = 0 then true
+      else begin
+        incr states;
+        if !states > budget then raise Budget;
+        let key = (Bytes.copy bits, value) in
+        if Memo.mem memo key then false
+        else begin
+          Memo.add memo key ();
+          let minret = ref max_int in
+          for i = 0 to n - 1 do
+            if (not (get i)) && ops.(i).return < !minret then minret := ops.(i).return
+          done;
+          let ok = ref false in
+          let i = ref 0 in
+          while (not !ok) && !i < n do
+            let o = ops.(!i) in
+            if (not (get !i)) && o.invoke <= !minret then begin
+              let fits, value' =
+                match o.kind with
+                | W v -> (true, v)
+                | R v -> (String.equal v value, value)
+                | RW (r, w) -> (String.equal r value, w)
+              in
+              if fits then begin
+                set !i true;
+                if go value' (remaining - 1) then ok := true;
+                set !i false
+              end
+            end;
+            incr i
+          done;
+          (* Non-required (maybe-applied) ops may also be dropped entirely:
+             model that by linearizing them "last, with no effect" — i.e.
+             if every remaining op is non-required, we are done. *)
+          if not !ok then begin
+            let all_skippable = ref true in
+            for j = 0 to n - 1 do
+              if (not (get j)) && ops.(j).required then all_skippable := false
+            done;
+            if !all_skippable then ok := true
+          end;
+          !ok
+        end
+      end
+    in
+    match go init n with
+    | true -> Linearizable
+    | false -> Violation (Array.to_list ops)
+    | exception Budget -> Inconclusive
+  end
+
+(* Greedy shrink: drop ops one at a time while the history still fails.
+   Constraint: never drop a write whose value a retained read observes —
+   otherwise the shrunk history fails for the bogus reason "read of a
+   value nobody wrote" instead of the original violation. *)
+
+let written_values ops =
+  List.concat_map
+    (fun o -> match o.kind with W v | RW (_, v) -> [ v ] | R _ -> [])
+    ops
+
+let observed_values ops =
+  List.concat_map
+    (fun o -> match o.kind with R v | RW (v, _) -> [ v ] | W _ -> [])
+    ops
+
+let still_failing ?init ~budget ops =
+  match check ?init ~budget ops with Violation _ -> true | _ -> false
+
+let shrink ?init ?(budget = 200_000) ops =
+  let drop_ok candidate rest =
+    match candidate.kind with
+    | R _ -> true
+    | W v | RW (_, v) ->
+        (* keep writes whose value some retained read still observes and
+           no other retained write supplies *)
+        let observed = observed_values rest in
+        let supplied = written_values rest in
+        not
+          (List.exists (String.equal v) observed
+          && not (List.exists (String.equal v) supplied))
+  in
+  let rec pass ops =
+    let shrunk = ref false in
+    let rec try_each acc = function
+      | [] -> List.rev acc
+      | o :: rest ->
+          let without = List.rev_append acc rest in
+          if drop_ok o without && still_failing ?init ~budget without then begin
+            shrunk := true;
+            try_each acc rest
+          end
+          else try_each (o :: acc) rest
+    in
+    let ops' = try_each [] ops in
+    if !shrunk then pass ops' else ops'
+  in
+  pass ops

@@ -1,0 +1,53 @@
+(** Per-address linearizability checking for CREW register histories.
+
+    Khazana's default consistency manager promises that each address
+    range behaves like a linearizable register: concurrent-read /
+    exclusive-write, every read observing the latest completed write.
+    This module decides whether a recorded single-address history is
+    explainable by {e some} total order of the operations consistent
+    with real time (Wing–Gong search: depth-first over linearization
+    orders, memoized on the (linearized-set, register-value) pair).
+
+    Ambiguous operations — timeouts, [`Unreachable], processes killed
+    mid-call — enter with [required = false] and [return = max_int]:
+    the search may place them anywhere after their invoke {e or} drop
+    them entirely, which is exactly "maybe applied". *)
+
+type kind =
+  | R of string  (** read observed these bytes *)
+  | W of string  (** write installed these bytes *)
+  | RW of string * string
+      (** committed transaction touching this address: atomically
+          observed the first value and installed the second. Under 2PL
+          the read and write points coincide at commit. *)
+
+type op = {
+  invoke : int;
+  return : int;  (** [max_int] when the op never returned *)
+  kind : kind;
+  required : bool;
+      (** [false]: maybe-applied; the checker may skip it outright *)
+  label : string;  (** stable name for counterexample dumps *)
+}
+
+type verdict =
+  | Linearizable
+  | Violation of op list
+      (** the full failing history — pass it to {!shrink} for a
+          minimal counterexample *)
+  | Inconclusive  (** state budget exhausted before a decision *)
+
+val check : ?init:string -> ?budget:int -> op list -> verdict
+(** [check ~init ops] — [init] is the register's value before any
+    write (default [""]; Khazana regions are created zero-filled, so
+    harnesses pass the zero pattern). [budget] caps visited search
+    states (default 2_000_000). *)
+
+val shrink : ?init:string -> ?budget:int -> op list -> op list
+(** Greedily remove ops while the history still fails, never dropping
+    a write whose value a retained read observes (that would manufacture
+    a different, bogus violation). The result is a locally-minimal
+    counterexample; the full history's verdict remains authoritative.
+    [budget] bounds each re-check (default 200_000). *)
+
+val pp_op : Format.formatter -> op -> unit

@@ -1,0 +1,239 @@
+(* Serializability via observed-version conflict graph + cycle detection.
+
+   Nodes are committed transactions (plus maybe-applied transactions
+   whose writes are provably visible — see [promote]). Edges:
+
+     wr: T1 -> T2 when T2 read a value T1 wrote (values are assumed
+         unique per (addr, value) pair — harnesses stamp payloads).
+     rt: T1 -> T2 when T1 returned before T2 was invoked (real-time
+         order, making the check *strict* serializability). Built via a
+         tick chain so the edge count stays O(n), not O(n^2).
+
+   A cycle means no serial order explains the run; the cycle itself is
+   the counterexample. We deliberately emit no rw (anti-dependency)
+   edges — inferring them needs a version order we don't observe — so
+   the check is sound (no false alarms) but not complete against every
+   serializability violation; the per-address register checker covers
+   the stale-read family that rw edges would catch. *)
+
+type addr = Kutil.Gaddr.t
+
+type txn = {
+  label : string;
+  invoke : int;
+  return : int;
+  reads : (addr * string) list;
+  writes : (addr * string) list;
+  committed : bool;  (** [false] = maybe-applied *)
+}
+
+type verdict =
+  | Serializable
+  | Cycle of txn list * string list
+      (** the offending transactions and the edge descriptions closing
+          the cycle *)
+  | Bad_history of string
+      (** the input breaks a checker precondition, e.g. two writers of
+          the same (addr, value) pair *)
+
+module AV = struct
+  type t = addr * string
+
+  let equal (a1, v1) (a2, v2) = Kutil.Gaddr.equal a1 a2 && String.equal v1 v2
+  let hash (a, v) = Kutil.Gaddr.hash a lxor Hashtbl.hash v
+end
+
+module AVtbl = Hashtbl.Make (AV)
+
+(* Maybe-applied txns whose written values are observed by a committed
+   read must have applied: promote them, to fixpoint (a promoted txn's
+   reads can prove further promotions). Unpromoted maybes drop out. *)
+let promote txns =
+  let writer = AVtbl.create 64 in
+  List.iteri
+    (fun i t -> List.iter (fun av -> AVtbl.replace writer av i) t.writes)
+    txns;
+  let arr = Array.of_list txns in
+  let live = Array.map (fun t -> t.committed) arr in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Array.iteri
+      (fun i t ->
+        if live.(i) then
+          List.iter
+            (fun av ->
+              match AVtbl.find_opt writer av with
+              | Some j when not live.(j) ->
+                  live.(j) <- true;
+                  changed := true
+              | _ -> ())
+            t.reads)
+      arr
+  done;
+  Array.to_list
+    (Array.of_seq
+       (Seq.filter_map
+          (fun (i, t) -> if live.(i) then Some t else None)
+          (Array.to_seq (Array.mapi (fun i t -> (i, t)) arr))))
+
+let check txns =
+  let txns = promote txns in
+  let arr = Array.of_list txns in
+  let n = Array.length arr in
+  if n = 0 then Serializable
+  else begin
+    (* unique-writer precondition *)
+    let writer = AVtbl.create 64 in
+    let bad = ref None in
+    Array.iteri
+      (fun i t ->
+        List.iter
+          (fun ((a, v) as av) ->
+            match AVtbl.find_opt writer av with
+            | Some j when j <> i ->
+                if !bad = None then
+                  bad :=
+                    Some
+                      (Printf.sprintf
+                         "two writers of the same (addr,value): %s and %s at %s=%s"
+                         arr.(j).label t.label (Kutil.U128.to_hex a)
+                         (History.hex_of_string v))
+            | _ -> AVtbl.replace writer av i)
+          t.writes)
+      arr;
+    match !bad with
+    | Some msg -> Bad_history msg
+    | None ->
+        let edges = Array.make n [] in
+        let add_edge i j why = if i <> j then edges.(i) <- (j, why) :: edges.(i) in
+        (* wr edges *)
+        Array.iteri
+          (fun i t ->
+            List.iter
+              (fun ((a, _) as av) ->
+                match AVtbl.find_opt writer av with
+                | Some j ->
+                    add_edge j i
+                      (Printf.sprintf "%s wrote %s, %s read it" arr.(j).label
+                         (Kutil.Gaddr.to_string a) arr.(i).label)
+                | None -> ())
+              t.reads)
+          arr;
+        (* rt edges via tick chain: sort the 2n endpoints; a txn's return
+           tick points to the next tick, ticks chain forward, and each
+           invoke listens to the latest strictly-earlier tick. Gives
+           A -> B whenever A.return < B.invoke with O(n) edges. *)
+        let tick_of_ret = Hashtbl.create 64 in
+        let rets =
+          Array.to_list
+            (Array.mapi (fun i t -> (t.return, i)) arr)
+          |> List.filter (fun (r, _) -> r <> max_int)
+          |> List.sort compare
+        in
+        let tick_nodes = ref [] in
+        let n_ticks = ref 0 in
+        List.iter
+          (fun (r, _) ->
+            if not (Hashtbl.mem tick_of_ret r) then begin
+              Hashtbl.replace tick_of_ret r !n_ticks;
+              tick_nodes := r :: !tick_nodes;
+              incr n_ticks
+            end)
+          rets;
+        let total = n + !n_ticks in
+        let all_edges = Array.make total [] in
+        Array.iteri (fun i l -> all_edges.(i) <- l) edges;
+        let tick_times = Array.of_list (List.rev !tick_nodes) in
+        (* chain ticks in ascending time order *)
+        Array.iteri
+          (fun k _ ->
+            if k + 1 < !n_ticks then
+              all_edges.(n + k) <- ((n + k + 1, "") :: all_edges.(n + k)))
+          tick_times;
+        (* txn return -> its tick *)
+        List.iter
+          (fun (r, i) ->
+            let k = Hashtbl.find tick_of_ret r in
+            all_edges.(i) <- ((n + k, "") :: all_edges.(i)))
+          rets;
+        (* latest tick strictly before invoke -> txn *)
+        Array.iteri
+          (fun i t ->
+            (* binary search: largest tick time < t.invoke *)
+            let lo = ref 0 and hi = ref (!n_ticks - 1) and best = ref (-1) in
+            while !lo <= !hi do
+              let mid = (!lo + !hi) / 2 in
+              if tick_times.(mid) < t.invoke then begin
+                best := mid;
+                lo := mid + 1
+              end
+              else hi := mid - 1
+            done;
+            if !best >= 0 then
+              all_edges.(n + !best) <-
+                ( i,
+                  Printf.sprintf "real-time order: finished before %s began"
+                    t.label )
+                :: all_edges.(n + !best))
+          arr;
+        (* Cycle detection: iterative DFS with colors (grey = on current
+           path), cycle reconstructed through tree-edge parents. *)
+        let color = Array.make total 0 (* 0 white 1 grey 2 black *) in
+        let parent = Array.make total (-1) in
+        let parent_why = Array.make total "" in
+        let cycle = ref None in
+        let stack = Stack.create () in
+        for s = 0 to total - 1 do
+          if color.(s) = 0 && !cycle = None then begin
+            color.(s) <- 1;
+            Stack.push (s, ref all_edges.(s)) stack;
+            while (not (Stack.is_empty stack)) && !cycle = None do
+              let u, rem = Stack.top stack in
+              match !rem with
+              | [] ->
+                  color.(u) <- 2;
+                  ignore (Stack.pop stack)
+              | (v, why) :: rest ->
+                  rem := rest;
+                  if color.(v) = 0 then begin
+                    parent.(v) <- u;
+                    parent_why.(v) <- why;
+                    color.(v) <- 1;
+                    Stack.push (v, ref all_edges.(v)) stack
+                  end
+                  else if color.(v) = 1 then begin
+                    (* v is an ancestor on the current path: walk back *)
+                    let nodes = ref [ v ] and whys = ref [ why ] in
+                    let x = ref u in
+                    while !x <> v do
+                      nodes := !x :: !nodes;
+                      whys := parent_why.(!x) :: !whys;
+                      x := parent.(!x)
+                    done;
+                    cycle := Some (!nodes, !whys)
+                  end
+            done;
+            Stack.clear stack
+          end
+        done;
+        (match !cycle with
+        | None -> Serializable
+        | Some (nodes, whys) ->
+            let txs =
+              List.filter_map (fun u -> if u < n then Some arr.(u) else None) nodes
+            in
+            let whys = List.filter (fun w -> w <> "") whys in
+            Cycle (txs, whys))
+  end
+
+let pp_txn ppf t =
+  let ret = if t.return = max_int then "∞" else string_of_int t.return in
+  Fmt.pf ppf "%s [%d,%s]%s reads=[%a] writes=[%a]" t.label t.invoke ret
+    (if t.committed then "" else " maybe")
+    (Fmt.list ~sep:Fmt.comma (fun ppf (a, v) ->
+         Fmt.pf ppf "%s=%a" (Kutil.Gaddr.to_string a) History.pp_short_bytes v))
+    t.reads
+    (Fmt.list ~sep:Fmt.comma (fun ppf (a, v) ->
+         Fmt.pf ppf "%s:=%a" (Kutil.Gaddr.to_string a) History.pp_short_bytes v))
+    t.writes

@@ -1,0 +1,40 @@
+(** Strict-serializability checking for multi-page transactions.
+
+    Builds an observed-version conflict graph over committed
+    transactions — wr edges where one transaction read what another
+    wrote (payloads must be unique per (addr, value); harnesses stamp
+    them), rt edges where one returned before another was invoked — and
+    reports any cycle as the counterexample.
+
+    Maybe-applied transactions are {e promoted} to committed when a
+    committed transaction observes one of their written values (to
+    fixpoint); unpromoted maybes are dropped, since nothing proves they
+    took effect.
+
+    The check is sound but not complete: anti-dependency (rw) edges are
+    not inferred (that needs a version order the history does not
+    expose), so some non-serializable interleavings pass here — the
+    per-address register checker in {!Register} covers the stale-read /
+    lost-update family those edges would catch. *)
+
+type addr = Kutil.Gaddr.t
+
+type txn = {
+  label : string;
+  invoke : int;
+  return : int;  (** [max_int] when it never returned *)
+  reads : (addr * string) list;  (** observed values, own writes excluded *)
+  writes : (addr * string) list;  (** final value per address *)
+  committed : bool;  (** [false] = maybe-applied *)
+}
+
+type verdict =
+  | Serializable
+  | Cycle of txn list * string list
+      (** transactions on the cycle + human-readable edge reasons *)
+  | Bad_history of string
+      (** input violates a precondition (duplicate (addr,value) writer) *)
+
+val check : txn list -> verdict
+
+val pp_txn : Format.formatter -> txn -> unit

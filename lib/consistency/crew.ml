@@ -13,8 +13,9 @@
     the code never special-cases co-location.
 
     Unreliable channels. Unlike Ivy, the substrate may lose, duplicate (via
-    manager re-sends) and reorder messages, which demands three defences,
-    each of which plugs a hole found by the randomized property tests:
+    manager re-sends) and reorder messages, which demands four defences,
+    each of which plugs a hole found by the randomized property tests or
+    the nemesis history checker:
 
     - {b retries before suspicion}: a silent peer is re-asked up to
       [max_attempts] times — it may merely be holding a lock across a slow
@@ -27,12 +28,27 @@
       number stamped into its fetches, grants and invalidations; caches
       remember the highest fence that revoked their copy and refuse older
       grants, so a ghost grant from a finished transaction cannot resurrect
-      a revoked copy.
+      a revoked copy;
+    - {b evidence-gated writes}: a write transaction never completes while
+      any copy remains unrevoked. Invalidation rounds and ownership
+      transfers retry forever — suspicion (timeouts, failure-detector
+      hints) is never grounds to move on, because a partitioned holder
+      still serves its now-stale copy locally and a write that completed
+      around it would make those reads non-linearizable. Only hard
+      evidence that the copy is gone (an [Invalidate_ack], an
+      [Evict_notify], an [Own_return] — which a crashed node supplies once
+      it recovers with an empty cache) lets the write proceed or fail
+      over. A write blocked by a partition surfaces to the client as a
+      timeout, which is ambiguous and therefore checker-safe.
 
     Availability extensions (paper §3.5): the manager fails over to
-    alternate copy holders, keeps a backup of the last data that passed
+    alternate copy holders for {e reads} (every valid copy is current, so
+    any of them may serve), keeps a backup of the last data that passed
     through it, and after each write pushes read copies to
-    [cfg.replica_targets] until [min_replicas] primary copies exist. *)
+    [cfg.replica_targets] until [min_replicas] primary copies exist. The
+    read-side backup grant is sound because the daemon write-through
+    flushes strict writes to the home before acking the client, keeping
+    the backup as fresh as every acknowledged plain write. *)
 
 open Types
 module NSet = Set.Make (Int)
@@ -47,7 +63,9 @@ let cache_state_name = function
 
 (* Manager-side transaction in flight. [tried] records data sources that
    already failed so fail-over never loops; [attempts] counts timeouts
-   against the current peer. *)
+   against the current peer. Read transactions fail over after
+   [max_attempts]; invalidations and ownership transfers retry forever
+   (the counter saturates) — see "evidence-gated writes" above. *)
 type txn =
   | Idle
   | Read_flight of { dest : node_id; source : node_id; timer : timer_id;
@@ -80,14 +98,6 @@ type t = {
   (* ---- manager role (meaningful only at home) ---- *)
   mutable owner : node_id;
   mutable copyset : NSet.t;  (* nodes with read copies; excludes owner *)
-  mutable revoke : NSet.t;
-      (* Invalidation debt: copyset members an invalidation round gave up
-         on (unreachable or unresponsive). They may still hold a now-stale
-         but protocol-valid copy, so they stay in the copyset and the
-         repair tick keeps re-sending Invalidate until one lands (or an
-         Evict_notify / fresh grant clears the debt). Without this, a
-         write that completed around a partition would leave the stale
-         copy servable forever once the partition heals. *)
   hqueue : (node_id * mode) Queue.t;
   mutable txn : txn;
   mutable fence : fence;  (* transaction sequence *)
@@ -116,7 +126,6 @@ let create cfg init =
     pending_fetches = [];
     owner = cfg.home;
     copyset = NSet.empty;
-    revoke = NSet.empty;
     hqueue = Queue.create ();
     txn = Idle;
     fence = 0;
@@ -134,6 +143,7 @@ let is_owner t =
 
 let locks_held t = Local_locks.held t.locks
 let version t = t.ver
+let backup_version t = match t.backup with Some (_, v) -> v | None -> 0
 let is_home t = t.cfg.self = t.cfg.home
 
 let holders t =
@@ -410,7 +420,11 @@ let finish_txn t acc =
   pump_home t (sharers_hint t :: acc)
 
 (* The data source for the current transaction failed: move to the next
-   candidate, falling back on the manager's own copy, then its backup. *)
+   candidate, falling back on the manager's own copy, then its backup.
+   Reads get here on mere suspicion (any valid copy is current, so an
+   alternate or the write-through backup may serve); writes only with
+   evidence — an Evict_notify, Own_return or fence restart proving the
+   failed source no longer holds a copy a transfer could fork. *)
 let fail_over t ~dest ~mode ~tried acc =
   match alternate_sources t ~tried with
   | source :: _ when source = t.cfg.self -> (
@@ -459,10 +473,10 @@ let fail_over t ~dest ~mode ~tried acc =
    manager we hold nothing so it can retry cleanly. *)
 (* The cache role's "exclusive" claim must respect the collocated
    manager's books at the home: a write grant implies exclusivity only if
-   the copyset really drained. An invalidation round that skipped an
-   unreachable sharer leaves it in the copyset as invalidation debt, and a
-   later home-local write must then still run a real invalidation round
-   rather than take the Owned_excl shortcut past the stale copy. *)
+   the copyset really drained. Pessimistic bookkeeping (and sharers
+   inherited across a reincarnation) can leave members in the copyset, and
+   a home-local write must then still run a real invalidation round rather
+   than take the Owned_excl shortcut past a possibly-live copy. *)
 let claim_exclusive t =
   t.cstate <-
     (if t.cfg.self = t.cfg.home && not (NSet.is_empty t.copyset) then
@@ -580,7 +594,6 @@ let handle_home_msg t src msg acc =
     pump_home t acc
   | Invalidate_ack -> (
     t.copyset <- NSet.remove src t.copyset;
-    t.revoke <- NSet.remove src t.revoke;
     match t.txn with
     | Inval_phase { dest; waiting; timer; attempts; fence } ->
       let waiting = NSet.remove src waiting in
@@ -595,20 +608,15 @@ let handle_home_msg t src msg acc =
     | (Read_flight { dest; _ } | Await_done { dest; mode = Read; _ })
       when dest = src && done_mode = Read ->
       if src <> t.owner then t.copyset <- NSet.add src t.copyset;
-      (* It just accepted a current-fence grant: any invalidation debt is
-         paid — it holds fresh data now. *)
-      t.revoke <- NSet.remove src t.revoke;
       finish_txn t acc
     | (Own_flight { dest; _ } | Await_done { dest; mode = Write; _ })
       when dest = src && done_mode = Write ->
       t.owner <- src;
       t.copyset <- NSet.remove src t.copyset;
-      t.revoke <- NSet.remove src t.revoke;
       finish_txn t acc
     | Idle | Read_flight _ | Inval_phase _ | Own_flight _ | Await_done _ -> acc)
   | Evict_notify -> (
     t.copyset <- NSet.remove src t.copyset;
-    t.revoke <- NSet.remove src t.revoke;
     match t.txn with
     | Inval_phase { dest; waiting; timer; attempts; fence } when NSet.mem src waiting ->
       let waiting = NSet.remove src waiting in
@@ -685,32 +693,31 @@ let on_timeout t id acc =
         start_read_txn ~attempts:(attempts + 1) ~fence t dest ~source ~tried acc
       else fail_over t ~dest ~mode:Read ~tried:(NSet.add source tried) acc
     | Own_flight { dest; source; tried; attempts; fence; _ } ->
-      if attempts < max_attempts then
-        start_own_transfer ~attempts:(attempts + 1) ~fence t dest ~source ~tried
-          acc
-      else fail_over t ~dest ~mode:Write ~tried:(NSet.add source tried) acc
+      (* Never move ownership around a merely-silent holder: unlike a read
+         copy, a second writable lineage forks the page. Retry until the
+         holder answers or supplies evidence (Evict_notify / Own_return —
+         which a crashed node sends once it recovers empty) that its copy
+         is gone; only those evidence paths fail over. *)
+      start_own_transfer
+        ~attempts:(min (attempts + 1) max_attempts)
+        ~fence t dest ~source ~tried acc
     | Inval_phase { dest; waiting; attempts; fence; _ } ->
-      if attempts < max_attempts then begin
-        (* Re-send: the sharer is probably deferring its ack behind a held
-           read lock, not dead. Premature suspicion here is a safety
-           hazard — a live stale reader would survive the round. *)
-        let timer = fresh_timer t in
-        t.txn <-
-          Inval_phase { dest; waiting; timer; attempts = attempts + 1; fence };
-        NSet.fold
-          (fun n acc -> Send (n, Invalidate { fence }) :: acc)
-          waiting
-          (Start_timer { id = timer; after = t.cfg.request_timeout } :: acc)
-      end
-      else begin
-        (* Stop waiting, but keep the unresponsive sharers in the copyset:
-           a partitioned (rather than crashed) node still holds a valid
-           copy, and forgetting it here would leave that copy stale but
-           servable forever. Record the debt so the repair tick keeps
-           re-sending the invalidation until it lands. *)
-        t.revoke <- NSet.union t.revoke waiting;
-        ownership_phase ~fence t dest acc
-      end
+      (* Re-send forever: the sharer may be deferring its ack behind a held
+         read lock, or partitioned — and a partitioned sharer still serves
+         its (about to be stale) copy locally. Completing the write around
+         it would make those reads non-linearizable, so the write waits:
+         the blocked writer times out at the client (ambiguous, hence
+         checker-safe) and the round converges once every remaining sharer
+         acks, evicts, or recovers from a crash with an empty cache. *)
+      let timer = fresh_timer t in
+      t.txn <-
+        Inval_phase
+          { dest; waiting; timer;
+            attempts = min (attempts + 1) max_attempts; fence };
+      NSet.fold
+        (fun n acc -> Send (n, Invalidate { fence }) :: acc)
+        waiting
+        (Start_timer { id = timer; after = t.cfg.request_timeout } :: acc)
     | Await_done { dest; mode; attempts; regrant; fence; _ } ->
       if attempts < max_attempts then begin
         (* The grant or its Done ack may have been lost: re-send rather
@@ -808,43 +815,22 @@ let handle t event =
     | Maintain { avoid } ->
       if is_home t then begin
         enqueue_replication ~avoid t;
-        (* Pay down invalidation debt: keep re-sending the Invalidate a
-           past write round could not deliver, until the holder acks (or
-           evicts, or accepts a fresh grant). Skip currently-suspected
-           debtors — the send would only bounce — and never the owner,
-           whose copy is the live one. *)
-        let dues =
-          NSet.fold
-            (fun n acc ->
-              if n = t.owner || n = t.cfg.self || List.mem n avoid then acc
-              else Send (n, Invalidate { fence = t.fence }) :: acc)
-            t.revoke []
-        in
-        pump_home t dues
+        pump_home t []
       end
       else []
     | Unreachable { node } ->
-      (* Fail-fast signal from the daemon's failure detector: stop letting
-         [node] block progress, but — unlike Evict_notify — keep it in the
-         copyset. A partitioned holder still has a protocol-valid stale
-         copy; forgetting it here would exempt it from every later
-         invalidation round and let it serve stale reads forever. *)
+      (* Fail-fast signal from the daemon's failure detector. Suspicion is
+         only a hint: it short-circuits the retry ladder for *reads*,
+         whose fail-over targets (other valid copies, or the write-through
+         backup) are all current. Writes ignore it — an invalidation round
+         or ownership transfer must keep waiting for the suspect, because
+         if it is partitioned rather than dead it still holds (and serves)
+         its copy, and a write completed around it would fork history. *)
       if not (is_home t) then []
       else (
         match t.txn with
-        | Inval_phase { dest; waiting; timer; attempts; fence }
-          when NSet.mem node waiting ->
-          let waiting = NSet.remove node waiting in
-          t.revoke <- NSet.add node t.revoke;
-          if NSet.is_empty waiting then ownership_phase ~fence t dest []
-          else begin
-            t.txn <- Inval_phase { dest; waiting; timer; attempts; fence };
-            []
-          end
         | Read_flight { dest; source; tried; _ } when source = node ->
           fail_over t ~dest ~mode:Read ~tried:(NSet.add node tried) []
-        | Own_flight { dest; source; tried; _ } when source = node ->
-          fail_over t ~dest ~mode:Write ~tried:(NSet.add node tried) []
         | Await_done { dest; _ } when dest = node ->
           (* The grantee itself is suspected. Stop waiting for its ack;
              ownership/copyset were recorded at grant time so the books

@@ -31,6 +31,12 @@ module type MACHINE = sig
   val version : t -> Types.version
   (** Version of the local copy (0 when none). *)
 
+  val backup_version : t -> Types.version
+  (** Home-side: version of the manager's recovery backup (0 when the
+      protocol keeps none). The newest write the home can vouch for —
+      anything older arriving out of band (a retried flush, a late
+      update) is obsolete and must not overwrite durable state. *)
+
   val holders : t -> Types.node_id list
   (** Home-side view of the nodes believed to hold a copy (including the
       owner and the home itself when it holds data). [[]] off-home —
@@ -68,6 +74,7 @@ let packed_has_valid_copy (Packed ((module M), m)) = M.has_valid_copy m
 let packed_is_owner (Packed ((module M), m)) = M.is_owner m
 let packed_locks_held (Packed ((module M), m)) = M.locks_held m
 let packed_version (Packed ((module M), m)) = M.version m
+let packed_backup_version (Packed ((module M), m)) = M.backup_version m
 let packed_holders (Packed ((module M), m)) = M.holders m
 let packed_busy (Packed ((module M), m)) = M.busy m
 let packed_name (Packed ((module M), _)) = M.name

@@ -66,6 +66,7 @@ let has_valid_copy t = t.data <> None
 let is_owner t = ignore t; false
 let locks_held t = Local_locks.held t.locks
 let version t = t.ver
+let backup_version _ = 0
 let is_home t = t.cfg.self = t.cfg.home
 
 let holders t =

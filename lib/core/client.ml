@@ -1,9 +1,28 @@
 module Trace = Ktrace.Trace
 module Op_ctx = Ktrace.Op_ctx
+module History = Kcheck.History
 
-type t = { daemon : Daemon.t; principal : int }
+type t = {
+  daemon : Daemon.t;
+  principal : int;
+  mutable hist : History.recorder option;
+  (* open transactions' history op ids, keyed by Daemon.txn_uid *)
+  hist_txns : (int, int) Hashtbl.t;
+}
 
-let connect daemon ~principal = { daemon; principal }
+let connect daemon ~principal =
+  { daemon; principal; hist = None; hist_txns = Hashtbl.create 8 }
+
+let set_history t r = t.hist <- r
+
+(* Outcome classification for the history: an error that may have left
+   the operation applied anyway (silence, a node mid-crash, an opaque
+   rpc failure) is [Maybe]; an error raised before anything could land
+   is a definite [Fail]. [Maybe] is always sound — it only weakens what
+   the checker may assume. *)
+let classify_error = function
+  | `Timeout | `Unreachable | `Unavailable _ | `Rpc _ -> History.Maybe
+  | `Conflict _ | `Access_denied | `Not_allocated | `Bad_range -> History.Fail
 let daemon t = t.daemon
 let principal t = t.principal
 
@@ -90,37 +109,103 @@ let widen_error : Daemon.error -> [> Daemon.error ] = function
 let txn t ?ctx f =
   with_op t "client.txn" ctx (fun ctx ->
       let txn = Daemon.txn_begin t.daemon ~ctx in
+      let uid = Daemon.txn_uid txn in
+      (match t.hist with
+      | Some r -> Hashtbl.replace t.hist_txns uid (History.invoke r History.Txn)
+      | None -> ());
+      let record status =
+        (match t.hist with
+        | Some r -> (
+          match Hashtbl.find_opt t.hist_txns uid with
+          | Some id -> History.finish r ~id status
+          | None -> ())
+        | None -> ());
+        Hashtbl.remove t.hist_txns uid
+      in
       let result =
         try f txn
         with e ->
           Daemon.txn_abort t.daemon txn;
+          record History.Fail;
           raise e
       in
       match result with
       | Ok v -> (
         match Daemon.txn_commit t.daemon txn with
-        | Ok () -> Ok v
-        | Error e -> Error (widen_error e))
+        | Ok () ->
+          record History.Ok_;
+          Ok v
+        | Error e ->
+          (* commit errors other than a definite conflict leave the
+             decision with the coordinator machinery: the transaction
+             may still land (recovery rebroadcast), so it is ambiguous *)
+          record (classify_error e);
+          Error (widen_error e))
       | Error _ as e ->
         Daemon.txn_abort t.daemon txn;
+        record History.Fail;
         e)
+
+let txn_hist_id t txn =
+  match t.hist with
+  | None -> None
+  | Some r -> (
+    match Hashtbl.find_opt t.hist_txns (Daemon.txn_uid txn) with
+    | Some id -> Some (r, id)
+    | None -> None)
 
 let txn_read t txn ~addr ~len =
   match Daemon.txn_read t.daemon txn ~addr ~len with
-  | Ok _ as ok -> ok
+  | Ok bytes as ok ->
+    (match txn_hist_id t txn with
+    | Some (r, id) -> History.txn_read_entry r ~id addr (Bytes.to_string bytes)
+    | None -> ());
+    ok
   | Error e -> Error (widen_error e)
 
 let txn_write t txn ~addr data =
   match Daemon.txn_write t.daemon txn ~addr data with
-  | Ok _ as ok -> ok
+  | Ok _ as ok ->
+    (match txn_hist_id t txn with
+    | Some (r, id) -> History.txn_write_entry r ~id addr (Bytes.to_string data)
+    | None -> ());
+    ok
   | Error e -> Error (widen_error e)
 
 let read_bytes t ?ctx ~addr len =
   with_op t "client.read_bytes" ctx (fun ctx ->
-      with_lock_in t ctx ~addr ~len Kconsistency.Types.Read (fun lctx ->
-          read t lctx ~addr ~len))
+      let hid =
+        Option.map
+          (fun r -> (r, History.invoke r (History.Read { addr; len })))
+          t.hist
+      in
+      let res =
+        with_lock_in t ctx ~addr ~len Kconsistency.Types.Read (fun lctx ->
+            read t lctx ~addr ~len)
+      in
+      (match hid with
+      | Some (r, id) -> (
+        match res with
+        | Ok bytes -> History.finish r ~id ~value:(Bytes.to_string bytes) History.Ok_
+        | Error e -> History.finish r ~id (classify_error e))
+      | None -> ());
+      res)
 
 let write_bytes t ?ctx ~addr data =
   with_op t "client.write_bytes" ctx (fun ctx ->
-      with_lock_in t ctx ~addr ~len:(Bytes.length data)
-        Kconsistency.Types.Write (fun lctx -> write t lctx ~addr data))
+      let hid =
+        Option.map
+          (fun r ->
+            ( r,
+              History.invoke r
+                (History.Write { addr; value = Bytes.to_string data }) ))
+          t.hist
+      in
+      let res = Daemon.write_sync t.daemon ~ctx ~addr data in
+      (match hid with
+      | Some (r, id) -> (
+        match res with
+        | Ok () -> History.finish r ~id History.Ok_
+        | Error e -> History.finish r ~id (classify_error e))
+      | None -> ());
+      res)

@@ -25,6 +25,14 @@ val daemon : t -> Daemon.t
 val principal : t -> int
 (** The principal operations run as. *)
 
+val set_history : t -> Kcheck.History.recorder option -> unit
+(** Install (or remove) a consistency-checking history recorder. While
+    set, every {!read_bytes}, {!write_bytes} and {!txn} emits
+    invoke/return entries — timeouts and unreachable peers recorded as
+    ambiguous ("maybe applied") — and transactional reads/writes emit
+    per-address sub-entries, for {!Kcheck.Check.analyze} after the run.
+    Costs nothing when unset. *)
+
 (** {1 The paper's operations} *)
 
 val reserve :

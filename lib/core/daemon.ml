@@ -1096,6 +1096,20 @@ let refresh_descriptor t ctx (region : Region.t) =
       Some fresh
     | Ok _ | Error (`Timeout | `Unreachable) -> None
 
+(* Is [page] covered by a prepared-but-undecided transaction at this
+   participant? Two-phase locking holds every lock through the decision,
+   but a participant that crashed after voting lost its in-memory lock
+   state — only the prepared record survives, so it must keep fencing the
+   page until resolution. Without the fence a rebuilt home serves (and
+   lets writers clobber) the pre-transaction image after the coordinator
+   already acknowledged the commit. *)
+let in_doubt t page =
+  Txid.Table.length t.txn_prepared > 0
+  && Txid.Table.fold
+       (fun _ entry acc ->
+         acc || List.exists (fun (p, _) -> p = page) entry.p_pages)
+       t.txn_prepared false
+
 let lock t ~ctx ~addr ~len mode =
   match down_guard t with
   | Some e -> Error e
@@ -1149,6 +1163,9 @@ let lock t ~ctx ~addr ~len mode =
       let pages =
         Gaddr.pages_in addr ~len ~page_size:region.Region.attr.Attr.page_size
       in
+      if List.exists (fun p -> in_doubt t p) pages then
+        Error (`Conflict "transaction in doubt")
+      else begin
       (* One backoff across the whole multi-page acquire: every failed
          attempt anywhere in the range widens the pause before the next. *)
       let backoff =
@@ -1230,6 +1247,7 @@ let lock t ~ctx ~addr ~len mode =
         in
         t.next_ctx <- t.next_ctx + 1;
         Ok lctx
+      end
     end
 
 let unlock t ctx =
@@ -1318,6 +1336,79 @@ let write t ctx ~addr data =
      | Error e -> finish_status t span (error_to_string e));
     result
   end
+
+(* Strict plain-write entry point: lock, write, unlock, then push the
+   dirty image through to the region home before reporting success. The
+   CREW ack-at-unlock leaves the only fresh copy in the writer's RAM; under
+   strict consistency that breaks two promises an acknowledged write makes
+   — it must survive the writer crashing, and it must be what the home's
+   backup serves when read fail-over routes around that crashed writer.
+   The write-through keeps both: the home WALs the image and refreshes its
+   manager backup before we ack. A flush that cannot reach the home keeps
+   retrying in the background and surfaces as the ambiguous [`Timeout] —
+   the write may or may not be visible to others yet. *)
+(* The write-through itself, shared by plain writes and transaction
+   commits: snapshot each page's current image and protocol version and
+   push them to the region home. The snapshot runs after the lock release
+   bumped the machine version; a page already evicted needs no flush (the
+   eviction shipped its bytes home as [Own_return]). Pages that cannot
+   reach the home keep flushing in the background; the return value says
+   whether everything landed synchronously. *)
+let flush_through t ~ctx (region : Region.t) pages =
+  let images =
+    List.filter_map
+      (fun page ->
+        match Store.read_immediate t.store page with
+        | Some img ->
+          let version =
+            match Gaddr.Table.find_opt t.machines page with
+            | Some slot -> Machine.packed_version slot.packed
+            | None -> 0
+          in
+          Some (page, Bytes.copy img, version)
+        | None -> None)
+      pages
+  in
+  let flush (page, img, version) =
+    match
+      rpc t ctx ~policy:Wire.Policy.idempotent ~dst:region.Region.home
+        (Wire.Page_flush
+           { page; region_base = region.Region.base; data = img; version })
+    with
+    | Ok Wire.R_unit -> true
+    | Ok _ | Error (`Timeout | `Unreachable) -> false
+  in
+  match List.filter (fun i -> not (flush i)) images with
+  | [] -> true
+  | failed ->
+    List.iter
+      (fun i -> background_retry t ~name:"page-flush" (fun () -> flush i))
+      failed;
+    false
+
+(* Does an acknowledged write to this region owe the home a synchronous
+   write-through? Only strict (CREW) regions homed elsewhere: the home's
+   own writes already pass through its WAL and backup. *)
+let needs_flush t (region : Region.t) =
+  region.Region.home <> t.id
+  && region.Region.attr.Attr.protocol = Kconsistency.Crew.name
+
+let write_sync t ~ctx ~addr data =
+  match lock t ~ctx ~addr ~len:(Bytes.length data) Ctypes.Write with
+  | Error e -> Error e
+  | Ok lctx ->
+    let result = write t lctx ~addr data in
+    let region = lctx.ctx_region in
+    let written =
+      Gaddr.Table.fold (fun page () acc -> page :: acc) lctx.ctx_written []
+    in
+    unlock t lctx;
+    (match result with
+     | Error _ as e -> e
+     | Ok () ->
+       if (not (needs_flush t region)) || flush_through t ~ctx region written
+       then Ok ()
+       else Error `Timeout)
 
 let get_attr t ~ctx addr =
   match down_guard t with
@@ -1486,30 +1577,142 @@ let txn_ack_decide t gtx dst =
 
 type txn = {
   txn_op : Op_ctx.t;
+  txn_uid : int;
   mutable txn_locks : lock_ctx list;
   mutable txn_writes : (Gaddr.t * bytes) list;  (* newest first *)
+  mutable txn_reads : (Gaddr.t * bytes) list;
+      (* stored bytes observed through Read-mode contexts, pre-overlay —
+         re-checked if the covering lock is upgraded *)
   mutable txn_live : bool;
 }
 
+let next_txn_uid = ref 0
+
 let txn_begin t ~ctx =
   ignore t;
-  { txn_op = ctx; txn_locks = []; txn_writes = []; txn_live = true }
+  let uid = !next_txn_uid in
+  incr next_txn_uid;
+  {
+    txn_op = ctx;
+    txn_uid = uid;
+    txn_locks = [];
+    txn_writes = [];
+    txn_reads = [];
+    txn_live = true;
+  }
 
-(* Strict two-phase locking: every range a transaction touches — read or
-   write — is locked in write-intent mode at first touch and held to the
-   end, so the buffered images computed at commit cannot be invalidated
-   by a concurrent writer, and no other node can observe them early. *)
-let txn_lock t txn ~addr ~len =
-  match
-    List.find_opt (fun c -> ctx_covers c addr ~len) txn.txn_locks
-  with
+let txn_uid txn = txn.txn_uid
+
+let txn_release_locks t txn =
+  let locks = txn.txn_locks in
+  txn.txn_locks <- [];
+  List.iter (fun c -> unlock t c) locks
+
+(* The transaction lost lock coverage it had relied on (failed upgrade):
+   its observations are no longer protected, so it cannot be allowed to
+   commit. Buffered writes are dropped; nothing was staged. *)
+let txn_kill t txn =
+  txn.txn_live <- false;
+  txn.txn_writes <- [];
+  txn.txn_reads <- [];
+  Metrics.incr t.metrics "txn.abort";
+  txn_release_locks t txn
+
+(* After re-acquiring released read ranges in Write mode, re-read every
+   recorded observation the new contexts cover: a writer that slipped
+   into the release window must turn the upgrade into an abort, not a
+   lost update. *)
+let txn_validate_reads t txn new_ctxs =
+  let rec go = function
+    | [] -> Ok ()
+    | (addr, seen) :: rest -> (
+      let len = Bytes.length seen in
+      match List.find_opt (fun c -> ctx_covers c addr ~len) new_ctxs with
+      | None -> go rest
+      | Some c -> (
+        match read t c ~addr ~len with
+        | Error e -> Error e
+        | Ok now ->
+          if Bytes.equal now seen then go rest
+          else Error (`Conflict "read range changed during lock upgrade")))
+  in
+  go txn.txn_reads
+
+(* Strict two-phase locking with shared read locks: a range first touched
+   by [txn_read] is locked in [Read] mode (read-mostly transactions no
+   longer serialize against each other), a written range in [Write] mode,
+   and all locks are held to the end. Writing a range held only in Read
+   mode upgrades it by release-reacquire-validate: an in-place upgrade
+   would self-deadlock (the local lock table grants Write only at zero
+   readers, and we are one of the readers), so the Read contexts are
+   released, re-acquired in Write mode, and the observations they covered
+   re-validated — any change aborts with [`Conflict]. *)
+let txn_lock t txn ~addr ~len ~mode =
+  let covering_write () =
+    List.find_opt
+      (fun c -> c.ctx_mode = Ctypes.Write && ctx_covers c addr ~len)
+      txn.txn_locks
+  in
+  match covering_write () with
   | Some c -> Ok c
   | None -> (
-    match lock t ~ctx:txn.txn_op ~addr ~len Ctypes.Write with
-    | Ok c ->
-      txn.txn_locks <- c :: txn.txn_locks;
-      Ok c
-    | Error e -> Error e)
+    match mode with
+    | Ctypes.Read -> (
+      match
+        List.find_opt (fun c -> ctx_covers c addr ~len) txn.txn_locks
+      with
+      | Some c -> Ok c
+      | None -> (
+        match lock t ~ctx:txn.txn_op ~addr ~len Ctypes.Read with
+        | Ok c ->
+          txn.txn_locks <- c :: txn.txn_locks;
+          Ok c
+        | Error e -> Error e))
+    | Ctypes.Write -> (
+      let wend = Gaddr.add_int addr len in
+      let overlaps c =
+        c.ctx_live
+        && Gaddr.compare c.ctx_addr wend < 0
+        && Gaddr.compare addr (Gaddr.add_int c.ctx_addr c.ctx_len) < 0
+      in
+      let to_upgrade, keep =
+        List.partition
+          (fun c -> c.ctx_mode = Ctypes.Read && overlaps c)
+          txn.txn_locks
+      in
+      txn.txn_locks <- keep;
+      List.iter (fun c -> unlock t c) to_upgrade;
+      let rec reacquire acc = function
+        | [] -> Ok acc
+        | c :: rest -> (
+          match
+            lock t ~ctx:txn.txn_op ~addr:c.ctx_addr ~len:c.ctx_len Ctypes.Write
+          with
+          | Ok c' ->
+            txn.txn_locks <- c' :: txn.txn_locks;
+            reacquire (c' :: acc) rest
+          | Error e -> Error e)
+      in
+      match reacquire [] to_upgrade with
+      | Error e ->
+        txn_kill t txn;
+        Error e
+      | Ok new_ctxs -> (
+        match txn_validate_reads t txn new_ctxs with
+        | Error e ->
+          txn_kill t txn;
+          Error e
+        | Ok () -> (
+          match covering_write () with
+          | Some c -> Ok c
+          | None -> (
+            match lock t ~ctx:txn.txn_op ~addr ~len Ctypes.Write with
+            | Ok c ->
+              txn.txn_locks <- c :: txn.txn_locks;
+              Ok c
+            | Error e ->
+              if to_upgrade <> [] then txn_kill t txn;
+              Error e)))))
 
 let txn_dead_guard txn =
   if txn.txn_live then None else Some (`Conflict "transaction finished")
@@ -1533,12 +1736,14 @@ let txn_read t txn ~addr ~len =
     match down_guard t with
     | Some e -> Error e
     | None -> (
-      match txn_lock t txn ~addr ~len with
+      match txn_lock t txn ~addr ~len ~mode:Ctypes.Read with
       | Error e -> Error e
       | Ok c -> (
         match read t c ~addr ~len with
         | Error e -> Error e
         | Ok out ->
+          if c.ctx_mode = Ctypes.Read then
+            txn.txn_reads <- (addr, Bytes.copy out) :: txn.txn_reads;
           (* Read-your-writes: buffered writes overlay the stored bytes,
              oldest first so later writes win. *)
           List.iter (overlay_write ~addr ~len out) (List.rev txn.txn_writes);
@@ -1551,21 +1756,17 @@ let txn_write t txn ~addr data =
     match down_guard t with
     | Some e -> Error e
     | None -> (
-      match txn_lock t txn ~addr ~len:(Bytes.length data) with
+      match txn_lock t txn ~addr ~len:(Bytes.length data) ~mode:Ctypes.Write with
       | Error e -> Error e
       | Ok _ ->
         txn.txn_writes <- (addr, Bytes.copy data) :: txn.txn_writes;
         Ok ()))
 
-let txn_release_locks t txn =
-  let locks = txn.txn_locks in
-  txn.txn_locks <- [];
-  List.iter (fun c -> unlock t c) locks
-
 let txn_abort t txn =
   if txn.txn_live then begin
     txn.txn_live <- false;
     txn.txn_writes <- [];
+    txn.txn_reads <- [];
     Metrics.incr t.metrics "txn.abort";
     (* No writes were staged through the lock contexts, so releasing
        propagates nothing: the store still holds the pre-transaction
@@ -1581,7 +1782,11 @@ let txn_images t txn =
   let order = ref [] in
   let stage (addr, data) =
     let len = Bytes.length data in
-    match List.find_opt (fun c -> ctx_covers c addr ~len) txn.txn_locks with
+    match
+      List.find_opt
+        (fun c -> c.ctx_mode = Ctypes.Write && ctx_covers c addr ~len)
+        txn.txn_locks
+    with
     | None -> Error (`Conflict "write range lost its lock")
     | Some c ->
       let region = c.ctx_region in
@@ -1760,7 +1965,8 @@ let txn_commit t txn =
                      match
                        List.find_opt
                          (fun c ->
-                           ctx_covers c addr ~len:(Bytes.length data))
+                           c.ctx_mode = Ctypes.Write
+                           && ctx_covers c addr ~len:(Bytes.length data))
                          txn.txn_locks
                      with
                      | Some c -> ignore (write t c ~addr data)
@@ -1780,7 +1986,20 @@ let txn_commit t txn =
                        | Ok Wire.R_unit -> txn_ack_decide t gtx dst
                        | Ok _ | Error (`Timeout | `Unreachable) -> ())
                    remote;
-                 txn_release_locks t txn
+                 txn_release_locks t txn;
+                 (* Write the committed images through to their homes,
+                    exactly as [write_sync] does for plain writes: the
+                    flush refreshes each home's WAL and manager backup
+                    and — carrying byte-identical images — clears the
+                    participants' txn pins, so the pin-repair pass never
+                    has to resurrect an image a later write superseded.
+                    The commit point has passed, so flush failures only
+                    arm background retries; the result stays [Ok]. *)
+                 List.iter
+                   (fun (page, region, _img) ->
+                     if needs_flush t region then
+                       ignore (flush_through t ~ctx region [ page ]))
+                   images
                end;
                finish_status t span "committed";
                (* The decision is durable: the transaction is committed
@@ -1916,6 +2135,12 @@ let txn_maintenance t epoch =
 (* ------------------------------------------------------------------ *)
 
 let serve_cm_msg t ctx ~src ~page ~region_base body =
+  (* In-doubt fence, protocol side: remote lock traffic for a page with a
+     prepared-undecided transaction gets silence, not a stale grant. The
+     peer's retry ladder absorbs the timeout and the page opens up as
+     soon as the decision lands. *)
+  if in_doubt t page then ()
+  else
   match Gaddr.Table.find_opt t.machines page with
   | Some slot -> feed t ~span:(Op_ctx.span ctx) slot page (Ctypes.Peer { src; msg = body })
   | None ->
@@ -2055,6 +2280,48 @@ let serve t ~src ~span request ~reply =
            (match Gaddr.Table.find_opt t.machines page with
            | Some slot -> Machine.packed_has_valid_copy slot.packed
            | None -> false))
+    | Wire.Page_flush { page; region_base; data; version } -> (
+      match Gaddr.Table.find_opt t.homed region_base with
+      | Some region when Region.contains region page ->
+        let slot = machine_for t region page in
+        if version < Machine.packed_backup_version slot.packed then
+          (* An obsolete image: a background retry finally delivering a
+             flush some newer write has already overtaken. Applying it
+             would plant stale bytes in the WAL (replayed last on
+             recovery) and the store. Ack it — the writer's obligation
+             was discharged by whatever superseded it. *)
+          reply Wire.R_unit
+        else begin
+        (* Write-ahead first: the ack promises the image survives a home
+           crash. Then let the machine absorb it — CREW's Update keeps the
+           freshest version as the manager backup, so read fail-over
+           around a crashed owner serves nothing older than this write.
+           The store copy stays machine-governed: only write it when the
+           machine holds no valid copy of its own. *)
+        let tx = Wal.begin_tx t.wal in
+        Wal.log_page t.wal tx page data;
+        Wal.commit t.wal tx;
+        (* A flush carrying exactly a pinned committed image discharges
+           the pin — but only when the home machine holds no copy of its
+           own, so the store write below leaves store = pinned image and
+           readers fetch from the (fresh) owner. While the home still
+           caches bytes of its own they may be the stale pre-transaction
+           copy the pin exists to overwrite: keep it and let the repair
+           pass force the committed image through the CM. *)
+        let has_copy = Machine.packed_has_valid_copy slot.packed in
+        (match Gaddr.Table.find_opt t.txn_pins page with
+         | Some pin when (not has_copy) && Bytes.equal pin.pin_img data ->
+           Gaddr.Table.remove t.txn_pins page
+         | Some _ | None -> ());
+        feed t ~span:sspan slot page
+          (Ctypes.Peer { src; msg = Ctypes.Update { data; version } });
+        if not has_copy then begin
+          Store.write_immediate t.store page data ~dirty:false;
+          Store.flush_immediate t.store page
+        end;
+        reply Wire.R_unit
+        end
+      | Some _ | None -> reply (Wire.R_error "not my region"))
     | Wire.Tx_prepare { gtx; pages } ->
       txn_step t "part.prepare_recv";
       (* The crash hook may have taken the node down mid-handler; a dead

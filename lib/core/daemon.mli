@@ -177,6 +177,18 @@ val write :
   t -> lock_ctx -> addr:Kutil.Gaddr.t -> bytes -> (unit, error) result
 (** Update part of the locked range; requires a write-mode context. *)
 
+val write_sync :
+  t -> ctx:Ktrace.Op_ctx.t -> addr:Kutil.Gaddr.t -> bytes -> (unit, error)
+  result
+(** Whole plain write — lock, write, unlock — plus, for strict (CREW)
+    regions homed elsewhere, a synchronous write-through of the dirty
+    pages to the region home before success is reported. The flush is
+    what lets an acknowledged write survive the writer crashing, and
+    what keeps the home's backup (the source for read fail-over around a
+    crashed owner) as fresh as every acknowledged write. If the home
+    cannot be reached the image keeps flushing in the background and the
+    call returns the ambiguous [`Timeout]. *)
+
 val get_attr : t -> ctx:Ktrace.Op_ctx.t -> Kutil.Gaddr.t -> (Attr.t, error) result
 (** Attributes of the region containing the address. *)
 
@@ -187,9 +199,10 @@ val set_attr :
 
 (** {1 Distributed atomic transactions (2PC over the WAL)}
 
-    A transaction buffers writes under write-intent locks taken through
-    the ordinary {!lock} path (strict 2PL: every range touched is locked
-    at first touch and held to the end). {!txn_commit} computes the new
+    A transaction buffers writes under locks taken through the ordinary
+    {!lock} path (strict 2PL: every range touched is locked at first
+    touch and held to the end — read ranges in shared [Read] mode,
+    written ranges in [Write] mode). {!txn_commit} computes the new
     page images, groups them by region home, and runs two-phase commit:
     each participant home forces the images plus a prepare record through
     its WAL, then the coordinator forces the commit decision through its
@@ -204,11 +217,18 @@ type txn
 
 val txn_begin : t -> ctx:Ktrace.Op_ctx.t -> txn
 
+val txn_uid : txn -> int
+(** A process-unique identity for the handle (stable across its life;
+    used by history recorders to correlate reads and writes). *)
+
 val txn_read :
   t -> txn -> addr:Kutil.Gaddr.t -> len:int -> (bytes, error) result
 (** Read within the transaction, observing its own buffered writes
-    (read-your-writes). Takes the range's write-intent lock at first
-    touch. *)
+    (read-your-writes). Takes a shared [Read] lock on the range at first
+    touch; a later {!txn_write} overlapping it upgrades the lock by
+    release-reacquire-validate — if another transaction changed the
+    bytes inside the upgrade window, this transaction aborts with
+    [`Conflict] instead of losing the update. *)
 
 val txn_write :
   t -> txn -> addr:Kutil.Gaddr.t -> bytes -> (unit, error) result

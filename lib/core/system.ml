@@ -60,6 +60,11 @@ let set_disk_faults t node faults = Daemon.set_disk_faults (daemon t node) fault
 let partition t a b = Wire.Sim.Net.partition (net t) a b
 let heal t = Wire.Sim.Net.heal (net t)
 
+let set_frame_faults t ?seed ?drop ?duplicate ?delay () =
+  Wire.Sim.Net.set_frame_faults (net t) ?seed ?drop ?duplicate ?delay ()
+
+let clear_frame_faults t = Wire.Sim.Net.clear_frame_faults (net t)
+
 let create ?(seed = 42) ?config ?lan ?wan ~nodes_per_cluster ~clusters () =
   let engine = Ksim.Engine.create ~seed () in
   let topology = Topology.symmetric ~nodes_per_cluster ~clusters in

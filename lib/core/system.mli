@@ -79,3 +79,13 @@ val partition : t -> Knet.Topology.node_id list -> Knet.Topology.node_id list ->
 
 val heal : t -> unit
 (** Remove every partition. *)
+
+val set_frame_faults :
+  t -> ?seed:int -> ?drop:float -> ?duplicate:float -> ?delay:float ->
+  unit -> unit
+(** Arm the simulated network's seeded frame-fault shim (drop, duplicate,
+    extra delay per envelope) — the same knob
+    [Transport_unix.set_frame_faults] exposes for real sockets. See
+    {!Knet.Network.Make.set_frame_faults}. *)
+
+val clear_frame_faults : t -> unit

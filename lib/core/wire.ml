@@ -70,6 +70,14 @@ type request =
           Presumed abort — a coordinator with no record of the decision
           answers aborted, unless the transaction is still in its voting
           window. *)
+  | Page_flush of
+      { page : Gaddr.t; region_base : Gaddr.t; data : bytes; version : int }
+      (** Writer -> region home: write-through of a freshly written page
+          image under strict consistency. The home logs and installs the
+          image (keeping its manager backup as fresh as every acknowledged
+          write) before acking; the writer acks its client only after the
+          flush, so an owner crash can no longer swallow an acknowledged
+          write. Idempotent — the home keeps the freshest version. *)
 
 type tx_state = Tx_committed | Tx_aborted | Tx_in_progress
 
@@ -108,6 +116,7 @@ let request_size = function
     20 + List.fold_left (fun a (_, img) -> a + addr_size + Bytes.length img) 0 pages
   | Tx_decide _ -> 21
   | Tx_status _ -> 20
+  | Page_flush { data; _ } -> (2 * addr_size) + 16 + Bytes.length data
 
 let response_size = function
   | R_unit -> 8
@@ -142,6 +151,7 @@ let request_kind = function
   | Tx_prepare _ -> "tx_prepare"
   | Tx_decide _ -> "tx_decide"
   | Tx_status _ -> "tx_status"
+  | Page_flush _ -> "page_flush"
 
 (* ---------------- byte codecs ---------------- *)
 
@@ -211,6 +221,12 @@ let encode_request enc req =
   | Tx_status { gtx } ->
     Codec.u8 enc 16;
     Kutil.Txid.encode enc gtx
+  | Page_flush { page; region_base; data; version } ->
+    Codec.u8 enc 17;
+    Codec.u128 enc page;
+    Codec.u128 enc region_base;
+    Codec.bytes enc data;
+    Codec.int enc version
 
 let decode_request dec =
   match Codec.read_u8 dec with
@@ -253,6 +269,11 @@ let decode_request dec =
     let gtx = Kutil.Txid.decode dec in
     Tx_decide { gtx; commit = Codec.read_bool dec }
   | 16 -> Tx_status { gtx = Kutil.Txid.decode dec }
+  | 17 ->
+    let page = Codec.read_u128 dec in
+    let region_base = Codec.read_u128 dec in
+    let data = Codec.read_bytes dec in
+    Page_flush { page; region_base; data; version = Codec.read_int dec }
   | n -> raise (Codec.Decode_error (Printf.sprintf "Wire.request: tag %d" n))
 
 let encode_response enc resp =

@@ -40,6 +40,14 @@ module Make (M : MESSAGE) = struct
     mutable trace :
       (Ksim.Time.t -> src:Topology.node_id -> dst:Topology.node_id -> M.t -> unit)
       option;
+    (* Seeded frame-level fault shim, mirroring Transport_unix's: each
+       remote envelope independently dropped/duplicated/delayed. Off by
+       default; draws only from its private rng so arming it never
+       perturbs the engine's seeded draw sequence. *)
+    mutable ff_drop : float;
+    mutable ff_duplicate : float;
+    mutable ff_delay : float;
+    mutable frng : Kutil.Rng.t;
   }
 
   let create engine topology =
@@ -63,6 +71,10 @@ module Make (M : MESSAGE) = struct
       bytes_sent = 0;
       by_kind = Hashtbl.create 32;
       trace = None;
+      ff_drop = 0.0;
+      ff_duplicate = 0.0;
+      ff_delay = 0.0;
+      frng = Kutil.Rng.create ~seed:0x66726d;
     }
 
   let engine t = t.engine
@@ -174,10 +186,42 @@ module Make (M : MESSAGE) = struct
               (float_of_int (M.size_bytes msg) /. profile.bandwidth_bps)
           in
           let delay = profile.base_latency + jitter + serialisation in
-          schedule_delivery t ~after:delay ~src ~dst msg
+          if t.ff_drop > 0.0 && Kutil.Rng.float t.frng 1.0 < t.ff_drop then
+            t.dropped <- t.dropped + 1
+          else begin
+            let extra () =
+              if t.ff_delay > 0.0 then
+                Ksim.Time.of_sec_f (Kutil.Rng.float t.frng t.ff_delay)
+              else 0
+            in
+            schedule_delivery t ~after:(delay + extra ()) ~src ~dst msg;
+            if
+              t.ff_duplicate > 0.0
+              && Kutil.Rng.float t.frng 1.0 < t.ff_duplicate
+            then begin
+              (* the duplicate is a second envelope on the wire: count it
+                 as sent so the conservation invariant keeps holding *)
+              t.sent <- t.sent + 1;
+              schedule_delivery t ~after:(delay + extra ()) ~src ~dst msg
+            end
+          end
         end
       end
     end
+
+  let set_frame_faults t ?seed ?(drop = 0.0) ?(duplicate = 0.0) ?(delay = 0.0)
+      () =
+    (match seed with
+    | Some s -> t.frng <- Kutil.Rng.create ~seed:s
+    | None -> ());
+    t.ff_drop <- drop;
+    t.ff_duplicate <- duplicate;
+    t.ff_delay <- delay
+
+  let clear_frame_faults t =
+    t.ff_drop <- 0.0;
+    t.ff_duplicate <- 0.0;
+    t.ff_delay <- 0.0
 
   type stats = {
     sent : int;

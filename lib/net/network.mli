@@ -59,6 +59,21 @@ module Make (M : MESSAGE) : sig
 
   val reachable : t -> Topology.node_id -> Topology.node_id -> bool
 
+  val set_frame_faults :
+    t -> ?seed:int -> ?drop:float -> ?duplicate:float -> ?delay:float ->
+    unit -> unit
+  (** Arm a seeded frame-level fault shim mirroring
+      [Transport_unix.set_frame_faults]: each remote envelope is
+      independently dropped with probability [drop], duplicated with
+      probability [duplicate], and delayed by an extra uniform
+      [[0, delay]] seconds (defaults all zero). [seed] reseeds the shim's
+      private rng — it never draws from the engine's, so arming the shim
+      does not perturb an existing seeded run's draw sequence. Shim drops
+      count in [stats.dropped]; duplicates count as extra sent envelopes,
+      preserving the conservation invariant. *)
+
+  val clear_frame_faults : t -> unit
+
   (** {1 Accounting} *)
 
   type stats = {

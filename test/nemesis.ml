@@ -18,9 +18,19 @@
    - the whole run is reproducible: same seed, same final state, same
      simulated clock.
 
+   On top of the bespoke invariants, every sweep records an operation
+   history (Kcheck.History) through the client layer and hands the
+   verdict to the consistency checkers: per-address linearizability
+   (Wing–Gong) and strict serializability of the transaction set
+   (observed-version conflict graph). The combined sweep goes further
+   and fires partitions, crashes, disk faults and frame-level
+   drop/duplicate/delay in ONE seeded schedule — there the checker
+   verdict *is* the invariant.
+
    Everything — fault times, victims, partitions, workload targets — flows
    from the seed, so a failing seed replays exactly. Seeds come from
-   NEMESIS_SEEDS (comma-separated) or default to 1..5. *)
+   NEMESIS_SEEDS (comma-separated) or default to 1..5; a failing sweep
+   case prints the exact environment + command line that replays it. *)
 
 module System = Khazana.System
 module Client = Khazana.Client
@@ -31,12 +41,79 @@ module Disk_fault = Kstorage.Disk_fault
 module Store = Kstorage.Page_store
 module Gaddr = Kutil.Gaddr
 module Ctypes = Kconsistency.Types
+module History = Kcheck.History
+module Check = Kcheck.Check
 
 let ok = function
   | Ok v -> v
   | Error e -> Alcotest.failf "daemon error: %s" (Daemon.error_to_string e)
 
 let bytes_s = Bytes.of_string
+
+(* ---------------------- History instrumentation ---------------------- *)
+
+(* One recorder per client, all funnelled into one in-memory ring, stamped
+   with the simulated clock. Every read_bytes / write_bytes / txn the
+   workload issues from here on is part of the recorded history. *)
+let instrument sys clients =
+  let ring = History.Ring.create () in
+  Array.iteri
+    (fun n c ->
+      Client.set_history c
+        (Some
+           (History.recorder
+              ~now:(fun () -> System.now sys)
+              ~proc:n
+              (History.Ring.sink ring))))
+    clients;
+  ring
+
+(* Regions in these schedules are zero-filled at creation and carry 8-byte
+   stamped values, so an 8-byte read that races the first write may
+   legitimately observe zeroes. *)
+let zero_init _ = String.make 8 '\000'
+
+(* Run both checkers over the recorded history; on failure the summary
+   already contains the minimized counterexample. *)
+let assert_history_ok ~what ring =
+  let events = History.assemble (History.Ring.entries ring) in
+  let report = Check.analyze ~init:zero_init events in
+  if not (Check.passed report) then
+    Alcotest.failf "%s: %s" what (Check.summary report);
+  events
+
+(* A sweep failure must be reproducible from the terminal without reading
+   harness code: print the env var + command line that replays exactly
+   this seed of exactly this schedule, then re-raise. *)
+let with_repro ~group ~env ~seed f () =
+  try f ()
+  with e ->
+    Printf.eprintf
+      "\nnemesis: schedule %S seed %d FAILED — repro:\n  %s=%d dune exec \
+       test/nemesis.exe -- test %S\n\n%!"
+      group seed env seed group;
+    raise e
+
+(* Post-heal reads retried across a few suspicion/repair cycles: the value
+   must settle, and mixed states must never be observable. The one shared
+   settle-read helper — every schedule's validation reads go through it,
+   so instrumented clients record them as part of the history. *)
+let read_settled ?(len = 5) ?(retries = 8) sys c ~addr =
+  let rec go k =
+    let r =
+      System.run_fiber ~name:"settled-read" sys (fun () ->
+          Client.read_bytes c ~addr len)
+    in
+    match r with
+    | Ok b -> Bytes.to_string b
+    | Error _ when k > 0 ->
+      System.run_until_quiet ~limit:(Ksim.Time.sec 3) sys;
+      go (k - 1)
+    | Error e ->
+      Alcotest.failf "region unreadable after heal: %s"
+        (Daemon.error_to_string e)
+  in
+  go retries
 let node_count = 6
 let victims = [ 1; 2; 3; 4; 5 ] (* node 0: bootstrap + manager, never faulted *)
 let region_count = 5
@@ -294,6 +371,7 @@ let run_nemesis ?(disk = false) ~seed () =
   let clients =
     Array.init node_count (fun n -> System.client sys n ())
   in
+  let ring = instrument sys clients in
   let st = { down = []; partitioned = false; faulty = [] } in
   let regs =
     List.map
@@ -374,6 +452,12 @@ let run_nemesis ?(disk = false) ~seed () =
   if s.sent <> s.delivered + s.dropped + s.in_flight then
     Alcotest.failf "network accounting leak: sent %d <> %d + %d + %d" s.sent
       s.delivered s.dropped s.in_flight;
+  (* Checker verdict over the full recorded history: every region must be
+     explainable as a linearizable register under the whole schedule. *)
+  ignore
+    (assert_history_ok
+       ~what:(Printf.sprintf "%s sweep seed %d" (if disk then "disk" else "chaos") seed)
+       ring);
   String.concat ";" finals ^ Printf.sprintf "@%d" (System.now sys)
 
 (* ----------------------- Directed scenarios -------------------------- *)
@@ -667,26 +751,6 @@ let txn_write_both c txn a b va vb =
   | Error _ as e -> e
   | Ok () -> Client.txn_write c txn ~addr:b (bytes_s vb)
 
-(* Post-heal reads retried across a few suspicion/repair cycles: the value
-   must settle, and mixed states must never be observable. *)
-let read_settled ?(len = 5) sys node ~addr =
-  let c = System.client sys node () in
-  let rec go k =
-    let r =
-      System.run_fiber ~name:"2pc-read" sys (fun () ->
-          Client.read_bytes c ~addr len)
-    in
-    match r with
-    | Ok b -> Bytes.to_string b
-    | Error _ when k > 0 ->
-      System.run_until_quiet ~limit:(Ksim.Time.sec 3) sys;
-      go (k - 1)
-    | Error e ->
-      Alcotest.failf "region unreadable after heal: %s"
-        (Daemon.error_to_string e)
-  in
-  go 8
-
 let run_2pc_crash ~victim ~step ~nth () =
   let sys = mk ~seed:(97 + Hashtbl.hash (victim, step, nth) mod 1000) () in
   let c1 = System.client sys 1 () in
@@ -722,8 +786,9 @@ let run_2pc_crash ~victim ~step ~nth () =
      (resolver nag needs txn_resolve_after = 3 s of quiet). *)
   System.recover sys victim;
   System.run_until_quiet ~limit:(Ksim.Time.sec 40) sys;
-  let va = read_settled sys 4 ~addr:a in
-  let vb = read_settled sys 4 ~addr:b in
+  let c4 = System.client sys 4 () in
+  let va = read_settled sys c4 ~addr:a in
+  let vb = read_settled sys c4 ~addr:b in
   (match (va, vb) with
    | "old-a", "old-b" | "new-a", "new-b" -> ()
    | _ ->
@@ -770,9 +835,9 @@ let run_2pc_crash ~victim ~step ~nth () =
   follow_up 5;
   System.run_until_quiet ~limit:(Ksim.Time.sec 5) sys;
   Alcotest.(check string) "follow-up committed (a)" "fin-a"
-    (read_settled sys 4 ~addr:a);
+    (read_settled sys c4 ~addr:a);
   Alcotest.(check string) "follow-up committed (b)" "fin-b"
-    (read_settled sys 4 ~addr:b)
+    (read_settled sys c4 ~addr:b)
 
 (* Coordinator steps: nth picks the occurrence, so prepare_ack 1 is "after
    the first vote arrives" and decide_send 2 is "mid decision broadcast". *)
@@ -820,8 +885,9 @@ let test_2pc_partition_during_prepare () =
        (Daemon.error_to_string e));
   System.heal sys;
   System.run_until_quiet ~limit:(Ksim.Time.sec 40) sys;
-  Alcotest.(check string) "a untouched" "old-a" (read_settled sys 4 ~addr:a);
-  Alcotest.(check string) "b untouched" "old-b" (read_settled sys 4 ~addr:b);
+  let c4 = System.client sys 4 () in
+  Alcotest.(check string) "a untouched" "old-a" (read_settled sys c4 ~addr:a);
+  Alcotest.(check string) "b untouched" "old-b" (read_settled sys c4 ~addr:b);
   List.iter
     (fun n ->
       Alcotest.(check int)
@@ -900,11 +966,13 @@ let run_2pc_nemesis ~seed () =
   let rng = Kutil.Rng.create ~seed:(0x2bc + (seed * 7919)) in
   let homes = [ 1; 2; 3 ] in
   let coord = 4 in
-  let ccoord = System.client sys coord () in
+  let clients = Array.init node_count (fun n -> System.client sys n ()) in
+  let ring = instrument sys clients in
+  let ccoord = clients.(coord) in
   let regions =
     List.map
       (fun home ->
-        let c = System.client sys home () in
+        let c = clients.(home) in
         let r =
           System.run_fiber ~name:"2pc-create" sys (fun () ->
               let attr = Attr.make ~owner:home () in
@@ -950,7 +1018,7 @@ let run_2pc_nemesis ~seed () =
   let check_invariant round =
     let values =
       List.map
-        (fun addr -> read_settled ~len:8 sys 0 ~addr:(Gaddr.add_int addr 0))
+        (fun addr -> read_settled ~len:8 sys clients.(0) ~addr:(Gaddr.add_int addr 0))
         regions
     in
     (match values with
@@ -1024,7 +1092,415 @@ let run_2pc_nemesis ~seed () =
   let s = Khazana.Wire.Sim.Net.stats (System.net sys) in
   if s.sent <> s.delivered + s.dropped + s.in_flight then
     Alcotest.failf "network accounting leak: sent %d <> %d + %d + %d" s.sent
-      s.delivered s.dropped s.in_flight
+      s.delivered s.dropped s.in_flight;
+  (* The recorded transaction history must be strictly serializable and
+     every region linearizable — replaces eyeballing the ad-hoc asserts. *)
+  ignore (assert_history_ok ~what:(Printf.sprintf "2pc sweep seed %d" seed) ring)
+
+(* ---------------- Combined multi-fault schedule ----------------------- *)
+
+(* The tentpole schedule: partitions, crashes, disk faults AND frame-level
+   drop/duplicate/delay armed in ONE seeded run, over a mixed workload of
+   plain reads/writes and multi-region read-modify-write transactions (the
+   latter exercising the shared-read-lock upgrade path under fire). There
+   is deliberately no bespoke "which value may this read return"
+   bookkeeping here: the recorded history goes to the Kcheck checkers and
+   their verdict is the invariant. *)
+
+type combined = { fingerprint : string; events : History.event list }
+
+let combined_regions = 4
+
+let run_combined ~seed () =
+  let sys = mk ~small_ram:true ~seed () in
+  let profile = fault_profile seed in
+  let rng = Kutil.Rng.create ~seed:(0x636d62 + (seed * 7919)) in
+  let clients = Array.init node_count (fun n -> System.client sys n ()) in
+  let ring = instrument sys clients in
+  let st = { down = []; partitioned = false; faulty = [] } in
+  (* One global stamp: every value ever attempted — plain or
+     transactional — is distinct, as the serializability checker's
+     observed-version graph requires. *)
+  let stamp = ref 0 in
+  let fresh tag =
+    incr stamp;
+    Printf.sprintf "%02d%06d" tag !stamp
+  in
+  let regs =
+    List.map
+      (fun i ->
+        let home = 1 + i in
+        let r =
+          System.run_fiber ~name:"combined-create" sys (fun () ->
+              let attr = Attr.make ~owner:home ~min_replicas:2 () in
+              ok (Client.create_region clients.(home) ~attr 4096))
+        in
+        (home, r.Region.base))
+      (List.init combined_regions Fun.id)
+  in
+  let settle_all what =
+    List.iter
+      (fun (home, addr) ->
+        let rec attempt k =
+          let r =
+            System.run_fiber ~name:"combined-settle" sys (fun () ->
+                Client.write_bytes clients.(home) ~addr (bytes_s (fresh home)))
+          in
+          match r with
+          | Ok () -> ()
+          | Error _ when k > 0 ->
+            System.run_until_quiet ~limit:(Ksim.Time.sec 3) sys;
+            attempt (k - 1)
+          | Error e ->
+            Alcotest.failf "%s: settled write refused for home %d: %s" what
+              home (Daemon.error_to_string e)
+        in
+        attempt 4)
+      regs;
+    System.run_until_quiet ~limit:(Ksim.Time.sec 3) sys
+  in
+  settle_all "initial checkpoint";
+  (* Frame faults arm only after setup: region creation needs the address
+     map, and a dropped map-mutation frame is a test-harness timeout, not
+     an interesting fault. *)
+  System.set_frame_faults sys ~seed:(0xff00 + seed) ~drop:0.03 ~duplicate:0.03
+    ~delay:0.001 ();
+  let heal_everything () =
+    List.iter (fun n -> System.set_disk_faults sys n Disk_fault.none) st.faulty;
+    st.faulty <- [];
+    resync_down sys st;
+    List.iter (fun n -> System.recover sys n) st.down;
+    st.down <- [];
+    if st.partitioned then begin
+      System.heal sys;
+      st.partitioned <- false
+    end;
+    System.run_until_quiet ~limit:(Ksim.Time.sec 5) sys
+  in
+  for round = 1 to 7 do
+    resync_down sys st;
+    fault_step ~profile rng sys st;
+    (* Plain ops: one write + one read per region from random live nodes;
+       failures under fire are fine — the recorder marks them ambiguous
+       and the checkers honour the ambiguity. *)
+    List.iter
+      (fun (home, addr) ->
+        let writer = Option.get (pick rng (up_nodes st)) in
+        let reader = Option.get (pick rng (up_nodes st)) in
+        System.run_fiber ~name:"combined-workload" sys (fun () ->
+            (match
+               Client.write_bytes clients.(writer) ~addr (bytes_s (fresh home))
+             with
+            | Ok () | Error _ -> ());
+            match Client.read_bytes clients.(reader) ~addr 8 with
+            | Ok _ | Error _ -> ()))
+      regs;
+    (* One read-modify-write transaction across two random regions: the
+       reads take shared locks, the writes force the upgrade path. *)
+    let (_, a1), (_, a2) =
+      let arr = Array.of_list regs in
+      Kutil.Rng.shuffle rng arr;
+      (arr.(0), arr.(1))
+    in
+    let coord = Option.get (pick rng (up_nodes st)) in
+    let v = fresh 0 in
+    System.run_fiber ~name:"combined-txn" sys (fun () ->
+        match
+          Client.txn clients.(coord) (fun txn ->
+              match Client.txn_read clients.(coord) txn ~addr:a1 ~len:8 with
+              | Error _ as e -> e
+              | Ok _ -> (
+                match Client.txn_read clients.(coord) txn ~addr:a2 ~len:8 with
+                | Error _ as e -> e
+                | Ok _ -> (
+                  match
+                    Client.txn_write clients.(coord) txn ~addr:a1 (bytes_s v)
+                  with
+                  | Error _ as e -> e
+                  | Ok () ->
+                    Client.txn_write clients.(coord) txn ~addr:a2 (bytes_s v))))
+        with
+        | Ok () | Error _ -> ());
+    System.run_until_quiet ~limit:(Ksim.Time.sec 2) sys;
+    if round mod 3 = 0 then heal_everything ()
+  done;
+  (* Final heal: every fault class off, a settled write per region, then
+     two-vantage validation reads. *)
+  System.clear_frame_faults sys;
+  heal_everything ();
+  settle_all "final checkpoint";
+  let finals =
+    List.concat_map
+      (fun (_, addr) ->
+        [ read_settled ~len:8 sys clients.(0) ~addr;
+          read_settled ~len:8 sys clients.(5) ~addr ])
+      regs
+  in
+  let s = Khazana.Wire.Sim.Net.stats (System.net sys) in
+  if s.sent <> s.delivered + s.dropped + s.in_flight then
+    Alcotest.failf "network accounting leak: sent %d <> %d + %d + %d" s.sent
+      s.delivered s.dropped s.in_flight;
+  let events =
+    assert_history_ok ~what:(Printf.sprintf "combined sweep seed %d" seed) ring
+  in
+  {
+    fingerprint =
+      String.concat ";" finals
+      ^ Printf.sprintf "@%d/%d" (System.now sys) (List.length events);
+    events;
+  }
+
+(* The oracle has teeth on real histories, not just the unit fixtures:
+   take a passing combined run, append a fabricated stale read — an old
+   value re-observed strictly after a later, non-overlapping committed
+   write — and the checker must reject it with a minimized
+   counterexample. *)
+let test_combined_catches_injected_stale_read () =
+  let { events; _ } = run_combined ~seed:1 () in
+  let writes : (Gaddr.t, (string * int * int) list) Hashtbl.t =
+    Hashtbl.create 8
+  in
+  List.iter
+    (fun (e : History.event) ->
+      match e.History.e_op with
+      | History.O_write { addr; value } when e.History.e_status = History.Ok_
+        ->
+        Hashtbl.replace writes addr
+          ((value, e.History.e_invoke, e.History.e_return)
+          :: Option.value (Hashtbl.find_opt writes addr) ~default:[])
+      | _ -> ())
+    events;
+  let stale =
+    Hashtbl.fold
+      (fun addr ws acc ->
+        match acc with
+        | Some _ -> acc
+        | None ->
+          let ws =
+            List.sort (fun (_, i1, _) (_, i2, _) -> compare i1 i2) ws
+          in
+          let rec find = function
+            | (v1, _, r1) :: ((_, i2, _) :: _ as rest) ->
+              if r1 < i2 then Some (addr, v1) else find rest
+            | _ -> None
+          in
+          find ws)
+      writes None
+  in
+  match stale with
+  | None -> Alcotest.fail "combined run produced no sequential write pair"
+  | Some (addr, v1) ->
+    let horizon =
+      List.fold_left
+        (fun m (e : History.event) ->
+          if e.History.e_return < max_int then max m e.History.e_return else m)
+        0 events
+    in
+    let fake =
+      {
+        History.e_proc = 99;
+        e_id = 0;
+        e_invoke = horizon + 1_000;
+        e_return = horizon + 2_000;
+        e_op = History.O_read { addr; len = 8; value = Some v1 };
+        e_status = History.Ok_;
+      }
+    in
+    let report = Check.analyze ~init:zero_init (events @ [ fake ]) in
+    if Check.passed report then
+      Alcotest.fail "checker accepted an injected stale read";
+    let s = Check.summary report in
+    let contains sub =
+      let n = String.length s and m = String.length sub in
+      let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+      go 0
+    in
+    Alcotest.(check bool) "counterexample names the violation" true
+      (contains "NOT LINEARIZABLE")
+
+(* ---------------- Directed: shared read locks in 2PL ------------------ *)
+
+(* Two transactions on different nodes must hold read locks on the same
+   range at the same time (CREW: concurrent readers). Before the shared
+   read path, [txn_read] took a write lock, so reader B would block until
+   reader A committed — the in-body flag catches exactly that. *)
+let test_txn_readers_share_locks () =
+  let sys = mk ~seed:41 () in
+  let c1 = System.client sys 1 () in
+  let region =
+    System.run_fiber sys (fun () ->
+        let attr = Attr.make ~owner:1 () in
+        let r = ok (Client.create_region c1 ~attr 4096) in
+        ok (Client.write_bytes c1 ~addr:r.Region.base (bytes_s "original"));
+        r)
+  in
+  System.run_until_quiet ~limit:(Ksim.Time.sec 2) sys;
+  let c2 = System.client sys 2 () in
+  let c3 = System.client sys 3 () in
+  let b_read = ref false in
+  let a_saw_b = ref false in
+  let a_done = ref false and b_done = ref false in
+  Ksim.Fiber.spawn (System.engine sys) (fun () ->
+      (match
+         Client.txn c2 (fun txn ->
+             match Client.txn_read c2 txn ~addr:region.Region.base ~len:8 with
+             | Error _ as e -> e
+             | Ok _ ->
+               (* Hold the read lock until B's read completes (bounded). *)
+               let rec wait k =
+                 if (not !b_read) && k > 0 then begin
+                   Ksim.Fiber.sleep (Ksim.Time.ms 100);
+                   wait (k - 1)
+                 end
+               in
+               wait 50;
+               a_saw_b := !b_read;
+               Ok ())
+       with
+      | Ok () -> ()
+      | Error e ->
+        Alcotest.failf "reader A failed: %s" (Daemon.error_to_string e));
+      a_done := true);
+  Ksim.Fiber.spawn (System.engine sys) (fun () ->
+      (* A head start for A, so A owns the read lock first. *)
+      Ksim.Fiber.sleep (Ksim.Time.ms 200);
+      (match
+         Client.txn c3 (fun txn ->
+             match Client.txn_read c3 txn ~addr:region.Region.base ~len:8 with
+             | Error _ as e -> e
+             | Ok b ->
+               Alcotest.(check string) "reader B sees the data" "original"
+                 (Bytes.to_string b);
+               b_read := true;
+               Ok ())
+       with
+      | Ok () -> ()
+      | Error e ->
+        Alcotest.failf "reader B failed: %s" (Daemon.error_to_string e));
+      b_done := true);
+  System.run_until_quiet ~limit:(Ksim.Time.sec 30) sys;
+  Alcotest.(check bool) "both read-only transactions committed" true
+    (!a_done && !b_done);
+  Alcotest.(check bool)
+    "B's read completed while A still held its read lock" true !a_saw_b
+
+(* The read→write upgrade rule: A reads under a shared lock, then writes
+   the same range while a competing plain writer is queued. Whichever way
+   the release-reacquire race lands, validation guarantees no lost
+   update: either A reacquires first (B's write follows A's commit) or B
+   sneaks in and A's upgrade aborts with [`Conflict]. The recorded
+   history must stay linearizable either way. *)
+let test_txn_upgrade_validates () =
+  let sys = mk ~seed:43 () in
+  let clients = Array.init node_count (fun n -> System.client sys n ()) in
+  let ring = instrument sys clients in
+  let region =
+    System.run_fiber sys (fun () ->
+        let attr = Attr.make ~owner:1 () in
+        let r = ok (Client.create_region clients.(1) ~attr 4096) in
+        ok (Client.write_bytes clients.(1) ~addr:r.Region.base (bytes_s "original"));
+        r)
+  in
+  System.run_until_quiet ~limit:(Ksim.Time.sec 2) sys;
+  let addr = region.Region.base in
+  let a_result = ref None in
+  let b_acked = ref false in
+  Ksim.Fiber.spawn (System.engine sys) (fun () ->
+      a_result :=
+        Some
+          (Client.txn clients.(2) (fun txn ->
+               match Client.txn_read clients.(2) txn ~addr ~len:8 with
+               | Error _ as e -> e
+               | Ok _ ->
+                 (* Window for B to queue its write-lock request. *)
+                 Ksim.Fiber.sleep (Ksim.Time.ms 500);
+                 Client.txn_write clients.(2) txn ~addr (bytes_s "txn-aaaa"))));
+  Ksim.Fiber.spawn (System.engine sys) (fun () ->
+      Ksim.Fiber.sleep (Ksim.Time.ms 100);
+      match Client.write_bytes clients.(3) ~addr (bytes_s "sneaky!!") with
+      | Ok () -> b_acked := true
+      | Error _ -> ());
+  System.run_until_quiet ~limit:(Ksim.Time.sec 30) sys;
+  Alcotest.(check bool) "plain writer eventually acked" true !b_acked;
+  let final =
+    Bytes.to_string
+      (System.run_fiber sys (fun () ->
+           ok (Client.read_bytes clients.(0) ~addr 8)))
+  in
+  (match !a_result with
+  | Some (Ok ()) ->
+    (* A reacquired first: serial order A then B, B's later write wins. *)
+    Alcotest.(check string) "B's write is final" "sneaky!!" final
+  | Some (Error (`Conflict _)) ->
+    (* B won the upgrade window: validation refused A's stale read. *)
+    Alcotest.(check string) "B's write survived" "sneaky!!" final
+  | Some (Error e) ->
+    Alcotest.failf "unexpected upgrade outcome: %s" (Daemon.error_to_string e)
+  | None -> Alcotest.fail "transaction never finished");
+  ignore (assert_history_ok ~what:"upgrade contention" ring)
+
+(* ------------- Directed: Tx_prepare into an unreachable peer ---------- *)
+
+(* The participant is crashed and already suspected when the transaction
+   starts, so the coordinator's Tx_prepare fan-out hits fail-fast
+   [`Unreachable] instead of a vote timeout (the real-socket twin of this
+   case lives in test_transport.ml and khazanad --chaos). Presumed abort:
+   the client sees an abort-class error, nothing becomes visible, no page
+   stays pinned, nobody is left in limbo. *)
+let test_2pc_unreachable_participant () =
+  let sys = mk ~seed:151 () in
+  let c1 = System.client sys 1 () in
+  let c2 = System.client sys 2 () in
+  let a, b =
+    System.run_fiber sys (fun () ->
+        let ra = ok (Client.create_region c1 4096) in
+        let rb = ok (Client.create_region c2 4096) in
+        ok (Client.write_bytes c1 ~addr:ra.Region.base (bytes_s "old-a"));
+        ok (Client.write_bytes c2 ~addr:rb.Region.base (bytes_s "old-b"));
+        (ra.Region.base, rb.Region.base))
+  in
+  System.run_until_quiet ~limit:(Ksim.Time.sec 2) sys;
+  System.crash sys 1;
+  (* Let gossip suspicion mark node 1 down (threshold 1.5 s). *)
+  System.run_until_quiet ~limit:(Ksim.Time.sec 5) sys;
+  let c3 = System.client sys 3 () in
+  let outcome =
+    System.run_fiber ~name:"2pc-unreachable" sys (fun () ->
+        Client.txn c3 (fun txn -> txn_write_both c3 txn a b "new-a" "new-b"))
+  in
+  (match outcome with
+  | Ok () -> Alcotest.fail "committed with a participant unreachable"
+  | Error (`Conflict _ | `Unavailable _ | `Timeout | `Unreachable) -> ()
+  | Error e ->
+    Alcotest.failf "unexpected error class: %s" (Daemon.error_to_string e));
+  (* Presumed abort resolved it: no prepared images, no orphaned pins. *)
+  System.run_until_quiet ~limit:(Ksim.Time.sec 10) sys;
+  List.iter
+    (fun n ->
+      if Daemon.is_up (System.daemon sys n) then begin
+        Alcotest.(check int)
+          (Printf.sprintf "node %d limbo drained" n)
+          0
+          (Daemon.txn_prepared_count (System.daemon sys n));
+        Alcotest.(check int)
+          (Printf.sprintf "node %d has no orphaned pins" n)
+          0
+          (Store.pinned_pages (Daemon.store (System.daemon sys n)))
+      end)
+    (List.init node_count Fun.id);
+  System.recover sys 1;
+  System.run_until_quiet ~limit:(Ksim.Time.sec 40) sys;
+  let c4 = System.client sys 4 () in
+  Alcotest.(check string) "a untouched" "old-a" (read_settled sys c4 ~addr:a);
+  Alcotest.(check string) "b untouched" "old-b" (read_settled sys c4 ~addr:b);
+  (* And the fleet still commits. *)
+  System.run_fiber sys (fun () ->
+      ok (Client.txn c4 (fun txn -> txn_write_both c4 txn a b "fin-a" "fin-b")));
+  System.run_until_quiet ~limit:(Ksim.Time.sec 5) sys;
+  Alcotest.(check string) "follow-up committed (a)" "fin-a"
+    (read_settled sys c4 ~addr:a);
+  Alcotest.(check string) "follow-up committed (b)" "fin-b"
+    (read_settled sys c4 ~addr:b)
 
 let test_determinism () =
   let seed = 1 in
@@ -1038,6 +1514,14 @@ let test_disk_fault_determinism () =
   let a = run_nemesis ~disk:true ~seed:8 () in
   let b = run_nemesis ~disk:true ~seed:8 () in
   Alcotest.(check string) "same seed, same run under disk faults" a b
+
+let test_combined_determinism () =
+  (* The full multi-fault schedule — partitions + crashes + disk faults +
+     frame faults — must still replay bit-for-bit from its seed, or the
+     repro lines the sweeps print would be useless. *)
+  let a = (run_combined ~seed:2 ()).fingerprint in
+  let b = (run_combined ~seed:2 ()).fingerprint in
+  Alcotest.(check string) "same seed, same combined run" a b
 
 (* --------------------------- Harness --------------------------------- *)
 
@@ -1060,6 +1544,9 @@ let disk_seeds =
    bounded. *)
 let twopc_seeds = seeds_from_env "NEMESIS_2PC_SEEDS" [ 26; 27 ]
 
+(* Combined multi-fault sweep seeds: CI runs 41..50. *)
+let combined_seeds = seeds_from_env "NEMESIS_COMBINED_SEEDS" [ 36; 37 ]
+
 let () =
   Alcotest.run "nemesis"
     [
@@ -1077,9 +1564,17 @@ let () =
             `Quick test_post_recovery_commits_survive_second_crash;
           Alcotest.test_case "crash mid-batched-acquire" `Quick
             test_crash_mid_batched_acquire;
+          Alcotest.test_case "txn readers share locks" `Quick
+            test_txn_readers_share_locks;
+          Alcotest.test_case "txn read-to-write upgrade validates" `Quick
+            test_txn_upgrade_validates;
           Alcotest.test_case "deterministic replay" `Slow test_determinism;
           Alcotest.test_case "deterministic replay under disk faults" `Slow
             test_disk_fault_determinism;
+          Alcotest.test_case "deterministic replay of combined faults" `Slow
+            test_combined_determinism;
+          Alcotest.test_case "checker catches injected stale read" `Slow
+            test_combined_catches_injected_stale_read;
         ] );
       ( "2pc directed",
         List.map
@@ -1099,6 +1594,8 @@ let () =
         @ [
             Alcotest.test_case "partition during prepare" `Quick
               test_2pc_partition_during_prepare;
+            Alcotest.test_case "unreachable participant aborts cleanly" `Quick
+              test_2pc_unreachable_participant;
           ]
         @ List.map
             (fun step ->
@@ -1114,7 +1611,8 @@ let () =
             Alcotest.test_case
               (Printf.sprintf "seed %d" seed)
               `Slow
-              (fun () -> run_2pc_nemesis ~seed ()))
+              (with_repro ~group:"2pc sweep" ~env:"NEMESIS_2PC_SEEDS" ~seed
+                 (fun () -> run_2pc_nemesis ~seed ())))
           twopc_seeds );
       ( "sweep",
         List.map
@@ -1122,7 +1620,8 @@ let () =
             Alcotest.test_case
               (Printf.sprintf "seed %d" seed)
               `Slow
-              (fun () -> ignore (run_nemesis ~seed ())))
+              (with_repro ~group:"sweep" ~env:"NEMESIS_SEEDS" ~seed (fun () ->
+                   ignore (run_nemesis ~seed ()))))
           seeds );
       ( "disk sweep",
         List.map
@@ -1130,6 +1629,17 @@ let () =
             Alcotest.test_case
               (Printf.sprintf "seed %d (%s)" seed (fault_profile_name seed))
               `Slow
-              (fun () -> ignore (run_nemesis ~disk:true ~seed ())))
+              (with_repro ~group:"disk sweep" ~env:"NEMESIS_DISK_SEEDS" ~seed
+                 (fun () -> ignore (run_nemesis ~disk:true ~seed ()))))
           disk_seeds );
+      ( "combined sweep",
+        List.map
+          (fun seed ->
+            Alcotest.test_case
+              (Printf.sprintf "seed %d (%s)" seed (fault_profile_name seed))
+              `Slow
+              (with_repro ~group:"combined sweep"
+                 ~env:"NEMESIS_COMBINED_SEEDS" ~seed (fun () ->
+                   ignore (run_combined ~seed ()))))
+          combined_seeds );
     ]

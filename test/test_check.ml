@@ -1,0 +1,447 @@
+(* Unit tests for lib/check: the history recorder, the per-address
+   linearizability checker, the serializability checker, and the
+   end-to-end projection — including deliberately-broken histories that
+   the oracle must catch with a minimized counterexample. *)
+
+module History = Kcheck.History
+module Register = Kcheck.Register
+module Serial = Kcheck.Serial
+module Check = Kcheck.Check
+module Gaddr = Kutil.Gaddr
+
+let addr n = Gaddr.of_int (n * 4096)
+
+let op ?(required = true) ?(label = "op") invoke return kind =
+  { Register.invoke; return; kind; required; label }
+
+let is_lin = function Register.Linearizable -> true | _ -> false
+let is_violation = function Register.Violation _ -> true | _ -> false
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+(* ------------------------------------------------------------------ *)
+(* Register checker                                                    *)
+
+let test_reg_sequential () =
+  let ops =
+    [
+      op 0 1 (Register.W "a");
+      op 2 3 (Register.R "a");
+      op 4 5 (Register.W "b");
+      op 6 7 (Register.R "b");
+    ]
+  in
+  Alcotest.(check bool) "sequential ok" true (is_lin (Register.check ops))
+
+let test_reg_init () =
+  let ops = [ op 0 1 (Register.R "zero") ] in
+  Alcotest.(check bool) "read of init" true
+    (is_lin (Register.check ~init:"zero" ops));
+  Alcotest.(check bool) "read of wrong init" true
+    (is_violation (Register.check ~init:"other" ops))
+
+let test_reg_stale_read () =
+  (* both writes done, then a read returns the older value *)
+  let ops =
+    [
+      op ~label:"w1" 0 1 (Register.W "v1");
+      op ~label:"w2" 2 3 (Register.W "v2");
+      op ~label:"r" 4 5 (Register.R "v1");
+    ]
+  in
+  Alcotest.(check bool) "stale read caught" true
+    (is_violation (Register.check ops))
+
+let test_reg_concurrent_writes () =
+  (* overlapping writes: the read may see either *)
+  let see v =
+    [
+      op 0 10 (Register.W "v1");
+      op 0 10 (Register.W "v2");
+      op 11 12 (Register.R v);
+    ]
+  in
+  Alcotest.(check bool) "sees v1" true (is_lin (Register.check (see "v1")));
+  Alcotest.(check bool) "sees v2" true (is_lin (Register.check (see "v2")))
+
+let test_reg_maybe_write () =
+  (* a timed-out write may be observed... *)
+  let observed =
+    [
+      op 0 1 (Register.W "v1");
+      op ~required:false 2 max_int (Register.W "v2");
+      op 10 11 (Register.R "v2");
+    ]
+  in
+  Alcotest.(check bool) "maybe applied" true (is_lin (Register.check observed));
+  (* ...or never land... *)
+  let skipped =
+    [
+      op 0 1 (Register.W "v1");
+      op ~required:false 2 max_int (Register.W "v2");
+      op 10 11 (Register.R "v1");
+    ]
+  in
+  Alcotest.(check bool) "maybe skipped" true (is_lin (Register.check skipped));
+  (* ...but cannot un-land: observed then gone is a violation *)
+  let flicker =
+    [
+      op 0 1 (Register.W "v1");
+      op ~required:false 2 max_int (Register.W "v2");
+      op 10 11 (Register.R "v2");
+      op 12 13 (Register.R "v1");
+    ]
+  in
+  Alcotest.(check bool) "flicker caught" true
+    (is_violation (Register.check flicker))
+
+let test_reg_lost_update () =
+  (* two sequential committed txns both observed the initial value:
+     the second missed the first's write *)
+  let ops =
+    [
+      op ~label:"t1" 0 10 (Register.RW ("v0", "v1"));
+      op ~label:"t2" 20 30 (Register.RW ("v0", "v2"));
+    ]
+  in
+  Alcotest.(check bool) "lost update caught" true
+    (is_violation (Register.check ~init:"v0" ops))
+
+let test_reg_shrink () =
+  (* noise + a stale read: shrink must keep w1 (observed) and r, and may
+     keep w2 (the overwrite that makes r stale) — but must drop the
+     unrelated earlier traffic *)
+  let ops =
+    [
+      op ~label:"noise1" 0 1 (Register.W "n1");
+      op ~label:"noise2" 2 3 (Register.R "n1");
+      op ~label:"noise3" 4 5 (Register.W "n2");
+      op ~label:"w1" 6 7 (Register.W "v1");
+      op ~label:"w2" 8 9 (Register.W "v2");
+      op ~label:"r" 10 11 (Register.R "v1");
+    ]
+  in
+  (match Register.check ops with
+  | Register.Violation full ->
+      let shrunk = Register.shrink full in
+      Alcotest.(check bool) "still fails" true
+        (is_violation (Register.check shrunk));
+      Alcotest.(check bool) "minimized"
+        true
+        (List.length shrunk <= 3);
+      let labels = List.map (fun o -> o.Register.label) shrunk in
+      Alcotest.(check bool) "keeps the stale read" true (List.mem "r" labels);
+      Alcotest.(check bool) "keeps the observed write" true
+        (List.mem "w1" labels)
+  | _ -> Alcotest.fail "expected a violation");
+  (* shrink never drops a write whose value a retained read observes *)
+  let shrunk =
+    Register.shrink
+      [
+        op ~label:"w" 0 1 (Register.W "v1");
+        op ~label:"r1" 2 3 (Register.R "v1");
+        op ~label:"r2" 2 3 (Register.R "zzz");
+      ]
+  in
+  let has l = List.exists (fun o -> o.Register.label = l) shrunk in
+  Alcotest.(check bool) "kept failing read" true (has "r2")
+
+let test_reg_budget () =
+  (* dozens of identical-window concurrent ops blow the budget *)
+  let ops =
+    List.init 18 (fun i ->
+        op ~label:(Printf.sprintf "w%d" i) 0 1000 (Register.W (string_of_int i)))
+  in
+  let ops = ops @ [ op 1001 1002 (Register.R "nope") ] in
+  match Register.check ~budget:1000 ops with
+  | Register.Inconclusive -> ()
+  | Register.Violation _ -> () (* small windows may still decide *)
+  | Register.Linearizable -> Alcotest.fail "read of unwritten value passed"
+
+(* ------------------------------------------------------------------ *)
+(* Serializability checker                                             *)
+
+let tx ?(committed = true) label invoke return reads writes =
+  { Serial.label; invoke; return; reads; writes; committed }
+
+let test_serial_chain () =
+  let a = addr 1 and b = addr 2 in
+  let txns =
+    [
+      tx "t1" 0 10 [] [ (a, "a1") ];
+      tx "t2" 20 30 [ (a, "a1") ] [ (b, "b2") ];
+      tx "t3" 40 50 [ (b, "b2") ] [];
+    ]
+  in
+  (match Serial.check txns with
+  | Serial.Serializable -> ()
+  | _ -> Alcotest.fail "chain should serialize")
+
+let test_serial_cycle () =
+  (* fabricated impossible history: T1 observes T3's write yet T3
+     transitively depends on T1 through wr + real-time edges *)
+  let a = addr 1 and b = addr 2 and c = addr 3 in
+  let txns =
+    [
+      tx "t1" 0 10 [ (c, "c3") ] [ (a, "a1") ];
+      tx "t2" 20 30 [ (a, "a1") ] [ (b, "b2") ];
+      tx "t3" 40 50 [ (b, "b2") ] [ (c, "c3") ];
+    ]
+  in
+  match Serial.check txns with
+  | Serial.Cycle (txs, _) ->
+      Alcotest.(check bool) "cycle names the txns" true (List.length txs >= 2)
+  | Serial.Serializable -> Alcotest.fail "cycle not detected"
+  | Serial.Bad_history m -> Alcotest.fail ("bad history: " ^ m)
+
+let test_serial_rt_only () =
+  (* pure real-time contradiction: t2 read a value written by a txn
+     that started after t2 finished *)
+  let a = addr 1 in
+  let txns =
+    [ tx "t2" 0 10 [ (a, "late") ] []; tx "t1" 20 30 [] [ (a, "late") ] ]
+  in
+  match Serial.check txns with
+  | Serial.Cycle _ -> ()
+  | _ -> Alcotest.fail "rt cycle not detected"
+
+let test_serial_promotion () =
+  (* a maybe-applied txn whose write is observed is promoted and
+     participates in ordering; unobserved maybes drop out *)
+  let a = addr 1 and b = addr 2 in
+  let observed =
+    [
+      tx ~committed:false "maybe" 0 max_int [] [ (a, "x") ];
+      tx "reader" 10 20 [ (a, "x") ] [];
+    ]
+  in
+  (match Serial.check observed with
+  | Serial.Serializable -> ()
+  | _ -> Alcotest.fail "promoted maybe should serialize");
+  (* promoted maybe inside an rt contradiction is caught *)
+  let contradiction =
+    [
+      tx "r2" 0 10 [ (b, "y") ] [];
+      tx ~committed:false "maybe" 20 max_int [] [ (b, "y") ];
+      tx "r3" 30 40 [ (b, "y") ] [];
+    ]
+  in
+  match Serial.check contradiction with
+  | Serial.Cycle _ -> ()
+  | _ -> Alcotest.fail "promoted maybe rt cycle not detected"
+
+let test_serial_dup_writer () =
+  let a = addr 1 in
+  let txns = [ tx "t1" 0 1 [] [ (a, "same") ]; tx "t2" 2 3 [] [ (a, "same") ] ] in
+  match Serial.check txns with
+  | Serial.Bad_history _ -> ()
+  | _ -> Alcotest.fail "duplicate (addr,value) writer not flagged"
+
+(* ------------------------------------------------------------------ *)
+(* History recording + assembly                                        *)
+
+let mk_recorder ?(proc = 0) () =
+  let clock = ref 0 in
+  let ring = History.Ring.create () in
+  let r =
+    History.recorder
+      ~now:(fun () -> incr clock; !clock)
+      ~proc (History.Ring.sink ring)
+  in
+  (r, ring)
+
+let test_assemble () =
+  let r, ring = mk_recorder () in
+  let id = History.invoke r (History.Write { addr = addr 1; value = "v" }) in
+  History.finish r ~id History.Ok_;
+  let id = History.invoke r (History.Read { addr = addr 1; len = 1 }) in
+  History.finish r ~id ~value:"v" History.Ok_;
+  (* an op that never returns: process died mid-call *)
+  let _hung = History.invoke r (History.Write { addr = addr 1; value = "w" }) in
+  let events = History.assemble (History.Ring.entries ring) in
+  Alcotest.(check int) "three events" 3 (List.length events);
+  let hung =
+    List.find (fun e -> e.History.e_status = History.Maybe) events
+  in
+  Alcotest.(check bool) "hung op unbounded" true (hung.History.e_return = max_int)
+
+let test_assemble_txn () =
+  let r, ring = mk_recorder () in
+  let id = History.invoke r History.Txn in
+  History.txn_read_entry r ~id (addr 1) "old";
+  History.txn_write_entry r ~id (addr 1) "new";
+  History.txn_write_entry r ~id (addr 2) "other";
+  History.finish r ~id History.Ok_;
+  match History.assemble (History.Ring.entries ring) with
+  | [ { History.e_op = History.O_txn { reads; writes }; _ } ] ->
+      Alcotest.(check int) "one read" 1 (List.length reads);
+      Alcotest.(check int) "two writes" 2 (List.length writes)
+  | _ -> Alcotest.fail "expected one txn event"
+
+let test_ring_wrap () =
+  let ring = History.Ring.create ~capacity:4 () in
+  for i = 0 to 9 do
+    History.Ring.sink ring
+      (History.Invoke { proc = 0; id = i; at = i; call = History.Txn })
+  done;
+  Alcotest.(check int) "capped" 4 (History.Ring.length ring);
+  match History.Ring.entries ring with
+  | History.Invoke { id; _ } :: _ -> Alcotest.(check int) "oldest kept" 6 id
+  | _ -> Alcotest.fail "expected invokes"
+
+let test_jsonl_roundtrip () =
+  let entries =
+    [
+      History.Invoke
+        { proc = 3; id = 7; at = 42; call = History.Read { addr = addr 1; len = 64 } };
+      History.Invoke
+        {
+          proc = 3;
+          id = 8;
+          at = 43;
+          call = History.Write { addr = addr 2; value = "\x00\xffbinary" };
+        };
+      History.Invoke { proc = 3; id = 9; at = 44; call = History.Txn };
+      History.Tread { proc = 3; id = 9; at = 45; addr = addr 1; value = "ob\x01s" };
+      History.Twrite { proc = 3; id = 9; at = 46; addr = addr 2; value = "w" };
+      History.Return { proc = 3; id = 9; at = 47; status = History.Ok_; value = None };
+      History.Return
+        { proc = 3; id = 7; at = 48; status = History.Maybe; value = Some "v\x00" };
+    ]
+  in
+  let file = Filename.temp_file "khistory" ".jsonl" in
+  let oc = open_out_bin file in
+  List.iter (History.jsonl_sink oc) entries;
+  (* torn final line: a partial json object, as a SIGKILL would leave *)
+  output_string oc "{\"t\":\"return\",\"proc\":3,\"id\"";
+  close_out oc;
+  let back = History.read_jsonl file in
+  Sys.remove file;
+  Alcotest.(check int) "all whole lines parsed" (List.length entries)
+    (List.length back);
+  List.iter2
+    (fun a b ->
+      Alcotest.(check string) "entry round-trips" (History.entry_to_json a)
+        (History.entry_to_json b))
+    entries back
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end projection                                               *)
+
+let ev ?(proc = 0) ?(id = 0) ?(status = History.Ok_) invoke return op =
+  {
+    History.e_proc = proc;
+    e_id = id;
+    e_invoke = invoke;
+    e_return = return;
+    e_op = op;
+    e_status = status;
+  }
+
+let test_analyze_clean () =
+  let a = addr 1 and b = addr 2 in
+  let events =
+    [
+      ev ~id:0 0 1 (History.O_write { addr = a; value = "a1" });
+      ev ~id:1 2 3 (History.O_write { addr = b; value = "b1" });
+      ev ~id:2 4 10
+        (History.O_txn
+           {
+             reads = [ (a, "a1", 5) ];
+             writes = [ (a, "a2", 6); (b, "b2", 7) ];
+           });
+      ev ~id:3 11 12 (History.O_read { addr = a; len = 2; value = Some "a2" });
+      ev ~id:4 11 12 (History.O_read { addr = b; len = 2; value = Some "b2" });
+    ]
+  in
+  let r = Check.analyze events in
+  if not (Check.passed r) then
+    Alcotest.failf "clean history failed:@.%a" Check.pp r
+
+let test_analyze_catches_stale () =
+  let a = addr 1 in
+  let events =
+    [
+      ev ~id:0 0 1 (History.O_write { addr = a; value = "a1" });
+      ev ~id:1 2 3 (History.O_write { addr = a; value = "a2" });
+      ev ~id:2 4 5 (History.O_read { addr = a; len = 2; value = Some "a1" });
+    ]
+  in
+  let r = Check.analyze events in
+  Alcotest.(check bool) "stale read fails" false (Check.passed r);
+  let s = Check.summary r in
+  Alcotest.(check bool) "counterexample printed" true
+    (contains ~sub:"NOT LINEARIZABLE" s)
+
+let test_analyze_own_write_excluded () =
+  let a = addr 1 in
+  (* txn reads its own buffered write: internal, not an external
+     observation of "a2" (which nobody else wrote) *)
+  let events =
+    [
+      ev ~id:0 0 1 (History.O_write { addr = a; value = "a1" });
+      ev ~id:1 2 10
+        (History.O_txn
+           {
+             reads = [ (a, "a1", 3); (a, "a2", 5) ];
+             writes = [ (a, "a2", 4) ];
+           });
+    ]
+  in
+  let r = Check.analyze events in
+  if not (Check.passed r) then
+    Alcotest.failf "own-write read should be internal:@.%a" Check.pp r
+
+let test_analyze_zero_init () =
+  let a = addr 1 in
+  let zeros = String.make 4 '\000' in
+  let events =
+    [ ev ~id:0 0 1 (History.O_read { addr = a; len = 4; value = Some zeros }) ]
+  in
+  let r = Check.analyze ~init:(fun _ -> zeros) events in
+  Alcotest.(check bool) "zero-filled read ok" true (Check.passed r);
+  let r2 = Check.analyze events in
+  Alcotest.(check bool) "without init it fails" false (Check.passed r2)
+
+let () =
+  Alcotest.run "check"
+    [
+      ( "register",
+        [
+          Alcotest.test_case "sequential" `Quick test_reg_sequential;
+          Alcotest.test_case "init value" `Quick test_reg_init;
+          Alcotest.test_case "stale read caught" `Quick test_reg_stale_read;
+          Alcotest.test_case "concurrent writes" `Quick test_reg_concurrent_writes;
+          Alcotest.test_case "maybe-applied write" `Quick test_reg_maybe_write;
+          Alcotest.test_case "lost update caught" `Quick test_reg_lost_update;
+          Alcotest.test_case "shrink" `Quick test_reg_shrink;
+          Alcotest.test_case "budget" `Quick test_reg_budget;
+        ] );
+      ( "serial",
+        [
+          Alcotest.test_case "wr chain" `Quick test_serial_chain;
+          Alcotest.test_case "wr cycle caught" `Quick test_serial_cycle;
+          Alcotest.test_case "rt cycle caught" `Quick test_serial_rt_only;
+          Alcotest.test_case "maybe promotion" `Quick test_serial_promotion;
+          Alcotest.test_case "duplicate writer flagged" `Quick test_serial_dup_writer;
+        ] );
+      ( "history",
+        [
+          Alcotest.test_case "assemble + hung op" `Quick test_assemble;
+          Alcotest.test_case "assemble txn" `Quick test_assemble_txn;
+          Alcotest.test_case "ring wrap" `Quick test_ring_wrap;
+          Alcotest.test_case "jsonl round trip" `Quick test_jsonl_roundtrip;
+        ] );
+      ( "analyze",
+        [
+          Alcotest.test_case "clean history" `Quick test_analyze_clean;
+          Alcotest.test_case "stale read caught end-to-end" `Quick
+            test_analyze_catches_stale;
+          Alcotest.test_case "own-write reads internal" `Quick
+            test_analyze_own_write_excluded;
+          Alcotest.test_case "zero init" `Quick test_analyze_zero_init;
+        ] );
+    ]

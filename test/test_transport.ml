@@ -448,11 +448,61 @@ module Unix_only = struct
     Sockets.set_frame_faults h.H.eps.(1) ~seed:14 ~delay:0.05 ();
     call_ok h "late"
 
+  (* A peer that dies in the middle of a multi-destination fan-out must
+     surface as [`Unreachable] on its own call only: the caller's
+     endpoint stays whole and the remaining destinations keep answering.
+     This is the transport face of the 2PC decide broadcast — one dead
+     participant cannot wedge delivery to the others. Needs three real
+     endpoints, so it builds its own fleet instead of [with_h]. *)
+  let test_unreachable_mid_fanout () =
+    let dir =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "ktransport-fanout-%d-%d" (Unix.getpid ())
+           (int_of_float (Unix.gettimeofday () *. 1e6) mod 1_000_000))
+    in
+    Unix.mkdir dir 0o700;
+    let topology = Topology.symmetric ~nodes_per_cluster:3 ~clusters:1 in
+    let eps = Array.init 3 (fun id -> Sockets.create ~dir ~id topology) in
+    Fun.protect
+      ~finally:(fun () ->
+        Array.iter Sockets.close eps;
+        try Unix.rmdir dir with Unix.Unix_error _ -> ())
+      (fun () ->
+        set_server_raw eps.(1) echo_handler;
+        set_server_raw eps.(2) echo_handler;
+        let t0 = Sockets.pack eps.(0) in
+        let call ~others ~attempts dst msg =
+          Sockets.run_fiber ~others eps.(0) (fun () ->
+              T.call t0 ~src:0 ~dst
+                ~policy:(Policy.with_timeout ~attempts (Time.ms 300))
+                (Proto.Echo msg))
+        in
+        let expect_ok ~others dst msg =
+          match call ~others ~attempts:8 dst msg with
+          | Ok (Proto.Echoed s) -> Alcotest.(check string) "echo" msg s
+          | Error _ -> Alcotest.failf "call to node %d failed" dst
+        in
+        expect_ok ~others:[ eps.(1); eps.(2) ] 1 "warm-1";
+        expect_ok ~others:[ eps.(1); eps.(2) ] 2 "warm-2";
+        (* Node 2 really dies — its socket closes and unlinks, no
+           injected flag. The next call to it must be positive evidence,
+           and node 1 must be entirely unaffected. *)
+        Sockets.close eps.(2);
+        (match call ~others:[ eps.(1) ] ~attempts:2 2 "void" with
+         | Error `Unreachable -> ()
+         | Error `Timeout ->
+           Alcotest.fail "dead fan-out leg must be unreachable, not silent"
+         | Ok _ -> Alcotest.fail "call reached a closed endpoint");
+        expect_ok ~others:[ eps.(1) ] 1 "survivor")
+
   let cases =
     [
       Alcotest.test_case "peer vanished, then rebind" `Quick
         (with_h test_peer_vanished_then_rebind);
       Alcotest.test_case "sever reconnects" `Quick (with_h test_sever_reconnects);
+      Alcotest.test_case "unreachable mid-fanout" `Quick
+        (fun () -> test_unreachable_mid_fanout ());
       Alcotest.test_case "frame drop" `Quick (with_h test_frame_drop);
       Alcotest.test_case "frame duplicate" `Quick (with_h test_frame_duplicate);
       Alcotest.test_case "frame delay" `Quick (with_h test_frame_delay);
