@@ -8,6 +8,7 @@ let experiments =
     ("e1", "lock+fetch latency (Figure 2 path)", E1_lock_fetch.run);
     ("e2", "caching near the consumer", E2_caching.run);
     ("e3", "throughput scaling", E3_scalability.run);
+    ("e3c", "MVCC contended writes & diff propagation", E3c_versioned.run);
     ("e4", "availability vs min_replicas", E4_availability.run);
     ("e5", "consistency protocol spectrum", E5_protocols.run);
     ("e6", "region-location path costs", E6_location.run);

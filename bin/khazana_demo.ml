@@ -31,15 +31,19 @@ let maybe_traced trace f =
 (* ------------------------------- workload -------------------------- *)
 
 let run_workload nodes clusters ops seed level trace =
-  let level =
+  (* Accept either a paper consistency level (strict/release/eventual) or
+     any registered protocol name (crew, wshared, versioned, ...). *)
+  let mk_attr, level_name =
     match Attr.level_of_string level with
-    | Some l -> l
+    | Some l -> ((fun ~owner -> Attr.make ~owner ~level:l ()), Attr.level_to_string l)
+    | None when Kconsistency.Registry.find level <> None ->
+      ((fun ~owner -> Attr.make ~owner ~protocol:level ()), level)
     | None -> failwith ("unknown consistency level " ^ level)
   in
   let sys = System.create ~seed ~nodes_per_cluster:nodes ~clusters () in
   let n = System.node_count sys in
   Printf.printf "system: %d nodes in %d cluster(s), seed %d, %s consistency\n"
-    n clusters seed (Attr.level_to_string level);
+    n clusters seed level_name;
   let rng = Kutil.Rng.create ~seed in
   (* A handful of shared regions, random readers/writers. *)
   let regions =
@@ -47,7 +51,7 @@ let run_workload nodes clusters ops seed level trace =
         Array.init (max 2 (n / 2)) (fun i ->
             let node = i mod n in
             let c = System.client sys node () in
-            let attr = Attr.make ~owner:node ~level () in
+            let attr = mk_attr ~owner:node in
             let r = ok (Client.create_region c ~attr 4096) in
             ok (Client.write_bytes c ~addr:r.Region.base (Bytes.make 32 '0'));
             r))
@@ -146,7 +150,9 @@ let level_arg =
   Arg.(
     value
     & opt string "strict"
-    & info [ "consistency" ] ~docv:"LEVEL" ~doc:"strict | release | eventual.")
+    & info [ "consistency" ] ~docv:"LEVEL"
+        ~doc:"strict | release | eventual, or a registered protocol name \
+              (see the protocols subcommand).")
 
 let trace_arg =
   Arg.(

@@ -39,6 +39,9 @@ type report = {
   serial : Serial.verdict;
   repeatable_read : string list;
       (** committed txns whose external reads of one address disagree *)
+  mvcc : string list;
+      (** MVCC-scoped violations: out-of-thin-air snapshot reads, or one
+          pin observing two different values *)
   events : int;
   init : addr -> string;
 }
@@ -73,7 +76,7 @@ let split_txn ~reads ~writes =
   List.iter (fun (a, v, _) -> Atbl.replace last_writes a v) writes;
   (external_reads, last_writes, !disagreements)
 
-let analyze ?(init = fun _ -> "") ?budget events =
+let analyze ?(init = fun _ -> "") ?budget ?(mvcc = fun _ -> false) events =
   let per_addr : (Register.op list ref) Atbl.t = Atbl.create 64 in
   let reg_push a op =
     match Atbl.find_opt per_addr a with
@@ -82,10 +85,38 @@ let analyze ?(init = fun _ -> "") ?budget events =
   in
   let txns = ref [] in
   let rr_violations = ref [] in
+  (* MVCC projection: addresses under the versioned protocol opt out of
+     the register and serializability checks (last-writer-wins publishes
+     are not linearizable by design) and are judged on their own terms
+     instead: every observed value must have been installed by some write
+     of the history (no out-of-thin-air reads), and all reads through one
+     pin — one snapshot, or one transaction's lazily opened snapshot —
+     must observe the same bytes. *)
+  let mvcc_allowed : (string, unit) Hashtbl.t Atbl.t = Atbl.create 8 in
+  let allow a v =
+    match Atbl.find_opt mvcc_allowed a with
+    | Some tbl -> Hashtbl.replace tbl v ()
+    | None ->
+        let tbl = Hashtbl.create 8 in
+        Hashtbl.replace tbl v ();
+        Atbl.replace mvcc_allowed a tbl
+  in
+  (* (pin group, label, addr, observed) — group [None] for unpinned
+     (latest-value) reads, which are only thin-air-checked *)
+  let mvcc_reads : (string option * string * addr * string) list ref =
+    ref []
+  in
   List.iter
     (fun (e : History.event) ->
       let lbl = History.label e in
       match (e.e_op, e.e_status) with
+      | O_sread { addr; snap; value = Some v; _ }, Ok_ ->
+          mvcc_reads :=
+            (Some (Printf.sprintf "p%d/s%d" e.e_proc snap), lbl, addr, v)
+            :: !mvcc_reads
+      | O_sread _, _ -> ()
+      | O_read { addr; value = Some v; _ }, Ok_ when mvcc addr ->
+          mvcc_reads := (None, lbl, addr, v) :: !mvcc_reads
       | O_read { addr; value = Some v; _ }, Ok_ ->
           reg_push addr
             { Register.invoke = e.e_invoke; return = e.e_return; kind = R v;
@@ -95,6 +126,8 @@ let analyze ?(init = fun _ -> "") ?budget events =
               reads = [ (addr, v) ]; writes = []; committed = true }
             :: !txns
       | O_read _, _ -> ()
+      | O_write { addr; value }, (Ok_ | Maybe) when mvcc addr ->
+          allow addr value
       | O_write { addr; value }, Ok_ ->
           reg_push addr
             { Register.invoke = e.e_invoke; return = e.e_return; kind = W value;
@@ -113,7 +146,27 @@ let analyze ?(init = fun _ -> "") ?budget events =
               reads = []; writes = [ (addr, value) ]; committed = false }
             :: !txns
       | O_txn { reads; writes }, status ->
-          let ext_reads, last_writes, disagree = split_txn ~reads ~writes in
+          let ext_reads_all, last_writes_all, disagree =
+            split_txn ~reads ~writes
+          in
+          (* Peel the transaction's MVCC footprint off before the 2PL
+             projection: versioned reads all went through the txn's one
+             snapshot (one pin group), versioned writes feed the
+             thin-air allowed set when they may have landed. *)
+          let ext_reads = Atbl.create 8 and last_writes = Atbl.create 8 in
+          Atbl.iter
+            (fun a (v, at) ->
+              if mvcc a then
+                mvcc_reads :=
+                  (Some (Printf.sprintf "p%d/t%d" e.e_proc e.e_id), lbl, a, v)
+                  :: !mvcc_reads
+              else Atbl.replace ext_reads a (v, at))
+            ext_reads_all;
+          Atbl.iter
+            (fun a v ->
+              if mvcc a then (if status <> Fail then allow a v)
+              else Atbl.replace last_writes a v)
+            last_writes_all;
           List.iter
             (fun a -> rr_violations := Printf.sprintf "%s at %s" lbl
                  (Kutil.Gaddr.to_string a) :: !rr_violations)
@@ -175,16 +228,60 @@ let analyze ?(init = fun _ -> "") ?budget events =
       per_addr []
     |> List.sort (fun (a, _, _) (b, _, _) -> Kutil.Gaddr.compare a b)
   in
+  let mvcc_violations = ref [] in
+  (* No out-of-thin-air reads: every observed value was installed by some
+     write that may have landed, or is pre-write state (the initial image,
+     or the zero fill a never-written page serves). *)
+  let is_zero v = String.for_all (fun c -> c = '\000') v in
+  let prefix_of v base =
+    String.length v <= String.length base
+    && String.equal (String.sub base 0 (String.length v)) v
+  in
+  List.iter
+    (fun (_, lbl, a, v) ->
+      let ok =
+        is_zero v || prefix_of v (init a)
+        ||
+        match Atbl.find_opt mvcc_allowed a with
+        | Some tbl -> Hashtbl.mem tbl v
+        | None -> false
+      in
+      if not ok then
+        mvcc_violations :=
+          Printf.sprintf "out-of-thin-air read of %s in %s"
+            (Kutil.Gaddr.to_string a) lbl
+          :: !mvcc_violations)
+    !mvcc_reads;
+  (* Pin consistency: all reads of one address through one pin group (a
+     snapshot, or a transaction's snapshot) observe identical bytes. *)
+  let pins : (string, string * string) Hashtbl.t = Hashtbl.create 32 in
+  List.iter
+    (fun (group, lbl, a, v) ->
+      match group with
+      | None -> ()
+      | Some g -> (
+          let key = g ^ "@" ^ Kutil.Gaddr.to_string a in
+          match Hashtbl.find_opt pins key with
+          | None -> Hashtbl.replace pins key (v, lbl)
+          | Some (v0, lbl0) ->
+              if not (String.equal v v0) then
+                mvcc_violations :=
+                  Printf.sprintf
+                    "pin %s of %s observed two values (%s vs %s)" g
+                    (Kutil.Gaddr.to_string a) lbl0 lbl
+                  :: !mvcc_violations))
+    (List.rev !mvcc_reads);
   {
     registers;
     serial = Serial.check (List.rev !txns);
     repeatable_read = List.rev !rr_violations;
+    mvcc = List.rev !mvcc_violations;
     events = List.length events;
     init;
   }
 
 let passed r =
-  r.repeatable_read = []
+  r.repeatable_read = [] && r.mvcc = []
   && (match r.serial with Serializable -> true | _ -> false)
   && List.for_all
        (fun (_, _, v) -> match v with Register.Linearizable -> true | _ -> false)
@@ -226,7 +323,8 @@ let pp ppf r =
         List.iter (fun w -> if w <> "" then Fmt.pf ppf "    (%s)@." w) whys);
     List.iter
       (fun s -> Fmt.pf ppf "  repeatable-read violation inside %s@." s)
-      r.repeatable_read
+      r.repeatable_read;
+    List.iter (fun s -> Fmt.pf ppf "  mvcc violation: %s@." s) r.mvcc
   end
 
 let summary r = Fmt.str "%a" pp r

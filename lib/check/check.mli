@@ -13,15 +13,26 @@ type report = {
   repeatable_read : string list;
       (** committed transactions whose external reads of one address
           disagreed — impossible under 2PL, reported directly *)
+  mvcc : string list;
+      (** violations at MVCC-scoped addresses: an observed value no write
+          ever installed (out-of-thin-air), or one snapshot pin observing
+          two different values of the same address *)
   events : int;
   init : addr -> string;
 }
 
 val analyze :
-  ?init:(addr -> string) -> ?budget:int -> History.event list -> report
+  ?init:(addr -> string) -> ?budget:int -> ?mvcc:(addr -> bool) ->
+  History.event list -> report
 (** [init] gives each address's value before any write (default [""];
     pass the zero pattern for zero-filled regions). [budget] caps each
-    per-address search (default 2_000_000 states). *)
+    per-address search (default 2_000_000 states). [mvcc] marks addresses
+    living in regions under the [versioned] protocol (default none): those
+    opt out of the register and serializability projections — concurrent
+    last-writer-wins publishes are not linearizable by design — and are
+    instead checked for out-of-thin-air reads and per-pin value stability
+    (a snapshot, or a read-only transaction's snapshot, must be judged
+    against its pinned version, not against real-time order). *)
 
 val passed : report -> bool
 (** Every address linearizable, transaction set serializable, no

@@ -3,6 +3,7 @@ type addr = Kutil.Gaddr.t
 type call =
   | Read of { addr : addr; len : int }
   | Write of { addr : addr; value : string }
+  | Sread of { addr : addr; len : int; snap : int }
   | Txn
 
 type status = Ok_ | Fail | Maybe
@@ -121,6 +122,11 @@ let entry_to_json e =
           str "call" "write";
           str "addr" (addr_to_json addr);
           str "value" (hex_of_string value)
+      | Sread { addr; len; snap } ->
+          str "call" "sread";
+          str "addr" (addr_to_json addr);
+          field "len" (string_of_int len);
+          field "snap" (string_of_int snap)
       | Txn -> str "call" "txn")
   | Tread { proc; id; at; addr; value } ->
       str "t" "tread";
@@ -230,6 +236,21 @@ let entry_of_json line =
                              value = string_of_hex (req get "value");
                            };
                      })
+            | "sread" ->
+                Some
+                  (Invoke
+                     {
+                       proc;
+                       id;
+                       at;
+                       call =
+                         Sread
+                           {
+                             addr = addr_of_json (req get "addr");
+                             len = req int "len";
+                             snap = req int "snap";
+                           };
+                     })
             | "txn" -> Some (Invoke { proc; id; at; call = Txn })
             | _ -> None)
         | "tread" ->
@@ -280,6 +301,7 @@ let read_jsonl path =
 type op =
   | O_read of { addr : addr; len : int; value : string option }
   | O_write of { addr : addr; value : string }
+  | O_sread of { addr : addr; len : int; snap : int; value : string option }
   | O_txn of {
       reads : (addr * string * int) list;
       writes : (addr * string * int) list;
@@ -309,6 +331,7 @@ let assemble entries =
       match p.p_call with
       | Read { addr; len } -> O_read { addr; len; value }
       | Write { addr; value } -> O_write { addr; value }
+      | Sread { addr; len; snap } -> O_sread { addr; len; snap; value }
       | Txn -> O_txn { reads = List.rev p.p_reads; writes = List.rev p.p_writes }
     in
     done_ :=
@@ -377,6 +400,13 @@ let pp_event ppf e =
   | O_write { addr; value } ->
       Fmt.pf ppf "%s [%d,%s] write %s %s := %a" (label e) e.e_invoke ret
         (addr_to_json addr) status pp_short_bytes value
+  | O_sread { addr; len; snap; value } ->
+      Fmt.pf ppf "%s [%d,%s] sread %s len=%d snap=%d %s%a" (label e) e.e_invoke
+        ret (addr_to_json addr) len snap status
+        (fun ppf -> function
+          | Some v -> Fmt.pf ppf " -> %a" pp_short_bytes v
+          | None -> ())
+        value
   | O_txn { reads; writes } ->
       Fmt.pf ppf "%s [%d,%s] txn   %s reads=[%a] writes=[%a]" (label e) e.e_invoke
         ret status

@@ -28,6 +28,11 @@ type addr = Kutil.Gaddr.t
 type call =
   | Read of { addr : addr; len : int }
   | Write of { addr : addr; value : string }
+  | Sread of { addr : addr; len : int; snap : int }
+      (** MVCC snapshot read (versioned regions): [snap] names the
+          client-side snapshot the read was pinned to. Judged for
+          snapshot consistency (same pin, same bytes; no out-of-thin-air
+          values) rather than linearizability. *)
   | Txn
 
 (** How a call ended. [Ok_]: took effect (reads: observed the recorded
@@ -111,6 +116,8 @@ type op =
   | O_read of { addr : addr; len : int; value : string option }
       (** [value] is [Some] iff the read returned [Ok_]. *)
   | O_write of { addr : addr; value : string }
+  | O_sread of { addr : addr; len : int; snap : int; value : string option }
+      (** Snapshot read; [value] as for {!O_read}. *)
   | O_txn of {
       reads : (addr * string * int) list;
           (** (addr, observed, at) — in execution order *)

@@ -864,3 +864,9 @@ let handle t event =
       else []
   in
   List.rev acc
+
+(* CREW keeps a single mutable image per page; there is no version history
+   to read at and no publish path — writers go through ownership. *)
+let read_at _ _ = None
+let publish _ ~src:_ ~parent:_ ~expected:_ ~payload:_ =
+  (Types.Publish_unsupported, [])

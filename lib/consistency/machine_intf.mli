@@ -12,6 +12,7 @@ module type MACHINE = sig
   (** Protocol identifier stored in region attributes. *)
 
   val create : Types.config -> Types.init -> t
+  (** Bring a per-page machine to life on one node. *)
 
   val handle : t -> Types.event -> Types.action list
   (** Feed one event, collect the machine's reactions. Deterministic. *)
@@ -19,11 +20,13 @@ module type MACHINE = sig
   (** {1 Introspection (tests, diagnostics, daemon fast paths)} *)
 
   val state_name : t -> string
+  (** Human-readable protocol state, for traces and test assertions. *)
 
   val has_valid_copy : t -> bool
   (** Would a local read observe protocol-valid data? *)
 
   val is_owner : t -> bool
+  (** Does this node hold exclusive write ownership (CREW-family)? *)
 
   val locks_held : t -> int * bool
   (** (readers, writer) currently granted locally. *)
@@ -74,6 +77,8 @@ module type MACHINE = sig
 end
 
 type packed = Packed : (module MACHINE with type t = 'a) * 'a -> packed
+(** A machine instance bundled with its implementation, so the daemon can
+    hold machines of different protocols in one table. *)
 
 (** One observed machine step: what came in, what state it moved between,
     what went out. Fed to the span hook of {!handle_packed} so the daemon
@@ -86,25 +91,32 @@ type transition = {
   t_actions : Types.action list;
 }
 
-let handle_packed ?hook (Packed ((module M), m)) event =
-  match hook with
-  | None -> M.handle m event
-  | Some f ->
-    let before = M.state_name m in
-    let actions = M.handle m event in
-    f { t_before = before; t_after = M.state_name m; t_event = event;
-        t_actions = actions };
-    actions
-let packed_state_name (Packed ((module M), m)) = M.state_name m
-let packed_has_valid_copy (Packed ((module M), m)) = M.has_valid_copy m
-let packed_is_owner (Packed ((module M), m)) = M.is_owner m
-let packed_locks_held (Packed ((module M), m)) = M.locks_held m
-let packed_version (Packed ((module M), m)) = M.version m
-let packed_backup_version (Packed ((module M), m)) = M.backup_version m
-let packed_holders (Packed ((module M), m)) = M.holders m
-let packed_busy (Packed ((module M), m)) = M.busy m
-let packed_name (Packed ((module M), _)) = M.name
-let packed_read_at (Packed ((module M), m)) at = M.read_at m at
+val handle_packed :
+  ?hook:(transition -> unit) -> packed -> Types.event -> Types.action list
+(** {!MACHINE.handle} through the existential, with an optional transition
+    hook for tracing. *)
 
-let packed_publish (Packed ((module M), m)) ~src ~parent ~expected ~payload =
-  M.publish m ~src ~parent ~expected ~payload
+val packed_state_name : packed -> string
+val packed_has_valid_copy : packed -> bool
+val packed_is_owner : packed -> bool
+val packed_locks_held : packed -> int * bool
+val packed_version : packed -> Types.version
+val packed_backup_version : packed -> Types.version
+val packed_holders : packed -> Types.node_id list
+val packed_busy : packed -> bool
+
+val packed_name : packed -> string
+(** Protocol name of the packed machine's implementation. *)
+
+val packed_read_at :
+  packed -> Types.version option -> (bytes * Types.version) option
+(** {!MACHINE.read_at} through the existential. *)
+
+val packed_publish :
+  packed ->
+  src:Types.node_id ->
+  parent:Types.version ->
+  expected:Types.version option ->
+  payload:Types.publish_payload ->
+  Types.publish_result * Types.action list
+(** {!MACHINE.publish} through the existential. *)

@@ -2,8 +2,9 @@
 
     "Plugging in new protocols or consistency managers is only a matter of
     registering them with Khazana": region attributes carry a protocol name;
-    the daemon instantiates machines through this table. The three built-in
-    protocols are pre-registered. *)
+    the daemon instantiates machines through this table. The five built-in
+    protocols (crew, release, eventual, wshared, versioned) are
+    pre-registered. *)
 
 type entry = (module Machine_intf.MACHINE)
 
@@ -28,4 +29,5 @@ let () =
   register (module Crew : Machine_intf.MACHINE);
   register (module Release : Machine_intf.MACHINE);
   register (module Eventual : Machine_intf.MACHINE);
-  register (module Write_shared : Machine_intf.MACHINE)
+  register (module Write_shared : Machine_intf.MACHINE);
+  register (module Versioned : Machine_intf.MACHINE)

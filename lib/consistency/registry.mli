@@ -1,0 +1,26 @@
+(** Protocol registry.
+
+    "Plugging in new protocols or consistency managers is only a matter of
+    registering them with Khazana": region attributes carry a protocol name;
+    the daemon instantiates machines through this table. The five built-in
+    protocols ([crew], [release], [eventual], [wshared], [versioned]) are
+    pre-registered at load time. *)
+
+type entry = (module Machine_intf.MACHINE)
+(** A registered protocol implementation. *)
+
+val register : entry -> unit
+(** Make a protocol available to {!instantiate} under its [name].
+    @raise Invalid_argument if the name is already taken. *)
+
+val find : string -> entry option
+(** Look a protocol up by name; [None] if unregistered (region attribute
+    validation uses this to reject unknown protocol names early). *)
+
+val names : unit -> string list
+(** All registered protocol names, sorted. *)
+
+val instantiate :
+  string -> Types.config -> Types.init -> Machine_intf.packed option
+(** Create a machine of the named protocol for one page on one node;
+    [None] if the protocol is unregistered. *)

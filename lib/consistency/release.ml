@@ -395,3 +395,9 @@ let handle t event =
       else []
   in
   List.rev acc
+
+(* Release consistency has no version history; writes propagate at release
+   time through the lock protocol, not through MVCC publishes. *)
+let read_at _ _ = None
+let publish _ ~src:_ ~parent:_ ~expected:_ ~payload:_ =
+  (Types.Publish_unsupported, [])

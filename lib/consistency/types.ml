@@ -201,6 +201,78 @@ let decode_msg dec =
   | 17 -> Fence_bump { floor = Codec.read_int dec }
   | n -> raise (Codec.Decode_error (Printf.sprintf "Ctypes.msg: tag %d" n))
 
+(** Payload of an MVCC publish: either a whole page image or a sparse set
+    of [(offset, bytes)] runs to apply on top of a parent version. Runs are
+    what {!Kstorage.Page_store} dirty-range tracking produces; the daemon
+    falls back to [Whole] when the dirty density makes runs a net loss. *)
+type publish_payload =
+  | Whole of bytes
+  | Runs of (int * bytes) list
+
+(** Outcome of publishing a page version at its home (versioned CM only). *)
+type publish_result =
+  | Published of version
+      (** A new immutable version was minted; readers pinned below it are
+          unaffected, the fan-out to replicas is queued. *)
+  | Cas_mismatch of { latest : version }
+      (** The caller passed [expected_version] and lost the race;
+          [latest] is the version that beat it. *)
+  | Parent_gone of { latest : version }
+      (** [Runs] arrived against a parent version the bounded chain has
+          already garbage-collected; resend as [Whole]. *)
+  | Publish_unsupported
+      (** This machine is not a versioned home (wrong protocol, or the
+          request landed off-home). *)
+
+let publish_payload_size = function
+  | Whole b -> 32 + Bytes.length b
+  | Runs runs ->
+    List.fold_left (fun acc (_, b) -> acc + 12 + Bytes.length b) 32 runs
+
+let encode_publish_payload enc = function
+  | Whole b ->
+    Codec.u8 enc 0;
+    Codec.bytes enc b
+  | Runs runs ->
+    Codec.u8 enc 1;
+    Codec.list enc
+      (fun (off, b) ->
+        Codec.int enc off;
+        Codec.bytes enc b)
+      runs
+
+let decode_publish_payload dec =
+  match Codec.read_u8 dec with
+  | 0 -> Whole (Codec.read_bytes dec)
+  | 1 ->
+    Runs
+      (Codec.read_list dec (fun () ->
+           let off = Codec.read_int dec in
+           (off, Codec.read_bytes dec)))
+  | n ->
+    raise (Codec.Decode_error (Printf.sprintf "Ctypes.publish_payload: tag %d" n))
+
+let encode_publish_result enc = function
+  | Published v ->
+    Codec.u8 enc 0;
+    Codec.int enc v
+  | Cas_mismatch { latest } ->
+    Codec.u8 enc 1;
+    Codec.int enc latest
+  | Parent_gone { latest } ->
+    Codec.u8 enc 2;
+    Codec.int enc latest
+  | Publish_unsupported -> Codec.u8 enc 3
+
+let decode_publish_result dec =
+  match Codec.read_u8 dec with
+  | 0 -> Published (Codec.read_int dec)
+  | 1 -> Cas_mismatch { latest = Codec.read_int dec }
+  | 2 -> Parent_gone { latest = Codec.read_int dec }
+  | 3 -> Publish_unsupported
+  | n ->
+    raise (Codec.Decode_error (Printf.sprintf "Ctypes.publish_result: tag %d" n))
+
 type event =
   | Acquire of { req : req_id; mode : mode }
       (** A client lock intent arrived at this node. *)
@@ -295,6 +367,11 @@ type config = {
       (** home-side per-hop timeout before it retries/fails over *)
   propagate_every : Ksim.Time.t;
       (** eventual consistency: anti-entropy period *)
+  version_chain_depth : int;
+      (** versioned CM: how many immutable page versions the home retains
+          per page. Older versions fall past the GC watermark: snapshot
+          reads pinned below it fail with "snapshot version expired" and
+          diffs against them force a whole-image resend. *)
 }
 
 let default_config ~self ~home =
@@ -305,4 +382,5 @@ let default_config ~self ~home =
     replica_targets = [];
     request_timeout = Ksim.Time.ms 200;
     propagate_every = Ksim.Time.ms 100;
+    version_chain_depth = 8;
   }

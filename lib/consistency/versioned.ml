@@ -1,43 +1,54 @@
-(** Eventual consistency — versioned lazy propagation.
+(** MVCC — immutable versioned pages, concurrent writers, snapshot reads.
 
-    The paper proposes "even more relaxed models for applications such as
-    web caches ... which typically can tolerate data that is temporarily
-    out-of-date (i.e., one or two versions old) as long as they get fast
-    response". This protocol grants every lock immediately against the local
-    replica; writes bump a version and flow to the home asynchronously; the
-    home batches fan-out on an anti-entropy timer. Conflicts resolve
-    last-writer-wins on (version, node id). *)
+    BlobSeer-style versioning dropped into the Brun-Cottan CM seam: the
+    home mints a monotonically increasing version id per page and retains a
+    bounded chain of immutable images behind the latest one. Writers never
+    take ownership and never invalidate anybody — they publish a new
+    version at the home (last-writer-wins by home arrival order, optional
+    CAS on [expected]) and replicas converge through a timer-batched
+    Update fan-out, exactly like the eventual CM's anti-entropy. Readers
+    are served from whatever version their snapshot pinned; a reader
+    pinned at [v] is untouched by the publish of [v+1].
+
+    Division of labour with the daemon: the machine is the authority on
+    versions (minting, chain retention, fan-out); the daemon owns diff
+    extraction (dirty-range tracking in the page store), the [Page_diff]
+    RPC that carries a publish to a remote home, and snapshot pinning.
+    The machine also has a self-contained fallback publish path — a
+    [Release] carrying page bytes turns into a whole-image publish — so
+    the protocol is complete under the pure-machine test harness with no
+    daemon above it. *)
 
 open Types
 module NSet = Set.Make (Int)
 
-(* Versions are totally ordered with the writer baked into the low byte:
-   [(counter << 8) | origin]. Comparing plain ints then implements
-   last-writer-wins with a deterministic origin tiebreak, and the order
-   survives relaying through the home. *)
-let next_version ~current ~origin =
-  (((current lsr 8) + 1) lsl 8) lor (origin land 0xFF)
+(** One retained immutable version at the home. Newest first in the chain;
+    the oldest retained entry is the GC watermark. *)
+type entry = { e_ver : version; e_data : bytes }
 
 type t = {
   cfg : config;
   (* cache role *)
-  mutable data : bytes option;
+  mutable data : bytes option;  (** local copy of the newest version seen *)
   mutable ver : version;
   locks : Local_locks.t;
   waiters : (req_id * mode) Queue.t;
-  mutable cache_req : mode option;
+  mutable cache_req : bool;     (** Read_req to home in flight *)
   (* home role *)
+  mutable chain : entry list;   (** newest first; head = latest settled *)
   mutable copyset : NSet.t;
   mutable fanout_armed : bool;
   mutable fanout_pending : bool;
   mutable next_timer : int;
 }
 
-let name = "eventual"
+let name = "versioned"
 
 let create cfg init =
-  let data, ver =
-    match init with Start_unknown -> (None, 0) | Start_owner b -> (Some b, 1)
+  let data, ver, chain =
+    match init with
+    | Start_unknown -> (None, 0, [])
+    | Start_owner b -> (Some b, 1, [ { e_ver = 1; e_data = b } ])
   in
   {
     cfg;
@@ -45,20 +56,24 @@ let create cfg init =
     ver;
     locks = Local_locks.create ();
     waiters = Queue.create ();
-    cache_req = None;
+    cache_req = false;
+    chain;
     copyset = NSet.empty;
     fanout_armed = false;
     fanout_pending = false;
     next_timer = 0;
   }
 
-let state_name t = if t.data = None then "invalid" else "replica"
+let is_home t = t.cfg.self = t.cfg.home
+
+let state_name t =
+  if is_home t then "home" else if t.data = None then "invalid" else "replica"
+
 let has_valid_copy t = t.data <> None
 let is_owner t = ignore t; false
 let locks_held t = Local_locks.held t.locks
 let version t = t.ver
-let backup_version _ = 0
-let is_home t = t.cfg.self = t.cfg.home
+let backup_version t = if is_home t then t.ver else 0
 
 let holders t =
   if is_home t && t.data <> None then
@@ -67,14 +82,19 @@ let holders t =
 
 let busy _ = false
 
+(* Extra introspection for directed tests; not part of MACHINE. *)
+
+let chain_depth t = List.length t.chain
+(** Number of immutable versions currently retained at the home. *)
+
+let watermark t =
+  match List.rev t.chain with [] -> 0 | oldest :: _ -> oldest.e_ver
+(** Oldest retained version; snapshot pins below this have expired. *)
+
 let fresh_timer t =
   t.next_timer <- t.next_timer + 1;
   t.next_timer
 
-let newer t ~version ~src:_ = version > t.ver
-
-(* Local locks still serialise within the node; across nodes everything is
-   optimistic. A node only blocks when it has no copy at all. *)
 let pump_local t acc =
   let acc = ref acc in
   let continue = ref true in
@@ -86,8 +106,8 @@ let pump_local t acc =
       acc := Grant req :: !acc
     end
     else begin
-      if t.data = None && t.cache_req = None then begin
-        t.cache_req <- Some mode;
+      if t.data = None && not t.cache_req then begin
+        t.cache_req <- true;
         acc := Send (t.cfg.home, Read_req) :: !acc
       end;
       continue := false
@@ -104,8 +124,6 @@ let arm_fanout t acc =
     Start_timer { id; after = t.cfg.propagate_every } :: acc
   end
 
-(* Push to replica targets that are missing, creating min_replicas copies.
-   Suspected nodes ([avoid]) count as neither replicas nor candidates. *)
 let replication_targets ?(avoid = []) t =
   if t.cfg.min_replicas <= 1 then []
   else begin
@@ -125,6 +143,73 @@ let replication_targets ?(avoid = []) t =
            t.cfg.replica_targets)
   end
 
+let truncate_chain t =
+  let depth = max 1 t.cfg.version_chain_depth in
+  let rec take n = function
+    | [] -> []
+    | _ when n = 0 -> []
+    | e :: rest -> e :: take (n - 1) rest
+  in
+  t.chain <- take depth t.chain
+
+(* Mint the next immutable version at the home. Reversed-acc convention:
+   callers pass and receive an acc that [List.rev] later restores. *)
+let mint t ~src img acc =
+  let v = t.ver + 1 in
+  t.chain <- { e_ver = v; e_data = img } :: t.chain;
+  truncate_chain t;
+  t.data <- Some img;
+  t.ver <- v;
+  if src <> t.cfg.self then t.copyset <- NSet.add src t.copyset;
+  arm_fanout t (Install { data = img; dirty = true } :: acc)
+
+let retained t v =
+  List.find_opt (fun e -> e.e_ver = v) t.chain
+  |> Option.map (fun e -> e.e_data)
+
+let read_at t at =
+  match at with
+  | None -> (
+    match t.data with Some d -> Some (d, t.ver) | None -> None)
+  | Some v ->
+    if is_home t then retained t v |> Option.map (fun d -> (d, v))
+    else (
+      match t.data with
+      | Some d when t.ver = v -> Some (d, v)
+      | Some _ | None -> None)
+
+let apply_runs ~base runs =
+  let img = Bytes.copy base in
+  let len = Bytes.length img in
+  List.iter
+    (fun (off, b) ->
+      let blen = Bytes.length b in
+      if off >= 0 && blen >= 0 && off + blen <= len then
+        Bytes.blit b 0 img off blen)
+    runs;
+  img
+
+let publish t ~src ~parent ~expected ~payload =
+  if not (is_home t) then (Publish_unsupported, [])
+  else
+    match t.data with
+    | None -> (Publish_unsupported, [])
+    | Some _ -> (
+      match expected with
+      | Some e when e <> t.ver -> (Cas_mismatch { latest = t.ver }, [])
+      | Some _ | None -> (
+        match payload with
+        | Whole img ->
+          let acc = mint t ~src (Bytes.copy img) [] in
+          (Published t.ver, List.rev acc)
+        | Runs runs -> (
+          match retained t parent with
+          | None -> (Parent_gone { latest = t.ver }, [])
+          | Some base ->
+            let img = apply_runs ~base runs in
+            let acc = mint t ~src img [] in
+            (Published t.ver, List.rev acc))))
+
 let handle_home_msg t src msg acc =
   match msg with
   | Read_req -> (
@@ -135,13 +220,12 @@ let handle_home_msg t src msg acc =
       :: Send (src, Read_grant { data; version = t.ver; fence = 0 })
       :: acc
     | None -> Send (src, Nack) :: acc)
-  | Update { data; version } ->
-    if newer t ~version ~src then begin
-      t.data <- Some data;
-      t.ver <- version;
-      arm_fanout t (Install { data; dirty = false } :: acc)
-    end
-    else acc
+  | Update { data; version = _ } ->
+    (* A cache released a write it could not diff (machine-only path):
+       publish it whole. The home mints — arrival order is the
+       last-writer-wins order; the version the cache stamped is only its
+       own parent and does not gate acceptance. *)
+    mint t ~src (Bytes.copy data) acc
   | Pull_req -> (
     match t.data with
     | Some data -> Send (src, Update { data; version = t.ver }) :: acc
@@ -155,24 +239,30 @@ let handle_home_msg t src msg acc =
     acc
 
 let handle_cache_msg t src msg acc =
+  ignore src;
   match msg with
   | Read_grant { data; version; _ } ->
-    t.cache_req <- None;
-    if newer t ~version ~src || t.data = None then begin
+    t.cache_req <- false;
+    if version > t.ver || t.data = None then begin
       t.data <- Some data;
       t.ver <- version;
       pump_local t (Install { data; dirty = false } :: acc)
     end
     else pump_local t acc
   | Update { data; version } ->
-    if newer t ~version ~src then begin
+    (* Never absorb a fan-out while a local writer holds the page: the
+       writer's in-progress bytes (and the dirty runs the daemon will
+       extract from them) must not be clobbered mid-flight. The skipped
+       update is recovered by the next fan-out round or Pull_req. *)
+    let _, writer = Local_locks.held t.locks in
+    if version > t.ver && not writer then begin
       t.data <- Some data;
       t.ver <- version;
       pump_local t (Install { data; dirty = false } :: acc)
     end
     else acc
   | Nack -> (
-    t.cache_req <- None;
+    t.cache_req <- false;
     match Queue.take_opt t.waiters with
     | Some (req, _) ->
       pump_local t (Reject (req, Unavailable "home has no data") :: acc)
@@ -192,20 +282,17 @@ let handle t event =
       Local_locks.drop t.locks mode;
       match (mode, data) with
       | Write, Some bytes ->
-        t.ver <- next_version ~current:t.ver ~origin:t.cfg.self;
+        (* Machine-only publish path: whole image to the home. The daemon
+           path releases with [data = None] and publishes runs itself. *)
         t.data <- Some bytes;
-        let acc = [ Install { data = bytes; dirty = false } ] in
         let acc =
-          if is_home t then arm_fanout t acc
+          if is_home t then mint t ~src:t.cfg.self (Bytes.copy bytes) []
           else
-            Send (t.cfg.home, Update { data = bytes; version = t.ver }) :: acc
+            [ Send (t.cfg.home, Update { data = bytes; version = t.ver }) ]
         in
         pump_local t acc
       | (Read | Write), _ -> pump_local t [])
     | Peer { src; msg } ->
-      (* At the home, home-role messages must not be pre-absorbed by the
-         cache role (it would adopt an Update and leave nothing "newer" for
-         the fan-out logic to react to). *)
       if is_home t then
         (match msg with
          | Update _ | Read_req | Pull_req | Evict_notify ->
@@ -230,7 +317,7 @@ let handle t event =
       Queue.clear t.waiters;
       Queue.transfer remaining t.waiters;
       (match head with
-       | Some (r, _) when r = req -> t.cache_req <- None
+       | Some (r, _) when r = req -> t.cache_req <- false
        | Some _ | None -> ());
       pump_local t []
     | Timeout _ ->
@@ -263,12 +350,20 @@ let handle t event =
             (fun n -> Send (n, Update { data; version = t.ver }))
             extra)
     | Unreachable _ ->
-      (* Anti-entropy pushes to a dead replica just drop; nothing waits on
-         acks here, and a partitioned replica keeps its copyset slot. *)
+      (* Fan-outs to a suspect just drop; nothing here waits on acks, and
+         a partitioned replica keeps its copyset slot. *)
       []
     | Reincarnate { version; sharers } ->
       if is_home t then begin
-        if version > t.ver then t.ver <- version;
+        (* History did not survive the crash: restart the chain at the
+           best version the survivors vouch for. Snapshot pins into the
+           lost chain now read as expired, which is the safe failure. *)
+        if version > t.ver then begin
+          t.ver <- version;
+          match t.data with
+          | Some d -> t.chain <- [ { e_ver = version; e_data = d } ]
+          | None -> ()
+        end;
         List.iter
           (fun n -> if n <> t.cfg.self then t.copyset <- NSet.add n t.copyset)
           sharers;
@@ -277,9 +372,3 @@ let handle t event =
       else []
   in
   List.rev acc
-
-(* Eventual keeps only the latest image; no retained history, no MVCC
-   publish — writes ride the Update fan-out. *)
-let read_at _ _ = None
-let publish _ ~src:_ ~parent:_ ~expected:_ ~payload:_ =
-  (Types.Publish_unsupported, [])

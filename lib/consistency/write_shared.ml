@@ -372,3 +372,9 @@ let handle t event =
       else []
   in
   List.rev acc
+
+(* Write-shared merges diffs into a single latest image; there is no
+   retained version chain to serve snapshot reads from. *)
+let read_at _ _ = None
+let publish _ ~src:_ ~parent:_ ~expected:_ ~payload:_ =
+  (Types.Publish_unsupported, [])

@@ -191,6 +191,51 @@ let read_bytes t ?ctx ~addr len =
       | None -> ());
       res)
 
+(* --- MVCC snapshots (versioned regions) --- *)
+
+let snapshot t = Daemon.snapshot_begin t.daemon
+let release_snapshot t snap = Daemon.snapshot_release t.daemon snap
+
+let snapshot_read t ?ctx ~snap ~addr len =
+  with_op t "client.snapshot_read" ctx (fun ctx ->
+      let hid =
+        Option.map
+          (fun r -> (r, History.invoke r (History.Sread { addr; len; snap })))
+          t.hist
+      in
+      let res = Daemon.snapshot_read t.daemon ~ctx ~snap ~addr ~len in
+      (match hid with
+      | Some (r, id) -> (
+        match res with
+        | Ok bytes ->
+          History.finish r ~id ~value:(Bytes.to_string bytes) History.Ok_
+        | Error e -> History.finish r ~id (classify_error e))
+      | None -> ());
+      res)
+
+let page_version t ?ctx addr =
+  with_op t "client.page_version" ctx (fun ctx ->
+      Daemon.page_version t.daemon ~ctx ~addr)
+
+let write_cas t ?ctx ~addr ~expected data =
+  with_op t "client.write_cas" ctx (fun ctx ->
+      let hid =
+        Option.map
+          (fun r ->
+            ( r,
+              History.invoke r
+                (History.Write { addr; value = Bytes.to_string data }) ))
+          t.hist
+      in
+      let res = Daemon.write_cas t.daemon ~ctx ~addr ~expected data in
+      (match hid with
+      | Some (r, id) -> (
+        match res with
+        | Ok () -> History.finish r ~id History.Ok_
+        | Error e -> History.finish r ~id (classify_error e))
+      | None -> ());
+      res)
+
 let write_bytes t ?ctx ~addr data =
   with_op t "client.write_bytes" ctx (fun ctx ->
       let hid =

@@ -112,8 +112,13 @@ val txn :
 val txn_read :
   t -> Daemon.txn -> addr:Kutil.Gaddr.t -> len:int ->
   (bytes, [> Daemon.error ]) result
-(** Transactional read: write-intent locks the range (held to commit) and
-    observes the transaction's own buffered writes. *)
+(** Transactional read. Ranges in regions under strict protocols are
+    locked in shared [Read] mode (upgraded with re-validation if later
+    written; held to commit). Ranges in [versioned] regions the
+    transaction has not written are served lock-free from the
+    transaction's MVCC snapshot, so read-only transactions never
+    serialize against writers there. Either way the read observes the
+    transaction's own buffered writes. *)
 
 val txn_write :
   t -> Daemon.txn -> addr:Kutil.Gaddr.t -> bytes ->
@@ -129,3 +134,40 @@ val write_bytes :
   t -> ?ctx:Ktrace.Op_ctx.t -> addr:Kutil.Gaddr.t -> bytes ->
   (unit, Daemon.error) result
 (** lock(write) + write + unlock. *)
+
+(** {1 MVCC snapshots (versioned regions)}
+
+    Consistent lock-free reads over regions under the [versioned]
+    consistency manager (see {!Daemon.snapshot_begin}): the first read of
+    each page pins it at the latest settled version, later reads through
+    the same snapshot serve exactly the pinned versions, and writers are
+    never blocked or invalidated by readers. Long-lived snapshots can
+    expire — [`Unavailable] once a pinned version falls off the home's
+    bounded chain — in which case release and begin afresh. *)
+
+val snapshot : t -> (int, Daemon.error) result
+(** Open a snapshot on the local daemon ("latest settled" per page, pinned
+    lazily at first touch). *)
+
+val snapshot_read :
+  t -> ?ctx:Ktrace.Op_ctx.t -> snap:int -> addr:Kutil.Gaddr.t -> int ->
+  (bytes, Daemon.error) result
+(** [snapshot_read t ~snap ~addr len]: read at the snapshot's pinned
+    versions — no locks, no invalidations, never blocks a writer. *)
+
+val release_snapshot : t -> int -> unit
+(** Drop the snapshot's pins. Release-class; unknown ids are no-ops. *)
+
+val page_version :
+  t -> ?ctx:Ktrace.Op_ctx.t -> Kutil.Gaddr.t ->
+  (Kconsistency.Types.version, Daemon.error) result
+(** Current home version of the versioned-region page containing the
+    address — the token to pass to {!write_cas}. *)
+
+val write_cas :
+  t -> ?ctx:Ktrace.Op_ctx.t -> addr:Kutil.Gaddr.t ->
+  expected:Kconsistency.Types.version -> bytes ->
+  (unit, Daemon.error) result
+(** Optimistic versioned write: publishes only if the page is still at
+    version [expected]; [`Conflict] if another writer got there first.
+    See {!Daemon.write_cas}. *)

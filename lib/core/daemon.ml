@@ -27,6 +27,8 @@ type config = {
   wal_checkpoint_every : int;
   acquire_window : int;
   txn_resolve_after : Ksim.Time.t;
+  version_chain_depth : int;
+  diff_density_max : float;
 }
 
 let default_config =
@@ -52,6 +54,12 @@ let default_config =
        before it starts asking the coordinator what happened. Long enough
        that a healthy 2PC round never triggers it. *)
     txn_resolve_after = Ksim.Time.sec 3;
+    (* Versioned CM: immutable versions retained per page at the home. *)
+    version_chain_depth = 8;
+    (* Versioned CM: publish dirty runs only while they cover at most this
+       fraction of the page; denser writes ship the whole image (runs would
+       cost more than they save once per-run framing is paid). *)
+    diff_density_max = 0.5;
   }
 
 type error = Error.t
@@ -79,6 +87,16 @@ type lock_ctx = {
   ctx_mode : Ctypes.mode;
   ctx_pages : Gaddr.t list;
   ctx_written : unit Gaddr.Table.t;
+  ctx_parents : Ctypes.version Gaddr.Table.t;
+      (* versioned regions, Write mode: the home version each page was at
+         when the lock was granted — the parent a diff publish applies
+         against *)
+  mutable ctx_expected : Ctypes.version option;
+      (* versioned CAS ({!write_cas}): publish only if the home is still at
+         exactly this version *)
+  mutable ctx_publish : (unit, error) result;
+      (* outcome of the versioned publish unlock performs; [write_sync] and
+         [write_cas] surface it to the caller *)
   mutable ctx_live : bool;
 }
 
@@ -152,6 +170,12 @@ type t = {
   txn_pins : pin Gaddr.Table.t;  (* home: committed images awaiting CM sync *)
   mutable txn_last : Txid.t option;  (* last id minted here (tests) *)
   mutable txn_hook : (string -> unit) option;  (* nemesis crash points *)
+  (* --- MVCC snapshots (versioned regions) --- *)
+  mutable next_snap : int;
+  snapshots : (int, Ctypes.version Gaddr.Table.t) Hashtbl.t;
+      (* snapshot id -> per-page pinned version. Pins are taken lazily at
+         first touch ("latest settled" per page); in-memory only, a crash
+         expires every open snapshot. *)
 }
 
 let id t = t.id
@@ -188,6 +212,11 @@ let txn_undelivered_decisions t = Txid.Table.length t.txn_decisions
 
 let txn_step t step = match t.txn_hook with Some f -> f step | None -> ()
 let alive t epoch = t.up && t.epoch = epoch
+
+(* Regions under the MVCC protocol take the publish path on release
+   instead of the data-carrying Release / CREW write-through. *)
+let versioned_region (region : Region.t) =
+  region.Region.attr.Attr.protocol = Kconsistency.Versioned.name
 
 let holds_page t page =
   match Gaddr.Table.find_opt t.machines page with
@@ -292,6 +321,7 @@ let machine_config t (region : Region.t) =
     replica_targets = replica_targets t region;
     request_timeout = t.cfg.request_timeout;
     propagate_every = Ksim.Time.ms 100;
+    version_chain_depth = t.cfg.version_chain_depth;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -613,9 +643,14 @@ let release_pages t ctx (region : Region.t) mode ?(unpin = false) ?written
   List.iter
     (fun page ->
       if unpin then Store.unpin t.store page;
+      (* Versioned regions release without data: propagation happens via
+         the publish path (unlock), not inside the machine's Release. *)
       let data =
         match written with
-        | Some tbl when mode = Ctypes.Write && Gaddr.Table.mem tbl page ->
+        | Some tbl
+          when mode = Ctypes.Write
+               && Gaddr.Table.mem tbl page
+               && not (versioned_region region) ->
           Store.read_immediate t.store page
         | _ -> None
       in
@@ -1110,6 +1145,155 @@ let in_doubt t page =
          acc || List.exists (fun (p, _) -> p = page) entry.p_pages)
        t.txn_prepared false
 
+(* Versioned publish: push one lock context's written pages to the region
+   home as immutable new versions. Sparse dirty runs ship as [Runs] when
+   they cover at most [diff_density_max] of the page and a parent version
+   to apply them against is known; otherwise the whole image goes. A home
+   whose chain no longer retains the parent answers [Parent_gone] and the
+   publish falls back to the whole image — wider, never wrong. Publishes
+   that cannot reach the home keep retrying in the background and surface
+   as the ambiguous [`Timeout]. A CAS publish ([ctx_expected] set) never
+   background-retries — an ambiguous CAS retried later could apply against
+   a version counter that has since moved — and surfaces a mismatch as
+   [`Conflict] after repairing the local cache to the home's latest, so
+   reads here never serve the rejected bytes. *)
+let publish_written t ctx lctx =
+  let region = lctx.ctx_region in
+  let page_size = region.Region.attr.Attr.page_size in
+  let expected = lctx.ctx_expected in
+  let span = Op_ctx.span ctx in
+  let jobs =
+    List.filter_map
+      (fun page ->
+        if not (Gaddr.Table.mem lctx.ctx_written page) then None
+        else
+          match Store.read_immediate t.store page with
+          | None -> None (* evicted under the lock; nothing left to publish *)
+          | Some img ->
+            let img = Bytes.copy img in
+            let parent =
+              Option.value
+                (Gaddr.Table.find_opt lctx.ctx_parents page)
+                ~default:0
+            in
+            let ranges = Store.dirty_ranges t.store page in
+            Store.clear_ranges t.store page;
+            let covered = List.fold_left (fun a (_, l) -> a + l) 0 ranges in
+            let payload =
+              if
+                ranges <> [] && parent > 0
+                && float_of_int covered
+                   <= t.cfg.diff_density_max *. float_of_int page_size
+              then
+                Ctypes.Runs
+                  (List.map (fun (o, l) -> (o, Bytes.sub img o l)) ranges)
+              else Ctypes.Whole img
+            in
+            Some (page, img, parent, payload))
+      lctx.ctx_pages
+  in
+  let publish_one page payload parent =
+    if region.Region.home = t.id then begin
+      (* Home-local write: mint directly through the machine. *)
+      let slot = machine_for t region page in
+      let result, actions =
+        Machine.packed_publish slot.packed ~src:t.id ~parent ~expected ~payload
+      in
+      apply_actions t ~span slot page actions;
+      Ok result
+    end
+    else
+      match
+        rpc t ctx ~dst:region.Region.home
+          (Wire.Page_diff
+             { page; region_base = region.Region.base; parent; expected;
+               payload })
+      with
+      | Ok (Wire.R_publish result) -> Ok result
+      | Ok (Wire.R_error e) -> Error (`Unavailable e)
+      | Ok _ -> Error (`Rpc "unexpected response to page_diff")
+      | Error ((`Timeout | `Unreachable) as e) -> Error e
+  in
+  (* Pull the local cache up to a freshly fetched or minted image so local
+     reads serve it without a refetch. The absorb is version-gated inside
+     the machine: if a concurrent writer already fanned out something
+     newer, the newer image stays (last writer won). *)
+  let absorb page data version =
+    match Gaddr.Table.find_opt t.machines page with
+    | Some slot ->
+      feed t ~span slot page
+        (Ctypes.Peer
+           { src = region.Region.home;
+             msg = Ctypes.Update { data; version } })
+    | None -> ()
+  in
+  let repair_after_cas_loss page =
+    if region.Region.home = t.id then (
+      match Gaddr.Table.find_opt t.machines page with
+      | Some slot -> (
+        match Machine.packed_read_at slot.packed None with
+        | Some (data, _) -> Store.write_immediate t.store page data ~dirty:false
+        | None -> ())
+      | None -> ())
+    else
+      match
+        rpc t ctx ~dst:region.Region.home
+          (Wire.Page_version { page; region_base = region.Region.base; at = None })
+      with
+      | Ok (Wire.R_page (Some (data, version))) ->
+        (* The version-gated absorb is a no-op when the cache already sits
+           at the home's latest — exactly the common refusal case, where
+           only the store holds the rejected bytes. Restore it directly. *)
+        Store.write_immediate t.store page data ~dirty:false;
+        absorb page data version
+      | Ok _ | Error _ -> ()
+  in
+  let background_republish page img =
+    (* Plain LWW publish only: arrival order is the ordering contract, so
+       a late retry is simply a late write. *)
+    background_retry t ~name:"page-publish" (fun () ->
+        match
+          rpc t Op_ctx.background ~dst:region.Region.home
+            (Wire.Page_diff
+               { page; region_base = region.Region.base; parent = 0;
+                 expected = None; payload = Ctypes.Whole img })
+        with
+        | Ok (Wire.R_publish _) -> true
+        | Ok _ | Error _ -> false)
+  in
+  let publish_job (page, img, parent, payload) =
+    let result =
+      match publish_one page payload parent with
+      | Ok (Ctypes.Parent_gone _) ->
+        (* The chain GC outran the diff: reapply as a whole image. *)
+        publish_one page (Ctypes.Whole img) parent
+      | r -> r
+    in
+    match result with
+    | Ok (Ctypes.Published v) ->
+      if region.Region.home <> t.id then absorb page img v;
+      Ok ()
+    | Ok (Ctypes.Cas_mismatch { latest }) ->
+      repair_after_cas_loss page;
+      Error
+        (`Conflict (Printf.sprintf "version mismatch: home at %d" latest))
+    | Ok (Ctypes.Parent_gone _) ->
+      Error (`Unavailable "publish refused: parent version gone")
+    | Ok Ctypes.Publish_unsupported ->
+      Error (`Unavailable "protocol refused publish")
+    | Error ((`Timeout | `Unreachable) as e) ->
+      if expected = None then background_republish page img;
+      Metrics.incr t.metrics "publish.retry";
+      Error e
+    | Error e -> Error e
+  in
+  List.fold_left
+    (fun acc job ->
+      match publish_job job with
+      | Ok () -> acc
+      | Error _ as e -> ( match acc with Ok () -> e | Error _ -> acc))
+    (Ok ()) jobs
+
 let lock t ~ctx ~addr ~len mode =
   match down_guard t with
   | Some e -> Error e
@@ -1232,6 +1416,20 @@ let lock t ~ctx ~addr ~len mode =
       | Error e -> Error e
       | Ok pages ->
         List.iter (Store.pin t.store) pages;
+        (* Versioned write intents remember the home version each page was
+           granted at: that version is the parent a publish diffs against,
+           and — because versioned grants exclude nobody — the way the home
+           tells "applied onto what I have" from "applied onto history". *)
+        let parents = Gaddr.Table.create 8 in
+        if mode = Ctypes.Write && versioned_region region then
+          List.iter
+            (fun page ->
+              match Gaddr.Table.find_opt t.machines page with
+              | Some slot ->
+                Gaddr.Table.replace parents page
+                  (Machine.packed_version slot.packed)
+              | None -> ())
+            pages;
         let lctx =
           {
             ctx_id = t.next_ctx;
@@ -1242,6 +1440,9 @@ let lock t ~ctx ~addr ~len mode =
             ctx_mode = mode;
             ctx_pages = pages;
             ctx_written = Gaddr.Table.create 8;
+            ctx_parents = parents;
+            ctx_expected = None;
+            ctx_publish = Ok ();
             ctx_live = true;
           }
         in
@@ -1260,6 +1461,15 @@ let unlock t ctx =
     let op = Op_ctx.with_span ctx.ctx_op span in
     release_pages t op ctx.ctx_region ctx.ctx_mode ~unpin:true
       ~written:ctx.ctx_written ctx.ctx_pages;
+    (* Versioned regions propagate written pages by publishing new
+       versions at the home (the Release above carried no data). The
+       outcome parks on the context for write_sync/write_cas to report;
+       plain unlock stays infallible toward the caller, matching CREW. *)
+    if
+      ctx.ctx_mode = Ctypes.Write
+      && versioned_region ctx.ctx_region
+      && Gaddr.Table.length ctx.ctx_written > 0
+    then ctx.ctx_publish <- publish_written t op ctx;
     finish_span t span
   end
 
@@ -1326,6 +1536,10 @@ let write t ctx ~addr data =
           Bytes.blit data consumed bytes off n;
           Store.write t.store page bytes ~dirty:true;
           Gaddr.Table.replace ctx.ctx_written page ();
+          (* Versioned regions track which byte spans actually changed so
+             the publish can ship sparse runs instead of the whole page. *)
+          if versioned_region ctx.ctx_region then
+            Store.note_range t.store page ~off ~len:n;
           copy (Gaddr.add_int addr n) (remaining - n) (consumed + n)
         | None -> Error (`Unavailable "page missing from local store")
       end
@@ -1405,10 +1619,180 @@ let write_sync t ~ctx ~addr data =
     unlock t lctx;
     (match result with
      | Error _ as e -> e
-     | Ok () ->
-       if (not (needs_flush t region)) || flush_through t ~ctx region written
-       then Ok ()
-       else Error `Timeout)
+     | Ok () -> (
+       match lctx.ctx_publish with
+       | Error _ as e -> e (* versioned publish did not settle *)
+       | Ok () ->
+         if (not (needs_flush t region)) || flush_through t ~ctx region written
+         then Ok ()
+         else Error `Timeout))
+
+(* Optimistic per-page CAS for versioned regions: publish the write only if
+   the home is still at exactly [expected] (obtained from {!page_version}
+   or a prior write). [`Conflict] on mismatch — nothing is published and
+   the local cache is repaired to the home's latest. Every page the write
+   touches shares the one expected version, so the intended use is records
+   within a single page. *)
+let write_cas t ~ctx ~addr ~expected data =
+  match lock t ~ctx ~addr ~len:(Bytes.length data) Ctypes.Write with
+  | Error e -> Error e
+  | Ok lctx ->
+    if not (versioned_region lctx.ctx_region) then begin
+      unlock t lctx;
+      Error (`Unavailable "write_cas needs the versioned protocol")
+    end
+    else begin
+      let result = write t lctx ~addr data in
+      lctx.ctx_expected <- Some expected;
+      unlock t lctx;
+      match result with Error _ as e -> e | Ok () -> lctx.ctx_publish
+    end
+
+(* The home's current version of the page containing [addr] — the token a
+   {!write_cas} caller passes back as [expected]. *)
+let page_version t ~ctx ~addr =
+  match down_guard t with
+  | Some e -> Error e
+  | None -> (
+    match locate_region_in t ctx addr with
+    | Error e -> Error e
+    | Ok region ->
+      if not (versioned_region region) then
+        Error (`Unavailable "page_version needs the versioned protocol")
+      else
+        let page =
+          Gaddr.page_floor addr ~page_size:region.Region.attr.Attr.page_size
+        in
+        if region.Region.home = t.id then begin
+          let slot = machine_for t region page in
+          match Machine.packed_read_at slot.packed None with
+          | Some (_, v) -> Ok v
+          | None -> Ok 0
+        end
+        else
+          match
+            rpc t ctx ~dst:region.Region.home
+              (Wire.Page_version
+                 { page; region_base = region.Region.base; at = None })
+          with
+          | Ok (Wire.R_page (Some (_, v))) -> Ok v
+          | Ok (Wire.R_page None) -> Ok 0
+          | Ok (Wire.R_error e) -> Error (`Unavailable e)
+          | Ok _ -> Error (`Rpc "unexpected response to page_version")
+          | Error ((`Timeout | `Unreachable) as e) -> Error e)
+
+(* ------------------------------------------------------------------ *)
+(* MVCC snapshots (versioned regions)                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* A snapshot is a per-page version pin table: empty at begin, filled
+   lazily — the first read of each page pins it at the latest settled
+   version that read observed, and every later read of that page through
+   the same snapshot serves exactly the pinned version. Reads never
+   acquire locks and never trigger invalidations; writers never wait for
+   them. The price is expiry: a pin whose version falls off the home's
+   bounded chain answers [`Unavailable], and the reader begins a fresh
+   snapshot. *)
+let snapshot_begin t =
+  match down_guard t with
+  | Some e -> Error e
+  | None ->
+    let id = t.next_snap in
+    t.next_snap <- t.next_snap + 1;
+    Hashtbl.replace t.snapshots id (Gaddr.Table.create 8);
+    Metrics.incr t.metrics "snap.begin";
+    Ok id
+
+let snapshot_release t snap = Hashtbl.remove t.snapshots snap
+
+(* Fetch [page] at exactly [at] (or latest settled when [None]): the local
+   machine first — the home's chain, or a cache copy sitting at the pinned
+   version — then the home over the wire. [Ok None] means the version is
+   no longer retained anywhere. *)
+let snapshot_fetch t ctx (region : Region.t) page at =
+  let local =
+    match Gaddr.Table.find_opt t.machines page with
+    | Some slot -> Machine.packed_read_at slot.packed at
+    | None when region.Region.home = t.id ->
+      let slot = machine_for t region page in
+      Machine.packed_read_at slot.packed at
+    | None -> None
+  in
+  match local with
+  | Some _ as r -> Ok r
+  | None ->
+    if region.Region.home = t.id then Ok None
+    else (
+      match
+        rpc t ctx ~dst:region.Region.home
+          (Wire.Page_version { page; region_base = region.Region.base; at })
+      with
+      | Ok (Wire.R_page r) -> Ok r
+      | Ok (Wire.R_error e) -> Error (`Unavailable e)
+      | Ok _ -> Error (`Rpc "unexpected response to page_version")
+      | Error ((`Timeout | `Unreachable) as e) -> Error e)
+
+let snapshot_read t ~ctx ~snap ~addr ~len =
+  match down_guard t with
+  | Some e -> Error e
+  | None -> (
+    match Hashtbl.find_opt t.snapshots snap with
+    | None -> Error (`Unavailable "unknown snapshot")
+    | Some pins -> (
+      match locate_region_in t ctx addr with
+      | Error e -> Error e
+      | Ok region ->
+        if not (versioned_region region) then
+          Error (`Unavailable "snapshot reads need the versioned protocol")
+        else if not (Region.contains_range region addr ~len) then
+          Error `Bad_range
+        else begin
+          let span =
+            span_of t ctx "daemon.snapshot_read" (fun () ->
+                [ ("addr", Gaddr.to_string addr);
+                  ("len", string_of_int len);
+                  ("snap", string_of_int snap) ])
+          in
+          let ctx = Op_ctx.with_span ctx span in
+          let page_size = region.Region.attr.Attr.page_size in
+          let out = Bytes.create len in
+          let rec copy addr remaining written =
+            if remaining = 0 then Ok ()
+            else begin
+              let page = Gaddr.page_floor addr ~page_size in
+              let off = Gaddr.page_offset addr ~page_size in
+              let n = min remaining (page_size - off) in
+              let fetched =
+                match Gaddr.Table.find_opt pins page with
+                | Some v -> (
+                  match snapshot_fetch t ctx region page (Some v) with
+                  | Ok (Some (bytes, _)) -> Ok bytes
+                  | Ok None ->
+                    Error (`Unavailable "snapshot version expired (chain GC)")
+                  | Error e -> Error e)
+                | None -> (
+                  match snapshot_fetch t ctx region page None with
+                  | Ok (Some (bytes, v)) ->
+                    Gaddr.Table.replace pins page v;
+                    Ok bytes
+                  | Ok None -> Error (`Unavailable "page missing at home")
+                  | Error e -> Error e)
+              in
+              match fetched with
+              | Error e -> Error e
+              | Ok bytes ->
+                Bytes.blit bytes off out written n;
+                copy (Gaddr.add_int addr n) (remaining - n) (written + n)
+            end
+          in
+          let result =
+            match copy addr len 0 with Ok () -> Ok out | Error e -> Error e
+          in
+          (match result with
+           | Ok _ -> finish_status t span "ok"
+           | Error e -> finish_status t span (error_to_string e));
+          result
+        end))
 
 let get_attr t ~ctx addr =
   match down_guard t with
@@ -1583,6 +1967,9 @@ type txn = {
   mutable txn_reads : (Gaddr.t * bytes) list;
       (* stored bytes observed through Read-mode contexts, pre-overlay —
          re-checked if the covering lock is upgraded *)
+  mutable txn_snap : int option;
+      (* lazily opened MVCC snapshot: reads of versioned regions the
+         transaction has not written go through it, lock-free *)
   mutable txn_live : bool;
 }
 
@@ -1598,6 +1985,7 @@ let txn_begin t ~ctx =
     txn_locks = [];
     txn_writes = [];
     txn_reads = [];
+    txn_snap = None;
     txn_live = true;
   }
 
@@ -1606,7 +1994,14 @@ let txn_uid txn = txn.txn_uid
 let txn_release_locks t txn =
   let locks = txn.txn_locks in
   txn.txn_locks <- [];
-  List.iter (fun c -> unlock t c) locks
+  List.iter (fun c -> unlock t c) locks;
+  (* Called at every transaction exit (commit, abort, kill), so the MVCC
+     snapshot dies exactly when the transaction does. *)
+  match txn.txn_snap with
+  | Some s ->
+    snapshot_release t s;
+    txn.txn_snap <- None
+  | None -> ()
 
 (* The transaction lost lock coverage it had relied on (failed upgrade):
    its observations are no longer protected, so it cannot be allowed to
@@ -1735,7 +2130,51 @@ let txn_read t txn ~addr ~len =
   | None -> (
     match down_guard t with
     | Some e -> Error e
-    | None -> (
+    | None ->
+      (* MVCC fast path: a read of a versioned region the transaction has
+         not written is served from the transaction's snapshot — no lock,
+         no serialization against writers, not recorded for upgrade
+         re-validation (the pin, not a lock, is what keeps it stable).
+         Ranges the transaction wrote (buffered or under a Write intent)
+         stay on the locking path for read-your-writes. *)
+      let wend = Gaddr.add_int addr len in
+      let writes_overlap =
+        List.exists
+          (fun c ->
+            c.ctx_live
+            && c.ctx_mode = Ctypes.Write
+            && Gaddr.compare c.ctx_addr wend < 0
+            && Gaddr.compare addr (Gaddr.add_int c.ctx_addr c.ctx_len) < 0)
+          txn.txn_locks
+        || List.exists
+             (fun (waddr, data) ->
+               let wlen = Bytes.length data in
+               Gaddr.compare waddr wend < 0
+               && Gaddr.compare addr (Gaddr.add_int waddr wlen) < 0)
+             txn.txn_writes
+      in
+      let mvcc =
+        (not writes_overlap)
+        &&
+        match locate_region_in t txn.txn_op addr with
+        | Ok region -> versioned_region region
+        | Error _ -> false
+      in
+      if mvcc then (
+        let snap =
+          match txn.txn_snap with
+          | Some s -> Ok s
+          | None -> (
+            match snapshot_begin t with
+            | Ok s ->
+              txn.txn_snap <- Some s;
+              Ok s
+            | Error e -> Error e)
+        in
+        match snap with
+        | Error e -> Error e
+        | Ok snap -> snapshot_read t ~ctx:txn.txn_op ~snap ~addr ~len)
+      else (
       match txn_lock t txn ~addr ~len ~mode:Ctypes.Read with
       | Error e -> Error e
       | Ok c -> (
@@ -2322,6 +2761,30 @@ let serve t ~src ~span request ~reply =
         reply Wire.R_unit
         end
       | Some _ | None -> reply (Wire.R_error "not my region"))
+    | Wire.Page_diff { page; region_base; parent; expected; payload } -> (
+      (* Versioned publish at the home: let the machine mint (or refuse) a
+         new version and ship the outcome back. The minted image reaches
+         the store and the WAL through the Install action the machine
+         returns, exactly like a local write. *)
+      match Gaddr.Table.find_opt t.homed region_base with
+      | Some region when Region.contains region page ->
+        let slot = machine_for t region page in
+        let result, actions =
+          Machine.packed_publish slot.packed ~src ~parent ~expected ~payload
+        in
+        apply_actions t ~span:sspan slot page actions;
+        reply (Wire.R_publish result)
+      | Some _ | None -> reply (Wire.R_error "not my region"))
+    | Wire.Page_version { page; region_base; at } -> (
+      (* Snapshot-pin resolution: serve a retained version from the home's
+         chain ([at = Some v]), or the latest settled image ([at = None]).
+         A [R_page None] for a pinned version means the chain GC already
+         reclaimed it — the reader's snapshot has expired for this page. *)
+      match Gaddr.Table.find_opt t.homed region_base with
+      | Some region when Region.contains region page ->
+        let slot = machine_for t region page in
+        reply (Wire.R_page (Machine.packed_read_at slot.packed at))
+      | Some _ | None -> reply (Wire.R_error "not my region"))
     | Wire.Tx_prepare { gtx; pages } ->
       txn_step t "part.prepare_recv";
       (* The crash hook may have taken the node down mid-handler; a dead
@@ -2791,7 +3254,10 @@ let crash t =
   (* Suspicion state is soft: a rebooted node re-learns it. *)
   Hashtbl.reset t.suspected;
   Hashtbl.reset t.strikes;
-  t.last_hint <- []
+  t.last_hint <- [];
+  (* Open snapshots die with the node: their pins referenced version
+     chains that no longer exist. Readers observe [`Unavailable]. *)
+  Hashtbl.reset t.snapshots
 
 let recover t =
   t.epoch <- t.epoch + 1;
@@ -2879,6 +3345,8 @@ let create ?(config = default_config) ?(peer_managers = []) ?wal_file ~id
       txn_pins = Gaddr.Table.create 8;
       txn_last = None;
       txn_hook = None;
+      next_snap = 1;
+      snapshots = Hashtbl.create 8;
     }
   in
   Store.set_evict_hook store (fun page data ~dirty -> on_evict t page data ~dirty);

@@ -41,6 +41,13 @@ type config = {
   txn_resolve_after : Ksim.Time.t;
       (** how long a participant holds a prepared-but-undecided transaction
           before asking the coordinator for the verdict (default 3 s) *)
+  version_chain_depth : int;
+      (** versioned CM: immutable versions retained per page at the home
+          (default 8); snapshot pins below the retained window expire *)
+  diff_density_max : float;
+      (** versioned CM: publish dirty runs only while they cover at most
+          this fraction of the page (default 0.5); denser writes fall back
+          to shipping the whole image *)
 }
 
 val default_config : config
@@ -188,6 +195,50 @@ val write_sync :
     crashed owner) as fresh as every acknowledged write. If the home
     cannot be reached the image keeps flushing in the background and the
     call returns the ambiguous [`Timeout]. *)
+
+val write_cas :
+  t -> ctx:Ktrace.Op_ctx.t -> addr:Kutil.Gaddr.t ->
+  expected:Kconsistency.Types.version -> bytes -> (unit, error) result
+(** Versioned-region optimistic write: publish only if the page's home is
+    still at exactly [expected] (obtained from {!page_version} or an
+    earlier successful write). [`Conflict] on mismatch — nothing is
+    published, and the local cache is repaired to the home's latest, so
+    subsequent local reads do not serve the rejected bytes. Every page the
+    write spans shares the one expected version; the intended use is a
+    record within a single page. [`Unavailable] on regions under any other
+    protocol. *)
+
+val page_version :
+  t -> ctx:Ktrace.Op_ctx.t -> addr:Kutil.Gaddr.t ->
+  (Kconsistency.Types.version, error) result
+(** The home's current version of the versioned-region page containing
+    [addr] — the token a {!write_cas} caller passes back as [expected]. *)
+
+(** {1 MVCC snapshots (versioned regions)}
+
+    A snapshot is a per-page version pin: the first read of each page pins
+    it at the latest settled version that read observed, and every later
+    read of that page through the same snapshot serves exactly the pinned
+    version. Snapshot reads take no locks and trigger no invalidations;
+    writers never wait for them. Pins reference the home's bounded version
+    chain, so a long-lived snapshot can expire: once the pinned version
+    falls off the chain, reads answer [`Unavailable] and the reader should
+    begin a fresh snapshot. Snapshots are node-local, in-memory state — a
+    crash expires all of them. *)
+
+val snapshot_begin : t -> (int, error) result
+(** Open a snapshot; the returned id names it in {!snapshot_read} and
+    {!snapshot_release}. Cheap — no pages are touched until read. *)
+
+val snapshot_read :
+  t -> ctx:Ktrace.Op_ctx.t -> snap:int -> addr:Kutil.Gaddr.t -> len:int ->
+  (bytes, error) result
+(** Read [addr, addr+len) at the snapshot's pinned versions (pinning any
+    page touched for the first time). Only regions under the [versioned]
+    protocol serve snapshot reads. *)
+
+val snapshot_release : t -> int -> unit
+(** Forget the snapshot's pins. Release-class; unknown ids are no-ops. *)
 
 val get_attr : t -> ctx:Ktrace.Op_ctx.t -> Kutil.Gaddr.t -> (Attr.t, error) result
 (** Attributes of the region containing the address. *)

@@ -78,6 +78,25 @@ type request =
           write) before acking; the writer acks its client only after the
           flush, so an owner crash can no longer swallow an acknowledged
           write. Idempotent — the home keeps the freshest version. *)
+  | Page_diff of {
+      page : Gaddr.t;
+      region_base : Gaddr.t;
+      parent : int;
+      expected : int option;
+      payload : Ctypes.publish_payload;
+    }
+      (** Writer -> region home (versioned CM): publish a new immutable
+          page version. [payload] is sparse dirty runs against the
+          retained image of [parent], or a whole image when the write was
+          dense (or the parent fell past the home's GC watermark —
+          [Parent_gone] tells the writer to resend whole). [expected] is
+          the optional per-page CAS: publish only if the home's latest
+          version still equals it. Answered with {!R_publish}. *)
+  | Page_version of { page : Gaddr.t; region_base : Gaddr.t; at : int option }
+      (** Snapshot reader -> region home (versioned CM): the image of the
+          page at version [at] ([None] = latest settled). Answered with
+          {!R_page}: [None] means the version fell past the GC watermark
+          (the snapshot expired) or the page is unknown. *)
 
 type tx_state = Tx_committed | Tx_aborted | Tx_in_progress
 
@@ -94,6 +113,8 @@ type response =
       (** Participant's phase-one vote: [true] = prepared, will commit on
           decision. *)
   | R_tx_status of tx_state
+  | R_publish of Ctypes.publish_result
+      (** Outcome of a {!request.Page_diff} publish at the home. *)
 
 let addr_size = 16
 let desc_size = 64 (* serialized descriptor estimate *)
@@ -117,6 +138,9 @@ let request_size = function
   | Tx_decide _ -> 21
   | Tx_status _ -> 20
   | Page_flush { data; _ } -> (2 * addr_size) + 16 + Bytes.length data
+  | Page_diff { payload; _ } ->
+    (2 * addr_size) + 16 + Ctypes.publish_payload_size payload
+  | Page_version _ -> (2 * addr_size) + 16
 
 let response_size = function
   | R_unit -> 8
@@ -132,6 +156,7 @@ let response_size = function
   | R_error s -> 8 + String.length s
   | R_tx_vote _ -> 9
   | R_tx_status _ -> 9
+  | R_publish _ -> 17
 
 let request_kind = function
   | Cm_msg { body; _ } -> Ctypes.msg_kind body
@@ -152,6 +177,8 @@ let request_kind = function
   | Tx_decide _ -> "tx_decide"
   | Tx_status _ -> "tx_status"
   | Page_flush _ -> "page_flush"
+  | Page_diff _ -> "page_diff"
+  | Page_version _ -> "page_version"
 
 (* ---------------- byte codecs ---------------- *)
 
@@ -227,6 +254,18 @@ let encode_request enc req =
     Codec.u128 enc region_base;
     Codec.bytes enc data;
     Codec.int enc version
+  | Page_diff { page; region_base; parent; expected; payload } ->
+    Codec.u8 enc 18;
+    Codec.u128 enc page;
+    Codec.u128 enc region_base;
+    Codec.int enc parent;
+    Codec.option enc (Codec.int enc) expected;
+    Ctypes.encode_publish_payload enc payload
+  | Page_version { page; region_base; at } ->
+    Codec.u8 enc 19;
+    Codec.u128 enc page;
+    Codec.u128 enc region_base;
+    Codec.option enc (Codec.int enc) at
 
 let decode_request dec =
   match Codec.read_u8 dec with
@@ -274,6 +313,20 @@ let decode_request dec =
     let region_base = Codec.read_u128 dec in
     let data = Codec.read_bytes dec in
     Page_flush { page; region_base; data; version = Codec.read_int dec }
+  | 18 ->
+    let page = Codec.read_u128 dec in
+    let region_base = Codec.read_u128 dec in
+    let parent = Codec.read_int dec in
+    let expected = Codec.read_option dec (fun () -> Codec.read_int dec) in
+    Page_diff
+      { page; region_base; parent; expected;
+        payload = Ctypes.decode_publish_payload dec }
+  | 19 ->
+    let page = Codec.read_u128 dec in
+    let region_base = Codec.read_u128 dec in
+    Page_version
+      { page; region_base;
+        at = Codec.read_option dec (fun () -> Codec.read_int dec) }
   | n -> raise (Codec.Decode_error (Printf.sprintf "Wire.request: tag %d" n))
 
 let encode_response enc resp =
@@ -310,6 +363,9 @@ let encode_response enc resp =
     Codec.u8 enc 8;
     Codec.u8 enc
       (match st with Tx_committed -> 0 | Tx_aborted -> 1 | Tx_in_progress -> 2)
+  | R_publish r ->
+    Codec.u8 enc 9;
+    Ctypes.encode_publish_result enc r
 
 let decode_response dec =
   match Codec.read_u8 dec with
@@ -336,6 +392,7 @@ let decode_response dec =
       | 1 -> Tx_aborted
       | 2 -> Tx_in_progress
       | n -> raise (Codec.Decode_error (Printf.sprintf "Wire.tx_state: %d" n)))
+  | 9 -> R_publish (Ctypes.decode_publish_result dec)
   | n -> raise (Codec.Decode_error (Printf.sprintf "Wire.response: tag %d" n))
 
 (* ---------------- the transport seam, instantiated ----------------

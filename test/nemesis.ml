@@ -1250,6 +1250,183 @@ let run_combined ~seed () =
     events;
   }
 
+(* ---------------- Versioned (MVCC) chaos sweep ----------------------- *)
+
+(* Crashes and partitions over a mixed fleet: transactional traffic stays
+   on CREW regions (strict, linearizable, serializable — judged by the
+   usual checkers), while versioned regions take concurrent plain writes
+   plus snapshot reads and occasional CAS writes. The MVCC addresses are
+   excluded from the linearizability projection — concurrent LWW publishes
+   are not linearizable by design — and instead gated on the MVCC checks:
+   no out-of-thin-air reads, and every snapshot pin observes one value. *)
+let run_versioned_nemesis ~seed () =
+  let sys = mk ~seed () in
+  let rng = Kutil.Rng.create ~seed:(0x766572 + (seed * 7919)) in
+  let clients = Array.init node_count (fun n -> System.client sys n ()) in
+  let ring = instrument sys clients in
+  let st = { down = []; partitioned = false; faulty = [] } in
+  let stamp = ref 0 in
+  let fresh tag =
+    incr stamp;
+    Printf.sprintf "%02d%06d" tag !stamp
+  in
+  let mk_region ~home ~protocol =
+    System.run_fiber ~name:"versioned-create" sys (fun () ->
+        let attr = Attr.make ~owner:home ~protocol ~min_replicas:2 () in
+        ok (Client.create_region clients.(home) ~attr 4096))
+  in
+  let crew_regs =
+    List.map (fun home -> (home, (mk_region ~home ~protocol:"crew").Region.base))
+      [ 1; 2 ]
+  in
+  let ver_regs =
+    List.map
+      (fun home ->
+        let r = mk_region ~home ~protocol:"versioned" in
+        (home, r.Region.base, r.Region.len))
+      [ 3; 4; 5 ]
+  in
+  let mvcc addr =
+    List.exists
+      (fun (_, base, len) ->
+        Gaddr.compare base addr <= 0
+        && Gaddr.compare addr (Gaddr.add_int base len) < 0)
+      ver_regs
+  in
+  let heal_everything () =
+    resync_down sys st;
+    List.iter (fun n -> System.recover sys n) st.down;
+    st.down <- [];
+    if st.partitioned then begin
+      System.heal sys;
+      st.partitioned <- false
+    end;
+    System.run_until_quiet ~limit:(Ksim.Time.sec 5) sys
+  in
+  let settle_all what =
+    heal_everything ();
+    List.iter
+      (fun (home, addr) ->
+        let rec attempt k =
+          let r =
+            System.run_fiber ~name:"versioned-settle" sys (fun () ->
+                Client.write_bytes clients.(home) ~addr (bytes_s (fresh home)))
+          in
+          match r with
+          | Ok () -> ()
+          | Error _ when k > 0 ->
+            System.run_until_quiet ~limit:(Ksim.Time.sec 3) sys;
+            attempt (k - 1)
+          | Error e ->
+            Alcotest.failf "%s: settled write refused for home %d: %s" what
+              home (Daemon.error_to_string e)
+        in
+        attempt 4)
+      (crew_regs @ List.map (fun (h, b, _) -> (h, b)) ver_regs);
+    System.run_until_quiet ~limit:(Ksim.Time.sec 3) sys
+  in
+  settle_all "initial checkpoint";
+  for round = 1 to 7 do
+    resync_down sys st;
+    fault_step rng sys st;
+    (* Versioned traffic: concurrent writers from two random nodes, then a
+       reader that either reads plain or opens a snapshot and reads it
+       twice — with a write landing in between, so pin stability has
+       something to bite on. *)
+    List.iter
+      (fun (home, addr, _) ->
+        let w1 = Option.get (pick rng (up_nodes st)) in
+        let w2 = Option.get (pick rng (up_nodes st)) in
+        let reader = Option.get (pick rng (up_nodes st)) in
+        System.run_fiber ~name:"versioned-workload" sys (fun () ->
+            (match
+               Client.write_bytes clients.(w1) ~addr (bytes_s (fresh home))
+             with
+            | Ok () | Error _ -> ());
+            if Kutil.Rng.bool rng then (
+              (* Optimistic CAS: read the home version, publish against it.
+                 A [`Conflict] just means somebody else won the race. *)
+              match Client.page_version clients.(w2) addr with
+              | Error _ -> ()
+              | Ok v -> (
+                match
+                  Client.write_cas clients.(w2) ~addr ~expected:v
+                    (bytes_s (fresh home))
+                with
+                | Ok () | Error _ -> ()))
+            else (
+              match
+                Client.write_bytes clients.(w2) ~addr (bytes_s (fresh home))
+              with
+              | Ok () | Error _ -> ());
+            match Client.snapshot clients.(reader) with
+            | Error _ -> ()
+            | Ok snap ->
+              (match Client.snapshot_read clients.(reader) ~snap ~addr 8 with
+              | Ok _ | Error _ -> ());
+              (match
+                 Client.write_bytes clients.(w1) ~addr (bytes_s (fresh home))
+               with
+              | Ok () | Error _ -> ());
+              (match Client.snapshot_read clients.(reader) ~snap ~addr 8 with
+              | Ok _ | Error _ -> ());
+              Client.release_snapshot clients.(reader) snap))
+      ver_regs;
+    (* CREW traffic, including a cross-region transaction: the strict side
+       of the fleet keeps its full linearizability + serializability
+       obligations while MVCC churns next door. *)
+    List.iter
+      (fun (home, addr) ->
+        let writer = Option.get (pick rng (up_nodes st)) in
+        let reader = Option.get (pick rng (up_nodes st)) in
+        System.run_fiber ~name:"versioned-crew-workload" sys (fun () ->
+            (match
+               Client.write_bytes clients.(writer) ~addr (bytes_s (fresh home))
+             with
+            | Ok () | Error _ -> ());
+            match Client.read_bytes clients.(reader) ~addr 8 with
+            | Ok _ | Error _ -> ()))
+      crew_regs;
+    let (_, a1), (_, a2) =
+      match crew_regs with
+      | [ x; y ] -> if Kutil.Rng.bool rng then (x, y) else (y, x)
+      | _ -> assert false
+    in
+    let coord = Option.get (pick rng (up_nodes st)) in
+    let v = fresh 0 in
+    System.run_fiber ~name:"versioned-txn" sys (fun () ->
+        match
+          Client.txn clients.(coord) (fun txn ->
+              match Client.txn_read clients.(coord) txn ~addr:a1 ~len:8 with
+              | Error _ as e -> e
+              | Ok _ -> (
+                match
+                  Client.txn_write clients.(coord) txn ~addr:a1 (bytes_s v)
+                with
+                | Error _ as e -> e
+                | Ok () ->
+                  Client.txn_write clients.(coord) txn ~addr:a2 (bytes_s v)))
+        with
+        | Ok () | Error _ -> ());
+    System.run_until_quiet ~limit:(Ksim.Time.sec 2) sys;
+    if round mod 3 = 0 then settle_all "mid-run checkpoint"
+  done;
+  settle_all "final checkpoint";
+  (* Final reads from two vantages land in the history; the MVCC checks
+     cover the versioned ones (any attempted value is legal under LWW —
+     a backgrounded republish is a late write — but thin air is not). *)
+  List.iter
+    (fun (_, addr) -> ignore (read_settled ~len:8 sys clients.(0) ~addr))
+    (crew_regs @ List.map (fun (h, b, _) -> (h, b)) ver_regs);
+  let s = Khazana.Wire.Sim.Net.stats (System.net sys) in
+  if s.sent <> s.delivered + s.dropped + s.in_flight then
+    Alcotest.failf "network accounting leak: sent %d <> %d + %d + %d" s.sent
+      s.delivered s.dropped s.in_flight;
+  let events = History.assemble (History.Ring.entries ring) in
+  let report = Check.analyze ~init:zero_init ~mvcc events in
+  if not (Check.passed report) then
+    Alcotest.failf "versioned sweep seed %d: %s" seed (Check.summary report)
+
 (* The oracle has teeth on real histories, not just the unit fixtures:
    take a passing combined run, append a fabricated stale read — an old
    value re-observed strictly after a later, non-overlapping committed
@@ -1547,6 +1724,9 @@ let twopc_seeds = seeds_from_env "NEMESIS_2PC_SEEDS" [ 26; 27 ]
 (* Combined multi-fault sweep seeds: CI runs 41..50. *)
 let combined_seeds = seeds_from_env "NEMESIS_COMBINED_SEEDS" [ 36; 37 ]
 
+(* Versioned (MVCC) sweep seeds: CI runs 51..58. *)
+let versioned_seeds = seeds_from_env "NEMESIS_VERSIONED_SEEDS" [ 51; 52 ]
+
 let () =
   Alcotest.run "nemesis"
     [
@@ -1642,4 +1822,14 @@ let () =
                  ~env:"NEMESIS_COMBINED_SEEDS" ~seed (fun () ->
                    ignore (run_combined ~seed ()))))
           combined_seeds );
+      ( "versioned sweep",
+        List.map
+          (fun seed ->
+            Alcotest.test_case
+              (Printf.sprintf "seed %d" seed)
+              `Slow
+              (with_repro ~group:"versioned sweep"
+                 ~env:"NEMESIS_VERSIONED_SEEDS" ~seed (fun () ->
+                   run_versioned_nemesis ~seed ())))
+          versioned_seeds );
     ]

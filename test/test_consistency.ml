@@ -396,6 +396,229 @@ let test_eventual_staleness_observable () =
   (* Before anti-entropy, n1 is behind. *)
   Alcotest.(check bool) "n1 stale" true (H.version h 1 < H.version h 2)
 
+(* ----------------------------- Versioned --------------------------- *)
+
+module V = Kconsistency.Versioned
+module Machine = Kconsistency.Machine_intf
+
+(* Drain the wire one message at a time, returning every message that
+   transited — lets tests assert over the traffic, not just final state. *)
+let drain_collect h =
+  let seen = ref [] in
+  while h.H.wire <> [] do
+    (match h.H.wire with
+    | (_, _, msg) :: _ -> seen := msg :: !seen
+    | [] -> ());
+    ignore (H.deliver_one h)
+  done;
+  List.rev !seen
+
+let is_ownership_msg = function
+  | Ctypes.Own_grant _ | Ctypes.Fetch_own _ | Ctypes.Own_return _
+  | Ctypes.Invalidate _ | Ctypes.Invalidate_ack | Ctypes.Upgrade_grant _ ->
+    true
+  | _ -> false
+
+let test_versioned_immediate_grants () =
+  let h = mk ~protocol:"versioned" () in
+  ignore (H.acquire_sync h 1 Ctypes.Read);
+  H.release h 1 Ctypes.Read ~data:None;
+  (* Concurrent writers both hold write locks: no exclusivity. *)
+  let w1 = H.acquire h 1 Ctypes.Write in
+  let w2 = H.acquire_sync h 2 Ctypes.Write in
+  H.drain h;
+  Alcotest.(check bool) "both granted" true
+    (H.is_granted h w1 && H.is_granted h w2)
+
+let test_versioned_fetch_on_miss () =
+  let h = mk ~protocol:"versioned" () in
+  ignore (H.acquire_sync h 3 Ctypes.Read);
+  Alcotest.(check (option string)) "fetched from home" (Some "v0")
+    (Option.map Bytes.to_string (H.installed_data h 3))
+
+let test_versioned_lww_convergence () =
+  let h = mk ~protocol:"versioned" () in
+  List.iter
+    (fun n ->
+      ignore (H.acquire_sync h n Ctypes.Read);
+      H.release h n Ctypes.Read ~data:None)
+    [ 1; 2; 3 ];
+  ignore (H.acquire_sync h 1 Ctypes.Write);
+  H.release h 1 Ctypes.Write ~data:(Some (Bytes.of_string "from1"));
+  ignore (H.acquire_sync h 2 Ctypes.Write);
+  H.release h 2 Ctypes.Write ~data:(Some (Bytes.of_string "from2"));
+  H.drain h;
+  for _ = 1 to 4 do
+    H.fire_all_timers h;
+    H.drain h
+  done;
+  let versions = List.map (fun n -> H.version h n) nodes in
+  let first = List.hd versions in
+  Alcotest.(check bool)
+    (Format.asprintf "all versions equal (%a)"
+       (Format.pp_print_list Format.pp_print_int)
+       versions)
+    true
+    (List.for_all (( = ) first) versions);
+  let data =
+    List.filter_map
+      (fun n -> Option.map Bytes.to_string (H.installed_data h n))
+      nodes
+  in
+  Alcotest.(check int) "everyone holds data" 4 (List.length data);
+  let d0 = List.hd data in
+  Alcotest.(check bool) "all data equal" true (List.for_all (( = ) d0) data)
+
+let test_versioned_no_ping_pong () =
+  (* Two writers hammer the same page through several rounds: the protocol
+     must never move ownership (the whole point — CREW collapses here). *)
+  let h = mk ~protocol:"versioned" () in
+  List.iter
+    (fun n ->
+      ignore (H.acquire_sync h n Ctypes.Read);
+      H.release h n Ctypes.Read ~data:None)
+    [ 1; 2 ];
+  ignore (drain_collect h);
+  let traffic = ref [] in
+  for round = 1 to 5 do
+    let w1 = H.acquire h 1 Ctypes.Write in
+    let w2 = H.acquire h 2 Ctypes.Write in
+    Alcotest.(check bool)
+      (Printf.sprintf "round %d: both grant locally" round)
+      true
+      (H.is_granted h w1 && H.is_granted h w2);
+    H.release h 1 Ctypes.Write
+      ~data:(Some (Bytes.of_string (Printf.sprintf "a%d" round)));
+    H.release h 2 Ctypes.Write
+      ~data:(Some (Bytes.of_string (Printf.sprintf "b%d" round)));
+    traffic := !traffic @ drain_collect h;
+    H.fire_all_timers h;
+    traffic := !traffic @ drain_collect h
+  done;
+  Alcotest.(check int) "zero ownership transfers" 0
+    (List.length (List.filter is_ownership_msg !traffic))
+
+let test_versioned_readers_never_invalidated () =
+  let h = mk ~protocol:"versioned" () in
+  ignore (H.acquire_sync h 1 Ctypes.Read);
+  H.release h 1 Ctypes.Read ~data:None;
+  ignore (H.acquire_sync h 2 Ctypes.Write);
+  H.release h 2 Ctypes.Write ~data:(Some (Bytes.of_string "zz"));
+  let traffic = drain_collect h in
+  Alcotest.(check bool) "replica still valid" true (H.has_copy h 1);
+  Alcotest.(check int) "no invalidations" 0
+    (List.length
+       (List.filter
+          (function Ctypes.Invalidate _ -> true | _ -> false)
+          traffic))
+
+let test_versioned_snapshot_isolation () =
+  (* A reader pinned at version v is untouched by the publish of v+1. *)
+  let h = mk ~protocol:"versioned" () in
+  let home = H.machine h 0 in
+  Alcotest.(check (option string)) "v1 retained" (Some "v0")
+    (Option.map (fun (b, _) -> Bytes.to_string b)
+       (Machine.packed_read_at home (Some 1)));
+  let r, actions =
+    Machine.packed_publish home ~src:1 ~parent:1 ~expected:None
+      ~payload:(Ctypes.Whole (Bytes.of_string "n2"))
+  in
+  H.apply h 0 actions;
+  (match r with
+  | Ctypes.Published v -> Alcotest.(check int) "minted v2" 2 v
+  | _ -> Alcotest.fail "publish refused");
+  (* The pinned read still serves the old immutable image... *)
+  Alcotest.(check (option string)) "pin at 1 unchanged" (Some "v0")
+    (Option.map (fun (b, _) -> Bytes.to_string b)
+       (Machine.packed_read_at home (Some 1)));
+  (* ...while an unpinned read sees the latest. *)
+  Alcotest.(check (option string)) "latest is v2" (Some "n2")
+    (Option.map (fun (b, _) -> Bytes.to_string b)
+       (Machine.packed_read_at home None))
+
+let test_versioned_diff_whole_equivalence () =
+  (* Publishing dirty runs against the parent must produce the exact same
+     image as publishing the whole modified page. *)
+  let cfg = Ctypes.default_config ~self:0 ~home:0 in
+  let base () = Bytes.make 64 'a' in
+  let whole = V.create cfg (Ctypes.Start_owner (base ())) in
+  let runs = V.create cfg (Ctypes.Start_owner (base ())) in
+  let img = base () in
+  Bytes.blit_string "XY" 0 img 10 2;
+  Bytes.blit_string "Z" 0 img 50 1;
+  let r1, _ =
+    V.publish whole ~src:0 ~parent:1 ~expected:None
+      ~payload:(Ctypes.Whole img)
+  in
+  let r2, _ =
+    V.publish runs ~src:0 ~parent:1 ~expected:None
+      ~payload:
+        (Ctypes.Runs [ (10, Bytes.of_string "XY"); (50, Bytes.of_string "Z") ])
+  in
+  (match (r1, r2) with
+  | Ctypes.Published 2, Ctypes.Published 2 -> ()
+  | _ -> Alcotest.fail "both publishes should mint version 2");
+  let image m =
+    match V.read_at m None with
+    | Some (b, _) -> Bytes.to_string b
+    | None -> Alcotest.fail "no image"
+  in
+  Alcotest.(check string) "byte-identical" (image whole) (image runs);
+  (* A diff against a version the home no longer knows is refused, not
+     misapplied. *)
+  let r3, _ =
+    V.publish runs ~src:0 ~parent:99 ~expected:None
+      ~payload:(Ctypes.Runs [ (0, Bytes.of_string "q") ])
+  in
+  match r3 with
+  | Ctypes.Parent_gone { latest } -> Alcotest.(check int) "latest" 2 latest
+  | _ -> Alcotest.fail "expected Parent_gone"
+
+let test_versioned_cas () =
+  let cfg = Ctypes.default_config ~self:0 ~home:0 in
+  let m = V.create cfg (Ctypes.Start_owner (Bytes.of_string "v0")) in
+  let r1, _ =
+    V.publish m ~src:0 ~parent:1 ~expected:(Some 1)
+      ~payload:(Ctypes.Whole (Bytes.of_string "v1"))
+  in
+  (match r1 with
+  | Ctypes.Published 2 -> ()
+  | _ -> Alcotest.fail "CAS at current version should publish");
+  let r2, _ =
+    V.publish m ~src:0 ~parent:1 ~expected:(Some 1)
+      ~payload:(Ctypes.Whole (Bytes.of_string "lost race"))
+  in
+  (match r2 with
+  | Ctypes.Cas_mismatch { latest } -> Alcotest.(check int) "latest" 2 latest
+  | _ -> Alcotest.fail "stale CAS should be refused");
+  Alcotest.(check (option string)) "refused bytes never installed"
+    (Some "v1")
+    (Option.map (fun (b, _) -> Bytes.to_string b) (V.read_at m None))
+
+let test_versioned_chain_gc () =
+  (* The home retains a bounded chain: publishes past the depth advance
+     the watermark and expire the oldest pins. *)
+  let cfg =
+    { (Ctypes.default_config ~self:0 ~home:0) with Ctypes.version_chain_depth = 3 }
+  in
+  let m = V.create cfg (Ctypes.Start_owner (Bytes.of_string "g1")) in
+  for i = 2 to 6 do
+    match
+      V.publish m ~src:0 ~parent:(i - 1) ~expected:None
+        ~payload:(Ctypes.Whole (Bytes.of_string (Printf.sprintf "g%d" i)))
+    with
+    | Ctypes.Published v, _ -> Alcotest.(check int) "monotonic mint" i v
+    | _ -> Alcotest.fail "publish refused"
+  done;
+  Alcotest.(check int) "chain bounded" 3 (V.chain_depth m);
+  Alcotest.(check int) "watermark advanced" 4 (V.watermark m);
+  Alcotest.(check (option string)) "old pin expired" None
+    (Option.map (fun (b, _) -> Bytes.to_string b) (V.read_at m (Some 2)));
+  Alcotest.(check (option string)) "watermark version readable" (Some "g4")
+    (Option.map (fun (b, _) -> Bytes.to_string b) (V.read_at m (Some 4)));
+  Alcotest.(check (option string)) "latest readable" (Some "g6")
+    (Option.map (fun (b, _) -> Bytes.to_string b) (V.read_at m None))
+
 (* ---------------- Batched vs per-page delivery equivalence ---------- *)
 
 (* RPC coalescing changes only envelope boundaries: a sharer that used to
@@ -500,6 +723,24 @@ let () =
           Alcotest.test_case "LWW convergence" `Quick test_eventual_convergence_lww;
           Alcotest.test_case "staleness observable" `Quick
             test_eventual_staleness_observable;
+        ] );
+      ( "versioned",
+        [
+          Alcotest.test_case "immediate grants" `Quick
+            test_versioned_immediate_grants;
+          Alcotest.test_case "fetch on miss" `Quick test_versioned_fetch_on_miss;
+          Alcotest.test_case "LWW convergence" `Quick
+            test_versioned_lww_convergence;
+          Alcotest.test_case "no ownership ping-pong" `Quick
+            test_versioned_no_ping_pong;
+          Alcotest.test_case "readers never invalidated" `Quick
+            test_versioned_readers_never_invalidated;
+          Alcotest.test_case "snapshot isolation" `Quick
+            test_versioned_snapshot_isolation;
+          Alcotest.test_case "diff == whole image" `Quick
+            test_versioned_diff_whole_equivalence;
+          Alcotest.test_case "CAS" `Quick test_versioned_cas;
+          Alcotest.test_case "chain GC" `Quick test_versioned_chain_gc;
         ] );
       ( "write-shared",
         [

@@ -507,6 +507,102 @@ let test_tracing_disabled_zero_records () =
   Alcotest.(check bool) "tracing off" false (Trace.enabled ());
   Alcotest.(check int) "no records" 0 (Trace.Ring.length ring)
 
+(* ---------------------- MVCC (versioned regions) -------------------- *)
+
+let versioned_attr = Attr.make ~protocol:"versioned" ~owner:1 ()
+
+(* A versioned region created and pre-filled from node 1 (its home). *)
+let versioned_region ?(init = "aaaa") sys =
+  let c1 = System.client sys 1 () in
+  System.run_fiber sys (fun () ->
+      let r = ok (Client.create_region c1 ~attr:versioned_attr 4096) in
+      ok (Client.write_bytes c1 ~addr:r.Region.base (bytes_s init));
+      r.Region.base)
+
+let test_mvcc_snapshot_isolation () =
+  let sys = mk () in
+  let base = versioned_region sys in
+  let c1 = System.client sys 1 () in
+  let c4 = System.client sys 4 () in
+  System.run_fiber sys (fun () ->
+      let snap = ok (Client.snapshot c4) in
+      Alcotest.(check string) "pins at first touch" "aaaa"
+        (Bytes.to_string (ok (Client.snapshot_read c4 ~snap ~addr:base 4)));
+      ok (Client.write_bytes c1 ~addr:base (bytes_s "bbbb"));
+      (* The pinned reader never sees the later version... *)
+      Alcotest.(check string) "pin is stable across a publish" "aaaa"
+        (Bytes.to_string (ok (Client.snapshot_read c4 ~snap ~addr:base 4)));
+      Client.release_snapshot c4 snap;
+      (* ...while a fresh snapshot starts at the new latest settled. *)
+      let fresh = ok (Client.snapshot c4) in
+      Alcotest.(check string) "fresh snapshot sees the publish" "bbbb"
+        (Bytes.to_string (ok (Client.snapshot_read c4 ~snap:fresh ~addr:base 4)));
+      Client.release_snapshot c4 fresh)
+
+let test_mvcc_readonly_txn_not_blocked () =
+  (* The regression this feature exists for: under CREW a read-only
+     transaction serializes against any writer; under versioned it reads
+     from a snapshot and completes while the write lock is held. *)
+  let sys = mk () in
+  let base = versioned_region sys in
+  let c1 = System.client sys 1 () in
+  let c4 = System.client sys 4 () in
+  System.run_fiber sys (fun () ->
+      let lctx = ok (Client.lock c1 ~addr:base ~len:4 Ctypes.Write) in
+      ok (Client.write c1 lctx ~addr:base (bytes_s "bbbb"));
+      (* With the writer still holding its lock, the read-only txn runs to
+         completion — it must neither block nor observe the unpublished
+         write. *)
+      let v =
+        ok
+          (Client.txn c4 (fun txn -> Client.txn_read c4 txn ~addr:base ~len:4))
+      in
+      Alcotest.(check string) "snapshot read, not the in-flight write"
+        "aaaa" (Bytes.to_string v);
+      Client.unlock c1 lctx);
+  System.run_until_quiet sys;
+  let c5 = System.client sys 5 () in
+  System.run_fiber sys (fun () ->
+      Alcotest.(check string) "published after unlock" "bbbb"
+        (Bytes.to_string (ok (Client.read_bytes c5 ~addr:base 4))))
+
+let test_mvcc_write_cas () =
+  let sys = mk () in
+  let base = versioned_region sys in
+  let c4 = System.client sys 4 () in
+  System.run_fiber sys (fun () ->
+      let v = ok (Client.page_version c4 base) in
+      ok (Client.write_cas c4 ~addr:base ~expected:v (bytes_s "cas1"));
+      (* The same expected version is now stale: refused, not applied. *)
+      (match Client.write_cas c4 ~addr:base ~expected:v (bytes_s "cas2") with
+      | Error (`Conflict _) -> ()
+      | Ok () -> Alcotest.fail "stale CAS must conflict"
+      | Error e -> Alcotest.failf "wrong error: %s" (Daemon.error_to_string e));
+      Alcotest.(check string) "winner's bytes stand" "cas1"
+        (Bytes.to_string (ok (Client.read_bytes c4 ~addr:base 4))))
+
+let test_mvcc_txn_read_your_writes () =
+  (* A transaction that wrote a versioned range reads its own buffer (the
+     locking path), not the snapshot; aborting leaves no trace. *)
+  let sys = mk () in
+  let base = versioned_region sys in
+  let c4 = System.client sys 4 () in
+  System.run_fiber sys (fun () ->
+      (match
+         Client.txn c4 (fun txn ->
+             let ( let* ) = Result.bind in
+             let* () = Client.txn_write c4 txn ~addr:base (bytes_s "mine") in
+             let* v = Client.txn_read c4 txn ~addr:base ~len:4 in
+             Alcotest.(check string) "own write visible in txn" "mine"
+               (Bytes.to_string v);
+             Error `Access_denied)
+       with
+      | Error `Access_denied -> ()
+      | Ok () -> Alcotest.fail "body error must abort"
+      | Error e -> Alcotest.failf "wrong error: %s" (Daemon.error_to_string e));
+      Alcotest.(check string) "abort left no trace" "aaaa"
+        (Bytes.to_string (ok (Client.read_bytes c4 ~addr:base 4))))
+
 let () =
   Alcotest.run "system"
     [
@@ -535,6 +631,16 @@ let () =
             test_address_pool_accounting;
           Alcotest.test_case "deterministic replay" `Quick test_deterministic_replay;
           Alcotest.test_case "lookup path stats" `Quick test_lookup_path_stats;
+        ] );
+      ( "mvcc",
+        [
+          Alcotest.test_case "snapshot isolation" `Quick
+            test_mvcc_snapshot_isolation;
+          Alcotest.test_case "read-only txn not blocked by writer" `Quick
+            test_mvcc_readonly_txn_not_blocked;
+          Alcotest.test_case "write_cas conflict" `Quick test_mvcc_write_cas;
+          Alcotest.test_case "txn read-your-writes" `Quick
+            test_mvcc_txn_read_your_writes;
         ] );
       ( "tracing",
         [
